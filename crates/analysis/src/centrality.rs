@@ -1,0 +1,135 @@
+//! Fig. 3: the proportion-of-centrality difficulty metric.
+//!
+//! For a proportion `p`, take the set of local minima whose runtime is
+//! within `(1 + p) · t_opt` (minimization). The metric is the share of
+//! PageRank mass those "suitably good" minima hold among all local minima:
+//! high values mean a randomized first-improvement local search usually
+//! lands somewhere good (easy landscape), low values mean most basins are
+//! bad (hard landscape).
+
+use crate::ffg::FitnessFlowGraph;
+use crate::pagerank::{pagerank, PageRankParams};
+
+/// Proportion-of-centrality curve over a set of proportions `p`.
+#[derive(Debug, Clone)]
+pub struct CentralityCurve {
+    /// The proportions `p` (e.g. 0.00, 0.05, …, 0.50).
+    pub proportions: Vec<f64>,
+    /// Proportion of centrality at each `p`.
+    pub proportion_of_centrality: Vec<f64>,
+    /// Number of local minima in the FFG.
+    pub n_minima: usize,
+}
+
+/// Compute the proportion-of-centrality curve of an FFG.
+pub fn proportion_of_centrality(
+    g: &FitnessFlowGraph,
+    proportions: &[f64],
+    params: &PageRankParams,
+) -> CentralityCurve {
+    assert!(!g.is_empty(), "empty FFG");
+    let pr = pagerank(g, params);
+    let minima = g.local_minima();
+    let t_opt = g.optimum_time();
+    let total_minima_mass: f64 = minima.iter().map(|&u| pr[u]).sum();
+
+    let curve: Vec<f64> = proportions
+        .iter()
+        .map(|&p| {
+            let cutoff = (1.0 + p) * t_opt;
+            let good_mass: f64 = minima
+                .iter()
+                .filter(|&&u| g.node_time[u] <= cutoff)
+                .map(|&u| pr[u])
+                .sum();
+            if total_minima_mass > 0.0 {
+                good_mass / total_minima_mass
+            } else {
+                0.0
+            }
+        })
+        .collect();
+
+    CentralityCurve {
+        proportions: proportions.to_vec(),
+        proportion_of_centrality: curve,
+        n_minima: minima.len(),
+    }
+}
+
+/// The default proportion grid used for Fig. 3 (0 to 0.5 in steps of 0.05).
+pub fn default_proportions() -> Vec<f64> {
+    (0..=10).map(|i| i as f64 * 0.05).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::landscape::{Landscape, Sample};
+    use bat_space::{ConfigSpace, Neighborhood, Param};
+
+    fn graph_from(times: &[f64]) -> FitnessFlowGraph {
+        let space = ConfigSpace::builder()
+            .param(Param::new("x", (0..times.len() as i64).collect::<Vec<_>>()))
+            .build()
+            .unwrap();
+        let l = Landscape {
+            problem: "t".into(),
+            platform: "p".into(),
+            exhaustive: true,
+            samples: times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| Sample {
+                    index: i as u64,
+                    time_ms: Some(t),
+                })
+                .collect(),
+        };
+        FitnessFlowGraph::build(&space, &l, Neighborhood::Adjacent)
+    }
+
+    #[test]
+    fn curve_is_monotone_in_p() {
+        let g = graph_from(&[9.0, 1.0, 4.0, 5.0, 6.0, 9.5, 8.0, 2.0, 3.0, 7.0]);
+        let c = proportion_of_centrality(&g, &default_proportions(), &PageRankParams::default());
+        for w in c.proportion_of_centrality.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        assert!(*c.proportion_of_centrality.last().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn single_funnel_is_easy() {
+        // One global minimum that every walk reaches: proportion 1 at p=0.
+        let g = graph_from(&[7.0, 6.0, 5.0, 1.0, 2.0, 3.0, 4.0]);
+        let c = proportion_of_centrality(&g, &[0.0], &PageRankParams::default());
+        assert_eq!(c.n_minima, 1);
+        assert!((c.proportion_of_centrality[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deceptive_landscape_is_hard_at_p0() {
+        // Global minimum in a tiny basin at the edge; big shallow basin
+        // elsewhere captures most walks.
+        let g = graph_from(&[1.0, 8.0, 5.0, 4.0, 3.0, 2.5, 3.2, 4.2, 5.2, 6.0]);
+        let c = proportion_of_centrality(&g, &[0.0, 2.0], &PageRankParams::default());
+        assert_eq!(c.n_minima, 2);
+        assert!(
+            c.proportion_of_centrality[0] < 0.5,
+            "deceptive: {:?}",
+            c.proportion_of_centrality
+        );
+        // At huge p every minimum counts as good.
+        assert!((c.proportion_of_centrality[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportions_reported_back() {
+        let g = graph_from(&[2.0, 1.0, 2.0]);
+        let ps = vec![0.0, 0.1, 0.2];
+        let c = proportion_of_centrality(&g, &ps, &PageRankParams::default());
+        assert_eq!(c.proportions, ps);
+        assert_eq!(c.proportion_of_centrality.len(), 3);
+    }
+}

@@ -1,0 +1,165 @@
+//! Fig. 2: convergence of random search towards the optimum.
+//!
+//! The paper's protocol: random-sample the (exhaustive or 10 000-point)
+//! landscape 100 times, track the best-so-far runtime after each function
+//! evaluation, and plot the *median* across repetitions of the relative
+//! performance `t_opt / t_best_so_far` against evaluations (symlog x-axis).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Median-of-repetitions convergence curve.
+#[derive(Debug, Clone)]
+pub struct ConvergenceCurve {
+    /// Evaluation counts at which the curve is reported (log-spaced).
+    pub evals: Vec<usize>,
+    /// Median relative performance (t_opt / best_so_far) at each count.
+    pub median_rel_perf: Vec<f64>,
+}
+
+impl ConvergenceCurve {
+    /// Evaluations needed to first reach `threshold` relative performance
+    /// (e.g. 0.9 for the paper's "90% of optimum after N evaluations").
+    pub fn evals_to_reach(&self, threshold: f64) -> Option<usize> {
+        self.evals
+            .iter()
+            .zip(&self.median_rel_perf)
+            .find(|(_, &r)| r >= threshold)
+            .map(|(&e, _)| e)
+    }
+}
+
+/// Simulate random search over a pre-evaluated landscape.
+///
+/// `times` are the runtimes of the landscape's configurations; failed
+/// configurations are represented by `None` and consume an evaluation
+/// without improving the best (as on real hardware).
+pub fn random_search_convergence(
+    times: &[Option<f64>],
+    max_evals: usize,
+    repetitions: usize,
+    seed: u64,
+) -> ConvergenceCurve {
+    assert!(!times.is_empty());
+    let t_opt = times
+        .iter()
+        .flatten()
+        .fold(f64::INFINITY, |a, &b| a.min(b));
+    assert!(t_opt.is_finite(), "landscape has no valid configuration");
+
+    let checkpoints = log_spaced(max_evals);
+
+    // Per repetition: best-so-far at each checkpoint.
+    let per_rep: Vec<Vec<f64>> = (0..repetitions)
+        .into_par_iter()
+        .map(|rep| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (rep as u64).wrapping_mul(0x9e37));
+            let mut best = f64::INFINITY;
+            let mut out = Vec::with_capacity(checkpoints.len());
+            let mut next_cp = 0;
+            for e in 1..=max_evals {
+                let draw = times[rng.random_range(0..times.len())];
+                if let Some(t) = draw {
+                    best = best.min(t);
+                }
+                if next_cp < checkpoints.len() && e == checkpoints[next_cp] {
+                    out.push(if best.is_finite() { t_opt / best } else { 0.0 });
+                    next_cp += 1;
+                }
+            }
+            out
+        })
+        .collect();
+
+    // Median across repetitions at each checkpoint.
+    let median_rel_perf: Vec<f64> = (0..checkpoints.len())
+        .map(|c| {
+            let mut column: Vec<f64> = per_rep.iter().map(|r| r[c]).collect();
+            column.sort_by(|a, b| a.partial_cmp(b).expect("NaN rel perf"));
+            let mid = column.len() / 2;
+            if column.len() % 2 == 1 {
+                column[mid]
+            } else {
+                0.5 * (column[mid - 1] + column[mid])
+            }
+        })
+        .collect();
+
+    ConvergenceCurve {
+        evals: checkpoints,
+        median_rel_perf,
+    }
+}
+
+/// Log-spaced checkpoints 1, 2, …, 10, 13, 18, … up to `max_evals`
+/// (dense start, then ×1.3 growth), always including `max_evals`.
+fn log_spaced(max_evals: usize) -> Vec<usize> {
+    let mut out: Vec<usize> = (1..=10.min(max_evals)).collect();
+    let mut v = 10.0f64;
+    while (v * 1.3) < max_evals as f64 {
+        v *= 1.3;
+        out.push(v.round() as usize);
+    }
+    if *out.last().unwrap() != max_evals {
+        out.push(max_evals);
+    }
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_one() {
+        let times: Vec<Option<f64>> = (1..=100).map(|i| Some(f64::from(i))).collect();
+        let c = random_search_convergence(&times, 2000, 50, 1);
+        let last = *c.median_rel_perf.last().unwrap();
+        assert!(last > 0.99, "should find the optimum, got {last}");
+    }
+
+    #[test]
+    fn curve_is_monotone_nondecreasing() {
+        let times: Vec<Option<f64>> = (1..=500).map(|i| Some(f64::from(i % 97 + 1))).collect();
+        let c = random_search_convergence(&times, 1000, 30, 2);
+        for w in c.median_rel_perf.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn failures_slow_convergence() {
+        let good: Vec<Option<f64>> = (1..=50).map(|i| Some(f64::from(i))).collect();
+        let mut flaky = good.clone();
+        flaky.extend(std::iter::repeat_n(None, 450)); // 90% failures
+        let cg = random_search_convergence(&good, 100, 40, 3);
+        let cf = random_search_convergence(&flaky, 100, 40, 3);
+        let at_10 = |c: &ConvergenceCurve| {
+            c.evals
+                .iter()
+                .position(|&e| e == 10)
+                .map(|i| c.median_rel_perf[i])
+                .unwrap()
+        };
+        assert!(at_10(&cg) > at_10(&cf));
+    }
+
+    #[test]
+    fn evals_to_reach_threshold() {
+        let times: Vec<Option<f64>> = (1..=10).map(|i| Some(f64::from(i))).collect();
+        let c = random_search_convergence(&times, 500, 60, 4);
+        let n90 = c.evals_to_reach(0.9).unwrap();
+        assert!(n90 <= 50, "tiny pool must converge fast, got {n90}");
+        assert!(c.evals_to_reach(2.0).is_none());
+    }
+
+    #[test]
+    fn log_spacing_is_dense_then_sparse() {
+        let cps = log_spaced(1000);
+        assert_eq!(&cps[..10], &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(*cps.last().unwrap(), 1000);
+        assert!(cps.windows(2).all(|w| w[1] > w[0]));
+    }
+}

@@ -1,0 +1,381 @@
+//! Classical search-difficulty metrics complementing the paper's
+//! proportion-of-centrality (Fig. 3): fitness-distance correlation,
+//! random-walk autocorrelation / correlation length, and local-minima
+//! statistics.
+//!
+//! The paper names "search space difficulty" as one of the questions the
+//! suite exists to study; centrality captures *reachability* of good
+//! minima, while the metrics here capture *global structure* (does fitness
+//! guide toward the optimum?) and *ruggedness* (how fast does fitness
+//! decorrelate along a walk?). Together they characterize a benchmark's
+//! landscape the way the optimization-benchmarking literature does.
+
+use bat_space::{ConfigSpace, Neighborhood};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ffg::FitnessFlowGraph;
+use crate::landscape::Landscape;
+
+/// Search-difficulty metrics of one benchmark × architecture landscape.
+#[derive(Debug, Clone)]
+pub struct DifficultyReport {
+    /// Fitness-distance correlation: Pearson correlation between a
+    /// configuration's runtime and its Hamming distance to the optimum.
+    /// For minimization, **positive** FDC means fitness guides search
+    /// toward the optimum (easy); near zero means no global structure;
+    /// negative means deceptive.
+    pub fdc: f64,
+    /// Random-walk autocorrelation ρ(k) of runtimes at lags `1..=max_lag`.
+    /// All-NaN when the landscape is sampled too sparsely for walks (no
+    /// sampled configuration has a sampled neighbour) — walk metrics need
+    /// an exhaustive or dense landscape, exactly like the paper's
+    /// centrality metric (§VI-C computes it only for the exhaustively
+    /// searched benchmarks).
+    pub autocorrelation: Vec<f64>,
+    /// Correlation length ℓ = −1 / ln |ρ(1)| — walks stay correlated for
+    /// about ℓ steps; smaller = more rugged. NaN when walks were not
+    /// possible.
+    pub correlation_length: f64,
+    /// Number of local minima in the (sampled) fitness flow graph.
+    pub n_local_minima: usize,
+    /// Mean relative quality `t_opt / t_min` over the local minima
+    /// (1.0 = every minimum is globally optimal).
+    pub minima_mean_quality: f64,
+}
+
+/// Compute all difficulty metrics of `landscape` under `neighborhood`.
+///
+/// `walks` random walks of length `walk_len` estimate the
+/// autocorrelation; both default sensibly via [`difficulty_default`].
+/// Walks move to uniformly-drawn *valid sampled* neighbours, matching the
+/// FFG's node set, so the metrics describe the same graph.
+pub fn difficulty(
+    space: &ConfigSpace,
+    landscape: &Landscape,
+    neighborhood: Neighborhood,
+    walks: usize,
+    walk_len: usize,
+    max_lag: usize,
+    seed: u64,
+) -> DifficultyReport {
+    assert!(max_lag >= 1, "need at least lag 1");
+    assert!(walk_len > max_lag, "walks must be longer than the max lag");
+    let ffg = FitnessFlowGraph::build(space, landscape, neighborhood);
+    assert!(!ffg.is_empty(), "landscape has no valid configuration");
+
+    let fdc = fitness_distance_correlation(space, &ffg);
+    let autocorrelation =
+        walk_autocorrelation(space, &ffg, neighborhood, walks, walk_len, max_lag, seed);
+    let rho1 = autocorrelation[0];
+    let correlation_length = if rho1.is_nan() {
+        f64::NAN
+    } else if rho1.abs() >= 1.0 {
+        f64::INFINITY
+    } else if rho1.abs() <= f64::EPSILON {
+        0.0
+    } else {
+        -1.0 / rho1.abs().ln()
+    };
+
+    let minima = ffg.local_minima();
+    let t_opt = ffg.optimum_time();
+    let minima_mean_quality = if minima.is_empty() {
+        f64::NAN
+    } else {
+        minima
+            .iter()
+            .map(|&m| t_opt / ffg.node_time[m])
+            .sum::<f64>()
+            / minima.len() as f64
+    };
+
+    DifficultyReport {
+        fdc,
+        autocorrelation,
+        correlation_length,
+        n_local_minima: minima.len(),
+        minima_mean_quality,
+    }
+}
+
+/// [`difficulty`] with the defaults used by the CLI and benches: Hamming-1
+/// ("any") neighbourhood, 64 walks of 200 steps, lags up to 10.
+pub fn difficulty_default(
+    space: &ConfigSpace,
+    landscape: &Landscape,
+    seed: u64,
+) -> DifficultyReport {
+    difficulty(
+        space,
+        landscape,
+        Neighborhood::HammingAny,
+        64,
+        200,
+        10,
+        seed,
+    )
+}
+
+/// Pearson correlation between runtime and Hamming distance to the best
+/// node, over all FFG nodes.
+fn fitness_distance_correlation(space: &ConfigSpace, ffg: &FitnessFlowGraph) -> f64 {
+    let n = ffg.len();
+    let best = (0..n)
+        .min_by(|&a, &b| ffg.node_time[a].total_cmp(&ffg.node_time[b]))
+        .expect("non-empty");
+    let best_cfg = space.config_at(ffg.node_index[best]);
+
+    let dists: Vec<f64> = (0..n)
+        .map(|u| {
+            let cfg = space.config_at(ffg.node_index[u]);
+            cfg.iter()
+                .zip(&best_cfg)
+                .filter(|(a, b)| a != b)
+                .count() as f64
+        })
+        .collect();
+    pearson(&ffg.node_time, &dists)
+}
+
+/// Autocorrelation of runtimes along uniform random walks over the FFG's
+/// node set (moves to sampled valid neighbours only; isolated nodes end
+/// their walk early and contribute the prefix).
+fn walk_autocorrelation(
+    space: &ConfigSpace,
+    ffg: &FitnessFlowGraph,
+    neighborhood: Neighborhood,
+    walks: usize,
+    walk_len: usize,
+    max_lag: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let n = ffg.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut series: Vec<Vec<f64>> = Vec::with_capacity(walks);
+    for _ in 0..walks {
+        let mut node = rng.random_range(0..n);
+        let mut trace = Vec::with_capacity(walk_len);
+        trace.push(ffg.node_time[node]);
+        for _ in 1..walk_len {
+            // Valid sampled neighbours of the current node.
+            let mut nbrs: Vec<usize> = Vec::new();
+            neighborhood.for_each_neighbor(space, ffg.node_index[node], |cand| {
+                if let Ok(v) = ffg.node_index.binary_search(&cand) {
+                    nbrs.push(v);
+                }
+            });
+            if nbrs.is_empty() {
+                break;
+            }
+            node = nbrs[rng.random_range(0..nbrs.len())];
+            trace.push(ffg.node_time[node]);
+        }
+        if trace.len() > max_lag {
+            series.push(trace);
+        }
+    }
+    if series.is_empty() {
+        // Landscape sampled too sparsely for walks: report NaN rather than
+        // a number computed from nothing.
+        return vec![f64::NAN; max_lag];
+    }
+
+    // Pool lagged pairs across walks.
+    (1..=max_lag)
+        .map(|k| {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for t in &series {
+                for i in 0..t.len() - k {
+                    xs.push(t[i]);
+                    ys.push(t[i + k]);
+                }
+            }
+            pearson(&xs, &ys)
+        })
+        .collect()
+}
+
+/// Pearson correlation coefficient; 0.0 when either side is constant.
+fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let n = x.len() as f64;
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 1e-24 || syy <= 1e-24 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::landscape::Sample;
+    use bat_space::Param;
+
+    fn space_2d(k: i64) -> ConfigSpace {
+        ConfigSpace::builder()
+            .param(Param::int_range("x", 0, k - 1))
+            .param(Param::int_range("y", 0, k - 1))
+            .build()
+            .unwrap()
+    }
+
+    fn landscape_from_fn(space: &ConfigSpace, f: impl Fn(&[i64]) -> f64) -> Landscape {
+        let samples = (0..space.cardinality())
+            .map(|index| Sample {
+                index,
+                time_ms: Some(f(&space.config_at(index))),
+            })
+            .collect();
+        Landscape {
+            problem: "test".into(),
+            platform: "sim".into(),
+            exhaustive: true,
+            samples,
+        }
+    }
+
+    #[test]
+    fn smooth_bowl_is_easy_on_every_metric() {
+        let space = space_2d(12);
+        let l = landscape_from_fn(&space, |c| {
+            1.0 + ((c[0] - 6) * (c[0] - 6) + (c[1] - 6) * (c[1] - 6)) as f64
+        });
+        // Adjacent (±1 step) walks measure smoothness; Hamming-any jumps
+        // teleport across a parameter's whole range and decorrelate even
+        // smooth landscapes.
+        let r = difficulty(&space, &l, Neighborhood::Adjacent, 64, 200, 10, 0);
+        // Fitness decreases toward the optimum: clearly positive FDC.
+        // (Hamming distance saturates at 2 on a 2-D space, so the
+        // correlation is diluted relative to a Euclidean metric.)
+        assert!(r.fdc > 0.25, "FDC {}", r.fdc);
+        // Smooth: high lag-1 autocorrelation, long correlation length.
+        assert!(r.autocorrelation[0] > 0.7, "ρ(1) = {}", r.autocorrelation[0]);
+        assert!(r.correlation_length > 2.0, "ℓ = {}", r.correlation_length);
+        // A bowl has exactly one local minimum under adjacent moves.
+        assert_eq!(r.n_local_minima, 1);
+        assert!((r.minima_mean_quality - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_landscape_is_rugged() {
+        let space = space_2d(12);
+        // Deterministic hash-noise: no structure at all.
+        let l = landscape_from_fn(&space, |c| {
+            let h = (c[0] as u64)
+                .wrapping_mul(2654435761)
+                .wrapping_add(c[1] as u64)
+                .wrapping_mul(0x9e3779b97f4a7c15);
+            1.0 + (h % 1000) as f64 / 100.0
+        });
+        let r = difficulty_default(&space, &l, 1);
+        assert!(r.fdc.abs() < 0.3, "random landscape FDC {}", r.fdc);
+        assert!(
+            r.autocorrelation[0] < 0.5,
+            "random ρ(1) = {}",
+            r.autocorrelation[0]
+        );
+        assert!(r.n_local_minima > 3, "minima {}", r.n_local_minima);
+    }
+
+    #[test]
+    fn smooth_is_easier_than_rugged() {
+        let space = space_2d(10);
+        let smooth = landscape_from_fn(&space, |c| 1.0 + (c[0] + c[1]) as f64);
+        let rugged = landscape_from_fn(&space, |c| {
+            1.0 + ((c[0] * 7 + c[1] * 13) % 11) as f64
+        });
+        let rs = difficulty_default(&space, &smooth, 2);
+        let rr = difficulty_default(&space, &rugged, 2);
+        assert!(rs.correlation_length > rr.correlation_length);
+        assert!(rs.n_local_minima <= rr.n_local_minima);
+    }
+
+    #[test]
+    fn deceptive_landscape_has_negative_fdc() {
+        let space = space_2d(10);
+        // A single needle at (9,9); everywhere else fitness *improves*
+        // toward (0,0): distance to the optimum anti-correlates with time.
+        let l = landscape_from_fn(&space, |c| {
+            if c[0] == 9 && c[1] == 9 {
+                0.1
+            } else {
+                2.0 + (c[0] + c[1]) as f64
+            }
+        });
+        let r = difficulty_default(&space, &l, 3);
+        assert!(r.fdc < 0.0, "deceptive FDC should be negative, got {}", r.fdc);
+    }
+
+    #[test]
+    fn constant_landscape_degenerates_gracefully() {
+        let space = space_2d(5);
+        let l = landscape_from_fn(&space, |_| 3.0);
+        let r = difficulty_default(&space, &l, 4);
+        assert_eq!(r.fdc, 0.0);
+        assert_eq!(r.autocorrelation[0], 0.0);
+        assert_eq!(r.correlation_length, 0.0);
+        // Every node is a minimum of quality 1.
+        assert_eq!(r.n_local_minima, 25);
+        assert!((r.minima_mean_quality - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let space = space_2d(8);
+        let l = landscape_from_fn(&space, |c| 1.0 + (c[0] * c[1]) as f64);
+        let a = difficulty_default(&space, &l, 7);
+        let b = difficulty_default(&space, &l, 7);
+        assert_eq!(a.autocorrelation, b.autocorrelation);
+        assert_eq!(a.fdc, b.fdc);
+    }
+
+    #[test]
+    #[should_panic(expected = "walks must be longer")]
+    fn short_walks_are_rejected() {
+        let space = space_2d(4);
+        let l = landscape_from_fn(&space, |c| c[0] as f64 + 1.0);
+        difficulty(&space, &l, Neighborhood::HammingAny, 4, 5, 10, 0);
+    }
+
+    #[test]
+    fn sparse_landscape_yields_nan_walk_metrics_but_valid_fdc() {
+        // Two isolated samples in a big space: no sampled neighbours.
+        let space = ConfigSpace::builder()
+            .param(Param::int_range("x", 0, 99))
+            .param(Param::int_range("y", 0, 99))
+            .build()
+            .unwrap();
+        let l = Landscape {
+            problem: "sparse".into(),
+            platform: "sim".into(),
+            exhaustive: false,
+            samples: vec![
+                Sample { index: 0, time_ms: Some(1.0) },
+                Sample { index: 5_050, time_ms: Some(2.0) },
+            ],
+        };
+        let r = difficulty_default(&space, &l, 0);
+        assert!(r.autocorrelation.iter().all(|v| v.is_nan()));
+        assert!(r.correlation_length.is_nan());
+        assert!(r.fdc.is_finite());
+        // Isolated nodes have no improving edges: both count as minima.
+        assert_eq!(r.n_local_minima, 2);
+    }
+}

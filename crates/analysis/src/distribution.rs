@@ -1,0 +1,121 @@
+//! Fig. 1: performance distribution of configurations, centred on the
+//! median configuration.
+//!
+//! The paper plots, per benchmark and architecture, the density of
+//! configurations by performance relative to the median configuration.
+//! We report the same series: relative performance `median_time / time`
+//! (1.0 = median, >1 = faster than median) histogrammed from the worst to
+//! the best configuration, plus the summary shapes the text discusses
+//! (exponential decay toward the best; Hotspot's detached fast cluster;
+//! Nbody's slow cluster).
+
+/// Histogram of relative-to-median performance.
+#[derive(Debug, Clone)]
+pub struct PerformanceDistribution {
+    /// Bin edges (relative performance, ascending).
+    pub edges: Vec<f64>,
+    /// Configuration counts per bin.
+    pub counts: Vec<u64>,
+    /// Relative performance of the best configuration (= max speedup over
+    /// median, the paper's Fig. 4 value).
+    pub best_rel: f64,
+    /// Relative performance of the worst configuration.
+    pub worst_rel: f64,
+    /// Fraction of configurations within ±10% of the median.
+    pub central_mass: f64,
+    /// Fraction of configurations at ≥ 80% of the best's relative
+    /// performance (the "fast cluster" mass).
+    pub fast_cluster_mass: f64,
+}
+
+impl PerformanceDistribution {
+    /// Build from raw runtimes with `bins` histogram bins.
+    pub fn from_times(times: &[f64], bins: usize) -> Option<PerformanceDistribution> {
+        if times.is_empty() || bins == 0 {
+            return None;
+        }
+        let mut sorted = times.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN time"));
+        let mid = sorted.len() / 2;
+        let median = if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            0.5 * (sorted[mid - 1] + sorted[mid])
+        };
+        // Relative performance: median_time / time (higher = faster).
+        let rel: Vec<f64> = sorted.iter().map(|t| median / t).collect();
+        let best_rel = rel.iter().cloned().fold(f64::MIN, f64::max);
+        let worst_rel = rel.iter().cloned().fold(f64::MAX, f64::min);
+        let span = (best_rel - worst_rel).max(1e-12);
+        let mut counts = vec![0u64; bins];
+        for r in &rel {
+            let b = (((r - worst_rel) / span) * bins as f64) as usize;
+            counts[b.min(bins - 1)] += 1;
+        }
+        let edges: Vec<f64> = (0..=bins)
+            .map(|i| worst_rel + span * i as f64 / bins as f64)
+            .collect();
+        let n = rel.len() as f64;
+        let central_mass =
+            rel.iter().filter(|r| (0.9..=1.1).contains(*r)).count() as f64 / n;
+        let fast_threshold = worst_rel + 0.8 * span;
+        let fast_cluster_mass =
+            rel.iter().filter(|&&r| r >= fast_threshold).count() as f64 / n;
+        Some(PerformanceDistribution {
+            edges,
+            counts,
+            best_rel,
+            worst_rel,
+            central_mass,
+            fast_cluster_mass,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_times_concentrate_at_median() {
+        let times = vec![1.0; 100];
+        let d = PerformanceDistribution::from_times(&times, 10).unwrap();
+        assert_eq!(d.best_rel, 1.0);
+        assert_eq!(d.worst_rel, 1.0);
+        assert_eq!(d.central_mass, 1.0);
+        assert_eq!(d.counts.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn fast_cluster_is_detected() {
+        // 90 configs at 10ms, 10 configs at 1ms (10x cluster, Hotspot-like).
+        let mut times = vec![10.0; 90];
+        times.extend(vec![1.0; 10]);
+        let d = PerformanceDistribution::from_times(&times, 20).unwrap();
+        assert!((d.best_rel - 10.0).abs() < 1e-9);
+        assert!((d.fast_cluster_mass - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_mass_is_total() {
+        let times: Vec<f64> = (1..=500).map(|i| 1.0 + (i % 37) as f64).collect();
+        let d = PerformanceDistribution::from_times(&times, 16).unwrap();
+        assert_eq!(d.counts.iter().sum::<u64>(), 500);
+        assert_eq!(d.edges.len(), 17);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(PerformanceDistribution::from_times(&[], 10).is_none());
+        assert!(PerformanceDistribution::from_times(&[1.0], 0).is_none());
+    }
+
+    #[test]
+    fn relative_performance_orientation() {
+        // One config twice as fast as the median must give best_rel ≈ 2.
+        let times = vec![2.0, 2.0, 2.0, 2.0, 1.0];
+        let d = PerformanceDistribution::from_times(&times, 4).unwrap();
+        assert!((d.best_rel - 2.0).abs() < 1e-9);
+        assert!((d.worst_rel - 1.0).abs() < 1e-9);
+    }
+}

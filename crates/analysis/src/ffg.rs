@@ -1,0 +1,195 @@
+//! Fitness flow graphs (Schoonhoven et al.).
+//!
+//! The FFG contains every valid configuration as a node and a directed edge
+//! to each neighbouring configuration with strictly lower runtime. A random
+//! walk on the FFG mimics a randomized first-improvement local search;
+//! nodes without outgoing edges are the local minima.
+
+use rayon::prelude::*;
+
+use bat_space::{ConfigSpace, Neighborhood};
+
+use crate::landscape::Landscape;
+
+/// A fitness flow graph in CSR form over the valid samples of a landscape.
+#[derive(Debug, Clone)]
+pub struct FitnessFlowGraph {
+    /// Configuration index of each node.
+    pub node_index: Vec<u64>,
+    /// Runtime of each node.
+    pub node_time: Vec<f64>,
+    /// CSR row offsets into `edges`.
+    pub offsets: Vec<u32>,
+    /// Flattened out-edge targets (node ids).
+    pub edges: Vec<u32>,
+}
+
+impl FitnessFlowGraph {
+    /// Build the FFG of a landscape under `neighborhood`.
+    ///
+    /// Only sampled, valid configurations become nodes; edges connect
+    /// sampled pairs (for exhaustive landscapes this is the full FFG of the
+    /// paper's metric).
+    pub fn build(
+        space: &ConfigSpace,
+        landscape: &Landscape,
+        neighborhood: Neighborhood,
+    ) -> FitnessFlowGraph {
+        let nodes: Vec<(u64, f64)> = landscape
+            .samples
+            .iter()
+            .filter_map(|s| s.time_ms.map(|t| (s.index, t)))
+            .collect();
+        let node_index: Vec<u64> = nodes.iter().map(|&(i, _)| i).collect();
+        let node_time: Vec<f64> = nodes.iter().map(|&(_, t)| t).collect();
+
+        // Adjacency by binary search over the sorted node_index.
+        let adj: Vec<Vec<u32>> = (0..nodes.len())
+            .into_par_iter()
+            .map(|u| {
+                let (idx, t) = nodes[u];
+                let mut out = Vec::new();
+                neighborhood.for_each_neighbor(space, idx, |n| {
+                    if let Ok(v) = node_index.binary_search(&n) {
+                        if node_time[v] < t {
+                            out.push(v as u32);
+                        }
+                    }
+                });
+                out
+            })
+            .collect();
+
+        let mut offsets = Vec::with_capacity(nodes.len() + 1);
+        let mut edges = Vec::new();
+        offsets.push(0u32);
+        for a in &adj {
+            edges.extend_from_slice(a);
+            offsets.push(edges.len() as u32);
+        }
+        FitnessFlowGraph {
+            node_index,
+            node_time,
+            offsets,
+            edges,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.node_index.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.node_index.is_empty()
+    }
+
+    /// Out-degree of node `u`.
+    #[inline]
+    pub fn out_degree(&self, u: usize) -> usize {
+        (self.offsets[u + 1] - self.offsets[u]) as usize
+    }
+
+    /// Out-edges of node `u`.
+    #[inline]
+    pub fn out_edges(&self, u: usize) -> &[u32] {
+        &self.edges[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+
+    /// Node ids of local minima (no outgoing improving edge).
+    pub fn local_minima(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&u| self.out_degree(u) == 0).collect()
+    }
+
+    /// Runtime of the global optimum.
+    pub fn optimum_time(&self) -> f64 {
+        self.node_time
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::landscape::Sample;
+    use bat_space::Param;
+
+    fn line_space(n: i64) -> ConfigSpace {
+        ConfigSpace::builder()
+            .param(Param::new("x", (0..n).collect::<Vec<_>>()))
+            .build()
+            .unwrap()
+    }
+
+    fn landscape_from(times: &[f64]) -> Landscape {
+        Landscape {
+            problem: "t".into(),
+            platform: "p".into(),
+            exhaustive: true,
+            samples: times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| Sample {
+                    index: i as u64,
+                    time_ms: Some(t),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn v_shaped_landscape_has_one_minimum() {
+        let space = line_space(7);
+        let l = landscape_from(&[7.0, 5.0, 3.0, 1.0, 3.0, 5.0, 7.0]);
+        let g = FitnessFlowGraph::build(&space, &l, Neighborhood::Adjacent);
+        assert_eq!(g.len(), 7);
+        assert_eq!(g.local_minima(), vec![3]);
+        assert_eq!(g.optimum_time(), 1.0);
+    }
+
+    #[test]
+    fn two_basins_have_two_minima() {
+        let space = line_space(7);
+        let l = landscape_from(&[3.0, 1.0, 3.0, 5.0, 3.0, 2.0, 3.0]);
+        let g = FitnessFlowGraph::build(&space, &l, Neighborhood::Adjacent);
+        let minima = g.local_minima();
+        assert_eq!(minima, vec![1, 5]);
+    }
+
+    #[test]
+    fn edges_point_downhill_only() {
+        let space = line_space(5);
+        let l = landscape_from(&[5.0, 4.0, 3.0, 2.0, 1.0]);
+        let g = FitnessFlowGraph::build(&space, &l, Neighborhood::Adjacent);
+        for u in 0..g.len() {
+            for &v in g.out_edges(u) {
+                assert!(g.node_time[v as usize] < g.node_time[u]);
+            }
+        }
+        // Monotone slope: every interior node has exactly one downhill edge.
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.out_degree(4), 0);
+    }
+
+    #[test]
+    fn invalid_samples_are_excluded() {
+        let space = line_space(4);
+        let mut l = landscape_from(&[4.0, 3.0, 2.0, 1.0]);
+        l.samples[1].time_ms = None;
+        let g = FitnessFlowGraph::build(&space, &l, Neighborhood::Adjacent);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.node_index, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn hamming_neighborhood_connects_across_values() {
+        let space = line_space(5);
+        let l = landscape_from(&[5.0, 4.0, 3.0, 2.0, 1.0]);
+        let g = FitnessFlowGraph::build(&space, &l, Neighborhood::HammingAny);
+        // With Hamming-any, node 0 sees all 4 better nodes.
+        assert_eq!(g.out_degree(0), 4);
+    }
+}

@@ -1,0 +1,197 @@
+//! Sampled landscapes: the central data object of the evaluation.
+//!
+//! The paper's protocol (§V): exhaustive search of the entire space for
+//! Pnpoly, Nbody, GEMM and Convolution; 10 000 random configurations for
+//! Hotspot, Dedispersion and Expdist — per architecture. A
+//! [`Landscape`] holds the resulting (configuration index → runtime)
+//! map plus failure bookkeeping, and feeds every downstream analysis.
+
+use rayon::prelude::*;
+
+use bat_core::TuningProblem;
+use bat_space::sample_indices_distinct;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One evaluated configuration in a landscape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Dense configuration index.
+    pub index: u64,
+    /// Noise-free runtime in ms, or `None` for restricted/launch-failed
+    /// configurations.
+    pub time_ms: Option<f64>,
+}
+
+/// A sampled (or exhaustive) view of one benchmark on one platform.
+#[derive(Debug, Clone)]
+pub struct Landscape {
+    /// Benchmark name.
+    pub problem: String,
+    /// Platform label.
+    pub platform: String,
+    /// Whether the whole space was enumerated.
+    pub exhaustive: bool,
+    /// Evaluated configurations, ascending by index.
+    pub samples: Vec<Sample>,
+}
+
+impl Landscape {
+    /// Exhaustively evaluate `problem` (noise-free), in parallel.
+    pub fn exhaustive(problem: &dyn TuningProblem) -> Landscape {
+        let space = problem.space();
+        let card = space.cardinality();
+        let samples: Vec<Sample> = (0..card)
+            .into_par_iter()
+            .map(|index| {
+                let config = space.config_at(index);
+                Sample {
+                    index,
+                    time_ms: problem.evaluate_pure(&config).ok(),
+                }
+            })
+            .collect();
+        Landscape {
+            problem: problem.name().to_string(),
+            platform: problem.platform().to_string(),
+            exhaustive: true,
+            samples,
+        }
+    }
+
+    /// Evaluate `n` distinct uniformly-drawn configurations (the paper's
+    /// 10 000-sample protocol for the large spaces).
+    pub fn sampled(problem: &dyn TuningProblem, n: usize, seed: u64) -> Landscape {
+        let space = problem.space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut indices = sample_indices_distinct(space, n, &mut rng);
+        indices.sort_unstable();
+        let samples: Vec<Sample> = indices
+            .into_par_iter()
+            .map(|index| {
+                let config = space.config_at(index);
+                Sample {
+                    index,
+                    time_ms: problem.evaluate_pure(&config).ok(),
+                }
+            })
+            .collect();
+        Landscape {
+            problem: problem.name().to_string(),
+            platform: problem.platform().to_string(),
+            exhaustive: false,
+            samples,
+        }
+    }
+
+    /// Runtimes of successful configurations.
+    pub fn times(&self) -> Vec<f64> {
+        self.samples.iter().filter_map(|s| s.time_ms).collect()
+    }
+
+    /// Number of successful (valid) configurations.
+    pub fn valid_count(&self) -> usize {
+        self.samples.iter().filter(|s| s.time_ms.is_some()).count()
+    }
+
+    /// The best (minimum-runtime) sample.
+    pub fn best(&self) -> Option<Sample> {
+        self.samples
+            .iter()
+            .filter(|s| s.time_ms.is_some())
+            .min_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).expect("NaN time"))
+            .copied()
+    }
+
+    /// Median runtime over successful configurations.
+    pub fn median_time(&self) -> Option<f64> {
+        let mut t = self.times();
+        if t.is_empty() {
+            return None;
+        }
+        t.sort_by(|a, b| a.partial_cmp(b).expect("NaN time"));
+        let mid = t.len() / 2;
+        Some(if t.len() % 2 == 1 {
+            t[mid]
+        } else {
+            0.5 * (t[mid - 1] + t[mid])
+        })
+    }
+
+    /// Runtime of a specific configuration index, if sampled and valid.
+    pub fn time_of(&self, index: u64) -> Option<f64> {
+        self.samples
+            .binary_search_by_key(&index, |s| s.index)
+            .ok()
+            .and_then(|i| self.samples[i].time_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_core::SyntheticProblem;
+    use bat_space::{ConfigSpace, Param};
+
+    fn problem() -> SyntheticProblem<
+        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
+    > {
+        let space = ConfigSpace::builder()
+            .param(Param::int_range("x", 0, 9))
+            .param(Param::int_range("y", 0, 9))
+            .restrict("x != 3")
+            .build()
+            .unwrap();
+        SyntheticProblem::new("toy", "sim", space, |c| {
+            Ok(1.0 + (c[0] + c[1]) as f64)
+        })
+    }
+
+    #[test]
+    fn exhaustive_covers_whole_space() {
+        let p = problem();
+        let l = Landscape::exhaustive(&p);
+        assert_eq!(l.samples.len(), 100);
+        assert_eq!(l.valid_count(), 90); // x == 3 column restricted
+        assert!(l.exhaustive);
+    }
+
+    #[test]
+    fn best_and_median_are_correct() {
+        let p = problem();
+        let l = Landscape::exhaustive(&p);
+        let best = l.best().unwrap();
+        assert_eq!(best.time_ms, Some(1.0));
+        // times are 1 + x + y over the 90 valid cells
+        let med = l.median_time().unwrap();
+        assert!(med > 1.0 && med < 19.0);
+    }
+
+    #[test]
+    fn sampled_draws_distinct_indices() {
+        let p = problem();
+        let l = Landscape::sampled(&p, 40, 7);
+        assert_eq!(l.samples.len(), 40);
+        let mut idx: Vec<u64> = l.samples.iter().map(|s| s.index).collect();
+        let before = idx.len();
+        idx.dedup();
+        assert_eq!(idx.len(), before);
+        assert!(!l.exhaustive);
+    }
+
+    #[test]
+    fn time_of_looks_up_by_index() {
+        let p = problem();
+        let l = Landscape::exhaustive(&p);
+        assert_eq!(l.time_of(0), Some(1.0));
+        assert_eq!(l.time_of(35), None); // x == 3 restricted
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = problem();
+        let a = Landscape::sampled(&p, 30, 9);
+        let b = Landscape::sampled(&p, 30, 9);
+        assert_eq!(a.samples, b.samples);
+    }
+}

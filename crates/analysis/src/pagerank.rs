@@ -1,0 +1,160 @@
+//! PageRank over fitness flow graphs.
+//!
+//! The proportion-of-centrality metric weighs local minima by their
+//! PageRank in the FFG: the stationary mass of a damped random walk along
+//! improving edges, which approximates how often a randomized
+//! first-improvement local search arrives at each minimum.
+
+use rayon::prelude::*;
+
+use crate::ffg::FitnessFlowGraph;
+
+/// PageRank settings.
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankParams {
+    /// Damping factor (probability of following an edge vs. teleporting).
+    pub damping: f64,
+    /// Convergence threshold on the L1 change per iteration.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for PageRankParams {
+    fn default() -> Self {
+        PageRankParams {
+            damping: 0.85,
+            tolerance: 1e-10,
+            max_iters: 200,
+        }
+    }
+}
+
+/// Compute PageRank of every node. The returned vector sums to 1.
+///
+/// Dangling nodes (local minima) redistribute their mass uniformly, the
+/// standard convention — a restarted local search starts anywhere.
+pub fn pagerank(g: &FitnessFlowGraph, params: &PageRankParams) -> Vec<f64> {
+    let n = g.len();
+    assert!(n > 0, "empty graph");
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+
+    // Precompute in-edges as (source, out_degree) per target for cache-
+    // friendly pulls: transpose the CSR.
+    let mut in_offsets = vec![0u32; n + 1];
+    for u in 0..n {
+        for &v in g.out_edges(u) {
+            in_offsets[v as usize + 1] += 1;
+        }
+    }
+    for i in 0..n {
+        in_offsets[i + 1] += in_offsets[i];
+    }
+    let mut in_edges = vec![0u32; in_offsets[n] as usize];
+    let mut cursor = in_offsets.clone();
+    for u in 0..n {
+        for &v in g.out_edges(u) {
+            in_edges[cursor[v as usize] as usize] = u as u32;
+            cursor[v as usize] += 1;
+        }
+    }
+    let out_deg: Vec<f64> = (0..n).map(|u| g.out_degree(u) as f64).collect();
+
+    for _ in 0..params.max_iters {
+        let dangling_mass: f64 = (0..n)
+            .filter(|&u| out_deg[u] == 0.0)
+            .map(|u| rank[u])
+            .sum();
+        let base = (1.0 - params.damping) * uniform
+            + params.damping * dangling_mass * uniform;
+        next.par_iter_mut().enumerate().for_each(|(v, slot)| {
+            let from = in_offsets[v] as usize;
+            let to = in_offsets[v + 1] as usize;
+            let pulled: f64 = in_edges[from..to]
+                .iter()
+                .map(|&u| rank[u as usize] / out_deg[u as usize])
+                .sum();
+            *slot = base + params.damping * pulled;
+        });
+        let delta: f64 = rank
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < params.tolerance {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::landscape::{Landscape, Sample};
+    use bat_space::{ConfigSpace, Neighborhood, Param};
+
+    fn graph_from(times: &[f64]) -> FitnessFlowGraph {
+        let space = ConfigSpace::builder()
+            .param(Param::new("x", (0..times.len() as i64).collect::<Vec<_>>()))
+            .build()
+            .unwrap();
+        let l = Landscape {
+            problem: "t".into(),
+            platform: "p".into(),
+            exhaustive: true,
+            samples: times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| Sample {
+                    index: i as u64,
+                    time_ms: Some(t),
+                })
+                .collect(),
+        };
+        FitnessFlowGraph::build(&space, &l, Neighborhood::Adjacent)
+    }
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let g = graph_from(&[5.0, 4.0, 3.0, 2.0, 1.0, 2.5, 3.5]);
+        let pr = pagerank(&g, &PageRankParams::default());
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-8, "sum {sum}");
+        assert!(pr.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn sink_of_a_funnel_gets_the_most_mass() {
+        let g = graph_from(&[7.0, 6.0, 5.0, 1.0, 5.5, 6.5, 7.5]);
+        let pr = pagerank(&g, &PageRankParams::default());
+        let max_node = pr
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_node, 3, "funnel sink must dominate: {pr:?}");
+    }
+
+    #[test]
+    fn deeper_basin_attracts_more_than_shallow() {
+        // Minima at 1 (deep basin: 4 feeders) and 7 (shallow: 1 feeder).
+        let g = graph_from(&[9.0, 1.0, 4.0, 5.0, 6.0, 9.5, 8.0, 2.0]);
+        let pr = pagerank(&g, &PageRankParams::default());
+        assert!(pr[1] > pr[7], "{pr:?}");
+    }
+
+    #[test]
+    fn uniform_times_have_uniform_rank() {
+        // No improving edges at all: every node dangling, rank uniform.
+        let g = graph_from(&[3.0, 3.0, 3.0, 3.0]);
+        let pr = pagerank(&g, &PageRankParams::default());
+        for r in &pr {
+            assert!((r - 0.25).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Fig. 5: performance portability of optimal configurations.
+//!
+//! Take the optimal configuration found for architecture *A* (row) and run
+//! it on architecture *B* (column); report its runtime relative to *B*'s
+//! own optimum. The paper reads the matrix row-wise: "the optimal
+//! configuration for the GPU labeled in each row, transferred to the GPUs
+//! labeled on the columns" — with values from 58.5% (poor transfer) to
+//! 99.9% (same-family transfer).
+
+use bat_core::TuningProblem;
+
+use crate::landscape::Landscape;
+
+/// A portability matrix over a set of platforms.
+#[derive(Debug, Clone)]
+pub struct PortabilityMatrix {
+    /// Platform labels, row/column order.
+    pub platforms: Vec<String>,
+    /// `value[row][col]` = performance of row-optimal config on col, as a
+    /// fraction of col's optimum (1.0 = perfectly portable). `None` when
+    /// the configuration cannot run on the column architecture.
+    pub values: Vec<Vec<Option<f64>>>,
+}
+
+impl PortabilityMatrix {
+    /// Smallest off-diagonal portability (the paper's 58.5% style figure).
+    pub fn worst_transfer(&self) -> Option<f64> {
+        let mut worst: Option<f64> = None;
+        for (r, row) in self.values.iter().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                if r != c {
+                    if let Some(x) = v {
+                        worst = Some(worst.map_or(*x, |w: f64| w.min(*x)));
+                    }
+                }
+            }
+        }
+        worst
+    }
+
+    /// Largest off-diagonal portability.
+    pub fn best_transfer(&self) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for (r, row) in self.values.iter().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                if r != c {
+                    if let Some(x) = v {
+                        best = Some(best.map_or(*x, |w: f64| w.max(*x)));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Compute the portability matrix for one benchmark.
+///
+/// `problems[i]` is the benchmark bound to platform `i`; `landscapes[i]`
+/// the matching landscape (exhaustive or sampled) used to find platform
+/// `i`'s optimal configuration.
+pub fn portability_matrix(
+    problems: &[&dyn TuningProblem],
+    landscapes: &[Landscape],
+) -> PortabilityMatrix {
+    assert_eq!(problems.len(), landscapes.len());
+    let n = problems.len();
+    let platforms: Vec<String> = problems.iter().map(|p| p.platform().to_string()).collect();
+
+    // Optimal configuration per platform.
+    let best_cfgs: Vec<Vec<i64>> = landscapes
+        .iter()
+        .zip(problems)
+        .map(|(l, p)| {
+            let best = l.best().expect("landscape has a valid optimum");
+            p.space().config_at(best.index)
+        })
+        .collect();
+    let best_times: Vec<f64> = landscapes
+        .iter()
+        .map(|l| l.best().expect("valid optimum").time_ms.expect("valid"))
+        .collect();
+
+    let values: Vec<Vec<Option<f64>>> = (0..n)
+        .map(|row| {
+            (0..n)
+                .map(|col| {
+                    let t = problems[col].evaluate_pure(&best_cfgs[row]).ok()?;
+                    Some(best_times[col] / t)
+                })
+                .collect()
+        })
+        .collect();
+
+    PortabilityMatrix { platforms, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_core::SyntheticProblem;
+    use bat_space::{ConfigSpace, Param};
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::builder()
+            .param(Param::int_range("x", 0, 9))
+            .build()
+            .unwrap()
+    }
+
+    type Synth =
+        SyntheticProblem<Box<dyn Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync>>;
+
+    fn platform_problem(name: &str, optimum: i64) -> Synth {
+        SyntheticProblem::new(
+            "bench",
+            name,
+            space(),
+            Box::new(move |c: &[i64]| Ok(1.0 + (c[0] - optimum).unsigned_abs() as f64)),
+        )
+    }
+
+    #[test]
+    fn identical_platforms_are_fully_portable() {
+        let a = platform_problem("A", 4);
+        let b = platform_problem("B", 4);
+        let la = Landscape::exhaustive(&a);
+        let lb = Landscape::exhaustive(&b);
+        let m = portability_matrix(&[&a, &b], &[la, lb]);
+        for row in &m.values {
+            for v in row {
+                assert!((v.unwrap() - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn shifted_optima_reduce_transfer() {
+        let a = platform_problem("A", 1);
+        let b = platform_problem("B", 8);
+        let la = Landscape::exhaustive(&a);
+        let lb = Landscape::exhaustive(&b);
+        let m = portability_matrix(&[&a, &b], &[la, lb]);
+        // Diagonal is 1.0.
+        assert!((m.values[0][0].unwrap() - 1.0).abs() < 1e-12);
+        assert!((m.values[1][1].unwrap() - 1.0).abs() < 1e-12);
+        // A's optimum (x=1) on B: time 1+7=8, B's optimum 1 -> 0.125.
+        assert!((m.values[0][1].unwrap() - 1.0 / 8.0).abs() < 1e-12);
+        assert_eq!(m.worst_transfer(), m.best_transfer()); // symmetric here
+    }
+
+    #[test]
+    fn launch_failures_show_as_none() {
+        let a = platform_problem("A", 9);
+        let b = SyntheticProblem::new(
+            "bench",
+            "B",
+            space(),
+            Box::new(|c: &[i64]| {
+                if c[0] > 5 {
+                    Err(bat_core::EvalFailure::Launch("too big".into()))
+                } else {
+                    Ok(1.0 + c[0] as f64)
+                }
+            }) as Box<dyn Fn(&[i64]) -> _ + Send + Sync>,
+        );
+        let la = Landscape::exhaustive(&a);
+        let lb = Landscape::exhaustive(&b);
+        let m = portability_matrix(&[&a, &b], &[la, lb]);
+        // A's optimum x=9 cannot launch on B.
+        assert_eq!(m.values[0][1], None);
+        // B's optimum x=0 runs on A.
+        assert!(m.values[1][0].is_some());
+    }
+}

@@ -1,0 +1,60 @@
+//! Fig. 4: max speedup of the optimal configuration over the median
+//! configuration.
+
+use crate::landscape::Landscape;
+
+/// Speedup of the best configuration over the median configuration of a
+/// landscape (`median_time / best_time`), the quantity plotted in Fig. 4.
+pub fn max_speedup_over_median(l: &Landscape) -> Option<f64> {
+    let best = l.best()?.time_ms?;
+    let median = l.median_time()?;
+    Some(median / best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::landscape::Sample;
+
+    fn landscape(times: &[Option<f64>]) -> Landscape {
+        Landscape {
+            problem: "t".into(),
+            platform: "p".into(),
+            exhaustive: true,
+            samples: times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| Sample {
+                    index: i as u64,
+                    time_ms: t,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn computes_median_over_best() {
+        let l = landscape(&[Some(10.0), Some(10.0), Some(10.0), Some(2.0), Some(10.0)]);
+        // median 10, best 2 -> 5x
+        assert!((max_speedup_over_median(&l).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failures_are_ignored() {
+        let l = landscape(&[None, Some(8.0), None, Some(4.0), Some(8.0)]);
+        // valid times [8,4,8]: median 8, best 4 -> 2x
+        assert!((max_speedup_over_median(&l).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_landscape_is_none() {
+        let l = landscape(&[None, None]);
+        assert!(max_speedup_over_median(&l).is_none());
+    }
+
+    #[test]
+    fn uniform_landscape_is_one() {
+        let l = landscape(&[Some(3.0); 9]);
+        assert!((max_speedup_over_median(&l).unwrap() - 1.0).abs() < 1e-12);
+    }
+}

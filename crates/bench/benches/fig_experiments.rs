@@ -1,0 +1,145 @@
+//! One Criterion group per figure of the paper's evaluation section.
+//!
+//! Each group regenerates the figure's data series from scratch (landscape
+//! collection is hoisted where the figure's own computation is the subject).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bat_analysis::{
+    default_gbdt_params, default_proportions, feature_importance, max_speedup_over_median,
+    portability_matrix, proportion_of_centrality, random_search_convergence, FitnessFlowGraph,
+    Landscape, PageRankParams, PerformanceDistribution,
+};
+use bat_bench::{landscape, problem, times_of};
+use bat_core::TuningProblem;
+use bat_gpusim::GpuArch;
+use bat_space::Neighborhood;
+
+/// Fig. 1: performance distributions centred on the median configuration.
+fn fig1_distributions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_distributions");
+    g.sample_size(10);
+    for name in ["pnpoly", "nbody", "hotspot"] {
+        let l = landscape(name, GpuArch::rtx_3090(), 2_000);
+        let times = l.times();
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(PerformanceDistribution::from_times(&times, 20)))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 2: median-of-100 random-search convergence curves.
+fn fig2_convergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_convergence");
+    g.sample_size(10);
+    for name in ["gemm", "expdist"] {
+        let l = landscape(name, GpuArch::rtx_titan(), 2_000);
+        let times = times_of(&l);
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(random_search_convergence(&times, 1_000, 100, 7)))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 3: FFG construction + PageRank + proportion of centrality.
+fn fig3_centrality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_centrality");
+    g.sample_size(10);
+    for name in ["pnpoly", "gemm"] {
+        let p = problem(name, GpuArch::rtx_2080_ti());
+        let l = Landscape::exhaustive(&p);
+        g.bench_function(format!("{name}_ffg_build"), |b| {
+            b.iter(|| {
+                black_box(FitnessFlowGraph::build(
+                    p.space(),
+                    &l,
+                    Neighborhood::HammingAny,
+                ))
+            })
+        });
+        let ffg = FitnessFlowGraph::build(p.space(), &l, Neighborhood::HammingAny);
+        let props = default_proportions();
+        g.bench_function(format!("{name}_pagerank_centrality"), |b| {
+            b.iter(|| {
+                black_box(proportion_of_centrality(
+                    &ffg,
+                    &props,
+                    &PageRankParams::default(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 4: max speedup over the median configuration, full protocol
+/// (landscape collection + statistic) per benchmark.
+fn fig4_speedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_speedup_full_protocol");
+    g.sample_size(10);
+    for name in ["nbody", "hotspot"] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let l = landscape(name, GpuArch::rtx_3060(), 1_000);
+                black_box(max_speedup_over_median(&l))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 5: portability matrices across the four-GPU testbed.
+fn fig5_portability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_portability");
+    g.sample_size(10);
+    let problems: Vec<_> = GpuArch::paper_testbed()
+        .into_iter()
+        .map(|a| problem("nbody", a))
+        .collect();
+    let landscapes: Vec<_> = problems
+        .iter()
+        .map(|p| Landscape::exhaustive(p))
+        .collect();
+    g.bench_function("nbody_4x4_matrix", |b| {
+        b.iter(|| {
+            let refs: Vec<&dyn TuningProblem> =
+                problems.iter().map(|p| p as &dyn TuningProblem).collect();
+            black_box(portability_matrix(&refs, &landscapes))
+        })
+    });
+    g.finish();
+}
+
+/// Fig. 6: GBDT training + permutation feature importance.
+fn fig6_pfi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_pfi");
+    g.sample_size(10);
+    let p = problem("nbody", GpuArch::rtx_3090());
+    let l = Landscape::exhaustive(&p);
+    g.bench_function("nbody_gbdt_plus_pfi", |b| {
+        b.iter(|| {
+            black_box(feature_importance(
+                p.space(),
+                &l,
+                &default_gbdt_params(),
+                2,
+                0,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig1_distributions,
+    fig2_convergence,
+    fig3_centrality,
+    fig4_speedup,
+    fig5_portability,
+    fig6_pfi
+);
+criterion_main!(benches);

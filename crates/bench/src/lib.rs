@@ -1,0 +1,50 @@
+//! Shared fixtures for the BAT-rs benchmark harness.
+//!
+//! The `benches/` targets of this crate regenerate the paper's evaluation:
+//!
+//! * `table_spaces` — Tables I–VII construction and Table VIII counting,
+//! * `fig_experiments` — one group per figure (1, 2, 3, 4, 5, 6),
+//! * `substrate` — micro-benchmarks of the simulator and space machinery,
+//! * `ablations` — the design-choice ablations called out in DESIGN.md.
+
+use bat_analysis::{sampled_valid, Landscape};
+use bat_core::TuningProblem;
+use bat_gpusim::GpuArch;
+use bat_kernels::GpuBenchmark;
+
+/// The benchmarks the paper searches exhaustively.
+pub const EXHAUSTIVE: [&str; 4] = ["pnpoly", "nbody", "gemm", "convolution"];
+
+/// Bind `bench` to `arch` (panics on bad name; bench fixtures only).
+pub fn problem(bench: &str, arch: GpuArch) -> GpuBenchmark {
+    bat_kernels::benchmark(bench, arch).expect("benchmark exists")
+}
+
+/// A paper-protocol landscape with a bench-friendly sample budget.
+pub fn landscape(bench: &str, arch: GpuArch, samples: usize) -> Landscape {
+    let p = problem(bench, arch);
+    if EXHAUSTIVE.contains(&bench) {
+        Landscape::exhaustive(&p)
+    } else {
+        sampled_valid(&p, samples, 0, samples * 10_000).expect("sampling succeeds")
+    }
+}
+
+/// Times (with failures) of a landscape, for convergence simulation.
+pub fn times_of(l: &Landscape) -> Vec<Option<f64>> {
+    l.samples.iter().map(|s| s.time_ms).collect()
+}
+
+/// A mid-space valid configuration of a benchmark.
+pub fn some_valid_config(bench: &str) -> Vec<i64> {
+    let p = problem(bench, GpuArch::rtx_3090());
+    let space = p.space();
+    let mut scratch = vec![0i64; space.num_params()];
+    for idx in space.cardinality() / 2..space.cardinality() {
+        space.decode_into(idx, &mut scratch);
+        if space.is_valid(&scratch) {
+            return scratch;
+        }
+    }
+    panic!("no valid config found for {bench}");
+}

@@ -1,0 +1,802 @@
+//! Subcommand implementations: one function per paper table/figure plus
+//! tuning utilities.
+
+use bat_analysis::{
+    default_gbdt_params, default_proportions, feature_importance, important_on_any,
+    max_speedup_over_median, portability_matrix, proportion_of_centrality,
+    random_search_convergence, reduce_space, FitnessFlowGraph, Landscape,
+    PerformanceDistribution, PageRankParams,
+};
+use bat_core::{Evaluator, Protocol, TuningProblem};
+use bat_space::Neighborhood;
+use bat_tuners::default_tuners;
+
+use crate::ctx::{
+    bench_on, f, paper_landscape, pct, print_table, selected_archs, selected_benches, Opts,
+    EXHAUSTIVE_BENCHES,
+};
+
+/// `bat list` — benchmarks, spaces, architectures.
+pub fn cmd_list(_opts: &Opts) {
+    println!("BAT-rs benchmark suite (BAT 2.0 reproduction)\n");
+    println!("Benchmarks:");
+    let mut rows = Vec::new();
+    for name in bat_kernels::BENCHMARK_NAMES {
+        let k = bat_kernels::kernel_by_name(name).unwrap();
+        let s = k.build_space();
+        rows.push(vec![
+            name.to_string(),
+            s.num_params().to_string(),
+            s.cardinality().to_string(),
+            s.restrictions().len().to_string(),
+        ]);
+    }
+    print_table(
+        &["benchmark".into(), "params".into(), "cardinality".into(), "restrictions".into()],
+        &rows,
+    );
+    println!("\nSimulated testbed GPUs:");
+    let mut rows = Vec::new();
+    for a in bat_gpusim::GpuArch::paper_testbed() {
+        rows.push(vec![
+            a.name.to_string(),
+            format!("{:?}", a.family),
+            a.sm_count.to_string(),
+            f(a.peak_gflops() / 1000.0, 1),
+            f(a.mem_bandwidth_gbs, 0),
+        ]);
+    }
+    print_table(
+        &["gpu".into(), "family".into(), "SMs".into(), "peak TFLOP/s".into(), "BW GB/s".into()],
+        &rows,
+    );
+    println!("\nTuners:");
+    for t in default_tuners() {
+        println!("  {}", t.name());
+    }
+}
+
+/// `bat tables` — Tables I–VII (the tunable parameter spaces).
+pub fn cmd_tables(opts: &Opts) {
+    for name in selected_benches(opts) {
+        let k = bat_kernels::kernel_by_name(&name).unwrap();
+        let s = k.build_space();
+        println!("\nTable: tunable parameters — {name} kernel");
+        let rows: Vec<Vec<String>> = s
+            .params()
+            .iter()
+            .map(|p| {
+                let vals = if p.values.len() > 12 {
+                    let head: Vec<String> =
+                        p.values[..6].iter().map(|v| v.to_string()).collect();
+                    format!("{{{}, ..., {}}}", head.join(", "), p.values.last().unwrap())
+                } else {
+                    let all: Vec<String> = p.values.iter().map(|v| v.to_string()).collect();
+                    format!("{{{}}}", all.join(", "))
+                };
+                vec![p.name.clone(), vals, p.len().to_string()]
+            })
+            .collect();
+        print_table(&["parameter".into(), "values".into(), "#".into()], &rows);
+        if !s.restrictions().is_empty() {
+            println!("  restrictions:");
+            for r in s.restrictions() {
+                println!("    {}", r.source);
+            }
+        }
+        println!("  cardinality: {}", s.cardinality());
+    }
+}
+
+/// `bat table8` — search-space sizes (cardinality, constrained, valid,
+/// reduced, reduce-constrained).
+pub fn cmd_table8(opts: &Opts) {
+    let samples = opts.get_usize("--samples", 10_000);
+    let seed = opts.get_u64("--seed", 0);
+    let archs = selected_archs(opts);
+    println!("Table VIII: search space sizes of benchmarks in BAT-rs\n");
+    let mut rows = Vec::new();
+    for name in selected_benches(opts) {
+        let k = bat_kernels::kernel_by_name(&name).unwrap();
+        let space = k.build_space();
+        let cardinality = space.cardinality();
+        let constrained = space.count_valid_factored();
+
+        // Valid: architecture-dependent launch success, known exactly only
+        // for the exhaustively-searched benchmarks.
+        let valid = if EXHAUSTIVE_BENCHES.contains(&name.as_str()) {
+            let mut lo = u64::MAX;
+            let mut hi = 0u64;
+            for arch in &archs {
+                let b = bench_on(&name, arch);
+                let l = Landscape::exhaustive(&b);
+                let v = l.valid_count() as u64;
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if lo == hi {
+                lo.to_string()
+            } else {
+                format!("{lo} - {hi}")
+            }
+        } else {
+            "N/A".to_string()
+        };
+
+        // Reduced: keep parameters with PFI >= 0.05 on any architecture.
+        let mut per_arch = Vec::new();
+        let mut best_cfg: Option<Vec<i64>> = None;
+        let mut best_time = f64::INFINITY;
+        for arch in &archs {
+            let b = bench_on(&name, arch);
+            let l = paper_landscape(&b, samples, seed);
+            if let Some(fi) = feature_importance(
+                b.space(),
+                &l,
+                &default_gbdt_params(),
+                2,
+                seed,
+            ) {
+                per_arch.push((fi.pfi.feature_names.clone(), fi.pfi.importances.clone()));
+            }
+            if let Some(best) = l.best() {
+                let t = best.time_ms.unwrap();
+                if t < best_time {
+                    best_time = t;
+                    best_cfg = Some(b.space().config_at(best.index));
+                }
+            }
+        }
+        let important = important_on_any(&per_arch, 0.05);
+        let (reduced, reduce_constrained) = match best_cfg {
+            Some(cfg) => {
+                let r = reduce_space(&space, &important, &cfg).expect("reduce");
+                (
+                    r.reduced_cardinality.to_string(),
+                    r.reduced_constrained.to_string(),
+                )
+            }
+            None => ("N/A".into(), "N/A".into()),
+        };
+
+        rows.push(vec![
+            name.clone(),
+            cardinality.to_string(),
+            constrained.to_string(),
+            valid,
+            reduced,
+            reduce_constrained,
+        ]);
+    }
+    print_table(
+        &[
+            "benchmark".into(),
+            "cardinality".into(),
+            "constrained".into(),
+            "valid".into(),
+            "reduced".into(),
+            "reduce-constrained".into(),
+        ],
+        &rows,
+    );
+}
+
+/// `bat fig1` — performance distributions centred on the median config.
+pub fn cmd_fig1(opts: &Opts) {
+    let samples = opts.get_usize("--samples", 10_000);
+    let seed = opts.get_u64("--seed", 0);
+    let bins = opts.get_usize("--bins", 20);
+    for name in selected_benches(opts) {
+        println!("\nFig 1 ({name}): distribution of configuration performance (relative to median)");
+        let mut rows = Vec::new();
+        for arch in selected_archs(opts) {
+            let b = bench_on(&name, &arch);
+            let l = paper_landscape(&b, samples, seed);
+            let times = l.times();
+            let Some(d) = PerformanceDistribution::from_times(&times, bins) else {
+                rows.push(vec![arch.name.to_string(), "no valid configs".into()]);
+                continue;
+            };
+            rows.push(vec![
+                arch.name.to_string(),
+                f(d.worst_rel, 3),
+                f(d.best_rel, 3),
+                f(d.central_mass * 100.0, 1),
+                f(d.fast_cluster_mass * 100.0, 2),
+                sparkline(&d.counts),
+            ]);
+        }
+        print_table(
+            &[
+                "gpu".into(),
+                "worst rel".into(),
+                "best rel".into(),
+                "±10% of median %".into(),
+                "fast-cluster %".into(),
+                "density (worst→best)".into(),
+            ],
+            &rows,
+        );
+    }
+}
+
+/// `bat fig2` — random-search convergence curves.
+pub fn cmd_fig2(opts: &Opts) {
+    let samples = opts.get_usize("--samples", 10_000);
+    let seed = opts.get_u64("--seed", 0);
+    let reps = opts.get_usize("--reps", 100);
+    let max_evals = opts.get_usize("--max-evals", 1000);
+    for name in selected_benches(opts) {
+        println!("\nFig 2 ({name}): median best-so-far relative performance vs evaluations");
+        let mut rows = Vec::new();
+        for arch in selected_archs(opts) {
+            let b = bench_on(&name, &arch);
+            let l = paper_landscape(&b, samples, seed);
+            let times: Vec<Option<f64>> = l.samples.iter().map(|s| s.time_ms).collect();
+            let c = random_search_convergence(&times, max_evals, reps, seed);
+            let probe = |n: usize| -> String {
+                c.evals
+                    .iter()
+                    .position(|&e| e >= n)
+                    .map(|i| f(c.median_rel_perf[i], 3))
+                    .unwrap_or_else(|| "-".into())
+            };
+            rows.push(vec![
+                arch.name.to_string(),
+                probe(10),
+                probe(100),
+                probe(max_evals),
+                c.evals_to_reach(0.9)
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| format!(">{max_evals}")),
+            ]);
+        }
+        print_table(
+            &[
+                "gpu".into(),
+                "rel perf @10".into(),
+                "@100".into(),
+                format!("@{max_evals}"),
+                "evals to 90%".into(),
+            ],
+            &rows,
+        );
+    }
+}
+
+/// `bat fig3` — proportion of centrality (exhaustive benchmarks).
+pub fn cmd_fig3(opts: &Opts) {
+    let seed = opts.get_u64("--seed", 0);
+    let benches = match opts.get("--bench") {
+        Some(_) => selected_benches(opts),
+        // The paper computes the metric only where exhaustion was feasible.
+        None => vec!["gemm".into(), "convolution".into(), "pnpoly".into()],
+    };
+    let proportions = default_proportions();
+    for name in benches {
+        println!("\nFig 3 ({name}): proportion of centrality (p = 0.00 .. 0.50)");
+        let mut rows = Vec::new();
+        for arch in selected_archs(opts) {
+            let b = bench_on(&name, &arch);
+            let l = paper_landscape(&b, opts.get_usize("--samples", 10_000), seed);
+            let g = FitnessFlowGraph::build(b.space(), &l, Neighborhood::HammingAny);
+            if g.is_empty() {
+                rows.push(vec![arch.name.to_string(), "empty FFG".into()]);
+                continue;
+            }
+            let c = proportion_of_centrality(&g, &proportions, &PageRankParams::default());
+            let mut row = vec![arch.name.to_string(), c.n_minima.to_string()];
+            for v in &c.proportion_of_centrality {
+                row.push(f(*v, 3));
+            }
+            rows.push(row);
+        }
+        let mut header = vec!["gpu".to_string(), "minima".to_string()];
+        for p in &proportions {
+            header.push(format!("p={p:.2}"));
+        }
+        print_table(&header, &rows);
+    }
+}
+
+/// `bat fig4` — max speedup over the median configuration.
+pub fn cmd_fig4(opts: &Opts) {
+    let samples = opts.get_usize("--samples", 10_000);
+    let seed = opts.get_u64("--seed", 0);
+    println!("Fig 4: max speedup of optimum over median configuration\n");
+    let archs = selected_archs(opts);
+    let mut rows = Vec::new();
+    for name in selected_benches(opts) {
+        let mut row = vec![name.clone()];
+        for arch in &archs {
+            let b = bench_on(&name, arch);
+            let l = paper_landscape(&b, samples, seed);
+            row.push(
+                max_speedup_over_median(&l)
+                    .map(|s| format!("{s:.2}x"))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(archs.iter().map(|a| a.name.to_string()));
+    print_table(&header, &rows);
+}
+
+/// `bat fig5` — performance portability matrices.
+pub fn cmd_fig5(opts: &Opts) {
+    let samples = opts.get_usize("--samples", 10_000);
+    let seed = opts.get_u64("--seed", 0);
+    let benches = match opts.get("--bench") {
+        Some(_) => selected_benches(opts),
+        None => vec!["convolution".into(), "pnpoly".into(), "nbody".into()],
+    };
+    let archs = selected_archs(opts);
+    for name in benches {
+        println!("\nFig 5 ({name}): portability of optimal configs (row = tuned on, col = run on)");
+        let problems: Vec<_> = archs.iter().map(|a| bench_on(&name, a)).collect();
+        let landscapes: Vec<_> = problems
+            .iter()
+            .map(|b| paper_landscape(b, samples, seed))
+            .collect();
+        let refs: Vec<&dyn TuningProblem> =
+            problems.iter().map(|b| b as &dyn TuningProblem).collect();
+        let m = portability_matrix(&refs, &landscapes);
+        let mut rows = Vec::new();
+        for (r, row_vals) in m.values.iter().enumerate() {
+            let mut row = vec![m.platforms[r].clone()];
+            for v in row_vals {
+                row.push(pct(*v));
+            }
+            rows.push(row);
+        }
+        let mut header = vec!["tuned on \\ run on".to_string()];
+        header.extend(m.platforms.iter().cloned());
+        print_table(&header, &rows);
+        if let (Some(w), Some(b)) = (m.worst_transfer(), m.best_transfer()) {
+            println!(
+                "  worst transfer: {:.1}% of optimal, best transfer: {:.1}%",
+                w * 100.0,
+                b * 100.0
+            );
+        }
+    }
+}
+
+/// `bat fig6` — permutation feature importance per benchmark × GPU.
+pub fn cmd_fig6(opts: &Opts) {
+    let samples = opts.get_usize("--samples", 10_000);
+    let seed = opts.get_u64("--seed", 0);
+    for name in selected_benches(opts) {
+        println!("\nFig 6 ({name}): permutation feature importance (GBDT regressor on log-runtime)");
+        let k = bat_kernels::kernel_by_name(&name).unwrap();
+        let space = k.build_space();
+        let mut header = vec!["gpu".to_string(), "R²".to_string()];
+        header.extend(space.names().iter().cloned());
+        header.push("Σ importance".into());
+        let mut rows = Vec::new();
+        for arch in selected_archs(opts) {
+            let b = bench_on(&name, &arch);
+            let l = paper_landscape(&b, samples, seed);
+            let Some(fi) = feature_importance(b.space(), &l, &default_gbdt_params(), 2, seed)
+            else {
+                rows.push(vec![arch.name.to_string(), "no data".into()]);
+                continue;
+            };
+            let mut row = vec![arch.name.to_string(), f(fi.r2, 4)];
+            for imp in &fi.pfi.importances {
+                row.push(f(*imp, 3));
+            }
+            row.push(f(fi.pfi.total_importance(), 3));
+            rows.push(row);
+        }
+        print_table(&header, &rows);
+    }
+}
+
+/// `bat tune` — run one tuner on one benchmark.
+pub fn cmd_tune(opts: &Opts) {
+    let bench = opts.get("--bench").unwrap_or_else(|| "gemm".into());
+    let archs = selected_archs(opts);
+    let arch = &archs[0];
+    let budget = opts.get_u64("--budget", 500);
+    let seed = opts.get_u64("--seed", 0);
+    let tuner_name = opts.get("--tuner").unwrap_or_else(|| "random-search".into());
+    let tuner = default_tuners()
+        .into_iter()
+        .find(|t| t.name() == tuner_name)
+        .unwrap_or_else(|| panic!("unknown tuner {tuner_name:?}; see `bat list`"));
+
+    let b = bench_on(&bench, arch);
+    let eval = Evaluator::with_protocol(&b, Protocol::default()).with_budget(budget);
+    let run = tuner.tune(&eval, seed);
+    println!(
+        "tuned {bench} on {} with {} ({} evaluations, {} successful)",
+        arch.name,
+        tuner.name(),
+        run.trials.len(),
+        run.successes()
+    );
+    match run.best() {
+        Some(best) => {
+            println!("best runtime: {:.4} ms", best.time_ms().unwrap());
+            println!("best configuration:");
+            for (p, v) in b.space().names().iter().zip(&best.config) {
+                println!("  {p} = {v}");
+            }
+            if opts.has("--source") {
+                println!("\ngenerated kernel source:\n{}", b.spec().source(&best.config));
+            }
+        }
+        None => println!("no valid configuration found within budget"),
+    }
+    if opts.has("--json") {
+        println!("{}", run.to_json());
+    }
+    if opts.has("--t4") {
+        let t4 = bat_core::t4::T4Results::from_run(&run, b.space().names());
+        println!("{}", t4.to_json());
+    }
+}
+
+/// `bat noise` — measurement-noise sensitivity: the noise-free quality of
+/// the configuration each protocol selects, across noise levels.
+pub fn cmd_noise(opts: &Opts) {
+    // Convolution's dense near-optimal plateau makes it the benchmark
+    // where noise actually flips selections; wide-margin benchmarks
+    // (e.g. expdist) are noise-robust.
+    let bench = opts.get("--bench").unwrap_or_else(|| "convolution".into());
+    let archs = selected_archs(opts);
+    let arch = &archs[0];
+    let budget = opts.get_u64("--budget", 150);
+    let repeats = opts.get_u64("--repeats", 15);
+    let seed = opts.get_u64("--seed", 0);
+    let b = bench_on(&bench, arch);
+    let sigmas = [0.0, 0.01, 0.05, 0.10, 0.20, 0.40];
+
+    println!(
+        "Noise sensitivity on {bench} / {} (random search, budget {budget}, {repeats} repeats)\n",
+        arch.name
+    );
+    let mut rows = Vec::new();
+    for runs in [1u32, 5] {
+        let pts = bat_analysis::noise_sensitivity(
+            &b,
+            &bat_tuners::RandomSearch,
+            &sigmas,
+            runs,
+            budget,
+            repeats,
+            seed,
+        );
+        for pt in pts {
+            rows.push(vec![
+                format!("{runs}"),
+                format!("{:.0}%", pt.sigma * 100.0),
+                f(pt.median_selected_ms, 4),
+                format!("{} - {}", f(pt.quartiles.0, 4), f(pt.quartiles.1, 4)),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "runs/config".into(),
+            "noise".into(),
+            "median selected (ms, noise-free)".into(),
+            "IQR".into(),
+        ],
+        &rows,
+    );
+    println!(
+        "\nSelected configurations are re-scored noise-free: rising medians \
+         show the winner's curse; 5 runs/config (the paper-style protocol) \
+         defends against it."
+    );
+}
+
+/// `bat t1` — print a benchmark's specification as a T1 JSON document
+/// (the BAT ecosystem's benchmark-definition format).
+pub fn cmd_t1(opts: &Opts) {
+    let bench = opts.get("--bench").unwrap_or_else(|| "gemm".into());
+    let spec = bat_kernels::kernel_by_name(&bench)
+        .unwrap_or_else(|| panic!("unknown benchmark {bench:?}; see `bat list`"));
+    let doc = bat_kernels::t1::to_t1(spec.as_ref(), "CUDA");
+    println!("{}", doc.to_json());
+}
+
+/// `bat difficulty` — classical landscape-difficulty metrics (FDC,
+/// random-walk autocorrelation, local-minima statistics) complementing
+/// the fig3 centrality metric.
+pub fn cmd_difficulty(opts: &Opts) {
+    // Walk metrics need dense landscapes; default to the paper's four
+    // exhaustively-searched benchmarks (same scoping as fig3's centrality).
+    let benches = match opts.get("--bench") {
+        Some(_) => selected_benches(opts),
+        None => EXHAUSTIVE_BENCHES.iter().map(|s| s.to_string()).collect(),
+    };
+    let archs = selected_archs(opts);
+    let samples = opts.get_usize("--samples", 3_000);
+    let seed = opts.get_u64("--seed", 0);
+
+    println!("Landscape difficulty metrics (Hamming-any walks, {samples} samples for large spaces)\n");
+    let nan_dash = |v: f64, d: usize| -> String {
+        if v.is_nan() {
+            "-".into()
+        } else if v.is_infinite() {
+            "inf".into()
+        } else {
+            f(v, d)
+        }
+    };
+    let mut rows = Vec::new();
+    for bench in &benches {
+        for arch in &archs {
+            let b = bench_on(bench, arch);
+            let l = paper_landscape(&b, samples, seed);
+            let r = bat_analysis::difficulty_default(b.space(), &l, seed);
+            rows.push(vec![
+                format!("{bench}/{}", arch.name),
+                f(r.fdc, 3),
+                nan_dash(r.autocorrelation[0], 3),
+                nan_dash(r.correlation_length, 2),
+                r.n_local_minima.to_string(),
+                f(r.minima_mean_quality, 3),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "benchmark/GPU".into(),
+            "FDC".into(),
+            "rho(1)".into(),
+            "corr len".into(),
+            "minima".into(),
+            "min quality".into(),
+        ],
+        &rows,
+    );
+    println!(
+        "\nFDC > 0: fitness guides toward the optimum. rho(1): lag-1 walk \
+         autocorrelation (higher = smoother). min quality: mean t_opt/t_min \
+         over local minima."
+    );
+}
+
+/// `bat compare` — all tuners on one benchmark at equal budget.
+pub fn cmd_compare(opts: &Opts) {
+    let bench = opts.get("--bench").unwrap_or_else(|| "gemm".into());
+    let archs = selected_archs(opts);
+    let arch = &archs[0];
+    let budget = opts.get_u64("--budget", 300);
+    let seeds = opts.get_u64("--repeats", 5);
+
+    println!(
+        "Tuner comparison on {bench} / {} (budget {budget} evals, {seeds} repeats)\n",
+        arch.name
+    );
+    let b = bench_on(&bench, arch);
+    // Ground truth via exhaustive or heavy random sampling.
+    let l = paper_landscape(&b, opts.get_usize("--samples", 10_000), 0);
+    let t_opt = l.best().map(|s| s.time_ms.unwrap()).unwrap_or(f64::NAN);
+
+    let mut rows = Vec::new();
+    for tuner in default_tuners() {
+        let mut bests = Vec::new();
+        for seed in 0..seeds {
+            let eval = Evaluator::with_protocol(&b, Protocol::default()).with_budget(budget);
+            let run = tuner.tune(&eval, seed);
+            if let Some(best) = run.best() {
+                bests.push(best.time_ms().unwrap());
+            }
+        }
+        if bests.is_empty() {
+            rows.push(vec![tuner.name().to_string(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        }
+        bests.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = bests[bests.len() / 2];
+        let best = bests[0];
+        rows.push(vec![
+            tuner.name().to_string(),
+            f(median, 4),
+            f(best, 4),
+            f(t_opt / median, 3),
+        ]);
+    }
+    rows.sort_by(|a, b| a[1].partial_cmp(&b[1]).unwrap());
+    print_table(
+        &[
+            "tuner".into(),
+            "median best (ms)".into(),
+            "overall best (ms)".into(),
+            "rel perf vs opt".into(),
+        ],
+        &rows,
+    );
+    println!("\n  sampled optimum: {t_opt:.4} ms");
+}
+
+/// `bat source` — print generated CUDA for a configuration.
+pub fn cmd_source(opts: &Opts) {
+    let bench = opts.get("--bench").unwrap_or_else(|| "gemm".into());
+    let k = bat_kernels::kernel_by_name(&bench).unwrap();
+    let space = k.build_space();
+    let config: Vec<i64> = match opts.get("--config") {
+        Some(s) => s
+            .split(',')
+            .map(|v| v.trim().parse().expect("config values must be integers"))
+            .collect(),
+        None => {
+            // Default: first valid configuration.
+            let mut cfg = None;
+            let mut scratch = vec![0i64; space.num_params()];
+            for idx in 0..space.cardinality() {
+                space.decode_into(idx, &mut scratch);
+                if space.is_valid(&scratch) {
+                    cfg = Some(scratch.clone());
+                    break;
+                }
+            }
+            cfg.expect("no valid configuration")
+        }
+    };
+    assert_eq!(config.len(), space.num_params(), "config arity mismatch");
+    println!("{}", k.source(&config));
+}
+
+/// `bat convergence-tuners` — Fig 2-style curves for every tuner (an
+/// extension beyond the paper's random-search-only figure).
+pub fn cmd_convergence_tuners(opts: &Opts) {
+    let bench = opts.get("--bench").unwrap_or_else(|| "gemm".into());
+    let archs = selected_archs(opts);
+    let arch = &archs[0];
+    let budget = opts.get_u64("--budget", 400);
+    let seeds = opts.get_u64("--repeats", 9);
+    let b = bench_on(&bench, arch);
+    let l = paper_landscape(&b, opts.get_usize("--samples", 10_000), 0);
+    let t_opt = l.best().map(|s| s.time_ms.unwrap()).unwrap_or(f64::NAN);
+
+    println!(
+        "Convergence of all tuners on {bench} / {} (median of {seeds} runs)\n",
+        arch.name
+    );
+    let checkpoints = [10usize, 25, 50, 100, 200, 400];
+    let mut rows = Vec::new();
+    for tuner in default_tuners() {
+        let mut curves: Vec<Vec<f64>> = Vec::new();
+        for seed in 0..seeds {
+            let eval = Evaluator::with_protocol(&b, Protocol::default()).with_budget(budget);
+            let run = tuner.tune(&eval, seed);
+            let bsf = run.best_so_far();
+            curves.push(
+                checkpoints
+                    .iter()
+                    .map(|&c| {
+                        bsf.get(c.min(bsf.len()).saturating_sub(1))
+                            .copied()
+                            .flatten()
+                            .map(|t| t_opt / t)
+                            .unwrap_or(0.0)
+                    })
+                    .collect(),
+            );
+        }
+        let mut row = vec![tuner.name().to_string()];
+        for c in 0..checkpoints.len() {
+            let mut col: Vec<f64> = curves.iter().map(|r| r[c]).collect();
+            col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            row.push(f(col[col.len() / 2], 3));
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["tuner".to_string()];
+    header.extend(checkpoints.iter().map(|c| format!("@{c}")));
+    print_table(&header, &rows);
+}
+
+/// `bat ranks` — cross-benchmark tuner ranking (Friedman-style mean
+/// ranks over all selected benchmarks and GPUs).
+pub fn cmd_ranks(opts: &Opts) {
+    let benches = selected_benches(opts);
+    let archs = selected_archs(opts);
+    let budget = opts.get_u64("--budget", 150);
+    let repeats = opts.get_u64("--repeats", 5);
+    let tuners = default_tuners();
+
+    println!(
+        "Cross-benchmark tuner ranking (budget {budget} evals, {repeats} repeats, {} benchmark×GPU cells)\n",
+        benches.len() * archs.len()
+    );
+    let settings = bat_analysis::ComparisonSettings {
+        budget,
+        repeats,
+        ..bat_analysis::ComparisonSettings::default()
+    };
+    let mut comparisons = Vec::new();
+    for bench in &benches {
+        for arch in &archs {
+            let b = bench_on(bench, arch);
+            let c = bat_analysis::compare_tuners(&b, &tuners, &settings, None);
+            println!("— {bench} / {}: winner {}", arch.name, c.winner().map_or("-", |w| &w.tuner));
+            comparisons.push(c);
+        }
+    }
+    println!("\nOverall mean ranks (1 = best):\n");
+    print!("{}", bat_analysis::aggregate_ranks(&comparisons).render_table());
+}
+
+/// `bat online` — KTT-style dynamic autotuning: does tuning during the
+/// application run pay for itself?
+pub fn cmd_online(opts: &Opts) {
+    let bench = opts.get("--bench").unwrap_or_else(|| "convolution".into());
+    let archs = selected_archs(opts);
+    let arch = &archs[0];
+    let invocations = opts.get_usize("--invocations", 5000);
+    let tuning_budget = opts.get_u64("--budget", 200);
+    let seed = opts.get_u64("--seed", 0);
+
+    let b = bench_on(&bench, arch);
+    let l = paper_landscape(&b, opts.get_usize("--samples", 10_000), seed);
+    let t_opt = l.best().map(|s| s.time_ms.unwrap());
+
+    println!(
+        "Dynamic autotuning on {bench} / {} ({invocations} invocations, {tuning_budget} spent tuning)\n",
+        arch.name
+    );
+    let sim = bat_analysis::OnlineSimulation {
+        invocations,
+        policy: bat_analysis::OnlinePolicy::TuneThenExploit { tuning_budget },
+        protocol: Protocol::default(),
+    };
+    let mut rows = Vec::new();
+    let mut static_ms = f64::NAN;
+    for tuner in default_tuners() {
+        let trace = sim.run(&b, tuner.as_ref(), None, t_opt, seed);
+        static_ms = trace.static_ms;
+        rows.push(vec![
+            tuner.name().to_string(),
+            f(trace.total_ms / 1000.0, 2),
+            f(trace.speedup_over_static(), 2),
+            trace
+                .overhead_vs_oracle()
+                .map_or("-".into(), |o| f(o, 3)),
+            trace
+                .break_even()
+                .map_or("never".into(), |b| b.to_string()),
+        ]);
+    }
+    rows.sort_by(|a, b| a[1].parse::<f64>().unwrap().total_cmp(&b[1].parse::<f64>().unwrap()));
+    print_table(
+        &[
+            "tuner".into(),
+            "time-to-solution s".into(),
+            "speedup vs static".into(),
+            "overhead vs oracle".into(),
+            "break-even @".into(),
+        ],
+        &rows,
+    );
+    println!(
+        "\nstatic default: {} s  oracle: {} s",
+        f(static_ms / 1000.0, 2),
+        t_opt.map_or("-".into(), |t| f(t * invocations as f64 / 1000.0, 2)),
+    );
+}
+
+fn sparkline(counts: &[u64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = counts.iter().copied().max().unwrap_or(1).max(1) as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            // Log scale so small-but-present bins stay visible.
+            let v = if c == 0 {
+                0.0
+            } else {
+                ((c as f64).ln() + 1.0) / (max.ln() + 1.0)
+            };
+            LEVELS[((v * 7.0).round() as usize).min(7)]
+        })
+        .collect()
+}

@@ -1,0 +1,139 @@
+//! Shared helpers for the `bat` CLI.
+
+use bat_analysis::{sampled_valid, Landscape};
+use bat_gpusim::GpuArch;
+use bat_kernels::{benchmark, GpuBenchmark, BENCHMARK_NAMES};
+
+/// The benchmarks the paper searches exhaustively (§V).
+pub const EXHAUSTIVE_BENCHES: [&str; 4] = ["pnpoly", "nbody", "gemm", "convolution"];
+
+/// Parse `--key value` style options from an argument list.
+pub struct Opts {
+    args: Vec<String>,
+}
+
+impl Opts {
+    /// Wrap an argument vector.
+    pub fn new(args: &[String]) -> Opts {
+        Opts {
+            args: args.to_vec(),
+        }
+    }
+
+    /// String option, e.g. `--bench gemm`.
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .cloned()
+    }
+
+    /// Integer option with default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("{key} expects a number, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// u64 option with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("{key} expects a number, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// Flag presence, e.g. `--csv`.
+    pub fn has(&self, key: &str) -> bool {
+        self.args.iter().any(|a| a == key)
+    }
+}
+
+/// Benchmarks selected by `--bench` (comma-separated) or all seven.
+pub fn selected_benches(opts: &Opts) -> Vec<String> {
+    match opts.get("--bench") {
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                let s = s.trim().to_ascii_lowercase();
+                assert!(
+                    BENCHMARK_NAMES.contains(&s.as_str()),
+                    "unknown benchmark {s:?}; available: {BENCHMARK_NAMES:?}"
+                );
+                s
+            })
+            .collect(),
+        None => BENCHMARK_NAMES.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// Architectures selected by `--arch` (comma-separated) or the testbed.
+pub fn selected_archs(opts: &Opts) -> Vec<GpuArch> {
+    match opts.get("--arch") {
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                GpuArch::by_name(s.trim())
+                    .unwrap_or_else(|| panic!("unknown GPU {s:?}; available: RTX 2080 Ti, RTX 3060, RTX 3090, RTX Titan"))
+            })
+            .collect(),
+        None => GpuArch::paper_testbed(),
+    }
+}
+
+/// Bind a benchmark to an architecture (panics on unknown name).
+pub fn bench_on(name: &str, arch: &GpuArch) -> GpuBenchmark {
+    benchmark(name, arch.clone()).unwrap_or_else(|| panic!("unknown benchmark {name:?}"))
+}
+
+/// Collect the paper-protocol landscape: exhaustive for the four small
+/// benchmarks, `samples` distinct valid configurations otherwise.
+pub fn paper_landscape(bench: &GpuBenchmark, samples: usize, seed: u64) -> Landscape {
+    if EXHAUSTIVE_BENCHES.contains(&bat_core::TuningProblem::name(bench)) {
+        Landscape::exhaustive(bench)
+    } else {
+        sampled_valid(bench, samples, seed, samples.saturating_mul(10_000))
+            .expect("valid-space sampling failed; space too constrained")
+    }
+}
+
+/// Print an aligned text table: `header` then `rows`.
+pub fn print_table(header: &[String], rows: &[Vec<String>]) {
+    let cols = header.len();
+    let mut width = vec![0usize; cols];
+    for (i, h) in header.iter().enumerate() {
+        width[i] = h.len();
+    }
+    for r in rows {
+        for (i, cell) in r.iter().enumerate() {
+            width[i] = width[i].max(cell.len());
+        }
+    }
+    let line = |r: &[String]| {
+        let cells: Vec<String> = r
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<w$}", w = width[i]))
+            .collect();
+        println!("  {}", cells.join("  "));
+    };
+    line(header);
+    let total: usize = width.iter().sum::<usize>() + 2 * cols;
+    println!("  {}", "-".repeat(total));
+    for r in rows {
+        line(r);
+    }
+}
+
+/// Format a float with `d` decimals.
+pub fn f(x: f64, d: usize) -> String {
+    format!("{x:.d$}")
+}
+
+/// Format an optional percentage.
+pub fn pct(x: Option<f64>) -> String {
+    match x {
+        Some(v) => format!("{:.1}%", v * 100.0),
+        None => "fail".to_string(),
+    }
+}

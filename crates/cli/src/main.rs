@@ -1,0 +1,84 @@
+//! `bat` — the BAT-rs command-line interface.
+//!
+//! Regenerates every table and figure of the BAT 2.0 paper on the simulated
+//! GPU testbed, and runs/compares tuners on the benchmark suite.
+
+mod commands;
+mod ctx;
+
+use ctx::Opts;
+
+const HELP: &str = "\
+bat — BAT-rs: a benchmarking suite for kernel tuners (BAT 2.0 reproduction)
+
+USAGE:
+    bat <command> [options]
+
+EXPERIMENT COMMANDS (one per paper table/figure):
+    tables       Tables I-VII: tunable parameter spaces
+    table8       Table VIII: search-space sizes (cardinality/constrained/valid/reduced)
+    fig1         performance distributions centred on the median configuration
+    fig2         random-search convergence curves
+    fig3         proportion-of-centrality search difficulty (FFG + PageRank)
+    fig4         max speedup of optimum over median
+    fig5         performance-portability matrices
+    fig6         permutation feature importance (+ regressor R²)
+
+SUITE COMMANDS:
+    list                 benchmarks, GPUs and tuners
+    tune                 run one tuner  (--bench, --tuner, --budget, --seed, --json, --t4, --source)
+    compare              compare all tuners at equal budget (--bench, --budget, --repeats)
+    ranks                cross-benchmark tuner ranking, Friedman-style (--budget, --repeats)
+    online               KTT-style dynamic autotuning time-to-solution (--bench, --invocations)
+    difficulty           FDC / walk-autocorrelation / minima statistics (--bench, --samples)
+    noise                measurement-noise sensitivity of selection quality (--bench, --budget)
+    convergence-tuners   best-so-far curves for every tuner (--bench, --budget)
+    source               print generated CUDA for a configuration (--bench, --config v1,v2,...)
+    t1                   print a benchmark's T1 specification document (--bench)
+
+COMMON OPTIONS:
+    --bench a,b,...      restrict to benchmarks (default: all seven)
+    --arch a,b,...       restrict to GPUs (default: RTX 2080 Ti, RTX 3060, RTX 3090, RTX Titan)
+    --samples N          sample count for the non-exhaustive benchmarks (default 10000)
+    --seed N             RNG seed (default 0)
+
+EXAMPLES:
+    bat table8 --samples 3000
+    bat fig5 --bench pnpoly
+    bat tune --bench hotspot --arch rtx3090 --tuner greedy-ils --budget 500
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        print!("{HELP}");
+        std::process::exit(2);
+    };
+    let opts = Opts::new(&args[1..]);
+    match cmd {
+        "list" => commands::cmd_list(&opts),
+        "tables" => commands::cmd_tables(&opts),
+        "table8" => commands::cmd_table8(&opts),
+        "fig1" => commands::cmd_fig1(&opts),
+        "fig2" => commands::cmd_fig2(&opts),
+        "fig3" => commands::cmd_fig3(&opts),
+        "fig4" => commands::cmd_fig4(&opts),
+        "fig5" => commands::cmd_fig5(&opts),
+        "fig6" => commands::cmd_fig6(&opts),
+        "tune" => commands::cmd_tune(&opts),
+        "compare" => commands::cmd_compare(&opts),
+        "ranks" => commands::cmd_ranks(&opts),
+        "online" => commands::cmd_online(&opts),
+        "difficulty" => commands::cmd_difficulty(&opts),
+        "noise" => commands::cmd_noise(&opts),
+        "t1" => commands::cmd_t1(&opts),
+        "convergence-tuners" => commands::cmd_convergence_tuners(&opts),
+        "source" => commands::cmd_source(&opts),
+        "help" | "--help" | "-h" => print!("{HELP}"),
+        other => {
+            eprintln!("unknown command {other:?}\n");
+            print!("{HELP}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! The measurement harness shared by all tuners.
+//!
+//! [`Evaluator`] wraps a [`TuningProblem`] with the suite's measurement
+//! protocol: every configuration is "run" `runs` times with deterministic
+//! multiplicative noise, aggregated by median, memoized, and counted against
+//! an evaluation budget. Because all tuners evaluate through this one type,
+//! comparisons between optimization algorithms are apples-to-apples — the
+//! paper's core motivation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use bat_gpusim::{noise_key, noisy_time_ms};
+
+use crate::measurement::{EvalFailure, Measurement};
+use crate::problem::TuningProblem;
+
+/// Measurement-protocol settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Protocol {
+    /// Runs per configuration (the paper-style protocol uses several runs
+    /// and a robust aggregate).
+    pub runs: u32,
+    /// Relative run-to-run noise (σ of the multiplicative factor).
+    pub sigma: f64,
+    /// Seed folded into the deterministic noise.
+    pub seed: u64,
+}
+
+impl Default for Protocol {
+    fn default() -> Self {
+        Protocol {
+            runs: 5,
+            sigma: 0.01,
+            seed: 0,
+        }
+    }
+}
+
+impl Protocol {
+    /// A protocol with zero noise and a single run (pure model output).
+    pub fn noiseless() -> Self {
+        Protocol {
+            runs: 1,
+            sigma: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// The evaluation harness: memoization + noise + budget accounting.
+pub struct Evaluator<'p> {
+    problem: &'p dyn TuningProblem,
+    protocol: Protocol,
+    cache_enabled: bool,
+    cache: Mutex<HashMap<u64, Result<Measurement, EvalFailure>>>,
+    evals: AtomicU64,
+    distinct: AtomicU64,
+    budget: Option<u64>,
+}
+
+impl<'p> Evaluator<'p> {
+    /// Wrap `problem` with the default protocol and no budget.
+    pub fn new(problem: &'p dyn TuningProblem) -> Self {
+        Self::with_protocol(problem, Protocol::default())
+    }
+
+    /// Wrap `problem` with an explicit protocol.
+    pub fn with_protocol(problem: &'p dyn TuningProblem, protocol: Protocol) -> Self {
+        Evaluator {
+            problem,
+            protocol,
+            cache_enabled: true,
+            cache: Mutex::new(HashMap::new()),
+            evals: AtomicU64::new(0),
+            distinct: AtomicU64::new(0),
+            budget: None,
+        }
+    }
+
+    /// Limit the number of `evaluate*` calls. Calls past the budget return
+    /// `None`.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Disable memoization (ablation: every call re-measures).
+    pub fn without_cache(mut self) -> Self {
+        self.cache_enabled = false;
+        self
+    }
+
+    /// The wrapped problem.
+    pub fn problem(&self) -> &dyn TuningProblem {
+        self.problem
+    }
+
+    /// Number of evaluations performed so far (every call counts, cached or
+    /// not — on real hardware a revisited configuration still spends budget
+    /// unless the tuner itself deduplicates).
+    pub fn evals_used(&self) -> u64 {
+        self.evals.load(Ordering::Relaxed)
+    }
+
+    /// Number of *distinct* configurations measured.
+    pub fn distinct_evals(&self) -> u64 {
+        self.distinct.load(Ordering::Relaxed)
+    }
+
+    /// Remaining budget, if a budget is set.
+    pub fn budget_left(&self) -> Option<u64> {
+        self.budget
+            .map(|b| b.saturating_sub(self.evals_used()))
+    }
+
+    /// True when another evaluation may be performed.
+    pub fn has_budget(&self) -> bool {
+        self.budget_left().is_none_or(|left| left > 0)
+    }
+
+    /// Evaluate a configuration by dense index. Returns `None` when the
+    /// budget is exhausted.
+    pub fn evaluate_index(&self, index: u64) -> Option<Result<Measurement, EvalFailure>> {
+        if !self.has_budget() {
+            return None;
+        }
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        if self.cache_enabled {
+            if let Some(hit) = self.cache.lock().get(&index) {
+                return Some(hit.clone());
+            }
+        }
+        let config = self.problem.space().config_at(index);
+        let result = self.measure(index, &config);
+        self.distinct.fetch_add(1, Ordering::Relaxed);
+        if self.cache_enabled {
+            self.cache.lock().insert(index, result.clone());
+        }
+        Some(result)
+    }
+
+    /// Evaluate a configuration by value vector. Returns `None` when the
+    /// budget is exhausted. Configurations with values outside the space are
+    /// reported as [`EvalFailure::Restricted`].
+    pub fn evaluate_config(&self, config: &[i64]) -> Option<Result<Measurement, EvalFailure>> {
+        match self.problem.space().index_of(config) {
+            Some(idx) => self.evaluate_index(idx),
+            None => {
+                if !self.has_budget() {
+                    return None;
+                }
+                self.evals.fetch_add(1, Ordering::Relaxed);
+                Some(Err(EvalFailure::Restricted))
+            }
+        }
+    }
+
+    fn measure(&self, index: u64, config: &[i64]) -> Result<Measurement, EvalFailure> {
+        let pure = self.problem.evaluate_pure(config)?;
+        let salt = bat_gpusim::mix(self.problem.noise_salt(), self.protocol.seed);
+        let samples: Vec<f64> = (0..self.protocol.runs)
+            .map(|run| noisy_time_ms(pure, self.protocol.sigma, noise_key(salt, index, run)))
+            .collect();
+        Ok(Measurement::from_samples(samples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::SyntheticProblem;
+    use bat_space::{ConfigSpace, Param};
+
+    fn problem() -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, EvalFailure> + Send + Sync>
+    {
+        let space = ConfigSpace::builder()
+            .param(Param::int_range("x", 0, 9))
+            .restrict("x != 5")
+            .build()
+            .unwrap();
+        SyntheticProblem::new("p", "sim", space, |c| Ok(1.0 + c[0] as f64))
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let p = problem();
+        let e1 = Evaluator::new(&p);
+        let e2 = Evaluator::new(&p);
+        let a = e1.evaluate_index(3).unwrap().unwrap();
+        let b = e2.evaluate_index(3).unwrap().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cache_returns_identical_measurements() {
+        let p = problem();
+        let e = Evaluator::new(&p);
+        let a = e.evaluate_index(2).unwrap().unwrap();
+        let b = e.evaluate_index(2).unwrap().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(e.evals_used(), 2);
+        assert_eq!(e.distinct_evals(), 1);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let p = problem();
+        let e = Evaluator::new(&p).with_budget(2);
+        assert!(e.evaluate_index(0).is_some());
+        assert!(e.evaluate_index(1).is_some());
+        assert!(e.evaluate_index(2).is_none());
+        assert_eq!(e.evals_used(), 2);
+    }
+
+    #[test]
+    fn restricted_config_reports_failure() {
+        let p = problem();
+        let e = Evaluator::new(&p);
+        let r = e.evaluate_config(&[5]).unwrap();
+        assert_eq!(r, Err(EvalFailure::Restricted));
+    }
+
+    #[test]
+    fn out_of_space_value_is_restricted() {
+        let p = problem();
+        let e = Evaluator::new(&p);
+        let r = e.evaluate_config(&[99]).unwrap();
+        assert_eq!(r, Err(EvalFailure::Restricted));
+        assert_eq!(e.evals_used(), 1);
+    }
+
+    #[test]
+    fn noiseless_protocol_returns_pure_times() {
+        let p = problem();
+        let e = Evaluator::with_protocol(&p, Protocol::noiseless());
+        let m = e.evaluate_config(&[4]).unwrap().unwrap();
+        assert_eq!(m.time_ms, 5.0);
+        assert_eq!(m.samples, vec![5.0]);
+    }
+
+    #[test]
+    fn noisy_protocol_produces_spread_but_stable_median() {
+        let p = problem();
+        let e = Evaluator::with_protocol(
+            &p,
+            Protocol {
+                runs: 7,
+                sigma: 0.02,
+                seed: 9,
+            },
+        );
+        let m = e.evaluate_config(&[4]).unwrap().unwrap();
+        assert_eq!(m.samples.len(), 7);
+        assert!((m.time_ms - 5.0).abs() < 0.5);
+        let spread = m.samples.iter().cloned().fold(f64::MIN, f64::max)
+            - m.samples.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 0.0);
+    }
+
+    #[test]
+    fn without_cache_recounts_distinct() {
+        let p = problem();
+        let e = Evaluator::new(&p).without_cache();
+        e.evaluate_index(1).unwrap().unwrap();
+        e.evaluate_index(1).unwrap().unwrap();
+        assert_eq!(e.distinct_evals(), 2);
+    }
+
+    #[test]
+    fn different_seeds_change_samples() {
+        let p = problem();
+        let e1 = Evaluator::with_protocol(
+            &p,
+            Protocol {
+                runs: 3,
+                sigma: 0.05,
+                seed: 1,
+            },
+        );
+        let e2 = Evaluator::with_protocol(
+            &p,
+            Protocol {
+                runs: 3,
+                sigma: 0.05,
+                seed: 2,
+            },
+        );
+        let a = e1.evaluate_index(3).unwrap().unwrap();
+        let b = e2.evaluate_index(3).unwrap().unwrap();
+        assert_ne!(a.samples, b.samples);
+    }
+}

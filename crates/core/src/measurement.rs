@@ -1,0 +1,94 @@
+//! Measurements and evaluation failures.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a configuration produced no runtime.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvalFailure {
+    /// The configuration violates the benchmark's restriction set (it is
+    /// outside the "Constrained" space of Table VIII).
+    Restricted,
+    /// The configuration passed restrictions but cannot run on the target
+    /// architecture — compile/launch failure (outside the "Valid" space).
+    Launch(String),
+}
+
+impl std::fmt::Display for EvalFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalFailure::Restricted => f.write_str("restricted configuration"),
+            EvalFailure::Launch(msg) => write!(f, "launch failure: {msg}"),
+        }
+    }
+}
+
+/// One measured configuration: repeated runs plus the aggregate objective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Aggregated objective in milliseconds (median of `samples` by
+    /// default).
+    pub time_ms: f64,
+    /// Individual run times in milliseconds.
+    pub samples: Vec<f64>,
+}
+
+impl Measurement {
+    /// Aggregate samples into a measurement using the median (robust to the
+    /// occasional slow run, as real tuners do).
+    pub fn from_samples(mut samples: Vec<f64>) -> Measurement {
+        assert!(!samples.is_empty(), "measurement needs at least one run");
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN runtime"));
+        let mid = sorted.len() / 2;
+        let time_ms = if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            0.5 * (sorted[mid - 1] + sorted[mid])
+        };
+        samples.shrink_to_fit();
+        Measurement { time_ms, samples }
+    }
+
+    /// Minimum over samples.
+    pub fn best_sample(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd() {
+        let m = Measurement::from_samples(vec![3.0, 1.0, 2.0]);
+        assert_eq!(m.time_ms, 2.0);
+    }
+
+    #[test]
+    fn median_even() {
+        let m = Measurement::from_samples(vec![4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(m.time_ms, 2.5);
+    }
+
+    #[test]
+    fn best_sample_is_min() {
+        let m = Measurement::from_samples(vec![4.0, 1.5, 2.0]);
+        assert_eq!(m.best_sample(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn empty_samples_panic() {
+        let _ = Measurement::from_samples(vec![]);
+    }
+
+    #[test]
+    fn failure_display() {
+        assert_eq!(EvalFailure::Restricted.to_string(), "restricted configuration");
+        assert!(EvalFailure::Launch("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,150 @@
+//! The shared tuning-problem interface.
+//!
+//! The paper's central engineering claim is a *standardized problem
+//! interface* between benchmarks and tuners: a benchmark exposes a
+//! configuration space and an evaluation function; a tuner consumes exactly
+//! that. [`TuningProblem`] is that interface in BAT-rs.
+
+use bat_space::ConfigSpace;
+
+use crate::measurement::EvalFailure;
+
+/// A tunable problem: a configuration space plus a deterministic cost
+/// oracle.
+///
+/// `evaluate_pure` returns the *noise-free* model runtime in milliseconds
+/// for one kernel-level execution of the benchmark under `config`. The
+/// measurement protocol (repeated runs, deterministic noise, aggregation,
+/// caching, budget accounting) is layered on top by
+/// [`crate::evaluator::Evaluator`] so that every tuner measures the same
+/// way.
+pub trait TuningProblem: Send + Sync {
+    /// Benchmark name, e.g. `"gemm"`.
+    fn name(&self) -> &str;
+
+    /// Platform (architecture) label this instance is bound to.
+    fn platform(&self) -> &str;
+
+    /// The tunable configuration space (parameters + restrictions).
+    fn space(&self) -> &ConfigSpace;
+
+    /// Noise-free cost of `config` in milliseconds.
+    ///
+    /// Implementations must be deterministic and thread-safe. `config` is
+    /// aligned with `space().params()`. Returns an [`EvalFailure`] when the
+    /// configuration violates the restriction set or cannot launch on the
+    /// platform.
+    fn evaluate_pure(&self, config: &[i64]) -> Result<f64, EvalFailure>;
+
+    /// A stable 64-bit key identifying this (problem, platform) pair; used
+    /// to salt deterministic measurement noise. The default hashes name and
+    /// platform.
+    fn noise_salt(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.name().bytes().chain(self.platform().bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+/// A synthetic problem over an arbitrary space, driven by a closure.
+///
+/// Useful for testing tuners and analyses without the kernel benchmarks.
+pub struct SyntheticProblem<F>
+where
+    F: Fn(&[i64]) -> Result<f64, EvalFailure> + Send + Sync,
+{
+    name: String,
+    platform: String,
+    space: ConfigSpace,
+    f: F,
+}
+
+impl<F> SyntheticProblem<F>
+where
+    F: Fn(&[i64]) -> Result<f64, EvalFailure> + Send + Sync,
+{
+    /// Create a synthetic problem from a space and a cost closure.
+    pub fn new(
+        name: impl Into<String>,
+        platform: impl Into<String>,
+        space: ConfigSpace,
+        f: F,
+    ) -> Self {
+        SyntheticProblem {
+            name: name.into(),
+            platform: platform.into(),
+            space,
+            f,
+        }
+    }
+}
+
+impl<F> TuningProblem for SyntheticProblem<F>
+where
+    F: Fn(&[i64]) -> Result<f64, EvalFailure> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn platform(&self) -> &str {
+        &self.platform
+    }
+
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    fn evaluate_pure(&self, config: &[i64]) -> Result<f64, EvalFailure> {
+        if !self.space.is_valid(config) {
+            return Err(EvalFailure::Restricted);
+        }
+        (self.f)(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_space::{ConfigSpace, Param};
+
+    fn quadratic() -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, EvalFailure> + Send + Sync>
+    {
+        let space = ConfigSpace::builder()
+            .param(Param::int_range("x", 0, 10))
+            .param(Param::int_range("y", 0, 10))
+            .restrict("x + y <= 15")
+            .build()
+            .unwrap();
+        SyntheticProblem::new("quad", "cpu", space, |c| {
+            Ok(1.0 + ((c[0] - 3) * (c[0] - 3) + (c[1] - 7) * (c[1] - 7)) as f64)
+        })
+    }
+
+    #[test]
+    fn synthetic_problem_evaluates() {
+        let p = quadratic();
+        assert_eq!(p.evaluate_pure(&[3, 7]).unwrap(), 1.0);
+        assert_eq!(p.evaluate_pure(&[0, 0]).unwrap(), 59.0);
+    }
+
+    #[test]
+    fn restricted_configs_fail() {
+        let p = quadratic();
+        assert!(matches!(
+            p.evaluate_pure(&[10, 10]),
+            Err(EvalFailure::Restricted)
+        ));
+    }
+
+    #[test]
+    fn noise_salt_distinguishes_platforms() {
+        let a = quadratic();
+        let space = a.space().clone();
+        let b = SyntheticProblem::new("quad", "gpu", space, |_| Ok(1.0));
+        assert_ne!(a.noise_salt(), b.noise_salt());
+    }
+}

@@ -1,0 +1,163 @@
+//! Result records: what a tuning run produces and how it is serialized.
+//!
+//! Mirrors the role of the T4 results format in the BAT/Kernel Tuner
+//! ecosystem: a self-describing JSON record of every trial, so analyses can
+//! run offline and results can be exchanged between tools.
+
+use serde::{Deserialize, Serialize};
+
+use crate::measurement::{EvalFailure, Measurement};
+
+/// One evaluated configuration within a tuning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trial {
+    /// 1-based evaluation counter at which this trial happened.
+    pub eval: u64,
+    /// Dense configuration index in the benchmark's space.
+    pub index: u64,
+    /// Configuration values (aligned with the space's parameters).
+    pub config: Vec<i64>,
+    /// Measured runtime, or why there is none.
+    pub outcome: Result<Measurement, EvalFailure>,
+}
+
+impl Trial {
+    /// The objective if this trial succeeded.
+    pub fn time_ms(&self) -> Option<f64> {
+        self.outcome.as_ref().ok().map(|m| m.time_ms)
+    }
+}
+
+/// A complete tuning run: metadata plus the trial history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningRun {
+    /// Benchmark name.
+    pub problem: String,
+    /// Platform (architecture) label.
+    pub platform: String,
+    /// Tuner name.
+    pub tuner: String,
+    /// RNG seed the tuner used.
+    pub seed: u64,
+    /// Every evaluated configuration, in evaluation order.
+    pub trials: Vec<Trial>,
+}
+
+impl TuningRun {
+    /// Create an empty run record.
+    pub fn new(
+        problem: impl Into<String>,
+        platform: impl Into<String>,
+        tuner: impl Into<String>,
+        seed: u64,
+    ) -> Self {
+        TuningRun {
+            problem: problem.into(),
+            platform: platform.into(),
+            tuner: tuner.into(),
+            seed,
+            trials: Vec::new(),
+        }
+    }
+
+    /// Append a trial.
+    pub fn push(&mut self, trial: Trial) {
+        self.trials.push(trial);
+    }
+
+    /// The best successful trial, if any.
+    pub fn best(&self) -> Option<&Trial> {
+        self.trials
+            .iter()
+            .filter(|t| t.time_ms().is_some())
+            .min_by(|a, b| {
+                a.time_ms()
+                    .unwrap()
+                    .partial_cmp(&b.time_ms().unwrap())
+                    .expect("NaN runtime")
+            })
+    }
+
+    /// Best-so-far curve: element `i` is the best objective seen in the
+    /// first `i+1` trials (`None` until the first success). This is the
+    /// series plotted in the paper's Fig. 2.
+    pub fn best_so_far(&self) -> Vec<Option<f64>> {
+        let mut best: Option<f64> = None;
+        self.trials
+            .iter()
+            .map(|t| {
+                if let Some(v) = t.time_ms() {
+                    best = Some(best.map_or(v, |b: f64| b.min(v)));
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Number of successful trials.
+    pub fn successes(&self) -> usize {
+        self.trials.iter().filter(|t| t.time_ms().is_some()).count()
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("TuningRun is always serializable")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(times: &[Option<f64>]) -> TuningRun {
+        let mut run = TuningRun::new("p", "sim", "test", 1);
+        for (i, t) in times.iter().enumerate() {
+            run.push(Trial {
+                eval: i as u64 + 1,
+                index: i as u64,
+                config: vec![i as i64],
+                outcome: match t {
+                    Some(v) => Ok(Measurement::from_samples(vec![*v])),
+                    None => Err(EvalFailure::Restricted),
+                },
+            });
+        }
+        run
+    }
+
+    #[test]
+    fn best_ignores_failures() {
+        let run = mk(&[None, Some(5.0), Some(3.0), None, Some(4.0)]);
+        assert_eq!(run.best().unwrap().time_ms(), Some(3.0));
+        assert_eq!(run.successes(), 3);
+    }
+
+    #[test]
+    fn best_so_far_is_monotone() {
+        let run = mk(&[None, Some(5.0), Some(3.0), None, Some(4.0)]);
+        let curve = run.best_so_far();
+        assert_eq!(
+            curve,
+            vec![None, Some(5.0), Some(3.0), Some(3.0), Some(3.0)]
+        );
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let run = mk(&[Some(2.0), None]);
+        let back = TuningRun::from_json(&run.to_json()).unwrap();
+        assert_eq!(run, back);
+    }
+
+    #[test]
+    fn empty_run_has_no_best() {
+        let run = mk(&[]);
+        assert!(run.best().is_none());
+        assert!(run.best_so_far().is_empty());
+    }
+}

@@ -1,0 +1,292 @@
+//! GPU architecture machine models.
+//!
+//! The paper evaluates on four NVIDIA GPUs: RTX 2080 Ti and RTX Titan
+//! (Turing, TU102) and RTX 3060 / RTX 3090 (Ampere, GA106/GA102). The
+//! figures below come from the public specification sheets and whitepapers;
+//! they are the per-architecture constants that drive the analytical timing
+//! model. The family split matters for reproducing the paper's portability
+//! result (configs move well *within* a family, poorly across).
+
+use serde::Serialize;
+
+/// GPU micro-architecture family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Family {
+    /// Turing (TU10x): 64 FP32 lanes/SM + independent INT32 pipe,
+    /// 1024 threads/SM, 64 KiB shared memory/SM.
+    Turing,
+    /// Ampere (GA10x): 128 FP32 lanes/SM (half shared with INT32),
+    /// 1536 threads/SM, up to 100 KiB shared memory/SM.
+    Ampere,
+}
+
+/// A machine model of one GPU.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GpuArch {
+    /// Marketing name, e.g. `"RTX 3090"`.
+    pub name: &'static str,
+    /// Micro-architecture family.
+    pub family: Family,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// FP32 lanes per SM (FMA counts as two FLOPs per lane-cycle).
+    pub fp32_per_sm: u32,
+    /// Boost clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak DRAM bandwidth in GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Aggregate L2 bandwidth in GB/s (≈3× DRAM on these parts).
+    pub l2_bandwidth_gbs: f64,
+    /// L2 cache size in bytes.
+    pub l2_bytes: u64,
+    /// Warp width (32 on all NVIDIA parts).
+    pub warp_size: u32,
+    /// Hardware limit on threads per block.
+    pub max_threads_per_block: u32,
+    /// Hardware limit on resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Hardware limit on resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: u32,
+    /// Maximum registers addressable per thread (compiler spills beyond).
+    pub max_registers_per_thread: u32,
+    /// Register allocation granularity per warp (registers round up to this).
+    pub register_alloc_granularity: u32,
+    /// Maximum shared memory per SM in bytes.
+    pub shared_mem_per_sm: u32,
+    /// Maximum shared memory per block in bytes (opt-in carve-out).
+    pub shared_mem_per_block: u32,
+    /// Number of shared-memory banks.
+    pub smem_banks: u32,
+    /// Shared-memory bytes served per SM per cycle (conflict-free).
+    pub smem_bytes_per_cycle: f64,
+    /// Average DRAM access latency in cycles.
+    pub dram_latency_cycles: f64,
+    /// Arithmetic pipeline latency in cycles.
+    pub alu_latency_cycles: f64,
+    /// Kernel launch overhead in microseconds.
+    pub launch_overhead_us: f64,
+}
+
+impl GpuArch {
+    /// NVIDIA GeForce RTX 2080 Ti (TU102, 68 SMs, 616 GB/s).
+    pub fn rtx_2080_ti() -> Self {
+        GpuArch {
+            name: "RTX 2080 Ti",
+            family: Family::Turing,
+            sm_count: 68,
+            fp32_per_sm: 64,
+            clock_ghz: 1.545,
+            mem_bandwidth_gbs: 616.0,
+            l2_bandwidth_gbs: 1850.0,
+            l2_bytes: 5_767_168, // 5.5 MiB
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 16,
+            registers_per_sm: 65_536,
+            max_registers_per_thread: 255,
+            register_alloc_granularity: 256,
+            shared_mem_per_sm: 65_536,
+            shared_mem_per_block: 65_536,
+            smem_banks: 32,
+            smem_bytes_per_cycle: 128.0,
+            dram_latency_cycles: 500.0,
+            alu_latency_cycles: 4.0,
+            launch_overhead_us: 6.0,
+        }
+    }
+
+    /// NVIDIA Titan RTX (TU102, 72 SMs, 672 GB/s).
+    pub fn rtx_titan() -> Self {
+        GpuArch {
+            name: "RTX Titan",
+            family: Family::Turing,
+            sm_count: 72,
+            fp32_per_sm: 64,
+            clock_ghz: 1.770,
+            mem_bandwidth_gbs: 672.0,
+            l2_bandwidth_gbs: 2000.0,
+            l2_bytes: 6_291_456, // 6 MiB
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 16,
+            registers_per_sm: 65_536,
+            max_registers_per_thread: 255,
+            register_alloc_granularity: 256,
+            shared_mem_per_sm: 65_536,
+            shared_mem_per_block: 65_536,
+            smem_banks: 32,
+            smem_bytes_per_cycle: 128.0,
+            dram_latency_cycles: 500.0,
+            alu_latency_cycles: 4.0,
+            launch_overhead_us: 6.0,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 3060 (GA106, 28 SMs, 360 GB/s).
+    pub fn rtx_3060() -> Self {
+        GpuArch {
+            name: "RTX 3060",
+            family: Family::Ampere,
+            sm_count: 28,
+            fp32_per_sm: 128,
+            clock_ghz: 1.777,
+            mem_bandwidth_gbs: 360.0,
+            l2_bandwidth_gbs: 1100.0,
+            l2_bytes: 3_145_728, // 3 MiB
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 16,
+            registers_per_sm: 65_536,
+            max_registers_per_thread: 255,
+            register_alloc_granularity: 256,
+            shared_mem_per_sm: 102_400,
+            shared_mem_per_block: 101_376, // 99 KiB opt-in limit
+            smem_banks: 32,
+            smem_bytes_per_cycle: 128.0,
+            dram_latency_cycles: 470.0,
+            alu_latency_cycles: 4.0,
+            launch_overhead_us: 6.0,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 3090 (GA102, 82 SMs, 936 GB/s).
+    pub fn rtx_3090() -> Self {
+        GpuArch {
+            name: "RTX 3090",
+            family: Family::Ampere,
+            sm_count: 82,
+            fp32_per_sm: 128,
+            clock_ghz: 1.695,
+            mem_bandwidth_gbs: 936.0,
+            l2_bandwidth_gbs: 2800.0,
+            l2_bytes: 6_291_456, // 6 MiB
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 16,
+            registers_per_sm: 65_536,
+            max_registers_per_thread: 255,
+            register_alloc_granularity: 256,
+            shared_mem_per_sm: 102_400,
+            shared_mem_per_block: 101_376,
+            smem_banks: 32,
+            smem_bytes_per_cycle: 128.0,
+            dram_latency_cycles: 470.0,
+            alu_latency_cycles: 4.0,
+            launch_overhead_us: 6.0,
+        }
+    }
+
+    /// The four GPUs of the paper's testbed, in the paper's order.
+    pub fn paper_testbed() -> Vec<GpuArch> {
+        vec![
+            Self::rtx_2080_ti(),
+            Self::rtx_3060(),
+            Self::rtx_3090(),
+            Self::rtx_titan(),
+        ]
+    }
+
+    /// Look up one of the testbed GPUs by (case-insensitive, punctuation
+    /// insensitive) name, e.g. `"rtx3090"` or `"RTX 3090"`.
+    pub fn by_name(name: &str) -> Option<GpuArch> {
+        let norm: String = name
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        Self::paper_testbed().into_iter().find(|a| {
+            a.name
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_ascii_lowercase()
+                == norm
+        })
+    }
+
+    /// Peak single-precision throughput in GFLOP/s (FMA = 2 FLOPs).
+    pub fn peak_gflops(&self) -> f64 {
+        f64::from(self.sm_count) * f64::from(self.fp32_per_sm) * 2.0 * self.clock_ghz
+    }
+
+    /// Maximum resident warps per SM.
+    pub fn max_warps_per_sm(&self) -> u32 {
+        self.max_threads_per_sm / self.warp_size
+    }
+
+    /// A stable small integer identifying this architecture (used to salt
+    /// the deterministic measurement noise).
+    pub fn noise_salt(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_has_four_distinct_gpus() {
+        let t = GpuArch::paper_testbed();
+        assert_eq!(t.len(), 4);
+        let mut names: Vec<_> = t.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn families_are_paired() {
+        assert_eq!(GpuArch::rtx_2080_ti().family, Family::Turing);
+        assert_eq!(GpuArch::rtx_titan().family, Family::Turing);
+        assert_eq!(GpuArch::rtx_3060().family, Family::Ampere);
+        assert_eq!(GpuArch::rtx_3090().family, Family::Ampere);
+    }
+
+    #[test]
+    fn peak_flops_ordering_matches_reality() {
+        // 3090 > 3060; Titan > 2080 Ti.
+        assert!(GpuArch::rtx_3090().peak_gflops() > GpuArch::rtx_3060().peak_gflops());
+        assert!(GpuArch::rtx_titan().peak_gflops() > GpuArch::rtx_2080_ti().peak_gflops());
+        // 3090 is the fastest of the four.
+        let t = GpuArch::paper_testbed();
+        let best = t
+            .iter()
+            .max_by(|a, b| a.peak_gflops().partial_cmp(&b.peak_gflops()).unwrap())
+            .unwrap();
+        assert_eq!(best.name, "RTX 3090");
+    }
+
+    #[test]
+    fn lookup_by_name_is_fuzzy() {
+        assert_eq!(GpuArch::by_name("rtx3090").unwrap().name, "RTX 3090");
+        assert_eq!(GpuArch::by_name("RTX 2080 Ti").unwrap().name, "RTX 2080 Ti");
+        assert!(GpuArch::by_name("A100").is_none());
+    }
+
+    #[test]
+    fn max_warps() {
+        assert_eq!(GpuArch::rtx_2080_ti().max_warps_per_sm(), 32);
+        assert_eq!(GpuArch::rtx_3090().max_warps_per_sm(), 48);
+    }
+
+    #[test]
+    fn noise_salts_differ() {
+        let t = GpuArch::paper_testbed();
+        let mut salts: Vec<_> = t.iter().map(GpuArch::noise_salt).collect();
+        salts.sort_unstable();
+        salts.dedup();
+        assert_eq!(salts.len(), 4);
+    }
+}

@@ -1,0 +1,165 @@
+//! The abstract "compiled kernel" description consumed by the timing model.
+//!
+//! Each benchmark maps a configuration to a [`KernelModel`]: launch geometry,
+//! per-block resource demands and an average per-thread work profile. The
+//! timing model then prices the launch on a concrete [`crate::GpuArch`].
+
+use serde::Serialize;
+
+use crate::occupancy::BlockResources;
+
+/// Work profile and launch geometry of one kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct KernelModel {
+    /// Kernel name (diagnostics only).
+    pub name: String,
+    /// Total thread blocks in the grid.
+    pub grid_blocks: u64,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Registers per thread after compilation.
+    pub regs_per_thread: u32,
+    /// Shared memory per block in bytes.
+    pub smem_per_block: u32,
+    /// `__launch_bounds__` min-blocks hint (0 = unset). A non-zero hint asks
+    /// the compiler to cap register usage so that this many blocks fit.
+    pub launch_bounds_blocks: u32,
+    /// Floating-point operations per thread (FMA = 2 FLOPs).
+    pub flops_per_thread: f64,
+    /// Integer/address/loop-overhead instructions per thread.
+    pub int_ops_per_thread: f64,
+    /// DRAM traffic per thread in bytes (after coalescing accounting,
+    /// before L2 hits are removed).
+    pub gmem_bytes_per_thread: f64,
+    /// Number of global load/store *instructions* issued per thread.
+    pub gmem_transactions_per_thread: f64,
+    /// Memory coalescing efficiency in (0, 1]: fraction of each DRAM
+    /// transaction that carries useful bytes.
+    pub coalescing: f64,
+    /// Fraction of global traffic served from L2 (0..=1).
+    pub l2_hit_rate: f64,
+    /// Shared-memory transactions per thread.
+    pub smem_accesses_per_thread: f64,
+    /// Bank-conflict multiplier on shared-memory cycles (1 = conflict-free,
+    /// `n` = n-way serialization).
+    pub bank_conflict_factor: f64,
+    /// Independent in-flight instructions per thread (from unrolling /
+    /// multiple output elements per thread).
+    pub ilp: f64,
+    /// Branch-divergence multiplier on compute (≥ 1).
+    pub divergence_factor: f64,
+    /// Local-memory traffic per thread in bytes caused by register spills.
+    pub spill_bytes_per_thread: f64,
+    /// Whether loads go through the read-only (texture/L1) path, which
+    /// shortens average latency.
+    pub uses_readonly_cache: bool,
+}
+
+impl KernelModel {
+    /// A neutral model for `grid_blocks × threads` doing nothing; benchmarks
+    /// start from this and fill in their profile.
+    pub fn new(name: impl Into<String>, grid_blocks: u64, threads_per_block: u32) -> Self {
+        KernelModel {
+            name: name.into(),
+            grid_blocks,
+            threads_per_block,
+            regs_per_thread: 32,
+            smem_per_block: 0,
+            launch_bounds_blocks: 0,
+            flops_per_thread: 0.0,
+            int_ops_per_thread: 0.0,
+            gmem_bytes_per_thread: 0.0,
+            gmem_transactions_per_thread: 0.0,
+            coalescing: 1.0,
+            l2_hit_rate: 0.0,
+            smem_accesses_per_thread: 0.0,
+            bank_conflict_factor: 1.0,
+            ilp: 1.0,
+            divergence_factor: 1.0,
+            spill_bytes_per_thread: 0.0,
+            uses_readonly_cache: false,
+        }
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> f64 {
+        self.grid_blocks as f64 * f64::from(self.threads_per_block)
+    }
+
+    /// Per-block resources for the occupancy calculator.
+    pub fn block_resources(&self) -> BlockResources {
+        BlockResources {
+            threads: self.threads_per_block,
+            regs_per_thread: self.regs_per_thread,
+            smem_bytes: self.smem_per_block,
+            launch_bounds_blocks: self.launch_bounds_blocks,
+        }
+    }
+
+    /// Basic sanity checks; benchmarks call this in debug builds.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.grid_blocks == 0 {
+            return Err("grid has zero blocks".into());
+        }
+        if !(0.0..=1.0).contains(&self.l2_hit_rate) {
+            return Err(format!("l2_hit_rate {} out of range", self.l2_hit_rate));
+        }
+        if !(self.coalescing > 0.0 && self.coalescing <= 1.0) {
+            return Err(format!("coalescing {} out of range", self.coalescing));
+        }
+        if self.bank_conflict_factor < 1.0 {
+            return Err("bank_conflict_factor below 1".into());
+        }
+        if self.divergence_factor < 1.0 {
+            return Err("divergence_factor below 1".into());
+        }
+        if self.ilp < 1.0 {
+            return Err("ilp below 1".into());
+        }
+        for (label, v) in [
+            ("flops", self.flops_per_thread),
+            ("int_ops", self.int_ops_per_thread),
+            ("gmem_bytes", self.gmem_bytes_per_thread),
+            ("gmem_transactions", self.gmem_transactions_per_thread),
+            ("smem_accesses", self.smem_accesses_per_thread),
+            ("spill_bytes", self.spill_bytes_per_thread),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{label} is {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(KernelModel::new("k", 10, 128).validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_profiles_are_rejected() {
+        let mut m = KernelModel::new("k", 10, 128);
+        m.coalescing = 0.0;
+        assert!(m.validate().is_err());
+        m.coalescing = 0.5;
+        m.l2_hit_rate = 1.5;
+        assert!(m.validate().is_err());
+        m.l2_hit_rate = 0.2;
+        m.bank_conflict_factor = 0.5;
+        assert!(m.validate().is_err());
+        m.bank_conflict_factor = 2.0;
+        m.flops_per_thread = f64::NAN;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn total_threads() {
+        let m = KernelModel::new("k", 100, 256);
+        assert_eq!(m.total_threads(), 25_600.0);
+    }
+}

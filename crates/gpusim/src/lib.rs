@@ -1,0 +1,35 @@
+//! # bat-gpusim
+//!
+//! The hardware substrate of BAT-rs: an analytical GPU performance simulator
+//! standing in for the paper's physical testbed (RTX 2080 Ti, RTX 3060,
+//! RTX 3090, RTX Titan).
+//!
+//! A benchmark maps each tuning configuration to a [`KernelModel`] (launch
+//! geometry, per-block resources, per-thread work profile); [`execute`]
+//! prices that launch on a [`GpuArch`] by combining
+//!
+//! * a faithful CUDA **occupancy calculation** ([`occupancy`]),
+//! * a roofline of **compute / DRAM / shared-memory** bounds,
+//! * a **Little's-law** concurrency cap that makes low occupancy starve
+//!   memory bandwidth, and
+//! * **wave quantization** and launch overhead.
+//!
+//! Configurations that exceed hardware limits return a [`LaunchError`] —
+//! these populate the architecture-dependent "Valid" counts of the paper's
+//! Table VIII. Deterministic multiplicative noise ([`noisy_time_ms`]) stands
+//! in for run-to-run measurement variation without sacrificing
+//! reproducibility.
+
+#![warn(missing_docs)]
+
+mod arch;
+mod kernel_model;
+mod noise;
+mod occupancy;
+mod timing;
+
+pub use arch::{Family, GpuArch};
+pub use kernel_model::KernelModel;
+pub use noise::{mix, noise_key, noisy_time_ms};
+pub use occupancy::{occupancy, BlockResources, LaunchError, Limiter, Occupancy};
+pub use timing::{execute, execute_repeated, Bound, KernelTiming};

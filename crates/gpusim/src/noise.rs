@@ -1,0 +1,106 @@
+//! Deterministic measurement noise.
+//!
+//! Real benchmarking observes run-to-run variation from clocks, DVFS and
+//! scheduling. We reproduce that with a *deterministic* multiplicative noise
+//! keyed by (architecture, kernel, configuration, run index): the suite
+//! stays perfectly reproducible while per-run samples still scatter, so the
+//! measurement protocol (multiple runs, take a robust aggregate) is
+//! exercised for real.
+
+/// SplitMix64: tiny, high-quality 64-bit mixer.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Combine hash keys.
+#[inline]
+pub fn mix(a: u64, b: u64) -> u64 {
+    splitmix64(a ^ splitmix64(b))
+}
+
+/// Uniform f64 in [0, 1) from a hash key.
+#[inline]
+fn unit(x: u64) -> f64 {
+    (splitmix64(x) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A standard-normal-ish variate from a hash key (sum of 4 uniforms,
+/// Irwin–Hall; cheap, bounded to ±~3.5σ which suits runtime noise).
+#[inline]
+fn gaussish(x: u64) -> f64 {
+    let s = unit(x)
+        + unit(x.wrapping_add(1))
+        + unit(x.wrapping_add(2))
+        + unit(x.wrapping_add(3));
+    // Irwin-Hall(4): mean 2, var 4/12 -> standardize.
+    (s - 2.0) / (4.0f64 / 12.0).sqrt()
+}
+
+/// Apply multiplicative measurement noise to a pure model time.
+///
+/// `sigma` is the relative standard deviation (~0.01 for a well-cooled GPU).
+/// The noise floor is clamped so times never go non-positive.
+#[inline]
+pub fn noisy_time_ms(pure_ms: f64, sigma: f64, key: u64) -> f64 {
+    let factor = (1.0 + sigma * gaussish(key)).max(0.5);
+    pure_ms * factor
+}
+
+/// Build a noise key from architecture salt, a configuration identifier and
+/// a run index.
+#[inline]
+pub fn noise_key(arch_salt: u64, config_key: u64, run: u32) -> u64 {
+    mix(mix(arch_salt, config_key), u64::from(run))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic() {
+        let a = noisy_time_ms(10.0, 0.01, noise_key(1, 2, 3));
+        let b = noisy_time_ms(10.0, 0.01, noise_key(1, 2, 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_differs_across_runs() {
+        let a = noisy_time_ms(10.0, 0.01, noise_key(1, 2, 0));
+        let b = noisy_time_ms(10.0, 0.01, noise_key(1, 2, 1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn noise_is_small_and_positive() {
+        for run in 0..10_000 {
+            let t = noisy_time_ms(10.0, 0.01, noise_key(42, 7, run));
+            assert!(t > 0.0);
+            assert!((t - 10.0).abs() < 10.0 * 0.10, "noise too large: {t}");
+        }
+    }
+
+    #[test]
+    fn noise_has_roughly_right_spread() {
+        let n = 20_000u32;
+        let sigma = 0.02;
+        let samples: Vec<f64> = (0..n)
+            .map(|r| noisy_time_ms(1.0, sigma, noise_key(9, 9, r)))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / f64::from(n);
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / f64::from(n);
+        assert!((mean - 1.0).abs() < 0.002, "mean {mean}");
+        let sd = var.sqrt();
+        assert!((sd - sigma).abs() < 0.004, "sd {sd}");
+    }
+
+    #[test]
+    fn zero_sigma_is_exact() {
+        assert_eq!(noisy_time_ms(3.25, 0.0, noise_key(1, 2, 3)), 3.25);
+    }
+}

@@ -1,0 +1,278 @@
+//! CUDA occupancy calculation.
+//!
+//! Reimplements the classic occupancy calculator: the number of thread
+//! blocks resident on one SM is the minimum over four limits (warp slots,
+//! registers, shared memory, block slots), with register allocation rounded
+//! to the hardware granularity. Occupancy cliffs caused by register pressure
+//! and shared-memory usage are the dominant source of structure in GPU
+//! tuning landscapes, so this calculation is load-bearing for the whole
+//! reproduction.
+
+use std::fmt;
+
+use serde::Serialize;
+
+use crate::arch::GpuArch;
+
+/// Per-block resource demands of a compiled kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BlockResources {
+    /// Threads per block (must be 1..=arch limit).
+    pub threads: u32,
+    /// Registers per thread as allocated by the compiler.
+    pub regs_per_thread: u32,
+    /// Static + dynamic shared memory per block, in bytes.
+    pub smem_bytes: u32,
+    /// `__launch_bounds__` minimum-blocks hint (0 = unset). The compiler
+    /// limits register usage to honour it; the runtime does not schedule
+    /// more blocks than other limits allow.
+    pub launch_bounds_blocks: u32,
+}
+
+/// Why a configuration cannot be launched on an architecture.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum LaunchError {
+    /// Block has zero threads.
+    ZeroThreads,
+    /// Threads per block exceed the hardware limit.
+    TooManyThreads {
+        /// Requested threads per block.
+        requested: u32,
+        /// Hardware limit.
+        limit: u32,
+    },
+    /// Shared memory per block exceeds the hardware limit.
+    SharedMemExceeded {
+        /// Requested bytes.
+        requested: u32,
+        /// Hardware limit in bytes.
+        limit: u32,
+    },
+    /// Register file cannot hold even one block.
+    RegistersExceeded {
+        /// Registers needed by one block.
+        requested: u32,
+        /// Register file size.
+        limit: u32,
+    },
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::ZeroThreads => f.write_str("block has zero threads"),
+            LaunchError::TooManyThreads { requested, limit } => {
+                write!(f, "{requested} threads/block exceeds limit {limit}")
+            }
+            LaunchError::SharedMemExceeded { requested, limit } => {
+                write!(f, "{requested} B shared memory exceeds limit {limit} B")
+            }
+            LaunchError::RegistersExceeded { requested, limit } => {
+                write!(f, "{requested} registers/block exceeds file size {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Which resource limits the number of resident blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Limiter {
+    /// Warp slots per SM.
+    Warps,
+    /// Register file.
+    Registers,
+    /// Shared memory.
+    SharedMem,
+    /// Block slots per SM.
+    Blocks,
+}
+
+/// Result of the occupancy calculation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Occupancy {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Resident warps per SM.
+    pub active_warps: u32,
+    /// `active_warps / max_warps` in 0..=1.
+    pub occupancy: f64,
+    /// The binding resource.
+    pub limiter: Limiter,
+}
+
+/// Compute occupancy of `res` on `arch`.
+pub fn occupancy(arch: &GpuArch, res: &BlockResources) -> Result<Occupancy, LaunchError> {
+    if res.threads == 0 {
+        return Err(LaunchError::ZeroThreads);
+    }
+    if res.threads > arch.max_threads_per_block {
+        return Err(LaunchError::TooManyThreads {
+            requested: res.threads,
+            limit: arch.max_threads_per_block,
+        });
+    }
+    if res.smem_bytes > arch.shared_mem_per_block {
+        return Err(LaunchError::SharedMemExceeded {
+            requested: res.smem_bytes,
+            limit: arch.shared_mem_per_block,
+        });
+    }
+
+    let warps_per_block = res.threads.div_ceil(arch.warp_size);
+
+    // Warp-slot limit.
+    let max_warps = arch.max_warps_per_sm();
+    let by_warps = max_warps / warps_per_block;
+
+    // Register limit: allocation is per warp, rounded up to the granularity.
+    let regs = res.regs_per_thread.max(16); // hardware minimum allocation
+    let regs_per_warp =
+        (regs * arch.warp_size).div_ceil(arch.register_alloc_granularity)
+            * arch.register_alloc_granularity;
+    let regs_per_block = regs_per_warp * warps_per_block;
+    if regs_per_block > arch.registers_per_sm {
+        return Err(LaunchError::RegistersExceeded {
+            requested: regs_per_block,
+            limit: arch.registers_per_sm,
+        });
+    }
+    let by_regs = arch.registers_per_sm / regs_per_block;
+
+    // Shared-memory limit (a block with no shared memory is unconstrained).
+    let by_smem = arch
+        .shared_mem_per_sm
+        .checked_div(res.smem_bytes)
+        .unwrap_or(u32::MAX);
+
+    // Block-slot limit.
+    let by_blocks = arch.max_blocks_per_sm;
+
+    let mut blocks = by_warps.min(by_regs).min(by_smem).min(by_blocks);
+    if blocks == 0 {
+        // by_warps can be zero when a block has more warps than an SM can
+        // hold resident; but threads<=1024 and max_threads_per_sm>=1024 on
+        // all modeled parts, so this cannot happen. Defensive:
+        blocks = 1;
+    }
+
+    let limiter = if blocks == by_warps {
+        Limiter::Warps
+    } else if blocks == by_regs {
+        Limiter::Registers
+    } else if blocks == by_smem {
+        Limiter::SharedMem
+    } else {
+        Limiter::Blocks
+    };
+
+    let active_warps = blocks * warps_per_block;
+    Ok(Occupancy {
+        blocks_per_sm: blocks,
+        active_warps,
+        occupancy: f64::from(active_warps) / f64::from(max_warps),
+        limiter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(threads: u32, regs: u32, smem: u32) -> BlockResources {
+        BlockResources {
+            threads,
+            regs_per_thread: regs,
+            smem_bytes: smem,
+            launch_bounds_blocks: 0,
+        }
+    }
+
+    #[test]
+    fn full_occupancy_small_kernel() {
+        let arch = GpuArch::rtx_2080_ti();
+        let o = occupancy(&arch, &res(256, 32, 0)).unwrap();
+        // 256 threads = 8 warps; 32 warps max -> 4 blocks; regs: 32*32=1024
+        // regs/warp -> 8192/block -> 8 blocks; warps bind.
+        assert_eq!(o.blocks_per_sm, 4);
+        assert_eq!(o.active_warps, 32);
+        assert!((o.occupancy - 1.0).abs() < 1e-12);
+        assert_eq!(o.limiter, Limiter::Warps);
+    }
+
+    #[test]
+    fn register_pressure_reduces_occupancy() {
+        let arch = GpuArch::rtx_2080_ti();
+        let low = occupancy(&arch, &res(256, 32, 0)).unwrap();
+        let high = occupancy(&arch, &res(256, 128, 0)).unwrap();
+        assert!(high.active_warps < low.active_warps);
+        assert_eq!(high.limiter, Limiter::Registers);
+        // 128 regs * 32 = 4096/warp, 8 warps -> 32768/block -> 2 blocks.
+        assert_eq!(high.blocks_per_sm, 2);
+    }
+
+    #[test]
+    fn shared_memory_limits_blocks() {
+        let arch = GpuArch::rtx_2080_ti();
+        let o = occupancy(&arch, &res(128, 32, 48 * 1024)).unwrap();
+        // 64 KiB/SM with 48 KiB blocks -> 1 block.
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.limiter, Limiter::SharedMem);
+    }
+
+    #[test]
+    fn ampere_holds_more_warps() {
+        let turing = GpuArch::rtx_2080_ti();
+        let ampere = GpuArch::rtx_3090();
+        let r = res(128, 32, 0);
+        let ot = occupancy(&turing, &r).unwrap();
+        let oa = occupancy(&ampere, &r).unwrap();
+        assert!(oa.active_warps > ot.active_warps);
+    }
+
+    #[test]
+    fn too_many_threads_is_launch_error() {
+        let arch = GpuArch::rtx_3090();
+        assert!(matches!(
+            occupancy(&arch, &res(2048, 32, 0)),
+            Err(LaunchError::TooManyThreads { .. })
+        ));
+    }
+
+    #[test]
+    fn smem_over_block_limit_is_launch_error() {
+        let arch = GpuArch::rtx_2080_ti();
+        assert!(matches!(
+            occupancy(&arch, &res(128, 32, 128 * 1024)),
+            Err(LaunchError::SharedMemExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn regs_over_file_is_launch_error() {
+        let arch = GpuArch::rtx_2080_ti();
+        // 255 regs * 1024 threads ≈ 261k > 64k file.
+        assert!(matches!(
+            occupancy(&arch, &res(1024, 255, 0)),
+            Err(LaunchError::RegistersExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn partial_warp_blocks_round_up() {
+        let arch = GpuArch::rtx_2080_ti();
+        let o = occupancy(&arch, &res(48, 32, 0)).unwrap();
+        // 48 threads -> 2 warp slots per block.
+        assert_eq!(o.active_warps % 2, 0);
+    }
+
+    #[test]
+    fn block_slot_limit_binds_tiny_blocks() {
+        let arch = GpuArch::rtx_2080_ti();
+        let o = occupancy(&arch, &res(32, 16, 0)).unwrap();
+        // 1 warp/block: warps allow 32 blocks but slots cap at 16.
+        assert_eq!(o.blocks_per_sm, 16);
+        assert_eq!(o.limiter, Limiter::Blocks);
+    }
+}

@@ -1,0 +1,341 @@
+//! The analytical timing model.
+//!
+//! Prices one kernel launch on one architecture as the maximum of three
+//! throughput bounds — FP/INT issue, DRAM/L2 bandwidth, shared-memory
+//! bandwidth — where the memory bound is additionally capped by a
+//! Little's-law concurrency limit (low occupancy cannot keep enough bytes in
+//! flight to reach peak bandwidth) and the compute bound by pipeline
+//! utilization (few warps × low ILP cannot hide ALU latency). Wave
+//! quantization rounds the block count up to whole waves.
+//!
+//! This is a descendant of the Hong–Kim MWP/CWP model and the roofline
+//! model, specialized to what GPU *tuning parameters* actually move:
+//! occupancy, coalescing, vector widths, unrolling (ILP and register
+//! pressure), shared-memory staging and bank conflicts, divergence, and
+//! wave/tail effects.
+
+use serde::Serialize;
+
+use crate::arch::{Family, GpuArch};
+use crate::kernel_model::KernelModel;
+use crate::occupancy::{occupancy, LaunchError, Occupancy};
+
+/// Which bound dominates the predicted runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Bound {
+    /// Arithmetic issue rate.
+    Compute,
+    /// DRAM / L2 bandwidth (possibly concurrency-capped).
+    Memory,
+    /// Shared-memory bandwidth (incl. bank conflicts).
+    SharedMem,
+    /// Fixed overhead dominates (tiny grids).
+    Overhead,
+}
+
+/// Breakdown of one priced kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct KernelTiming {
+    /// Predicted wall time of the launch in milliseconds (no noise).
+    pub time_ms: f64,
+    /// Occupancy achieved.
+    pub occupancy: Occupancy,
+    /// Dominant bound.
+    pub bound: Bound,
+    /// Number of block waves (ceil of grid / resident blocks).
+    pub waves: u64,
+    /// Compute-bound time (ms).
+    pub compute_ms: f64,
+    /// Memory-bound time (ms).
+    pub memory_ms: f64,
+    /// Shared-memory-bound time (ms).
+    pub smem_ms: f64,
+}
+
+/// Price one launch of `model` on `arch`.
+///
+/// Returns a [`LaunchError`] when the configuration cannot run on this
+/// architecture at all (too many threads, shared memory or registers) —
+/// this is what populates the architecture-dependent "Valid" column of
+/// Table VIII.
+pub fn execute(arch: &GpuArch, model: &KernelModel) -> Result<KernelTiming, LaunchError> {
+    debug_assert_eq!(model.validate(), Ok(()));
+    let occ = occupancy(arch, &model.block_resources())?;
+
+    let blocks_in_flight = u64::from(occ.blocks_per_sm) * u64::from(arch.sm_count);
+    let waves = model.grid_blocks.div_ceil(blocks_in_flight);
+    // Effective parallelism of the final (partial) wave is included by
+    // pricing whole waves: total work of `waves * blocks_in_flight` blocks.
+    let wave_quantization =
+        (waves * blocks_in_flight) as f64 / model.grid_blocks as f64;
+
+    let total_threads = model.total_threads();
+
+    // ---- Compute bound -------------------------------------------------
+    // FP32 pipe: FMA retires 2 FLOPs per lane-cycle.
+    let fp_cycles_per_sm_thread = model.flops_per_thread / 2.0;
+    // INT pipe: Turing has an independent INT32 datapath (int overlaps with
+    // fp); Ampere shares half of its FP32 lanes with INT32, so integer
+    // instructions steal fp issue slots.
+    let (fp_lane_cycles, int_lane_cycles) = match arch.family {
+        Family::Turing => {
+            let fp = fp_cycles_per_sm_thread;
+            let int = model.int_ops_per_thread;
+            // Independent pipes: the slower one binds.
+            (fp.max(int), 0.0)
+        }
+        Family::Ampere => (fp_cycles_per_sm_thread, model.int_ops_per_thread),
+    };
+    // Execution is warp-granular: a block of fewer than 32 threads (or a
+    // ragged tail warp) still occupies full warp issue slots, so partial
+    // warps waste lanes proportionally.
+    let warps_per_block = model.threads_per_block.div_ceil(arch.warp_size);
+    let lane_util = f64::from(model.threads_per_block)
+        / f64::from(warps_per_block * arch.warp_size);
+    let lane_cycles_per_thread =
+        (fp_lane_cycles + int_lane_cycles) * model.divergence_factor;
+    let total_lane_cycles =
+        lane_cycles_per_thread * total_threads * wave_quantization / lane_util;
+    let lanes = f64::from(arch.sm_count) * f64::from(arch.fp32_per_sm);
+    // Pipeline utilization: enough warps×ILP must be in flight to cover ALU
+    // latency. Warps needed per SM = (lanes/warp) × latency.
+    let warps_needed =
+        f64::from(arch.fp32_per_sm) / f64::from(arch.warp_size) * arch.alu_latency_cycles;
+    let issue_util = ((f64::from(occ.active_warps) * model.ilp) / warps_needed).min(1.0);
+    let compute_s =
+        total_lane_cycles / (lanes * arch.clock_ghz * 1e9 * issue_util.max(1e-3));
+
+    // ---- Memory bound ---------------------------------------------------
+    let dram_bytes =
+        model.gmem_bytes_per_thread * (1.0 - model.l2_hit_rate) * total_threads;
+    let l2_bytes = model.gmem_bytes_per_thread * model.l2_hit_rate * total_threads;
+    let spill_bytes = model.spill_bytes_per_thread * total_threads;
+    // Little's law: achievable bandwidth = bytes-in-flight / latency.
+    let latency_cycles = if model.uses_readonly_cache {
+        arch.dram_latency_cycles * 0.75
+    } else {
+        arch.dram_latency_cycles
+    };
+    let latency_s = latency_cycles / (arch.clock_ghz * 1e9);
+    // Each active warp keeps roughly min(ilp, 8) 32-byte sectors in flight
+    // per outstanding load instruction.
+    let mlp = model.ilp.clamp(1.0, 8.0);
+    let inflight_bytes = f64::from(occ.active_warps)
+        * f64::from(arch.sm_count)
+        * f64::from(arch.warp_size)
+        * mlp
+        * 4.0; // bytes per lane-access kept in flight
+    let achievable_bw = (inflight_bytes / latency_s).min(arch.mem_bandwidth_gbs * 1e9);
+    let eff_dram_bw = achievable_bw * model.coalescing;
+    let memory_s = if dram_bytes + l2_bytes + spill_bytes > 0.0 {
+        dram_bytes * wave_quantization / eff_dram_bw.max(1.0)
+            + l2_bytes * wave_quantization / (arch.l2_bandwidth_gbs * 1e9)
+            + spill_bytes * wave_quantization / (arch.l2_bandwidth_gbs * 1e9 * 0.5)
+    } else {
+        0.0
+    };
+
+    // ---- Shared-memory bound ---------------------------------------------
+    let smem_bytes_total = model.smem_accesses_per_thread
+        * 4.0
+        * model.bank_conflict_factor
+        * total_threads
+        * wave_quantization
+        / lane_util;
+    let smem_bw = f64::from(arch.sm_count) * arch.smem_bytes_per_cycle * arch.clock_ghz * 1e9;
+    let smem_s = smem_bytes_total / smem_bw;
+
+    // ---- Combine ----------------------------------------------------------
+    let overhead_s = arch.launch_overhead_us * 1e-6;
+    let body_s = compute_s.max(memory_s).max(smem_s);
+    // Bounds overlap imperfectly in real hardware; add a small fraction of
+    // the non-dominant bounds to avoid knife-edge max() artifacts.
+    let secondary = (compute_s + memory_s + smem_s - body_s) * 0.15;
+    let time_s = body_s + secondary + overhead_s;
+
+    let bound = if overhead_s > body_s {
+        Bound::Overhead
+    } else if body_s == compute_s {
+        Bound::Compute
+    } else if body_s == memory_s {
+        Bound::Memory
+    } else {
+        Bound::SharedMem
+    };
+
+    Ok(KernelTiming {
+        time_ms: time_s * 1e3,
+        occupancy: occ,
+        bound,
+        waves,
+        compute_ms: compute_s * 1e3,
+        memory_ms: memory_s * 1e3,
+        smem_ms: smem_s * 1e3,
+    })
+}
+
+/// Price `launches` back-to-back launches of the same kernel (used by
+/// iterative applications such as Hotspot, where temporal tiling trades
+/// fewer launches for redundant computation).
+pub fn execute_repeated(
+    arch: &GpuArch,
+    model: &KernelModel,
+    launches: u64,
+) -> Result<f64, LaunchError> {
+    let t = execute(arch, model)?;
+    Ok(t.time_ms * launches as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute_kernel() -> KernelModel {
+        let mut m = KernelModel::new("flops", 1 << 14, 256);
+        m.flops_per_thread = 20_000.0;
+        m.ilp = 4.0;
+        m
+    }
+
+    fn memory_kernel() -> KernelModel {
+        let mut m = KernelModel::new("stream", 1 << 14, 256);
+        m.gmem_bytes_per_thread = 1024.0;
+        m.gmem_transactions_per_thread = 256.0;
+        m.ilp = 4.0;
+        m
+    }
+
+    #[test]
+    fn compute_kernel_is_compute_bound() {
+        let t = execute(&GpuArch::rtx_3090(), &compute_kernel()).unwrap();
+        assert_eq!(t.bound, Bound::Compute);
+        assert!(t.time_ms > 0.0);
+    }
+
+    #[test]
+    fn memory_kernel_is_memory_bound() {
+        let t = execute(&GpuArch::rtx_3090(), &memory_kernel()).unwrap();
+        assert_eq!(t.bound, Bound::Memory);
+    }
+
+    #[test]
+    fn compute_kernel_near_peak_flops() {
+        let arch = GpuArch::rtx_3090();
+        let m = compute_kernel();
+        let t = execute(&arch, &m).unwrap();
+        let flops = m.flops_per_thread * m.total_threads();
+        let gflops = flops / (t.time_ms * 1e-3) / 1e9;
+        // Within 50%..100% of peak (secondary terms and launch overhead eat some).
+        assert!(gflops < arch.peak_gflops());
+        assert!(
+            gflops > 0.5 * arch.peak_gflops(),
+            "{gflops} vs peak {}",
+            arch.peak_gflops()
+        );
+    }
+
+    #[test]
+    fn memory_kernel_near_peak_bandwidth() {
+        let arch = GpuArch::rtx_3090();
+        let m = memory_kernel();
+        let t = execute(&arch, &m).unwrap();
+        let bytes = m.gmem_bytes_per_thread * m.total_threads();
+        let gbs = bytes / (t.time_ms * 1e-3) / 1e9;
+        assert!(gbs < arch.mem_bandwidth_gbs);
+        assert!(
+            gbs > 0.5 * arch.mem_bandwidth_gbs,
+            "{gbs} vs peak {}",
+            arch.mem_bandwidth_gbs
+        );
+    }
+
+    #[test]
+    fn poor_coalescing_slows_memory_kernels() {
+        let arch = GpuArch::rtx_3090();
+        let good = execute(&arch, &memory_kernel()).unwrap();
+        let mut bad_model = memory_kernel();
+        bad_model.coalescing = 0.25;
+        let bad = execute(&arch, &bad_model).unwrap();
+        assert!(bad.time_ms > 2.0 * good.time_ms);
+    }
+
+    #[test]
+    fn low_occupancy_throttles_bandwidth() {
+        let arch = GpuArch::rtx_3090();
+        let mut m = memory_kernel();
+        m.regs_per_thread = 255; // crushes occupancy
+        m.threads_per_block = 32;
+        m.ilp = 1.0; // no memory-level parallelism to compensate
+        let starved = execute(&arch, &m).unwrap();
+        let healthy = execute(&arch, &memory_kernel()).unwrap();
+        let b_starved =
+            m.gmem_bytes_per_thread * m.total_threads() / (starved.time_ms * 1e-3);
+        let healthy_model = memory_kernel();
+        let b_healthy = healthy_model.gmem_bytes_per_thread * healthy_model.total_threads()
+            / (healthy.time_ms * 1e-3);
+        assert!(b_starved < b_healthy);
+    }
+
+    #[test]
+    fn bank_conflicts_slow_smem_kernels() {
+        let arch = GpuArch::rtx_2080_ti();
+        let mut m = KernelModel::new("smem", 1 << 14, 256);
+        m.smem_accesses_per_thread = 4096.0;
+        m.ilp = 4.0;
+        let clean = execute(&arch, &m).unwrap();
+        m.bank_conflict_factor = 8.0;
+        let conflicted = execute(&arch, &m).unwrap();
+        assert!(conflicted.time_ms > 4.0 * clean.time_ms);
+        assert_eq!(conflicted.bound, Bound::SharedMem);
+    }
+
+    #[test]
+    fn tiny_grids_pay_launch_overhead() {
+        let arch = GpuArch::rtx_3090();
+        let mut m = KernelModel::new("tiny", 1, 32);
+        m.flops_per_thread = 10.0;
+        let t = execute(&arch, &m).unwrap();
+        assert_eq!(t.bound, Bound::Overhead);
+        assert!(t.time_ms >= arch.launch_overhead_us * 1e-3);
+    }
+
+    #[test]
+    fn wave_quantization_counts_whole_waves() {
+        let arch = GpuArch::rtx_3090();
+        let m = compute_kernel();
+        let t = execute(&arch, &m).unwrap();
+        assert!(t.waves >= 1);
+        let blocks_in_flight =
+            u64::from(t.occupancy.blocks_per_sm) * u64::from(arch.sm_count);
+        assert_eq!(t.waves, m.grid_blocks.div_ceil(blocks_in_flight));
+    }
+
+    #[test]
+    fn faster_gpu_is_faster_on_both_bounds() {
+        let slow = GpuArch::rtx_3060();
+        let fast = GpuArch::rtx_3090();
+        for m in [compute_kernel(), memory_kernel()] {
+            let ts = execute(&slow, &m).unwrap();
+            let tf = execute(&fast, &m).unwrap();
+            assert!(tf.time_ms < ts.time_ms, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn repeated_execution_scales_linearly() {
+        let arch = GpuArch::rtx_3090();
+        let m = compute_kernel();
+        let one = execute_repeated(&arch, &m, 1).unwrap();
+        let ten = execute_repeated(&arch, &m, 10).unwrap();
+        assert!((ten / one - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn launch_error_propagates() {
+        let arch = GpuArch::rtx_2080_ti();
+        let mut m = KernelModel::new("huge-smem", 16, 256);
+        m.smem_per_block = 90 * 1024; // fits Ampere (99 KiB) but not Turing
+        assert!(execute(&arch, &m).is_err());
+        assert!(execute(&GpuArch::rtx_3090(), &m).is_ok());
+    }
+}

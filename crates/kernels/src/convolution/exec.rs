@@ -1,0 +1,191 @@
+//! Functional executor for the Convolution benchmark.
+//!
+//! [`convolution_tiled`] mirrors the GPU structure: blocks own an output
+//! tile, stage the halo-extended input region in a "shared" buffer (with
+//! optional row padding, which must not change results) and compute
+//! `tile_size_x × tile_size_y` outputs per thread.
+
+use rayon::prelude::*;
+
+use super::ConvolutionConfig;
+
+/// Naive reference convolution: output size `(w, h)`, input size
+/// `(w + fw - 1, h + fh - 1)` (valid mode — no border handling needed).
+pub fn convolution_reference(
+    w: usize,
+    h: usize,
+    fw: usize,
+    fh: usize,
+    input: &[f32],
+    filter: &[f32],
+) -> Vec<f32> {
+    let iw = w + fw - 1;
+    assert_eq!(input.len(), iw * (h + fh - 1));
+    assert_eq!(filter.len(), fw * fh);
+    let mut out = vec![0.0f32; w * h];
+    out.par_chunks_mut(w).enumerate().for_each(|(y, row)| {
+        for (x, slot) in row.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for j in 0..fh {
+                for i in 0..fw {
+                    acc += input[(y + j) * iw + x + i] * filter[j * fw + i];
+                }
+            }
+            *slot = acc;
+        }
+    });
+    out
+}
+
+/// Tiled execution with the decomposition implied by `cfg`.
+pub fn convolution_tiled(
+    cfg: &ConvolutionConfig,
+    w: usize,
+    h: usize,
+    fw: usize,
+    fh: usize,
+    input: &[f32],
+    filter: &[f32],
+) -> Vec<f32> {
+    let iw = w + fw - 1;
+    let ox = cfg.out_x() as usize;
+    let oy = cfg.out_y() as usize;
+    let pad = usize::from(cfg.use_padding);
+    let tile_w = ox + fw - 1 + pad;
+    let tile_h = oy + fh - 1;
+    let blocks_x = w.div_ceil(ox);
+
+    let mut out = vec![0.0f32; w * h];
+    out.par_chunks_mut(w * oy)
+        .enumerate()
+        .for_each(|(by, out_rows)| {
+            let rows_here = out_rows.len() / w;
+            let y0 = by * oy;
+            let mut tile = vec![0.0f32; tile_w * tile_h];
+            for bx in 0..blocks_x {
+                let x0 = bx * ox;
+                // Cooperative staging of the halo-extended tile. Out-of-image
+                // region (right/bottom partial blocks) stages zeros that are
+                // never read for in-image outputs.
+                for ty in 0..tile_h {
+                    for tx in 0..tile_w - pad {
+                        let gx = x0 + tx;
+                        let gy = y0 + ty;
+                        tile[ty * tile_w + tx] = if gx < iw && gy < h + fh - 1 {
+                            input[gy * iw + gx]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+                // Each thread (i,j) computes tile_size_x × tile_size_y
+                // outputs strided by the block dimensions (as the GPU
+                // kernel does).
+                let bsx = cfg.block_size_x as usize;
+                let bsy = cfg.block_size_y as usize;
+                for tj in 0..bsy {
+                    for ti in 0..bsx {
+                        for wy in 0..cfg.tile_size_y as usize {
+                            for wx in 0..cfg.tile_size_x as usize {
+                                let lx = ti + wx * bsx;
+                                let ly = tj + wy * bsy;
+                                let gx = x0 + lx;
+                                let gy = y0 + ly;
+                                if gx >= w || gy >= h || ly >= rows_here.min(oy) {
+                                    continue;
+                                }
+                                let mut acc = 0.0f32;
+                                for j in 0..fh {
+                                    for i in 0..fw {
+                                        acc += tile[(ly + j) * tile_w + lx + i]
+                                            * filter[j * fw + i];
+                                    }
+                                }
+                                out_rows[ly * w + gx] = acc;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    out
+}
+
+/// Deterministic pseudo-random buffer in [-1, 1).
+pub fn random_buffer(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: usize = 128;
+    const H: usize = 96;
+    const FW: usize = 9;
+    const FH: usize = 9;
+
+    fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+    }
+
+    fn check(cfg_values: &[i64]) {
+        let cfg = ConvolutionConfig::from_values(cfg_values);
+        let input = random_buffer((W + FW - 1) * (H + FH - 1), 21);
+        let filter = random_buffer(FW * FH, 22);
+        let reference = convolution_reference(W, H, FW, FH, &input, &filter);
+        let tiled = convolution_tiled(&cfg, W, H, FW, FH, &input, &filter);
+        let diff = max_abs_diff(&reference, &tiled);
+        assert!(diff < 1e-4, "config {cfg_values:?} diverged: {diff}");
+    }
+
+    #[test]
+    fn square_blocks_match_reference() {
+        check(&[16, 8, 2, 2, 0, 0]);
+    }
+
+    #[test]
+    fn padding_does_not_change_results() {
+        check(&[48, 2, 2, 2, 1, 0]);
+        check(&[48, 2, 2, 2, 0, 0]);
+    }
+
+    #[test]
+    fn wide_flat_blocks_match_reference() {
+        check(&[128, 1, 1, 8, 0, 1]);
+    }
+
+    #[test]
+    fn single_thread_tiles_match_reference() {
+        check(&[32, 1, 4, 6, 1, 1]);
+    }
+
+    #[test]
+    fn non_dividing_tiles_handle_edges() {
+        // 48*3=144 does not divide 128; partial blocks must be correct.
+        check(&[48, 4, 3, 3, 0, 0]);
+    }
+
+    #[test]
+    fn delta_filter_is_identity() {
+        let mut filter = vec![0.0f32; FW * FH];
+        filter[0] = 1.0; // top-left tap: output(x,y) = input(x,y)
+        let input = random_buffer((W + FW - 1) * (H + FH - 1), 5);
+        let cfg = ConvolutionConfig::from_values(&[16, 4, 2, 2, 0, 0]);
+        let out = convolution_tiled(&cfg, W, H, FW, FH, &input, &filter);
+        let iw = W + FW - 1;
+        for y in (0..H).step_by(7) {
+            for x in (0..W).step_by(11) {
+                assert_eq!(out[y * W + x], input[y * iw + x]);
+            }
+        }
+    }
+}

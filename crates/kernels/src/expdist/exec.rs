@@ -1,0 +1,165 @@
+//! Functional executor for the Expdist benchmark.
+//!
+//! Computes the registration cost
+//! `D = Σᵢ Σⱼ exp(−‖t_i − m_j‖² / (σt_i² + σm_j²))`
+//! with the block decomposition implied by a configuration (row mode or
+//! column-strip mode with `n_y_blocks` strips) and per-block partial sums,
+//! mirroring the GPU reduction structure.
+
+use rayon::prelude::*;
+
+use super::ExpdistConfig;
+
+/// A localization: position plus squared uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Localization {
+    /// x position.
+    pub x: f32,
+    /// y position.
+    pub y: f32,
+    /// squared uncertainty σ².
+    pub sigma_sq: f32,
+}
+
+/// Deterministic pseudo-random particle of `n` localizations.
+pub fn random_particle(n: usize, seed: u64) -> Vec<Localization> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| Localization {
+            x: (next() * 2.0 - 1.0) as f32,
+            y: (next() * 2.0 - 1.0) as f32,
+            sigma_sq: (0.01 + 0.05 * next()) as f32,
+        })
+        .collect()
+}
+
+#[inline]
+fn pair_cost(t: Localization, m: Localization) -> f64 {
+    let dx = f64::from(t.x) - f64::from(m.x);
+    let dy = f64::from(t.y) - f64::from(m.y);
+    let denom = f64::from(t.sigma_sq) + f64::from(m.sigma_sq);
+    (-(dx * dx + dy * dy) / denom).exp()
+}
+
+/// Naive reference cost.
+pub fn expdist_reference(t: &[Localization], m: &[Localization]) -> f64 {
+    t.par_iter()
+        .map(|&ti| m.iter().map(|&mj| pair_cost(ti, mj)).sum::<f64>())
+        .sum()
+}
+
+/// Cost with the decomposition implied by `cfg`: per-block partial sums
+/// accumulated exactly as the GPU grid would produce them.
+pub fn expdist_tiled(cfg: &ExpdistConfig, t: &[Localization], m: &[Localization]) -> f64 {
+    let x_span = (cfg.block_size_x * cfg.tile_size_x) as usize;
+    let y_span = (cfg.block_size_y * cfg.tile_size_y) as usize;
+    let x_blocks = t.len().div_ceil(x_span);
+    let y_blocks = if cfg.use_column {
+        cfg.n_y_blocks as usize
+    } else {
+        m.len().div_ceil(y_span)
+    };
+
+    let block_ids: Vec<(usize, usize)> = (0..x_blocks)
+        .flat_map(|bx| (0..y_blocks).map(move |by| (bx, by)))
+        .collect();
+
+    block_ids
+        .par_iter()
+        .map(|&(bx, by)| {
+            let t_lo = bx * x_span;
+            let t_hi = (t_lo + x_span).min(t.len());
+            let mut partial = 0.0f64;
+            if cfg.use_column {
+                // Strip by: m-indices by, by + nyb, ... in y_span chunks.
+                let strip = cfg.n_y_blocks as usize;
+                let mut j0 = by * y_span;
+                while j0 < m.len() {
+                    let j_hi = (j0 + y_span).min(m.len());
+                    for ti in &t[t_lo..t_hi] {
+                        for mj in &m[j0..j_hi] {
+                            partial += pair_cost(*ti, *mj);
+                        }
+                    }
+                    j0 += strip * y_span;
+                }
+            } else {
+                let j0 = by * y_span;
+                let j_hi = (j0 + y_span).min(m.len());
+                for ti in &t[t_lo..t_hi] {
+                    for mj in &m[j0..j_hi] {
+                        partial += pair_cost(*ti, *mj);
+                    }
+                }
+            }
+            partial
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(cfg_values: &[i64], kt: usize, km: usize) {
+        let cfg = ExpdistConfig::from_values(cfg_values);
+        let t = random_particle(kt, 31);
+        let m = random_particle(km, 32);
+        let reference = expdist_reference(&t, &m);
+        let tiled = expdist_tiled(&cfg, &t, &m);
+        let rel = (reference - tiled).abs() / reference.abs();
+        assert!(rel < 1e-9, "config {cfg_values:?} diverged: {rel}");
+    }
+
+    #[test]
+    fn row_mode_matches_reference() {
+        check(&[32, 2, 2, 2, 0, 1, 1, 0, 1], 256, 256);
+    }
+
+    #[test]
+    fn column_mode_matches_reference() {
+        check(&[32, 2, 2, 2, 1, 2, 2, 1, 4], 256, 256);
+    }
+
+    #[test]
+    fn column_mode_single_strip_matches_reference() {
+        check(&[64, 1, 1, 4, 2, 1, 2, 1, 1], 128, 512);
+    }
+
+    #[test]
+    fn uneven_sizes_are_handled() {
+        check(&[32, 2, 3, 2, 0, 3, 1, 0, 1], 250, 190);
+        check(&[32, 4, 2, 3, 1, 2, 3, 1, 8], 250, 190);
+    }
+
+    #[test]
+    fn identical_points_give_pair_count() {
+        // All points identical: every pair contributes exp(0) = 1.
+        let p = Localization {
+            x: 0.5,
+            y: -0.25,
+            sigma_sq: 0.1,
+        };
+        let t = vec![p; 64];
+        let m = vec![p; 48];
+        let cfg = ExpdistConfig::from_values(&[32, 2, 1, 1, 0, 1, 1, 0, 1]);
+        let d = expdist_tiled(&cfg, &t, &m);
+        assert!((d - (64.0 * 48.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distant_clouds_have_near_zero_cost() {
+        let mut t = random_particle(64, 7);
+        for p in &mut t {
+            p.x += 100.0;
+        }
+        let m = random_particle(64, 8);
+        assert!(expdist_reference(&t, &m) < 1e-12);
+    }
+}

@@ -1,0 +1,237 @@
+//! Functional executor for the GEMM benchmark.
+//!
+//! Real tuners verify each configuration's output against a reference. This
+//! module reproduces that code path on the CPU: [`gemm_tiled`] executes the
+//! *same blocking structure* the GPU kernel would use for a configuration
+//! (MWG×NWG block tiles, KWG-step K loop, optional shared-memory staging,
+//! per-thread WPT_M×WPT_N accumulators, vector-width chunked loads), so
+//! every configuration variant is exercised functionally, not just priced.
+
+use rayon::prelude::*;
+
+use super::{GemmConfig, KWG};
+
+/// Naive reference: `C = alpha * A·B + beta * C`, row-major.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_reference(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c_in: &[f32],
+    alpha: f32,
+    beta: f32,
+) -> Vec<f32> {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c_in.len(), m * n);
+    let mut c = vec![0.0f32; m * n];
+    c.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        for (j, out) in row.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            *out = alpha * acc + beta * c_in[i * n + j];
+        }
+    });
+    c
+}
+
+/// Execute GEMM with the blocking structure implied by `cfg`.
+///
+/// Requirements (upheld by the benchmark's problem sizes): `m % MWG == 0`,
+/// `n % NWG == 0`, `k % KWG == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tiled(
+    cfg: &GemmConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c_in: &[f32],
+    alpha: f32,
+    beta: f32,
+) -> Vec<f32> {
+    let mwg = cfg.mwg as usize;
+    let nwg = cfg.nwg as usize;
+    let kwg = KWG as usize;
+    assert_eq!(m % mwg, 0, "m must be a multiple of MWG");
+    assert_eq!(n % nwg, 0, "n must be a multiple of NWG");
+    assert_eq!(k % kwg, 0, "k must be a multiple of KWG");
+
+    let mdimc = cfg.mdimc as usize;
+    let ndimc = cfg.ndimc as usize;
+    let wpt_m = mwg / mdimc;
+    let wpt_n = nwg / ndimc;
+    let vwm = cfg.vwm as usize;
+
+    let blocks_n = n / nwg;
+
+    let mut c = vec![0.0f32; m * n];
+    // One rayon task per thread-block row, mirroring the GPU grid.
+    c.par_chunks_mut(mwg * n)
+        .enumerate()
+        .for_each(|(bm, c_rows)| {
+            let mut alm = vec![0.0f32; kwg * mwg]; // "shared" A tile
+            let mut blm = vec![0.0f32; kwg * nwg]; // "shared" B tile
+            for bn in 0..blocks_n {
+                let row0 = bm * mwg;
+                let col0 = bn * nwg;
+                // Per-thread accumulators for the whole block, laid out
+                // [mdimc][ndimc][wpt_m][wpt_n].
+                let mut acc = vec![0.0f32; mwg * nwg];
+                for k0 in (0..k).step_by(kwg) {
+                    if cfg.sa {
+                        // Cooperative staging of the A tile (KWG × MWG).
+                        for kk in 0..kwg {
+                            for im in 0..mwg {
+                                alm[kk * mwg + im] = a[(row0 + im) * k + k0 + kk];
+                            }
+                        }
+                    }
+                    if cfg.sb {
+                        for kk in 0..kwg {
+                            for jn in 0..nwg {
+                                blm[kk * nwg + jn] = b[(k0 + kk) * n + col0 + jn];
+                            }
+                        }
+                    }
+                    for ti in 0..mdimc {
+                        for tj in 0..ndimc {
+                            for kk in 0..kwg {
+                                // Vector-width chunking over the M work:
+                                // loads happen VWM elements at a time.
+                                let mut wm = 0;
+                                while wm < wpt_m {
+                                    let chunk = vwm.min(wpt_m - wm);
+                                    for v in 0..chunk {
+                                        let im = ti * wpt_m + wm + v;
+                                        let a_val = if cfg.sa {
+                                            alm[kk * mwg + im]
+                                        } else {
+                                            a[(row0 + im) * k + k0 + kk]
+                                        };
+                                        for wn in 0..wpt_n {
+                                            let jn = tj * wpt_n + wn;
+                                            let b_val = if cfg.sb {
+                                                blm[kk * nwg + jn]
+                                            } else {
+                                                b[(k0 + kk) * n + col0 + jn]
+                                            };
+                                            acc[im * nwg + jn] += a_val * b_val;
+                                        }
+                                    }
+                                    wm += chunk;
+                                }
+                            }
+                        }
+                    }
+                }
+                for im in 0..mwg {
+                    for jn in 0..nwg {
+                        let gi = im; // row within c_rows
+                        let gj = col0 + jn;
+                        c_rows[gi * n + gj] =
+                            alpha * acc[im * nwg + jn] + beta * c_in[(row0 + im) * n + gj];
+                    }
+                }
+            }
+        });
+    c
+}
+
+/// Deterministic pseudo-random matrix in [-1, 1).
+pub fn test_matrix(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..rows * cols)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+        })
+        .collect()
+}
+
+/// Relative max-abs difference between two vectors.
+pub fn max_rel_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() / scale
+        })
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: usize = 128;
+    const N: usize = 128;
+    const K: usize = 64;
+
+    fn check(cfg_values: &[i64]) {
+        let cfg = GemmConfig::from_values(cfg_values);
+        let a = test_matrix(M, K, 1);
+        let b = test_matrix(K, N, 2);
+        let c0 = test_matrix(M, N, 3);
+        let reference = gemm_reference(M, N, K, &a, &b, &c0, 1.5, 0.5);
+        let tiled = gemm_tiled(&cfg, M, N, K, &a, &b, &c0, 1.5, 0.5);
+        let diff = max_rel_diff(&reference, &tiled);
+        assert!(diff < 1e-4, "config {cfg_values:?} diverged: {diff}");
+    }
+
+    #[test]
+    fn staged_both_matches_reference() {
+        check(&[64, 64, 16, 16, 16, 16, 2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn unstaged_matches_reference() {
+        check(&[32, 32, 8, 8, 8, 8, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn mixed_staging_matches_reference() {
+        check(&[128, 16, 16, 8, 8, 16, 8, 2, 1, 0]);
+        check(&[16, 128, 8, 16, 16, 8, 2, 8, 0, 1]);
+    }
+
+    #[test]
+    fn wide_vectors_match_reference() {
+        check(&[128, 128, 16, 16, 16, 16, 8, 8, 1, 1]);
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        // A = I: C must equal alpha*B + beta*C0.
+        let m = 64;
+        let mut a = vec![0.0f32; m * m];
+        for i in 0..m {
+            a[i * m + i] = 1.0;
+        }
+        let b = test_matrix(m, m, 7);
+        let c0 = vec![0.0f32; m * m];
+        let cfg = GemmConfig::from_values(&[16, 16, 8, 8, 8, 8, 2, 2, 1, 1]);
+        let c = gemm_tiled(&cfg, m, m, m, &a, &b, &c0, 1.0, 0.0);
+        assert!(max_rel_diff(&c, &b) < 1e-6);
+    }
+
+    #[test]
+    fn beta_scales_existing_c() {
+        let m = 32;
+        let a = vec![0.0f32; m * m];
+        let b = vec![0.0f32; m * m];
+        let c0 = test_matrix(m, m, 9);
+        let cfg = GemmConfig::from_values(&[16, 16, 8, 8, 8, 8, 1, 1, 0, 0]);
+        let c = gemm_tiled(&cfg, m, m, m, &a, &b, &c0, 1.0, 2.0);
+        let expect: Vec<f32> = c0.iter().map(|v| 2.0 * v).collect();
+        assert!(max_rel_diff(&c, &expect) < 1e-6);
+    }
+}

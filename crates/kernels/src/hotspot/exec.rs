@@ -1,0 +1,282 @@
+//! Functional executor for the Hotspot benchmark.
+//!
+//! [`hotspot_tiled`] reproduces the GPU algorithm exactly: blocks own an
+//! output tile, load a halo-extended input region, advance the stencil
+//! `temporal_tiling_factor` steps over shrinking regions in "shared memory",
+//! and write back only the core. Verified against a step-by-step global
+//! reference sweep.
+
+use rayon::prelude::*;
+
+use super::HotspotConfig;
+
+/// Physical coefficients of the heat equation update (Rodinia-style).
+#[derive(Debug, Clone, Copy)]
+pub struct HotspotCoeffs {
+    /// x-direction conductance.
+    pub rx: f32,
+    /// y-direction conductance.
+    pub ry: f32,
+    /// vertical conductance to ambient.
+    pub rz: f32,
+    /// time step over heat capacity.
+    pub step_div_cap: f32,
+    /// ambient temperature.
+    pub amb: f32,
+}
+
+impl Default for HotspotCoeffs {
+    fn default() -> Self {
+        HotspotCoeffs {
+            rx: 0.1,
+            ry: 0.1,
+            rz: 0.05,
+            step_div_cap: 0.1,
+            amb: 80.0,
+        }
+    }
+}
+
+#[inline]
+fn clamp_idx(i: i64, n: usize) -> usize {
+    i.clamp(0, n as i64 - 1) as usize
+}
+
+#[inline]
+fn cell_update(
+    c: &HotspotCoeffs,
+    center: f32,
+    north: f32,
+    south: f32,
+    east: f32,
+    west: f32,
+    power: f32,
+) -> f32 {
+    center
+        + c.step_div_cap
+            * (power
+                + (north + south - 2.0 * center) * c.ry
+                + (east + west - 2.0 * center) * c.rx
+                + (c.amb - center) * c.rz)
+}
+
+/// One global stencil step (reference).
+pub fn hotspot_step(temp: &[f32], power: &[f32], w: usize, h: usize, c: &HotspotCoeffs) -> Vec<f32> {
+    let mut out = vec![0.0f32; w * h];
+    out.par_chunks_mut(w).enumerate().for_each(|(y, row)| {
+        for x in 0..w {
+            let at = |xx: i64, yy: i64| temp[clamp_idx(yy, h) * w + clamp_idx(xx, w)];
+            row[x] = cell_update(
+                c,
+                at(x as i64, y as i64),
+                at(x as i64, y as i64 - 1),
+                at(x as i64, y as i64 + 1),
+                at(x as i64 + 1, y as i64),
+                at(x as i64 - 1, y as i64),
+                power[y * w + x],
+            );
+        }
+    });
+    out
+}
+
+/// `steps` global stencil steps (reference).
+pub fn hotspot_reference(
+    temp: &[f32],
+    power: &[f32],
+    w: usize,
+    h: usize,
+    steps: usize,
+    c: &HotspotCoeffs,
+) -> Vec<f32> {
+    let mut t = temp.to_vec();
+    for _ in 0..steps {
+        t = hotspot_step(&t, power, w, h, c);
+    }
+    t
+}
+
+/// Temporally-tiled execution with the decomposition implied by `cfg`.
+///
+/// `steps` must be a multiple of `temporal_tiling_factor` for exact
+/// equivalence with the reference (the benchmark rounds up launches, which
+/// would advance extra steps).
+pub fn hotspot_tiled(
+    cfg: &HotspotConfig,
+    temp: &[f32],
+    power: &[f32],
+    w: usize,
+    h: usize,
+    steps: usize,
+    coeffs: &HotspotCoeffs,
+) -> Vec<f32> {
+    let tt = cfg.temporal_tiling_factor as usize;
+    assert_eq!(steps % tt, 0, "steps must be a multiple of the tiling factor");
+    let ox = cfg.out_x() as usize;
+    let oy = cfg.out_y() as usize;
+    let (tw, th) = cfg.tile_dims();
+    let (tw, th) = (tw as usize, th as usize);
+
+    let mut current = temp.to_vec();
+    let blocks_x = w.div_ceil(ox);
+
+    for _launch in 0..steps / tt {
+        let src = &current;
+        let mut next = vec![0.0f32; w * h];
+        // One rayon task per block row of output tiles.
+        next.par_chunks_mut(w * oy)
+            .enumerate()
+            .for_each(|(by, out_rows)| {
+                let rows_here = out_rows.len() / w;
+                let y0 = by * oy;
+                let mut t_now = vec![0.0f32; tw * th];
+                let mut t_next = vec![0.0f32; tw * th];
+                let mut p_sh = vec![0.0f32; tw * th];
+                for bx in 0..blocks_x {
+                    let x0 = bx * ox;
+                    // Load halo-extended tile with clamped borders.
+                    for ty in 0..th {
+                        for tx in 0..tw {
+                            let gx = x0 as i64 + tx as i64 - tt as i64;
+                            let gy = y0 as i64 + ty as i64 - tt as i64;
+                            t_now[ty * tw + tx] =
+                                src[clamp_idx(gy, h) * w + clamp_idx(gx, w)];
+                            p_sh[ty * tw + tx] =
+                                power[clamp_idx(gy, h) * w + clamp_idx(gx, w)];
+                        }
+                    }
+                    // tt steps over shrinking regions. Cells whose stencil
+                    // would need data outside the tile use clamped *global*
+                    // coordinates, matching what the reference does at the
+                    // domain boundary.
+                    for s in 0..tt {
+                        let margin = s + 1;
+                        for ty in margin..th - margin {
+                            for tx in margin..tw - margin {
+                                let gx = x0 as i64 + tx as i64 - tt as i64;
+                                let gy = y0 as i64 + ty as i64 - tt as i64;
+                                if gx < 0 || gy < 0 || gx >= w as i64 || gy >= h as i64 {
+                                    continue;
+                                }
+                                // Clamped neighbour fetch *within the tile*,
+                                // emulating domain-boundary clamping: a
+                                // neighbour outside the domain clamps to the
+                                // edge cell, which lives in the tile as long
+                                // as the tile covers the domain edge.
+                                let fetch = |dx: i64, dy: i64| -> f32 {
+                                    let nx = (gx + dx).clamp(0, w as i64 - 1);
+                                    let ny = (gy + dy).clamp(0, h as i64 - 1);
+                                    let ltx = (nx - (x0 as i64 - tt as i64)) as usize;
+                                    let lty = (ny - (y0 as i64 - tt as i64)) as usize;
+                                    t_now[lty * tw + ltx]
+                                };
+                                t_next[ty * tw + tx] = cell_update(
+                                    coeffs,
+                                    t_now[ty * tw + tx],
+                                    fetch(0, -1),
+                                    fetch(0, 1),
+                                    fetch(1, 0),
+                                    fetch(-1, 0),
+                                    p_sh[ty * tw + tx],
+                                );
+                            }
+                        }
+                        std::mem::swap(&mut t_now, &mut t_next);
+                    }
+                    // Write back the core region.
+                    for oy_i in 0..rows_here.min(oy) {
+                        let gy = y0 + oy_i;
+                        for ox_i in 0..ox {
+                            let gx = x0 + ox_i;
+                            if gx >= w || gy >= h {
+                                continue;
+                            }
+                            out_rows[oy_i * w + gx] =
+                                t_now[(oy_i + tt) * tw + ox_i + tt];
+                        }
+                    }
+                }
+            });
+        current = next;
+    }
+    current
+}
+
+/// Deterministic pseudo-random field in [lo, hi).
+pub fn random_field(w: usize, h: usize, lo: f32, hi: f32, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..w * h)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            lo + (hi - lo) * ((state >> 11) as f64 / (1u64 << 53) as f64) as f32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+    }
+
+    fn check(cfg_values: &[i64], w: usize, h: usize, steps: usize) {
+        let cfg = HotspotConfig::from_values(cfg_values);
+        let temp = random_field(w, h, 70.0, 90.0, 5);
+        let power = random_field(w, h, 0.0, 1.0, 6);
+        let coeffs = HotspotCoeffs::default();
+        let reference = hotspot_reference(&temp, &power, w, h, steps, &coeffs);
+        let tiled = hotspot_tiled(&cfg, &temp, &power, w, h, steps, &coeffs);
+        let diff = max_abs_diff(&reference, &tiled);
+        assert!(diff < 1e-4, "config {cfg_values:?} diverged: {diff}");
+    }
+
+    #[test]
+    fn no_temporal_tiling_matches_reference() {
+        check(&[16, 2, 2, 2, 1, 1, 0, 0], 64, 64, 4);
+    }
+
+    #[test]
+    fn temporal_tiling_2_matches_reference() {
+        check(&[16, 2, 2, 2, 2, 1, 1, 0], 64, 64, 4);
+    }
+
+    #[test]
+    fn temporal_tiling_4_matches_reference() {
+        check(&[8, 4, 2, 2, 4, 2, 1, 2], 64, 64, 8);
+    }
+
+    #[test]
+    fn non_square_blocks_match_reference() {
+        check(&[32, 1, 1, 6, 3, 1, 0, 0], 96, 96, 6);
+    }
+
+    #[test]
+    fn uniform_field_stays_uniform_without_power() {
+        // With zero power and T == ambient, the field is a fixed point.
+        let w = 32;
+        let cfg = HotspotConfig::from_values(&[8, 4, 1, 1, 2, 1, 0, 0]);
+        let coeffs = HotspotCoeffs::default();
+        let temp = vec![coeffs.amb; w * w];
+        let power = vec![0.0f32; w * w];
+        let out = hotspot_tiled(&cfg, &temp, &power, w, w, 4, &coeffs);
+        assert!(max_abs_diff(&out, &temp) < 1e-6);
+    }
+
+    #[test]
+    fn hot_spot_diffuses_outward() {
+        let w = 32;
+        let coeffs = HotspotCoeffs::default();
+        let temp = vec![coeffs.amb; w * w];
+        let mut power = vec![0.0f32; w * w];
+        power[(w / 2) * w + w / 2] = 10.0;
+        let out = hotspot_reference(&temp, &power, w, w, 10, &coeffs);
+        let center = out[(w / 2) * w + w / 2];
+        let corner = out[0];
+        assert!(center > corner);
+        assert!(center > coeffs.amb);
+    }
+}

@@ -1,0 +1,35 @@
+//! # bat-kernels
+//!
+//! The seven tunable GPU benchmark kernels of BAT 2.0, each with:
+//!
+//! * its exact Table I–VII configuration space plus restriction set,
+//! * a cost model mapping configurations to [`bat_gpusim::KernelModel`]s,
+//! * a functional CPU executor that reproduces the GPU decomposition
+//!   (tiling, staging, strides) and is verified against a naive reference,
+//! * generated CUDA-C source for inspection.
+//!
+//! [`GpuBenchmark`] binds a kernel to a [`bat_gpusim::GpuArch`] to produce a
+//! [`bat_core::TuningProblem`] — the paper's shared problem interface.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod convolution;
+pub mod dedisp;
+pub mod expdist;
+pub mod gemm;
+pub mod hotspot;
+pub mod nbody;
+pub mod pnpoly;
+mod suite;
+pub mod t1;
+
+pub use common::{GpuBenchmark, KernelSpec};
+pub use convolution::ConvolutionKernel;
+pub use dedisp::DedispKernel;
+pub use expdist::ExpdistKernel;
+pub use gemm::GemmKernel;
+pub use hotspot::HotspotKernel;
+pub use nbody::NbodyKernel;
+pub use pnpoly::PnpolyKernel;
+pub use suite::{all_kernels, benchmark, kernel_by_name, BENCHMARK_NAMES};

@@ -1,0 +1,241 @@
+//! Functional executor for the N-body benchmark.
+//!
+//! Emulates the GPU decomposition: blocks of `block_size` threads, each
+//! thread owning `outer_unroll_factor` bodies, the inner loop over all
+//! bodies either streaming from "global" memory or via block-wide shared
+//! tiles, with AoS or SoA input layout. Verified against a naive all-pairs
+//! reference.
+
+use rayon::prelude::*;
+
+use super::NbodyConfig;
+
+/// Softening factor (as in the CUDA SDK sample).
+pub const SOFTENING_SQ: f32 = 1e-3;
+
+/// Bodies in structure-of-arrays layout.
+#[derive(Debug, Clone)]
+pub struct BodiesSoA {
+    /// x positions.
+    pub x: Vec<f32>,
+    /// y positions.
+    pub y: Vec<f32>,
+    /// z positions.
+    pub z: Vec<f32>,
+    /// masses.
+    pub m: Vec<f32>,
+}
+
+impl BodiesSoA {
+    /// Deterministic pseudo-random cloud of `n` bodies.
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+        };
+        let mut b = BodiesSoA {
+            x: Vec::with_capacity(n),
+            y: Vec::with_capacity(n),
+            z: Vec::with_capacity(n),
+            m: Vec::with_capacity(n),
+        };
+        for _ in 0..n {
+            b.x.push(next());
+            b.y.push(next());
+            b.z.push(next());
+            b.m.push(next().abs() + 0.1);
+        }
+        b
+    }
+
+    /// Convert to AoS layout (x, y, z, m interleaved).
+    pub fn to_aos(&self) -> Vec<f32> {
+        let n = self.x.len();
+        let mut out = Vec::with_capacity(n * 4);
+        for i in 0..n {
+            out.extend_from_slice(&[self.x[i], self.y[i], self.z[i], self.m[i]]);
+        }
+        out
+    }
+
+    /// Number of bodies.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn interact(
+    xi: f32,
+    yi: f32,
+    zi: f32,
+    xj: f32,
+    yj: f32,
+    zj: f32,
+    mj: f32,
+    acc: &mut [f32; 3],
+) {
+    let dx = xj - xi;
+    let dy = yj - yi;
+    let dz = zj - zi;
+    let dist_sq = dx * dx + dy * dy + dz * dz + SOFTENING_SQ;
+    let inv = 1.0 / dist_sq.sqrt();
+    let inv3 = inv * inv * inv;
+    let s = mj * inv3;
+    acc[0] += dx * s;
+    acc[1] += dy * s;
+    acc[2] += dz * s;
+}
+
+/// Naive all-pairs reference: acceleration of each body.
+pub fn nbody_reference(bodies: &BodiesSoA) -> Vec<[f32; 3]> {
+    let n = bodies.len();
+    (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut acc = [0.0f32; 3];
+            for j in 0..n {
+                interact(
+                    bodies.x[i], bodies.y[i], bodies.z[i], bodies.x[j], bodies.y[j],
+                    bodies.z[j], bodies.m[j], &mut acc,
+                );
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Execute one N-body force pass with the decomposition implied by `cfg`.
+///
+/// `n` must be a multiple of `block_size * outer_unroll_factor` (upheld by
+/// the benchmark's power-of-two sizes).
+pub fn nbody_tiled(cfg: &NbodyConfig, bodies: &BodiesSoA) -> Vec<[f32; 3]> {
+    let n = bodies.len();
+    let bs = cfg.block_size as usize;
+    let ou = cfg.outer_unroll as usize;
+    let bodies_per_block = bs * ou;
+    assert_eq!(n % bodies_per_block, 0, "n must divide into blocks");
+    let aos = if cfg.use_soa { Vec::new() } else { bodies.to_aos() };
+
+    let fetch = |j: usize| -> (f32, f32, f32, f32) {
+        if cfg.use_soa {
+            (bodies.x[j], bodies.y[j], bodies.z[j], bodies.m[j])
+        } else {
+            let base = j * 4;
+            (aos[base], aos[base + 1], aos[base + 2], aos[base + 3])
+        }
+    };
+
+    let n_blocks = n / bodies_per_block;
+    let mut out = vec![[0.0f32; 3]; n];
+    out.par_chunks_mut(bodies_per_block)
+        .enumerate()
+        .for_each(|(block, chunk)| {
+            let _ = n_blocks;
+            // Each thread owns `ou` bodies, strided by block size as in the
+            // CUDA sample: thread t handles bodies base + t + w*bs.
+            let base = block * bodies_per_block;
+            let mut tile = vec![(0.0f32, 0.0f32, 0.0f32, 0.0f32); bs];
+            let mut acc = vec![[0.0f32; 3]; bodies_per_block];
+            if cfg.local_mem {
+                // Tile passes over the body array.
+                let mut j0 = 0;
+                while j0 < n {
+                    for (t, slot) in tile.iter_mut().enumerate() {
+                        *slot = fetch(j0 + t);
+                    }
+                    for t in 0..bs {
+                        for w in 0..ou {
+                            let i = base + t + w * bs;
+                            let (xi, yi, zi, _) = fetch(i);
+                            let a = &mut acc[t + w * bs];
+                            for item in tile.iter().take(bs) {
+                                let (xj, yj, zj, mj) = *item;
+                                interact(xi, yi, zi, xj, yj, zj, mj, a);
+                            }
+                        }
+                    }
+                    j0 += bs;
+                }
+            } else {
+                for t in 0..bs {
+                    for w in 0..ou {
+                        let i = base + t + w * bs;
+                        let (xi, yi, zi, _) = fetch(i);
+                        let a = &mut acc[t + w * bs];
+                        for j in 0..n {
+                            let (xj, yj, zj, mj) = fetch(j);
+                            interact(xi, yi, zi, xj, yj, zj, mj, a);
+                        }
+                    }
+                }
+            }
+            chunk.copy_from_slice(&acc);
+        });
+    out
+}
+
+/// Max absolute component difference between two acceleration sets.
+pub fn max_acc_diff(a: &[[f32; 3]], b: &[[f32; 3]]) -> f32 {
+    a.iter()
+        .zip(b)
+        .flat_map(|(x, y)| (0..3).map(move |k| (x[k] - y[k]).abs()))
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(cfg_values: &[i64], n: usize) {
+        let cfg = NbodyConfig::from_values(cfg_values);
+        let bodies = BodiesSoA::random(n, 11);
+        let reference = nbody_reference(&bodies);
+        let tiled = nbody_tiled(&cfg, &bodies);
+        let diff = max_acc_diff(&reference, &tiled);
+        assert!(diff < 2e-3, "config {cfg_values:?} diverged: {diff}");
+    }
+
+    #[test]
+    fn soa_direct_matches_reference() {
+        check(&[64, 1, 0, 0, 1, 0, 1], 256);
+    }
+
+    #[test]
+    fn soa_tiled_matches_reference() {
+        check(&[64, 2, 0, 4, 1, 1, 2], 256);
+    }
+
+    #[test]
+    fn aos_tiled_matches_reference() {
+        check(&[64, 2, 0, 0, 0, 1, 4], 512);
+    }
+
+    #[test]
+    fn aos_direct_matches_reference() {
+        check(&[128, 1, 8, 0, 0, 0, 4], 256);
+    }
+
+    #[test]
+    fn two_body_symmetric_pull() {
+        // Two equal masses attract each other with equal, opposite force.
+        let bodies = BodiesSoA {
+            x: vec![-1.0, 1.0, 0.0, 0.0],
+            y: vec![0.0; 4],
+            z: vec![0.0; 4],
+            m: vec![1.0, 1.0, 0.0, 0.0],
+        };
+        let acc = nbody_reference(&bodies);
+        assert!((acc[0][0] + acc[1][0]).abs() < 1e-6);
+        assert!(acc[0][0] > 0.0); // body at -1 pulled toward +1
+    }
+}

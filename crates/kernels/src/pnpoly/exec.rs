@@ -1,0 +1,251 @@
+//! Functional executor for the Pnpoly benchmark.
+//!
+//! Implements the crossing-number point-in-polygon test with the paper's
+//! algorithmic variants: four `between_method` formulations of the "does the
+//! edge straddle the point's y?" test and three `use_method` ways of
+//! tracking crossing state. All variants must classify identically (up to
+//! points exactly on edges, which the generators avoid).
+
+use rayon::prelude::*;
+
+use super::PnpolyConfig;
+
+/// A simple 2D point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// x coordinate.
+    pub x: f32,
+    /// y coordinate.
+    pub y: f32,
+}
+
+/// Generate a star-shaped (concave, non-self-intersecting) polygon with
+/// `n` vertices around the origin.
+pub fn star_polygon(n: usize, seed: u64) -> Vec<Point> {
+    assert!(n >= 3);
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|i| {
+            let angle = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            let radius = 0.5 + 0.45 * next(); // jittered radius -> concavity
+            Point {
+                x: (radius * angle.cos()) as f32,
+                y: (radius * angle.sin()) as f32,
+            }
+        })
+        .collect()
+}
+
+/// Generate `n` deterministic query points in [-1.2, 1.2)².
+pub fn query_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state >> 11) as f64 / (1u64 << 53) as f64 * 2.4 - 1.2) as f32
+    };
+    (0..n)
+        .map(|_| Point {
+            x: next(),
+            y: next(),
+        })
+        .collect()
+}
+
+/// Does edge (a, b) straddle `py`, per the given `between_method` variant?
+///
+/// All four formulations are logically equivalent; they differ in the
+/// instruction mix the compiler emits (which is exactly why the kernel
+/// exposes the choice as a tunable).
+#[inline]
+fn straddles(method: i64, py: f32, ay: f32, by: f32) -> bool {
+    match method {
+        // Classic Franklin formulation.
+        0 => (ay > py) != (by > py),
+        // Explicit min/max window test.
+        1 => py >= ay.min(by) && py < ay.max(by),
+        // Sign-product formulation.
+        2 => (ay - py) * (by - py) < 0.0 || (by > py) != (ay > py) && (ay == py || by == py),
+        // XOR of strict comparisons, written branch-free.
+        3 => ((ay <= py) as i32 ^ (by <= py) as i32) != 0,
+        _ => unreachable!("between_method out of range"),
+    }
+}
+
+/// Point-in-polygon via crossing number, with the configured variants.
+#[inline]
+fn inside(cfg: &PnpolyConfig, p: Point, poly: &[Point]) -> bool {
+    let n = poly.len();
+    match cfg.use_method {
+        // Boolean toggle.
+        0 => {
+            let mut c = false;
+            let mut j = n - 1;
+            for i in 0..n {
+                if straddles(cfg.between_method, p.y, poly[i].y, poly[j].y) {
+                    let t = (p.y - poly[i].y) / (poly[j].y - poly[i].y);
+                    let x_cross = poly[i].x + t * (poly[j].x - poly[i].x);
+                    if p.x < x_cross {
+                        c = !c;
+                    }
+                }
+                j = i;
+            }
+            c
+        }
+        // Integer crossing counter, parity at the end.
+        1 => {
+            let mut crossings = 0u32;
+            let mut j = n - 1;
+            for i in 0..n {
+                if straddles(cfg.between_method, p.y, poly[i].y, poly[j].y) {
+                    let t = (p.y - poly[i].y) / (poly[j].y - poly[i].y);
+                    let x_cross = poly[i].x + t * (poly[j].x - poly[i].x);
+                    crossings += u32::from(p.x < x_cross);
+                }
+                j = i;
+            }
+            crossings % 2 == 1
+        }
+        // Branch-free sign accumulation (XOR of comparison bits).
+        2 => {
+            let mut bit = 0i32;
+            let mut j = n - 1;
+            for i in 0..n {
+                let s = straddles(cfg.between_method, p.y, poly[i].y, poly[j].y);
+                let t = (p.y - poly[i].y) / (poly[j].y - poly[i].y);
+                let x_cross = poly[i].x + t * (poly[j].x - poly[i].x);
+                bit ^= i32::from(s && x_cross.is_finite() && p.x < x_cross);
+                j = i;
+            }
+            bit != 0
+        }
+        _ => unreachable!("use_method out of range"),
+    }
+}
+
+/// Reference classification (Franklin's algorithm).
+pub fn pnpoly_reference(points: &[Point], poly: &[Point]) -> Vec<bool> {
+    let cfg = PnpolyConfig {
+        block_size_x: 32,
+        tile_size: 1,
+        between_method: 0,
+        use_method: 0,
+    };
+    points.par_iter().map(|&p| inside(&cfg, p, poly)).collect()
+}
+
+/// Classify with the block/tile decomposition implied by `cfg`.
+pub fn pnpoly_tiled(cfg: &PnpolyConfig, points: &[Point], poly: &[Point]) -> Vec<bool> {
+    let pts_per_block = (cfg.block_size_x * cfg.tile_size) as usize;
+    let mut out = vec![false; points.len()];
+    out.par_chunks_mut(pts_per_block)
+        .enumerate()
+        .for_each(|(block, chunk)| {
+            let base = block * pts_per_block;
+            // Threads each process tile_size consecutive points.
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let i = base + off;
+                if i < points.len() {
+                    *slot = inside(cfg, points[i], poly);
+                }
+            }
+        });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_agree_with_reference() {
+        let poly = star_polygon(60, 3);
+        let pts = query_points(5_000, 4);
+        let reference = pnpoly_reference(&pts, &poly);
+        for bm in 0..4 {
+            for um in 0..3 {
+                let cfg = PnpolyConfig {
+                    block_size_x: 64,
+                    tile_size: 4,
+                    between_method: bm,
+                    use_method: um,
+                };
+                let got = pnpoly_tiled(&cfg, &pts, &poly);
+                let mismatches = got
+                    .iter()
+                    .zip(&reference)
+                    .filter(|(a, b)| a != b)
+                    .count();
+                assert_eq!(mismatches, 0, "variant bm={bm} um={um} disagrees");
+            }
+        }
+    }
+
+    #[test]
+    fn square_polygon_classification() {
+        let square = vec![
+            Point { x: -1.0, y: -1.0 },
+            Point { x: 1.0, y: -1.0 },
+            Point { x: 1.0, y: 1.0 },
+            Point { x: -1.0, y: 1.0 },
+        ];
+        let cfg = PnpolyConfig {
+            block_size_x: 32,
+            tile_size: 1,
+            between_method: 0,
+            use_method: 0,
+        };
+        let pts = vec![
+            Point { x: 0.0, y: 0.0 },   // inside
+            Point { x: 2.0, y: 0.0 },   // outside
+            Point { x: 0.5, y: -0.5 },  // inside
+            Point { x: -1.5, y: -1.5 }, // outside
+        ];
+        let got = pnpoly_tiled(&cfg, &pts, &square);
+        assert_eq!(got, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn origin_is_inside_star() {
+        let poly = star_polygon(101, 9);
+        let cfg = PnpolyConfig {
+            block_size_x: 32,
+            tile_size: 1,
+            between_method: 1,
+            use_method: 1,
+        };
+        let got = pnpoly_tiled(&cfg, &[Point { x: 0.0, y: 0.0 }], &poly);
+        assert!(got[0], "star polygons contain the origin by construction");
+    }
+
+    #[test]
+    fn far_points_are_outside() {
+        let poly = star_polygon(47, 1);
+        let pts = vec![Point { x: 10.0, y: 10.0 }, Point { x: -10.0, y: 0.0 }];
+        let got = pnpoly_reference(&pts, &poly);
+        assert_eq!(got, vec![false, false]);
+    }
+
+    #[test]
+    fn partial_final_block_is_handled() {
+        let poly = star_polygon(30, 2);
+        let pts = query_points(1_000, 8); // not a multiple of 64*4
+        let cfg = PnpolyConfig {
+            block_size_x: 64,
+            tile_size: 4,
+            between_method: 0,
+            use_method: 0,
+        };
+        let got = pnpoly_tiled(&cfg, &pts, &poly);
+        assert_eq!(got.len(), 1_000);
+        assert_eq!(got, pnpoly_reference(&pts, &poly));
+    }
+}

@@ -1,0 +1,229 @@
+//! Pnpoly: point-in-polygon test over massive LiDAR point clouds.
+//!
+//! The BAT Pnpoly kernel is the GPU half of a geospatial database operator
+//! (Goncalves et al.): classify millions of points against a polygon
+//! outline. Tunables (Table IV): threads per block, points per thread, and
+//! two algorithmic switches — `between_method` (how to test whether a point
+//! lies between two vertices) and `use_method` (how crossing state is
+//! tracked). The paper reports **no restrictions** for this kernel
+//! (constrained = cardinality = 4 092).
+
+pub mod exec;
+
+use bat_gpusim::KernelModel;
+use bat_space::{ConfigSpace, Param};
+
+use crate::common::{apply_launch_bounds, ceil_div, strided_coalescing, KernelSpec};
+
+/// Slot order of the Pnpoly space (Table IV order).
+pub mod slots {
+    /// Threads per block.
+    pub const BLOCK_SIZE_X: usize = 0;
+    /// Points per thread.
+    pub const TILE_SIZE: usize = 1;
+    /// Between-test algorithm selector (0..=3).
+    pub const BETWEEN_METHOD: usize = 2;
+    /// Crossing-state algorithm selector (0..=2).
+    pub const USE_METHOD: usize = 3;
+}
+
+/// Decoded Pnpoly configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PnpolyConfig {
+    /// Threads per block.
+    pub block_size_x: i64,
+    /// Points per thread.
+    pub tile_size: i64,
+    /// Between-test variant.
+    pub between_method: i64,
+    /// State-tracking variant.
+    pub use_method: i64,
+}
+
+impl PnpolyConfig {
+    /// Decode from a space-ordered value slice.
+    pub fn from_values(v: &[i64]) -> Self {
+        PnpolyConfig {
+            block_size_x: v[slots::BLOCK_SIZE_X],
+            tile_size: v[slots::TILE_SIZE],
+            between_method: v[slots::BETWEEN_METHOD],
+            use_method: v[slots::USE_METHOD],
+        }
+    }
+}
+
+/// Per-edge FLOP cost of each `between_method` variant.
+pub const BETWEEN_FLOPS: [f64; 4] = [18.0, 11.0, 24.0, 13.0];
+/// Branch-divergence multiplier of each `between_method` variant (the
+/// cheap formulations branch more; the flop-heavy ones are branch-free).
+pub const BETWEEN_DIVERGENCE: [f64; 4] = [1.60, 1.30, 1.05, 1.40];
+/// Extra per-edge integer ops of each `use_method` variant.
+pub const USE_INT_OPS: [f64; 3] = [6.0, 2.0, 9.0];
+
+/// The Pnpoly benchmark.
+#[derive(Debug, Clone)]
+pub struct PnpolyKernel {
+    /// Number of query points.
+    pub points: u64,
+    /// Number of polygon vertices.
+    pub vertices: u64,
+}
+
+impl Default for PnpolyKernel {
+    fn default() -> Self {
+        PnpolyKernel {
+            points: 20_000_000,
+            vertices: 600,
+        }
+    }
+}
+
+impl PnpolyKernel {
+    /// Create with an explicit problem size.
+    pub fn with_size(points: u64, vertices: u64) -> Self {
+        PnpolyKernel { points, vertices }
+    }
+}
+
+impl KernelSpec for PnpolyKernel {
+    fn name(&self) -> &'static str {
+        "pnpoly"
+    }
+
+    fn build_space(&self) -> ConfigSpace {
+        // tile_size: {1} ∪ {2n | 2n ∈ [2, 20]} = 11 values.
+        let mut tile = vec![1];
+        tile.extend((1..=10).map(|n| 2 * n));
+        ConfigSpace::builder()
+            .param(Param::multiples("block_size_x", 32, 32, 992)) // 31 values
+            .param(Param::new("tile_size", tile))
+            .param(Param::new("between_method", vec![0, 1, 2, 3]))
+            .param(Param::new("use_method", vec![0, 1, 2]))
+            .build()
+            .expect("Pnpoly space is statically well-formed")
+    }
+
+    fn model(&self, config: &[i64]) -> KernelModel {
+        let c = PnpolyConfig::from_values(config);
+        let threads = c.block_size_x as u32;
+        let pts_per_block = (c.block_size_x * c.tile_size) as u64;
+        let grid = ceil_div(self.points, pts_per_block);
+        let mut m = KernelModel::new("pnpoly", grid, threads);
+
+        let tile = c.tile_size as f64;
+        let verts = self.vertices as f64;
+        let bm = c.between_method as usize;
+        let um = c.use_method as usize;
+
+        m.flops_per_thread = tile * verts * BETWEEN_FLOPS[bm];
+        m.divergence_factor = BETWEEN_DIVERGENCE[bm];
+        m.int_ops_per_thread = tile * verts * USE_INT_OPS[um] + verts * 2.0;
+
+        // Vertices live in constant/L2-resident memory: every thread walks
+        // them; virtually all reads hit cache.
+        let vertex_bytes = verts * 8.0; // float2
+        // Points: each thread reads `tile` consecutive float2 points, so
+        // consecutive threads are 8*tile bytes apart.
+        let point_bytes = tile * 8.0;
+        let out_bytes = tile * 4.0; // int flag per point
+        m.gmem_bytes_per_thread = vertex_bytes + point_bytes + out_bytes;
+        m.l2_hit_rate = vertex_bytes / (vertex_bytes + point_bytes + out_bytes);
+        m.coalescing = strided_coalescing(8.0, 8.0 * tile);
+        m.gmem_transactions_per_thread = tile * 2.0 + out_bytes / 4.0;
+        m.uses_readonly_cache = true;
+
+        let natural_regs = (20.0 + tile * 2.0 + BETWEEN_FLOPS[bm] * 0.5) as u32;
+        let (regs, spill) = apply_launch_bounds(natural_regs, threads, 0);
+        m.regs_per_thread = regs;
+        m.spill_bytes_per_thread = spill * verts / 32.0;
+
+        m.ilp = tile.clamp(1.0, 8.0);
+
+        m
+    }
+
+    fn source(&self, config: &[i64]) -> String {
+        let c = PnpolyConfig::from_values(config);
+        format!(
+            "// Pnpoly GPU database operator kernel (BAT-rs generated)\n\
+             #define BLOCK_SIZE_X {}\n#define TILE_SIZE {}\n\
+             #define BETWEEN_METHOD {}\n#define USE_METHOD {}\n\
+             \n\
+             __constant__ float2 d_vertices[VERTICES];\n\
+             extern \"C\" __global__ void cn_pnpoly(int* bitmap, const float2* points, int n) {{\n\
+             \x20 int i = blockIdx.x * blockDim.x * TILE_SIZE + threadIdx.x;\n\
+             \x20 // TILE_SIZE points per thread; crossing-number loop over\n\
+             \x20 // VERTICES edges with BETWEEN_METHOD / USE_METHOD variants ...\n\
+             }}\n",
+            c.block_size_x, c.tile_size, c.between_method, c.use_method,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinality_matches_table_iv() {
+        let s = PnpolyKernel::default().build_space();
+        assert_eq!(s.cardinality(), 4_092);
+    }
+
+    #[test]
+    fn no_restrictions_like_table_viii() {
+        let s = PnpolyKernel::default().build_space();
+        assert_eq!(s.count_valid(), 4_092, "paper: constrained == cardinality");
+    }
+
+    #[test]
+    fn block_size_values_match_table_iv() {
+        let s = PnpolyKernel::default().build_space();
+        let p = &s.params()[slots::BLOCK_SIZE_X];
+        assert_eq!(p.len(), 31);
+        assert_eq!(p.values[0], 32);
+        assert_eq!(*p.values.last().unwrap(), 992);
+    }
+
+    #[test]
+    fn tile_size_values_match_table_iv() {
+        let s = PnpolyKernel::default().build_space();
+        let p = &s.params()[slots::TILE_SIZE];
+        assert_eq!(p.values, vec![1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20]);
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        let k = PnpolyKernel::default();
+        let per_edge_work = |cfg: &[i64]| {
+            let m = k.model(cfg);
+            let c = PnpolyConfig::from_values(cfg);
+            m.flops_per_thread * m.total_threads() / BETWEEN_FLOPS[c.between_method as usize]
+        };
+        let a = per_edge_work(&[32, 1, 0, 0]);
+        let b = per_edge_work(&[992, 20, 0, 0]);
+        // Total point-edge tests identical up to grid round-up.
+        let exact = 20_000_000.0 * 600.0;
+        assert!((a - exact) / exact < 0.01);
+        assert!((b - exact) / exact < 0.01);
+    }
+
+    #[test]
+    fn larger_tiles_coalesce_worse() {
+        let k = PnpolyKernel::default();
+        let t1 = k.model(&[256, 1, 0, 0]);
+        let t8 = k.model(&[256, 8, 0, 0]);
+        assert!(t8.coalescing < t1.coalescing);
+    }
+
+    #[test]
+    fn all_models_validate() {
+        let k = PnpolyKernel::default();
+        let s = k.build_space();
+        let mut scratch = vec![0i64; s.num_params()];
+        for idx in 0..s.cardinality() {
+            s.decode_into(idx, &mut scratch);
+            assert_eq!(k.model(&scratch).validate(), Ok(()), "{scratch:?}");
+        }
+    }
+}

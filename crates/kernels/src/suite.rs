@@ -1,0 +1,110 @@
+//! The benchmark suite registry: every kernel, by name.
+
+use std::sync::Arc;
+
+use bat_gpusim::GpuArch;
+
+use crate::common::{GpuBenchmark, KernelSpec};
+use crate::convolution::ConvolutionKernel;
+use crate::dedisp::DedispKernel;
+use crate::expdist::ExpdistKernel;
+use crate::gemm::GemmKernel;
+use crate::hotspot::HotspotKernel;
+use crate::nbody::NbodyKernel;
+use crate::pnpoly::PnpolyKernel;
+
+/// Names of the seven benchmarks, in the paper's Table VIII order.
+pub const BENCHMARK_NAMES: [&str; 7] = [
+    "pnpoly",
+    "nbody",
+    "convolution",
+    "gemm",
+    "expdist",
+    "hotspot",
+    "dedisp",
+];
+
+/// Instantiate every kernel with its default (paper-scale) problem size.
+pub fn all_kernels() -> Vec<Arc<dyn KernelSpec>> {
+    vec![
+        Arc::new(PnpolyKernel::default()),
+        Arc::new(NbodyKernel::default()),
+        Arc::new(ConvolutionKernel::default()),
+        Arc::new(GemmKernel::default()),
+        Arc::new(ExpdistKernel::default()),
+        Arc::new(HotspotKernel::default()),
+        Arc::new(DedispKernel::default()),
+    ]
+}
+
+/// Look up a kernel by name (default problem size).
+pub fn kernel_by_name(name: &str) -> Option<Arc<dyn KernelSpec>> {
+    all_kernels()
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
+/// Convenience: a [`GpuBenchmark`] for (kernel name, architecture).
+pub fn benchmark(name: &str, arch: GpuArch) -> Option<GpuBenchmark> {
+    kernel_by_name(name).map(|k| GpuBenchmark::new(k, arch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_seven() {
+        assert_eq!(all_kernels().len(), 7);
+        for name in BENCHMARK_NAMES {
+            assert!(kernel_by_name(name).is_some(), "{name} missing");
+        }
+        assert!(kernel_by_name("fft").is_none());
+    }
+
+    #[test]
+    fn cardinalities_match_table_viii_column_one() {
+        let expected: [(&str, u64); 7] = [
+            ("pnpoly", 4_092),
+            ("nbody", 9_408),
+            ("convolution", 18_432),
+            ("gemm", 82_944),
+            ("expdist", 9_732_096),
+            ("hotspot", 22_200_000),
+            ("dedisp", 123_863_040),
+        ];
+        for (name, card) in expected {
+            let k = kernel_by_name(name).unwrap();
+            assert_eq!(k.build_space().cardinality(), card, "{name}");
+        }
+    }
+
+    #[test]
+    fn every_benchmark_evaluates_on_every_arch() {
+        use bat_core::TuningProblem;
+        use bat_space::sample_one_valid;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(42);
+        for arch in GpuArch::paper_testbed() {
+            for name in BENCHMARK_NAMES {
+                let b = benchmark(name, arch.clone()).unwrap();
+                let space = b.space();
+                // Find some valid config and evaluate it; at least one of a
+                // handful of tries must produce a launch-valid runtime.
+                let mut ok = false;
+                for _ in 0..50 {
+                    let idx = sample_one_valid(space, &mut rng, 100_000)
+                        .expect("restricted space unreachable");
+                    let cfg = space.config_at(idx);
+                    if let Ok(t) = b.evaluate_pure(&cfg) {
+                        assert!(t > 0.0, "{name} on {} gave {t}", arch.name);
+                        ok = true;
+                        break;
+                    }
+                }
+                assert!(ok, "{name} on {} never launched", arch.name);
+            }
+        }
+    }
+}

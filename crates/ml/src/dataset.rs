@@ -1,0 +1,155 @@
+//! Tabular dataset representation.
+
+/// A dense tabular regression dataset: `n` rows × `d` features plus a
+/// target column. Feature matrices are stored row-major.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    n_rows: usize,
+    n_features: usize,
+    x: Vec<f64>,
+    y: Vec<f64>,
+    feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Build a dataset from rows. Every row must have the same length.
+    pub fn new(rows: &[Vec<f64>], y: Vec<f64>, feature_names: Vec<String>) -> Self {
+        assert_eq!(rows.len(), y.len(), "row/target count mismatch");
+        assert!(!rows.is_empty(), "dataset needs at least one row");
+        let d = rows[0].len();
+        assert_eq!(feature_names.len(), d, "feature-name count mismatch");
+        let mut x = Vec::with_capacity(rows.len() * d);
+        for r in rows {
+            assert_eq!(r.len(), d, "ragged rows");
+            x.extend_from_slice(r);
+        }
+        Dataset {
+            n_rows: rows.len(),
+            n_features: d,
+            x,
+            y,
+            feature_names,
+        }
+    }
+
+    /// Build from a flat row-major matrix.
+    pub fn from_flat(
+        x: Vec<f64>,
+        y: Vec<f64>,
+        n_features: usize,
+        feature_names: Vec<String>,
+    ) -> Self {
+        assert_eq!(x.len(), y.len() * n_features, "matrix shape mismatch");
+        assert_eq!(feature_names.len(), n_features);
+        Dataset {
+            n_rows: y.len(),
+            n_features,
+            x,
+            y,
+            feature_names,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Feature names.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.x[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// Feature value (row, feature).
+    #[inline]
+    pub fn value(&self, row: usize, feature: usize) -> f64 {
+        self.x[row * self.n_features + feature]
+    }
+
+    /// Target column.
+    pub fn targets(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// A copy with one feature column replaced (used by permutation
+    /// importance).
+    pub fn with_column(&self, feature: usize, column: &[f64]) -> Dataset {
+        assert_eq!(column.len(), self.n_rows);
+        let mut out = self.clone();
+        for (i, v) in column.iter().enumerate() {
+            out.x[i * self.n_features + feature] = *v;
+        }
+        out
+    }
+
+    /// Extract one feature column.
+    pub fn column(&self, feature: usize) -> Vec<f64> {
+        (0..self.n_rows).map(|i| self.value(i, feature)).collect()
+    }
+
+    /// Sorted unique values of a feature column.
+    pub fn unique_values(&self, feature: usize) -> Vec<f64> {
+        let mut v = self.column(feature);
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature"));
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            &[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 10.0]],
+            vec![0.1, 0.2, 0.3],
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let d = toy();
+        assert_eq!(d.n_rows(), 3);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.row(1), &[2.0, 20.0]);
+        assert_eq!(d.value(2, 1), 10.0);
+    }
+
+    #[test]
+    fn unique_values_sorted() {
+        let d = toy();
+        assert_eq!(d.unique_values(1), vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn column_replacement() {
+        let d = toy();
+        let swapped = d.with_column(0, &[9.0, 8.0, 7.0]);
+        assert_eq!(swapped.value(0, 0), 9.0);
+        assert_eq!(swapped.value(0, 1), 10.0); // other column untouched
+        assert_eq!(d.value(0, 0), 1.0); // original untouched
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = Dataset::new(
+            &[vec![1.0], vec![1.0, 2.0]],
+            vec![0.0, 0.0],
+            vec!["a".into()],
+        );
+    }
+}

@@ -1,0 +1,272 @@
+//! Random-forest regression with predictive uncertainty.
+//!
+//! SMAC3 — one of the tuners the paper's shared interface targets — models
+//! the objective with a random forest and uses the spread between trees as
+//! a predictive variance for Expected Improvement. This module reproduces
+//! that model: bootstrap-bagged [`RegressionTree`]s, mean/variance
+//! prediction across trees, and an out-of-bag R² estimate for free model
+//! validation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use crate::dataset::Dataset;
+use crate::metrics::r2_score;
+use crate::tree::{RegressionTree, TreeParams};
+
+/// Hyperparameters for [`RandomForest`].
+#[derive(Debug, Clone, Copy)]
+pub struct ForestParams {
+    /// Number of bagged trees.
+    pub n_trees: usize,
+    /// Per-tree settings. Forest trees are typically grown deeper than
+    /// boosted trees since bagging, not shrinkage, controls variance.
+    pub tree: TreeParams,
+    /// Bootstrap sample size as a fraction of the dataset (sampling is
+    /// with replacement, as in Breiman's original formulation).
+    pub bootstrap: f64,
+    /// RNG seed for the bootstrap draws.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_trees: 40,
+            tree: TreeParams {
+                max_depth: 10,
+                min_samples_leaf: 2,
+            },
+            bootstrap: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Mean/variance prediction of a forest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestPrediction {
+    /// Mean of the per-tree predictions.
+    pub mean: f64,
+    /// Population variance of the per-tree predictions (SMAC's
+    /// uncertainty proxy).
+    pub variance: f64,
+}
+
+impl ForestPrediction {
+    /// Standard deviation across trees.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.max(0.0).sqrt()
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+    oob_r2: Option<f64>,
+}
+
+impl RandomForest {
+    /// Fit a forest to the dataset's target column.
+    pub fn fit(data: &Dataset, params: &ForestParams) -> Self {
+        assert!(params.n_trees > 0, "need at least one tree");
+        assert!(
+            params.bootstrap > 0.0 && params.bootstrap <= 1.0,
+            "bootstrap fraction must be in (0, 1]"
+        );
+        let n = data.n_rows();
+        let sample_size = ((n as f64) * params.bootstrap).ceil() as usize;
+        let y = data.targets();
+
+        // Draw every tree's bootstrap rows up-front from one seeded RNG so
+        // the fit is deterministic regardless of rayon's schedule.
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let samples: Vec<Vec<usize>> = (0..params.n_trees)
+            .map(|_| (0..sample_size).map(|_| rng.random_range(0..n)).collect())
+            .collect();
+
+        let trees: Vec<RegressionTree> = samples
+            .par_iter()
+            .map(|rows| RegressionTree::fit(data, y, rows, &params.tree))
+            .collect();
+
+        // Out-of-bag estimate: predict each row only with trees whose
+        // bootstrap missed it.
+        let mut in_bag = vec![vec![false; n]; params.n_trees];
+        for (t, rows) in samples.iter().enumerate() {
+            for &r in rows {
+                in_bag[t][r] = true;
+            }
+        }
+        let mut oob_pred = Vec::with_capacity(n);
+        let mut oob_true = Vec::with_capacity(n);
+        for i in 0..n {
+            let (mut s, mut c) = (0.0, 0usize);
+            for (t, tree) in trees.iter().enumerate() {
+                if !in_bag[t][i] {
+                    s += tree.predict(data.row(i));
+                    c += 1;
+                }
+            }
+            if c > 0 {
+                oob_pred.push(s / c as f64);
+                oob_true.push(y[i]);
+            }
+        }
+        let oob_r2 = if oob_true.len() >= 2 {
+            Some(r2_score(&oob_true, &oob_pred))
+        } else {
+            None
+        };
+
+        RandomForest { trees, oob_r2 }
+    }
+
+    /// Mean/variance prediction for one row.
+    pub fn predict(&self, row: &[f64]) -> ForestPrediction {
+        let m = self.trees.len() as f64;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for t in &self.trees {
+            let p = t.predict(row);
+            sum += p;
+            sum_sq += p * p;
+        }
+        let mean = sum / m;
+        ForestPrediction {
+            mean,
+            variance: (sum_sq / m - mean * mean).max(0.0),
+        }
+    }
+
+    /// Mean prediction for every row of a dataset.
+    pub fn predict_dataset(&self, data: &Dataset) -> Vec<f64> {
+        (0..data.n_rows())
+            .map(|i| self.predict(data.row(i)).mean)
+            .collect()
+    }
+
+    /// Out-of-bag R² (None when every row was in every bag, e.g. a
+    /// one-row dataset).
+    pub fn oob_r2(&self) -> Option<f64> {
+        self.oob_r2
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_data() -> Dataset {
+        // Smooth 2-D bowl on a 15×15 grid.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..15 {
+            for j in 0..15 {
+                rows.push(vec![i as f64, j as f64]);
+                y.push((i as f64 - 7.0).powi(2) + (j as f64 - 7.0).powi(2));
+            }
+        }
+        Dataset::new(&rows, y, vec!["i".into(), "j".into()])
+    }
+
+    #[test]
+    fn fits_bowl_with_high_r2() {
+        let data = grid_data();
+        let forest = RandomForest::fit(&data, &ForestParams::default());
+        let r2 = r2_score(data.targets(), &forest.predict_dataset(&data));
+        assert!(r2 > 0.95, "R² = {r2}");
+    }
+
+    #[test]
+    fn oob_r2_is_reported_and_reasonable() {
+        let data = grid_data();
+        let forest = RandomForest::fit(&data, &ForestParams::default());
+        let oob = forest.oob_r2().expect("bootstrap leaves OOB rows");
+        assert!(oob > 0.7, "OOB R² = {oob}");
+        // OOB is an honest estimate: it must not exceed the in-bag fit.
+        let in_bag = r2_score(data.targets(), &forest.predict_dataset(&data));
+        assert!(oob <= in_bag + 1e-9);
+    }
+
+    #[test]
+    fn variance_positive_off_grid_and_small_on_training_plateau() {
+        // A step function: trees agree inside plateaus, disagree at the step.
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..60).map(|i| if i < 30 { 1.0 } else { 9.0 }).collect();
+        let data = Dataset::new(&rows, y, vec!["x".into()]);
+        let forest = RandomForest::fit(&data, &ForestParams::default());
+        let plateau = forest.predict(&[10.0]);
+        let step = forest.predict(&[29.6]);
+        assert!(plateau.variance <= step.variance + 1e-12);
+        assert!(plateau.std_dev() >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = grid_data();
+        let p = ForestParams {
+            seed: 11,
+            n_trees: 12,
+            ..ForestParams::default()
+        };
+        let a = RandomForest::fit(&data, &p).predict_dataset(&data);
+        let b = RandomForest::fit(&data, &p).predict_dataset(&data);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let data = grid_data();
+        let a = RandomForest::fit(
+            &data,
+            &ForestParams {
+                seed: 1,
+                ..ForestParams::default()
+            },
+        );
+        let b = RandomForest::fit(
+            &data,
+            &ForestParams {
+                seed: 2,
+                ..ForestParams::default()
+            },
+        );
+        // Predictions differ somewhere (bootstraps differ).
+        let pa = a.predict_dataset(&data);
+        let pb = b.predict_dataset(&data);
+        assert!(pa.iter().zip(&pb).any(|(x, y)| (x - y).abs() > 1e-12));
+    }
+
+    #[test]
+    fn single_tree_forest_has_zero_variance() {
+        let data = grid_data();
+        let forest = RandomForest::fit(
+            &data,
+            &ForestParams {
+                n_trees: 1,
+                ..ForestParams::default()
+            },
+        );
+        let p = forest.predict(&[3.0, 3.0]);
+        assert_eq!(p.variance, 0.0);
+        assert_eq!(forest.n_trees(), 1);
+    }
+
+    #[test]
+    fn constant_target_predicts_constant_with_zero_variance() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let data = Dataset::new(&rows, vec![3.3; 30], vec!["x".into()]);
+        let forest = RandomForest::fit(&data, &ForestParams::default());
+        let p = forest.predict(&[15.0]);
+        assert!((p.mean - 3.3).abs() < 1e-12);
+        assert!(p.variance < 1e-18);
+    }
+}

@@ -1,0 +1,41 @@
+//! # bat-ml
+//!
+//! Machine-learning substrate for BAT-rs analyses and model-based tuners:
+//! CART regression trees, least-squares gradient boosting (the paper's
+//! CatBoost stand-in for Fig. 6), random forests with predictive variance
+//! (SMAC3's surrogate), exact Gaussian-process regression (the model behind
+//! Bayesian-optimization tuners, paper ref \[22\]), regression metrics, and
+//! Permutation Feature Importance.
+//!
+//! ```
+//! use bat_ml::{Dataset, Gbdt, GbdtParams, permutation_importance, r2_score};
+//!
+//! let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 7) as f64, (i % 3) as f64]).collect();
+//! let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0]).collect();
+//! let data = Dataset::new(&rows, y, vec!["x".into(), "noise".into()]);
+//! let model = Gbdt::fit(&data, &GbdtParams::default());
+//! let r2 = r2_score(data.targets(), &model.predict_dataset(&data));
+//! assert!(r2 > 0.99);
+//! let pfi = permutation_importance(&model, &data, 3, 0);
+//! assert!(pfi.importances[0] > pfi.importances[1]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod forest;
+mod gbdt;
+mod gp;
+pub mod linalg;
+mod metrics;
+mod pfi;
+pub mod stats;
+mod tree;
+
+pub use dataset::Dataset;
+pub use forest::{ForestParams, ForestPrediction, RandomForest};
+pub use gbdt::{Gbdt, GbdtParams};
+pub use gp::{GaussianProcess, GpParams, GpPrediction, KernelKind};
+pub use metrics::{mae, r2_score, rmse};
+pub use pfi::{permutation_importance, PfiResult};
+pub use tree::{RegressionTree, TreeParams};

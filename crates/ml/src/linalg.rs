@@ -1,0 +1,330 @@
+//! Dense symmetric linear algebra for the Gaussian-process substrate.
+//!
+//! Gaussian-process regression needs exactly one factorization — the
+//! Cholesky decomposition of a symmetric positive-definite kernel matrix —
+//! plus triangular solves against it. Kernel matrices in the tuning setting
+//! are small (hundreds of observations), so a cache-friendly dense
+//! implementation is the right tool; no sparse or blocked machinery is
+//! warranted.
+
+/// A dense symmetric matrix stored row-major in full (not packed) form.
+///
+/// Full storage keeps row access contiguous, which is what the
+/// Cholesky inner loops traverse.
+#[derive(Debug, Clone)]
+pub struct SymMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// Zero matrix of dimension `n`.
+    pub fn zeros(n: usize) -> Self {
+        SymMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Build from a row-major buffer; `data.len()` must equal `n*n` and the
+    /// buffer must be symmetric (debug-asserted).
+    pub fn from_raw(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "buffer/dimension mismatch");
+        #[cfg(debug_assertions)]
+        for i in 0..n {
+            for j in 0..i {
+                debug_assert!(
+                    (data[i * n + j] - data[j * n + i]).abs() <= 1e-9 * (1.0 + data[i * n + j].abs()),
+                    "matrix is not symmetric at ({i},{j})"
+                );
+            }
+        }
+        SymMatrix { n, data }
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Set `(i,j)` and `(j,i)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+        self.data[j * self.n + i] = v;
+    }
+
+    /// Add `v` to every diagonal element (jitter / noise variance).
+    pub fn add_diagonal(&mut self, v: f64) {
+        for i in 0..self.n {
+            self.data[i * self.n + i] += v;
+        }
+    }
+
+    /// Matrix-vector product `A x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        (0..self.n)
+            .map(|i| dot(&self.data[i * self.n..(i + 1) * self.n], x))
+            .collect()
+    }
+}
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    n: usize,
+    /// Row-major lower triangle; entries above the diagonal are zero.
+    l: Vec<f64>,
+}
+
+/// Error raised when a matrix is not (numerically) positive definite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NotPositiveDefinite {
+    /// Pivot index at which the factorization broke down.
+    pub pivot: usize,
+    /// The offending diagonal value after elimination.
+    pub value: f64,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite: pivot {} has value {:.3e}",
+            self.pivot, self.value
+        )
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+impl Cholesky {
+    /// Factor a symmetric positive-definite matrix.
+    ///
+    /// Uses the (row-oriented) Cholesky–Banachiewicz scheme: each row of
+    /// `L` is computed from previously finished rows with contiguous dot
+    /// products.
+    pub fn factor(a: &SymMatrix) -> Result<Self, NotPositiveDefinite> {
+        let n = a.n();
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let s = dot(&l[i * n..i * n + j], &l[j * n..j * n + j]);
+                if i == j {
+                    let d = a.get(i, i) - s;
+                    if d <= 0.0 || !d.is_finite() {
+                        return Err(NotPositiveDefinite { pivot: i, value: d });
+                    }
+                    l[i * n + i] = d.sqrt();
+                } else {
+                    l[i * n + j] = (a.get(i, j) - s) / l[j * n + j];
+                }
+            }
+        }
+        Ok(Cholesky { n, l })
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `L[i][j]` for `j <= i`.
+    #[inline]
+    pub fn l(&self, i: usize, j: usize) -> f64 {
+        self.l[i * self.n + j]
+    }
+
+    /// Solve `L y = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let s = dot(&self.l[i * self.n..i * self.n + i], &y[..i]);
+            y[i] = (b[i] - s) / self.l[i * self.n + i];
+        }
+        y
+    }
+
+    /// Solve `Lᵀ x = y` (backward substitution).
+    pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.n);
+        let n = self.n;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = 0.0;
+            for (k, xk) in x.iter().enumerate().skip(i + 1) {
+                s += self.l[k * n + i] * xk;
+            }
+            x[i] = (y[i] - s) / self.l[i * n + i];
+        }
+        x
+    }
+
+    /// Solve `A x = b` where `A = L Lᵀ`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// `log det A = 2 Σ log L[i][i]` — the determinant term of the
+    /// Gaussian log-marginal likelihood.
+    pub fn log_det(&self) -> f64 {
+        (0..self.n)
+            .map(|i| self.l[i * self.n + i].ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+/// Dense dot product. The explicit loop vectorizes well; slices keep the
+/// bounds check out of the loop.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        s += x * y;
+    }
+    s
+}
+
+/// Squared Euclidean distance between two feature vectors.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        s += d * d;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, seed: u64) -> SymMatrix {
+        // A = B Bᵀ + n·I is SPD for any B.
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let b: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        let mut a = SymMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = dot(&b[i * n..(i + 1) * n], &b[j * n..(j + 1) * n]);
+                a.set(i, j, v);
+            }
+        }
+        a.add_diagonal(n as f64);
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs_matrix() {
+        for n in [1, 2, 3, 7, 20] {
+            let a = spd(n, n as u64);
+            let ch = Cholesky::factor(&a).unwrap();
+            for i in 0..n {
+                for j in 0..=i {
+                    let mut s = 0.0;
+                    for k in 0..=j {
+                        s += ch.l(i, k) * ch.l(j, k);
+                    }
+                    assert!(
+                        (s - a.get(i, j)).abs() < 1e-8 * (1.0 + a.get(i, j).abs()),
+                        "n={n} ({i},{j}): {s} vs {}",
+                        a.get(i, j)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_inverts_matvec() {
+        for n in [1, 3, 9, 25] {
+            let a = spd(n, 100 + n as u64);
+            let ch = Cholesky::factor(&a).unwrap();
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+            let b = a.matvec(&x_true);
+            let x = ch.solve(&b);
+            for (got, want) in x.iter().zip(&x_true) {
+                assert!((got - want).abs() < 1e-8, "n={n}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn log_det_matches_2x2_closed_form() {
+        let mut a = SymMatrix::zeros(2);
+        a.set(0, 0, 4.0);
+        a.set(1, 1, 9.0);
+        a.set(0, 1, 2.0);
+        let ch = Cholesky::factor(&a).unwrap();
+        let det: f64 = 4.0 * 9.0 - 2.0 * 2.0;
+        assert!((ch.log_det() - det.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indefinite_matrix_is_rejected() {
+        let mut a = SymMatrix::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(1, 1, 1.0);
+        a.set(0, 1, 2.0); // eigenvalues 3 and -1
+        let err = Cholesky::factor(&a).unwrap_err();
+        assert_eq!(err.pivot, 1);
+        assert!(err.value <= 0.0);
+    }
+
+    #[test]
+    fn zero_matrix_is_rejected() {
+        let a = SymMatrix::zeros(3);
+        assert!(Cholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn triangular_solves_agree_with_full_solve() {
+        let a = spd(6, 42);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
+        let y = ch.solve_lower(&b);
+        let x = ch.solve_upper(&y);
+        let direct = ch.solve(&b);
+        for (a, b) in x.iter().zip(&direct) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn sq_dist_and_dot_basics() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(sq_dist(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn add_diagonal_only_touches_diagonal() {
+        let mut a = spd(4, 7);
+        let before = a.clone();
+        a.add_diagonal(2.5);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = before.get(i, j) + if i == j { 2.5 } else { 0.0 };
+                assert_eq!(a.get(i, j), expect);
+            }
+        }
+    }
+}

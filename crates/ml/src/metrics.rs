@@ -1,0 +1,90 @@
+//! Regression quality metrics.
+
+/// Coefficient of determination R² = 1 − SSE/SST.
+///
+/// Returns 1.0 for a perfect fit; can be negative for models worse than the
+/// mean predictor. When the targets are constant, returns 1.0 if the
+/// predictions match them exactly, else 0.0.
+pub fn r2_score(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    assert!(!y_true.is_empty());
+    let n = y_true.len() as f64;
+    let mean = y_true.iter().sum::<f64>() / n;
+    let sst: f64 = y_true.iter().map(|y| (y - mean) * (y - mean)).sum();
+    let sse: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
+    if sst == 0.0 {
+        return if sse == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - sse / sst
+}
+
+/// Root mean squared error.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    assert!(!y_true.is_empty());
+    let mse: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / y_true.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    assert!(!y_true.is_empty());
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_fit_is_one() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(r2_score(&y, &y), 1.0);
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(mae(&y, &y), 0.0);
+    }
+
+    #[test]
+    fn mean_predictor_is_zero() {
+        let y = [1.0, 2.0, 3.0];
+        let pred = [2.0, 2.0, 2.0];
+        assert!(r2_score(&y, &pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_fit_is_negative() {
+        let y = [1.0, 2.0, 3.0];
+        let pred = [30.0, -10.0, 99.0];
+        assert!(r2_score(&y, &pred) < 0.0);
+    }
+
+    #[test]
+    fn constant_targets_edge_case() {
+        let y = [5.0, 5.0];
+        assert_eq!(r2_score(&y, &[5.0, 5.0]), 1.0);
+        assert_eq!(r2_score(&y, &[4.0, 6.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_and_mae_values() {
+        let y = [0.0, 0.0];
+        let p = [3.0, 4.0];
+        assert!((rmse(&y, &p) - (12.5f64).sqrt()).abs() < 1e-12);
+        assert!((mae(&y, &p) - 3.5).abs() < 1e-12);
+    }
+}

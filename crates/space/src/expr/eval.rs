@@ -1,0 +1,259 @@
+//! Compilation and evaluation of restriction expressions.
+//!
+//! Expressions are *compiled* against a parameter-name table once: variable
+//! references become integer slots into the configuration slice, so the hot
+//! path (hundreds of millions of evaluations when counting the Dedispersion
+//! space) performs no string hashing.
+
+use std::fmt;
+
+use super::ast::{BinOp, Builtin, CmpOp, Expr, UnOp};
+use crate::value::Num;
+
+/// Error produced when compiling an expression against a parameter table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// The expression references a variable that is not a parameter name.
+    UnknownVariable(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownVariable(name) => {
+                write!(f, "expression references unknown parameter {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// An expression with variable references resolved to slot indices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Slot index into the configuration value slice.
+    Slot(usize),
+    /// Unary operation.
+    Unary(UnOp, Box<CompiledExpr>),
+    /// Binary operation.
+    Binary(BinOp, Box<CompiledExpr>, Box<CompiledExpr>),
+    /// Chained comparison.
+    Compare(Box<CompiledExpr>, Vec<(CmpOp, CompiledExpr)>),
+    /// Builtin call.
+    Call(Builtin, Vec<CompiledExpr>),
+}
+
+impl CompiledExpr {
+    /// Resolve variable names in `expr` against `names` (parameter order =
+    /// slot order).
+    pub fn compile(expr: &Expr, names: &[String]) -> Result<CompiledExpr, EvalError> {
+        Ok(match expr {
+            Expr::Int(v) => CompiledExpr::Int(*v),
+            Expr::Float(v) => CompiledExpr::Float(*v),
+            Expr::Var(name) => {
+                let slot = names
+                    .iter()
+                    .position(|n| n == name)
+                    .ok_or_else(|| EvalError::UnknownVariable(name.clone()))?;
+                CompiledExpr::Slot(slot)
+            }
+            Expr::Unary(op, e) => {
+                CompiledExpr::Unary(*op, Box::new(Self::compile(e, names)?))
+            }
+            Expr::Binary(op, a, b) => CompiledExpr::Binary(
+                *op,
+                Box::new(Self::compile(a, names)?),
+                Box::new(Self::compile(b, names)?),
+            ),
+            Expr::Compare(first, links) => {
+                let mut compiled = Vec::with_capacity(links.len());
+                for (op, e) in links {
+                    compiled.push((*op, Self::compile(e, names)?));
+                }
+                CompiledExpr::Compare(Box::new(Self::compile(first, names)?), compiled)
+            }
+            Expr::Call(b, args) => {
+                let mut compiled = Vec::with_capacity(args.len());
+                for a in args {
+                    compiled.push(Self::compile(a, names)?);
+                }
+                CompiledExpr::Call(*b, compiled)
+            }
+        })
+    }
+
+    /// Evaluate to a number given configuration values (indexed by slot).
+    pub fn eval_num(&self, values: &[i64]) -> Num {
+        match self {
+            CompiledExpr::Int(v) => Num::Int(*v),
+            CompiledExpr::Float(v) => Num::Float(*v),
+            CompiledExpr::Slot(i) => Num::Int(values[*i]),
+            CompiledExpr::Unary(UnOp::Neg, e) => e.eval_num(values).neg(),
+            CompiledExpr::Unary(UnOp::Not, e) => Num::Int(i64::from(!e.eval_num(values).truthy())),
+            CompiledExpr::Binary(op, a, b) => {
+                match op {
+                    // Short-circuit logical operators evaluate to 0/1.
+                    BinOp::And => {
+                        return Num::Int(i64::from(
+                            a.eval_num(values).truthy() && b.eval_num(values).truthy(),
+                        ))
+                    }
+                    BinOp::Or => {
+                        return Num::Int(i64::from(
+                            a.eval_num(values).truthy() || b.eval_num(values).truthy(),
+                        ))
+                    }
+                    _ => {}
+                }
+                let x = a.eval_num(values);
+                let y = b.eval_num(values);
+                match op {
+                    BinOp::Add => x.add(y),
+                    BinOp::Sub => x.sub(y),
+                    BinOp::Mul => x.mul(y),
+                    BinOp::Div => x.div(y),
+                    BinOp::FloorDiv => x.floordiv(y),
+                    BinOp::Mod => x.rem(y),
+                    BinOp::Pow => x.pow(y),
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                }
+            }
+            CompiledExpr::Compare(first, links) => {
+                let mut lhs = first.eval_num(values);
+                for (op, rhs_expr) in links {
+                    let rhs = rhs_expr.eval_num(values);
+                    let ok = match op {
+                        CmpOp::Eq => lhs.eq_num(rhs),
+                        CmpOp::Ne => !lhs.eq_num(rhs),
+                        CmpOp::Lt => matches!(lhs.cmp_num(rhs), Some(std::cmp::Ordering::Less)),
+                        CmpOp::Le => matches!(
+                            lhs.cmp_num(rhs),
+                            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                        ),
+                        CmpOp::Gt => matches!(lhs.cmp_num(rhs), Some(std::cmp::Ordering::Greater)),
+                        CmpOp::Ge => matches!(
+                            lhs.cmp_num(rhs),
+                            Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                        ),
+                    };
+                    if !ok {
+                        return Num::Int(0);
+                    }
+                    lhs = rhs;
+                }
+                Num::Int(1)
+            }
+            CompiledExpr::Call(b, args) => match b {
+                Builtin::Abs => {
+                    let v = args[0].eval_num(values);
+                    match v {
+                        Num::Int(i) => Num::Int(i.abs()),
+                        Num::Float(f) => Num::Float(f.abs()),
+                    }
+                }
+                Builtin::Min | Builtin::Max => {
+                    let mut best = args[0].eval_num(values);
+                    for a in &args[1..] {
+                        let v = a.eval_num(values);
+                        let take = matches!(
+                            (b, best.cmp_num(v)),
+                            (Builtin::Min, Some(std::cmp::Ordering::Greater))
+                                | (Builtin::Max, Some(std::cmp::Ordering::Less))
+                        );
+                        if take {
+                            best = v;
+                        }
+                    }
+                    best
+                }
+            },
+        }
+    }
+
+    /// Evaluate as a boolean (Python truthiness).
+    #[inline]
+    pub fn eval_bool(&self, values: &[i64]) -> bool {
+        self.eval_num(values).truthy()
+    }
+
+    /// Slot indices referenced by this compiled expression (sorted, deduped).
+    pub fn slots(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_slots(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_slots(&self, out: &mut Vec<usize>) {
+        match self {
+            CompiledExpr::Int(_) | CompiledExpr::Float(_) => {}
+            CompiledExpr::Slot(i) => out.push(*i),
+            CompiledExpr::Unary(_, e) => e.collect_slots(out),
+            CompiledExpr::Binary(_, a, b) => {
+                a.collect_slots(out);
+                b.collect_slots(out);
+            }
+            CompiledExpr::Compare(first, links) => {
+                first.collect_slots(out);
+                for (_, e) in links {
+                    e.collect_slots(out);
+                }
+            }
+            CompiledExpr::Call(_, args) => {
+                for a in args {
+                    a.collect_slots(out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse;
+
+    fn compile(src: &str, names: &[&str]) -> CompiledExpr {
+        let owned: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+        CompiledExpr::compile(&parse(src).unwrap(), &owned).unwrap()
+    }
+
+    #[test]
+    fn slots_resolved_in_name_order() {
+        let c = compile("b + a", &["a", "b"]);
+        assert_eq!(c.slots(), vec![0, 1]);
+    }
+
+    #[test]
+    fn short_circuit_and_or() {
+        // `x != 0 and 10 % x == 0` must not trip the NaN path when x == 0.
+        let c = compile("x != 0 and 10 % x == 0", &["x"]);
+        assert!(!c.eval_bool(&[0]));
+        assert!(c.eval_bool(&[5]));
+        assert!(!c.eval_bool(&[3]));
+        let c = compile("x == 0 or 10 % x == 0", &["x"]);
+        assert!(c.eval_bool(&[0]));
+        assert!(c.eval_bool(&[2]));
+    }
+
+    #[test]
+    fn comparison_produces_bool_num() {
+        let c = compile("(a > 1) + (b > 1) == 2", &["a", "b"]);
+        assert!(c.eval_bool(&[2, 2]));
+        assert!(!c.eval_bool(&[2, 0]));
+    }
+
+    #[test]
+    fn nan_comparisons_reject() {
+        // Division by zero yields NaN; all comparisons with NaN are false.
+        let c = compile("1 / x == 1 / x", &["x"]);
+        assert!(!c.eval_bool(&[0]));
+        assert!(c.eval_bool(&[1]));
+    }
+}

@@ -1,0 +1,272 @@
+//! Tokenizer for restriction expressions.
+
+use std::fmt;
+
+/// Lexical token of the restriction language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Identifier (parameter name).
+    Ident(String),
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `**`
+    StarStar,
+    /// `/`
+    Slash,
+    /// `//`
+    SlashSlash,
+    /// `%`
+    Percent,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+}
+
+/// Error produced while tokenizing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src` into a vector of tokens.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                if bytes.get(i + 1) == Some(&b'*') {
+                    out.push(Token::StarStar);
+                    i += 2;
+                } else {
+                    out.push(Token::Star);
+                    i += 1;
+                }
+            }
+            '/' => {
+                if bytes.get(i + 1) == Some(&b'/') {
+                    out.push(Token::SlashSlash);
+                    i += 2;
+                } else {
+                    out.push(Token::Slash);
+                    i += 1;
+                }
+            }
+            '%' => {
+                out.push(Token::Percent);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Eq);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        pos: i,
+                        msg: "single '=' (assignment) is not allowed; use '=='".into(),
+                    });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        pos: i,
+                        msg: "expected '!='".into(),
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                if is_float {
+                    let v: f64 = text.parse().map_err(|e| LexError {
+                        pos: start,
+                        msg: format!("bad float literal {text:?}: {e}"),
+                    })?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v: i64 = text.parse().map_err(|e| LexError {
+                        pos: start,
+                        msg: format!("bad int literal {text:?}: {e}"),
+                    })?;
+                    out.push(Token::Int(v));
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                match &src[start..i] {
+                    "and" => out.push(Token::And),
+                    "or" => out.push(Token::Or),
+                    "not" => out.push(Token::Not),
+                    ident => out.push(Token::Ident(ident.to_string())),
+                }
+            }
+            other => {
+                return Err(LexError {
+                    pos: i,
+                    msg: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_operators_and_idents() {
+        let toks = lex("MWG % (MDIMC*VWM) == 0").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("MWG".into()),
+                Token::Percent,
+                Token::LParen,
+                Token::Ident("MDIMC".into()),
+                Token::Star,
+                Token::Ident("VWM".into()),
+                Token::RParen,
+                Token::Eq,
+                Token::Int(0),
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_star_and_power() {
+        assert_eq!(lex("a**b").unwrap()[1], Token::StarStar);
+        assert_eq!(lex("a*b").unwrap()[1], Token::Star);
+        assert_eq!(lex("a//b").unwrap()[1], Token::SlashSlash);
+    }
+
+    #[test]
+    fn lexes_float_literals() {
+        assert_eq!(lex("1.5").unwrap(), vec![Token::Float(1.5)]);
+        assert_eq!(lex("10").unwrap(), vec![Token::Int(10)]);
+    }
+
+    #[test]
+    fn keywords_are_not_idents() {
+        assert_eq!(
+            lex("a and not b or c").unwrap(),
+            vec![
+                Token::Ident("a".into()),
+                Token::And,
+                Token::Not,
+                Token::Ident("b".into()),
+                Token::Or,
+                Token::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("a = b").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! A small expression language for search-space restrictions.
+//!
+//! BAT and Kernel Tuner express restrictions as Python-like strings such as
+//! `"MWG % (MDIMC * VWM) == 0"` or `"block_size_x*block_size_y >= 32"`.
+//! This module provides a lexer, a Pratt parser and an evaluator with Python
+//! semantics (true division, floor division, chained comparisons, `and`/`or`/
+//! `not`, `min`/`max`/`abs` builtins) so restriction sets can be declared as
+//! data and shared between tuners — the paper's "shared problem interface".
+
+mod ast;
+mod eval;
+mod lexer;
+mod parser;
+
+pub use ast::{BinOp, CmpOp, Expr, UnOp};
+pub use eval::{CompiledExpr, EvalError};
+pub use lexer::{LexError, Token};
+pub use parser::{parse, ParseError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_with(src: &str, names: &[&str], vals: &[i64]) -> bool {
+        let expr = parse(src).expect("parse");
+        let owned: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+        let compiled = CompiledExpr::compile(&expr, &owned).expect("compile");
+        compiled.eval_bool(vals)
+    }
+
+    #[test]
+    fn gemm_style_restriction() {
+        // MWG % (MDIMC * VWM) == 0 with MWG=64, MDIMC=16, VWM=2 -> 64 % 32 == 0
+        assert!(eval_with(
+            "MWG % (MDIMC * VWM) == 0",
+            &["MWG", "MDIMC", "VWM"],
+            &[64, 16, 2]
+        ));
+        assert!(!eval_with(
+            "MWG % (MDIMC * VWM) == 0",
+            &["MWG", "MDIMC", "VWM"],
+            &[64, 16, 8]
+        ));
+    }
+
+    #[test]
+    fn true_division_inside_modulo() {
+        // 32 % ((16*16)/8) == 0  ->  32 % 32.0 == 0
+        assert!(eval_with(
+            "32 % ((MDIMC*NDIMC)/MDIMA) == 0",
+            &["MDIMC", "NDIMC", "MDIMA"],
+            &[16, 16, 8]
+        ));
+        // 32 % ((32*32)/8) == 0 -> 32 % 128.0 == 32 != 0
+        assert!(!eval_with(
+            "32 % ((MDIMC*NDIMC)/MDIMA) == 0",
+            &["MDIMC", "NDIMC", "MDIMA"],
+            &[32, 32, 8]
+        ));
+    }
+
+    #[test]
+    fn chained_comparison() {
+        assert!(eval_with("32 <= x*y <= 1024", &["x", "y"], &[8, 16]));
+        assert!(!eval_with("32 <= x*y <= 1024", &["x", "y"], &[1, 4]));
+        assert!(!eval_with("32 <= x*y <= 1024", &["x", "y"], &[64, 32]));
+    }
+
+    #[test]
+    fn boolean_operators() {
+        assert!(eval_with("a == 0 or b == 1", &["a", "b"], &[5, 1]));
+        assert!(eval_with("not (a == 0) and b == 1", &["a", "b"], &[5, 1]));
+        assert!(!eval_with("a == 0 and b == 1", &["a", "b"], &[5, 1]));
+    }
+
+    #[test]
+    fn builtins() {
+        assert!(eval_with("max(a, b) == 8", &["a", "b"], &[8, 3]));
+        assert!(eval_with("min(a, b, 2) == 2", &["a", "b"], &[8, 3]));
+        assert!(eval_with("abs(a - b) == 5", &["a", "b"], &[8, 3]));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        assert!(eval_with("2 + 3 * 4 == 14", &[], &[]));
+        assert!(eval_with("(2 + 3) * 4 == 20", &[], &[]));
+        assert!(eval_with("2 ** 3 ** 2 == 512", &[], &[])); // right-assoc
+        assert!(eval_with("-2 ** 2 == -4", &[], &[])); // unary binds looser than **
+        assert!(eval_with("7 // 2 == 3", &[], &[]));
+    }
+
+    #[test]
+    fn unknown_variable_is_compile_error() {
+        let expr = parse("FOO == 1").unwrap();
+        assert!(CompiledExpr::compile(&expr, &["BAR".to_string()]).is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("a ==").is_err());
+        assert!(parse("(a == 1").is_err());
+        assert!(parse("a @ b").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for src in [
+            "MWG % (MDIMC * VWM) == 0",
+            "32 <= x * y <= 1024",
+            "a == 0 or b == 1 and c < 2",
+            "not a",
+            "min(a, 3) + max(b, 4) * 2 >= 10",
+            "-a ** 2 != 4",
+        ] {
+            let e = parse(src).unwrap();
+            let printed = e.to_string();
+            let reparsed = parse(&printed).unwrap();
+            assert_eq!(
+                printed,
+                reparsed.to_string(),
+                "display of {src:?} must be stable"
+            );
+        }
+    }
+}

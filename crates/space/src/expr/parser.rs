@@ -1,0 +1,302 @@
+//! Pratt parser for restriction expressions.
+//!
+//! Grammar (binding from loosest to tightest, mirroring Python):
+//! `or` < `and` < `not` < comparisons (chainable) < `+ -` < `* / // %` <
+//! unary `-` < `**` (right-associative) < atoms.
+
+use std::fmt;
+
+use super::ast::{BinOp, Builtin, CmpOp, Expr, UnOp};
+use super::lexer::{lex, LexError, Token};
+
+/// Error produced while parsing a restriction expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Unexpected token or end of input.
+    Unexpected {
+        /// Token index (not byte offset).
+        at: usize,
+        /// Description of what was found/expected.
+        msg: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { at, msg } => write!(f, "parse error at token {at}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Parse a restriction expression string into an [`Expr`].
+pub fn parse(src: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.parse_or()?;
+    if p.pos != p.tokens.len() {
+        return Err(ParseError::Unexpected {
+            at: p.pos,
+            msg: format!("trailing input starting with {:?}", p.tokens[p.pos]),
+        });
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == tok => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(ParseError::Unexpected {
+                at: self.pos,
+                msg: format!("expected {tok:?}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == Some(&Token::Or) {
+            self.pos += 1;
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_not()?;
+        while self.peek() == Some(&Token::And) {
+            self.pos += 1;
+            let rhs = self.parse_not()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(&Token::Not) {
+            self.pos += 1;
+            let inner = self.parse_not()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(inner)));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, ParseError> {
+        let first = self.parse_additive()?;
+        let mut links: Vec<(CmpOp, Expr)> = Vec::new();
+        loop {
+            let op = match self.peek() {
+                Some(Token::Eq) => CmpOp::Eq,
+                Some(Token::Ne) => CmpOp::Ne,
+                Some(Token::Lt) => CmpOp::Lt,
+                Some(Token::Le) => CmpOp::Le,
+                Some(Token::Gt) => CmpOp::Gt,
+                Some(Token::Ge) => CmpOp::Ge,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_additive()?;
+            links.push((op, rhs));
+        }
+        if links.is_empty() {
+            Ok(first)
+        } else {
+            Ok(Expr::Compare(Box::new(first), links))
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::SlashSlash) => BinOp::FloorDiv,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(&Token::Minus) {
+            self.pos += 1;
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(inner)));
+        }
+        self.parse_power()
+    }
+
+    fn parse_power(&mut self) -> Result<Expr, ParseError> {
+        let base = self.parse_atom()?;
+        if self.peek() == Some(&Token::StarStar) {
+            self.pos += 1;
+            // Right-associative; exponent may itself be unary (-2 ** -2).
+            let exp = self.parse_unary()?;
+            return Ok(Expr::Binary(BinOp::Pow, Box::new(base), Box::new(exp)));
+        }
+        Ok(base)
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Token::Int(v)) => Ok(Expr::Int(v)),
+            Some(Token::Float(v)) => Ok(Expr::Float(v)),
+            Some(Token::LParen) => {
+                let inner = self.parse_or()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::Ident(name)) => {
+                if self.peek() == Some(&Token::LParen) {
+                    let builtin = match name.as_str() {
+                        "min" => Builtin::Min,
+                        "max" => Builtin::Max,
+                        "abs" => Builtin::Abs,
+                        other => {
+                            return Err(ParseError::Unexpected {
+                                at: self.pos,
+                                msg: format!(
+                                    "unknown function {other:?}; available: min, max, abs"
+                                ),
+                            })
+                        }
+                    };
+                    self.pos += 1; // consume '('
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        loop {
+                            args.push(self.parse_or()?);
+                            if self.peek() == Some(&Token::Comma) {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    let arity_ok = match builtin {
+                        Builtin::Abs => args.len() == 1,
+                        Builtin::Min | Builtin::Max => args.len() >= 2,
+                    };
+                    if !arity_ok {
+                        return Err(ParseError::Unexpected {
+                            at: self.pos,
+                            msg: format!("wrong number of arguments ({}) for {name}", args.len()),
+                        });
+                    }
+                    Ok(Expr::Call(builtin, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(ParseError::Unexpected {
+                at: self.pos.saturating_sub(1),
+                msg: format!("expected an expression, found {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_shape() {
+        // a + b * c  parses as  a + (b * c)
+        let e = parse("a + b * c").unwrap();
+        match e {
+            Expr::Binary(BinOp::Add, _, rhs) => match *rhs {
+                Expr::Binary(BinOp::Mul, ..) => {}
+                other => panic!("rhs should be Mul, got {other:?}"),
+            },
+            other => panic!("should be Add, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_binds_looser_than_arithmetic() {
+        let e = parse("a + 1 == b * 2").unwrap();
+        assert!(matches!(e, Expr::Compare(..)));
+    }
+
+    #[test]
+    fn chain_collects_links() {
+        let e = parse("1 < x <= 10").unwrap();
+        match e {
+            Expr::Compare(_, links) => assert_eq!(links.len(), 2),
+            other => panic!("expected chain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        assert!(parse("abs(1, 2)").is_err());
+        assert!(parse("min(1)").is_err());
+        assert!(parse("foo(1)").is_err());
+    }
+
+    #[test]
+    fn power_is_right_associative() {
+        let e = parse("a ** b ** c").unwrap();
+        match e {
+            Expr::Binary(BinOp::Pow, _, rhs) => {
+                assert!(matches!(*rhs, Expr::Binary(BinOp::Pow, ..)))
+            }
+            other => panic!("expected Pow, got {other:?}"),
+        }
+    }
+}

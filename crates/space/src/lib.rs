@@ -1,0 +1,42 @@
+//! # bat-space
+//!
+//! Discrete tunable-parameter spaces for the BAT-rs kernel-tuner benchmarking
+//! suite: parameter definitions, a Python-like restriction expression
+//! language, a mixed-radix configuration↔index bijection, neighbourhoods,
+//! exact (parallel and factored) counting, and random sampling.
+//!
+//! This crate is the data model behind the paper's "standardized problem
+//! interface": a benchmark declares its space as parameters plus restriction
+//! strings, and every tuner consumes the same [`ConfigSpace`].
+//!
+//! ```
+//! use bat_space::{ConfigSpace, Param};
+//!
+//! let space = ConfigSpace::builder()
+//!     .param(Param::pow2("MWG", 16, 128))
+//!     .param(Param::new("MDIMC", vec![8, 16, 32]))
+//!     .param(Param::new("VWM", vec![1, 2, 4, 8]))
+//!     .restrict("MWG % (MDIMC * VWM) == 0")
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(space.cardinality(), 48);
+//! assert_eq!(space.count_valid(), space.count_valid_factored());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod expr;
+mod neighbors;
+mod param;
+mod sample;
+mod space;
+mod value;
+
+pub use neighbors::Neighborhood;
+pub use param::Param;
+pub use sample::{
+    sample_indices, sample_indices_distinct, sample_one_valid, sample_valid_indices,
+    sample_valid_indices_distinct,
+};
+pub use space::{ConfigIter, ConfigSpace, ConfigSpaceBuilder, Restriction, SpaceError, SpaceSpec};
+pub use value::Num;

@@ -1,0 +1,163 @@
+//! Tunable parameter definitions.
+
+use serde::{Deserialize, Serialize};
+
+/// A discrete tunable parameter: a name plus an ordered list of integer
+/// values it may take.
+///
+/// All BAT 2.0 parameters are integers (thread-block sizes, tile sizes,
+/// unroll factors, boolean switches encoded as 0/1), matching Tables I–VII
+/// of the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter name as used in restriction expressions and kernel sources.
+    pub name: String,
+    /// Ordered candidate values. Order defines the "adjacent" neighbourhood.
+    pub values: Vec<i64>,
+}
+
+impl Param {
+    /// Create a parameter from an explicit value list.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty or contains duplicates — both would make
+    /// the mixed-radix index bijection ill-defined.
+    pub fn new(name: impl Into<String>, values: impl Into<Vec<i64>>) -> Self {
+        let name = name.into();
+        let values = values.into();
+        assert!(!values.is_empty(), "parameter {name:?} has no values");
+        let mut seen = values.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(
+            seen.len(),
+            values.len(),
+            "parameter {name:?} has duplicate values"
+        );
+        Param { name, values }
+    }
+
+    /// Powers of two from `lo` to `hi` inclusive (both must be powers of two).
+    pub fn pow2(name: impl Into<String>, lo: i64, hi: i64) -> Self {
+        assert!(lo > 0 && hi >= lo, "invalid pow2 range");
+        assert!(lo.count_ones() == 1 && hi.count_ones() == 1, "bounds must be powers of two");
+        let mut values = Vec::new();
+        let mut v = lo;
+        while v <= hi {
+            values.push(v);
+            v *= 2;
+        }
+        Param::new(name, values)
+    }
+
+    /// The inclusive integer range `lo..=hi`.
+    pub fn int_range(name: impl Into<String>, lo: i64, hi: i64) -> Self {
+        assert!(hi >= lo, "invalid range");
+        Param::new(name, (lo..=hi).collect::<Vec<_>>())
+    }
+
+    /// Multiples of `step` from `lo` to `hi` inclusive.
+    pub fn multiples(name: impl Into<String>, step: i64, lo: i64, hi: i64) -> Self {
+        assert!(step > 0 && lo % step == 0 && hi >= lo, "invalid multiples range");
+        let mut values = Vec::new();
+        let mut v = lo;
+        while v <= hi {
+            values.push(v);
+            v += step;
+        }
+        Param::new(name, values)
+    }
+
+    /// A boolean switch `{0, 1}`.
+    pub fn boolean(name: impl Into<String>) -> Self {
+        Param::new(name, vec![0, 1])
+    }
+
+    /// Number of candidate values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when only one value exists (the parameter is pinned).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value at ordinal position `i`.
+    #[inline]
+    pub fn value(&self, i: usize) -> i64 {
+        self.values[i]
+    }
+
+    /// Ordinal position of `v`, if it is a candidate value.
+    #[inline]
+    pub fn position(&self, v: i64) -> Option<usize> {
+        self.values.iter().position(|&x| x == v)
+    }
+
+    /// A copy of this parameter pinned to a single value (used when reducing
+    /// search spaces per Table VIII).
+    pub fn pinned(&self, v: i64) -> Self {
+        assert!(
+            self.position(v).is_some(),
+            "cannot pin {:?} to non-candidate value {v}",
+            self.name
+        );
+        Param {
+            name: self.name.clone(),
+            values: vec![v],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_generates_expected_values() {
+        let p = Param::pow2("block", 16, 128);
+        assert_eq!(p.values, vec![16, 32, 64, 128]);
+    }
+
+    #[test]
+    fn multiples_generates_expected_values() {
+        let p = Param::multiples("bx", 32, 32, 1024);
+        assert_eq!(p.len(), 32);
+        assert_eq!(p.values[0], 32);
+        assert_eq!(*p.values.last().unwrap(), 1024);
+    }
+
+    #[test]
+    fn int_range_inclusive() {
+        let p = Param::int_range("t", 1, 10);
+        assert_eq!(p.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicates_rejected() {
+        let _ = Param::new("p", vec![1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no values")]
+    fn empty_rejected() {
+        let _ = Param::new("p", Vec::<i64>::new());
+    }
+
+    #[test]
+    fn position_lookup() {
+        let p = Param::new("p", vec![4, 8, 15, 16]);
+        assert_eq!(p.position(15), Some(2));
+        assert_eq!(p.position(23), None);
+    }
+
+    #[test]
+    fn pinning() {
+        let p = Param::new("p", vec![4, 8, 16]).pinned(8);
+        assert_eq!(p.values, vec![8]);
+    }
+}

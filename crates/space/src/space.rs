@@ -1,0 +1,634 @@
+//! Configuration spaces: the cartesian product of parameters plus a
+//! restriction set, with a mixed-radix index bijection.
+
+use std::fmt;
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::expr::{parse, CompiledExpr, EvalError, ParseError};
+use crate::param::Param;
+
+/// A parsed restriction together with its source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Restriction {
+    /// The original expression string (kept for display/serialization).
+    pub source: String,
+    /// Compiled form with parameter slots resolved.
+    pub compiled: CompiledExpr,
+}
+
+/// Error constructing a [`ConfigSpace`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpaceError {
+    /// Two parameters share a name.
+    DuplicateParam(String),
+    /// A restriction failed to parse.
+    Parse {
+        /// The restriction source text.
+        source: String,
+        /// The underlying parse error.
+        error: ParseError,
+    },
+    /// A restriction references an unknown parameter.
+    Compile {
+        /// The restriction source text.
+        source: String,
+        /// The underlying resolution error.
+        error: EvalError,
+    },
+    /// The space has no parameters.
+    Empty,
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::DuplicateParam(n) => write!(f, "duplicate parameter name {n:?}"),
+            SpaceError::Parse { source, error } => {
+                write!(f, "failed to parse restriction {source:?}: {error}")
+            }
+            SpaceError::Compile { source, error } => {
+                write!(f, "failed to compile restriction {source:?}: {error}")
+            }
+            SpaceError::Empty => f.write_str("configuration space has no parameters"),
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+/// A discrete configuration space: parameters × restrictions.
+///
+/// Configurations are identified either by their value vector (`&[i64]`,
+/// aligned with [`ConfigSpace::params`]) or by a dense mixed-radix index in
+/// `0..cardinality()`. The index bijection makes uniform sampling and
+/// neighbour arithmetic O(#params) without hashing.
+#[derive(Debug, Clone)]
+pub struct ConfigSpace {
+    params: Vec<Param>,
+    names: Vec<String>,
+    restrictions: Vec<Restriction>,
+    /// Mixed-radix strides: `strides[i]` = product of radices of params after i.
+    strides: Vec<u64>,
+    cardinality: u64,
+}
+
+impl ConfigSpace {
+    /// Start building a space.
+    pub fn builder() -> ConfigSpaceBuilder {
+        ConfigSpaceBuilder::default()
+    }
+
+    /// The parameters, in slot order.
+    #[inline]
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Parameter names, in slot order.
+    #[inline]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of parameters.
+    #[inline]
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Slot index of the parameter named `name`.
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The restriction set.
+    #[inline]
+    pub fn restrictions(&self) -> &[Restriction] {
+        &self.restrictions
+    }
+
+    /// Total number of configurations in the unrestricted cartesian product
+    /// (the paper's "Cardinality" column in Table VIII).
+    #[inline]
+    pub fn cardinality(&self) -> u64 {
+        self.cardinality
+    }
+
+    /// Decode a dense index into a fresh configuration vector.
+    pub fn config_at(&self, index: u64) -> Vec<i64> {
+        let mut out = vec![0; self.params.len()];
+        self.decode_into(index, &mut out);
+        out
+    }
+
+    /// Decode a dense index into `out` (no allocation; `out.len()` must equal
+    /// the number of parameters).
+    #[inline]
+    pub fn decode_into(&self, index: u64, out: &mut [i64]) {
+        debug_assert!(index < self.cardinality, "index out of range");
+        debug_assert_eq!(out.len(), self.params.len());
+        let mut rem = index;
+        for (i, p) in self.params.iter().enumerate() {
+            let pos = (rem / self.strides[i]) as usize;
+            rem %= self.strides[i];
+            out[i] = p.values[pos];
+        }
+    }
+
+    /// Encode a configuration into its dense index. Returns `None` if any
+    /// value is not a candidate value of its parameter.
+    pub fn index_of(&self, config: &[i64]) -> Option<u64> {
+        assert_eq!(config.len(), self.params.len());
+        let mut idx = 0u64;
+        for (i, p) in self.params.iter().enumerate() {
+            let pos = p.position(config[i])? as u64;
+            idx += pos * self.strides[i];
+        }
+        Some(idx)
+    }
+
+    /// Evaluate the restriction set on a configuration.
+    #[inline]
+    pub fn is_valid(&self, config: &[i64]) -> bool {
+        self.restrictions
+            .iter()
+            .all(|r| r.compiled.eval_bool(config))
+    }
+
+    /// Like [`ConfigSpace::is_valid`] but for a dense index.
+    pub fn is_valid_index(&self, index: u64) -> bool {
+        let mut scratch = vec![0; self.params.len()];
+        self.decode_into(index, &mut scratch);
+        self.is_valid(&scratch)
+    }
+
+    /// Iterate over all configurations (restricted or not) in index order.
+    pub fn iter(&self) -> ConfigIter<'_> {
+        ConfigIter {
+            space: self,
+            next: 0,
+            scratch: vec![0; self.params.len()],
+        }
+    }
+
+    /// Count configurations satisfying the restriction set, by brute force,
+    /// in parallel. Exact, but O(cardinality).
+    pub fn count_valid(&self) -> u64 {
+        if self.restrictions.is_empty() {
+            return self.cardinality;
+        }
+        const CHUNK: u64 = 1 << 16;
+        let n_chunks = self.cardinality.div_ceil(CHUNK);
+        (0..n_chunks)
+            .into_par_iter()
+            .map(|c| {
+                let start = c * CHUNK;
+                let end = (start + CHUNK).min(self.cardinality);
+                let mut scratch = vec![0i64; self.params.len()];
+                let mut count = 0u64;
+                for idx in start..end {
+                    self.decode_into(idx, &mut scratch);
+                    if self.is_valid(&scratch) {
+                        count += 1;
+                    }
+                }
+                count
+            })
+            .sum()
+    }
+
+    /// Count valid configurations by factoring the space into connected
+    /// components of the restriction/parameter graph and multiplying the
+    /// per-component counts. Exact and usually orders of magnitude faster
+    /// than [`ConfigSpace::count_valid`] (e.g. the 1.2×10⁸-point
+    /// Dedispersion space factors into small groups).
+    pub fn count_valid_factored(&self) -> u64 {
+        if self.restrictions.is_empty() {
+            return self.cardinality;
+        }
+        let components = self.constraint_components();
+        let mut total: u128 = 1;
+        let mut constrained: Vec<bool> = vec![false; self.params.len()];
+        for comp in &components {
+            for &p in &comp.params {
+                constrained[p] = true;
+            }
+            total *= u128::from(self.count_component(comp));
+        }
+        for (i, p) in self.params.iter().enumerate() {
+            if !constrained[i] {
+                total *= p.len() as u128;
+            }
+        }
+        u64::try_from(total).expect("valid count exceeds u64")
+    }
+
+    /// Group restrictions into connected components over the parameters they
+    /// touch.
+    fn constraint_components(&self) -> Vec<Component> {
+        // Union-find over parameter slots.
+        let n = self.params.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let slot_sets: Vec<Vec<usize>> = self
+            .restrictions
+            .iter()
+            .map(|r| r.compiled.slots())
+            .collect();
+        for slots in &slot_sets {
+            if let Some(&first) = slots.first() {
+                for &s in &slots[1..] {
+                    let (a, b) = (find(&mut parent, first), find(&mut parent, s));
+                    if a != b {
+                        parent[a] = b;
+                    }
+                }
+            }
+        }
+        // Group restrictions by the root of their (connected) parameter set.
+        let mut comps: Vec<Component> = Vec::new();
+        let mut root_to_comp: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for (ri, slots) in slot_sets.iter().enumerate() {
+            if slots.is_empty() {
+                // A constant restriction applies globally; treat as its own
+                // component over zero params (evaluates once).
+                comps.push(Component {
+                    params: Vec::new(),
+                    restrictions: vec![ri],
+                });
+                continue;
+            }
+            let root = find(&mut parent, slots[0]);
+            let ci = *root_to_comp.entry(root).or_insert_with(|| {
+                comps.push(Component {
+                    params: Vec::new(),
+                    restrictions: Vec::new(),
+                });
+                comps.len() - 1
+            });
+            comps[ci].restrictions.push(ri);
+        }
+        for p in 0..n {
+            let root = find(&mut parent, p);
+            if let Some(&ci) = root_to_comp.get(&root) {
+                if !comps[ci].params.contains(&p) {
+                    comps[ci].params.push(p);
+                }
+            }
+        }
+        comps
+    }
+
+    /// Count assignments of a component's parameters satisfying its
+    /// restrictions (other parameters held at their first value — they are
+    /// never read by these restrictions).
+    fn count_component(&self, comp: &Component) -> u64 {
+        let mut scratch: Vec<i64> = self.params.iter().map(|p| p.values[0]).collect();
+        if comp.params.is_empty() {
+            let ok = comp
+                .restrictions
+                .iter()
+                .all(|&ri| self.restrictions[ri].compiled.eval_bool(&scratch));
+            return u64::from(ok);
+        }
+        let radices: Vec<usize> = comp.params.iter().map(|&p| self.params[p].len()).collect();
+        let total: u64 = radices.iter().map(|&r| r as u64).product();
+        let mut count = 0u64;
+        let mut digits = vec![0usize; comp.params.len()];
+        for _ in 0..total {
+            for (d, &p) in digits.iter().zip(&comp.params) {
+                scratch[p] = self.params[p].values[*d];
+            }
+            if comp
+                .restrictions
+                .iter()
+                .all(|&ri| self.restrictions[ri].compiled.eval_bool(&scratch))
+            {
+                count += 1;
+            }
+            // Increment mixed-radix digits.
+            for i in (0..digits.len()).rev() {
+                digits[i] += 1;
+                if digits[i] < radices[i] {
+                    break;
+                }
+                digits[i] = 0;
+            }
+        }
+        count
+    }
+
+    /// Enumerate the dense indices of all valid configurations, in parallel.
+    /// Intended for spaces small enough to exhaust (the paper exhausts
+    /// Pnpoly, Nbody, GEMM and Convolution).
+    pub fn valid_indices(&self) -> Vec<u64> {
+        const CHUNK: u64 = 1 << 14;
+        let n_chunks = self.cardinality.div_ceil(CHUNK);
+        let mut chunks: Vec<Vec<u64>> = (0..n_chunks)
+            .into_par_iter()
+            .map(|c| {
+                let start = c * CHUNK;
+                let end = (start + CHUNK).min(self.cardinality);
+                let mut scratch = vec![0i64; self.params.len()];
+                let mut out = Vec::new();
+                for idx in start..end {
+                    self.decode_into(idx, &mut scratch);
+                    if self.is_valid(&scratch) {
+                        out.push(idx);
+                    }
+                }
+                out
+            })
+            .collect();
+        let total: usize = chunks.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for c in &mut chunks {
+            out.append(c);
+        }
+        out
+    }
+
+    /// Radix (value count) of each parameter.
+    pub fn radices(&self) -> Vec<usize> {
+        self.params.iter().map(Param::len).collect()
+    }
+
+    /// Mixed-radix stride of parameter slot `i`.
+    #[inline]
+    pub fn stride(&self, i: usize) -> u64 {
+        self.strides[i]
+    }
+
+    /// A copy of this space with the given parameters pinned to fixed values
+    /// and all restrictions retained (used for Table VIII's "Reduced" and
+    /// "Reduce-Constrained" columns).
+    pub fn pinned(&self, pins: &[(&str, i64)]) -> Result<ConfigSpace, SpaceError> {
+        let mut b = ConfigSpace::builder();
+        for p in &self.params {
+            if let Some((_, v)) = pins.iter().find(|(n, _)| *n == p.name) {
+                b = b.param(p.pinned(*v));
+            } else {
+                b = b.param(p.clone());
+            }
+        }
+        for r in &self.restrictions {
+            b = b.restrict(&r.source);
+        }
+        b.build()
+    }
+}
+
+struct Component {
+    params: Vec<usize>,
+    restrictions: Vec<usize>,
+}
+
+/// Iterator over all configurations of a space in index order.
+pub struct ConfigIter<'a> {
+    space: &'a ConfigSpace,
+    next: u64,
+    scratch: Vec<i64>,
+}
+
+impl Iterator for ConfigIter<'_> {
+    type Item = Vec<i64>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.space.cardinality() {
+            return None;
+        }
+        self.space.decode_into(self.next, &mut self.scratch);
+        self.next += 1;
+        Some(self.scratch.clone())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.space.cardinality() - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+/// Builder for [`ConfigSpace`].
+#[derive(Default)]
+pub struct ConfigSpaceBuilder {
+    params: Vec<Param>,
+    restriction_sources: Vec<String>,
+}
+
+impl ConfigSpaceBuilder {
+    /// Add a parameter.
+    pub fn param(mut self, p: Param) -> Self {
+        self.params.push(p);
+        self
+    }
+
+    /// Add a restriction expression (parsed at [`ConfigSpaceBuilder::build`]).
+    pub fn restrict(mut self, source: &str) -> Self {
+        self.restriction_sources.push(source.to_string());
+        self
+    }
+
+    /// Finalize the space.
+    pub fn build(self) -> Result<ConfigSpace, SpaceError> {
+        if self.params.is_empty() {
+            return Err(SpaceError::Empty);
+        }
+        let names: Vec<String> = self.params.iter().map(|p| p.name.clone()).collect();
+        for (i, n) in names.iter().enumerate() {
+            if names[..i].contains(n) {
+                return Err(SpaceError::DuplicateParam(n.clone()));
+            }
+        }
+        let mut restrictions = Vec::with_capacity(self.restriction_sources.len());
+        for source in self.restriction_sources {
+            let expr = parse(&source).map_err(|error| SpaceError::Parse {
+                source: source.clone(),
+                error,
+            })?;
+            let compiled =
+                CompiledExpr::compile(&expr, &names).map_err(|error| SpaceError::Compile {
+                    source: source.clone(),
+                    error,
+                })?;
+            restrictions.push(Restriction { source, compiled });
+        }
+        let mut strides = vec![1u64; self.params.len()];
+        let mut acc = 1u64;
+        for i in (0..self.params.len()).rev() {
+            strides[i] = acc;
+            acc = acc
+                .checked_mul(self.params[i].len() as u64)
+                .expect("space cardinality exceeds u64");
+        }
+        Ok(ConfigSpace {
+            params: self.params,
+            names,
+            restrictions,
+            strides,
+            cardinality: acc,
+        })
+    }
+}
+
+/// Serializable description of a space (restrictions as source strings).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpaceSpec {
+    /// Parameter definitions.
+    pub params: Vec<Param>,
+    /// Restriction expression strings.
+    pub restrictions: Vec<String>,
+}
+
+impl From<&ConfigSpace> for SpaceSpec {
+    fn from(s: &ConfigSpace) -> Self {
+        SpaceSpec {
+            params: s.params.to_vec(),
+            restrictions: s.restrictions.iter().map(|r| r.source.clone()).collect(),
+        }
+    }
+}
+
+impl TryFrom<SpaceSpec> for ConfigSpace {
+    type Error = SpaceError;
+
+    fn try_from(spec: SpaceSpec) -> Result<Self, Self::Error> {
+        let mut b = ConfigSpace::builder();
+        for p in spec.params {
+            b = b.param(p);
+        }
+        for r in &spec.restrictions {
+            b = b.restrict(r);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_space() -> ConfigSpace {
+        ConfigSpace::builder()
+            .param(Param::new("a", vec![1, 2, 4]))
+            .param(Param::new("b", vec![1, 2]))
+            .param(Param::new("c", vec![0, 1]))
+            .restrict("a * b <= 4")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn cardinality_is_product() {
+        assert_eq!(small_space().cardinality(), 12);
+    }
+
+    #[test]
+    fn index_bijection_round_trips() {
+        let s = small_space();
+        for idx in 0..s.cardinality() {
+            let cfg = s.config_at(idx);
+            assert_eq!(s.index_of(&cfg), Some(idx));
+        }
+    }
+
+    #[test]
+    fn index_of_rejects_non_candidate_values() {
+        let s = small_space();
+        assert_eq!(s.index_of(&[3, 1, 0]), None);
+    }
+
+    #[test]
+    fn validity_matches_expression() {
+        let s = small_space();
+        assert!(s.is_valid(&[2, 2, 0])); // 4 <= 4
+        assert!(!s.is_valid(&[4, 2, 1])); // 8 > 4
+    }
+
+    #[test]
+    fn count_valid_brute_and_factored_agree() {
+        let s = small_space();
+        // valid (a,b): (1,1),(1,2),(2,1),(2,2),(4,1) = 5; times c (2) = 10
+        assert_eq!(s.count_valid(), 10);
+        assert_eq!(s.count_valid_factored(), 10);
+    }
+
+    #[test]
+    fn factored_counting_handles_disjoint_groups() {
+        let s = ConfigSpace::builder()
+            .param(Param::new("a", vec![1, 2, 3]))
+            .param(Param::new("b", vec![1, 2, 3]))
+            .param(Param::new("c", vec![1, 2, 3]))
+            .param(Param::new("d", vec![1, 2, 3]))
+            .restrict("a >= b")
+            .restrict("c != 2")
+            .build()
+            .unwrap();
+        // (a>=b): 6 of 9; (c!=2): 2 of 3; d free: 3 -> 6*2*3 = 36
+        assert_eq!(s.count_valid(), 36);
+        assert_eq!(s.count_valid_factored(), 36);
+    }
+
+    #[test]
+    fn valid_indices_are_sorted_and_valid() {
+        let s = small_space();
+        let v = s.valid_indices();
+        assert_eq!(v.len(), 10);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert!(v.iter().all(|&i| s.is_valid_index(i)));
+    }
+
+    #[test]
+    fn builder_rejects_duplicates_and_unknowns() {
+        let err = ConfigSpace::builder()
+            .param(Param::boolean("x"))
+            .param(Param::boolean("x"))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpaceError::DuplicateParam(_)));
+
+        let err = ConfigSpace::builder()
+            .param(Param::boolean("x"))
+            .restrict("y == 1")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpaceError::Compile { .. }));
+    }
+
+    #[test]
+    fn pinning_preserves_restrictions() {
+        let s = small_space();
+        let pinned = s.pinned(&[("b", 2)]).unwrap();
+        assert_eq!(pinned.cardinality(), 6);
+        // a*b<=4 with b=2 -> a in {1,2}: 2 of 3, times c: 4
+        assert_eq!(pinned.count_valid(), 4);
+    }
+
+    #[test]
+    fn spec_round_trip() {
+        let s = small_space();
+        let spec = SpaceSpec::from(&s);
+        let back = ConfigSpace::try_from(spec).unwrap();
+        assert_eq!(back.cardinality(), s.cardinality());
+        assert_eq!(back.count_valid(), s.count_valid());
+    }
+
+    #[test]
+    fn iter_visits_every_config_once() {
+        let s = small_space();
+        let all: Vec<_> = s.iter().collect();
+        assert_eq!(all.len(), 12);
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 12);
+    }
+}

@@ -1,0 +1,247 @@
+//! Numeric values used by the constraint expression language.
+//!
+//! Tunable parameters in BAT are integers, but restriction expressions use
+//! Python semantics where `/` is *true division* and may produce fractions
+//! (e.g. the CLBlast GEMM restriction `KWG % ((MDIMC*NDIMC)/MDIMA) == 0`).
+//! [`Num`] mirrors that behaviour: integers stay exact until an operation
+//! forces promotion to a float.
+
+use std::fmt;
+
+/// A number with Python-like promotion semantics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Num {
+    /// Exact integer.
+    Int(i64),
+    /// Double-precision float (result of true division or float literals).
+    Float(f64),
+}
+
+// The arithmetic methods are deliberately named after the Python operators
+// the restriction language evaluates (`add`, `div`, …); they are not the
+// std::ops traits because their promotion/zero-division semantics differ.
+#[allow(clippy::should_implement_trait)]
+impl Num {
+    /// The value as a float, regardless of representation.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Num::Int(i) => i as f64,
+            Num::Float(f) => f,
+        }
+    }
+
+    /// The value as an integer if it is integral, `None` otherwise.
+    #[inline]
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Num::Int(i) => Some(i),
+            Num::Float(f) if f.fract() == 0.0 && f.abs() < i64::MAX as f64 => Some(f as i64),
+            Num::Float(_) => None,
+        }
+    }
+
+    /// Python truthiness: any non-zero value is true.
+    #[inline]
+    pub fn truthy(self) -> bool {
+        match self {
+            Num::Int(i) => i != 0,
+            Num::Float(f) => f != 0.0,
+        }
+    }
+
+    /// Addition with promotion.
+    #[inline]
+    pub fn add(self, rhs: Num) -> Num {
+        match (self, rhs) {
+            (Num::Int(a), Num::Int(b)) => Num::Int(a.wrapping_add(b)),
+            (a, b) => Num::Float(a.as_f64() + b.as_f64()),
+        }
+    }
+
+    /// Subtraction with promotion.
+    #[inline]
+    pub fn sub(self, rhs: Num) -> Num {
+        match (self, rhs) {
+            (Num::Int(a), Num::Int(b)) => Num::Int(a.wrapping_sub(b)),
+            (a, b) => Num::Float(a.as_f64() - b.as_f64()),
+        }
+    }
+
+    /// Multiplication with promotion.
+    #[inline]
+    pub fn mul(self, rhs: Num) -> Num {
+        match (self, rhs) {
+            (Num::Int(a), Num::Int(b)) => Num::Int(a.wrapping_mul(b)),
+            (a, b) => Num::Float(a.as_f64() * b.as_f64()),
+        }
+    }
+
+    /// Python 3 true division: always a float. Division by zero yields an
+    /// error value (`NaN`), which makes every comparison false, matching the
+    /// convention that a malformed restriction rejects the configuration.
+    #[inline]
+    pub fn div(self, rhs: Num) -> Num {
+        let d = rhs.as_f64();
+        if d == 0.0 {
+            Num::Float(f64::NAN)
+        } else {
+            Num::Float(self.as_f64() / d)
+        }
+    }
+
+    /// Python floor division `//`.
+    #[inline]
+    pub fn floordiv(self, rhs: Num) -> Num {
+        match (self, rhs) {
+            (Num::Int(_), Num::Int(0)) => Num::Float(f64::NAN),
+            (Num::Int(a), Num::Int(b)) => Num::Int(a.div_euclid(b)),
+            (a, b) => {
+                let d = b.as_f64();
+                if d == 0.0 {
+                    Num::Float(f64::NAN)
+                } else {
+                    Num::Float((a.as_f64() / d).floor())
+                }
+            }
+        }
+    }
+
+    /// Python modulo: the result takes the sign of the divisor.
+    #[inline]
+    pub fn rem(self, rhs: Num) -> Num {
+        match (self, rhs) {
+            (Num::Int(_), Num::Int(0)) => Num::Float(f64::NAN),
+            (Num::Int(a), Num::Int(b)) => {
+                let r = a % b;
+                Num::Int(if r != 0 && (r < 0) != (b < 0) { r + b } else { r })
+            }
+            (a, b) => {
+                let (x, y) = (a.as_f64(), b.as_f64());
+                if y == 0.0 {
+                    Num::Float(f64::NAN)
+                } else {
+                    let r = x % y;
+                    Num::Float(if r != 0.0 && (r < 0.0) != (y < 0.0) { r + y } else { r })
+                }
+            }
+        }
+    }
+
+    /// Exponentiation `**`. Integer result for non-negative integer exponents.
+    #[inline]
+    pub fn pow(self, rhs: Num) -> Num {
+        match (self, rhs) {
+            (Num::Int(a), Num::Int(b)) if (0..=62).contains(&b) => {
+                Num::Int(a.checked_pow(b as u32).unwrap_or(i64::MAX))
+            }
+            (a, b) => Num::Float(a.as_f64().powf(b.as_f64())),
+        }
+    }
+
+    /// Arithmetic negation.
+    #[inline]
+    pub fn neg(self) -> Num {
+        match self {
+            Num::Int(i) => Num::Int(-i),
+            Num::Float(f) => Num::Float(-f),
+        }
+    }
+
+    /// Numeric comparison (promoting to floats when representations differ).
+    #[inline]
+    pub fn cmp_num(self, rhs: Num) -> Option<std::cmp::Ordering> {
+        match (self, rhs) {
+            (Num::Int(a), Num::Int(b)) => Some(a.cmp(&b)),
+            (a, b) => a.as_f64().partial_cmp(&b.as_f64()),
+        }
+    }
+
+    /// Numeric equality under promotion (`2 == 2.0` is true).
+    #[inline]
+    pub fn eq_num(self, rhs: Num) -> bool {
+        self.cmp_num(rhs) == Some(std::cmp::Ordering::Equal)
+    }
+}
+
+impl From<i64> for Num {
+    fn from(v: i64) -> Self {
+        Num::Int(v)
+    }
+}
+
+impl From<f64> for Num {
+    fn from(v: f64) -> Self {
+        Num::Float(v)
+    }
+}
+
+impl fmt::Display for Num {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Num::Int(i) => write!(f, "{i}"),
+            Num::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_arithmetic_stays_exact() {
+        assert_eq!(Num::Int(7).add(Num::Int(5)), Num::Int(12));
+        assert_eq!(Num::Int(7).mul(Num::Int(5)), Num::Int(35));
+        assert_eq!(Num::Int(7).sub(Num::Int(5)), Num::Int(2));
+    }
+
+    #[test]
+    fn true_division_promotes() {
+        assert_eq!(Num::Int(7).div(Num::Int(2)), Num::Float(3.5));
+        assert_eq!(Num::Int(8).div(Num::Int(2)), Num::Float(4.0));
+    }
+
+    #[test]
+    fn floor_division_like_python() {
+        assert_eq!(Num::Int(7).floordiv(Num::Int(2)), Num::Int(3));
+        assert_eq!(Num::Int(-7).floordiv(Num::Int(2)), Num::Int(-4));
+    }
+
+    #[test]
+    fn modulo_follows_divisor_sign() {
+        assert_eq!(Num::Int(7).rem(Num::Int(3)), Num::Int(1));
+        assert_eq!(Num::Int(-7).rem(Num::Int(3)), Num::Int(2));
+        assert_eq!(Num::Int(7).rem(Num::Int(-3)), Num::Int(-2));
+        // Float modulo used by the CLBlast GEMM restriction.
+        let r = Num::Int(32).rem(Num::Float(2.0));
+        assert!(r.eq_num(Num::Int(0)));
+    }
+
+    #[test]
+    fn division_by_zero_is_nan_and_never_equal() {
+        let r = Num::Int(32).rem(Num::Int(10).div(Num::Int(0)).as_i64().map(Num::Int).unwrap_or(Num::Float(f64::NAN)));
+        assert!(!r.eq_num(Num::Int(0)));
+        assert!(!Num::Int(1).div(Num::Int(0)).eq_num(Num::Float(f64::NAN)));
+    }
+
+    #[test]
+    fn mixed_equality_promotes() {
+        assert!(Num::Int(2).eq_num(Num::Float(2.0)));
+        assert!(!Num::Int(2).eq_num(Num::Float(2.5)));
+    }
+
+    #[test]
+    fn pow_integer_fast_path() {
+        assert_eq!(Num::Int(2).pow(Num::Int(10)), Num::Int(1024));
+        assert!(Num::Int(2).pow(Num::Float(0.5)).eq_num(Num::Float(2f64.sqrt())));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Num::Int(3).truthy());
+        assert!(!Num::Int(0).truthy());
+        assert!(!Num::Float(0.0).truthy());
+        assert!(Num::Float(0.1).truthy());
+    }
+}

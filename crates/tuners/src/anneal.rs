@@ -1,0 +1,260 @@
+//! Simulated annealing and basin hopping.
+
+use bat_core::{Evaluator, TuningRun};
+use bat_space::Neighborhood;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::local::LocalSearch;
+use crate::tuner::{new_run, ordinal, record_eval, Recorded, Tuner};
+
+/// Simulated annealing with geometric cooling over a Hamming neighbourhood.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatedAnnealing {
+    /// Initial temperature as a fraction of the first observed objective.
+    pub initial_temp_frac: f64,
+    /// Multiplicative cooling per step.
+    pub cooling: f64,
+    /// Restart temperature floor (relative).
+    pub min_temp_frac: f64,
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        SimulatedAnnealing {
+            initial_temp_frac: 0.5,
+            cooling: 0.98,
+            min_temp_frac: 1e-3,
+        }
+    }
+}
+
+impl Tuner for SimulatedAnnealing {
+    fn name(&self) -> &str {
+        "simulated-annealing"
+    }
+
+    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut run = new_run(eval, self.name(), seed);
+        let space = eval.problem().space();
+        let card = space.cardinality();
+
+        'outer: while eval.has_budget() {
+            // Fresh start.
+            let (mut current, mut current_val) = loop {
+                let idx = rng.random_range(0..card);
+                match record_eval(eval, &mut run, idx) {
+                    Recorded::Exhausted => break 'outer,
+                    Recorded::Failed => {}
+                    Recorded::Ok(v) => break (idx, v),
+                }
+            };
+            let mut temp = current_val * self.initial_temp_frac;
+            let floor = current_val * self.min_temp_frac;
+            while temp > floor {
+                let neighbors = Neighborhood::HammingAny.neighbor_indices(space, current);
+                let Some(&candidate) = neighbors.as_slice().choose(&mut rng) else {
+                    break;
+                };
+                match record_eval(eval, &mut run, candidate) {
+                    Recorded::Exhausted => break 'outer,
+                    Recorded::Failed => {}
+                    Recorded::Ok(v) => {
+                        let accept = v < current_val || {
+                            let p = (-(v - current_val) / temp).exp();
+                            rng.random_range(0.0..1.0) < p
+                        };
+                        if accept {
+                            current = candidate;
+                            current_val = v;
+                        }
+                    }
+                }
+                temp *= self.cooling;
+            }
+        }
+        run
+    }
+}
+
+/// Basin hopping: local descent to a minimum, then a large random jump,
+/// keeping the best basin found.
+#[derive(Debug, Clone, Copy)]
+pub struct BasinHopping {
+    /// Inner descent.
+    pub inner: LocalSearch,
+    /// Jump size in coordinate moves.
+    pub jump: usize,
+}
+
+impl Default for BasinHopping {
+    fn default() -> Self {
+        BasinHopping {
+            inner: LocalSearch::default(),
+            jump: 5,
+        }
+    }
+}
+
+impl Tuner for BasinHopping {
+    fn name(&self) -> &str {
+        "basin-hopping"
+    }
+
+    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut run = new_run(eval, self.name(), seed);
+        let space = eval.problem().space();
+        let card = space.cardinality();
+
+        // Initial random point.
+        let start = loop {
+            let idx = rng.random_range(0..card);
+            match record_eval(eval, &mut run, idx) {
+                Recorded::Exhausted => return run,
+                Recorded::Failed => {}
+                Recorded::Ok(v) => break (idx, v),
+            }
+        };
+        let Some((mut home, _)) = descend(&self.inner, eval, &mut run, &mut rng, start) else {
+            return run;
+        };
+
+        while eval.has_budget() {
+            let mut pos = ordinal::positions_of(space, home);
+            for _ in 0..self.jump {
+                ordinal::mutate_one(space, &mut pos, &mut rng);
+            }
+            let candidate = ordinal::index_of(space, &pos);
+            let c_val = match record_eval(eval, &mut run, candidate) {
+                Recorded::Exhausted => break,
+                Recorded::Failed => continue,
+                Recorded::Ok(v) => v,
+            };
+            match descend(&self.inner, eval, &mut run, &mut rng, (candidate, c_val)) {
+                None => break,
+                Some((idx, _)) => {
+                    // Accept the new basin if its minimum beats the old one
+                    // (monotone acceptance).
+                    let home_best = run
+                        .trials
+                        .iter()
+                        .filter(|t| t.index == home)
+                        .filter_map(|t| t.time_ms())
+                        .fold(f64::INFINITY, f64::min);
+                    let new_best = run
+                        .trials
+                        .iter()
+                        .filter(|t| t.index == idx)
+                        .filter_map(|t| t.time_ms())
+                        .fold(f64::INFINITY, f64::min);
+                    if new_best <= home_best {
+                        home = idx;
+                    }
+                }
+            }
+        }
+        run
+    }
+}
+
+/// Shared descent helper (exposed for basin hopping; `LocalSearch::descend`
+/// is private to its module).
+fn descend(
+    inner: &LocalSearch,
+    eval: &Evaluator<'_>,
+    run: &mut TuningRun,
+    rng: &mut StdRng,
+    start: (u64, f64),
+) -> Option<(u64, f64)> {
+    use rand::seq::SliceRandom;
+    let space = eval.problem().space();
+    let (mut current, mut current_val) = start;
+    loop {
+        let mut neighbors = inner.neighborhood.neighbor_indices(space, current);
+        neighbors.shuffle(rng);
+        let mut moved = false;
+        for n in neighbors {
+            match record_eval(eval, run, n) {
+                Recorded::Exhausted => return None,
+                Recorded::Failed => {}
+                Recorded::Ok(v) => {
+                    if v < current_val {
+                        current = n;
+                        current_val = v;
+                        moved = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !moved {
+            return Some((current, current_val));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_core::{Evaluator, Protocol, SyntheticProblem};
+    use bat_space::{ConfigSpace, Param};
+
+    fn multimodal() -> SyntheticProblem<
+        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
+    > {
+        // Two basins: a shallow one near (3,3) and the global one at (12,12).
+        let space = ConfigSpace::builder()
+            .param(Param::int_range("x", 0, 15))
+            .param(Param::int_range("y", 0, 15))
+            .build()
+            .unwrap();
+        SyntheticProblem::new("twobasin", "sim", space, |c| {
+            let d1 = ((c[0] - 3).pow(2) + (c[1] - 3).pow(2)) as f64;
+            let d2 = ((c[0] - 12).pow(2) + (c[1] - 12).pow(2)) as f64;
+            Ok((5.0 + d1).min(1.0 + d2))
+        })
+    }
+
+    #[test]
+    fn annealing_finds_global_basin() {
+        let p = multimodal();
+        let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(1_500);
+        let run = SimulatedAnnealing::default().tune(&eval, 3);
+        assert_eq!(run.best().unwrap().time_ms(), Some(1.0));
+    }
+
+    #[test]
+    fn basin_hopping_escapes_shallow_basin() {
+        let p = multimodal();
+        let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(1_500);
+        let run = BasinHopping::default().tune(&eval, 4);
+        assert_eq!(run.best().unwrap().time_ms(), Some(1.0));
+    }
+
+    #[test]
+    fn budget_respected() {
+        let p = multimodal();
+        for budget in [5u64, 40] {
+            let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(budget);
+            let run = SimulatedAnnealing::default().tune(&eval, 1);
+            assert_eq!(run.trials.len() as u64, budget);
+            let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(budget);
+            let run = BasinHopping::default().tune(&eval, 1);
+            assert_eq!(run.trials.len() as u64, budget);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = multimodal();
+        let e1 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(200);
+        let e2 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(200);
+        assert_eq!(
+            SimulatedAnnealing::default().tune(&e1, 9),
+            SimulatedAnnealing::default().tune(&e2, 9)
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Differential evolution (rand/1/bin) on the ordinal embedding.
+
+use bat_core::{Evaluator, TuningRun};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tuner::{new_run, ordinal, record_eval, Recorded, Tuner};
+
+/// DE/rand/1/bin adapted to discrete spaces: difference vectors act on
+/// continuous ordinal coordinates, trial vectors are rounded for
+/// evaluation, and selection is greedy per slot.
+#[derive(Debug, Clone, Copy)]
+pub struct DifferentialEvolution {
+    /// Population size (≥ 4).
+    pub population: usize,
+    /// Differential weight F.
+    pub f: f64,
+    /// Crossover rate CR.
+    pub cr: f64,
+}
+
+impl Default for DifferentialEvolution {
+    fn default() -> Self {
+        DifferentialEvolution {
+            population: 20,
+            f: 0.8,
+            cr: 0.9,
+        }
+    }
+}
+
+impl Tuner for DifferentialEvolution {
+    fn name(&self) -> &str {
+        "differential-evolution"
+    }
+
+    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
+        assert!(self.population >= 4, "DE needs at least 4 individuals");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut run = new_run(eval, self.name(), seed);
+        let space = eval.problem().space();
+        let dims = space.num_params();
+
+        let evaluate = |run: &mut TuningRun, x: &[f64]| -> Option<f64> {
+            let pos: Vec<usize> = (0..dims).map(|i| ordinal::clamp(space, i, x[i])).collect();
+            let idx = ordinal::index_of(space, &pos);
+            match record_eval(eval, run, idx) {
+                Recorded::Exhausted => None,
+                Recorded::Failed => Some(f64::INFINITY),
+                Recorded::Ok(v) => Some(v),
+            }
+        };
+
+        // Initialize population.
+        let mut xs: Vec<Vec<f64>> = Vec::with_capacity(self.population);
+        let mut vals: Vec<f64> = Vec::with_capacity(self.population);
+        for _ in 0..self.population {
+            let x: Vec<f64> = (0..dims)
+                .map(|i| rng.random_range(0.0..space.params()[i].len() as f64 - 1e-9))
+                .collect();
+            let Some(v) = evaluate(&mut run, &x) else {
+                return run;
+            };
+            xs.push(x);
+            vals.push(v);
+        }
+
+        'outer: loop {
+            for target in 0..self.population {
+                // Pick three distinct others.
+                let mut pick = || loop {
+                    let c = rng.random_range(0..self.population);
+                    if c != target {
+                        return c;
+                    }
+                };
+                let (a, b, c) = (pick(), pick(), pick());
+                let j_rand = rng.random_range(0..dims);
+                let mut trial = xs[target].clone();
+                for j in 0..dims {
+                    if j == j_rand || rng.random_bool(self.cr) {
+                        let span = space.params()[j].len() as f64;
+                        trial[j] =
+                            (xs[a][j] + self.f * (xs[b][j] - xs[c][j])).clamp(0.0, span - 1.0);
+                    }
+                }
+                let Some(v) = evaluate(&mut run, &trial) else {
+                    break 'outer;
+                };
+                if v <= vals[target] {
+                    xs[target] = trial;
+                    vals[target] = v;
+                }
+            }
+        }
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_core::{Evaluator, Protocol, SyntheticProblem};
+    use bat_space::{ConfigSpace, Param};
+
+    fn problem() -> SyntheticProblem<
+        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
+    > {
+        let space = ConfigSpace::builder()
+            .param(Param::int_range("x", 0, 20))
+            .param(Param::int_range("y", 0, 20))
+            .build()
+            .unwrap();
+        SyntheticProblem::new("bowl2", "sim", space, |c| {
+            Ok(1.0 + ((c[0] - 4) * (c[0] - 4) + (c[1] - 17) * (c[1] - 17)) as f64)
+        })
+    }
+
+    #[test]
+    fn de_converges() {
+        let p = problem();
+        let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(800);
+        let run = DifferentialEvolution::default().tune(&eval, 3);
+        assert_eq!(run.best().unwrap().time_ms(), Some(1.0));
+    }
+
+    #[test]
+    fn budget_respected() {
+        let p = problem();
+        let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(55);
+        let run = DifferentialEvolution::default().tune(&eval, 1);
+        assert_eq!(run.trials.len(), 55);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tiny_population_rejected() {
+        let p = problem();
+        let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(10);
+        let _ = DifferentialEvolution {
+            population: 3,
+            ..DifferentialEvolution::default()
+        }
+        .tune(&eval, 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Genetic algorithm over ordinal position vectors.
+
+use bat_core::{Evaluator, TuningRun};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tuner::{new_run, ordinal, record_eval, Recorded, Tuner};
+
+/// Steady-state GA: tournament selection, uniform crossover, per-coordinate
+/// mutation, elitist replacement.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneticAlgorithm {
+    /// Population size.
+    pub population: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Per-coordinate mutation probability.
+    pub mutation_rate: f64,
+}
+
+impl Default for GeneticAlgorithm {
+    fn default() -> Self {
+        GeneticAlgorithm {
+            population: 20,
+            tournament: 3,
+            mutation_rate: 0.1,
+        }
+    }
+}
+
+struct Individual {
+    pos: Vec<usize>,
+    fitness: f64, // +inf for failed configs
+}
+
+impl Tuner for GeneticAlgorithm {
+    fn name(&self) -> &str {
+        "genetic-algorithm"
+    }
+
+    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
+        assert!(self.population >= 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut run = new_run(eval, self.name(), seed);
+        let space = eval.problem().space();
+
+        // Initial population.
+        let mut pop: Vec<Individual> = Vec::with_capacity(self.population);
+        while pop.len() < self.population {
+            let pos = ordinal::random_positions(space, &mut rng);
+            let idx = ordinal::index_of(space, &pos);
+            match record_eval(eval, &mut run, idx) {
+                Recorded::Exhausted => return run,
+                Recorded::Failed => pop.push(Individual {
+                    pos,
+                    fitness: f64::INFINITY,
+                }),
+                Recorded::Ok(v) => pop.push(Individual { pos, fitness: v }),
+            }
+        }
+
+        loop {
+            // Tournament selection of two parents.
+            let pick = |rng: &mut StdRng, pop: &[Individual]| -> usize {
+                let mut best = rng.random_range(0..pop.len());
+                for _ in 1..self.tournament {
+                    let c = rng.random_range(0..pop.len());
+                    if pop[c].fitness < pop[best].fitness {
+                        best = c;
+                    }
+                }
+                best
+            };
+            let pa = pick(&mut rng, &pop);
+            let pb = pick(&mut rng, &pop);
+
+            // Uniform crossover + mutation.
+            let mut child: Vec<usize> = pop[pa]
+                .pos
+                .iter()
+                .zip(&pop[pb].pos)
+                .map(|(&a, &b)| if rng.random_bool(0.5) { a } else { b })
+                .collect();
+            for (i, c) in child.iter_mut().enumerate() {
+                if rng.random_bool(self.mutation_rate) {
+                    let len = space.params()[i].len();
+                    *c = rng.random_range(0..len);
+                }
+            }
+
+            let idx = ordinal::index_of(space, &child);
+            let fitness = match record_eval(eval, &mut run, idx) {
+                Recorded::Exhausted => break,
+                Recorded::Failed => f64::INFINITY,
+                Recorded::Ok(v) => v,
+            };
+
+            // Replace the worst individual (elitism: never remove the best).
+            let worst = pop
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.fitness.partial_cmp(&b.1.fitness).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            if fitness < pop[worst].fitness {
+                pop[worst] = Individual {
+                    pos: child,
+                    fitness,
+                };
+            }
+        }
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_core::{Evaluator, Protocol, SyntheticProblem};
+    use bat_space::{ConfigSpace, Param};
+
+    fn problem() -> SyntheticProblem<
+        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
+    > {
+        let space = ConfigSpace::builder()
+            .param(Param::int_range("a", 0, 9))
+            .param(Param::int_range("b", 0, 9))
+            .param(Param::int_range("c", 0, 9))
+            .param(Param::int_range("d", 0, 9))
+            .restrict("a + b + c + d <= 30")
+            .build()
+            .unwrap();
+        SyntheticProblem::new("sum", "sim", space, |v| {
+            // Optimum at (9, 9, 9, 0): maximize a+b+c, minimize d.
+            Ok(1.0 + (27 - (v[0] + v[1] + v[2])) as f64 + v[3] as f64)
+        })
+    }
+
+    #[test]
+    fn converges_to_good_region() {
+        let p = problem();
+        let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(1_200);
+        let run = GeneticAlgorithm::default().tune(&eval, 2);
+        let best = run.best().unwrap().time_ms().unwrap();
+        assert!(best <= 3.0, "GA should approach optimum, got {best}");
+    }
+
+    #[test]
+    fn handles_restricted_configs_gracefully() {
+        let p = problem();
+        let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(300);
+        let run = GeneticAlgorithm::default().tune(&eval, 7);
+        // Some trials fail the a+b+c+d<=30 restriction, but the run proceeds.
+        assert!(run.successes() > 0);
+        assert!(run.trials.len() == 300);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = problem();
+        let e1 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(150);
+        let e2 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(150);
+        assert_eq!(
+            GeneticAlgorithm::default().tune(&e1, 4),
+            GeneticAlgorithm::default().tune(&e2, 4)
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! Local search: hill climbers, multi-start and iterated variants.
+//!
+//! The fitness-flow-graph analysis (Fig. 3) models exactly the randomized
+//! first-improvement hill climber implemented here, so tuner behaviour and
+//! landscape metric line up.
+
+use bat_core::{Evaluator, TuningRun};
+use bat_space::Neighborhood;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::tuner::{new_run, ordinal, record_eval, Recorded, Tuner};
+
+/// Neighbour-acceptance strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Move to the first strictly-better neighbour (visiting neighbours in
+    /// random order) — the FFG walker of Schoonhoven et al.
+    FirstImprovement,
+    /// Evaluate all neighbours, move to the best.
+    BestImprovement,
+}
+
+/// Multi-start local search: descend to a local minimum, restart from a
+/// fresh random configuration, repeat until the budget runs out.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalSearch {
+    /// Acceptance strategy.
+    pub strategy: Strategy,
+    /// Neighbourhood structure.
+    pub neighborhood: Neighborhood,
+}
+
+impl Default for LocalSearch {
+    fn default() -> Self {
+        LocalSearch {
+            strategy: Strategy::FirstImprovement,
+            neighborhood: Neighborhood::HammingAny,
+        }
+    }
+}
+
+impl LocalSearch {
+    /// Descend from `start`; returns the local-minimum index and its value,
+    /// or `None` when the budget died mid-descent.
+    fn descend(
+        &self,
+        eval: &Evaluator<'_>,
+        run: &mut TuningRun,
+        rng: &mut StdRng,
+        start: u64,
+        start_val: f64,
+    ) -> Option<(u64, f64)> {
+        let space = eval.problem().space();
+        let mut current = start;
+        let mut current_val = start_val;
+        loop {
+            let mut neighbors = self.neighborhood.neighbor_indices(space, current);
+            neighbors.shuffle(rng);
+            let mut moved = false;
+            let mut best_neighbor: Option<(u64, f64)> = None;
+            for n in neighbors {
+                match record_eval(eval, run, n) {
+                    Recorded::Exhausted => return None,
+                    Recorded::Failed => {}
+                    Recorded::Ok(v) => match self.strategy {
+                        Strategy::FirstImprovement => {
+                            if v < current_val {
+                                current = n;
+                                current_val = v;
+                                moved = true;
+                                break;
+                            }
+                        }
+                        Strategy::BestImprovement => {
+                            if v < best_neighbor.map_or(current_val, |(_, bv)| bv) {
+                                best_neighbor = Some((n, v));
+                            }
+                        }
+                    },
+                }
+            }
+            if self.strategy == Strategy::BestImprovement {
+                if let Some((n, v)) = best_neighbor {
+                    current = n;
+                    current_val = v;
+                    moved = true;
+                }
+            }
+            if !moved {
+                return Some((current, current_val));
+            }
+        }
+    }
+
+    /// Draw a random starting point that evaluates successfully; records
+    /// the failed draws too.
+    fn random_start(
+        &self,
+        eval: &Evaluator<'_>,
+        run: &mut TuningRun,
+        rng: &mut StdRng,
+    ) -> Option<(u64, f64)> {
+        let card = eval.problem().space().cardinality();
+        loop {
+            let idx = rng.random_range(0..card);
+            match record_eval(eval, run, idx) {
+                Recorded::Exhausted => return None,
+                Recorded::Failed => {}
+                Recorded::Ok(v) => return Some((idx, v)),
+            }
+        }
+    }
+}
+
+impl Tuner for LocalSearch {
+    fn name(&self) -> &str {
+        match self.strategy {
+            Strategy::FirstImprovement => "mls-first-improvement",
+            Strategy::BestImprovement => "mls-best-improvement",
+        }
+    }
+
+    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut run = new_run(eval, self.name(), seed);
+        while eval.has_budget() {
+            let Some((start, val)) = self.random_start(eval, &mut run, &mut rng) else {
+                break;
+            };
+            if self.descend(eval, &mut run, &mut rng, start, val).is_none() {
+                break;
+            }
+        }
+        run
+    }
+}
+
+/// Iterated local search (the "GreedyILS" family): descend, then *perturb*
+/// the local minimum by a short random walk and descend again, keeping the
+/// perturbed result only if it improves.
+#[derive(Debug, Clone, Copy)]
+pub struct IteratedLocalSearch {
+    /// Inner local search.
+    pub inner: LocalSearch,
+    /// Perturbation strength (random single-parameter moves).
+    pub perturbation: usize,
+}
+
+impl Default for IteratedLocalSearch {
+    fn default() -> Self {
+        IteratedLocalSearch {
+            inner: LocalSearch::default(),
+            perturbation: 3,
+        }
+    }
+}
+
+impl Tuner for IteratedLocalSearch {
+    fn name(&self) -> &str {
+        "greedy-ils"
+    }
+
+    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut run = new_run(eval, self.name(), seed);
+        let space = eval.problem().space();
+
+        let Some((start, val)) = self.inner.random_start(eval, &mut run, &mut rng) else {
+            return run;
+        };
+        let Some((mut home, mut home_val)) =
+            self.inner.descend(eval, &mut run, &mut rng, start, val)
+        else {
+            return run;
+        };
+
+        while eval.has_budget() {
+            // Perturb: `perturbation` random coordinate moves.
+            let mut pos = ordinal::positions_of(space, home);
+            for _ in 0..self.perturbation {
+                ordinal::mutate_one(space, &mut pos, &mut rng);
+            }
+            let candidate = ordinal::index_of(space, &pos);
+            let cand_val = match record_eval(eval, &mut run, candidate) {
+                Recorded::Exhausted => break,
+                Recorded::Failed => continue,
+                Recorded::Ok(v) => v,
+            };
+            match self.inner.descend(eval, &mut run, &mut rng, candidate, cand_val) {
+                None => break,
+                Some((idx, v)) => {
+                    if v < home_val {
+                        home = idx;
+                        home_val = v;
+                    }
+                }
+            }
+        }
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_core::{Evaluator, Protocol, SyntheticProblem};
+    use bat_space::{ConfigSpace, Param};
+
+    fn convex_problem() -> SyntheticProblem<
+        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
+    > {
+        let space = ConfigSpace::builder()
+            .param(Param::int_range("x", 0, 15))
+            .param(Param::int_range("y", 0, 15))
+            .param(Param::int_range("z", 0, 15))
+            .build()
+            .unwrap();
+        SyntheticProblem::new("bowl", "sim", space, |c| {
+            Ok(1.0
+                + ((c[0] - 9) * (c[0] - 9) + (c[1] - 2) * (c[1] - 2) + (c[2] - 13) * (c[2] - 13))
+                    as f64)
+        })
+    }
+
+    #[test]
+    fn first_improvement_reaches_optimum_on_convex_landscape() {
+        let p = convex_problem();
+        let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(2_000);
+        let run = LocalSearch::default().tune(&eval, 5);
+        assert_eq!(run.best().unwrap().config, vec![9, 2, 13]);
+    }
+
+    #[test]
+    fn best_improvement_reaches_optimum_too() {
+        let p = convex_problem();
+        let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(3_000);
+        let run = LocalSearch {
+            strategy: Strategy::BestImprovement,
+            neighborhood: Neighborhood::HammingAny,
+        }
+        .tune(&eval, 5);
+        assert_eq!(run.best().unwrap().config, vec![9, 2, 13]);
+    }
+
+    #[test]
+    fn local_search_beats_random_on_smooth_landscape_with_small_budget() {
+        let p = convex_problem();
+        let budget = 150;
+        let e_ls = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(budget);
+        let e_rs = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(budget);
+        let ls_best: f64 = (0..5)
+            .map(|s| {
+                LocalSearch::default()
+                    .tune(&e_ls, s)
+                    .best()
+                    .map_or(f64::INFINITY, |t| t.time_ms().unwrap())
+            })
+            .fold(f64::INFINITY, f64::min);
+        let rs_best: f64 = (0..5)
+            .map(|s| {
+                crate::random::RandomSearch
+                    .tune(&e_rs, s)
+                    .best()
+                    .map_or(f64::INFINITY, |t| t.time_ms().unwrap())
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            ls_best <= rs_best,
+            "local search {ls_best} should beat random {rs_best}"
+        );
+    }
+
+    #[test]
+    fn ils_reaches_optimum() {
+        let p = convex_problem();
+        let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(2_000);
+        let run = IteratedLocalSearch::default().tune(&eval, 11);
+        assert_eq!(run.best().unwrap().config, vec![9, 2, 13]);
+    }
+
+    #[test]
+    fn respects_budget_exactly() {
+        let p = convex_problem();
+        for budget in [1u64, 7, 33] {
+            let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(budget);
+            let run = LocalSearch::default().tune(&eval, 1);
+            assert_eq!(run.trials.len() as u64, budget);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Particle swarm optimization, discretized to ordinal positions.
+
+use bat_core::{Evaluator, TuningRun};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tuner::{new_run, ordinal, record_eval, Recorded, Tuner};
+
+/// PSO over the ordinal embedding of the space: particles carry continuous
+/// coordinates that are rounded/clamped to parameter positions for
+/// evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct ParticleSwarm {
+    /// Number of particles.
+    pub particles: usize,
+    /// Inertia weight.
+    pub inertia: f64,
+    /// Cognitive (personal-best) acceleration.
+    pub cognitive: f64,
+    /// Social (global-best) acceleration.
+    pub social: f64,
+}
+
+impl Default for ParticleSwarm {
+    fn default() -> Self {
+        ParticleSwarm {
+            particles: 15,
+            inertia: 0.7,
+            cognitive: 1.5,
+            social: 1.5,
+        }
+    }
+}
+
+struct Particle {
+    x: Vec<f64>,
+    v: Vec<f64>,
+    best_x: Vec<f64>,
+    best_val: f64,
+}
+
+impl Tuner for ParticleSwarm {
+    fn name(&self) -> &str {
+        "particle-swarm"
+    }
+
+    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut run = new_run(eval, self.name(), seed);
+        let space = eval.problem().space();
+        let dims = space.num_params();
+
+        let evaluate = |run: &mut TuningRun, x: &[f64]| -> Option<f64> {
+            let pos: Vec<usize> = (0..dims).map(|i| ordinal::clamp(space, i, x[i])).collect();
+            let idx = ordinal::index_of(space, &pos);
+            match record_eval(eval, run, idx) {
+                Recorded::Exhausted => None,
+                Recorded::Failed => Some(f64::INFINITY),
+                Recorded::Ok(v) => Some(v),
+            }
+        };
+
+        // Initialize swarm.
+        let mut swarm: Vec<Particle> = Vec::with_capacity(self.particles);
+        let mut g_best: Option<(Vec<f64>, f64)> = None;
+        for _ in 0..self.particles {
+            let x: Vec<f64> = (0..dims)
+                .map(|i| rng.random_range(0.0..space.params()[i].len() as f64 - 1e-9))
+                .collect();
+            let v: Vec<f64> = (0..dims)
+                .map(|i| {
+                    let span = space.params()[i].len() as f64;
+                    rng.random_range(-span / 4.0..span / 4.0)
+                })
+                .collect();
+            let Some(val) = evaluate(&mut run, &x) else {
+                return run;
+            };
+            if g_best.as_ref().is_none_or(|(_, gv)| val < *gv) {
+                g_best = Some((x.clone(), val));
+            }
+            swarm.push(Particle {
+                best_x: x.clone(),
+                best_val: val,
+                x,
+                v,
+            });
+        }
+
+        'outer: loop {
+            for p in &mut swarm {
+                let (gx, _) = g_best.as_ref().expect("swarm initialized");
+                debug_assert_eq!(gx.len(), dims);
+                for (i, &g) in gx.iter().enumerate() {
+                    let r1: f64 = rng.random_range(0.0..1.0);
+                    let r2: f64 = rng.random_range(0.0..1.0);
+                    p.v[i] = self.inertia * p.v[i]
+                        + self.cognitive * r1 * (p.best_x[i] - p.x[i])
+                        + self.social * r2 * (g - p.x[i]);
+                    // Velocity clamp to half the axis span.
+                    let span = space.params()[i].len() as f64;
+                    p.v[i] = p.v[i].clamp(-span / 2.0, span / 2.0);
+                    p.x[i] = (p.x[i] + p.v[i]).clamp(0.0, span - 1.0);
+                }
+                let Some(val) = evaluate(&mut run, &p.x) else {
+                    break 'outer;
+                };
+                if val < p.best_val {
+                    p.best_val = val;
+                    p.best_x = p.x.clone();
+                }
+                if g_best.as_ref().is_none_or(|(_, gv)| val < *gv) {
+                    g_best = Some((p.x.clone(), val));
+                }
+            }
+        }
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_core::{Evaluator, Protocol, SyntheticProblem};
+    use bat_space::{ConfigSpace, Param};
+
+    fn problem() -> SyntheticProblem<
+        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
+    > {
+        let space = ConfigSpace::builder()
+            .param(Param::int_range("x", 0, 20))
+            .param(Param::int_range("y", 0, 20))
+            .param(Param::int_range("z", 0, 20))
+            .build()
+            .unwrap();
+        SyntheticProblem::new("bowl3", "sim", space, |c| {
+            Ok(1.0
+                + ((c[0] - 14) * (c[0] - 14)
+                    + (c[1] - 5) * (c[1] - 5)
+                    + (c[2] - 10) * (c[2] - 10)) as f64)
+        })
+    }
+
+    #[test]
+    fn swarm_converges_to_optimum_region() {
+        let p = problem();
+        let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(1_000);
+        let run = ParticleSwarm::default().tune(&eval, 5);
+        let best = run.best().unwrap().time_ms().unwrap();
+        assert!(best <= 3.0, "PSO should approach optimum, got {best}");
+    }
+
+    #[test]
+    fn budget_respected() {
+        let p = problem();
+        let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(77);
+        let run = ParticleSwarm::default().tune(&eval, 1);
+        assert_eq!(run.trials.len(), 77);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = problem();
+        let e1 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(120);
+        let e2 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(120);
+        assert_eq!(
+            ParticleSwarm::default().tune(&e1, 6),
+            ParticleSwarm::default().tune(&e2, 6)
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Surrogate-model tuner: sequential model-based optimization with a GBDT
+//! surrogate (the SMAC/Optuna family the paper's interface targets).
+
+use bat_core::{Evaluator, TuningRun};
+use bat_ml::{Dataset, Gbdt, GbdtParams, TreeParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tuner::{new_run, ordinal, record_eval, Recorded, Tuner};
+
+/// SMBO loop: random warm-up, then repeatedly (1) fit a GBDT surrogate on
+/// all successful observations, (2) score a random candidate pool, (3)
+/// evaluate the candidate with the best predicted objective (ties broken
+/// toward unseen configurations).
+#[derive(Debug, Clone, Copy)]
+pub struct SurrogateTuner {
+    /// Random evaluations before the first model fit.
+    pub warmup: usize,
+    /// Candidate pool size per iteration.
+    pub pool: usize,
+    /// Surrogate refit interval (iterations).
+    pub refit_every: usize,
+    /// Exploration probability: with this chance, evaluate a random
+    /// candidate instead of the incumbent-predicted best.
+    pub epsilon: f64,
+}
+
+impl Default for SurrogateTuner {
+    fn default() -> Self {
+        SurrogateTuner {
+            warmup: 20,
+            pool: 200,
+            refit_every: 5,
+            epsilon: 0.1,
+        }
+    }
+}
+
+impl Tuner for SurrogateTuner {
+    fn name(&self) -> &str {
+        "gbdt-surrogate"
+    }
+
+    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut run = new_run(eval, self.name(), seed);
+        let space = eval.problem().space();
+        let card = space.cardinality();
+        let feature_names: Vec<String> = space.names().to_vec();
+
+        // Observations: (config as f64 features, log time).
+        let mut obs_x: Vec<Vec<f64>> = Vec::new();
+        let mut obs_y: Vec<f64> = Vec::new();
+        let record = |run: &mut TuningRun,
+                          obs_x: &mut Vec<Vec<f64>>,
+                          obs_y: &mut Vec<f64>,
+                          idx: u64|
+         -> Option<()> {
+            match record_eval(eval, run, idx) {
+                Recorded::Exhausted => None,
+                Recorded::Failed => Some(()),
+                Recorded::Ok(v) => {
+                    let cfg = space.config_at(idx);
+                    obs_x.push(cfg.iter().map(|&x| x as f64).collect());
+                    obs_y.push(v.max(1e-12).ln());
+                    Some(())
+                }
+            }
+        };
+
+        // Warm-up.
+        for _ in 0..self.warmup {
+            let idx = rng.random_range(0..card);
+            if record(&mut run, &mut obs_x, &mut obs_y, idx).is_none() {
+                return run;
+            }
+        }
+
+        let mut model: Option<Gbdt> = None;
+        let mut since_refit = usize::MAX; // force initial fit
+        while eval.has_budget() {
+            // ε-greedy exploration.
+            if rng.random_bool(self.epsilon) || obs_x.len() < 2 {
+                let idx = rng.random_range(0..card);
+                if record(&mut run, &mut obs_x, &mut obs_y, idx).is_none() {
+                    break;
+                }
+                since_refit = since_refit.saturating_add(1);
+                continue;
+            }
+            if since_refit >= self.refit_every {
+                let data = Dataset::new(&obs_x, obs_y.clone(), feature_names.clone());
+                model = Some(Gbdt::fit(
+                    &data,
+                    &GbdtParams {
+                        n_trees: 60,
+                        learning_rate: 0.15,
+                        tree: TreeParams {
+                            max_depth: 5,
+                            min_samples_leaf: 2,
+                        },
+                        subsample: 0.9,
+                        seed: seed ^ 0x5eed,
+                    },
+                ));
+                since_refit = 0;
+            }
+            let m = model.as_ref().expect("fitted above");
+            // Score a random candidate pool; pick the best prediction.
+            let mut best_idx = None;
+            let mut best_pred = f64::INFINITY;
+            for _ in 0..self.pool {
+                let pos = ordinal::random_positions(space, &mut rng);
+                let idx = ordinal::index_of(space, &pos);
+                let features: Vec<f64> = space
+                    .config_at(idx)
+                    .iter()
+                    .map(|&x| x as f64)
+                    .collect();
+                let pred = m.predict(&features);
+                if pred < best_pred {
+                    best_pred = pred;
+                    best_idx = Some(idx);
+                }
+            }
+            let idx = best_idx.expect("pool is non-empty");
+            if record(&mut run, &mut obs_x, &mut obs_y, idx).is_none() {
+                break;
+            }
+            since_refit += 1;
+        }
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_core::{Evaluator, Protocol, SyntheticProblem};
+    use bat_space::{ConfigSpace, Param};
+
+    fn problem() -> SyntheticProblem<
+        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
+    > {
+        // Smooth multiplicative landscape: surrogates excel here.
+        let space = ConfigSpace::builder()
+            .param(Param::new("a", vec![1, 2, 4, 8, 16, 32]))
+            .param(Param::new("b", vec![1, 2, 4, 8, 16, 32]))
+            .param(Param::int_range("c", 0, 9))
+            .build()
+            .unwrap();
+        SyntheticProblem::new("ridge", "sim", space, |v| {
+            let a = v[0] as f64;
+            let b = v[1] as f64;
+            let c = v[2] as f64;
+            Ok((a / 8.0 - 1.0).powi(2) + (b / 8.0 - 1.0).powi(2) + 0.3 * (c - 4.0).powi(2) + 0.5)
+        })
+    }
+
+    #[test]
+    fn surrogate_finds_optimum() {
+        let p = problem();
+        let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(150);
+        let run = SurrogateTuner::default().tune(&eval, 2);
+        let best = run.best().unwrap();
+        assert_eq!(best.config, vec![8, 8, 4], "best {:?}", best.config);
+    }
+
+    #[test]
+    fn surrogate_beats_random_at_equal_budget() {
+        let p = problem();
+        let budget = 80;
+        let mut sur_wins = 0;
+        for seed in 0..5 {
+            let e1 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(budget);
+            let e2 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(budget);
+            let s = SurrogateTuner::default()
+                .tune(&e1, seed)
+                .best()
+                .unwrap()
+                .time_ms()
+                .unwrap();
+            let r = crate::random::RandomSearch
+                .tune(&e2, seed)
+                .best()
+                .unwrap()
+                .time_ms()
+                .unwrap();
+            if s <= r {
+                sur_wins += 1;
+            }
+        }
+        assert!(sur_wins >= 3, "surrogate won only {sur_wins}/5");
+    }
+
+    #[test]
+    fn budget_respected() {
+        let p = problem();
+        let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(60);
+        let run = SurrogateTuner::default().tune(&eval, 0);
+        assert_eq!(run.trials.len(), 60);
+    }
+}

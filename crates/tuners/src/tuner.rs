@@ -1,0 +1,166 @@
+//! The tuner-side of the shared problem interface.
+
+use bat_core::{Evaluator, Trial, TuningRun};
+use bat_space::ConfigSpace;
+use rand::Rng;
+
+/// An optimization algorithm that searches a configuration space through an
+/// [`Evaluator`].
+///
+/// Tuners never touch the problem directly: all measurements flow through
+/// the evaluator's protocol and budget, which is what makes comparisons
+/// between algorithms fair (the paper's motivation for a shared interface).
+///
+/// `Send + Sync` is required so comparison harnesses can fan runs out over
+/// threads; tuners are configuration-holding value types, so this costs
+/// implementors nothing.
+pub trait Tuner: Send + Sync {
+    /// Algorithm name used in run records.
+    fn name(&self) -> &str;
+
+    /// Search until the evaluator's budget is exhausted (or the algorithm
+    /// is done). Returns the complete trial history.
+    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun;
+}
+
+/// Outcome of one recorded evaluation inside a tuner loop.
+pub enum Recorded {
+    /// Budget exhausted: stop the tuner.
+    Exhausted,
+    /// Configuration failed (restricted or launch failure).
+    Failed,
+    /// Successful measurement.
+    Ok(f64),
+}
+
+/// Evaluate `index`, append a [`Trial`] to `run`, and classify the outcome.
+pub fn record_eval(eval: &Evaluator<'_>, run: &mut TuningRun, index: u64) -> Recorded {
+    let Some(outcome) = eval.evaluate_index(index) else {
+        return Recorded::Exhausted;
+    };
+    let config = eval.problem().space().config_at(index);
+    let trial = Trial {
+        eval: run.trials.len() as u64 + 1,
+        index,
+        config,
+        outcome: outcome.clone(),
+    };
+    run.push(trial);
+    match outcome {
+        Ok(m) => Recorded::Ok(m.time_ms),
+        Err(_) => Recorded::Failed,
+    }
+}
+
+/// Start an empty [`TuningRun`] for `eval` under `tuner_name`.
+pub fn new_run(eval: &Evaluator<'_>, tuner_name: &str, seed: u64) -> TuningRun {
+    TuningRun::new(
+        eval.problem().name().to_string(),
+        eval.problem().platform().to_string(),
+        tuner_name.to_string(),
+        seed,
+    )
+}
+
+/// Ordinal encoding helpers: tuners operate on per-parameter *positions*
+/// (indices into each parameter's ordered value list), which makes
+/// crossover, mutation and velocity updates uniform across benchmarks.
+pub mod ordinal {
+    use super::*;
+
+    /// Random position vector.
+    pub fn random_positions<R: Rng + ?Sized>(space: &ConfigSpace, rng: &mut R) -> Vec<usize> {
+        space
+            .params()
+            .iter()
+            .map(|p| rng.random_range(0..p.len()))
+            .collect()
+    }
+
+    /// Dense index of a position vector.
+    pub fn index_of(space: &ConfigSpace, pos: &[usize]) -> u64 {
+        let mut idx = 0u64;
+        for (i, &p) in pos.iter().enumerate() {
+            debug_assert!(p < space.params()[i].len());
+            idx += (p as u64) * space.stride(i);
+        }
+        idx
+    }
+
+    /// Position vector of a dense index.
+    pub fn positions_of(space: &ConfigSpace, mut index: u64) -> Vec<usize> {
+        let mut pos = vec![0usize; space.num_params()];
+        for (i, p) in pos.iter_mut().enumerate() {
+            *p = (index / space.stride(i)) as usize;
+            index %= space.stride(i);
+        }
+        pos
+    }
+
+    /// Mutate one random coordinate to a different random position.
+    pub fn mutate_one<R: Rng + ?Sized>(space: &ConfigSpace, pos: &mut [usize], rng: &mut R) {
+        let i = rng.random_range(0..pos.len());
+        let len = space.params()[i].len();
+        if len <= 1 {
+            return;
+        }
+        let mut alt = rng.random_range(0..len - 1);
+        if alt >= pos[i] {
+            alt += 1;
+        }
+        pos[i] = alt;
+    }
+
+    /// Clamp a continuous coordinate into a valid position.
+    pub fn clamp(space: &ConfigSpace, i: usize, v: f64) -> usize {
+        let len = space.params()[i].len();
+        (v.round().max(0.0) as usize).min(len - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_space::Param;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::builder()
+            .param(Param::new("a", vec![1, 2, 4, 8]))
+            .param(Param::new("b", vec![0, 1, 2]))
+            .param(Param::boolean("c"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ordinal_round_trip() {
+        let s = space();
+        for idx in 0..s.cardinality() {
+            let pos = ordinal::positions_of(&s, idx);
+            assert_eq!(ordinal::index_of(&s, &pos), idx);
+        }
+    }
+
+    #[test]
+    fn mutate_changes_exactly_one_coordinate() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let pos = ordinal::random_positions(&s, &mut rng);
+            let mut mutated = pos.clone();
+            ordinal::mutate_one(&s, &mut mutated, &mut rng);
+            let diff = pos.iter().zip(&mutated).filter(|(x, y)| x != y).count();
+            assert_eq!(diff, 1);
+        }
+    }
+
+    #[test]
+    fn clamp_respects_bounds() {
+        let s = space();
+        assert_eq!(ordinal::clamp(&s, 0, -3.0), 0);
+        assert_eq!(ordinal::clamp(&s, 0, 99.0), 3);
+        assert_eq!(ordinal::clamp(&s, 1, 1.4), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Warm-started tuning: seed the search with known-good configurations.
+//!
+//! The paper's portability study (Fig. 5) shows optimal configurations
+//! transfer between architectures at 58.5–99.9% of optimal — too lossy to
+//! use *as is*, but far better than a random starting point. The
+//! actionable consequence is transfer tuning: evaluate the configurations
+//! that were optimal on other architectures first, then continue with a
+//! normal tuner. This wrapper implements exactly that, sharing one budget
+//! between the seed evaluations and the inner tuner.
+
+use bat_core::{Evaluator, TuningRun};
+
+use crate::tuner::{record_eval, Recorded, Tuner};
+
+/// Wraps any [`Tuner`] with a list of seed configurations that are
+/// evaluated before the inner search starts.
+///
+/// Seeds that are not exactly representable in the target space (a value
+/// missing from a parameter's list) are skipped without consuming budget —
+/// the cross-architecture case where a space differs per platform.
+pub struct WarmStartTuner<T: Tuner> {
+    /// Configurations to evaluate first (e.g. optima from other GPUs).
+    pub seeds: Vec<Vec<i64>>,
+    /// The tuner that continues after the seeds.
+    pub inner: T,
+    name: String,
+}
+
+impl<T: Tuner> WarmStartTuner<T> {
+    /// Wrap `inner`, evaluating `seeds` first.
+    pub fn new(seeds: Vec<Vec<i64>>, inner: T) -> Self {
+        let name = format!("warmstart+{}", inner.name());
+        WarmStartTuner { seeds, inner, name }
+    }
+}
+
+impl<T: Tuner> Tuner for WarmStartTuner<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
+        let space = eval.problem().space();
+        // Evaluate representable seeds against the shared budget.
+        let mut prefix = crate::tuner::new_run(eval, self.name(), seed);
+        for cfg in &self.seeds {
+            let Some(idx) = space.index_of(cfg) else {
+                continue; // not representable here: skip for free
+            };
+            if matches!(record_eval(eval, &mut prefix, idx), Recorded::Exhausted) {
+                return prefix;
+            }
+        }
+        // Hand the evaluator (budget already partly spent, cache warm) to
+        // the inner tuner and splice the histories.
+        let inner_run = self.inner.tune(eval, seed);
+        for mut t in inner_run.trials {
+            t.eval = prefix.trials.len() as u64 + 1;
+            prefix.push(t);
+        }
+        prefix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::RandomSearch;
+    use bat_core::{Evaluator, Protocol, SyntheticProblem};
+    use bat_space::{ConfigSpace, Param};
+
+    fn problem() -> SyntheticProblem<
+        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
+    > {
+        let space = ConfigSpace::builder()
+            .param(Param::int_range("x", 0, 31))
+            .param(Param::int_range("y", 0, 31))
+            .build()
+            .unwrap();
+        SyntheticProblem::new("bowl", "sim", space, |v| {
+            Ok(1.0 + ((v[0] - 20) * (v[0] - 20) + (v[1] - 13) * (v[1] - 13)) as f64)
+        })
+    }
+
+    #[test]
+    fn seeds_are_evaluated_first_in_order() {
+        let p = problem();
+        let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(20);
+        let tuner = WarmStartTuner::new(vec![vec![5, 5], vec![20, 13]], RandomSearch);
+        let run = tuner.tune(&eval, 0);
+        assert_eq!(run.trials.len(), 20);
+        assert_eq!(run.trials[0].config, vec![5, 5]);
+        assert_eq!(run.trials[1].config, vec![20, 13]);
+        // The second seed is the optimum: best is found at evaluation 2.
+        assert_eq!(run.best().unwrap().config, vec![20, 13]);
+        assert_eq!(run.tuner, "warmstart+random-search");
+    }
+
+    #[test]
+    fn unrepresentable_seeds_are_skipped_for_free() {
+        let p = problem();
+        let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(10);
+        // 99 is not a value of either parameter.
+        let tuner = WarmStartTuner::new(vec![vec![99, 99], vec![7, 7]], RandomSearch);
+        let run = tuner.tune(&eval, 1);
+        assert_eq!(run.trials.len(), 10);
+        assert_eq!(run.trials[0].config, vec![7, 7]);
+    }
+
+    #[test]
+    fn budget_shared_between_seeds_and_inner() {
+        let p = problem();
+        let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(3);
+        let seeds: Vec<Vec<i64>> = (0..5).map(|i| vec![i, i]).collect();
+        let run = WarmStartTuner::new(seeds, RandomSearch).tune(&eval, 0);
+        // Only 3 of the 5 seeds fit the budget; inner never runs.
+        assert_eq!(run.trials.len(), 3);
+        assert_eq!(run.trials[2].config, vec![2, 2]);
+    }
+
+    #[test]
+    fn good_seed_beats_cold_start_at_tiny_budget() {
+        let p = problem();
+        let budget = 8;
+        let cold = {
+            let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(budget);
+            RandomSearch.tune(&eval, 3).best().unwrap().time_ms().unwrap()
+        };
+        let warm = {
+            let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(budget);
+            // A near-optimal transfer seed (one off the optimum).
+            WarmStartTuner::new(vec![vec![19, 13]], RandomSearch)
+                .tune(&eval, 3)
+                .best()
+                .unwrap()
+                .time_ms()
+                .unwrap()
+        };
+        assert!(warm <= cold, "warm {warm} vs cold {cold}");
+        assert!(warm <= 2.0, "transfer seed value not exploited: {warm}");
+    }
+
+    #[test]
+    fn empty_seed_list_degenerates_to_inner() {
+        let p = problem();
+        let e1 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(15);
+        let e2 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(15);
+        let warm = WarmStartTuner::new(vec![], RandomSearch).tune(&e1, 9);
+        let plain = RandomSearch.tune(&e2, 9);
+        let wi: Vec<u64> = warm.trials.iter().map(|t| t.index).collect();
+        let pi: Vec<u64> = plain.trials.iter().map(|t| t.index).collect();
+        assert_eq!(wi, pi);
+    }
+}

@@ -1,0 +1,108 @@
+//! Bayesian optimization of a GPU kernel, acquisition function by
+//! acquisition function — the study of Willemsen et al. (the paper's
+//! reference [22]) on the BAT suite.
+//!
+//! ```sh
+//! cargo run --release --example bayesian_optimization
+//! ```
+
+use bat::prelude::*;
+
+fn main() {
+    // Convolution is one of the benchmarks where random search needs
+    // hundreds of evaluations to pass 90% of optimal (paper Fig. 2d) —
+    // exactly where model-based tuning is supposed to earn its keep.
+    let arch = GpuArch::rtx_3090();
+    let problem =
+        bat::kernels::benchmark("convolution", arch).expect("convolution is in the registry");
+    let budget = 150u64;
+    let repeats = 5u64;
+
+    // Ground truth from the exhaustive landscape (convolution is one of
+    // the paper's four exhaustively-searched benchmarks).
+    let landscape = Landscape::exhaustive(&problem);
+    let t_opt = landscape.best().unwrap().time_ms.unwrap();
+    println!(
+        "convolution on {}: optimum {:.4} ms over {} configurations\n",
+        problem.platform(),
+        t_opt,
+        landscape.samples.len()
+    );
+
+    // One GP-BO tuner per acquisition function, against the random
+    // baseline.
+    let tuners: Vec<Box<dyn Tuner>> = vec![
+        Box::new(BayesianOptimization::with_acquisition(
+            Acquisition::ExpectedImprovement,
+        )),
+        Box::new(BayesianOptimization::with_acquisition(
+            Acquisition::ProbabilityOfImprovement,
+        )),
+        Box::new(BayesianOptimization::with_acquisition(
+            Acquisition::LowerConfidenceBound { beta: 2.0 },
+        )),
+        Box::new(RandomSearch),
+    ];
+
+    let comparison = compare_tuners(
+        &problem,
+        &tuners,
+        &ComparisonSettings {
+            budget,
+            repeats,
+            ..ComparisonSettings::default()
+        },
+        Some(t_opt),
+    );
+
+    println!(
+        "budget {budget} evaluations, {repeats} repeats; median best-so-far (% of optimum):\n"
+    );
+    print!("{:<12}", "evals");
+    for r in &comparison.results {
+        print!(" {:>10}", r.tuner);
+    }
+    println!();
+    for (c, &evals) in comparison.checkpoints.iter().enumerate() {
+        print!("{evals:<12}");
+        for r in &comparison.results {
+            match r.median_curve[c] {
+                Some(t) => print!(" {:>9.1}%", t_opt / t * 100.0),
+                None => print!(" {:>10}", "-"),
+            }
+        }
+        println!();
+    }
+
+    println!("\nfinal standings:\n{}", comparison.render_table());
+
+    // The posterior itself is inspectable: fit a GP on a small sample and
+    // show its honesty (high variance away from data).
+    let space = problem.space();
+    let sample: Vec<(Vec<f64>, f64)> = landscape
+        .samples
+        .iter()
+        .step_by(landscape.samples.len() / 64)
+        .filter_map(|s| {
+            let t = s.time_ms?;
+            let row: Vec<f64> = space.config_at(s.index).iter().map(|&v| v as f64).collect();
+            Some((row, t.ln()))
+        })
+        .collect();
+    let (rows, ys): (Vec<Vec<f64>>, Vec<f64>) = sample.into_iter().unzip();
+    let gp = bat::ml::GaussianProcess::fit(&rows, &ys, &bat::ml::GpParams::default());
+    println!(
+        "GP fitted on {} observations: lengthscale {:.2}, noise {:.1e}, LML {:.1}",
+        gp.n_observations(),
+        gp.lengthscale(),
+        gp.noise(),
+        gp.log_marginal_likelihood()
+    );
+    let p = gp.predict(&rows[0]);
+    println!(
+        "at a training point: mean {:.3} (truth {:.3}), σ {:.3}",
+        p.mean,
+        ys[0],
+        p.std_dev()
+    );
+}

@@ -1,0 +1,56 @@
+//! The paper's portability study (Fig. 5) in miniature: find per-GPU
+//! optimal configurations and measure how they transfer between
+//! architectures.
+//!
+//! ```sh
+//! cargo run --release --example portability_study
+//! ```
+
+use bat::prelude::*;
+
+fn main() {
+    let bench = "nbody";
+    let archs = GpuArch::paper_testbed();
+
+    // Exhaust the landscape per architecture (nbody has 9 408 configs).
+    let problems: Vec<GpuBenchmark> = archs
+        .iter()
+        .map(|a| bat::kernels::benchmark(bench, a.clone()).unwrap())
+        .collect();
+    let landscapes: Vec<Landscape> = problems.iter().map(|p| Landscape::exhaustive(p)).collect();
+
+    for (p, l) in problems.iter().zip(&landscapes) {
+        let best = l.best().unwrap();
+        println!(
+            "{:<12} optimum {:.4} ms with {:?}",
+            p.platform(),
+            best.time_ms.unwrap(),
+            p.space().config_at(best.index)
+        );
+    }
+
+    let refs: Vec<&dyn TuningProblem> = problems.iter().map(|p| p as &dyn TuningProblem).collect();
+    let matrix = portability_matrix(&refs, &landscapes);
+
+    println!("\nportability (% of column GPU's optimal performance):");
+    print!("{:<14}", "tuned on \\ run on");
+    for p in &matrix.platforms {
+        print!("{p:>14}");
+    }
+    println!();
+    for (r, row) in matrix.values.iter().enumerate() {
+        print!("{:<14}", matrix.platforms[r]);
+        for v in row {
+            match v {
+                Some(x) => print!("{:>13.1}%", x * 100.0),
+                None => print!("{:>14}", "launch-fail"),
+            }
+        }
+        println!();
+    }
+    println!(
+        "\nworst transfer: {:.1}% of optimal — the paper's headline observation\n\
+         (simply moving a tuned configuration between GPUs loses real performance).",
+        matrix.worst_transfer().unwrap() * 100.0
+    );
+}

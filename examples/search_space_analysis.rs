@@ -1,0 +1,76 @@
+//! Landscape analysis of one benchmark: distribution shape (Fig. 1),
+//! random-search convergence (Fig. 2), FFG proportion-of-centrality
+//! (Fig. 3), max speedup (Fig. 4) and feature importance (Fig. 6).
+//!
+//! ```sh
+//! cargo run --release --example search_space_analysis
+//! ```
+
+use bat::analysis::{
+    default_gbdt_params, default_proportions, feature_importance, proportion_of_centrality,
+    PageRankParams,
+};
+use bat::prelude::*;
+
+fn main() {
+    let arch = GpuArch::rtx_3090();
+    let problem = bat::kernels::benchmark("pnpoly", arch).expect("pnpoly is in the registry");
+    let landscape = Landscape::exhaustive(&problem);
+    println!(
+        "pnpoly on {}: {} configurations, {} launch-valid",
+        problem.platform(),
+        landscape.samples.len(),
+        landscape.valid_count()
+    );
+
+    // Fig. 1: distribution centred on the median configuration.
+    let dist = PerformanceDistribution::from_times(&landscape.times(), 16).unwrap();
+    println!(
+        "\ndistribution: worst {:.2}x .. best {:.2}x of median; {:.1}% within ±10% of median",
+        dist.worst_rel,
+        dist.best_rel,
+        dist.central_mass * 100.0
+    );
+
+    // Fig. 4: max speedup over the median configuration.
+    println!(
+        "max speedup over median: {:.2}x",
+        max_speedup_over_median(&landscape).unwrap()
+    );
+
+    // Fig. 2: random-search convergence (median of 100 repetitions).
+    let times: Vec<Option<f64>> = landscape.samples.iter().map(|s| s.time_ms).collect();
+    let curve = random_search_convergence(&times, 1_000, 100, 7);
+    println!(
+        "random search reaches 90% of optimal after {} evaluations",
+        curve
+            .evals_to_reach(0.9)
+            .map_or("> 1000".to_string(), |e| e.to_string())
+    );
+
+    // Fig. 3: proportion of centrality (search difficulty).
+    let ffg = FitnessFlowGraph::build(problem.space(), &landscape, Neighborhood::HammingAny);
+    let centrality =
+        proportion_of_centrality(&ffg, &default_proportions(), &PageRankParams::default());
+    println!(
+        "fitness flow graph: {} nodes, {} local minima; proportion of centrality at p=0: {:.3}",
+        ffg.len(),
+        centrality.n_minima,
+        centrality.proportion_of_centrality[0]
+    );
+
+    // Fig. 6: which parameters matter?
+    let fi = feature_importance(problem.space(), &landscape, &default_gbdt_params(), 3, 0)
+        .expect("landscape is non-empty");
+    println!("\nfeature importance (GBDT R² = {:.4}):", fi.r2);
+    let mut ranked: Vec<(&String, &f64)> =
+        fi.pfi.feature_names.iter().zip(&fi.pfi.importances).collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap());
+    for (name, imp) in ranked {
+        println!("    {name:<18} {imp:.3}");
+    }
+    println!(
+        "sum of importances: {:.3} (values > baseline R² indicate parameter interactions)",
+        fi.pfi.total_importance()
+    );
+}

@@ -1,0 +1,61 @@
+//! # BAT-rs
+//!
+//! A Rust reproduction of **BAT 2.0** — *"Towards a Benchmarking Suite for
+//! Kernel Tuners"* (Tørring et al., 2023): seven tunable GPU benchmark
+//! kernels behind one problem interface, a simulated four-GPU testbed,
+//! fourteen tuning algorithms (including the GP-Bayesian, TPE and
+//! random-forest families of the Kernel Tuner / Optuna / SMAC3 ecosystems),
+//! and the paper's five landscape analyses plus tuner-comparison and
+//! dynamic-autotuning studies.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! * [`space`] — parameter spaces, restriction expressions, sampling;
+//! * [`gpusim`] — the architecture models / occupancy / timing substrate;
+//! * [`core`] — the [`TuningProblem`](core::TuningProblem) interface,
+//!   evaluator and run records;
+//! * [`kernels`] — GEMM, N-body, Hotspot, Pnpoly, Convolution, Expdist,
+//!   Dedispersion;
+//! * [`ml`] — gradient-boosted trees + permutation feature importance;
+//! * [`tuners`] — random/local/evolutionary/surrogate optimizers;
+//! * [`analysis`] — distributions, convergence, FFG centrality, speedups,
+//!   portability, PFI, space reduction.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bat::prelude::*;
+//!
+//! // Bind the GEMM benchmark to a simulated RTX 3090 and tune it.
+//! let problem = bat::kernels::benchmark("gemm", GpuArch::rtx_3090()).unwrap();
+//! let evaluator = Evaluator::with_protocol(&problem, Protocol::default()).with_budget(200);
+//! let run = RandomSearch.tune(&evaluator, 42);
+//! let best = run.best().expect("found a valid configuration");
+//! println!("best GEMM config: {:?} at {:.3} ms", best.config, best.time_ms().unwrap());
+//! ```
+
+pub use bat_analysis as analysis;
+pub use bat_core as core;
+pub use bat_gpusim as gpusim;
+pub use bat_kernels as kernels;
+pub use bat_ml as ml;
+pub use bat_space as space;
+pub use bat_tuners as tuners;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use bat_analysis::{
+        aggregate_ranks, compare_tuners, max_speedup_over_median, portability_matrix,
+        proportion_of_centrality, random_search_convergence, ComparisonSettings,
+        FitnessFlowGraph, Landscape, OnlinePolicy, OnlineSimulation, PerformanceDistribution,
+    };
+    pub use bat_core::{EvalFailure, Evaluator, Measurement, Protocol, TuningProblem, TuningRun};
+    pub use bat_gpusim::{GpuArch, KernelModel, LaunchError};
+    pub use bat_kernels::{GpuBenchmark, KernelSpec};
+    pub use bat_space::{ConfigSpace, Neighborhood, Param};
+    pub use bat_tuners::{
+        Acquisition, BasinHopping, BayesianOptimization, DifferentialEvolution, GeneticAlgorithm,
+        IteratedLocalSearch, LocalSearch, ParticleSwarm, RandomSearch, SimulatedAnnealing,
+        SmacTuner, SurrogateTuner, Tpe, Tuner,
+    };
+}

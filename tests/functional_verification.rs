@@ -1,0 +1,166 @@
+//! Functional verification across kernels: for randomly-drawn valid
+//! configurations, the config-parameterized executors must produce the same
+//! results as the naive references (the "verify output" code path of a real
+//! tuner), on scaled-down problem instances.
+
+use bat::kernels::convolution::exec as conv_exec;
+use bat::kernels::convolution::ConvolutionConfig;
+use bat::kernels::dedisp::exec as dedisp_exec;
+use bat::kernels::dedisp::DedispConfig;
+use bat::kernels::expdist::exec as expdist_exec;
+use bat::kernels::expdist::ExpdistConfig;
+use bat::kernels::gemm::exec as gemm_exec;
+use bat::kernels::gemm::GemmConfig;
+use bat::kernels::hotspot::exec as hotspot_exec;
+use bat::kernels::hotspot::HotspotConfig;
+use bat::kernels::nbody::exec as nbody_exec;
+use bat::kernels::nbody::NbodyConfig;
+use bat::kernels::pnpoly::exec as pnpoly_exec;
+use bat::kernels::pnpoly::PnpolyConfig;
+use bat::space::sample_valid_indices_distinct;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn gemm_random_configs_match_reference() {
+    let spec = bat::kernels::GemmKernel::default();
+    let space = bat::kernels::KernelSpec::build_space(&spec);
+    let mut rng = StdRng::seed_from_u64(100);
+    let idxs = sample_valid_indices_distinct(&space, 8, &mut rng, 2_000_000).unwrap();
+    let (m, n, k) = (128usize, 128usize, 64usize);
+    let a = gemm_exec::test_matrix(m, k, 1);
+    let b = gemm_exec::test_matrix(k, n, 2);
+    let c0 = gemm_exec::test_matrix(m, n, 3);
+    let reference = gemm_exec::gemm_reference(m, n, k, &a, &b, &c0, 1.0, 0.5);
+    for idx in idxs {
+        let cfg = GemmConfig::from_values(&space.config_at(idx));
+        let out = gemm_exec::gemm_tiled(&cfg, m, n, k, &a, &b, &c0, 1.0, 0.5);
+        let diff = gemm_exec::max_rel_diff(&reference, &out);
+        assert!(diff < 1e-4, "config {cfg:?}: {diff}");
+    }
+}
+
+#[test]
+fn nbody_random_configs_match_reference() {
+    let spec = bat::kernels::NbodyKernel::default();
+    let space = bat::kernels::KernelSpec::build_space(&spec);
+    let mut rng = StdRng::seed_from_u64(200);
+    let idxs = sample_valid_indices_distinct(&space, 8, &mut rng, 2_000_000).unwrap();
+    // n divisible by every block_size × outer_unroll combination (≤ 4096).
+    let bodies = nbody_exec::BodiesSoA::random(4096, 5);
+    let reference = nbody_exec::nbody_reference(&bodies);
+    for idx in idxs {
+        let cfg = NbodyConfig::from_values(&space.config_at(idx));
+        let out = nbody_exec::nbody_tiled(&cfg, &bodies);
+        let diff = nbody_exec::max_acc_diff(&reference, &out);
+        assert!(diff < 5e-3, "config {cfg:?}: {diff}");
+    }
+}
+
+#[test]
+fn hotspot_random_configs_match_reference() {
+    let spec = bat::kernels::HotspotKernel::default();
+    let space = bat::kernels::KernelSpec::build_space(&spec);
+    let mut rng = StdRng::seed_from_u64(300);
+    let coeffs = hotspot_exec::HotspotCoeffs::default();
+    let (w, h) = (64usize, 64usize);
+    let temp = hotspot_exec::random_field(w, h, 70.0, 90.0, 1);
+    let power = hotspot_exec::random_field(w, h, 0.0, 1.0, 2);
+    let mut checked = 0;
+    let idxs = sample_valid_indices_distinct(&space, 60, &mut rng, 5_000_000).unwrap();
+    for idx in idxs {
+        let cfg = HotspotConfig::from_values(&space.config_at(idx));
+        // Keep functional runs small: skip configurations whose tiles dwarf
+        // the 64×64 test grid or need huge step counts.
+        if cfg.out_x() > 64 || cfg.out_y() > 64 || cfg.temporal_tiling_factor > 5 {
+            continue;
+        }
+        let steps = (cfg.temporal_tiling_factor * 2) as usize;
+        let reference = hotspot_exec::hotspot_reference(&temp, &power, w, h, steps, &coeffs);
+        let out = hotspot_exec::hotspot_tiled(&cfg, &temp, &power, w, h, steps, &coeffs);
+        let diff = reference
+            .iter()
+            .zip(&out)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(diff < 1e-4, "config {cfg:?}: {diff}");
+        checked += 1;
+        if checked >= 6 {
+            break;
+        }
+    }
+    assert!(checked >= 3, "too few hotspot configs exercised");
+}
+
+#[test]
+fn pnpoly_random_configs_match_reference() {
+    let spec = bat::kernels::PnpolyKernel::default();
+    let space = bat::kernels::KernelSpec::build_space(&spec);
+    let mut rng = StdRng::seed_from_u64(400);
+    let poly = pnpoly_exec::star_polygon(60, 9);
+    let pts = pnpoly_exec::query_points(3_000, 10);
+    let reference = pnpoly_exec::pnpoly_reference(&pts, &poly);
+    let idxs = sample_valid_indices_distinct(&space, 10, &mut rng, 100_000).unwrap();
+    for idx in idxs {
+        let cfg = PnpolyConfig::from_values(&space.config_at(idx));
+        let out = pnpoly_exec::pnpoly_tiled(&cfg, &pts, &poly);
+        assert_eq!(out, reference, "config {cfg:?}");
+    }
+}
+
+#[test]
+fn convolution_random_configs_match_reference() {
+    let spec = bat::kernels::ConvolutionKernel::default();
+    let space = bat::kernels::KernelSpec::build_space(&spec);
+    let mut rng = StdRng::seed_from_u64(500);
+    let (w, h, fw, fh) = (96usize, 64usize, 9usize, 9usize);
+    let input = conv_exec::random_buffer((w + fw - 1) * (h + fh - 1), 1);
+    let filter = conv_exec::random_buffer(fw * fh, 2);
+    let reference = conv_exec::convolution_reference(w, h, fw, fh, &input, &filter);
+    let idxs = sample_valid_indices_distinct(&space, 8, &mut rng, 1_000_000).unwrap();
+    for idx in idxs {
+        let cfg = ConvolutionConfig::from_values(&space.config_at(idx));
+        let out = conv_exec::convolution_tiled(&cfg, w, h, fw, fh, &input, &filter);
+        let diff = reference
+            .iter()
+            .zip(&out)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(diff < 1e-4, "config {cfg:?}: {diff}");
+    }
+}
+
+#[test]
+fn expdist_random_configs_match_reference() {
+    let spec = bat::kernels::ExpdistKernel::default();
+    let space = bat::kernels::KernelSpec::build_space(&spec);
+    let mut rng = StdRng::seed_from_u64(600);
+    let t = expdist_exec::random_particle(200, 1);
+    let m = expdist_exec::random_particle(160, 2);
+    let reference = expdist_exec::expdist_reference(&t, &m);
+    let idxs = sample_valid_indices_distinct(&space, 8, &mut rng, 10_000_000).unwrap();
+    for idx in idxs {
+        let cfg = ExpdistConfig::from_values(&space.config_at(idx));
+        let out = expdist_exec::expdist_tiled(&cfg, &t, &m);
+        let rel = (reference - out).abs() / reference.abs();
+        assert!(rel < 1e-9, "config {cfg:?}: {rel}");
+    }
+}
+
+#[test]
+fn dedisp_random_configs_match_reference() {
+    let spec = bat::kernels::DedispKernel::default();
+    let space = bat::kernels::KernelSpec::build_space(&spec);
+    let mut rng = StdRng::seed_from_u64(700);
+    let (channels, dms, out_samples, max_delay) = (32usize, 24usize, 80usize, 20usize);
+    let delays = dedisp_exec::DelayTable::arts_like(dms, channels, max_delay);
+    let mut fb = dedisp_exec::Filterbank::noise(channels, out_samples + max_delay, 3);
+    fb.inject_pulse(&delays, 12, 40, 30.0);
+    let reference = dedisp_exec::dedisp_reference(&fb, &delays, dms, out_samples);
+    let idxs = sample_valid_indices_distinct(&space, 10, &mut rng, 10_000_000).unwrap();
+    for idx in idxs {
+        let cfg = DedispConfig::from_values(&space.config_at(idx));
+        let out = dedisp_exec::dedisp_tiled(&cfg, &fb, &delays, dms, out_samples);
+        assert_eq!(out, reference, "config {cfg:?}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests (proptest) on the suite's core data structures and
+//! invariants.
+
+use bat::prelude::*;
+use bat::space::{sample_indices, Param};
+use proptest::prelude::*;
+
+/// Strategy: a random configuration space of 1–5 parameters with 1–9 values
+/// each (values distinct by construction).
+fn arb_space() -> impl Strategy<Value = ConfigSpace> {
+    proptest::collection::vec(1usize..9, 1..5).prop_map(|radices| {
+        let mut b = ConfigSpace::builder();
+        for (i, r) in radices.iter().enumerate() {
+            let values: Vec<i64> = (0..*r as i64).map(|v| v * v + 1).collect();
+            b = b.param(Param::new(format!("p{i}"), values));
+        }
+        b.build().unwrap()
+    })
+}
+
+proptest! {
+    /// The dense index ↔ configuration mapping is a bijection.
+    #[test]
+    fn index_bijection(space in arb_space(), salt in 0u64..1000) {
+        let idx = salt % space.cardinality();
+        let cfg = space.config_at(idx);
+        prop_assert_eq!(space.index_of(&cfg), Some(idx));
+    }
+
+    /// Neighbour relations are symmetric and never self-referential.
+    #[test]
+    fn neighbors_symmetric(space in arb_space(), salt in 0u64..1000) {
+        let idx = salt % space.cardinality();
+        for nb in [Neighborhood::HammingAny, Neighborhood::Adjacent] {
+            for n in nb.neighbor_indices(&space, idx) {
+                prop_assert_ne!(n, idx);
+                prop_assert!(nb.neighbor_indices(&space, n).contains(&idx));
+            }
+        }
+    }
+
+    /// Uniform index samples always land inside the space.
+    #[test]
+    fn samples_in_range(space in arb_space(), seed in 0u64..99) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for idx in sample_indices(&space, 64, &mut rng) {
+            prop_assert!(idx < space.cardinality());
+        }
+    }
+
+    /// Restriction counting: brute force and factored agree on arbitrary
+    /// modular restrictions.
+    #[test]
+    fn counting_methods_agree(radix_a in 2usize..8, radix_b in 2usize..8, k in 1i64..5) {
+        let space = ConfigSpace::builder()
+            .param(Param::new("a", (1..=radix_a as i64).collect::<Vec<_>>()))
+            .param(Param::new("b", (1..=radix_b as i64).collect::<Vec<_>>()))
+            .param(Param::boolean("c"))
+            .restrict(&format!("a % {k} == b % {k}"))
+            .build()
+            .unwrap();
+        prop_assert_eq!(space.count_valid(), space.count_valid_factored());
+    }
+
+    /// Expression evaluator agrees with a direct Rust oracle on a family of
+    /// arithmetic comparisons.
+    #[test]
+    fn expression_oracle(a in 1i64..100, b in 1i64..100, c in 1i64..100) {
+        use bat::space::expr::{parse, CompiledExpr};
+        let names = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let cases: Vec<(&str, bool)> = vec![
+            ("a + b > c", a + b > c),
+            ("a * b % c == 0", (a * b) % c == 0),
+            ("a <= b or b <= c", a <= b || b <= c),
+            ("not (a == b)", a != b),
+            ("min(a, b) <= max(b, c)", a.min(b) <= b.max(c)),
+            ("a // b + 1 >= 1", a / b + 1 >= 1),
+            ("2 <= a + 1 <= 101", (2..=101).contains(&(a + 1))),
+        ];
+        for (src, expected) in cases {
+            let compiled = CompiledExpr::compile(&parse(src).unwrap(), &names).unwrap();
+            prop_assert_eq!(compiled.eval_bool(&[a, b, c]), expected, "{}", src);
+        }
+    }
+
+    /// Measurement aggregation: the median lies within [min, max] of the
+    /// samples and is permutation-invariant.
+    #[test]
+    fn measurement_median_bounds(mut samples in proptest::collection::vec(0.1f64..100.0, 1..20)) {
+        let m = Measurement::from_samples(samples.clone());
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m.time_ms >= lo && m.time_ms <= hi);
+        samples.reverse();
+        let m2 = Measurement::from_samples(samples);
+        prop_assert_eq!(m.time_ms, m2.time_ms);
+    }
+
+    /// Occupancy is monotone: more registers or more shared memory per
+    /// block never increase the number of resident blocks.
+    #[test]
+    fn occupancy_monotone(threads in 32u32..1024, regs in 16u32..128, smem in 0u32..49_152) {
+        use bat::gpusim::{occupancy, BlockResources};
+        let arch = GpuArch::rtx_3090();
+        let base = BlockResources { threads, regs_per_thread: regs, smem_bytes: smem, launch_bounds_blocks: 0 };
+        if let Ok(o1) = occupancy(&arch, &base) {
+            let heavier = BlockResources { regs_per_thread: regs + 32, ..base };
+            if let Ok(o2) = occupancy(&arch, &heavier) {
+                prop_assert!(o2.blocks_per_sm <= o1.blocks_per_sm);
+            }
+            let fatter = BlockResources { smem_bytes: smem + 8192, ..base };
+            if let Ok(o3) = occupancy(&arch, &fatter) {
+                prop_assert!(o3.blocks_per_sm <= o1.blocks_per_sm);
+            }
+        }
+    }
+
+    /// The timing model is deterministic, positive, and monotone in total
+    /// work.
+    #[test]
+    fn timing_monotone_in_work(flops in 1.0f64..1e6, blocks in 1u64..4096) {
+        let arch = GpuArch::rtx_2080_ti();
+        let mut m = KernelModel::new("p", blocks, 128);
+        m.flops_per_thread = flops;
+        let t1 = bat::gpusim::execute(&arch, &m).unwrap().time_ms;
+        m.flops_per_thread = flops * 2.0;
+        let t2 = bat::gpusim::execute(&arch, &m).unwrap().time_ms;
+        prop_assert!(t1 > 0.0);
+        prop_assert!(t2 >= t1);
+    }
+
+    /// Tuning runs respect arbitrary budgets exactly (random search).
+    #[test]
+    fn budget_exact(budget in 1u64..120, seed in 0u64..50) {
+        let problem = bat::kernels::benchmark("pnpoly", GpuArch::rtx_3060()).unwrap();
+        let evaluator = Evaluator::with_protocol(&problem, Protocol::noiseless()).with_budget(budget);
+        let run = RandomSearch.tune(&evaluator, seed);
+        prop_assert_eq!(run.trials.len() as u64, budget);
+    }
+
+    /// Run records survive JSON round trips.
+    #[test]
+    fn record_round_trip(budget in 1u64..40, seed in 0u64..20) {
+        let problem = bat::kernels::benchmark("nbody", GpuArch::rtx_titan()).unwrap();
+        let evaluator = Evaluator::with_protocol(&problem, Protocol::default()).with_budget(budget);
+        let run = RandomSearch.tune(&evaluator, seed);
+        let back = TuningRun::from_json(&run.to_json()).unwrap();
+        prop_assert_eq!(run, back);
+    }
+}

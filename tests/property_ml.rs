@@ -1,0 +1,180 @@
+//! Property-based tests for the ML substrate behind the model-based
+//! tuners: dense Cholesky, Gaussian-process posteriors, random forests and
+//! acquisition functions.
+
+use bat::ml::linalg::{dot, Cholesky, SymMatrix};
+use bat::ml::stats::{norm_cdf, norm_pdf};
+use bat::ml::{
+    Dataset, ForestParams, GaussianProcess, GpParams, KernelKind, RandomForest,
+};
+use bat::tuners::Acquisition;
+use proptest::prelude::*;
+
+/// Random SPD matrix via A = B Bᵀ + (n + jitter)·I.
+fn arb_spd(max_n: usize) -> impl Strategy<Value = SymMatrix> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |b| {
+            let mut a = SymMatrix::zeros(n);
+            for i in 0..n {
+                for j in 0..=i {
+                    let v = dot(&b[i * n..(i + 1) * n], &b[j * n..(j + 1) * n]);
+                    a.set(i, j, v);
+                }
+            }
+            a.add_diagonal(n as f64 + 0.5);
+            a
+        })
+    })
+}
+
+proptest! {
+    /// `L Lᵀ` reconstructs the input to numerical precision.
+    #[test]
+    fn cholesky_reconstruction(a in arb_spd(12)) {
+        let ch = Cholesky::factor(&a).expect("SPD by construction");
+        let n = a.n();
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = 0.0;
+                for k in 0..=j {
+                    s += ch.l(i, k) * ch.l(j, k);
+                }
+                prop_assert!((s - a.get(i, j)).abs() < 1e-8 * (1.0 + a.get(i, j).abs()));
+            }
+        }
+    }
+
+    /// Solving then multiplying is the identity.
+    #[test]
+    fn cholesky_solve_roundtrip(a in arb_spd(10), seed in 0u64..1000) {
+        let n = a.n();
+        let x_true: Vec<f64> = (0..n)
+            .map(|i| ((seed.wrapping_add(i as u64) % 17) as f64 - 8.0) / 4.0)
+            .collect();
+        let b = a.matvec(&x_true);
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = ch.solve(&b);
+        for (got, want) in x.iter().zip(&x_true) {
+            prop_assert!((got - want).abs() < 1e-7, "{got} vs {want}");
+        }
+    }
+
+    /// log det from the factor is finite and consistent with the
+    /// diagonal-dominance bounds of the construction.
+    #[test]
+    fn cholesky_log_det_finite(a in arb_spd(10)) {
+        let ch = Cholesky::factor(&a).unwrap();
+        prop_assert!(ch.log_det().is_finite());
+        // A ⪰ 0.5·I by construction, so log det ≥ n·log(0.5).
+        prop_assert!(ch.log_det() >= a.n() as f64 * 0.5f64.ln() - 1e-9);
+    }
+
+    /// GP posterior mean at a training point approaches the target as the
+    /// noise floor shrinks; posterior variance is non-negative everywhere.
+    #[test]
+    fn gp_posterior_sanity(
+        ys in proptest::collection::vec(-5.0f64..5.0, 2..12),
+        query in -2.0f64..12.0,
+    ) {
+        let rows: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+        let gp = GaussianProcess::fit(
+            &rows,
+            &ys,
+            &GpParams::fixed(KernelKind::Matern52, 0.3, 1e-8),
+        );
+        for (r, t) in rows.iter().zip(&ys) {
+            let p = gp.predict(r);
+            prop_assert!((p.mean - t).abs() < 0.05 + 0.02 * t.abs(), "{} vs {t}", p.mean);
+            prop_assert!(p.variance >= 0.0);
+        }
+        prop_assert!(gp.predict(&[query]).variance >= 0.0);
+    }
+
+    /// The grid fit never selects hyperparameters with a lower LML than a
+    /// fixed fit at any grid point (it *is* the arg-max over the grid).
+    #[test]
+    fn gp_grid_fit_is_argmax(seed in 0u64..50) {
+        let rows: Vec<Vec<f64>> = (0..15).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..15)
+            .map(|i| ((i as u64 * 2654435761u64.wrapping_add(seed)) % 97) as f64 / 10.0)
+            .collect();
+        let params = GpParams::default();
+        let fitted = GaussianProcess::fit(&rows, &ys, &params);
+        let single = GaussianProcess::fit(
+            &rows,
+            &ys,
+            &GpParams::fixed(params.kernel, params.lengthscales[0], params.noises[0]),
+        );
+        prop_assert!(
+            fitted.log_marginal_likelihood() >= single.log_marginal_likelihood() - 1e-9
+        );
+    }
+
+    /// Forest predictions are convex combinations of tree predictions:
+    /// mean within [min, max] of training targets for in-range queries,
+    /// variance non-negative, determinism per seed.
+    #[test]
+    fn forest_prediction_bounds(
+        ys in proptest::collection::vec(0.1f64..100.0, 6..40),
+        seed in 0u64..100,
+    ) {
+        let rows: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+        let names = vec!["x".to_string()];
+        let data = Dataset::new(&rows, ys.clone(), names);
+        let params = ForestParams { seed, n_trees: 12, ..ForestParams::default() };
+        let forest = RandomForest::fit(&data, &params);
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for r in &rows {
+            let p = forest.predict(r);
+            prop_assert!(p.mean >= lo - 1e-9 && p.mean <= hi + 1e-9);
+            prop_assert!(p.variance >= 0.0);
+        }
+        let again = RandomForest::fit(&data, &params);
+        for r in &rows {
+            prop_assert_eq!(forest.predict(r), again.predict(r));
+        }
+    }
+
+    /// Acquisition invariants: EI ≥ 0 and EI ≥ plain improvement;
+    /// PI ∈ [0, 1]; all three improve (weakly) as the mean decreases.
+    #[test]
+    fn acquisition_invariants(
+        mean in -10.0f64..10.0,
+        std in 0.0f64..5.0,
+        best in -10.0f64..10.0,
+    ) {
+        let ei = Acquisition::ExpectedImprovement.score(mean, std, best);
+        prop_assert!(ei >= -1e-12);
+        prop_assert!(ei >= (best - mean).max(0.0) - 1e-9);
+        let pi = Acquisition::ProbabilityOfImprovement.score(mean, std, best);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&pi));
+
+        let lower = mean - 1.0;
+        for acq in [
+            Acquisition::ExpectedImprovement,
+            Acquisition::ProbabilityOfImprovement,
+            Acquisition::LowerConfidenceBound { beta: 1.5 },
+        ] {
+            prop_assert!(
+                acq.score(lower, std, best) >= acq.score(mean, std, best) - 1e-9,
+                "{acq:?} must not prefer a worse mean"
+            );
+        }
+    }
+
+    /// Normal CDF/PDF consistency: CDF is the integral of the PDF.
+    #[test]
+    fn cdf_matches_integrated_pdf(x in -4.0f64..4.0) {
+        // Trapezoid from -8 to x.
+        let n = 2000;
+        let h = (x + 8.0) / n as f64;
+        let mut s = 0.0;
+        for i in 0..=n {
+            let t = -8.0 + i as f64 * h;
+            let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+            s += w * norm_pdf(t);
+        }
+        prop_assert!((s * h - norm_cdf(x)).abs() < 1e-4);
+    }
+}

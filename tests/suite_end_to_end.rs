@@ -1,0 +1,104 @@
+//! End-to-end integration: every benchmark × every architecture × several
+//! tuners, through the full public API.
+
+use bat::prelude::*;
+use bat::tuners::default_tuners;
+
+#[test]
+fn every_benchmark_tunes_on_every_gpu() {
+    for arch in GpuArch::paper_testbed() {
+        for name in bat::kernels::BENCHMARK_NAMES {
+            let problem = bat::kernels::benchmark(name, arch.clone()).unwrap();
+            let evaluator =
+                Evaluator::with_protocol(&problem, Protocol::default()).with_budget(60);
+            let run = RandomSearch.tune(&evaluator, 7);
+            assert_eq!(run.trials.len(), 60, "{name}/{}", arch.name);
+            assert!(
+                run.successes() > 0,
+                "{name}/{} produced no valid measurement in 60 draws",
+                arch.name
+            );
+            let best = run.best().unwrap();
+            assert!(best.time_ms().unwrap() > 0.0);
+            assert!(problem.space().is_valid(&best.config));
+        }
+    }
+}
+
+#[test]
+fn tuning_is_deterministic_across_identical_sessions() {
+    let arch = GpuArch::rtx_titan();
+    for name in ["gemm", "hotspot"] {
+        let p1 = bat::kernels::benchmark(name, arch.clone()).unwrap();
+        let p2 = bat::kernels::benchmark(name, arch.clone()).unwrap();
+        let e1 = Evaluator::with_protocol(&p1, Protocol::default()).with_budget(80);
+        let e2 = Evaluator::with_protocol(&p2, Protocol::default()).with_budget(80);
+        let r1 = SimulatedAnnealing::default().tune(&e1, 11);
+        let r2 = SimulatedAnnealing::default().tune(&e2, 11);
+        assert_eq!(r1, r2, "{name} must be bit-reproducible");
+    }
+}
+
+#[test]
+fn all_tuners_find_something_decent_on_nbody() {
+    // N-body converges fast in the paper (90% at ~10 evals); with a 150-eval
+    // budget every algorithm should be well past 60% of optimal.
+    let arch = GpuArch::rtx_3090();
+    let problem = bat::kernels::benchmark("nbody", arch).unwrap();
+    let landscape = Landscape::exhaustive(&problem);
+    let t_opt = landscape.best().unwrap().time_ms.unwrap();
+    for tuner in default_tuners() {
+        let evaluator = Evaluator::with_protocol(&problem, Protocol::default()).with_budget(150);
+        let run = tuner.tune(&evaluator, 5);
+        let best = run
+            .best()
+            .unwrap_or_else(|| panic!("{} found nothing", tuner.name()))
+            .time_ms()
+            .unwrap();
+        assert!(
+            t_opt / best > 0.6,
+            "{}: reached only {:.1}% of optimal",
+            tuner.name(),
+            t_opt / best * 100.0
+        );
+    }
+}
+
+#[test]
+fn evaluator_cache_and_budget_interact_correctly() {
+    let problem = bat::kernels::benchmark("pnpoly", GpuArch::rtx_3060()).unwrap();
+    let evaluator = Evaluator::with_protocol(&problem, Protocol::default()).with_budget(10);
+    // Evaluate the same config 10 times: budget drains, cache holds one.
+    for _ in 0..10 {
+        let m = evaluator.evaluate_index(0).unwrap().unwrap();
+        assert!(m.time_ms > 0.0);
+    }
+    assert!(evaluator.evaluate_index(0).is_none(), "budget exhausted");
+    assert_eq!(evaluator.distinct_evals(), 1);
+    assert_eq!(evaluator.evals_used(), 10);
+}
+
+#[test]
+fn launch_failures_surface_as_eval_failures_not_panics() {
+    let problem = bat::kernels::benchmark("dedisp", GpuArch::rtx_2080_ti()).unwrap();
+    // 512 × 128 threads: restriction-valid, launch-invalid everywhere.
+    let cfg = [512, 128, 2, 2, 0, 0, 8, 0];
+    assert!(problem.space().is_valid(&cfg));
+    let evaluator = Evaluator::with_protocol(&problem, Protocol::default());
+    match evaluator.evaluate_config(&cfg).unwrap() {
+        Err(EvalFailure::Launch(msg)) => assert!(msg.contains("threads")),
+        other => panic!("expected launch failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn generated_sources_reflect_configs_for_all_kernels() {
+    for name in bat::kernels::BENCHMARK_NAMES {
+        let spec = bat::kernels::kernel_by_name(name).unwrap();
+        let space = spec.build_space();
+        let cfg = space.config_at(space.cardinality() / 2);
+        let src = spec.source(&cfg);
+        assert!(src.contains("__global__"), "{name} source has no kernel");
+        assert!(src.contains("#define"), "{name} source has no parameters");
+    }
+}
