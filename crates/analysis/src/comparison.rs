@@ -176,7 +176,11 @@ pub fn compare_tuners(
             let bsf = run.best_so_far();
             let snap: Vec<Option<f64>> = checkpoints
                 .iter()
-                .map(|&c| bsf.get(c.min(bsf.len()).saturating_sub(1)).copied().flatten())
+                .map(|&c| {
+                    bsf.get(c.min(bsf.len()).saturating_sub(1))
+                        .copied()
+                        .flatten()
+                })
                 .collect();
             (t, seed, snap)
         })
@@ -224,10 +228,7 @@ pub fn compare_tuners(
         .map(|t| {
             let median_curve: Vec<Option<f64>> = (0..checkpoints.len())
                 .map(|c| {
-                    let mut col: Vec<f64> = curves[t]
-                        .iter()
-                        .filter_map(|snap| snap[c])
-                        .collect();
+                    let mut col: Vec<f64> = curves[t].iter().filter_map(|snap| snap[c]).collect();
                     if col.is_empty() {
                         return None;
                     }
@@ -333,9 +334,9 @@ mod tests {
     use bat_space::{ConfigSpace, Param};
     use bat_tuners::{LocalSearch, RandomSearch, SimulatedAnnealing};
 
-    fn problem(name: &str) -> SyntheticProblem<
-        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
-    > {
+    fn problem(
+        name: &str,
+    ) -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync> {
         let space = ConfigSpace::builder()
             .param(Param::int_range("x", 0, 15))
             .param(Param::int_range("y", 0, 15))
@@ -450,8 +451,18 @@ mod tests {
         assert_eq!(agg.per_problem.len(), 2);
         // Overall mean rank is the average of the per-problem mean ranks.
         for (i, name) in agg.tuners.iter().enumerate() {
-            let r1 = c1.results.iter().find(|r| &r.tuner == name).unwrap().mean_rank;
-            let r2 = c2.results.iter().find(|r| &r.tuner == name).unwrap().mean_rank;
+            let r1 = c1
+                .results
+                .iter()
+                .find(|r| &r.tuner == name)
+                .unwrap()
+                .mean_rank;
+            let r2 = c2
+                .results
+                .iter()
+                .find(|r| &r.tuner == name)
+                .unwrap()
+                .mean_rank;
             assert!((agg.mean_ranks[i] - (r1 + r2) / 2.0).abs() < 1e-12);
         }
         // Sorted best-first.

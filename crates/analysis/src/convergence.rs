@@ -42,10 +42,7 @@ pub fn random_search_convergence(
     seed: u64,
 ) -> ConvergenceCurve {
     assert!(!times.is_empty());
-    let t_opt = times
-        .iter()
-        .flatten()
-        .fold(f64::INFINITY, |a, &b| a.min(b));
+    let t_opt = times.iter().flatten().fold(f64::INFINITY, |a, &b| a.min(b));
     assert!(t_opt.is_finite(), "landscape has no valid configuration");
 
     let checkpoints = log_spaced(max_evals);

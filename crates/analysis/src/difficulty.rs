@@ -129,10 +129,7 @@ fn fitness_distance_correlation(space: &ConfigSpace, ffg: &FitnessFlowGraph) -> 
     let dists: Vec<f64> = (0..n)
         .map(|u| {
             let cfg = space.config_at(ffg.node_index[u]);
-            cfg.iter()
-                .zip(&best_cfg)
-                .filter(|(a, b)| a != b)
-                .count() as f64
+            cfg.iter().zip(&best_cfg).filter(|(a, b)| a != b).count() as f64
         })
         .collect();
     pearson(&ffg.node_time, &dists)
@@ -266,7 +263,11 @@ mod tests {
         // correlation is diluted relative to a Euclidean metric.)
         assert!(r.fdc > 0.25, "FDC {}", r.fdc);
         // Smooth: high lag-1 autocorrelation, long correlation length.
-        assert!(r.autocorrelation[0] > 0.7, "ρ(1) = {}", r.autocorrelation[0]);
+        assert!(
+            r.autocorrelation[0] > 0.7,
+            "ρ(1) = {}",
+            r.autocorrelation[0]
+        );
         assert!(r.correlation_length > 2.0, "ℓ = {}", r.correlation_length);
         // A bowl has exactly one local minimum under adjacent moves.
         assert_eq!(r.n_local_minima, 1);
@@ -298,9 +299,7 @@ mod tests {
     fn smooth_is_easier_than_rugged() {
         let space = space_2d(10);
         let smooth = landscape_from_fn(&space, |c| 1.0 + (c[0] + c[1]) as f64);
-        let rugged = landscape_from_fn(&space, |c| {
-            1.0 + ((c[0] * 7 + c[1] * 13) % 11) as f64
-        });
+        let rugged = landscape_from_fn(&space, |c| 1.0 + ((c[0] * 7 + c[1] * 13) % 11) as f64);
         let rs = difficulty_default(&space, &smooth, 2);
         let rr = difficulty_default(&space, &rugged, 2);
         assert!(rs.correlation_length > rr.correlation_length);
@@ -320,7 +319,11 @@ mod tests {
             }
         });
         let r = difficulty_default(&space, &l, 3);
-        assert!(r.fdc < 0.0, "deceptive FDC should be negative, got {}", r.fdc);
+        assert!(
+            r.fdc < 0.0,
+            "deceptive FDC should be negative, got {}",
+            r.fdc
+        );
     }
 
     #[test]
@@ -367,8 +370,14 @@ mod tests {
             platform: "sim".into(),
             exhaustive: false,
             samples: vec![
-                Sample { index: 0, time_ms: Some(1.0) },
-                Sample { index: 5_050, time_ms: Some(2.0) },
+                Sample {
+                    index: 0,
+                    time_ms: Some(1.0),
+                },
+                Sample {
+                    index: 5_050,
+                    time_ms: Some(2.0),
+                },
             ],
         };
         let r = difficulty_default(&space, &l, 0);

@@ -56,11 +56,9 @@ impl PerformanceDistribution {
             .map(|i| worst_rel + span * i as f64 / bins as f64)
             .collect();
         let n = rel.len() as f64;
-        let central_mass =
-            rel.iter().filter(|r| (0.9..=1.1).contains(*r)).count() as f64 / n;
+        let central_mass = rel.iter().filter(|r| (0.9..=1.1).contains(*r)).count() as f64 / n;
         let fast_threshold = worst_rel + 0.8 * span;
-        let fast_cluster_mass =
-            rel.iter().filter(|&&r| r >= fast_threshold).count() as f64 / n;
+        let fast_cluster_mass = rel.iter().filter(|&&r| r >= fast_threshold).count() as f64 / n;
         Some(PerformanceDistribution {
             edges,
             counts,

@@ -99,15 +99,14 @@ impl FitnessFlowGraph {
 
     /// Node ids of local minima (no outgoing improving edge).
     pub fn local_minima(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&u| self.out_degree(u) == 0).collect()
+        (0..self.len())
+            .filter(|&u| self.out_degree(u) == 0)
+            .collect()
     }
 
     /// Runtime of the global optimum.
     pub fn optimum_time(&self) -> f64 {
-        self.node_time
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min)
+        self.node_time.iter().cloned().fold(f64::INFINITY, f64::min)
     }
 }
 

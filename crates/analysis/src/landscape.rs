@@ -133,18 +133,15 @@ mod tests {
     use bat_core::SyntheticProblem;
     use bat_space::{ConfigSpace, Param};
 
-    fn problem() -> SyntheticProblem<
-        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
-    > {
+    fn problem(
+    ) -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync> {
         let space = ConfigSpace::builder()
             .param(Param::int_range("x", 0, 9))
             .param(Param::int_range("y", 0, 9))
             .restrict("x != 3")
             .build()
             .unwrap();
-        SyntheticProblem::new("toy", "sim", space, |c| {
-            Ok(1.0 + (c[0] + c[1]) as f64)
-        })
+        SyntheticProblem::new("toy", "sim", space, |c| Ok(1.0 + (c[0] + c[1]) as f64))
     }
 
     #[test]

@@ -53,8 +53,7 @@ pub fn noise_sensitivity(
                         sigma,
                         seed: base_seed ^ (rep << 17),
                     };
-                    let eval =
-                        Evaluator::with_protocol(problem, protocol).with_budget(budget);
+                    let eval = Evaluator::with_protocol(problem, protocol).with_budget(budget);
                     let run = tuner.tune(&eval, base_seed.wrapping_add(rep));
                     run.best().map(|b| {
                         problem
@@ -69,10 +68,7 @@ pub fn noise_sensitivity(
             let (median_selected_ms, quartiles) = if ok.is_empty() {
                 (f64::NAN, (f64::NAN, f64::NAN))
             } else {
-                (
-                    ok[ok.len() / 2],
-                    (ok[ok.len() / 4], ok[(3 * ok.len()) / 4]),
-                )
+                (ok[ok.len() / 2], (ok[ok.len() / 4], ok[(3 * ok.len()) / 4]))
             };
             NoisePoint {
                 sigma,
@@ -91,9 +87,8 @@ mod tests {
     use bat_space::{ConfigSpace, Param};
     use bat_tuners::RandomSearch;
 
-    fn problem() -> SyntheticProblem<
-        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
-    > {
+    fn problem(
+    ) -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync> {
         // Narrow margins: 1% separation between the best configs, so noise
         // above ~1% corrupts selection.
         let space = ConfigSpace::builder()

@@ -90,8 +90,8 @@ impl OnlineSimulation {
             }
             OnlinePolicy::TuneThenExploit { tuning_budget } => {
                 let explore = (tuning_budget as usize).min(self.invocations);
-                let eval = Evaluator::with_protocol(problem, self.protocol)
-                    .with_budget(explore as u64);
+                let eval =
+                    Evaluator::with_protocol(problem, self.protocol).with_budget(explore as u64);
                 let run = tuner.tune(&eval, seed);
                 for trial in run.trials.iter().take(explore) {
                     match &trial.outcome {
@@ -185,9 +185,8 @@ mod tests {
     use bat_tuners::RandomSearch;
 
     /// Index 0 (x=0, y=0) is valid but slow; optimum (x=9, y=9) is 1 ms.
-    fn problem() -> SyntheticProblem<
-        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
-    > {
+    fn problem(
+    ) -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync> {
         let space = ConfigSpace::builder()
             .param(Param::int_range("x", 0, 9))
             .param(Param::int_range("y", 0, 9))
@@ -303,9 +302,7 @@ mod tests {
     fn informed_tuner_amortizes_faster_than_random() {
         let p = problem();
         let ls = bat_tuners::LocalSearch::default();
-        let random_total = sim(1000, 80)
-            .run(&p, &RandomSearch, None, None, 2)
-            .total_ms;
+        let random_total = sim(1000, 80).run(&p, &RandomSearch, None, None, 2).total_ms;
         let local_total = sim(1000, 80).run(&p, &ls, None, None, 2).total_ms;
         // Local search climbs the smooth bowl quickly, so its
         // time-to-solution is at least competitive.

@@ -63,12 +63,8 @@ pub fn pagerank(g: &FitnessFlowGraph, params: &PageRankParams) -> Vec<f64> {
     let out_deg: Vec<f64> = (0..n).map(|u| g.out_degree(u) as f64).collect();
 
     for _ in 0..params.max_iters {
-        let dangling_mass: f64 = (0..n)
-            .filter(|&u| out_deg[u] == 0.0)
-            .map(|u| rank[u])
-            .sum();
-        let base = (1.0 - params.damping) * uniform
-            + params.damping * dangling_mass * uniform;
+        let dangling_mass: f64 = (0..n).filter(|&u| out_deg[u] == 0.0).map(|u| rank[u]).sum();
+        let base = (1.0 - params.damping) * uniform + params.damping * dangling_mass * uniform;
         next.par_iter_mut().enumerate().for_each(|(v, slot)| {
             let from = in_offsets[v] as usize;
             let to = in_offsets[v + 1] as usize;
@@ -78,11 +74,7 @@ pub fn pagerank(g: &FitnessFlowGraph, params: &PageRankParams) -> Vec<f64> {
                 .sum();
             *slot = base + params.damping * pulled;
         });
-        let delta: f64 = rank
-            .iter()
-            .zip(&next)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut rank, &mut next);
         if delta < params.tolerance {
             break;

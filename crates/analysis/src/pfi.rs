@@ -87,9 +87,7 @@ mod tests {
 
     #[test]
     fn importance_identifies_the_load_bearing_parameter() {
-        let p = SyntheticProblem::new("toy", "sim", problem_space(), |c| {
-            Ok(100.0 / c[0] as f64)
-        });
+        let p = SyntheticProblem::new("toy", "sim", problem_space(), |c| Ok(100.0 / c[0] as f64));
         let l = Landscape::exhaustive(&p);
         let fi = feature_importance(p.space(), &l, &default_gbdt_params(), 3, 1).unwrap();
         assert!(fi.r2 > 0.99, "R² = {}", fi.r2);

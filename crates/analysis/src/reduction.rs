@@ -49,10 +49,7 @@ pub fn reduce_space(
 
 /// Merge per-architecture importance scores: a parameter is important when
 /// it reaches `threshold` on any architecture (the paper's rule).
-pub fn important_on_any(
-    per_arch: &[(Vec<String>, Vec<f64>)],
-    threshold: f64,
-) -> Vec<String> {
+pub fn important_on_any(per_arch: &[(Vec<String>, Vec<f64>)], threshold: f64) -> Vec<String> {
     let mut out: Vec<String> = Vec::new();
     for (names, scores) in per_arch {
         for (n, &s) in names.iter().zip(scores) {
@@ -102,14 +99,8 @@ mod tests {
     #[test]
     fn any_architecture_rule() {
         let per_arch = vec![
-            (
-                vec!["a".to_string(), "b".to_string()],
-                vec![0.8, 0.01],
-            ),
-            (
-                vec!["a".to_string(), "b".to_string()],
-                vec![0.7, 0.06],
-            ),
+            (vec!["a".to_string(), "b".to_string()], vec![0.8, 0.01]),
+            (vec!["a".to_string(), "b".to_string()], vec![0.7, 0.06]),
         ];
         let names = important_on_any(&per_arch, 0.05);
         assert_eq!(names, vec!["a".to_string(), "b".to_string()]);

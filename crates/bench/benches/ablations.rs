@@ -52,11 +52,7 @@ fn ablation_constraint_counting(c: &mut Criterion) {
 fn ablation_gbdt_depth(c: &mut Criterion) {
     let p = problem("nbody", GpuArch::rtx_titan());
     let l = Landscape::exhaustive(&p);
-    let data = bat_analysis::landscape_dataset(
-        bat_core::TuningProblem::space(&p),
-        &l,
-    )
-    .unwrap();
+    let data = bat_analysis::landscape_dataset(bat_core::TuningProblem::space(&p), &l).unwrap();
     let mut g = c.benchmark_group("ablation_gbdt_depth");
     g.sample_size(10);
     for depth in [3usize, 6, 9] {

@@ -99,10 +99,7 @@ fn fig5_portability(c: &mut Criterion) {
         .into_iter()
         .map(|a| problem("nbody", a))
         .collect();
-    let landscapes: Vec<_> = problems
-        .iter()
-        .map(|p| Landscape::exhaustive(p))
-        .collect();
+    let landscapes: Vec<_> = problems.iter().map(|p| Landscape::exhaustive(p)).collect();
     g.bench_function("nbody_4x4_matrix", |b| {
         b.iter(|| {
             let refs: Vec<&dyn TuningProblem> =

@@ -73,9 +73,7 @@ fn neighbor_generation(c: &mut Criterion) {
     let space = bat_kernels::HotspotKernel::default().build_space();
     c.bench_function("substrate_neighbors_hotspot", |b| {
         b.iter(|| {
-            black_box(
-                Neighborhood::HammingAny.neighbor_indices(&space, black_box(1_234_567)),
-            )
+            black_box(Neighborhood::HammingAny.neighbor_indices(&space, black_box(1_234_567)))
         })
     });
 }

@@ -26,9 +26,7 @@ fn table8_constrained_counts(c: &mut Criterion) {
     for name in BENCHMARK_NAMES {
         let k = kernel_by_name(name).unwrap();
         let space = k.build_space();
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(space.count_valid_factored()))
-        });
+        g.bench_function(name, |b| b.iter(|| black_box(space.count_valid_factored())));
     }
     g.finish();
 }

@@ -16,12 +16,8 @@ use bat_analysis::{
 use bat_bench::{landscape, problem};
 use bat_core::{Evaluator, Protocol, TuningProblem};
 use bat_gpusim::GpuArch;
-use bat_ml::{
-    Dataset, ForestParams, GaussianProcess, GpParams, KernelKind, RandomForest,
-};
-use bat_tuners::{
-    Acquisition, BayesianOptimization, RandomSearch, SmacTuner, Tpe, Tuner,
-};
+use bat_ml::{Dataset, ForestParams, GaussianProcess, GpParams, KernelKind, RandomForest};
+use bat_tuners::{Acquisition, BayesianOptimization, RandomSearch, SmacTuner, Tpe, Tuner};
 
 /// Landscape-derived regression rows for surrogate fitting.
 fn training_rows(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
@@ -45,9 +41,7 @@ fn gp_fit(c: &mut Criterion) {
     for n in [50usize, 100, 200] {
         let (rows, ys) = training_rows(n);
         g.bench_function(format!("grid_fit_n{n}"), |b| {
-            b.iter(|| {
-                black_box(GaussianProcess::fit(&rows, &ys, &GpParams::default()))
-            })
+            b.iter(|| black_box(GaussianProcess::fit(&rows, &ys, &GpParams::default())))
         });
         let fixed = GpParams::fixed(KernelKind::Matern52, 0.35, 1e-3);
         g.bench_function(format!("fixed_fit_n{n}"), |b| {
@@ -98,8 +92,7 @@ fn ablation_acquisition(c: &mut Criterion) {
         let tuner = BayesianOptimization::with_acquisition(acq);
         g.bench_function(label, |b| {
             b.iter(|| {
-                let eval =
-                    Evaluator::with_protocol(&p, Protocol::default()).with_budget(60);
+                let eval = Evaluator::with_protocol(&p, Protocol::default()).with_budget(60);
                 black_box(tuner.tune(&eval, 3))
             })
         });
@@ -121,8 +114,7 @@ fn ablation_tpe_restrictions(c: &mut Criterion) {
         };
         g.bench_function(label, |b| {
             b.iter(|| {
-                let eval =
-                    Evaluator::with_protocol(&p, Protocol::default()).with_budget(80);
+                let eval = Evaluator::with_protocol(&p, Protocol::default()).with_budget(80);
                 black_box(tuner.tune(&eval, 5))
             })
         });

@@ -4,8 +4,8 @@
 use bat_analysis::{
     default_gbdt_params, default_proportions, feature_importance, important_on_any,
     max_speedup_over_median, portability_matrix, proportion_of_centrality,
-    random_search_convergence, reduce_space, FitnessFlowGraph, Landscape,
-    PerformanceDistribution, PageRankParams,
+    random_search_convergence, reduce_space, FitnessFlowGraph, Landscape, PageRankParams,
+    PerformanceDistribution,
 };
 use bat_core::{Evaluator, Protocol, TuningProblem};
 use bat_space::Neighborhood;
@@ -32,7 +32,12 @@ pub fn cmd_list(_opts: &Opts) {
         ]);
     }
     print_table(
-        &["benchmark".into(), "params".into(), "cardinality".into(), "restrictions".into()],
+        &[
+            "benchmark".into(),
+            "params".into(),
+            "cardinality".into(),
+            "restrictions".into(),
+        ],
         &rows,
     );
     println!("\nSimulated testbed GPUs:");
@@ -47,7 +52,13 @@ pub fn cmd_list(_opts: &Opts) {
         ]);
     }
     print_table(
-        &["gpu".into(), "family".into(), "SMs".into(), "peak TFLOP/s".into(), "BW GB/s".into()],
+        &[
+            "gpu".into(),
+            "family".into(),
+            "SMs".into(),
+            "peak TFLOP/s".into(),
+            "BW GB/s".into(),
+        ],
         &rows,
     );
     println!("\nTuners:");
@@ -67,8 +78,7 @@ pub fn cmd_tables(opts: &Opts) {
             .iter()
             .map(|p| {
                 let vals = if p.values.len() > 12 {
-                    let head: Vec<String> =
-                        p.values[..6].iter().map(|v| v.to_string()).collect();
+                    let head: Vec<String> = p.values[..6].iter().map(|v| v.to_string()).collect();
                     format!("{{{}, ..., {}}}", head.join(", "), p.values.last().unwrap())
                 } else {
                     let all: Vec<String> = p.values.iter().map(|v| v.to_string()).collect();
@@ -130,13 +140,7 @@ pub fn cmd_table8(opts: &Opts) {
         for arch in &archs {
             let b = bench_on(&name, arch);
             let l = paper_landscape(&b, samples, seed);
-            if let Some(fi) = feature_importance(
-                b.space(),
-                &l,
-                &default_gbdt_params(),
-                2,
-                seed,
-            ) {
+            if let Some(fi) = feature_importance(b.space(), &l, &default_gbdt_params(), 2, seed) {
                 per_arch.push((fi.pfi.feature_names.clone(), fi.pfi.importances.clone()));
             }
             if let Some(best) = l.best() {
@@ -187,7 +191,9 @@ pub fn cmd_fig1(opts: &Opts) {
     let seed = opts.get_u64("--seed", 0);
     let bins = opts.get_usize("--bins", 20);
     for name in selected_benches(opts) {
-        println!("\nFig 1 ({name}): distribution of configuration performance (relative to median)");
+        println!(
+            "\nFig 1 ({name}): distribution of configuration performance (relative to median)"
+        );
         let mut rows = Vec::new();
         for arch in selected_archs(opts) {
             let b = bench_on(&name, &arch);
@@ -369,7 +375,9 @@ pub fn cmd_fig6(opts: &Opts) {
     let samples = opts.get_usize("--samples", 10_000);
     let seed = opts.get_u64("--seed", 0);
     for name in selected_benches(opts) {
-        println!("\nFig 6 ({name}): permutation feature importance (GBDT regressor on log-runtime)");
+        println!(
+            "\nFig 6 ({name}): permutation feature importance (GBDT regressor on log-runtime)"
+        );
         let k = bat_kernels::kernel_by_name(&name).unwrap();
         let space = k.build_space();
         let mut header = vec!["gpu".to_string(), "R²".to_string()];
@@ -402,7 +410,9 @@ pub fn cmd_tune(opts: &Opts) {
     let arch = &archs[0];
     let budget = opts.get_u64("--budget", 500);
     let seed = opts.get_u64("--seed", 0);
-    let tuner_name = opts.get("--tuner").unwrap_or_else(|| "random-search".into());
+    let tuner_name = opts
+        .get("--tuner")
+        .unwrap_or_else(|| "random-search".into());
     let tuner = default_tuners()
         .into_iter()
         .find(|t| t.name() == tuner_name)
@@ -426,7 +436,10 @@ pub fn cmd_tune(opts: &Opts) {
                 println!("  {p} = {v}");
             }
             if opts.has("--source") {
-                println!("\ngenerated kernel source:\n{}", b.spec().source(&best.config));
+                println!(
+                    "\ngenerated kernel source:\n{}",
+                    b.spec().source(&best.config)
+                );
             }
         }
         None => println!("no valid configuration found within budget"),
@@ -519,7 +532,9 @@ pub fn cmd_difficulty(opts: &Opts) {
     let samples = opts.get_usize("--samples", 3_000);
     let seed = opts.get_u64("--seed", 0);
 
-    println!("Landscape difficulty metrics (Hamming-any walks, {samples} samples for large spaces)\n");
+    println!(
+        "Landscape difficulty metrics (Hamming-any walks, {samples} samples for large spaces)\n"
+    );
     let nan_dash = |v: f64, d: usize| -> String {
         if v.is_nan() {
             "-".into()
@@ -591,7 +606,12 @@ pub fn cmd_compare(opts: &Opts) {
             }
         }
         if bests.is_empty() {
-            rows.push(vec![tuner.name().to_string(), "-".into(), "-".into(), "-".into()]);
+            rows.push(vec![
+                tuner.name().to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
         bests.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -718,12 +738,19 @@ pub fn cmd_ranks(opts: &Opts) {
         for arch in &archs {
             let b = bench_on(bench, arch);
             let c = bat_analysis::compare_tuners(&b, &tuners, &settings, None);
-            println!("— {bench} / {}: winner {}", arch.name, c.winner().map_or("-", |w| &w.tuner));
+            println!(
+                "— {bench} / {}: winner {}",
+                arch.name,
+                c.winner().map_or("-", |w| &w.tuner)
+            );
             comparisons.push(c);
         }
     }
     println!("\nOverall mean ranks (1 = best):\n");
-    print!("{}", bat_analysis::aggregate_ranks(&comparisons).render_table());
+    print!(
+        "{}",
+        bat_analysis::aggregate_ranks(&comparisons).render_table()
+    );
 }
 
 /// `bat online` — KTT-style dynamic autotuning: does tuning during the
@@ -758,15 +785,15 @@ pub fn cmd_online(opts: &Opts) {
             tuner.name().to_string(),
             f(trace.total_ms / 1000.0, 2),
             f(trace.speedup_over_static(), 2),
-            trace
-                .overhead_vs_oracle()
-                .map_or("-".into(), |o| f(o, 3)),
-            trace
-                .break_even()
-                .map_or("never".into(), |b| b.to_string()),
+            trace.overhead_vs_oracle().map_or("-".into(), |o| f(o, 3)),
+            trace.break_even().map_or("never".into(), |b| b.to_string()),
         ]);
     }
-    rows.sort_by(|a, b| a[1].parse::<f64>().unwrap().total_cmp(&b[1].parse::<f64>().unwrap()));
+    rows.sort_by(|a, b| {
+        a[1].parse::<f64>()
+            .unwrap()
+            .total_cmp(&b[1].parse::<f64>().unwrap())
+    });
     print_table(
         &[
             "tuner".into(),

@@ -32,14 +32,20 @@ impl Opts {
     /// Integer option with default.
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
         self.get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("{key} expects a number, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("{key} expects a number, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
     /// u64 option with default.
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
         self.get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("{key} expects a number, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("{key} expects a number, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
@@ -73,8 +79,11 @@ pub fn selected_archs(opts: &Opts) -> Vec<GpuArch> {
         Some(list) => list
             .split(',')
             .map(|s| {
-                GpuArch::by_name(s.trim())
-                    .unwrap_or_else(|| panic!("unknown GPU {s:?}; available: RTX 2080 Ti, RTX 3060, RTX 3090, RTX Titan"))
+                GpuArch::by_name(s.trim()).unwrap_or_else(|| {
+                    panic!(
+                        "unknown GPU {s:?}; available: RTX 2080 Ti, RTX 3060, RTX 3090, RTX Titan"
+                    )
+                })
             })
             .collect(),
         None => GpuArch::paper_testbed(),

@@ -1,0 +1,307 @@
+//! Offline stand-in for the subset of the `criterion` API used by this
+//! workspace's bench targets.
+//!
+//! Each benchmark is warmed up briefly, then timed over enough iterations
+//! to fill a fixed measurement window; median, mean and throughput are
+//! printed to stdout. Command-line arguments: any non-flag argument is a
+//! substring filter on benchmark names; `--test` runs each benchmark for a
+//! single iteration (used by `cargo test`-style smoke runs).
+//! `BAT_BENCH_MS` overrides the measurement window per benchmark
+//! (milliseconds, default 300).
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; the stand-in runs setup per batch of
+/// one iteration regardless, so this is informational only.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "--list" => test_mode = true,
+                "--bench" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        let measure_ms = std::env::var("BAT_BENCH_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            filter,
+            test_mode,
+            measure: Duration::from_millis(measure_ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(name.as_ref(), None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            measure: self.measure,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name, throughput);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        let throughput = self.throughput;
+        self.c.run_one(&full, throughput, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    measure: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.samples.push(0.0);
+            return;
+        }
+        // Warm-up: run until ~10% of the window is spent.
+        let warmup = self.measure / 10;
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Measure in batches sized to ~1/50 of the window each.
+        let batch = ((self.measure.as_secs_f64() / 50.0 / per_iter).ceil() as u64).max(1);
+        let deadline = Instant::now() + self.measure;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup` (setup time excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.samples.push(0.0);
+            return;
+        }
+        let deadline = Instant::now() + self.measure;
+        let mut first = true;
+        while first || Instant::now() < deadline {
+            first = false;
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed().as_secs_f64());
+        }
+    }
+
+    fn report(&mut self, name: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            return;
+        }
+        if self.test_mode {
+            println!("{name}: ok (test mode)");
+            return;
+        }
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let median = self.samples[self.samples.len() / 2];
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        let tp = match throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  thrpt: {:>12}/s", si(n as f64 / median))
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!("  thrpt: {:>11}B/s", si(n as f64 / median))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{name:<56} time: [median {:>10}  mean {:>10}]{tp}",
+            fmt_time(median),
+            fmt_time(mean)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.3} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3} K", v / 1e3)
+    } else {
+        format!("{v:.1} ")
+    }
+}
+
+/// Define a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            test_mode: false,
+            measure: Duration::from_millis(5),
+            samples: Vec::new(),
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(!b.samples.is_empty());
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn formatting_picks_sane_units() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with("ms"));
+        assert!(fmt_time(2e-6).ends_with("µs"));
+        assert!(fmt_time(2e-9).ends_with("ns"));
+        assert!(si(5e6).ends_with('M'));
+    }
+}

@@ -1,0 +1,275 @@
+//! Offline stand-in for the subset of the `rayon` API used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the same call surface (`into_par_iter`, `par_iter`, `par_iter_mut`,
+//! `par_chunks_mut`, plus `map`/`enumerate` adapters and
+//! `sum`/`collect`/`for_each` terminals) backed by `std::thread::scope`.
+//! Work is split into one contiguous chunk per available core; on a
+//! single-core host (or inside an already-parallel region) everything runs
+//! serially, which matches rayon's semantics for deterministic, order-
+//! preserving pipelines.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// True while this thread is executing inside a parallel terminal;
+    /// nested parallel calls then run serially instead of over-spawning.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+fn worker_count(items: usize) -> usize {
+    if items < 2 || IN_PARALLEL.with(Cell::get) {
+        return 1;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(items)
+}
+
+/// Apply `f` to every item, in order, returning the results. Runs on
+/// multiple scoped threads when the host has more than one core.
+fn run_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let workers = worker_count(items.len());
+    if workers <= 1 {
+        let was = IN_PARALLEL.with(|c| c.replace(true));
+        let out = items.into_iter().map(f).collect();
+        IN_PARALLEL.with(|c| c.set(was));
+        return out;
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    IN_PARALLEL.with(|c| c.set(true));
+                    chunk.into_iter().map(f).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon-compat worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// A materialized "parallel" iterator: the item list plus order-preserving
+/// parallel terminals.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map every item through `f` (executed at the terminal operation).
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> MapIter<T, F> {
+        MapIter {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Apply `f` to every item.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run_map(self.items, &|t| f(t));
+    }
+
+    /// Collect the items (identity pipeline).
+    pub fn collect<B: FromIterator<T>>(self) -> B {
+        self.items.into_iter().collect()
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Apply `f` in parallel, keeping the `Some` results in input order.
+    pub fn filter_map<U: Send, F: Fn(T) -> Option<U> + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: run_map(self.items, &f).into_iter().flatten().collect(),
+        }
+    }
+
+    /// Maximum item under `cmp`.
+    pub fn max_by<F: Fn(&T, &T) -> std::cmp::Ordering>(self, cmp: F) -> Option<T> {
+        self.items.into_iter().max_by(cmp)
+    }
+
+    /// Minimum item under `cmp`.
+    pub fn min_by<F: Fn(&T, &T) -> std::cmp::Ordering>(self, cmp: F) -> Option<T> {
+        self.items.into_iter().min_by(cmp)
+    }
+}
+
+/// A mapped parallel pipeline (`par_iter().map(f)`).
+pub struct MapIter<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, U, F> MapIter<T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    /// Compose another map stage onto the pipeline.
+    pub fn map<V: Send, G: Fn(U) -> V + Sync>(self, g: G) -> MapIter<T, impl Fn(T) -> V + Sync> {
+        let f = self.f;
+        MapIter {
+            items: self.items,
+            f: move |t| g(f(t)),
+        }
+    }
+
+    /// Run the pipeline and collect the outputs in input order.
+    pub fn collect<B: FromIterator<U>>(self) -> B {
+        run_map(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Run the pipeline and sum the outputs.
+    pub fn sum<S: std::iter::Sum<U>>(self) -> S {
+        run_map(self.items, &self.f).into_iter().sum()
+    }
+
+    /// Run the pipeline for its side effects.
+    pub fn for_each<G: Fn(U) + Sync>(self, g: G) {
+        let f = self.f;
+        run_map(self.items, &|t| g(f(t)));
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Materialize the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_par!(u32, u64, usize, i32, i64);
+
+/// `par_iter` / `par_iter_mut` over slices.
+pub trait ParallelSlice<T: Sync + Send> {
+    /// Parallel iterator over shared references.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+/// Mutable slice operations (`par_iter_mut`, `par_chunks_mut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+    /// Parallel iterator over mutable, contiguous, non-overlapping chunks.
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Sync + Send> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<&mut [T]> {
+        assert!(chunk > 0, "chunk size must be non-zero");
+        ParIter {
+            items: self.chunks_mut(chunk).collect(),
+        }
+    }
+}
+
+/// The traits and types `use rayon::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_sum_matches_serial() {
+        let par: u64 = (0u64..10_000).into_par_iter().map(|x| x * x).sum();
+        let ser: u64 = (0u64..10_000).map(|x| x * x).sum();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0usize..1000).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(v, (1usize..=1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_cover_disjointly() {
+        let mut data = vec![0u32; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, c)| {
+            for slot in c.iter_mut() {
+                *slot += i as u32 + 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[102], 11);
+    }
+
+    #[test]
+    fn nested_parallelism_is_serialized() {
+        let out: Vec<u64> = (0u64..8)
+            .into_par_iter()
+            .map(|i| (0u64..100).into_par_iter().map(move |j| i + j).sum::<u64>())
+            .collect();
+        assert_eq!(out[0], 4950);
+        assert_eq!(out[7], 4950 + 700);
+    }
+}

@@ -1,0 +1,451 @@
+//! Offline stand-in for serde's derive macros, targeting the value-based
+//! `Serialize` / `Deserialize` traits of the sibling `serde` stand-in.
+//!
+//! Supported shapes (everything this workspace derives):
+//!
+//! * structs with named fields;
+//! * enums whose variants are unit or newtype (one unnamed field);
+//! * attributes `#[serde(rename = "...")]`, `#[serde(rename_all =
+//!   "snake_case")]`, `#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "path")]`.
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote`
+//! available offline); code is generated as source text and re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed `#[serde(...)]` setting.
+#[derive(Debug, Default, Clone)]
+struct SerdeAttrs {
+    rename: Option<String>,
+    rename_all: Option<String>,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+impl SerdeAttrs {
+    fn merge(&mut self, other: SerdeAttrs) {
+        if other.rename.is_some() {
+            self.rename = other.rename;
+        }
+        if other.rename_all.is_some() {
+            self.rename_all = other.rename_all;
+        }
+        self.default |= other.default;
+        if other.skip_serializing_if.is_some() {
+            self.skip_serializing_if = other.skip_serializing_if;
+        }
+    }
+}
+
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+    attrs: SerdeAttrs,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        attrs: SerdeAttrs,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Parse the contents of one `#[serde(...)]` group.
+fn parse_serde_args(group: &proc_macro::Group) -> SerdeAttrs {
+    let mut out = SerdeAttrs::default();
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let TokenTree::Ident(key) = &tokens[i] else {
+            i += 1;
+            continue;
+        };
+        let key = key.to_string();
+        let mut value = None;
+        if let Some(TokenTree::Punct(p)) = tokens.get(i + 1) {
+            if p.as_char() == '=' {
+                if let Some(TokenTree::Literal(lit)) = tokens.get(i + 2) {
+                    let raw = lit.to_string();
+                    value = Some(raw.trim_matches('"').to_string());
+                    i += 2;
+                }
+            }
+        }
+        match key.as_str() {
+            "rename" => out.rename = value,
+            "rename_all" => out.rename_all = value,
+            "default" => out.default = true,
+            "skip_serializing_if" => out.skip_serializing_if = value,
+            other => panic!("serde-compat derive: unsupported serde attribute {other:?}"),
+        }
+        i += 1;
+        // Skip a separating comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Consume leading attributes at `tokens[*i..]`, folding `#[serde(...)]`
+/// settings and skipping everything else (doc comments etc.).
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut out = SerdeAttrs::default();
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(g)) = tokens.get(*i + 1) else {
+            break;
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args))) =
+            (inner.first(), inner.get(1))
+        {
+            if name.to_string() == "serde" {
+                out.merge(parse_serde_args(args));
+            }
+        }
+        *i += 2;
+    }
+    out
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_fields(body: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde-compat derive: expected ':' after field {name}, got {other:?}"),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or past the end)
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn parse_variants(body: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let mut kind = VariantKind::Unit;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    kind = VariantKind::Newtype;
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    kind = VariantKind::Struct(parse_fields(g));
+                    i += 1;
+                }
+                _ => {}
+            }
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => {
+                panic!("serde-compat derive: expected ',' after variant {name}, got {other:?}")
+            }
+        }
+        variants.push(Variant { name, kind, attrs });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let container_attrs = take_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde-compat derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde-compat derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde-compat derive: generic types are unsupported ({name})");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("serde-compat derive: expected braced body for {name}, got {other:?}"),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            attrs: container_attrs,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde-compat derive: unsupported item kind {other:?}"),
+    }
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn variant_key(v: &Variant, container: &SerdeAttrs) -> String {
+    if let Some(rename) = &v.attrs.rename {
+        return rename.clone();
+    }
+    match container.rename_all.as_deref() {
+        Some("snake_case") => snake_case(&v.name),
+        Some(other) => panic!("serde-compat derive: unsupported rename_all {other:?}"),
+        None => v.name.clone(),
+    }
+}
+
+fn field_key(f: &Field) -> String {
+    f.attrs.rename.clone().unwrap_or_else(|| f.name.clone())
+}
+
+/// Derive the value-based `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut src = String::new();
+    match parse_item(input) {
+        Item::Struct { name, fields } => {
+            src.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n"
+            ));
+            for f in &fields {
+                let key = field_key(f);
+                let fname = &f.name;
+                let push = format!(
+                    "entries.push((\"{key}\".to_string(), ::serde::Serialize::to_value(&self.{fname})));"
+                );
+                if let Some(pred) = &f.attrs.skip_serializing_if {
+                    src.push_str(&format!("        if !{pred}(&self.{fname}) {{ {push} }}\n"));
+                } else {
+                    src.push_str(&format!("        {push}\n"));
+                }
+            }
+            src.push_str("        ::serde::Value::Object(entries)\n    }\n}\n");
+        }
+        Item::Enum {
+            name,
+            attrs,
+            variants,
+        } => {
+            src.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        match self {{\n"
+            ));
+            for v in &variants {
+                let key = variant_key(v, &attrs);
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => src.push_str(&format!(
+                        "            {name}::{vname} => ::serde::Value::String(\"{key}\".to_string()),\n"
+                    )),
+                    VariantKind::Newtype => src.push_str(&format!(
+                        "            {name}::{vname}(inner) => ::serde::Value::Object(vec![(\"{key}\".to_string(), ::serde::Serialize::to_value(inner))]),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let bindings: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                let key = field_key(f);
+                                let fname = &f.name;
+                                format!(
+                                    "(\"{key}\".to_string(), ::serde::Serialize::to_value({fname}))"
+                                )
+                            })
+                            .collect();
+                        src.push_str(&format!(
+                            "            {name}::{vname} {{ {} }} => ::serde::Value::Object(vec![(\"{key}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            bindings.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            src.push_str("        }\n    }\n}\n");
+        }
+    }
+    src.parse()
+        .expect("serde-compat derive generated invalid Serialize impl")
+}
+
+/// Derive the value-based `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let mut src = String::new();
+    match parse_item(input) {
+        Item::Struct { name, fields } => {
+            src.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n        let entries = v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}\"))?;\n        ::core::result::Result::Ok({name} {{\n"
+            ));
+            for f in &fields {
+                let key = field_key(f);
+                let fname = &f.name;
+                let fallback = if f.attrs.default {
+                    "::core::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return ::core::result::Result::Err(::serde::DeError::missing_field(\"{key}\", \"{name}\"))"
+                    )
+                };
+                src.push_str(&format!(
+                    "            {fname}: match ::serde::field(entries, \"{key}\") {{ ::core::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?, ::core::option::Option::None => {fallback} }},\n"
+                ));
+            }
+            src.push_str("        })\n    }\n}\n");
+        }
+        Item::Enum {
+            name,
+            attrs,
+            variants,
+        } => {
+            src.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n"
+            ));
+            let units: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let newtypes: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+            if !units.is_empty() {
+                src.push_str(
+                    "        if let ::serde::Value::String(s) = v {\n            match s.as_str() {\n",
+                );
+                for v in &units {
+                    let key = variant_key(v, &attrs);
+                    let vname = &v.name;
+                    src.push_str(&format!(
+                        "                \"{key}\" => return ::core::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+                src.push_str("                _ => {}\n            }\n        }\n");
+            }
+            if !newtypes.is_empty() {
+                src.push_str(
+                    "        if let ::core::option::Option::Some(entries) = v.as_object() {\n            if entries.len() == 1 {\n                let (tag, inner) = &entries[0];\n                match tag.as_str() {\n",
+                );
+                for v in &newtypes {
+                    let key = variant_key(v, &attrs);
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Newtype => src.push_str(&format!(
+                            "                    \"{key}\" => return ::core::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let field_inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    let fkey = field_key(f);
+                                    let fname = &f.name;
+                                    format!(
+                                        "{fname}: match inner.get(\"{fkey}\") {{ ::core::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?, ::core::option::Option::None => return ::core::result::Result::Err(::serde::DeError::missing_field(\"{fkey}\", \"{name}\")) }}"
+                                    )
+                                })
+                                .collect();
+                            src.push_str(&format!(
+                                "                    \"{key}\" => return ::core::result::Result::Ok({name}::{vname} {{ {} }}),\n",
+                                field_inits.join(", ")
+                            ));
+                        }
+                        VariantKind::Unit => unreachable!(),
+                    }
+                }
+                src.push_str(
+                    "                    _ => {}\n                }\n            }\n        }\n",
+                );
+            }
+            src.push_str(&format!(
+                "        ::core::result::Result::Err(::serde::DeError::expected(\"a known variant\", \"{name}\"))\n    }}\n}}\n"
+            ));
+        }
+    }
+    src.parse()
+        .expect("serde-compat derive generated invalid Deserialize impl")
+}

@@ -50,12 +50,17 @@ impl Protocol {
     }
 }
 
+/// Number of independent memo-cache shards. Tuners running under rayon hit
+/// the cache from many threads; index-keyed sharding keeps them from
+/// serializing on one global mutex.
+const CACHE_SHARDS: usize = 64;
+
 /// The evaluation harness: memoization + noise + budget accounting.
 pub struct Evaluator<'p> {
     problem: &'p dyn TuningProblem,
     protocol: Protocol,
     cache_enabled: bool,
-    cache: Mutex<HashMap<u64, Result<Measurement, EvalFailure>>>,
+    cache: Vec<Mutex<HashMap<u64, Result<Measurement, EvalFailure>>>>,
     evals: AtomicU64,
     distinct: AtomicU64,
     budget: Option<u64>,
@@ -73,11 +78,22 @@ impl<'p> Evaluator<'p> {
             problem,
             protocol,
             cache_enabled: true,
-            cache: Mutex::new(HashMap::new()),
+            cache: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             evals: AtomicU64::new(0),
             distinct: AtomicU64::new(0),
             budget: None,
         }
+    }
+
+    /// The cache shard responsible for `index` (multiplicative hash so
+    /// consecutive indices — the common tuner access pattern — spread
+    /// across shards).
+    #[inline]
+    fn shard(&self, index: u64) -> &Mutex<HashMap<u64, Result<Measurement, EvalFailure>>> {
+        let mixed = index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.cache[(mixed >> 58) as usize % CACHE_SHARDS]
     }
 
     /// Limit the number of `evaluate*` calls. Calls past the budget return
@@ -112,8 +128,7 @@ impl<'p> Evaluator<'p> {
 
     /// Remaining budget, if a budget is set.
     pub fn budget_left(&self) -> Option<u64> {
-        self.budget
-            .map(|b| b.saturating_sub(self.evals_used()))
+        self.budget.map(|b| b.saturating_sub(self.evals_used()))
     }
 
     /// True when another evaluation may be performed.
@@ -128,18 +143,29 @@ impl<'p> Evaluator<'p> {
             return None;
         }
         self.evals.fetch_add(1, Ordering::Relaxed);
-        if self.cache_enabled {
-            if let Some(hit) = self.cache.lock().get(&index) {
-                return Some(hit.clone());
-            }
+        if !self.cache_enabled {
+            let config = self.problem.space().config_at(index);
+            let result = self.measure(index, &config);
+            self.distinct.fetch_add(1, Ordering::Relaxed);
+            return Some(result);
         }
+        if let Some(hit) = self.shard(index).lock().get(&index) {
+            return Some(hit.clone());
+        }
+        // Measure outside the lock (measurements are deterministic per
+        // index, so a racing duplicate measurement is identical), then
+        // insert through the entry API: one lock, and `distinct` counts a
+        // configuration exactly once even under races.
         let config = self.problem.space().config_at(index);
         let result = self.measure(index, &config);
-        self.distinct.fetch_add(1, Ordering::Relaxed);
-        if self.cache_enabled {
-            self.cache.lock().insert(index, result.clone());
+        match self.shard(index).lock().entry(index) {
+            std::collections::hash_map::Entry::Occupied(e) => Some(e.get().clone()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(result.clone());
+                self.distinct.fetch_add(1, Ordering::Relaxed);
+                Some(result)
+            }
         }
-        Some(result)
     }
 
     /// Evaluate a configuration by value vector. Returns `None` when the
@@ -174,8 +200,7 @@ mod tests {
     use crate::problem::SyntheticProblem;
     use bat_space::{ConfigSpace, Param};
 
-    fn problem() -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, EvalFailure> + Send + Sync>
-    {
+    fn problem() -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, EvalFailure> + Send + Sync> {
         let space = ConfigSpace::builder()
             .param(Param::int_range("x", 0, 9))
             .restrict("x != 5")
@@ -258,6 +283,26 @@ mod tests {
         let spread = m.samples.iter().cloned().fold(f64::MIN, f64::max)
             - m.samples.iter().cloned().fold(f64::MAX, f64::min);
         assert!(spread > 0.0);
+    }
+
+    #[test]
+    fn sharded_cache_counts_distinct_once_under_threads() {
+        let p = problem();
+        let e = Evaluator::new(&p);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for idx in 0..10u64 {
+                        let m = e.evaluate_index(idx).unwrap();
+                        // Re-reads must observe the identical outcome
+                        // (index 5 is restricted; its failure caches too).
+                        assert_eq!(e.evaluate_index(idx).unwrap(), m);
+                    }
+                });
+            }
+        });
+        assert_eq!(e.distinct_evals(), 10);
+        assert_eq!(e.evals_used(), 80);
     }
 
     #[test]

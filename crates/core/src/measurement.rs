@@ -51,10 +51,7 @@ impl Measurement {
 
     /// Minimum over samples.
     pub fn best_sample(&self) -> f64 {
-        self.samples
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min)
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -88,7 +85,10 @@ mod tests {
 
     #[test]
     fn failure_display() {
-        assert_eq!(EvalFailure::Restricted.to_string(), "restricted configuration");
+        assert_eq!(
+            EvalFailure::Restricted.to_string(),
+            "restricted configuration"
+        );
         assert!(EvalFailure::Launch("x".into()).to_string().contains('x'));
     }
 }

@@ -111,8 +111,7 @@ mod tests {
     use super::*;
     use bat_space::{ConfigSpace, Param};
 
-    fn quadratic() -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, EvalFailure> + Send + Sync>
-    {
+    fn quadratic() -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, EvalFailure> + Send + Sync> {
         let space = ConfigSpace::builder()
             .param(Param::int_range("x", 0, 10))
             .param(Param::int_range("y", 0, 10))

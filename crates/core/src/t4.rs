@@ -169,14 +169,11 @@ impl T4Results {
 
     /// The fastest valid entry.
     pub fn best(&self) -> Option<&T4Result> {
-        self.results
-            .iter()
-            .filter(|r| r.is_valid())
-            .min_by(|a, b| {
-                a.time_ms()
-                    .unwrap_or(f64::INFINITY)
-                    .total_cmp(&b.time_ms().unwrap_or(f64::INFINITY))
-            })
+        self.results.iter().filter(|r| r.is_valid()).min_by(|a, b| {
+            a.time_ms()
+                .unwrap_or(f64::INFINITY)
+                .total_cmp(&b.time_ms().unwrap_or(f64::INFINITY))
+        })
     }
 
     /// Fraction of entries that are valid.

@@ -33,10 +33,7 @@ fn unit(x: u64) -> f64 {
 /// Irwin–Hall; cheap, bounded to ±~3.5σ which suits runtime noise).
 #[inline]
 fn gaussish(x: u64) -> f64 {
-    let s = unit(x)
-        + unit(x.wrapping_add(1))
-        + unit(x.wrapping_add(2))
-        + unit(x.wrapping_add(3));
+    let s = unit(x) + unit(x.wrapping_add(1)) + unit(x.wrapping_add(2)) + unit(x.wrapping_add(3));
     // Irwin-Hall(4): mean 2, var 4/12 -> standardize.
     (s - 2.0) / (4.0f64 / 12.0).sqrt()
 }

@@ -128,9 +128,8 @@ pub fn occupancy(arch: &GpuArch, res: &BlockResources) -> Result<Occupancy, Laun
 
     // Register limit: allocation is per warp, rounded up to the granularity.
     let regs = res.regs_per_thread.max(16); // hardware minimum allocation
-    let regs_per_warp =
-        (regs * arch.warp_size).div_ceil(arch.register_alloc_granularity)
-            * arch.register_alloc_granularity;
+    let regs_per_warp = (regs * arch.warp_size).div_ceil(arch.register_alloc_granularity)
+        * arch.register_alloc_granularity;
     let regs_per_block = regs_per_warp * warps_per_block;
     if regs_per_block > arch.registers_per_sm {
         return Err(LaunchError::RegistersExceeded {

@@ -66,8 +66,7 @@ pub fn execute(arch: &GpuArch, model: &KernelModel) -> Result<KernelTiming, Laun
     let waves = model.grid_blocks.div_ceil(blocks_in_flight);
     // Effective parallelism of the final (partial) wave is included by
     // pricing whole waves: total work of `waves * blocks_in_flight` blocks.
-    let wave_quantization =
-        (waves * blocks_in_flight) as f64 / model.grid_blocks as f64;
+    let wave_quantization = (waves * blocks_in_flight) as f64 / model.grid_blocks as f64;
 
     let total_threads = model.total_threads();
 
@@ -90,24 +89,20 @@ pub fn execute(arch: &GpuArch, model: &KernelModel) -> Result<KernelTiming, Laun
     // ragged tail warp) still occupies full warp issue slots, so partial
     // warps waste lanes proportionally.
     let warps_per_block = model.threads_per_block.div_ceil(arch.warp_size);
-    let lane_util = f64::from(model.threads_per_block)
-        / f64::from(warps_per_block * arch.warp_size);
-    let lane_cycles_per_thread =
-        (fp_lane_cycles + int_lane_cycles) * model.divergence_factor;
-    let total_lane_cycles =
-        lane_cycles_per_thread * total_threads * wave_quantization / lane_util;
+    let lane_util =
+        f64::from(model.threads_per_block) / f64::from(warps_per_block * arch.warp_size);
+    let lane_cycles_per_thread = (fp_lane_cycles + int_lane_cycles) * model.divergence_factor;
+    let total_lane_cycles = lane_cycles_per_thread * total_threads * wave_quantization / lane_util;
     let lanes = f64::from(arch.sm_count) * f64::from(arch.fp32_per_sm);
     // Pipeline utilization: enough warps×ILP must be in flight to cover ALU
     // latency. Warps needed per SM = (lanes/warp) × latency.
     let warps_needed =
         f64::from(arch.fp32_per_sm) / f64::from(arch.warp_size) * arch.alu_latency_cycles;
     let issue_util = ((f64::from(occ.active_warps) * model.ilp) / warps_needed).min(1.0);
-    let compute_s =
-        total_lane_cycles / (lanes * arch.clock_ghz * 1e9 * issue_util.max(1e-3));
+    let compute_s = total_lane_cycles / (lanes * arch.clock_ghz * 1e9 * issue_util.max(1e-3));
 
     // ---- Memory bound ---------------------------------------------------
-    let dram_bytes =
-        model.gmem_bytes_per_thread * (1.0 - model.l2_hit_rate) * total_threads;
+    let dram_bytes = model.gmem_bytes_per_thread * (1.0 - model.l2_hit_rate) * total_threads;
     let l2_bytes = model.gmem_bytes_per_thread * model.l2_hit_rate * total_threads;
     let spill_bytes = model.spill_bytes_per_thread * total_threads;
     // Little's law: achievable bandwidth = bytes-in-flight / latency.
@@ -268,8 +263,7 @@ mod tests {
         m.ilp = 1.0; // no memory-level parallelism to compensate
         let starved = execute(&arch, &m).unwrap();
         let healthy = execute(&arch, &memory_kernel()).unwrap();
-        let b_starved =
-            m.gmem_bytes_per_thread * m.total_threads() / (starved.time_ms * 1e-3);
+        let b_starved = m.gmem_bytes_per_thread * m.total_threads() / (starved.time_ms * 1e-3);
         let healthy_model = memory_kernel();
         let b_healthy = healthy_model.gmem_bytes_per_thread * healthy_model.total_threads()
             / (healthy.time_ms * 1e-3);
@@ -305,8 +299,7 @@ mod tests {
         let m = compute_kernel();
         let t = execute(&arch, &m).unwrap();
         assert!(t.waves >= 1);
-        let blocks_in_flight =
-            u64::from(t.occupancy.blocks_per_sm) * u64::from(arch.sm_count);
+        let blocks_in_flight = u64::from(t.occupancy.blocks_per_sm) * u64::from(arch.sm_count);
         assert_eq!(t.waves, m.grid_blocks.div_ceil(blocks_in_flight));
     }
 

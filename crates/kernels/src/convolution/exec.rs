@@ -97,8 +97,8 @@ pub fn convolution_tiled(
                                 let mut acc = 0.0f32;
                                 for j in 0..fh {
                                     for i in 0..fw {
-                                        acc += tile[(ly + j) * tile_w + lx + i]
-                                            * filter[j * fw + i];
+                                        acc +=
+                                            tile[(ly + j) * tile_w + lx + i] * filter[j * fw + i];
                                     }
                                 }
                                 out_rows[ly * w + gx] = acc;
@@ -134,7 +134,10 @@ mod tests {
     const FH: usize = 9;
 
     fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
     }
 
     fn check(cfg_values: &[i64]) {

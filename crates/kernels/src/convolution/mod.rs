@@ -289,7 +289,11 @@ mod tests {
             m.flops_per_thread * m.total_threads()
         };
         let exact = 4096.0 * 4096.0 * 17.0 * 17.0 * 2.0;
-        for cfg in [[32, 4, 2, 2, 0, 1], [128, 8, 1, 1, 1, 0], [16, 2, 8, 3, 1, 1]] {
+        for cfg in [
+            [32, 4, 2, 2, 0, 1],
+            [128, 8, 1, 1, 1, 0],
+            [16, 2, 8, 3, 1, 1],
+        ] {
             let t = total(&cfg);
             assert!((t - exact).abs() / exact < 0.05, "{cfg:?}: {t} vs {exact}");
         }

@@ -167,8 +167,7 @@ pub fn dedisp_tiled(
                                 }
                                 let mut acc = 0.0f32;
                                 for chan in 0..fb.channels {
-                                    acc += fb.data
-                                        [chan * fb.samples + t + delays.delay(dm, chan)];
+                                    acc += fb.data[chan * fb.samples + t + delays.delay(dm, chan)];
                                 }
                                 rows[ly * out_samples + t] = acc;
                             }

@@ -212,9 +212,7 @@ impl KernelSpec for DedispKernel {
 
         // Registers: output accumulators + unroll live ranges (huge unrolls
         // bloat register pressure until values spill).
-        let natural_regs = (22.0
-            + per_thread_outputs * 1.5
-            + (eff_unroll.min(64.0)) * 0.75) as u32;
+        let natural_regs = (22.0 + per_thread_outputs * 1.5 + (eff_unroll.min(64.0)) * 0.75) as u32;
         let (regs, spill) =
             apply_launch_bounds(natural_regs, threads.max(1), c.blocks_per_sm as u32);
         m.regs_per_thread = regs;
@@ -301,10 +299,7 @@ mod tests {
         // 512 * 128 = 65536 threads: restriction-valid, launch-invalid.
         let cfg = [512, 128, 2, 2, 0, 0, 8, 0];
         assert!(b.space().is_valid(&cfg));
-        assert!(matches!(
-            b.evaluate_pure(&cfg),
-            Err(EvalFailure::Launch(_))
-        ));
+        assert!(matches!(b.evaluate_pure(&cfg), Err(EvalFailure::Launch(_))));
     }
 
     #[test]

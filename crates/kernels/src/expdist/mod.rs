@@ -152,8 +152,7 @@ impl KernelSpec for ExpdistKernel {
         } else {
             1
         };
-        let pairs_per_thread =
-            (c.tile_size_x * c.tile_size_y) as f64 * j_iters as f64;
+        let pairs_per_thread = (c.tile_size_x * c.tile_size_y) as f64 * j_iters as f64;
         m.flops_per_thread = pairs_per_thread * FLOPS_PER_PAIR;
 
         // Localizations are (x, y, σ²) records; model 16 B aligned.
@@ -163,11 +162,7 @@ impl KernelSpec for ExpdistKernel {
         let (smem, m_l2, t_l2) = match c.use_shared_mem {
             0 => (0.0, 0.90, 0.90), // direct broadcast reads, cache-served
             1 => ((y_span as f64) * point_bytes, 0.20, 0.90),
-            2 => (
-                (y_span as f64) * point_bytes + t_tile,
-                0.20,
-                0.20,
-            ),
+            2 => ((y_span as f64) * point_bytes + t_tile, 0.20, 0.20),
             _ => unreachable!("use_shared_mem out of range"),
         };
         m.smem_per_block = smem as u32;
@@ -195,8 +190,7 @@ impl KernelSpec for ExpdistKernel {
         m.divergence_factor = 1.10;
 
         let u = (c.unroll_x * c.unroll_y) as f64;
-        m.int_ops_per_thread = pairs_per_thread * 2.0 / u.max(1.0)
-            + j_iters as f64 * 8.0;
+        m.int_ops_per_thread = pairs_per_thread * 2.0 / u.max(1.0) + j_iters as f64 * 8.0;
 
         let natural_regs = (26.0
             + (c.tile_size_x * c.tile_size_y) as f64 * 2.0

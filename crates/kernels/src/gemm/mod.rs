@@ -172,17 +172,15 @@ impl KernelSpec for GemmKernel {
 
         // Registers: accumulator tile + A/B fragments + bookkeeping. Vector
         // loads widen the fragment registers slightly.
-        let natural_regs = 24.0
-            + wpt_m * wpt_n
-            + 2.0 * (wpt_m + wpt_n)
-            + 0.5 * (c.vwm + c.vwn) as f64;
+        let natural_regs =
+            24.0 + wpt_m * wpt_n + 2.0 * (wpt_m + wpt_n) + 0.5 * (c.vwm + c.vwn) as f64;
         let (regs, spill) = apply_launch_bounds(natural_regs.round() as u32, threads, 0);
         m.regs_per_thread = regs;
         // Spilled accumulators are touched every K-iteration.
         m.spill_bytes_per_thread = spill * (k / KWG as f64);
 
-        m.smem_per_block = ((c.sa as i64) * KWG * c.mwg * 4 + (c.sb as i64) * KWG * c.nwg * 4)
-            as u32;
+        m.smem_per_block =
+            ((c.sa as i64) * KWG * c.mwg * 4 + (c.sb as i64) * KWG * c.nwg * 4) as u32;
 
         // Global traffic per block. Staged operands are read once per block;
         // direct (unstaged) reads are replicated across the other thread
@@ -215,13 +213,12 @@ impl KernelSpec for GemmKernel {
         m.smem_accesses_per_thread = smem_reads + smem_writes;
         // CLBlast's layout is conflict-free for power-of-two shapes except
         // narrow staging tiles written with wide vectors.
-        m.bank_conflict_factor = if (c.sa && c.vwm == 8 && c.mdima == 8)
-            || (c.sb && c.vwn == 8 && c.ndimb == 8)
-        {
-            1.5
-        } else {
-            1.0
-        };
+        m.bank_conflict_factor =
+            if (c.sa && c.vwm == 8 && c.mdima == 8) || (c.sb && c.vwn == 8 && c.ndimb == 8) {
+                1.5
+            } else {
+                1.0
+            };
 
         // Loop overhead: K/KWI iterations of pointer bumps and branches.
         m.int_ops_per_thread = (k / KWI as f64) * 4.0 + k * 0.5;
@@ -278,7 +275,11 @@ mod tests {
     #[test]
     fn constrained_cardinality_matches_table_viii_exactly() {
         let s = GemmKernel::default().build_space();
-        assert_eq!(s.count_valid(), 17_956, "paper Table VIII: GEMM constrained");
+        assert_eq!(
+            s.count_valid(),
+            17_956,
+            "paper Table VIII: GEMM constrained"
+        );
     }
 
     #[test]

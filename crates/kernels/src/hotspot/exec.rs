@@ -61,7 +61,13 @@ fn cell_update(
 }
 
 /// One global stencil step (reference).
-pub fn hotspot_step(temp: &[f32], power: &[f32], w: usize, h: usize, c: &HotspotCoeffs) -> Vec<f32> {
+pub fn hotspot_step(
+    temp: &[f32],
+    power: &[f32],
+    w: usize,
+    h: usize,
+    c: &HotspotCoeffs,
+) -> Vec<f32> {
     let mut out = vec![0.0f32; w * h];
     out.par_chunks_mut(w).enumerate().for_each(|(y, row)| {
         for x in 0..w {
@@ -111,7 +117,11 @@ pub fn hotspot_tiled(
     coeffs: &HotspotCoeffs,
 ) -> Vec<f32> {
     let tt = cfg.temporal_tiling_factor as usize;
-    assert_eq!(steps % tt, 0, "steps must be a multiple of the tiling factor");
+    assert_eq!(
+        steps % tt,
+        0,
+        "steps must be a multiple of the tiling factor"
+    );
     let ox = cfg.out_x() as usize;
     let oy = cfg.out_y() as usize;
     let (tw, th) = cfg.tile_dims();
@@ -139,10 +149,8 @@ pub fn hotspot_tiled(
                         for tx in 0..tw {
                             let gx = x0 as i64 + tx as i64 - tt as i64;
                             let gy = y0 as i64 + ty as i64 - tt as i64;
-                            t_now[ty * tw + tx] =
-                                src[clamp_idx(gy, h) * w + clamp_idx(gx, w)];
-                            p_sh[ty * tw + tx] =
-                                power[clamp_idx(gy, h) * w + clamp_idx(gx, w)];
+                            t_now[ty * tw + tx] = src[clamp_idx(gy, h) * w + clamp_idx(gx, w)];
+                            p_sh[ty * tw + tx] = power[clamp_idx(gy, h) * w + clamp_idx(gx, w)];
                         }
                     }
                     // tt steps over shrinking regions. Cells whose stencil
@@ -191,8 +199,7 @@ pub fn hotspot_tiled(
                             if gx >= w || gy >= h {
                                 continue;
                             }
-                            out_rows[oy_i * w + gx] =
-                                t_now[(oy_i + tt) * tw + ox_i + tt];
+                            out_rows[oy_i * w + gx] = t_now[(oy_i + tt) * tw + ox_i + tt];
                         }
                     }
                 }
@@ -220,7 +227,10 @@ mod tests {
     use super::*;
 
     fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
     }
 
     fn check(cfg_values: &[i64], w: usize, h: usize, steps: usize) {

@@ -144,9 +144,7 @@ impl KernelSpec for HotspotKernel {
             // are launch-validity questions, not portable restrictions.
             // This matches Table VIII, where Hotspot's constrained count is
             // within 1.6% of its full cardinality.
-            .restrict(
-                "block_size_x * tile_size_x * block_size_y * tile_size_y <= 1048576",
-            )
+            .restrict("block_size_x * tile_size_x * block_size_y * tile_size_y <= 1048576")
             .build()
             .expect("Hotspot space is statically well-formed")
     }
@@ -155,8 +153,7 @@ impl KernelSpec for HotspotKernel {
         let c = HotspotConfig::from_values(config);
         let threads = (c.block_size_x * c.block_size_y) as u32;
         let (ox, oy) = (c.out_x(), c.out_y());
-        let grid_blocks =
-            ceil_div(self.grid, ox as u64) * ceil_div(self.grid, oy as u64);
+        let grid_blocks = ceil_div(self.grid, ox as u64) * ceil_div(self.grid, oy as u64);
         let mut m = KernelModel::new("hotspot", grid_blocks, threads);
 
         let tt = c.temporal_tiling_factor;
@@ -202,8 +199,7 @@ impl KernelSpec for HotspotKernel {
         // The 4 MB power array is read-only and hot across all launches
         // (it fits L2 alongside the working set), and the temperature tile
         // written by the previous launch is still partially L2-resident.
-        m.l2_hit_rate =
-            (0.35 * temp_read + 0.10 * out_write + 0.85 * power_read) / total;
+        m.l2_hit_rate = (0.35 * temp_read + 0.10 * out_write + 0.85 * power_read) / total;
         // Rows of the halo tile are loaded cooperatively by block_size_x
         // threads: narrow blocks in x load short, poorly-coalesced rows.
         m.coalescing = ((c.block_size_x as f64) * 4.0 / 32.0).clamp(0.125, 1.0);
@@ -211,14 +207,11 @@ impl KernelSpec for HotspotKernel {
 
         // Time-loop overhead shrinks with unrolling.
         let u = c.loop_unroll_factor_t as f64;
-        m.int_ops_per_thread =
-            (tt as f64 / u) * 10.0 + cells * 2.0 / f64::from(threads);
+        m.int_ops_per_thread = (tt as f64 / u) * 10.0 + cells * 2.0 / f64::from(threads);
 
         // Registers: per-thread output tile + unroll live ranges.
-        let natural_regs =
-            (22.0 + 2.0 * (c.tile_size_x * c.tile_size_y) as f64 + 2.0 * u) as u32;
-        let (regs, spill) =
-            apply_launch_bounds(natural_regs, threads, c.blocks_per_sm as u32);
+        let natural_regs = (22.0 + 2.0 * (c.tile_size_x * c.tile_size_y) as f64 + 2.0 * u) as u32;
+        let (regs, spill) = apply_launch_bounds(natural_regs, threads, c.blocks_per_sm as u32);
         m.regs_per_thread = regs;
         m.spill_bytes_per_thread = spill * tt as f64;
         m.launch_bounds_blocks = c.blocks_per_sm as u32;

@@ -74,16 +74,7 @@ impl BodiesSoA {
 
 #[inline]
 #[allow(clippy::too_many_arguments)]
-fn interact(
-    xi: f32,
-    yi: f32,
-    zi: f32,
-    xj: f32,
-    yj: f32,
-    zj: f32,
-    mj: f32,
-    acc: &mut [f32; 3],
-) {
+fn interact(xi: f32, yi: f32, zi: f32, xj: f32, yj: f32, zj: f32, mj: f32, acc: &mut [f32; 3]) {
     let dx = xj - xi;
     let dy = yj - yi;
     let dz = zj - zi;
@@ -105,8 +96,14 @@ pub fn nbody_reference(bodies: &BodiesSoA) -> Vec<[f32; 3]> {
             let mut acc = [0.0f32; 3];
             for j in 0..n {
                 interact(
-                    bodies.x[i], bodies.y[i], bodies.z[i], bodies.x[j], bodies.y[j],
-                    bodies.z[j], bodies.m[j], &mut acc,
+                    bodies.x[i],
+                    bodies.y[i],
+                    bodies.z[i],
+                    bodies.x[j],
+                    bodies.y[j],
+                    bodies.z[j],
+                    bodies.m[j],
+                    &mut acc,
                 );
             }
             acc
@@ -124,7 +121,11 @@ pub fn nbody_tiled(cfg: &NbodyConfig, bodies: &BodiesSoA) -> Vec<[f32; 3]> {
     let ou = cfg.outer_unroll as usize;
     let bodies_per_block = bs * ou;
     assert_eq!(n % bodies_per_block, 0, "n must divide into blocks");
-    let aos = if cfg.use_soa { Vec::new() } else { bodies.to_aos() };
+    let aos = if cfg.use_soa {
+        Vec::new()
+    } else {
+        bodies.to_aos()
+    };
 
     let fetch = |j: usize| -> (f32, f32, f32, f32) {
         if cfg.use_soa {

@@ -98,8 +98,14 @@ impl KernelSpec for NbodyKernel {
         ConfigSpace::builder()
             .param(Param::pow2("block_size", 64, 512))
             .param(Param::new("outer_unroll_factor", vec![1, 2, 4, 8]))
-            .param(Param::new("inner_unroll_factor1", vec![0, 1, 2, 4, 8, 16, 32]))
-            .param(Param::new("inner_unroll_factor2", vec![0, 1, 2, 4, 8, 16, 32]))
+            .param(Param::new(
+                "inner_unroll_factor1",
+                vec![0, 1, 2, 4, 8, 16, 32],
+            ))
+            .param(Param::new(
+                "inner_unroll_factor2",
+                vec![0, 1, 2, 4, 8, 16, 32],
+            ))
             .param(Param::boolean("use_soa"))
             .param(Param::boolean("local_mem"))
             .param(Param::new("vector_type", vec![1, 2, 4]))
@@ -127,13 +133,20 @@ impl KernelSpec for NbodyKernel {
 
         // Effective unroll of the hot inner loop (0 = compiler decides; the
         // CUDA compiler usually unrolls the small-trip-count loop by ~4).
-        let active_unroll = if c.local_mem { c.inner_unroll2 } else { c.inner_unroll1 };
-        let eff_unroll = if active_unroll == 0 { 4.0 } else { active_unroll as f64 };
+        let active_unroll = if c.local_mem {
+            c.inner_unroll2
+        } else {
+            c.inner_unroll1
+        };
+        let eff_unroll = if active_unroll == 0 {
+            4.0
+        } else {
+            active_unroll as f64
+        };
 
         // Registers: per-body accumulators (ax, ay, az) + position per outer
         // body, plus unroll live ranges and vector load temporaries.
-        let natural_regs =
-            (26.0 + ou * 7.0 + eff_unroll * 1.5 + c.vector_type as f64) as u32;
+        let natural_regs = (26.0 + ou * 7.0 + eff_unroll * 1.5 + c.vector_type as f64) as u32;
         let (regs, spill) = apply_launch_bounds(natural_regs, threads, 0);
         m.regs_per_thread = regs;
         m.spill_bytes_per_thread = spill * (n / 64.0);

@@ -179,11 +179,7 @@ mod tests {
                     use_method: um,
                 };
                 let got = pnpoly_tiled(&cfg, &pts, &poly);
-                let mismatches = got
-                    .iter()
-                    .zip(&reference)
-                    .filter(|(a, b)| a != b)
-                    .count();
+                let mismatches = got.iter().zip(&reference).filter(|(a, b)| a != b).count();
                 assert_eq!(mismatches, 0, "variant bm={bm} um={um} disagrees");
             }
         }

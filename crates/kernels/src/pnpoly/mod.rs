@@ -122,8 +122,8 @@ impl KernelSpec for PnpolyKernel {
         // Vertices live in constant/L2-resident memory: every thread walks
         // them; virtually all reads hit cache.
         let vertex_bytes = verts * 8.0; // float2
-        // Points: each thread reads `tile` consecutive float2 points, so
-        // consecutive threads are 8*tile bytes apart.
+                                        // Points: each thread reads `tile` consecutive float2 points, so
+                                        // consecutive threads are 8*tile bytes apart.
         let point_bytes = tile * 8.0;
         let out_bytes = tile * 4.0; // int flag per point
         m.gmem_bytes_per_thread = vertex_bytes + point_bytes + out_bytes;

@@ -93,18 +93,14 @@ impl Gbdt {
 
     /// Predict one row.
     pub fn predict(&self, row: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict(row))
-                    .sum::<f64>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
     }
 
     /// Predict every row of a dataset.
     pub fn predict_dataset(&self, data: &Dataset) -> Vec<f64> {
-        (0..data.n_rows()).map(|i| self.predict(data.row(i))).collect()
+        (0..data.n_rows())
+            .map(|i| self.predict(data.row(i)))
+            .collect()
     }
 
     /// Number of stages.

@@ -251,7 +251,9 @@ mod tests {
     use super::*;
 
     fn sine_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
-        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64 * 6.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / (n - 1) as f64 * 6.0])
+            .collect();
         let y: Vec<f64> = rows.iter().map(|r| r[0].sin() * 3.0 + 10.0).collect();
         (rows, y)
     }
@@ -270,11 +272,7 @@ mod tests {
             );
             for (r, t) in rows.iter().zip(&y) {
                 let p = gp.predict(r);
-                assert!(
-                    (p.mean - t).abs() < 0.15,
-                    "{kernel:?}: {} vs {t}",
-                    p.mean
-                );
+                assert!((p.mean - t).abs() < 0.15, "{kernel:?}: {} vs {t}", p.mean);
             }
         }
     }
@@ -297,11 +295,7 @@ mod tests {
         let rows = vec![vec![0.0], vec![0.5], vec![1.0]];
         let y = vec![5.0, 7.0, 6.0];
         // Fixed short lengthscale so "far" is reachable.
-        let gp = GaussianProcess::fit(
-            &rows,
-            &y,
-            &GpParams::fixed(KernelKind::Rbf, 0.1, 1e-6),
-        );
+        let gp = GaussianProcess::fit(&rows, &y, &GpParams::fixed(KernelKind::Rbf, 0.1, 1e-6));
         let far = gp.predict(&[100.0]);
         let prior_mean = 6.0; // mean of y
         assert!((far.mean - prior_mean).abs() < 1e-6, "mean {}", far.mean);
@@ -317,11 +311,8 @@ mod tests {
         let fitted = GaussianProcess::fit(&rows, &y, &params);
         for &ell in &params.lengthscales {
             for &noise in &params.noises {
-                let single = GaussianProcess::fit(
-                    &rows,
-                    &y,
-                    &GpParams::fixed(params.kernel, ell, noise),
-                );
+                let single =
+                    GaussianProcess::fit(&rows, &y, &GpParams::fixed(params.kernel, ell, noise));
                 assert!(
                     fitted.log_marginal_likelihood() >= single.log_marginal_likelihood() - 1e-9
                 );

@@ -34,7 +34,8 @@ impl SymMatrix {
         for i in 0..n {
             for j in 0..i {
                 debug_assert!(
-                    (data[i * n + j] - data[j * n + i]).abs() <= 1e-9 * (1.0 + data[i * n + j].abs()),
+                    (data[i * n + j] - data[j * n + i]).abs()
+                        <= 1e-9 * (1.0 + data[i * n + j].abs()),
                     "matrix is not symmetric at ({i},{j})"
                 );
             }

@@ -138,7 +138,13 @@ mod tests {
             .collect();
         let y: Vec<f64> = rows
             .iter()
-            .map(|r| if (r[0] > 0.5) != (r[1] > 0.5) { 1.0 } else { 0.0 })
+            .map(|r| {
+                if (r[0] > 0.5) != (r[1] > 0.5) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let data = Dataset::new(&rows, y, vec!["a".into(), "b".into()]);
         // Perfectly balanced XOR has zero first-split gain for a greedy

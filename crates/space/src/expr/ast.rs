@@ -131,7 +131,12 @@ impl Expr {
         }
     }
 
-    fn fmt_child(&self, child: &Expr, f: &mut fmt::Formatter<'_>, parens_if_le: bool) -> fmt::Result {
+    fn fmt_child(
+        &self,
+        child: &Expr,
+        f: &mut fmt::Formatter<'_>,
+        parens_if_le: bool,
+    ) -> fmt::Result {
         let need = if parens_if_le {
             child.precedence() <= self.precedence()
         } else {

@@ -62,9 +62,7 @@ impl CompiledExpr {
                     .ok_or_else(|| EvalError::UnknownVariable(name.clone()))?;
                 CompiledExpr::Slot(slot)
             }
-            Expr::Unary(op, e) => {
-                CompiledExpr::Unary(*op, Box::new(Self::compile(e, names)?))
-            }
+            Expr::Unary(op, e) => CompiledExpr::Unary(*op, Box::new(Self::compile(e, names)?)),
             Expr::Binary(op, a, b) => CompiledExpr::Binary(
                 *op,
                 Box::new(Self::compile(a, names)?),

@@ -11,11 +11,13 @@ mod ast;
 mod eval;
 mod lexer;
 mod parser;
+mod vm;
 
 pub use ast::{BinOp, CmpOp, Expr, UnOp};
 pub use eval::{CompiledExpr, EvalError};
 pub use lexer::{LexError, Token};
 pub use parser::{parse, ParseError};
+pub use vm::{fold, Op, Program};
 
 #[cfg(test)]
 mod tests {

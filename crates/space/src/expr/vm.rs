@@ -1,0 +1,614 @@
+//! Flat bytecode compilation of restriction expressions.
+//!
+//! [`CompiledExpr`] resolves names to slots but still evaluates by walking a
+//! `Box`-linked tree — pointer chasing and branchy dispatch on the hottest
+//! path in the suite (restriction checks run once per candidate
+//! configuration; counting the Dedispersion space alone is 10⁸ of them).
+//! [`Program`] flattens a compiled expression into one contiguous postfix
+//! instruction buffer evaluated by a small stack machine:
+//!
+//! * constant subtrees are folded at compile time (via [`fold`]), so
+//!   trivial restrictions cost zero or near-zero work per configuration;
+//! * `and`/`or` short-circuit through explicit jumps, preserving the
+//!   tree-walk's lazy evaluation order exactly;
+//! * chained comparisons (`32 <= x*y <= 1024`) keep the running operand on
+//!   the stack and bail out through a jump on the first failing link;
+//! * evaluation uses a fixed-size stack buffer — zero heap allocation per
+//!   call for every restriction in the suite.
+//!
+//! Semantics are identical to [`CompiledExpr::eval_num`] by construction:
+//! every arithmetic instruction delegates to the same [`Num`] operations
+//! (`tests/property_based.rs` proves equivalence on random expressions).
+
+use super::ast::{BinOp, Builtin, CmpOp, UnOp};
+use super::eval::CompiledExpr;
+use crate::value::Num;
+
+/// Stack slots reserved inline; programs needing more (none in the suite's
+/// restriction sets) fall back to a heap buffer. Kept small: the buffer is
+/// zero-initialized on every evaluation, so its size is per-eval overhead.
+const INLINE_STACK: usize = 12;
+
+/// One postfix instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Push an integer constant.
+    PushInt(i64),
+    /// Push a float constant.
+    PushFloat(f64),
+    /// Push `values[slot]`.
+    Load(u32),
+    /// Pop one value, push its arithmetic negation.
+    Neg,
+    /// Pop one value, push `!truthy` as 0/1.
+    Not,
+    /// Pop one value, push `truthy` as 0/1.
+    Truthy,
+    /// Pop rhs then lhs, push `lhs op rhs`.
+    Bin(BinOp),
+    /// Pop rhs then lhs, push the comparison result as 0/1.
+    Cmp(CmpOp),
+    /// Chained-comparison link: pop rhs then lhs; on success push rhs back
+    /// and continue, on failure push 0 and jump to `end`.
+    ChainCmp {
+        /// Comparison operator of this link.
+        op: CmpOp,
+        /// Jump target (index into the instruction buffer) on failure.
+        end: u32,
+    },
+    /// Short-circuit `and`: pop the lhs; if falsy push 0 and jump to `end`.
+    JumpIfFalse(u32),
+    /// Short-circuit `or`: pop the lhs; if truthy push 1 and jump to `end`.
+    JumpIfTrue(u32),
+    /// Pop one value, push its absolute value.
+    Abs,
+    /// Pop `n` values, push the minimum.
+    Min(u32),
+    /// Pop `n` values, push the maximum.
+    Max(u32),
+}
+
+/// Constant-fold a compiled expression: every subtree without slot
+/// references is evaluated once, and short-circuit operators with constant
+/// operands are simplified. Semantics-preserving (expressions are pure).
+pub fn fold(expr: &CompiledExpr) -> CompiledExpr {
+    fn num_to_expr(n: Num) -> CompiledExpr {
+        match n {
+            Num::Int(i) => CompiledExpr::Int(i),
+            Num::Float(f) => CompiledExpr::Float(f),
+        }
+    }
+
+    fn as_const(e: &CompiledExpr) -> Option<Num> {
+        match e {
+            CompiledExpr::Int(i) => Some(Num::Int(*i)),
+            CompiledExpr::Float(f) => Some(Num::Float(*f)),
+            _ => None,
+        }
+    }
+
+    /// `not (not e)` — coerces to 0/1 exactly like the tree-walk's `and`/
+    /// `or` result without evaluating the other (constant) operand.
+    fn truthy_of(e: CompiledExpr) -> CompiledExpr {
+        CompiledExpr::Unary(
+            UnOp::Not,
+            Box::new(CompiledExpr::Unary(UnOp::Not, Box::new(e))),
+        )
+    }
+
+    match expr {
+        CompiledExpr::Int(_) | CompiledExpr::Float(_) | CompiledExpr::Slot(_) => expr.clone(),
+        CompiledExpr::Unary(op, e) => {
+            let e = fold(e);
+            if as_const(&e).is_some() {
+                let folded = CompiledExpr::Unary(*op, Box::new(e));
+                num_to_expr(folded.eval_num(&[]))
+            } else {
+                CompiledExpr::Unary(*op, Box::new(e))
+            }
+        }
+        CompiledExpr::Binary(op, a, b) => {
+            let a = fold(a);
+            let b = fold(b);
+            let (ca, cb) = (as_const(&a), as_const(&b));
+            match op {
+                BinOp::And => match (ca, cb) {
+                    (Some(c), _) => {
+                        if c.truthy() {
+                            truthy_of(b)
+                        } else {
+                            CompiledExpr::Int(0)
+                        }
+                    }
+                    // `a and FALSE` is always 0 because `a` is pure; `a and
+                    // TRUE` is `truthy(a)`.
+                    (None, Some(c)) => {
+                        if c.truthy() {
+                            truthy_of(a)
+                        } else {
+                            CompiledExpr::Int(0)
+                        }
+                    }
+                    (None, None) => CompiledExpr::Binary(*op, Box::new(a), Box::new(b)),
+                },
+                BinOp::Or => match (ca, cb) {
+                    (Some(c), _) => {
+                        if c.truthy() {
+                            CompiledExpr::Int(1)
+                        } else {
+                            truthy_of(b)
+                        }
+                    }
+                    (None, Some(c)) => {
+                        if c.truthy() {
+                            CompiledExpr::Int(1)
+                        } else {
+                            truthy_of(a)
+                        }
+                    }
+                    (None, None) => CompiledExpr::Binary(*op, Box::new(a), Box::new(b)),
+                },
+                _ => {
+                    if ca.is_some() && cb.is_some() {
+                        let folded = CompiledExpr::Binary(*op, Box::new(a), Box::new(b));
+                        num_to_expr(folded.eval_num(&[]))
+                    } else {
+                        CompiledExpr::Binary(*op, Box::new(a), Box::new(b))
+                    }
+                }
+            }
+        }
+        CompiledExpr::Compare(first, links) => {
+            let first = fold(first);
+            let links: Vec<(CmpOp, CompiledExpr)> =
+                links.iter().map(|(op, e)| (*op, fold(e))).collect();
+            let all_const =
+                as_const(&first).is_some() && links.iter().all(|(_, e)| as_const(e).is_some());
+            let folded = CompiledExpr::Compare(Box::new(first), links);
+            if all_const {
+                num_to_expr(folded.eval_num(&[]))
+            } else {
+                folded
+            }
+        }
+        CompiledExpr::Call(b, args) => {
+            let args: Vec<CompiledExpr> = args.iter().map(fold).collect();
+            let all_const = args.iter().all(|a| as_const(a).is_some());
+            let folded = CompiledExpr::Call(*b, args);
+            if all_const {
+                num_to_expr(folded.eval_num(&[]))
+            } else {
+                folded
+            }
+        }
+    }
+}
+
+/// A restriction compiled to flat bytecode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    ops: Vec<Op>,
+    max_stack: usize,
+}
+
+impl Program {
+    /// Compile `expr` (folding constants first). The resulting program
+    /// evaluates to the same [`Num`] as `expr.eval_num` for every input.
+    pub fn compile(expr: &CompiledExpr) -> Program {
+        Self::compile_prefolded(&fold(expr))
+    }
+
+    /// Compile an expression the caller has already passed through
+    /// [`fold`], skipping the redundant second folding pass (used by the
+    /// space build, which needs the folded tree for slot analysis anyway).
+    pub(crate) fn compile_prefolded(folded: &CompiledExpr) -> Program {
+        let mut ops = Vec::new();
+        emit(folded, &mut ops);
+        let max_stack = simulate_stack(&ops);
+        Program { ops, max_stack }
+    }
+
+    /// True when the program is a constant (the restriction never looks at
+    /// the configuration). [`Program::const_value`] gives its value.
+    pub fn is_const(&self) -> bool {
+        matches!(self.ops.as_slice(), [Op::PushInt(_)] | [Op::PushFloat(_)])
+    }
+
+    /// The constant value of a [`Program::is_const`] program.
+    pub fn const_value(&self) -> Option<Num> {
+        match self.ops.as_slice() {
+            [Op::PushInt(i)] => Some(Num::Int(*i)),
+            [Op::PushFloat(f)] => Some(Num::Float(*f)),
+            _ => None,
+        }
+    }
+
+    /// Number of instructions (diagnostics/benchmarks).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the program has no instructions (never produced by
+    /// [`Program::compile`]).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Evaluate to a number given configuration values (indexed by slot).
+    #[inline]
+    pub fn eval_num(&self, values: &[i64]) -> Num {
+        if self.max_stack <= INLINE_STACK {
+            let mut stack = [Num::Int(0); INLINE_STACK];
+            self.run(values, &mut stack)
+        } else {
+            let mut stack = vec![Num::Int(0); self.max_stack];
+            self.run(values, &mut stack)
+        }
+    }
+
+    /// Evaluate as a boolean (Python truthiness).
+    #[inline]
+    pub fn eval_bool(&self, values: &[i64]) -> bool {
+        self.eval_num(values).truthy()
+    }
+
+    fn run(&self, values: &[i64], stack: &mut [Num]) -> Num {
+        let mut sp = 0usize;
+        let mut pc = 0usize;
+        let ops = &self.ops;
+        while pc < ops.len() {
+            match ops[pc] {
+                Op::PushInt(i) => {
+                    stack[sp] = Num::Int(i);
+                    sp += 1;
+                }
+                Op::PushFloat(f) => {
+                    stack[sp] = Num::Float(f);
+                    sp += 1;
+                }
+                Op::Load(slot) => {
+                    stack[sp] = Num::Int(values[slot as usize]);
+                    sp += 1;
+                }
+                Op::Neg => stack[sp - 1] = stack[sp - 1].neg(),
+                Op::Not => stack[sp - 1] = Num::Int(i64::from(!stack[sp - 1].truthy())),
+                Op::Truthy => stack[sp - 1] = Num::Int(i64::from(stack[sp - 1].truthy())),
+                Op::Bin(op) => {
+                    let rhs = stack[sp - 1];
+                    let lhs = stack[sp - 2];
+                    sp -= 1;
+                    stack[sp - 1] = match op {
+                        BinOp::Add => lhs.add(rhs),
+                        BinOp::Sub => lhs.sub(rhs),
+                        BinOp::Mul => lhs.mul(rhs),
+                        BinOp::Div => lhs.div(rhs),
+                        BinOp::FloorDiv => lhs.floordiv(rhs),
+                        BinOp::Mod => lhs.rem(rhs),
+                        BinOp::Pow => lhs.pow(rhs),
+                        BinOp::And | BinOp::Or => {
+                            unreachable!("logical ops compile to jumps")
+                        }
+                    };
+                }
+                Op::Cmp(op) => {
+                    let rhs = stack[sp - 1];
+                    let lhs = stack[sp - 2];
+                    sp -= 1;
+                    stack[sp - 1] = Num::Int(i64::from(cmp_holds(op, lhs, rhs)));
+                }
+                Op::ChainCmp { op, end } => {
+                    let rhs = stack[sp - 1];
+                    let lhs = stack[sp - 2];
+                    sp -= 1;
+                    if cmp_holds(op, lhs, rhs) {
+                        stack[sp - 1] = rhs;
+                    } else {
+                        stack[sp - 1] = Num::Int(0);
+                        pc = end as usize;
+                        continue;
+                    }
+                }
+                Op::JumpIfFalse(end) => {
+                    let v = stack[sp - 1];
+                    if v.truthy() {
+                        sp -= 1;
+                    } else {
+                        stack[sp - 1] = Num::Int(0);
+                        pc = end as usize;
+                        continue;
+                    }
+                }
+                Op::JumpIfTrue(end) => {
+                    let v = stack[sp - 1];
+                    if v.truthy() {
+                        stack[sp - 1] = Num::Int(1);
+                        pc = end as usize;
+                        continue;
+                    }
+                    sp -= 1;
+                }
+                Op::Abs => {
+                    stack[sp - 1] = match stack[sp - 1] {
+                        Num::Int(i) => Num::Int(i.abs()),
+                        Num::Float(f) => Num::Float(f.abs()),
+                    };
+                }
+                Op::Min(n) => {
+                    let n = n as usize;
+                    let mut best = stack[sp - n];
+                    for i in 1..n {
+                        let v = stack[sp - n + i];
+                        if matches!(best.cmp_num(v), Some(std::cmp::Ordering::Greater)) {
+                            best = v;
+                        }
+                    }
+                    sp -= n - 1;
+                    stack[sp - 1] = best;
+                }
+                Op::Max(n) => {
+                    let n = n as usize;
+                    let mut best = stack[sp - n];
+                    for i in 1..n {
+                        let v = stack[sp - n + i];
+                        if matches!(best.cmp_num(v), Some(std::cmp::Ordering::Less)) {
+                            best = v;
+                        }
+                    }
+                    sp -= n - 1;
+                    stack[sp - 1] = best;
+                }
+            }
+            pc += 1;
+        }
+        debug_assert_eq!(sp, 1, "program must leave exactly one value");
+        stack[0]
+    }
+}
+
+#[inline]
+fn cmp_holds(op: CmpOp, lhs: Num, rhs: Num) -> bool {
+    use std::cmp::Ordering::{Equal, Greater, Less};
+    match op {
+        CmpOp::Eq => lhs.eq_num(rhs),
+        CmpOp::Ne => !lhs.eq_num(rhs),
+        CmpOp::Lt => matches!(lhs.cmp_num(rhs), Some(Less)),
+        CmpOp::Le => matches!(lhs.cmp_num(rhs), Some(Less | Equal)),
+        CmpOp::Gt => matches!(lhs.cmp_num(rhs), Some(Greater)),
+        CmpOp::Ge => matches!(lhs.cmp_num(rhs), Some(Greater | Equal)),
+    }
+}
+
+fn emit(expr: &CompiledExpr, ops: &mut Vec<Op>) {
+    match expr {
+        CompiledExpr::Int(i) => ops.push(Op::PushInt(*i)),
+        CompiledExpr::Float(f) => ops.push(Op::PushFloat(*f)),
+        CompiledExpr::Slot(s) => {
+            ops.push(Op::Load(u32::try_from(*s).expect("slot index fits in u32")))
+        }
+        CompiledExpr::Unary(UnOp::Neg, e) => {
+            emit(e, ops);
+            ops.push(Op::Neg);
+        }
+        CompiledExpr::Unary(UnOp::Not, e) => {
+            emit(e, ops);
+            ops.push(Op::Not);
+        }
+        CompiledExpr::Binary(BinOp::And, a, b) => {
+            emit(a, ops);
+            let jump = ops.len();
+            ops.push(Op::JumpIfFalse(0));
+            emit(b, ops);
+            ops.push(Op::Truthy);
+            patch_jump(ops, jump);
+        }
+        CompiledExpr::Binary(BinOp::Or, a, b) => {
+            emit(a, ops);
+            let jump = ops.len();
+            ops.push(Op::JumpIfTrue(0));
+            emit(b, ops);
+            ops.push(Op::Truthy);
+            patch_jump(ops, jump);
+        }
+        CompiledExpr::Binary(op, a, b) => {
+            emit(a, ops);
+            emit(b, ops);
+            ops.push(Op::Bin(*op));
+        }
+        CompiledExpr::Compare(first, links) => {
+            emit(first, ops);
+            let mut chain_jumps = Vec::new();
+            for (i, (op, rhs)) in links.iter().enumerate() {
+                emit(rhs, ops);
+                if i + 1 == links.len() {
+                    ops.push(Op::Cmp(*op));
+                } else {
+                    chain_jumps.push(ops.len());
+                    ops.push(Op::ChainCmp { op: *op, end: 0 });
+                }
+            }
+            for j in chain_jumps {
+                patch_jump(ops, j);
+            }
+        }
+        CompiledExpr::Call(b, args) => {
+            for a in args {
+                emit(a, ops);
+            }
+            let n = u32::try_from(args.len()).expect("argument count fits in u32");
+            match b {
+                Builtin::Abs => ops.push(Op::Abs),
+                Builtin::Min => ops.push(Op::Min(n)),
+                Builtin::Max => ops.push(Op::Max(n)),
+            }
+        }
+    }
+}
+
+/// Point the placeholder jump at `at` to the *last emitted instruction's
+/// successor position minus one* — the interpreter increments `pc` after
+/// every non-jumping instruction, and jumps `continue` without increment,
+/// so targets are stored as the index of the next instruction to execute.
+fn patch_jump(ops: &mut [Op], at: usize) {
+    let target = u32::try_from(ops.len()).expect("program fits in u32");
+    match &mut ops[at] {
+        Op::JumpIfFalse(end) | Op::JumpIfTrue(end) | Op::ChainCmp { end, .. } => *end = target,
+        other => unreachable!("patching non-jump {other:?}"),
+    }
+}
+
+/// Upper bound on the stack depth of `ops`, by abstract execution. Jumps
+/// only skip forward, and treating a conditional jump as "no change" keeps
+/// the estimate on the high side of both paths, so one linear pass over the
+/// deltas is a safe bound.
+fn simulate_stack(ops: &[Op]) -> usize {
+    let mut depth = 0usize;
+    let mut max = 0usize;
+    for op in ops {
+        let delta: isize = match op {
+            Op::PushInt(_) | Op::PushFloat(_) | Op::Load(_) => 1,
+            Op::Neg | Op::Not | Op::Truthy | Op::Abs => 0,
+            Op::Bin(_) | Op::Cmp(_) | Op::ChainCmp { .. } => -1,
+            // Jumps either pop (fall through) or replace the top (jump);
+            // conservatively treat as no change.
+            Op::JumpIfFalse(_) | Op::JumpIfTrue(_) => 0,
+            Op::Min(n) | Op::Max(n) => 1 - *n as isize,
+        };
+        depth = depth.saturating_add_signed(delta);
+        max = max.max(depth);
+    }
+    max.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse;
+
+    fn program(src: &str, names: &[&str]) -> (CompiledExpr, Program) {
+        let owned: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+        let compiled = CompiledExpr::compile(&parse(src).unwrap(), &owned).unwrap();
+        let prog = Program::compile(&compiled);
+        (compiled, prog)
+    }
+
+    fn assert_agree(src: &str, names: &[&str], values: &[i64]) {
+        let (tree, prog) = program(src, names);
+        assert_eq!(
+            prog.eval_bool(values),
+            tree.eval_bool(values),
+            "{src} on {values:?}"
+        );
+    }
+
+    #[test]
+    fn arithmetic_matches_tree_walk() {
+        for values in [[1i64, 2, 3], [4, 0, 9], [7, 7, 7], [0, 0, 1]] {
+            for src in [
+                "a + b * c > 5",
+                "a ** 2 - b // (c + 1) == 0",
+                "a % 3 == b % 3",
+                "a / b == 2",
+                "-a + abs(b - c) >= 0",
+                "min(a, b, c) < max(a, 2)",
+            ] {
+                assert_agree(src, &["a", "b", "c"], &values);
+            }
+        }
+    }
+
+    #[test]
+    fn short_circuit_protects_division() {
+        // Must not evaluate 10 % x when x == 0 (NaN would poison the chain
+        // differently than the tree walk if jumps were wrong).
+        let (_, p) = program("x != 0 and 10 % x == 0", &["x"]);
+        assert!(!p.eval_bool(&[0]));
+        assert!(p.eval_bool(&[5]));
+        assert!(!p.eval_bool(&[3]));
+        let (_, p) = program("x == 0 or 10 % x == 0", &["x"]);
+        assert!(p.eval_bool(&[0]));
+        assert!(p.eval_bool(&[2]));
+        assert!(!p.eval_bool(&[3]));
+    }
+
+    #[test]
+    fn chained_comparison_early_exit() {
+        for v in [[1i64, 1], [8, 16], [64, 32], [1, 4]] {
+            assert_agree("32 <= x * y <= 1024", &["x", "y"], &v);
+            assert_agree("x < y < 100", &["x", "y"], &v);
+        }
+    }
+
+    #[test]
+    fn logical_results_are_zero_one() {
+        let (_, p) = program("a and b", &["a", "b"]);
+        assert_eq!(p.eval_num(&[5, 7]), Num::Int(1));
+        assert_eq!(p.eval_num(&[5, 0]), Num::Int(0));
+        assert_eq!(p.eval_num(&[0, 7]), Num::Int(0));
+        let (_, p) = program("a or b", &["a", "b"]);
+        assert_eq!(p.eval_num(&[5, 0]), Num::Int(1));
+        assert_eq!(p.eval_num(&[0, 0]), Num::Int(0));
+    }
+
+    #[test]
+    fn constants_fold_to_single_instruction() {
+        let (_, p) = program("2 + 3 * 4 == 14", &[]);
+        assert!(p.is_const());
+        assert_eq!(p.const_value(), Some(Num::Int(1)));
+        assert!(p.eval_bool(&[]));
+
+        let (_, p) = program("1 == 2", &[]);
+        assert_eq!(p.const_value(), Some(Num::Int(0)));
+    }
+
+    #[test]
+    fn folding_simplifies_mixed_logical_operands() {
+        // `1 and x` must coerce to truthy(x), `0 and x` to 0, etc.
+        let (_, p) = program("1 and x", &["x"]);
+        assert_eq!(p.eval_num(&[9]), Num::Int(1));
+        assert_eq!(p.eval_num(&[0]), Num::Int(0));
+        let (_, p) = program("0 and x", &["x"]);
+        assert!(p.is_const());
+        let (_, p) = program("x or 1", &["x"]);
+        assert_eq!(p.eval_num(&[0]), Num::Int(1));
+        let (_, p) = program("x or 0", &["x"]);
+        assert_eq!(p.eval_num(&[3]), Num::Int(1));
+        assert_eq!(p.eval_num(&[0]), Num::Int(0));
+    }
+
+    #[test]
+    fn gemm_style_restrictions_agree() {
+        let names = ["MWG", "NWG", "KWG", "MDIMC", "NDIMC", "VWM"];
+        let sources = [
+            "MWG % (MDIMC * VWM) == 0",
+            "KWG % ((MDIMC * NDIMC) / VWM) == 0",
+            "32 <= MDIMC * NDIMC <= 1024",
+            "not (MWG > 64 and NWG > 64) or KWG == 32",
+        ];
+        let configs = [
+            [64i64, 64, 32, 16, 16, 2],
+            [128, 32, 16, 8, 32, 8],
+            [16, 16, 32, 8, 8, 1],
+            [128, 128, 32, 32, 32, 4],
+        ];
+        for src in sources {
+            for cfg in &configs {
+                assert_agree(src, &names, cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn deep_stacks_fall_back_to_heap() {
+        // 40 *right*-nested additions push 41 operands before any reduction,
+        // exceeding the inline stack buffer.
+        let mut src = String::from("x");
+        for _ in 0..40 {
+            src = format!("(x + {src})");
+        }
+        let src = format!("{src} == 41");
+        let (tree, p) = program(&src, &["x"]);
+        assert!(p.max_stack > INLINE_STACK, "max_stack {}", p.max_stack);
+        assert_eq!(p.eval_bool(&[1]), tree.eval_bool(&[1]));
+        assert!(p.eval_bool(&[1]));
+    }
+}

@@ -64,15 +64,73 @@ impl Neighborhood {
     }
 
     /// Neighbours of `index` that satisfy the restriction set.
+    ///
+    /// A neighbour differs from `index` in exactly one slot, so only the
+    /// restrictions *touching* that slot can change verdict: the base
+    /// configuration is decoded and evaluated once, and each candidate then
+    /// patches a single value and re-checks just the touching restrictions
+    /// — instead of fully decoding and re-validating every neighbour.
     pub fn valid_neighbor_indices(self, space: &ConfigSpace, index: u64) -> Vec<u64> {
+        debug_assert!(index < space.cardinality());
+        let engine = space.engine();
+        if engine.always_false {
+            return Vec::new();
+        }
         let mut scratch = vec![0i64; space.num_params()];
-        let mut out = Vec::new();
-        self.for_each_neighbor(space, index, |n| {
-            space.decode_into(n, &mut scratch);
-            if space.is_valid(&scratch) {
-                out.push(n);
+        space.decode_into(index, &mut scratch);
+        // Verdict of every active restriction on the base configuration.
+        let mut base_ok = vec![true; engine.programs.len()];
+        let mut total_false = 0usize;
+        for &ri in &engine.active {
+            if !engine.programs[ri].eval_bool(&scratch) {
+                base_ok[ri] = false;
+                total_false += 1;
             }
-        });
+        }
+        let mut out = Vec::new();
+        let mut rem = index;
+        for (i, p) in space.params().iter().enumerate() {
+            let stride = space.stride(i);
+            let pos = (rem / stride) as usize;
+            rem %= stride;
+            let touching = &engine.touching[i];
+            // Restrictions not touching slot i keep their base verdict, so
+            // every failing one must touch slot i or no neighbour along this
+            // slot can be valid.
+            let false_touching = touching.iter().filter(|&&ri| !base_ok[ri]).count();
+            if false_touching != total_false {
+                continue;
+            }
+            let base = index - (pos as u64) * stride;
+            let old = scratch[i];
+            let try_alt = |alt: usize, scratch: &mut [i64], out: &mut Vec<u64>| {
+                scratch[i] = p.values[alt];
+                if touching
+                    .iter()
+                    .all(|&ri| engine.programs[ri].eval_bool(scratch))
+                {
+                    out.push(base + (alt as u64) * stride);
+                }
+            };
+            match self {
+                Neighborhood::HammingAny => {
+                    for alt in 0..p.len() {
+                        if alt != pos {
+                            try_alt(alt, &mut scratch, &mut out);
+                        }
+                    }
+                }
+                Neighborhood::Adjacent => {
+                    if pos > 0 {
+                        try_alt(pos - 1, &mut scratch, &mut out);
+                    }
+                    if pos + 1 < p.len() {
+                        try_alt(pos + 1, &mut scratch, &mut out);
+                    }
+                }
+            }
+            scratch[i] = old;
+        }
         out
     }
 
@@ -157,5 +215,35 @@ mod tests {
         assert_eq!(valid.len(), 4);
         let all = Neighborhood::HammingAny.neighbor_indices(&s, idx);
         assert_eq!(all.len(), 4); // (8,2) would be from (8,1)? no: from (4,1) only one b-neighbor
+    }
+
+    /// The single-slot patching fast path must agree with the naive
+    /// decode-and-revalidate baseline from every starting index — valid or
+    /// not — including restrictions spanning several parameters.
+    #[test]
+    fn valid_neighbors_match_naive_baseline_everywhere() {
+        let s = ConfigSpace::builder()
+            .param(Param::new("a", vec![1, 2, 4, 8]))
+            .param(Param::new("b", vec![1, 2, 3]))
+            .param(Param::new("c", vec![0, 1]))
+            .restrict("a * b <= 12")
+            .restrict("b != 2 or c == 1")
+            .build()
+            .unwrap();
+        let mut scratch = vec![0i64; s.num_params()];
+        for nb in [Neighborhood::HammingAny, Neighborhood::Adjacent] {
+            for idx in 0..s.cardinality() {
+                let naive: Vec<u64> = nb
+                    .neighbor_indices(&s, idx)
+                    .into_iter()
+                    .filter(|&n| s.is_valid_index_into(n, &mut scratch))
+                    .collect();
+                assert_eq!(
+                    nb.valid_neighbor_indices(&s, idx),
+                    naive,
+                    "index {idx} ({nb:?})"
+                );
+            }
+        }
     }
 }

@@ -40,7 +40,10 @@ impl Param {
     /// Powers of two from `lo` to `hi` inclusive (both must be powers of two).
     pub fn pow2(name: impl Into<String>, lo: i64, hi: i64) -> Self {
         assert!(lo > 0 && hi >= lo, "invalid pow2 range");
-        assert!(lo.count_ones() == 1 && hi.count_ones() == 1, "bounds must be powers of two");
+        assert!(
+            lo.count_ones() == 1 && hi.count_ones() == 1,
+            "bounds must be powers of two"
+        );
         let mut values = Vec::new();
         let mut v = lo;
         while v <= hi {
@@ -58,7 +61,10 @@ impl Param {
 
     /// Multiples of `step` from `lo` to `hi` inclusive.
     pub fn multiples(name: impl Into<String>, step: i64, lo: i64, hi: i64) -> Self {
-        assert!(step > 0 && lo % step == 0 && hi >= lo, "invalid multiples range");
+        assert!(
+            step > 0 && lo % step == 0 && hi >= lo,
+            "invalid multiples range"
+        );
         let mut values = Vec::new();
         let mut v = lo;
         while v <= hi {

@@ -1,12 +1,13 @@
 //! Configuration spaces: the cartesian product of parameters plus a
-//! restriction set, with a mixed-radix index bijection.
+//! restriction set, with a mixed-radix index bijection and a prefix-pruned
+//! enumeration engine.
 
 use std::fmt;
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::expr::{parse, CompiledExpr, EvalError, ParseError};
+use crate::expr::{parse, CompiledExpr, EvalError, ParseError, Program};
 use crate::param::Param;
 
 /// A parsed restriction together with its source text.
@@ -58,6 +59,100 @@ impl fmt::Display for SpaceError {
 
 impl std::error::Error for SpaceError {}
 
+/// Precomputed evaluation/enumeration state derived from the restriction
+/// set at build time.
+///
+/// Every restriction is constant-folded and compiled to a flat bytecode
+/// [`Program`]. Restrictions that fold to a constant are taken out of the
+/// per-configuration hot path entirely: always-true ones are dropped,
+/// always-false ones collapse the whole space. The remaining *active*
+/// restrictions are bucketed by the highest parameter slot they read, which
+/// is what lets the counters/enumerators evaluate each restriction at the
+/// shallowest possible depth of the odometer walk and prune whole subtrees.
+#[derive(Debug, Clone)]
+pub(crate) struct EnumEngine {
+    /// Bytecode per restriction (parallel to `ConfigSpace::restrictions`).
+    pub(crate) programs: Vec<Program>,
+    /// Slots read by each restriction *after folding* (sorted, deduped).
+    pub(crate) slots_of: Vec<Vec<usize>>,
+    /// Indices of restrictions that did not fold to a constant.
+    pub(crate) active: Vec<usize>,
+    /// True when some restriction folded to constant false.
+    pub(crate) always_false: bool,
+    /// Per slot: is it read by any active restriction?
+    pub(crate) touched: Vec<bool>,
+    /// Touched slots, ascending.
+    pub(crate) constrained_slots: Vec<usize>,
+    /// Per slot: active restrictions whose *highest* slot is this one
+    /// (checkable as soon as the slot is assigned in an ascending walk).
+    pub(crate) bucket_of_slot: Vec<Vec<usize>>,
+    /// Per slot: active restrictions reading it (for single-slot patches).
+    pub(crate) touching: Vec<Vec<usize>>,
+    /// Product of the radices of untouched slots.
+    pub(crate) free_mult: u64,
+    /// Highest touched slot, if any restriction is active.
+    pub(crate) last_slot: Option<usize>,
+}
+
+impl EnumEngine {
+    fn build(params: &[Param], restrictions: &[Restriction]) -> EnumEngine {
+        let n = params.len();
+        let mut programs = Vec::with_capacity(restrictions.len());
+        let mut slots_of = Vec::with_capacity(restrictions.len());
+        let mut active = Vec::new();
+        let mut always_false = false;
+        for (ri, r) in restrictions.iter().enumerate() {
+            let folded = crate::expr::fold(&r.compiled);
+            let program = Program::compile_prefolded(&folded);
+            match program.const_value() {
+                Some(c) => {
+                    if !c.truthy() {
+                        always_false = true;
+                    }
+                    // Constant restrictions never reach the hot path.
+                    slots_of.push(Vec::new());
+                }
+                None => {
+                    slots_of.push(folded.slots());
+                    active.push(ri);
+                }
+            }
+            programs.push(program);
+        }
+        let mut touched = vec![false; n];
+        let mut bucket_of_slot: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut touching: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &ri in &active {
+            for &s in &slots_of[ri] {
+                touched[s] = true;
+                touching[s].push(ri);
+            }
+            let last = *slots_of[ri]
+                .last()
+                .expect("active restriction reads a slot");
+            bucket_of_slot[last].push(ri);
+        }
+        let constrained_slots: Vec<usize> = (0..n).filter(|&s| touched[s]).collect();
+        let free_mult = (0..n)
+            .filter(|&s| !touched[s])
+            .map(|s| params[s].len() as u64)
+            .product();
+        let last_slot = constrained_slots.last().copied();
+        EnumEngine {
+            programs,
+            slots_of,
+            active,
+            always_false,
+            touched,
+            constrained_slots,
+            bucket_of_slot,
+            touching,
+            free_mult,
+            last_slot,
+        }
+    }
+}
+
 /// A discrete configuration space: parameters × restrictions.
 ///
 /// Configurations are identified either by their value vector (`&[i64]`,
@@ -72,6 +167,7 @@ pub struct ConfigSpace {
     /// Mixed-radix strides: `strides[i]` = product of radices of params after i.
     strides: Vec<u64>,
     cardinality: u64,
+    engine: EnumEngine,
 }
 
 impl ConfigSpace {
@@ -107,6 +203,13 @@ impl ConfigSpace {
     #[inline]
     pub fn restrictions(&self) -> &[Restriction] {
         &self.restrictions
+    }
+
+    /// The derived evaluation/enumeration state (crate-internal: the
+    /// neighbourhood code patches single slots against it).
+    #[inline]
+    pub(crate) fn engine(&self) -> &EnumEngine {
+        &self.engine
     }
 
     /// Total number of configurations in the unrestricted cartesian product
@@ -152,16 +255,30 @@ impl ConfigSpace {
     /// Evaluate the restriction set on a configuration.
     #[inline]
     pub fn is_valid(&self, config: &[i64]) -> bool {
-        self.restrictions
-            .iter()
-            .all(|r| r.compiled.eval_bool(config))
+        !self.engine.always_false
+            && self
+                .engine
+                .active
+                .iter()
+                .all(|&ri| self.engine.programs[ri].eval_bool(config))
     }
 
     /// Like [`ConfigSpace::is_valid`] but for a dense index.
+    ///
+    /// Allocates a scratch configuration; inside loops prefer
+    /// [`ConfigSpace::is_valid_index_into`].
     pub fn is_valid_index(&self, index: u64) -> bool {
         let mut scratch = vec![0; self.params.len()];
-        self.decode_into(index, &mut scratch);
-        self.is_valid(&scratch)
+        self.is_valid_index_into(index, &mut scratch)
+    }
+
+    /// Like [`ConfigSpace::is_valid_index`] but decoding into a caller-
+    /// provided scratch buffer (`scratch.len()` must equal the number of
+    /// parameters), so repeated checks perform no allocation.
+    #[inline]
+    pub fn is_valid_index_into(&self, index: u64, scratch: &mut [i64]) -> bool {
+        self.decode_into(index, scratch);
+        self.is_valid(scratch)
     }
 
     /// Iterate over all configurations (restricted or not) in index order.
@@ -173,10 +290,34 @@ impl ConfigSpace {
         }
     }
 
-    /// Count configurations satisfying the restriction set, by brute force,
-    /// in parallel. Exact, but O(cardinality).
+    /// Count configurations satisfying the restriction set, exactly, by a
+    /// prefix-pruned odometer walk: parameters are visited in slot order and
+    /// every restriction is evaluated as soon as its highest slot is
+    /// assigned, so one failed check skips every completion of that prefix
+    /// at once, and parameters no restriction reads are never enumerated at
+    /// all (they contribute a multiplier). Restriction-free spaces return
+    /// [`ConfigSpace::cardinality`] directly.
     pub fn count_valid(&self) -> u64 {
-        if self.restrictions.is_empty() {
+        if self.engine.always_false {
+            return 0;
+        }
+        if self.engine.active.is_empty() {
+            return self.cardinality;
+        }
+        let slots = self.engine.constrained_slots.clone();
+        let buckets: Vec<Vec<usize>> = slots
+            .iter()
+            .map(|&s| self.engine.bucket_of_slot[s].clone())
+            .collect();
+        self.pruned_count_over(&slots, &buckets) * self.engine.free_mult
+    }
+
+    /// Count valid configurations by exhaustive parallel brute force over
+    /// the full cartesian product — O(cardinality). Kept as the reference
+    /// implementation the pruned [`ConfigSpace::count_valid`] is verified
+    /// (and benchmarked) against.
+    pub fn count_valid_brute(&self) -> u64 {
+        if self.engine.active.is_empty() && !self.engine.always_false {
             return self.cardinality;
         }
         const CHUNK: u64 = 1 << 16;
@@ -189,8 +330,7 @@ impl ConfigSpace {
                 let mut scratch = vec![0i64; self.params.len()];
                 let mut count = 0u64;
                 for idx in start..end {
-                    self.decode_into(idx, &mut scratch);
-                    if self.is_valid(&scratch) {
+                    if self.is_valid_index_into(idx, &mut scratch) {
                         count += 1;
                     }
                 }
@@ -199,34 +339,104 @@ impl ConfigSpace {
             .sum()
     }
 
+    /// Minimum number of independent work items to aim for before handing
+    /// the remaining subtrees to the parallel iterator (the first slot's
+    /// radix alone is often just 2–4, which would starve a multicore host).
+    const MIN_PARALLEL_TASKS: usize = 64;
+
+    /// Count assignments of `slots` (ascending) satisfying the restrictions
+    /// in `buckets` (parallel to `slots`; each bucket holds the restriction
+    /// indices to check once that slot is assigned), with a pruned DFS.
+    /// The leading slots are expanded — with pruning — into concrete prefix
+    /// assignments until there are enough surviving prefixes to spread over
+    /// all cores; each prefix then runs a sequential pruned DFS.
+    fn pruned_count_over(&self, slots: &[usize], buckets: &[Vec<usize>]) -> u64 {
+        if slots.is_empty() {
+            return 1;
+        }
+        let init: Vec<i64> = self.params.iter().map(|p| p.values[0]).collect();
+        let mut prefixes: Vec<Vec<i64>> = vec![init];
+        let mut depth = 0;
+        while depth < slots.len() && prefixes.len() < Self::MIN_PARALLEL_TASKS {
+            let s = slots[depth];
+            let mut next = Vec::with_capacity(prefixes.len() * self.params[s].len());
+            for prefix in &prefixes {
+                for &v in &self.params[s].values {
+                    let mut scratch = prefix.clone();
+                    scratch[s] = v;
+                    if self.bucket_ok(&buckets[depth], &scratch) {
+                        next.push(scratch);
+                    }
+                }
+            }
+            prefixes = next;
+            depth += 1;
+            if prefixes.is_empty() {
+                return 0;
+            }
+        }
+        prefixes
+            .into_par_iter()
+            .map(|mut scratch| self.count_dfs(depth, slots, buckets, &mut scratch))
+            .sum()
+    }
+
+    #[inline]
+    fn bucket_ok(&self, bucket: &[usize], scratch: &[i64]) -> bool {
+        bucket
+            .iter()
+            .all(|&ri| self.engine.programs[ri].eval_bool(scratch))
+    }
+
+    fn count_dfs(
+        &self,
+        depth: usize,
+        slots: &[usize],
+        buckets: &[Vec<usize>],
+        scratch: &mut [i64],
+    ) -> u64 {
+        if depth == slots.len() {
+            return 1;
+        }
+        let s = slots[depth];
+        let mut total = 0;
+        for &v in &self.params[s].values {
+            scratch[s] = v;
+            if self.bucket_ok(&buckets[depth], scratch) {
+                total += self.count_dfs(depth + 1, slots, buckets, scratch);
+            }
+        }
+        total
+    }
+
     /// Count valid configurations by factoring the space into connected
     /// components of the restriction/parameter graph and multiplying the
-    /// per-component counts. Exact and usually orders of magnitude faster
-    /// than [`ConfigSpace::count_valid`] (e.g. the 1.2×10⁸-point
-    /// Dedispersion space factors into small groups).
+    /// per-component counts (each component counted with the same pruned
+    /// DFS as [`ConfigSpace::count_valid`]). Exact; asymptotically the
+    /// fastest counter when restrictions decompose into small groups (e.g.
+    /// the 1.2×10⁸-point Dedispersion space).
     pub fn count_valid_factored(&self) -> u64 {
-        if self.restrictions.is_empty() {
+        if self.engine.always_false {
+            return 0;
+        }
+        if self.engine.active.is_empty() {
             return self.cardinality;
         }
         let components = self.constraint_components();
         let mut total: u128 = 1;
-        let mut constrained: Vec<bool> = vec![false; self.params.len()];
         for comp in &components {
-            for &p in &comp.params {
-                constrained[p] = true;
-            }
             total *= u128::from(self.count_component(comp));
         }
         for (i, p) in self.params.iter().enumerate() {
-            if !constrained[i] {
+            if !self.engine.touched[i] {
                 total *= p.len() as u128;
             }
         }
         u64::try_from(total).expect("valid count exceeds u64")
     }
 
-    /// Group restrictions into connected components over the parameters they
-    /// touch.
+    /// Group the active restrictions into connected components over the
+    /// parameters they read.
     fn constraint_components(&self) -> Vec<Component> {
         // Union-find over parameter slots.
         let n = self.params.len();
@@ -238,12 +448,8 @@ impl ConfigSpace {
             }
             x
         }
-        let slot_sets: Vec<Vec<usize>> = self
-            .restrictions
-            .iter()
-            .map(|r| r.compiled.slots())
-            .collect();
-        for slots in &slot_sets {
+        for &ri in &self.engine.active {
+            let slots = &self.engine.slots_of[ri];
             if let Some(&first) = slots.first() {
                 for &s in &slots[1..] {
                     let (a, b) = (find(&mut parent, first), find(&mut parent, s));
@@ -257,16 +463,8 @@ impl ConfigSpace {
         let mut comps: Vec<Component> = Vec::new();
         let mut root_to_comp: std::collections::HashMap<usize, usize> =
             std::collections::HashMap::new();
-        for (ri, slots) in slot_sets.iter().enumerate() {
-            if slots.is_empty() {
-                // A constant restriction applies globally; treat as its own
-                // component over zero params (evaluates once).
-                comps.push(Component {
-                    params: Vec::new(),
-                    restrictions: vec![ri],
-                });
-                continue;
-            }
+        for &ri in &self.engine.active {
+            let slots = &self.engine.slots_of[ri];
             let root = find(&mut parent, slots[0]);
             let ci = *root_to_comp.entry(root).or_insert_with(|| {
                 comps.push(Component {
@@ -289,63 +487,67 @@ impl ConfigSpace {
     }
 
     /// Count assignments of a component's parameters satisfying its
-    /// restrictions (other parameters held at their first value — they are
-    /// never read by these restrictions).
+    /// restrictions, with the pruned DFS (other parameters held at their
+    /// first value — they are never read by these restrictions).
     fn count_component(&self, comp: &Component) -> u64 {
-        let mut scratch: Vec<i64> = self.params.iter().map(|p| p.values[0]).collect();
-        if comp.params.is_empty() {
-            let ok = comp
-                .restrictions
-                .iter()
-                .all(|&ri| self.restrictions[ri].compiled.eval_bool(&scratch));
-            return u64::from(ok);
-        }
-        let radices: Vec<usize> = comp.params.iter().map(|&p| self.params[p].len()).collect();
-        let total: u64 = radices.iter().map(|&r| r as u64).product();
-        let mut count = 0u64;
-        let mut digits = vec![0usize; comp.params.len()];
-        for _ in 0..total {
-            for (d, &p) in digits.iter().zip(&comp.params) {
-                scratch[p] = self.params[p].values[*d];
-            }
-            if comp
-                .restrictions
-                .iter()
-                .all(|&ri| self.restrictions[ri].compiled.eval_bool(&scratch))
-            {
-                count += 1;
-            }
-            // Increment mixed-radix digits.
-            for i in (0..digits.len()).rev() {
-                digits[i] += 1;
-                if digits[i] < radices[i] {
-                    break;
-                }
-                digits[i] = 0;
-            }
-        }
-        count
+        let mut slots = comp.params.clone();
+        slots.sort_unstable();
+        let buckets: Vec<Vec<usize>> = slots
+            .iter()
+            .map(|&s| {
+                comp.restrictions
+                    .iter()
+                    .copied()
+                    .filter(|&ri| *self.engine.slots_of[ri].last().expect("active") == s)
+                    .collect()
+            })
+            .collect();
+        self.pruned_count_over(&slots, &buckets)
     }
 
-    /// Enumerate the dense indices of all valid configurations, in parallel.
-    /// Intended for spaces small enough to exhaust (the paper exhausts
-    /// Pnpoly, Nbody, GEMM and Convolution).
+    /// Enumerate the dense indices of all valid configurations, in
+    /// ascending order, with the same prefix-pruned walk as
+    /// [`ConfigSpace::count_valid`]: once every restriction has been
+    /// checked, the whole remaining subtree is appended as one contiguous
+    /// index range. Intended for spaces small enough to exhaust (the paper
+    /// exhausts Pnpoly, Nbody, GEMM and Convolution).
     pub fn valid_indices(&self) -> Vec<u64> {
-        const CHUNK: u64 = 1 << 14;
-        let n_chunks = self.cardinality.div_ceil(CHUNK);
-        let mut chunks: Vec<Vec<u64>> = (0..n_chunks)
-            .into_par_iter()
-            .map(|c| {
-                let start = c * CHUNK;
-                let end = (start + CHUNK).min(self.cardinality);
-                let mut scratch = vec![0i64; self.params.len()];
-                let mut out = Vec::new();
-                for idx in start..end {
-                    self.decode_into(idx, &mut scratch);
-                    if self.is_valid(&scratch) {
-                        out.push(idx);
+        if self.engine.always_false {
+            return Vec::new();
+        }
+        let Some(last) = self.engine.last_slot else {
+            // Restriction-free: every index is valid.
+            return (0..self.cardinality).collect();
+        };
+        // Expand leading slots — with pruning — into (assignment, base
+        // index) prefixes until there is enough independent work to spread
+        // over all cores. Prefixes are generated in lexicographic position
+        // order, so concatenating their outputs preserves ascending order.
+        let init: Vec<i64> = self.params.iter().map(|p| p.values[0]).collect();
+        let mut prefixes: Vec<(Vec<i64>, u64)> = vec![(init, 0)];
+        let mut slot = 0;
+        while slot <= last && prefixes.len() < Self::MIN_PARALLEL_TASKS {
+            let mut next = Vec::with_capacity(prefixes.len() * self.params[slot].len());
+            for (prefix, base) in &prefixes {
+                for (pos, &v) in self.params[slot].values.iter().enumerate() {
+                    let mut scratch = prefix.clone();
+                    scratch[slot] = v;
+                    if self.bucket_ok(&self.engine.bucket_of_slot[slot], &scratch) {
+                        next.push((scratch, base + pos as u64 * self.strides[slot]));
                     }
                 }
+            }
+            prefixes = next;
+            slot += 1;
+            if prefixes.is_empty() {
+                return Vec::new();
+            }
+        }
+        let mut chunks: Vec<Vec<u64>> = prefixes
+            .into_par_iter()
+            .map(|(mut scratch, base)| {
+                let mut out = Vec::new();
+                self.enum_dfs(slot, base, last, &mut scratch, &mut out);
                 out
             })
             .collect();
@@ -355,6 +557,29 @@ impl ConfigSpace {
             out.append(c);
         }
         out
+    }
+
+    fn enum_dfs(
+        &self,
+        slot: usize,
+        base: u64,
+        last: usize,
+        scratch: &mut [i64],
+        out: &mut Vec<u64>,
+    ) {
+        if slot > last {
+            // Every restriction is checked; the remaining slots are free, and
+            // their completions form one contiguous index range.
+            out.extend(base..base + self.strides[last]);
+            return;
+        }
+        for (pos, &v) in self.params[slot].values.iter().enumerate() {
+            scratch[slot] = v;
+            let b = base + pos as u64 * self.strides[slot];
+            if self.bucket_ok(&self.engine.bucket_of_slot[slot], scratch) {
+                self.enum_dfs(slot + 1, b, last, scratch, out);
+            }
+        }
     }
 
     /// Radix (value count) of each parameter.
@@ -469,12 +694,14 @@ impl ConfigSpaceBuilder {
                 .checked_mul(self.params[i].len() as u64)
                 .expect("space cardinality exceeds u64");
         }
+        let engine = EnumEngine::build(&self.params, &restrictions);
         Ok(ConfigSpace {
             params: self.params,
             names,
             restrictions,
             strides,
             cardinality: acc,
+            engine,
         })
     }
 }
@@ -558,6 +785,7 @@ mod tests {
         let s = small_space();
         // valid (a,b): (1,1),(1,2),(2,1),(2,2),(4,1) = 5; times c (2) = 10
         assert_eq!(s.count_valid(), 10);
+        assert_eq!(s.count_valid_brute(), 10);
         assert_eq!(s.count_valid_factored(), 10);
     }
 
@@ -574,6 +802,7 @@ mod tests {
             .unwrap();
         // (a>=b): 6 of 9; (c!=2): 2 of 3; d free: 3 -> 6*2*3 = 36
         assert_eq!(s.count_valid(), 36);
+        assert_eq!(s.count_valid_brute(), 36);
         assert_eq!(s.count_valid_factored(), 36);
     }
 
@@ -584,6 +813,70 @@ mod tests {
         assert_eq!(v.len(), 10);
         assert!(v.windows(2).all(|w| w[0] < w[1]));
         assert!(v.iter().all(|&i| s.is_valid_index(i)));
+    }
+
+    #[test]
+    fn valid_indices_match_brute_force_on_mixed_buckets() {
+        // Restrictions attach to different highest slots, including one on
+        // the first slot and one spanning first and last.
+        let s = ConfigSpace::builder()
+            .param(Param::new("a", vec![1, 2, 3, 4]))
+            .param(Param::new("b", vec![0, 1, 2]))
+            .param(Param::new("c", vec![1, 2]))
+            .param(Param::new("d", vec![0, 1, 2]))
+            .restrict("a != 3")
+            .restrict("a + b <= 4")
+            .restrict("a * d != 4")
+            .build()
+            .unwrap();
+        let brute: Vec<u64> = (0..s.cardinality())
+            .filter(|&i| s.is_valid_index(i))
+            .collect();
+        assert_eq!(s.valid_indices(), brute);
+        assert_eq!(s.count_valid(), brute.len() as u64);
+        assert_eq!(s.count_valid_brute(), brute.len() as u64);
+        assert_eq!(s.count_valid_factored(), brute.len() as u64);
+    }
+
+    #[test]
+    fn trivial_restrictions_are_folded_out() {
+        let s = ConfigSpace::builder()
+            .param(Param::new("a", vec![1, 2, 3]))
+            .param(Param::new("b", vec![1, 2]))
+            .restrict("1 + 1 == 2") // always true: dropped from the hot path
+            .restrict("a >= 1 or b >= 100") // also always true, but not constant
+            .build()
+            .unwrap();
+        assert_eq!(s.engine().active.len(), 1);
+        assert_eq!(s.restrictions().len(), 2, "sources are preserved");
+        assert_eq!(s.count_valid(), 6);
+        assert_eq!(s.count_valid_brute(), 6);
+    }
+
+    #[test]
+    fn always_false_restriction_empties_the_space() {
+        let s = ConfigSpace::builder()
+            .param(Param::new("a", vec![1, 2, 3]))
+            .restrict("1 == 2")
+            .build()
+            .unwrap();
+        assert_eq!(s.count_valid(), 0);
+        assert_eq!(s.count_valid_brute(), 0);
+        assert_eq!(s.count_valid_factored(), 0);
+        assert!(s.valid_indices().is_empty());
+        assert!(!s.is_valid(&[1]));
+    }
+
+    #[test]
+    fn scratch_validity_variant_agrees() {
+        let s = small_space();
+        let mut scratch = vec![0i64; s.num_params()];
+        for idx in 0..s.cardinality() {
+            assert_eq!(
+                s.is_valid_index(idx),
+                s.is_valid_index_into(idx, &mut scratch)
+            );
+        }
     }
 
     #[test]

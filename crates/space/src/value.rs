@@ -114,7 +114,11 @@ impl Num {
             (Num::Int(_), Num::Int(0)) => Num::Float(f64::NAN),
             (Num::Int(a), Num::Int(b)) => {
                 let r = a % b;
-                Num::Int(if r != 0 && (r < 0) != (b < 0) { r + b } else { r })
+                Num::Int(if r != 0 && (r < 0) != (b < 0) {
+                    r + b
+                } else {
+                    r
+                })
             }
             (a, b) => {
                 let (x, y) = (a.as_f64(), b.as_f64());
@@ -122,7 +126,11 @@ impl Num {
                     Num::Float(f64::NAN)
                 } else {
                     let r = x % y;
-                    Num::Float(if r != 0.0 && (r < 0.0) != (y < 0.0) { r + y } else { r })
+                    Num::Float(if r != 0.0 && (r < 0.0) != (y < 0.0) {
+                        r + y
+                    } else {
+                        r
+                    })
                 }
             }
         }
@@ -220,7 +228,13 @@ mod tests {
 
     #[test]
     fn division_by_zero_is_nan_and_never_equal() {
-        let r = Num::Int(32).rem(Num::Int(10).div(Num::Int(0)).as_i64().map(Num::Int).unwrap_or(Num::Float(f64::NAN)));
+        let r = Num::Int(32).rem(
+            Num::Int(10)
+                .div(Num::Int(0))
+                .as_i64()
+                .map(Num::Int)
+                .unwrap_or(Num::Float(f64::NAN)),
+        );
         assert!(!r.eq_num(Num::Int(0)));
         assert!(!Num::Int(1).div(Num::Int(0)).eq_num(Num::Float(f64::NAN)));
     }
@@ -234,7 +248,9 @@ mod tests {
     #[test]
     fn pow_integer_fast_path() {
         assert_eq!(Num::Int(2).pow(Num::Int(10)), Num::Int(1024));
-        assert!(Num::Int(2).pow(Num::Float(0.5)).eq_num(Num::Float(2f64.sqrt())));
+        assert!(Num::Int(2)
+            .pow(Num::Float(0.5))
+            .eq_num(Num::Float(2f64.sqrt())));
     }
 
     #[test]

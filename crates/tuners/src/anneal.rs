@@ -202,9 +202,8 @@ mod tests {
     use bat_core::{Evaluator, Protocol, SyntheticProblem};
     use bat_space::{ConfigSpace, Param};
 
-    fn multimodal() -> SyntheticProblem<
-        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
-    > {
+    fn multimodal(
+    ) -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync> {
         // Two basins: a shallow one near (3,3) and the global one at (12,12).
         let space = ConfigSpace::builder()
             .param(Param::int_range("x", 0, 15))

@@ -177,10 +177,10 @@ impl Tuner for BayesianOptimization {
         // deduplicated against this set.
         let mut seen: HashSet<u64> = HashSet::new();
         let record = |run: &mut TuningRun,
-                          obs: &mut Observations,
-                          best_log: &mut f64,
-                          best_idx: &mut Option<u64>,
-                          idx: u64|
+                      obs: &mut Observations,
+                      best_log: &mut f64,
+                      best_idx: &mut Option<u64>,
+                      idx: u64|
          -> Option<()> {
             match record_eval(eval, run, idx) {
                 Recorded::Exhausted => None,
@@ -220,8 +220,8 @@ impl Tuner for BayesianOptimization {
             }
 
             let (tx, ty) = obs.training_set(self.max_observations, &mut rng);
-            let grid_due = hyper.is_none()
-                || obs.y.len() - obs_at_last_grid_fit >= self.hyper_refit_every;
+            let grid_due =
+                hyper.is_none() || obs.y.len() - obs_at_last_grid_fit >= self.hyper_refit_every;
             let params = if grid_due {
                 GpParams {
                     kernel: self.kernel,
@@ -263,9 +263,7 @@ impl Tuner for BayesianOptimization {
                     continue;
                 }
                 let p = gp.predict(&gp_features(space, idx));
-                let s = self
-                    .acquisition
-                    .score(p.mean, p.std_dev(), best_log);
+                let s = self.acquisition.score(p.mean, p.std_dev(), best_log);
                 if s > best_score {
                     best_score = s;
                     chosen = Some(idx);
@@ -289,9 +287,8 @@ mod tests {
     use bat_core::{Evaluator, Protocol, SyntheticProblem};
     use bat_space::{ConfigSpace, Param};
 
-    fn smooth_problem() -> SyntheticProblem<
-        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
-    > {
+    fn smooth_problem(
+    ) -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync> {
         let space = ConfigSpace::builder()
             .param(Param::new("a", vec![1, 2, 4, 8, 16, 32]))
             .param(Param::new("b", vec![1, 2, 4, 8, 16, 32]))

@@ -103,9 +103,8 @@ mod tests {
     use bat_core::{Evaluator, Protocol, SyntheticProblem};
     use bat_space::{ConfigSpace, Param};
 
-    fn problem() -> SyntheticProblem<
-        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
-    > {
+    fn problem(
+    ) -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync> {
         let space = ConfigSpace::builder()
             .param(Param::int_range("x", 0, 20))
             .param(Param::int_range("y", 0, 20))

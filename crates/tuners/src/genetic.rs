@@ -119,9 +119,8 @@ mod tests {
     use bat_core::{Evaluator, Protocol, SyntheticProblem};
     use bat_space::{ConfigSpace, Param};
 
-    fn problem() -> SyntheticProblem<
-        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
-    > {
+    fn problem(
+    ) -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync> {
         let space = ConfigSpace::builder()
             .param(Param::int_range("a", 0, 9))
             .param(Param::int_range("b", 0, 9))

@@ -92,7 +92,10 @@ mod tests {
 
     #[test]
     fn tuner_names_are_unique() {
-        let names: Vec<String> = default_tuners().iter().map(|t| t.name().to_string()).collect();
+        let names: Vec<String> = default_tuners()
+            .iter()
+            .map(|t| t.name().to_string())
+            .collect();
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();

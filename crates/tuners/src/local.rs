@@ -188,7 +188,10 @@ impl Tuner for IteratedLocalSearch {
                 Recorded::Failed => continue,
                 Recorded::Ok(v) => v,
             };
-            match self.inner.descend(eval, &mut run, &mut rng, candidate, cand_val) {
+            match self
+                .inner
+                .descend(eval, &mut run, &mut rng, candidate, cand_val)
+            {
                 None => break,
                 Some((idx, v)) => {
                     if v < home_val {
@@ -208,9 +211,8 @@ mod tests {
     use bat_core::{Evaluator, Protocol, SyntheticProblem};
     use bat_space::{ConfigSpace, Param};
 
-    fn convex_problem() -> SyntheticProblem<
-        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
-    > {
+    fn convex_problem(
+    ) -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync> {
         let space = ConfigSpace::builder()
             .param(Param::int_range("x", 0, 15))
             .param(Param::int_range("y", 0, 15))

@@ -124,9 +124,8 @@ mod tests {
     use bat_core::{Evaluator, Protocol, SyntheticProblem};
     use bat_space::{ConfigSpace, Param};
 
-    fn problem() -> SyntheticProblem<
-        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
-    > {
+    fn problem(
+    ) -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync> {
         let space = ConfigSpace::builder()
             .param(Param::int_range("x", 0, 20))
             .param(Param::int_range("y", 0, 20))
@@ -135,9 +134,8 @@ mod tests {
             .unwrap();
         SyntheticProblem::new("bowl3", "sim", space, |c| {
             Ok(1.0
-                + ((c[0] - 14) * (c[0] - 14)
-                    + (c[1] - 5) * (c[1] - 5)
-                    + (c[2] - 10) * (c[2] - 10)) as f64)
+                + ((c[0] - 14) * (c[0] - 14) + (c[1] - 5) * (c[1] - 5) + (c[2] - 10) * (c[2] - 10))
+                    as f64)
         })
     }
 

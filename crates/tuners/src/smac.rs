@@ -66,9 +66,9 @@ impl Tuner for SmacTuner {
         let mut obs_x: Vec<Vec<f64>> = Vec::new();
         let mut obs_y: Vec<f64> = Vec::new(); // log time
         let record = |run: &mut TuningRun,
-                          obs_x: &mut Vec<Vec<f64>>,
-                          obs_y: &mut Vec<f64>,
-                          idx: u64|
+                      obs_x: &mut Vec<Vec<f64>>,
+                      obs_y: &mut Vec<f64>,
+                      idx: u64|
          -> Option<()> {
             match record_eval(eval, run, idx) {
                 Recorded::Exhausted => None,
@@ -160,8 +160,7 @@ impl Tuner for SmacTuner {
                 if seen.contains(&idx) {
                     continue;
                 }
-                let features: Vec<f64> =
-                    space.config_at(idx).iter().map(|&x| x as f64).collect();
+                let features: Vec<f64> = space.config_at(idx).iter().map(|&x| x as f64).collect();
                 let p = model.predict(&features);
                 let s = acq.score(p.mean, p.std_dev(), best_log);
                 if s > best_score {
@@ -185,9 +184,8 @@ mod tests {
     use bat_core::{Evaluator, Protocol, SyntheticProblem};
     use bat_space::{ConfigSpace, Param};
 
-    fn rugged_problem() -> SyntheticProblem<
-        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
-    > {
+    fn rugged_problem(
+    ) -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync> {
         // Piecewise landscape with interactions: forests shine here.
         let space = ConfigSpace::builder()
             .param(Param::new("a", vec![1, 2, 4, 8, 16]))
@@ -198,7 +196,11 @@ mod tests {
             .unwrap();
         SyntheticProblem::new("rugged", "sim", space, |v| {
             let base = (v[0] as f64 * v[1] as f64 / 64.0 - 1.0).abs() + 0.2;
-            let c_term = if v[2] == 5 { 0.0 } else { 0.3 + v[2] as f64 * 0.05 };
+            let c_term = if v[2] == 5 {
+                0.0
+            } else {
+                0.3 + v[2] as f64 * 0.05
+            };
             let d_term = if v[3] == 1 { 0.0 } else { 0.4 };
             Ok(base + c_term + d_term)
         })

@@ -52,9 +52,9 @@ impl Tuner for SurrogateTuner {
         let mut obs_x: Vec<Vec<f64>> = Vec::new();
         let mut obs_y: Vec<f64> = Vec::new();
         let record = |run: &mut TuningRun,
-                          obs_x: &mut Vec<Vec<f64>>,
-                          obs_y: &mut Vec<f64>,
-                          idx: u64|
+                      obs_x: &mut Vec<Vec<f64>>,
+                      obs_y: &mut Vec<f64>,
+                      idx: u64|
          -> Option<()> {
             match record_eval(eval, run, idx) {
                 Recorded::Exhausted => None,
@@ -112,11 +112,7 @@ impl Tuner for SurrogateTuner {
             for _ in 0..self.pool {
                 let pos = ordinal::random_positions(space, &mut rng);
                 let idx = ordinal::index_of(space, &pos);
-                let features: Vec<f64> = space
-                    .config_at(idx)
-                    .iter()
-                    .map(|&x| x as f64)
-                    .collect();
+                let features: Vec<f64> = space.config_at(idx).iter().map(|&x| x as f64).collect();
                 let pred = m.predict(&features);
                 if pred < best_pred {
                     best_pred = pred;
@@ -139,9 +135,8 @@ mod tests {
     use bat_core::{Evaluator, Protocol, SyntheticProblem};
     use bat_space::{ConfigSpace, Param};
 
-    fn problem() -> SyntheticProblem<
-        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
-    > {
+    fn problem(
+    ) -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync> {
         // Smooth multiplicative landscape: surrogates excel here.
         let space = ConfigSpace::builder()
             .param(Param::new("a", vec![1, 2, 4, 8, 16, 32]))

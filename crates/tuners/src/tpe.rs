@@ -163,9 +163,9 @@ impl Tuner for Tpe {
         let mut observations: Vec<(Vec<usize>, f64)> = Vec::new();
         let mut worst_seen = f64::NEG_INFINITY;
         let record = |run: &mut TuningRun,
-                          observations: &mut Vec<(Vec<usize>, f64)>,
-                          worst_seen: &mut f64,
-                          idx: u64|
+                      observations: &mut Vec<(Vec<usize>, f64)>,
+                      worst_seen: &mut f64,
+                      idx: u64|
          -> Option<()> {
             let pos = ordinal::positions_of(space, idx);
             match record_eval(eval, run, idx) {
@@ -191,11 +191,12 @@ impl Tuner for Tpe {
         // Uniform draw, rejection-sampled against the static restrictions
         // when `respect_restrictions` (bounded attempts: heavily
         // constrained spaces fall back to an unfiltered draw).
-        let draw = |rng: &mut StdRng| -> u64 {
+        let mut draw_scratch = vec![0i64; space.num_params()];
+        let mut draw = |rng: &mut StdRng| -> u64 {
             if self.respect_restrictions {
                 for _ in 0..64 {
                     let idx = rng.random_range(0..card);
-                    if space.is_valid_index(idx) {
+                    if space.is_valid_index_into(idx, &mut draw_scratch) {
                         return idx;
                     }
                 }
@@ -263,9 +264,8 @@ mod tests {
     use bat_core::{Evaluator, Protocol, SyntheticProblem};
     use bat_space::{ConfigSpace, Param};
 
-    fn separable_problem() -> SyntheticProblem<
-        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
-    > {
+    fn separable_problem(
+    ) -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync> {
         // Separable: exactly TPE's modelling assumption (independent dims).
         // Large enough (20³ = 8000) that random search cannot keep up.
         let space = ConfigSpace::builder()
@@ -311,8 +311,7 @@ mod tests {
             .build()
             .unwrap();
         for n in [2usize, 3, 10, 100] {
-            let obs: Vec<(Vec<usize>, f64)> =
-                (0..n).map(|i| (vec![i % 4], i as f64)).collect();
+            let obs: Vec<(Vec<usize>, f64)> = (0..n).map(|i| (vec![i % 4], i as f64)).collect();
             let pair = ParzenPair::build(&space, &obs, 0.15, 1.0);
             // Both densities exist and are proper.
             assert!((pair.good[0].probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
@@ -354,7 +353,12 @@ mod tests {
         for seed in 0..8 {
             let e1 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(budget);
             let e2 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(budget);
-            let t = Tpe::default().tune(&e1, seed).best().unwrap().time_ms().unwrap();
+            let t = Tpe::default()
+                .tune(&e1, seed)
+                .best()
+                .unwrap()
+                .time_ms()
+                .unwrap();
             let r = crate::random::RandomSearch
                 .tune(&e2, seed)
                 .best()

@@ -69,9 +69,8 @@ mod tests {
     use bat_core::{Evaluator, Protocol, SyntheticProblem};
     use bat_space::{ConfigSpace, Param};
 
-    fn problem() -> SyntheticProblem<
-        impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync,
-    > {
+    fn problem(
+    ) -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, bat_core::EvalFailure> + Send + Sync> {
         let space = ConfigSpace::builder()
             .param(Param::int_range("x", 0, 31))
             .param(Param::int_range("y", 0, 31))
@@ -124,7 +123,12 @@ mod tests {
         let budget = 8;
         let cold = {
             let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(budget);
-            RandomSearch.tune(&eval, 3).best().unwrap().time_ms().unwrap()
+            RandomSearch
+                .tune(&eval, 3)
+                .best()
+                .unwrap()
+                .time_ms()
+                .unwrap()
         };
         let warm = {
             let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(budget);

@@ -63,8 +63,12 @@ fn main() {
     let fi = feature_importance(problem.space(), &landscape, &default_gbdt_params(), 3, 0)
         .expect("landscape is non-empty");
     println!("\nfeature importance (GBDT R² = {:.4}):", fi.r2);
-    let mut ranked: Vec<(&String, &f64)> =
-        fi.pfi.feature_names.iter().zip(&fi.pfi.importances).collect();
+    let mut ranked: Vec<(&String, &f64)> = fi
+        .pfi
+        .feature_names
+        .iter()
+        .zip(&fi.pfi.importances)
+        .collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap());
     for (name, imp) in ranked {
         println!("    {name:<18} {imp:.3}");

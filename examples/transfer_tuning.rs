@@ -65,8 +65,8 @@ fn main() {
         let median = |warm: bool| -> f64 {
             let mut bests: Vec<f64> = (0..9)
                 .map(|seed| {
-                    let eval = Evaluator::with_protocol(&target, Protocol::default())
-                        .with_budget(budget);
+                    let eval =
+                        Evaluator::with_protocol(&target, Protocol::default()).with_budget(budget);
                     let run = if warm {
                         WarmStartTuner::new(seeds.clone(), RandomSearch).tune(&eval, seed)
                     } else {

@@ -46,8 +46,8 @@ pub use bat_tuners as tuners;
 pub mod prelude {
     pub use bat_analysis::{
         aggregate_ranks, compare_tuners, max_speedup_over_median, portability_matrix,
-        proportion_of_centrality, random_search_convergence, ComparisonSettings,
-        FitnessFlowGraph, Landscape, OnlinePolicy, OnlineSimulation, PerformanceDistribution,
+        proportion_of_centrality, random_search_convergence, ComparisonSettings, FitnessFlowGraph,
+        Landscape, OnlinePolicy, OnlineSimulation, PerformanceDistribution,
     };
     pub use bat_core::{EvalFailure, Evaluator, Measurement, Protocol, TuningProblem, TuningRun};
     pub use bat_gpusim::{GpuArch, KernelModel, LaunchError};

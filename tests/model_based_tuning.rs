@@ -15,8 +15,7 @@ fn model_based_tuners_run_on_real_kernels_within_budget() {
             Box::new(Tpe::default()),
             Box::new(SmacTuner::default()),
         ] {
-            let evaluator =
-                Evaluator::with_protocol(&problem, Protocol::default()).with_budget(50);
+            let evaluator = Evaluator::with_protocol(&problem, Protocol::default()).with_budget(50);
             let run = tuner.tune(&evaluator, 3);
             assert_eq!(run.trials.len(), 50, "{name}/{}", tuner.name());
             assert!(
@@ -72,14 +71,16 @@ fn tpe_restriction_filtering_pays_off_on_gemm() {
     // static filtering (what Optuna/Kernel Tuner actually do) must not
     // be worse than thrashing through restricted draws.
     let problem = bat::kernels::benchmark("gemm", GpuArch::rtx_3090()).unwrap();
+    // 15 seeds: the 5-seed median is noisy enough to flip on an unlucky
+    // RNG stream even though filtering genuinely helps.
     let median_best = |tuner: &Tpe| -> f64 {
-        let mut bests: Vec<f64> = (0..5)
+        let mut bests: Vec<f64> = (0..15)
             .map(|seed| {
-                let eval =
-                    Evaluator::with_protocol(&problem, Protocol::default()).with_budget(80);
-                tuner.tune(&eval, seed).best().map_or(f64::INFINITY, |b| {
-                    b.time_ms().unwrap()
-                })
+                let eval = Evaluator::with_protocol(&problem, Protocol::default()).with_budget(80);
+                tuner
+                    .tune(&eval, seed)
+                    .best()
+                    .map_or(f64::INFINITY, |b| b.time_ms().unwrap())
             })
             .collect();
         bests.sort_by(|a, b| a.total_cmp(b));

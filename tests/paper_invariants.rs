@@ -31,10 +31,14 @@ fn table_viii_constrained_counts() {
     let gemm = bat::kernels::kernel_by_name("gemm").unwrap().build_space();
     assert_eq!(gemm.count_valid_factored(), 17_956, "paper value, exact");
 
-    let pnpoly = bat::kernels::kernel_by_name("pnpoly").unwrap().build_space();
+    let pnpoly = bat::kernels::kernel_by_name("pnpoly")
+        .unwrap()
+        .build_space();
     assert_eq!(pnpoly.count_valid_factored(), 4_092, "paper value, exact");
 
-    let hotspot = bat::kernels::kernel_by_name("hotspot").unwrap().build_space();
+    let hotspot = bat::kernels::kernel_by_name("hotspot")
+        .unwrap()
+        .build_space();
     let count = hotspot.count_valid_factored() as f64;
     let paper = 21_850_147.0;
     assert!(
@@ -94,10 +98,7 @@ fn portability_diagonal_is_unity_and_transfer_loses() {
         .iter()
         .map(|a| bat::kernels::benchmark("nbody", a.clone()).unwrap())
         .collect();
-    let landscapes: Vec<_> = problems
-        .iter()
-        .map(|p| Landscape::exhaustive(p))
-        .collect();
+    let landscapes: Vec<_> = problems.iter().map(|p| Landscape::exhaustive(p)).collect();
     let refs: Vec<&dyn TuningProblem> = problems.iter().map(|p| p as &dyn TuningProblem).collect();
     let m = portability_matrix(&refs, &landscapes);
     for i in 0..4 {
@@ -120,9 +121,14 @@ fn feature_importance_is_strong_and_consistent() {
     for arch in GpuArch::paper_testbed() {
         let problem = bat::kernels::benchmark("nbody", arch).unwrap();
         let landscape = Landscape::exhaustive(&problem);
-        let fi = feature_importance(problem.space(), &landscape, &default_gbdt_params(), 2, 0)
-            .unwrap();
-        assert!(fi.r2 > 0.97, "R² = {} too weak on {}", fi.r2, problem.platform());
+        let fi =
+            feature_importance(problem.space(), &landscape, &default_gbdt_params(), 2, 0).unwrap();
+        assert!(
+            fi.r2 > 0.97,
+            "R² = {} too weak on {}",
+            fi.r2,
+            problem.platform()
+        );
         let top = fi
             .pfi
             .feature_names
@@ -147,8 +153,7 @@ fn gemm_importances_reveal_interactions() {
     use bat::analysis::{default_gbdt_params, feature_importance};
     let problem = bat::kernels::benchmark("gemm", GpuArch::rtx_3090()).unwrap();
     let landscape = Landscape::exhaustive(&problem);
-    let fi =
-        feature_importance(problem.space(), &landscape, &default_gbdt_params(), 2, 3).unwrap();
+    let fi = feature_importance(problem.space(), &landscape, &default_gbdt_params(), 2, 3).unwrap();
     assert!(
         fi.pfi.total_importance() > fi.pfi.baseline_r2 * 1.2,
         "sum {} vs baseline {}",

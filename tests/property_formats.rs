@@ -2,8 +2,10 @@
 //! T4 result documents) and the warm-start tuner wrapper.
 
 use bat::core::t4::{T4Invalidity, T4Results};
-use bat::kernels::t1::{space_from_t1, T1ConfigurationSpace, T1Document, T1General,
-    T1KernelSpecification, T1Parameter, T1_SCHEMA_VERSION};
+use bat::kernels::t1::{
+    space_from_t1, T1ConfigurationSpace, T1Document, T1General, T1KernelSpecification, T1Parameter,
+    T1_SCHEMA_VERSION,
+};
 use bat::prelude::*;
 use bat::space::Param;
 use bat::tuners::WarmStartTuner;
@@ -44,11 +46,7 @@ fn doc_from(params: Vec<T1Parameter>, constraints: Vec<String>) -> T1Document {
 /// Strategy: a run over a fixed 2-parameter space with a mixed bag of
 /// outcomes.
 fn arb_run() -> impl Strategy<Value = TuningRun> {
-    proptest::collection::vec(
-        (0u64..12, 0usize..3, 0.01f64..100.0),
-        0..25,
-    )
-    .prop_map(|trials| {
+    proptest::collection::vec((0u64..12, 0usize..3, 0.01f64..100.0), 0..25).prop_map(|trials| {
         let mut run = TuningRun::new("prop", "SIM", "prop-tuner", 0);
         for (i, (index, kind, t)) in trials.into_iter().enumerate() {
             let outcome = match kind {

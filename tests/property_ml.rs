@@ -4,9 +4,7 @@
 
 use bat::ml::linalg::{dot, Cholesky, SymMatrix};
 use bat::ml::stats::{norm_cdf, norm_pdf};
-use bat::ml::{
-    Dataset, ForestParams, GaussianProcess, GpParams, KernelKind, RandomForest,
-};
+use bat::ml::{Dataset, ForestParams, GaussianProcess, GpParams, KernelKind, RandomForest};
 use bat::tuners::Acquisition;
 use proptest::prelude::*;
 

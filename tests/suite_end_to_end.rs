@@ -9,8 +9,7 @@ fn every_benchmark_tunes_on_every_gpu() {
     for arch in GpuArch::paper_testbed() {
         for name in bat::kernels::BENCHMARK_NAMES {
             let problem = bat::kernels::benchmark(name, arch.clone()).unwrap();
-            let evaluator =
-                Evaluator::with_protocol(&problem, Protocol::default()).with_budget(60);
+            let evaluator = Evaluator::with_protocol(&problem, Protocol::default()).with_budget(60);
             let run = RandomSearch.tune(&evaluator, 7);
             assert_eq!(run.trials.len(), 60, "{name}/{}", arch.name);
             assert!(
