@@ -5,6 +5,11 @@
 //! Hotspot, Dedispersion and Expdist — per architecture. A
 //! [`Landscape`] holds the resulting (configuration index → runtime)
 //! map plus failure bookkeeping, and feeds every downstream analysis.
+//!
+//! Evaluation streams in fixed-size chunks directly into the preallocated
+//! sample vector: each worker decodes configurations into one reusable
+//! scratch (`ConfigSpace::decode_into`) instead of allocating a `Vec<i64>`
+//! per index, and no intermediate index vectors are materialized.
 
 use rayon::prelude::*;
 
@@ -36,26 +41,76 @@ pub struct Landscape {
     pub samples: Vec<Sample>,
 }
 
+/// Rows evaluated per scratch-reusing work unit. Small enough to balance
+/// load across workers, large enough to amortize the per-chunk closure.
+const EVAL_CHUNK: usize = 4096;
+
+/// Evaluate a dense index range `0..card`, streaming: workers fill the
+/// preallocated output in place and decode into one per-chunk scratch.
+pub(crate) fn evaluate_dense(problem: &dyn TuningProblem, card: u64) -> Vec<Sample> {
+    let space = problem.space();
+    let n = usize::try_from(card).expect("cardinality exceeds address space");
+    let mut samples = vec![
+        Sample {
+            index: 0,
+            time_ms: None,
+        };
+        n
+    ];
+    samples
+        .par_chunks_mut(EVAL_CHUNK)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let mut config = vec![0i64; space.num_params()];
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let index = (ci * EVAL_CHUNK + k) as u64;
+                space.decode_into(index, &mut config);
+                *slot = Sample {
+                    index,
+                    time_ms: problem.evaluate_pure(&config).ok(),
+                };
+            }
+        });
+    samples
+}
+
+/// Evaluate an explicit index list, streaming as in [`evaluate_dense`].
+pub(crate) fn evaluate_sparse(problem: &dyn TuningProblem, indices: &[u64]) -> Vec<Sample> {
+    let space = problem.space();
+    let mut samples = vec![
+        Sample {
+            index: 0,
+            time_ms: None,
+        };
+        indices.len()
+    ];
+    samples
+        .par_chunks_mut(EVAL_CHUNK)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let mut config = vec![0i64; space.num_params()];
+            let base = ci * EVAL_CHUNK;
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let index = indices[base + k];
+                space.decode_into(index, &mut config);
+                *slot = Sample {
+                    index,
+                    time_ms: problem.evaluate_pure(&config).ok(),
+                };
+            }
+        });
+    samples
+}
+
 impl Landscape {
     /// Exhaustively evaluate `problem` (noise-free), in parallel.
     pub fn exhaustive(problem: &dyn TuningProblem) -> Landscape {
-        let space = problem.space();
-        let card = space.cardinality();
-        let samples: Vec<Sample> = (0..card)
-            .into_par_iter()
-            .map(|index| {
-                let config = space.config_at(index);
-                Sample {
-                    index,
-                    time_ms: problem.evaluate_pure(&config).ok(),
-                }
-            })
-            .collect();
+        let card = problem.space().cardinality();
         Landscape {
             problem: problem.name().to_string(),
             platform: problem.platform().to_string(),
             exhaustive: true,
-            samples,
+            samples: evaluate_dense(problem, card),
         }
     }
 
@@ -66,21 +121,11 @@ impl Landscape {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut indices = sample_indices_distinct(space, n, &mut rng);
         indices.sort_unstable();
-        let samples: Vec<Sample> = indices
-            .into_par_iter()
-            .map(|index| {
-                let config = space.config_at(index);
-                Sample {
-                    index,
-                    time_ms: problem.evaluate_pure(&config).ok(),
-                }
-            })
-            .collect();
         Landscape {
             problem: problem.name().to_string(),
             platform: problem.platform().to_string(),
             exhaustive: false,
-            samples,
+            samples: evaluate_sparse(problem, &indices),
         }
     }
 

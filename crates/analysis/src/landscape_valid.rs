@@ -4,16 +4,15 @@
 //! configurations never reach the device). This module adds the
 //! corresponding landscape constructor: `n` distinct configurations drawn
 //! uniformly from the restriction-valid space; architecture-dependent
-//! launch failures still appear as failed samples.
-
-use rayon::prelude::*;
+//! launch failures still appear as failed samples. Evaluation uses the
+//! same chunked, scratch-reusing streaming path as [`Landscape::sampled`].
 
 use bat_core::TuningProblem;
 use bat_space::sample_valid_indices_distinct;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::landscape::{Landscape, Sample};
+use crate::landscape::{evaluate_sparse, Landscape};
 
 /// Evaluate `n` distinct restriction-valid configurations.
 ///
@@ -29,21 +28,11 @@ pub fn sampled_valid(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut indices = sample_valid_indices_distinct(space, n, &mut rng, max_tries)?;
     indices.sort_unstable();
-    let samples: Vec<Sample> = indices
-        .into_par_iter()
-        .map(|index| {
-            let config = space.config_at(index);
-            Sample {
-                index,
-                time_ms: problem.evaluate_pure(&config).ok(),
-            }
-        })
-        .collect();
     Some(Landscape {
         problem: problem.name().to_string(),
         platform: problem.platform().to_string(),
         exhaustive: false,
-        samples,
+        samples: evaluate_sparse(problem, &indices),
     })
 }
 

@@ -23,21 +23,25 @@ pub struct FeatureImportance {
 
 /// Build the regression dataset of a landscape: features are parameter
 /// values, target is log-runtime (runtimes span orders of magnitude).
+/// Decodes into one reusable scratch and builds the flat row-major matrix
+/// directly — no per-sample row allocations.
 pub fn landscape_dataset(space: &ConfigSpace, l: &Landscape) -> Option<Dataset> {
     let names: Vec<String> = space.names().to_vec();
-    let mut rows: Vec<Vec<f64>> = Vec::new();
-    let mut y = Vec::new();
+    let d = space.num_params();
+    let mut x: Vec<f64> = Vec::with_capacity(l.samples.len() * d);
+    let mut y = Vec::with_capacity(l.samples.len());
+    let mut cfg = vec![0i64; d];
     for s in &l.samples {
         if let Some(t) = s.time_ms {
-            let cfg = space.config_at(s.index);
-            rows.push(cfg.iter().map(|&v| v as f64).collect());
+            space.decode_into(s.index, &mut cfg);
+            x.extend(cfg.iter().map(|&v| v as f64));
             y.push(t.max(1e-12).ln());
         }
     }
-    if rows.is_empty() {
+    if y.is_empty() {
         return None;
     }
-    Some(Dataset::new(&rows, y, names))
+    Some(Dataset::from_flat(x, y, d, names))
 }
 
 /// Train the regressor and compute permutation importances.

@@ -1,0 +1,126 @@
+//! ML-substrate throughput: histogram-binned GBDT training against the
+//! sort-based exact baseline, batch prediction, and end-to-end landscape
+//! evaluation (the two halves of the suite's analysis hot path).
+//!
+//! The exact-splitter baselines re-sort every feature at every node, so
+//! they dominate this target's wall time; filter with `hist`/`exact` to
+//! run one side only.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use bat_analysis::{sampled_valid, Landscape};
+use bat_core::TuningProblem;
+use bat_gpusim::GpuArch;
+use bat_kernels::benchmark;
+use bat_ml::{Dataset, Gbdt, GbdtParams, RegressionTree, TreeParams};
+
+/// A landscape-shaped regression set: `n` rows over six discrete tuning
+/// parameters (≤ 37 distinct values each) with interacting effects.
+fn landscape_dataset(n: usize) -> Dataset {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            vec![
+                f64::from((i * 7 % 13) as u32),
+                f64::from((i * 5 % 7) as u32),
+                f64::from((i * 3 % 4) as u32),
+                f64::from((i * 11 % 32) as u32),
+                f64::from((i * 17 % 37) as u32),
+                f64::from((i * 23 % 6) as u32),
+            ]
+        })
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| 3.0 * r[0] + r[1] * r[1] - 2.0 * r[0] * r[2] + 10.0 * r[3] / (1.0 + r[4]))
+        .collect();
+    Dataset::new(&rows, y, (0..6).map(|i| format!("p{i}")).collect())
+}
+
+/// GBDT fit throughput on the acceptance-criterion shape: 10 000 rows.
+fn gbdt_fit(c: &mut Criterion) {
+    let data = landscape_dataset(10_000);
+    let params = GbdtParams {
+        n_trees: 50,
+        ..GbdtParams::default()
+    };
+    let mut g = c.benchmark_group("gbdt_fit_10k");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(
+        (data.n_rows() * params.n_trees) as u64,
+    ));
+    g.bench_function("hist", |b| b.iter(|| Gbdt::fit(black_box(&data), &params)));
+    g.bench_function("exact", |b| {
+        b.iter(|| Gbdt::fit_exact(black_box(&data), &params))
+    });
+    g.finish();
+}
+
+/// Single-tree fit throughput (the forest/SMAC inner loop).
+fn tree_fit(c: &mut Criterion) {
+    let data = landscape_dataset(10_000);
+    let rows: Vec<usize> = (0..data.n_rows()).collect();
+    let params = TreeParams {
+        max_depth: 10,
+        min_samples_leaf: 2,
+    };
+    let mut g = c.benchmark_group("tree_fit_10k");
+    g.throughput(Throughput::Elements(data.n_rows() as u64));
+    g.bench_function("hist", |b| {
+        b.iter(|| RegressionTree::fit(black_box(&data), data.targets(), &rows, &params))
+    });
+    g.bench_function("exact", |b| {
+        b.iter(|| RegressionTree::fit_exact(black_box(&data), data.targets(), &rows, &params))
+    });
+    g.finish();
+}
+
+/// Batch prediction throughput of a fitted ensemble.
+fn predict_batch(c: &mut Criterion) {
+    let data = landscape_dataset(10_000);
+    let model = Gbdt::fit(
+        &data,
+        &GbdtParams {
+            n_trees: 50,
+            ..GbdtParams::default()
+        },
+    );
+    let mut g = c.benchmark_group("gbdt_predict_10k");
+    g.throughput(Throughput::Elements(data.n_rows() as u64));
+    g.bench_function("batch", |b| {
+        b.iter(|| black_box(model.predict_dataset(&data).len()))
+    });
+    g.finish();
+}
+
+/// Landscape evaluation throughput: the chunked streaming evaluator over
+/// real kernel models (exhaustive on the small spaces, the 10 000-sample
+/// valid protocol on Hotspot).
+fn landscape_eval(c: &mut Criterion) {
+    let arch = GpuArch::rtx_3090();
+    let mut g = c.benchmark_group("landscape_eval");
+    g.sample_size(10);
+    for name in ["pnpoly", "nbody", "gemm"] {
+        let problem = benchmark(name, arch.clone()).unwrap();
+        g.throughput(Throughput::Elements(problem.space().cardinality()));
+        g.bench_function(format!("{name}/exhaustive"), |b| {
+            b.iter(|| black_box(Landscape::exhaustive(&problem).samples.len()))
+        });
+    }
+    let hotspot = benchmark("hotspot", arch).unwrap();
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("hotspot/sampled_valid_10k", |b| {
+        b.iter(|| {
+            black_box(
+                sampled_valid(&hotspot, 10_000, 1, 40_000_000)
+                    .expect("hotspot sampling succeeds")
+                    .samples
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, gbdt_fit, tree_fit, predict_batch, landscape_eval);
+criterion_main!(benches);

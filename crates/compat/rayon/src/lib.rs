@@ -9,6 +9,12 @@
 //! single-core host (or inside an already-parallel region) everything runs
 //! serially, which matches rayon's semantics for deterministic, order-
 //! preserving pipelines.
+//!
+//! Integer ranges get a dedicated lazy implementation ([`RangePar`]): the
+//! range is split into per-worker subranges by arithmetic alone, so
+//! `(0..10u64.pow(8)).into_par_iter().map(f).sum()` never materializes an
+//! index vector — each worker streams its own contiguous window. Only the
+//! pipeline's *outputs* are ever collected.
 
 use std::cell::Cell;
 
@@ -168,23 +174,216 @@ where
 pub trait IntoParallelIterator {
     /// Element type.
     type Item: Send;
-    /// Materialize the parallel iterator.
-    fn into_par_iter(self) -> ParIter<Self::Item>;
+    /// Concrete parallel-iterator type ([`ParIter`] for materialized
+    /// sources, [`RangePar`] for lazy integer ranges).
+    type Iter;
+    /// Build the parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
 }
 
 impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
+    type Iter = ParIter<T>;
     fn into_par_iter(self) -> ParIter<T> {
         ParIter { items: self }
     }
 }
 
+/// Integer types usable as lazy parallel-range items.
+pub trait RangeIndex: Copy + Send + Sync {
+    /// `self + k`, where `k` is an in-range offset by construction.
+    fn offset(self, k: u64) -> Self;
+}
+
+/// A lazy parallel iterator over an integer range. Unlike [`ParIter`], the
+/// items are never materialized: each worker derives its contiguous
+/// subrange from `(start, len)` and streams it.
+pub struct RangePar<T> {
+    start: T,
+    len: u64,
+}
+
+/// Stream `f` over `start..start+len`, split across workers, collecting the
+/// outputs in input order.
+fn run_range_map<T, U, F>(start: T, len: u64, f: &F) -> Vec<U>
+where
+    T: RangeIndex,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let items = usize::try_from(len).expect("range too large to collect");
+    let workers = worker_count(items);
+    if workers <= 1 {
+        let was = IN_PARALLEL.with(|c| c.replace(true));
+        let mut out = Vec::with_capacity(items);
+        for k in 0..len {
+            out.push(f(start.offset(k)));
+        }
+        IN_PARALLEL.with(|c| c.set(was));
+        return out;
+    }
+    let chunk = len.div_ceil(workers as u64);
+    let mut parts: Vec<Vec<U>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers as u64)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(len);
+                scope.spawn(move || {
+                    IN_PARALLEL.with(|c| c.set(true));
+                    let mut out = Vec::with_capacity((hi - lo) as usize);
+                    for k in lo..hi {
+                        out.push(f(start.offset(k)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("rayon-compat worker panicked"));
+        }
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// Stream `f` over the range for its side effects; nothing is collected, so
+/// arbitrarily long ranges cost no memory.
+fn run_range_for_each<T, F>(start: T, len: u64, f: &F)
+where
+    T: RangeIndex,
+    F: Fn(T) + Sync,
+{
+    let workers = worker_count(usize::try_from(len.min(usize::MAX as u64)).unwrap_or(usize::MAX));
+    if workers <= 1 {
+        let was = IN_PARALLEL.with(|c| c.replace(true));
+        for k in 0..len {
+            f(start.offset(k));
+        }
+        IN_PARALLEL.with(|c| c.set(was));
+        return;
+    }
+    let chunk = len.div_ceil(workers as u64);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers as u64)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(len);
+                scope.spawn(move || {
+                    IN_PARALLEL.with(|c| c.set(true));
+                    for k in lo..hi {
+                        f(start.offset(k));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("rayon-compat worker panicked");
+        }
+    });
+}
+
+impl<T: RangeIndex> RangePar<T> {
+    /// Map every range item through `f` (executed at the terminal).
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> RangeMapIter<T, F> {
+        RangeMapIter {
+            start: self.start,
+            len: self.len,
+            f,
+        }
+    }
+
+    /// Apply `f` in parallel, keeping the `Some` results in input order.
+    pub fn filter_map<U: Send, F: Fn(T) -> Option<U> + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: run_range_map(self.start, self.len, &f)
+                .into_iter()
+                .flatten()
+                .collect(),
+        }
+    }
+
+    /// Apply `f` to every range item, streaming (no materialization).
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run_range_for_each(self.start, self.len, &f);
+    }
+
+    /// Collect the range items (identity pipeline).
+    pub fn collect<B: FromIterator<T>>(self) -> B {
+        (0..self.len).map(|k| self.start.offset(k)).collect()
+    }
+
+    /// Sum the range items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        (0..self.len).map(|k| self.start.offset(k)).sum()
+    }
+}
+
+/// A mapped lazy range pipeline (`(a..b).into_par_iter().map(f)`).
+pub struct RangeMapIter<T, F> {
+    start: T,
+    len: u64,
+    f: F,
+}
+
+impl<T, U, F> RangeMapIter<T, F>
+where
+    T: RangeIndex,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    /// Compose another map stage onto the pipeline.
+    pub fn map<V: Send, G: Fn(U) -> V + Sync>(
+        self,
+        g: G,
+    ) -> RangeMapIter<T, impl Fn(T) -> V + Sync> {
+        let f = self.f;
+        RangeMapIter {
+            start: self.start,
+            len: self.len,
+            f: move |t| g(f(t)),
+        }
+    }
+
+    /// Run the pipeline and collect the outputs in input order.
+    pub fn collect<B: FromIterator<U>>(self) -> B {
+        run_range_map(self.start, self.len, &self.f)
+            .into_iter()
+            .collect()
+    }
+
+    /// Run the pipeline and sum the outputs (serial, order-preserving
+    /// reduction over the collected outputs, matching the eager path).
+    pub fn sum<S: std::iter::Sum<U>>(self) -> S {
+        run_range_map(self.start, self.len, &self.f)
+            .into_iter()
+            .sum()
+    }
+
+    /// Run the pipeline for its side effects, streaming.
+    pub fn for_each<G: Fn(U) + Sync>(self, g: G) {
+        let f = self.f;
+        run_range_for_each(self.start, self.len, &|t| g(f(t)));
+    }
+}
+
 macro_rules! impl_range_par {
     ($($t:ty),*) => {$(
+        impl RangeIndex for $t {
+            #[inline]
+            fn offset(self, k: u64) -> Self {
+                self + k as $t
+            }
+        }
         impl IntoParallelIterator for std::ops::Range<$t> {
             type Item = $t;
-            fn into_par_iter(self) -> ParIter<$t> {
-                ParIter { items: self.collect() }
+            type Iter = RangePar<$t>;
+            fn into_par_iter(self) -> RangePar<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as u64
+                } else {
+                    0
+                };
+                RangePar { start: self.start, len }
             }
         }
     )*};
@@ -261,6 +460,39 @@ mod tests {
         assert!(data.iter().all(|&x| x > 0));
         assert_eq!(data[0], 1);
         assert_eq!(data[102], 11);
+    }
+
+    #[test]
+    fn range_filter_map_preserves_order() {
+        let v: Vec<u64> = (0u64..1000)
+            .into_par_iter()
+            .filter_map(|x| (x % 3 == 0).then_some(x))
+            .collect();
+        let ser: Vec<u64> = (0u64..1000).filter(|x| x % 3 == 0).collect();
+        assert_eq!(v, ser);
+    }
+
+    #[test]
+    fn range_for_each_streams_every_item_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let count = AtomicU64::new(0);
+        let sum = AtomicU64::new(0);
+        (0u64..100_003).into_par_iter().for_each(|x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100_003);
+        assert_eq!(sum.load(Ordering::Relaxed), 100_003 * 100_002 / 2);
+    }
+
+    #[test]
+    fn signed_and_offset_ranges_work() {
+        let v: Vec<i64> = (-5i64..5).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (-5i64..5).map(|x| x * 2).collect::<Vec<_>>());
+        let s: usize = (10usize..20).into_par_iter().sum();
+        assert_eq!(s, (10usize..20).sum::<usize>());
+        let empty: Vec<u32> = (7u32..7).into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
     }
 
     #[test]

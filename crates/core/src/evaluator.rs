@@ -7,6 +7,7 @@
 //! comparisons between optimization algorithms are apples-to-apples — the
 //! paper's core motivation.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
@@ -54,6 +55,12 @@ impl Protocol {
 /// the cache from many threads; index-keyed sharding keeps them from
 /// serializing on one global mutex.
 const CACHE_SHARDS: usize = 64;
+
+thread_local! {
+    /// Per-thread configuration decode scratch: `evaluate_index` sits in
+    /// every tuner's inner loop, so the per-call `Vec<i64>` is hoisted here.
+    static CONFIG_SCRATCH: RefCell<Vec<i64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// The evaluation harness: memoization + noise + budget accounting.
 pub struct Evaluator<'p> {
@@ -144,8 +151,7 @@ impl<'p> Evaluator<'p> {
         }
         self.evals.fetch_add(1, Ordering::Relaxed);
         if !self.cache_enabled {
-            let config = self.problem.space().config_at(index);
-            let result = self.measure(index, &config);
+            let result = self.decode_and_measure(index);
             self.distinct.fetch_add(1, Ordering::Relaxed);
             return Some(result);
         }
@@ -156,8 +162,7 @@ impl<'p> Evaluator<'p> {
         // index, so a racing duplicate measurement is identical), then
         // insert through the entry API: one lock, and `distinct` counts a
         // configuration exactly once even under races.
-        let config = self.problem.space().config_at(index);
-        let result = self.measure(index, &config);
+        let result = self.decode_and_measure(index);
         match self.shard(index).lock().entry(index) {
             std::collections::hash_map::Entry::Occupied(e) => Some(e.get().clone()),
             std::collections::hash_map::Entry::Vacant(e) => {
@@ -182,6 +187,17 @@ impl<'p> Evaluator<'p> {
                 Some(Err(EvalFailure::Restricted))
             }
         }
+    }
+
+    /// Decode `index` into the thread-local scratch and measure it.
+    fn decode_and_measure(&self, index: u64) -> Result<Measurement, EvalFailure> {
+        let space = self.problem.space();
+        CONFIG_SCRATCH.with(|s| {
+            let mut config = s.borrow_mut();
+            config.resize(space.num_params(), 0);
+            space.decode_into(index, &mut config);
+            self.measure(index, &config)
+        })
     }
 
     fn measure(&self, index: u64, config: &[i64]) -> Result<Measurement, EvalFailure> {

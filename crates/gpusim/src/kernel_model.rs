@@ -11,8 +11,11 @@ use crate::occupancy::BlockResources;
 /// Work profile and launch geometry of one kernel launch.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct KernelModel {
-    /// Kernel name (diagnostics only).
-    pub name: String,
+    /// Kernel name (diagnostics only). A static string: benchmarks build
+    /// one model per `evaluate_pure` call, and landscape evaluation makes
+    /// millions of those — a per-call `String` would be a hot-path
+    /// allocation for a label that never varies at runtime.
+    pub name: &'static str,
     /// Total thread blocks in the grid.
     pub grid_blocks: u64,
     /// Threads per block.
@@ -58,9 +61,9 @@ pub struct KernelModel {
 impl KernelModel {
     /// A neutral model for `grid_blocks × threads` doing nothing; benchmarks
     /// start from this and fill in their profile.
-    pub fn new(name: impl Into<String>, grid_blocks: u64, threads_per_block: u32) -> Self {
+    pub fn new(name: &'static str, grid_blocks: u64, threads_per_block: u32) -> Self {
         KernelModel {
-            name: name.into(),
+            name,
             grid_blocks,
             threads_per_block,
             regs_per_thread: 32,

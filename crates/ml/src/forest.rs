@@ -6,6 +6,10 @@
 //! that model: bootstrap-bagged [`RegressionTree`]s, mean/variance
 //! prediction across trees, and an out-of-bag R² estimate for free model
 //! validation.
+//!
+//! The dataset is binned once (shared immutably by every bagged tree), so
+//! the rayon-parallel tree fits all train from per-bin histograms; each
+//! worker owns its per-tree scratch.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -87,6 +91,8 @@ impl RandomForest {
             .map(|_| (0..sample_size).map(|_| rng.random_range(0..n)).collect())
             .collect();
 
+        // Bin once on this thread; the workers below only read the cache.
+        let _ = data.binned();
         let trees: Vec<RegressionTree> = samples
             .par_iter()
             .map(|rows| RegressionTree::fit(data, y, rows, &params.tree))

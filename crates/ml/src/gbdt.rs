@@ -5,13 +5,20 @@
 //! [`RegressionTree`] to the current residuals and the ensemble adds it
 //! scaled by the learning rate. Optional row subsampling (stochastic
 //! gradient boosting) decorrelates stages.
+//!
+//! The boosting loop is built for throughput: the dataset is binned once
+//! and every stage trains from histograms, all row/residual/histogram
+//! buffers are allocated once and reused across stages, and each stage's
+//! prediction update is folded into tree growth (leaves add their value to
+//! the in-sample predictions directly; only out-of-bag rows of a
+//! subsampled stage take the explicit predict walk).
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::dataset::Dataset;
-use crate::tree::{RegressionTree, TreeParams};
+use crate::tree::{RegressionTree, TreeParams, TreeScratch};
 
 /// Hyperparameters for [`Gbdt`].
 #[derive(Debug, Clone, Copy)]
@@ -50,7 +57,19 @@ pub struct Gbdt {
 
 impl Gbdt {
     /// Fit to a dataset (targets from the dataset's own target column).
+    /// Trains from per-bin histograms whenever the dataset is binnable
+    /// (≤ 256 distinct values per feature).
     pub fn fit(data: &Dataset, params: &GbdtParams) -> Self {
+        Self::fit_impl(data, params, false)
+    }
+
+    /// Fit with the exact sort-based splitter regardless of binnability —
+    /// the equivalence-test oracle and benchmark baseline for [`Gbdt::fit`].
+    pub fn fit_exact(data: &Dataset, params: &GbdtParams) -> Self {
+        Self::fit_impl(data, params, true)
+    }
+
+    fn fit_impl(data: &Dataset, params: &GbdtParams, exact: bool) -> Self {
         assert!(params.n_trees > 0, "need at least one tree");
         assert!(
             params.subsample > 0.0 && params.subsample <= 1.0,
@@ -65,22 +84,49 @@ impl Gbdt {
         let mut rng = StdRng::seed_from_u64(params.seed);
         let all_rows: Vec<usize> = (0..n).collect();
         let sample_size = ((n as f64) * params.subsample).ceil() as usize;
+        let full = sample_size >= n;
+        // Stage-invariant buffers, hoisted out of the boosting loop.
+        let mut scratch = TreeScratch::default();
+        let mut rows_buf: Vec<usize> = Vec::with_capacity(if full { 0 } else { n });
+        let mut in_sample = vec![false; if full { 0 } else { n }];
 
         for _ in 0..params.n_trees {
             for i in 0..n {
                 residual[i] = y[i] - pred[i];
             }
-            let rows: Vec<usize> = if sample_size >= n {
-                all_rows.clone()
+            let rows: &[usize] = if full {
+                &all_rows
             } else {
-                let mut shuffled = all_rows.clone();
-                shuffled.partial_shuffle(&mut rng, sample_size);
-                shuffled.truncate(sample_size);
-                shuffled
+                rows_buf.clear();
+                rows_buf.extend_from_slice(&all_rows);
+                rows_buf.partial_shuffle(&mut rng, sample_size);
+                rows_buf.truncate(sample_size);
+                &rows_buf
             };
-            let tree = RegressionTree::fit(data, &residual, &rows, &params.tree);
-            for (i, p) in pred.iter_mut().enumerate() {
-                *p += params.learning_rate * tree.predict(data.row(i));
+            // Leaves fold `learning_rate * value` into `pred` for every
+            // in-sample row as the tree grows.
+            let tree = RegressionTree::fit_with_scratch(
+                data,
+                &residual,
+                rows,
+                &params.tree,
+                &mut scratch,
+                Some((&mut pred, params.learning_rate)),
+                exact,
+            );
+            if !full {
+                // Out-of-bag rows still need the explicit predict walk.
+                for &r in rows {
+                    in_sample[r] = true;
+                }
+                for (i, p) in pred.iter_mut().enumerate() {
+                    if !in_sample[i] {
+                        *p += params.learning_rate * tree.predict(data.row(i));
+                    }
+                }
+                for &r in rows {
+                    in_sample[r] = false;
+                }
             }
             trees.push(tree);
         }
@@ -183,6 +229,27 @@ mod tests {
         let data = Dataset::new(&rows, vec![4.2; 50], vec!["x".into()]);
         let model = Gbdt::fit(&data, &GbdtParams::default());
         assert!((model.predict(&[25.0]) - 4.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_fit_matches_exact_fit() {
+        let data = friedman_like(800);
+        for subsample in [1.0, 0.7] {
+            let p = GbdtParams {
+                n_trees: 30,
+                subsample,
+                seed: 5,
+                ..GbdtParams::default()
+            };
+            let hist = Gbdt::fit(&data, &p).predict_dataset(&data);
+            let exact = Gbdt::fit_exact(&data, &p).predict_dataset(&data);
+            for (h, e) in hist.iter().zip(&exact) {
+                assert!(
+                    (h - e).abs() <= 1e-9 * (1.0 + e.abs()),
+                    "hist {h} vs exact {e} (subsample {subsample})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,13 +1,25 @@
-//! CART regression trees with exact split search over discrete features.
+//! CART regression trees with histogram-based split search over pre-binned
+//! discrete features.
 //!
 //! Tuning-parameter features take few distinct values (≤ 37 in the BAT
-//! spaces), so exact split enumeration is both cheap and optimal — no
-//! histogram binning error. Split quality is variance reduction (equivalent
-//! to squared-error gain).
+//! spaces), so each feature is binned once per dataset into a column-major
+//! `u8` code matrix ([`crate::dataset::BinnedMatrix`]) and every tree node
+//! trains from per-bin (sum, sum-of-squares, count) histograms. Child
+//! histograms come from the parent-minus-sibling subtraction trick: only
+//! the smaller child is re-scanned, the larger is derived by subtraction.
+//! Because every distinct value keeps its own bin, the histogram split
+//! candidates are exactly the exact sort-based splitter's candidates — the
+//! two trainers build the same tree (bit-for-bit whenever target sums incur
+//! no rounding, e.g. integer-valued targets).
+//!
+//! The sort-based splitter is kept as [`RegressionTree::fit_exact`] /
+//! `best_split_exact` as the equivalence-test oracle and benchmark
+//! baseline. Split quality is variance reduction (equivalent to
+//! squared-error gain) in both paths.
 
 use rayon::prelude::*;
 
-use crate::dataset::Dataset;
+use crate::dataset::{BinnedMatrix, Dataset};
 
 /// Hyperparameters for a single regression tree.
 #[derive(Debug, Clone, Copy)]
@@ -52,45 +64,230 @@ struct SplitCandidate {
     gain: f64,
 }
 
-impl RegressionTree {
-    /// Fit a tree to `(data, targets)` where `targets` overrides the
-    /// dataset's own target column (the boosting residuals).
-    pub fn fit(data: &Dataset, targets: &[f64], rows: &[usize], params: &TreeParams) -> Self {
-        assert_eq!(targets.len(), data.n_rows());
-        let mut tree = RegressionTree { nodes: Vec::new() };
-        let mut row_buf: Vec<usize> = rows.to_vec();
-        tree.build(data, targets, &mut row_buf, 0, params);
-        tree
+/// A chosen histogram split: the bin boundary plus the exact-splitter
+/// threshold it corresponds to.
+struct HistSplit {
+    feature: usize,
+    /// Last bin routed left: rows go left iff `code <= bin`.
+    bin: u8,
+    threshold: f64,
+    gain: f64,
+}
+
+/// Relative width of the gain tie band. Two candidate gains within
+/// `GAIN_TIE_REL * parent_sse` of each other are treated as tied and
+/// resolved by a deterministic key (lowest threshold within a feature,
+/// highest feature index across features — the historical `max_by`
+/// semantics). The band absorbs last-ulp summation-order differences
+/// between the histogram path (per-bin partial sums, parent-minus-sibling
+/// subtraction) and the sort-based exact path, so mathematically tied
+/// splits resolve identically in both.
+const GAIN_TIE_REL: f64 = 1e-9;
+
+/// Per-bin target statistics of one tree node.
+#[derive(Debug, Clone, Copy, Default)]
+struct BinStat {
+    sum: f64,
+    sq: f64,
+    n: u32,
+}
+
+/// A pool of histogram buffers reused across nodes (and, via
+/// [`TreeScratch`], across boosting stages). Depth-first growth parks at
+/// most one sibling histogram per level, so the pool holds ≤ depth + 1
+/// buffers.
+#[derive(Debug, Default)]
+struct HistPool {
+    bufs: Vec<Vec<BinStat>>,
+    free: Vec<usize>,
+}
+
+impl HistPool {
+    /// A zeroed buffer of `total_bins` stats (recycled when possible).
+    fn alloc(&mut self, total_bins: usize) -> usize {
+        let id = match self.free.pop() {
+            Some(id) => id,
+            None => {
+                self.bufs.push(Vec::new());
+                self.bufs.len() - 1
+            }
+        };
+        let buf = &mut self.bufs[id];
+        buf.clear();
+        buf.resize(total_bins, BinStat::default());
+        id
     }
 
-    fn build(
-        &mut self,
-        data: &Dataset,
-        targets: &[f64],
-        rows: &mut [usize],
-        depth: usize,
-        params: &TreeParams,
-    ) -> usize {
-        let mean = rows.iter().map(|&r| targets[r]).sum::<f64>() / rows.len().max(1) as f64;
-        if depth >= params.max_depth || rows.len() < 2 * params.min_samples_leaf {
-            self.nodes.push(Node::Leaf { value: mean });
-            return self.nodes.len() - 1;
-        }
-        let Some(best) = best_split(data, targets, rows, params) else {
-            self.nodes.push(Node::Leaf { value: mean });
-            return self.nodes.len() - 1;
+    fn release(&mut self, id: usize) {
+        self.free.push(id);
+    }
+
+    /// `dst -= src`, bin-wise: derives the larger child's histogram from
+    /// the parent's (in `dst`) and the freshly-scanned smaller child's.
+    fn subtract(&mut self, dst: usize, src: usize) {
+        let (a, b) = if dst < src {
+            let (lo, hi) = self.bufs.split_at_mut(src);
+            (&mut lo[dst], &hi[0][..])
+        } else {
+            let (lo, hi) = self.bufs.split_at_mut(dst);
+            (&mut hi[0], &lo[src][..])
         };
-        // Partition rows in place.
-        let mid = partition(rows, |&r| data.value(r, best.feature) <= best.threshold);
-        if mid == 0 || mid == rows.len() {
-            self.nodes.push(Node::Leaf { value: mean });
-            return self.nodes.len() - 1;
+        for (d, s) in a.iter_mut().zip(b) {
+            d.sum -= s.sum;
+            d.sq -= s.sq;
+            d.n -= s.n;
         }
+    }
+}
+
+/// Reusable fitting buffers: one instance per fit site amortizes every
+/// per-node allocation of the old trainer across all nodes, trees and
+/// boosting stages.
+#[derive(Debug, Default)]
+pub(crate) struct TreeScratch {
+    /// Working copy of the caller's row set (partitioned in place).
+    rows: Vec<usize>,
+    /// Single scratch buffer for the stable partition.
+    part: Vec<usize>,
+    /// Per-node `(target, target²)` gather for histogram builds.
+    gather: Vec<(f64, f64)>,
+    pool: HistPool,
+}
+
+/// Optional folded prediction update: `(predictions, learning_rate)`. When
+/// set, every leaf adds `learning_rate * leaf_value` to `predictions[r]`
+/// for each training row `r` that lands in it — the boosting update for
+/// in-sample rows without a separate predict pass.
+pub(crate) type FoldInto<'a> = Option<(&'a mut [f64], f64)>;
+
+/// Stable partition with a single scratch buffer: rows satisfying `pred`
+/// first, preserving relative order; returns the split point.
+fn stable_partition<F: Fn(usize) -> bool>(
+    rows: &mut [usize],
+    scratch: &mut Vec<usize>,
+    pred: F,
+) -> usize {
+    scratch.clear();
+    let mut write = 0;
+    for i in 0..rows.len() {
+        let r = rows[i];
+        if pred(r) {
+            rows[write] = r;
+            write += 1;
+        } else {
+            scratch.push(r);
+        }
+    }
+    rows[write..].copy_from_slice(scratch);
+    write
+}
+
+/// Accumulate the node's per-bin histogram over `rows`, feature-major so
+/// each feature's column-major codes stream contiguously. Targets are
+/// gathered once into `gather` (rows order) rather than re-loaded per
+/// feature; the per-bin summation order is unchanged.
+fn fill_hist(
+    binned: &BinnedMatrix,
+    targets: &[f64],
+    rows: &[usize],
+    hist: &mut [BinStat],
+    gather: &mut Vec<(f64, f64)>,
+) {
+    gather.clear();
+    gather.extend(rows.iter().map(|&r| {
+        let t = targets[r];
+        (t, t * t)
+    }));
+    for f in 0..binned.n_features() {
+        let codes = binned.feature_codes(f);
+        let base = binned.bin_offset(f);
+        for (&r, &(t, tt)) in rows.iter().zip(gather.iter()) {
+            let b = &mut hist[base + codes[r] as usize];
+            b.sum += t;
+            b.sq += tt;
+            b.n += 1;
+        }
+    }
+}
+
+/// Tree-growing context shared by the histogram and exact paths.
+struct Grower<'a> {
+    data: &'a Dataset,
+    binned: Option<&'a BinnedMatrix>,
+    targets: &'a [f64],
+    params: &'a TreeParams,
+    part: &'a mut Vec<usize>,
+    gather: &'a mut Vec<(f64, f64)>,
+    pool: &'a mut HistPool,
+    fold: FoldInto<'a>,
+    nodes: Vec<Node>,
+}
+
+impl Grower<'_> {
+    fn leaf(&mut self, value: f64, rows: &[usize]) -> usize {
+        if let Some((pred, lr)) = &mut self.fold {
+            for &r in rows {
+                pred[r] += *lr * value;
+            }
+        }
+        self.nodes.push(Node::Leaf { value });
+        self.nodes.len() - 1
+    }
+
+    /// Histogram path: `hist_id` holds this node's pre-built histogram and
+    /// is consumed (released or handed to a child) before returning.
+    fn grow_hist(&mut self, rows: &mut [usize], depth: usize, hist_id: usize) -> usize {
+        let binned = self.binned.expect("histogram path requires bins");
+        let n = rows.len();
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for &r in rows.iter() {
+            let t = self.targets[r];
+            sum += t;
+            sq += t * t;
+        }
+        let mean = sum / n.max(1) as f64;
+        if depth >= self.params.max_depth || n < 2 * self.params.min_samples_leaf {
+            self.pool.release(hist_id);
+            return self.leaf(mean, rows);
+        }
+        let Some(best) = self.best_split_hist(hist_id, n as f64, sum, sq) else {
+            self.pool.release(hist_id);
+            return self.leaf(mean, rows);
+        };
+        let codes = binned.feature_codes(best.feature);
+        let mid = stable_partition(rows, self.part, |r| codes[r] <= best.bin);
+        if mid == 0 || mid == n {
+            // Unreachable for a valid histogram split; kept as a guard.
+            self.pool.release(hist_id);
+            return self.leaf(mean, rows);
+        }
+        // Scan only the smaller child; derive the larger by subtraction.
+        let small_is_left = mid <= n - mid;
+        let small_id = self.pool.alloc(binned.total_bins());
+        let small_rows = if small_is_left {
+            &rows[..mid]
+        } else {
+            &rows[mid..]
+        };
+        fill_hist(
+            binned,
+            self.targets,
+            small_rows,
+            &mut self.pool.bufs[small_id],
+            self.gather,
+        );
+        self.pool.subtract(hist_id, small_id);
+        let (left_id, right_id) = if small_is_left {
+            (small_id, hist_id)
+        } else {
+            (hist_id, small_id)
+        };
         let placeholder = self.nodes.len();
         self.nodes.push(Node::Leaf { value: mean }); // replaced below
         let (left_rows, right_rows) = rows.split_at_mut(mid);
-        let left = self.build(data, targets, left_rows, depth + 1, params);
-        let right = self.build(data, targets, right_rows, depth + 1, params);
+        let left = self.grow_hist(left_rows, depth + 1, left_id);
+        let right = self.grow_hist(right_rows, depth + 1, right_id);
         self.nodes[placeholder] = Node::Split {
             feature: best.feature,
             threshold: best.threshold,
@@ -98,6 +295,172 @@ impl RegressionTree {
             right,
         };
         placeholder
+    }
+
+    /// Scan the node's histogram for the best variance-reduction split.
+    /// Mirrors `best_split_exact` candidate-for-candidate: boundaries are
+    /// only taken between *populated* bins, thresholds are midpoints of the
+    /// adjacent populated values, ties within a feature keep the lowest
+    /// threshold and ties across features keep the highest feature index
+    /// (the exact path's `max_by` semantics).
+    fn best_split_hist(&self, hist_id: usize, n: f64, sum: f64, sq: f64) -> Option<HistSplit> {
+        let binned = self.binned.expect("histogram path requires bins");
+        let parent_sse = sq - sum * sum / n;
+        let tie_eps = GAIN_TIE_REL * parent_sse.abs();
+        let hist = &self.pool.bufs[hist_id];
+        let min_leaf = self.params.min_samples_leaf;
+        let mut best: Option<HistSplit> = None;
+        for f in 0..binned.n_features() {
+            let base = binned.bin_offset(f);
+            let bins = &hist[base..base + binned.n_bins(f)];
+            let vals = binned.bin_values(f);
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            let mut left_n = 0u32;
+            let mut prev: Option<usize> = None;
+            let mut feat_best: Option<HistSplit> = None;
+            for (b, stat) in bins.iter().enumerate() {
+                if stat.n == 0 {
+                    continue;
+                }
+                if let Some(pb) = prev {
+                    let ln = f64::from(left_n);
+                    let rn = n - ln;
+                    if (ln as usize) >= min_leaf && (rn as usize) >= min_leaf {
+                        let right_sum = sum - left_sum;
+                        let right_sq = sq - left_sq;
+                        let sse = (left_sq - left_sum * left_sum / ln)
+                            + (right_sq - right_sum * right_sum / rn);
+                        let gain = parent_sse - sse;
+                        // Earlier (lower) thresholds win ties.
+                        if gain > 1e-12
+                            && feat_best.as_ref().is_none_or(|x| gain > x.gain + tie_eps)
+                        {
+                            feat_best = Some(HistSplit {
+                                feature: f,
+                                bin: pb as u8,
+                                threshold: 0.5 * (vals[pb] + vals[b]),
+                                gain,
+                            });
+                        }
+                    }
+                }
+                left_sum += stat.sum;
+                left_sq += stat.sq;
+                left_n += stat.n;
+                prev = Some(b);
+            }
+            if let Some(fb) = feat_best {
+                // Later (higher) features win ties.
+                if best.as_ref().is_none_or(|ov| fb.gain > ov.gain - tie_eps) {
+                    best = Some(fb);
+                }
+            }
+        }
+        best
+    }
+
+    /// Exact path: per-node, per-feature sort over raw values.
+    fn grow_exact(&mut self, rows: &mut [usize], depth: usize) -> usize {
+        let mean = rows.iter().map(|&r| self.targets[r]).sum::<f64>() / rows.len().max(1) as f64;
+        if depth >= self.params.max_depth || rows.len() < 2 * self.params.min_samples_leaf {
+            return self.leaf(mean, rows);
+        }
+        let Some(best) = best_split_exact(self.data, self.targets, rows, self.params) else {
+            return self.leaf(mean, rows);
+        };
+        let data = self.data;
+        let mid = stable_partition(rows, self.part, |r| {
+            data.value(r, best.feature) <= best.threshold
+        });
+        if mid == 0 || mid == rows.len() {
+            return self.leaf(mean, rows);
+        }
+        let placeholder = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean }); // replaced below
+        let (left_rows, right_rows) = rows.split_at_mut(mid);
+        let left = self.grow_exact(left_rows, depth + 1);
+        let right = self.grow_exact(right_rows, depth + 1);
+        self.nodes[placeholder] = Node::Split {
+            feature: best.feature,
+            threshold: best.threshold,
+            left,
+            right,
+        };
+        placeholder
+    }
+}
+
+impl RegressionTree {
+    /// Fit a tree to `(data, targets)` where `targets` overrides the
+    /// dataset's own target column (the boosting residuals). Uses the
+    /// histogram trainer whenever the dataset is binnable (≤ 256 distinct
+    /// values per feature), falling back to the exact sort-based splitter
+    /// otherwise.
+    pub fn fit(data: &Dataset, targets: &[f64], rows: &[usize], params: &TreeParams) -> Self {
+        let mut scratch = TreeScratch::default();
+        Self::fit_with_scratch(data, targets, rows, params, &mut scratch, None, false)
+    }
+
+    /// Fit with the exact sort-based splitter regardless of binnability —
+    /// the equivalence-test oracle and benchmark baseline.
+    pub fn fit_exact(data: &Dataset, targets: &[f64], rows: &[usize], params: &TreeParams) -> Self {
+        let mut scratch = TreeScratch::default();
+        Self::fit_with_scratch(data, targets, rows, params, &mut scratch, None, true)
+    }
+
+    /// Fit reusing caller-owned scratch buffers, optionally folding leaf
+    /// values into a prediction vector (`fold`), optionally forcing the
+    /// exact splitter.
+    pub(crate) fn fit_with_scratch(
+        data: &Dataset,
+        targets: &[f64],
+        rows: &[usize],
+        params: &TreeParams,
+        scratch: &mut TreeScratch,
+        fold: FoldInto<'_>,
+        exact: bool,
+    ) -> Self {
+        assert_eq!(targets.len(), data.n_rows());
+        let TreeScratch {
+            rows: row_buf,
+            part,
+            gather,
+            pool,
+        } = scratch;
+        row_buf.clear();
+        row_buf.extend_from_slice(rows);
+        let binned = if exact { None } else { data.binned() };
+        let mut grower = Grower {
+            data,
+            binned,
+            targets,
+            params,
+            part,
+            gather,
+            pool,
+            fold,
+            nodes: Vec::new(),
+        };
+        match binned {
+            Some(b) => {
+                let root = grower.pool.alloc(b.total_bins());
+                fill_hist(
+                    b,
+                    targets,
+                    row_buf,
+                    &mut grower.pool.bufs[root],
+                    grower.gather,
+                );
+                grower.grow_hist(row_buf, 0, root);
+            }
+            None => {
+                grower.grow_exact(row_buf, 0);
+            }
+        }
+        RegressionTree {
+            nodes: grower.nodes,
+        }
     }
 
     /// Predict one row.
@@ -133,17 +496,11 @@ impl RegressionTree {
     }
 }
 
-/// Stable partition: rows satisfying `pred` first; returns the split point.
-fn partition<F: Fn(&usize) -> bool>(rows: &mut [usize], pred: F) -> usize {
-    let matched: Vec<usize> = rows.iter().copied().filter(|r| pred(r)).collect();
-    let rest: Vec<usize> = rows.iter().copied().filter(|r| !pred(r)).collect();
-    let mid = matched.len();
-    rows[..mid].copy_from_slice(&matched);
-    rows[mid..].copy_from_slice(&rest);
-    mid
-}
-
-fn best_split(
+/// The sort-based exact splitter. Accumulates each equal-value group
+/// separately before folding it into the left prefix — the same summation
+/// order as a histogram bin — and applies the shared tie band, so a
+/// freshly-scanned histogram node picks the identical split bit-for-bit.
+fn best_split_exact(
     data: &Dataset,
     targets: &[f64],
     rows: &[usize],
@@ -153,11 +510,13 @@ fn best_split(
     let sum: f64 = rows.iter().map(|&r| targets[r]).sum();
     let sum_sq: f64 = rows.iter().map(|&r| targets[r] * targets[r]).sum();
     let parent_sse = sum_sq - sum * sum / n;
+    let tie_eps = GAIN_TIE_REL * parent_sse.abs();
 
-    (0..data.n_features())
+    let per_feature: Vec<SplitCandidate> = (0..data.n_features())
         .into_par_iter()
         .filter_map(|feature| {
-            // Sort (value, target) pairs once per feature.
+            // Sort (value, target) pairs once per feature (stable, so rows
+            // keep their node order within an equal-value group).
             let mut pairs: Vec<(f64, f64)> = rows
                 .iter()
                 .map(|&r| (data.value(r, feature), targets[r]))
@@ -167,14 +526,29 @@ fn best_split(
             let mut left_sum = 0.0;
             let mut left_sq = 0.0;
             let mut left_n = 0.0;
-            for i in 0..pairs.len() - 1 {
-                left_sum += pairs[i].1;
-                left_sq += pairs[i].1 * pairs[i].1;
-                left_n += 1.0;
-                // Only between distinct feature values.
-                if pairs[i].0 == pairs[i + 1].0 {
-                    continue;
+            let mut i = 0;
+            while i < pairs.len() {
+                // Group-local sums first, then one fold into the prefix.
+                let v = pairs[i].0;
+                let mut group_sum = 0.0;
+                let mut group_sq = 0.0;
+                let mut group_n = 0.0;
+                let mut j = i;
+                while j < pairs.len() && pairs[j].0 == v {
+                    let t = pairs[j].1;
+                    group_sum += t;
+                    group_sq += t * t;
+                    group_n += 1.0;
+                    j += 1;
                 }
+                left_sum += group_sum;
+                left_sq += group_sq;
+                left_n += group_n;
+                i = j;
+                if i >= pairs.len() {
+                    break;
+                }
+                // Candidate boundary between value `v` and the next value.
                 let right_n = n - left_n;
                 if (left_n as usize) < params.min_samples_leaf
                     || (right_n as usize) < params.min_samples_leaf
@@ -186,17 +560,29 @@ fn best_split(
                 let sse = (left_sq - left_sum * left_sum / left_n)
                     + (right_sq - right_sum * right_sum / right_n);
                 let gain = parent_sse - sse;
-                if gain > best.as_ref().map_or(1e-12, |b| b.gain) {
+                // Earlier (lower) thresholds win ties.
+                if gain > 1e-12 && best.as_ref().is_none_or(|b| gain > b.gain + tie_eps) {
                     best = Some(SplitCandidate {
                         feature,
-                        threshold: 0.5 * (pairs[i].0 + pairs[i + 1].0),
+                        threshold: 0.5 * (v + pairs[i].0),
                         gain,
                     });
                 }
             }
             best
         })
-        .max_by(|a, b| a.gain.partial_cmp(&b.gain).expect("NaN gain"))
+        .collect();
+    // Later (higher) features win ties — the historical `max_by` rule.
+    let mut overall: Option<SplitCandidate> = None;
+    for fb in per_feature {
+        if overall
+            .as_ref()
+            .is_none_or(|ov| fb.gain > ov.gain - tie_eps)
+        {
+            overall = Some(fb);
+        }
+    }
+    overall
 }
 
 #[cfg(test)]
@@ -265,8 +651,96 @@ mod tests {
     fn splits_prefer_informative_features() {
         let (data, y) = step_data();
         let rows: Vec<usize> = (0..data.n_rows()).collect();
-        let s = best_split(&data, &y, &rows, &TreeParams::default()).unwrap();
+        let s = best_split_exact(&data, &y, &rows, &TreeParams::default()).unwrap();
         assert_eq!(s.feature, 0);
         assert!((s.threshold - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_tree_matches_exact_tree() {
+        let (data, y) = step_data();
+        let rows: Vec<usize> = (0..data.n_rows()).collect();
+        for params in [
+            TreeParams::default(),
+            TreeParams {
+                max_depth: 10,
+                min_samples_leaf: 1,
+            },
+            TreeParams {
+                max_depth: 3,
+                min_samples_leaf: 7,
+            },
+        ] {
+            let hist = RegressionTree::fit(&data, &y, &rows, &params);
+            let exact = RegressionTree::fit_exact(&data, &y, &rows, &params);
+            for q in 0..data.n_rows() {
+                assert_eq!(hist.predict(data.row(q)), exact.predict(data.row(q)));
+            }
+            // Off-grid queries must agree too: thresholds are identical.
+            for x in [-1.0, 0.5, 4.49, 4.51, 9.7] {
+                assert_eq!(hist.predict(&[x, 1.2]), exact.predict(&[x, 1.2]));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_rows_are_handled() {
+        // Bootstrap-style row multisets (forest bagging) must work.
+        let (data, y) = step_data();
+        let rows: Vec<usize> = (0..data.n_rows()).map(|i| (i * 7) % 50).collect();
+        let hist = RegressionTree::fit(&data, &y, &rows, &TreeParams::default());
+        let exact = RegressionTree::fit_exact(&data, &y, &rows, &TreeParams::default());
+        for q in 0..data.n_rows() {
+            assert_eq!(hist.predict(data.row(q)), exact.predict(data.row(q)));
+        }
+    }
+
+    #[test]
+    fn folded_predictions_match_predict() {
+        let (data, y) = step_data();
+        let rows: Vec<usize> = (0..data.n_rows()).collect();
+        let mut scratch = TreeScratch::default();
+        let mut folded = vec![0.0; data.n_rows()];
+        let lr = 0.3;
+        let tree = RegressionTree::fit_with_scratch(
+            &data,
+            &y,
+            &rows,
+            &TreeParams::default(),
+            &mut scratch,
+            Some((&mut folded, lr)),
+            false,
+        );
+        for (i, &f) in folded.iter().enumerate() {
+            assert_eq!(f, lr * tree.predict(data.row(i)));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean_across_fits() {
+        let (data, y) = step_data();
+        let rows: Vec<usize> = (0..data.n_rows()).collect();
+        let mut scratch = TreeScratch::default();
+        let a = RegressionTree::fit_with_scratch(
+            &data,
+            &y,
+            &rows,
+            &TreeParams::default(),
+            &mut scratch,
+            None,
+            false,
+        );
+        let b = RegressionTree::fit_with_scratch(
+            &data,
+            &y,
+            &rows,
+            &TreeParams::default(),
+            &mut scratch,
+            None,
+            false,
+        );
+        for q in 0..data.n_rows() {
+            assert_eq!(a.predict(data.row(q)), b.predict(data.row(q)));
+        }
     }
 }

@@ -17,7 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::bayes::Acquisition;
-use crate::tuner::{new_run, ordinal, record_eval, Recorded, Tuner};
+use crate::tuner::{decode_features, new_run, ordinal, record_eval, Recorded, Tuner};
 
 /// SMAC-style tuner settings.
 #[derive(Debug, Clone, Copy)]
@@ -156,11 +156,14 @@ impl Tuner for SmacTuner {
             let acq = Acquisition::ExpectedImprovement;
             let mut chosen = None;
             let mut best_score = f64::NEG_INFINITY;
+            let d = space.num_params();
+            let mut cfg = vec![0i64; d];
+            let mut features = vec![0.0f64; d];
             for &idx in &candidates {
                 if seen.contains(&idx) {
                     continue;
                 }
-                let features: Vec<f64> = space.config_at(idx).iter().map(|&x| x as f64).collect();
+                decode_features(space, idx, &mut cfg, &mut features);
                 let p = model.predict(&features);
                 let s = acq.score(p.mean, p.std_dev(), best_log);
                 if s > best_score {

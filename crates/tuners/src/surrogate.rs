@@ -6,7 +6,7 @@ use bat_ml::{Dataset, Gbdt, GbdtParams, TreeParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::tuner::{new_run, ordinal, record_eval, Recorded, Tuner};
+use crate::tuner::{decode_features, new_run, ordinal, record_eval, Recorded, Tuner};
 
 /// SMBO loop: random warm-up, then repeatedly (1) fit a GBDT surrogate on
 /// all successful observations, (2) score a random candidate pool, (3)
@@ -107,12 +107,17 @@ impl Tuner for SurrogateTuner {
             }
             let m = model.as_ref().expect("fitted above");
             // Score a random candidate pool; pick the best prediction.
+            // Decode/featurize through reusable scratch buffers — this loop
+            // runs `pool` times per iteration.
             let mut best_idx = None;
             let mut best_pred = f64::INFINITY;
+            let d = space.num_params();
+            let mut cfg = vec![0i64; d];
+            let mut features = vec![0.0f64; d];
             for _ in 0..self.pool {
                 let pos = ordinal::random_positions(space, &mut rng);
                 let idx = ordinal::index_of(space, &pos);
-                let features: Vec<f64> = space.config_at(idx).iter().map(|&x| x as f64).collect();
+                decode_features(space, idx, &mut cfg, &mut features);
                 let pred = m.predict(&features);
                 if pred < best_pred {
                     best_pred = pred;

@@ -33,6 +33,21 @@ pub enum Recorded {
     Ok(f64),
 }
 
+/// Decode `index` into `cfg` and featurize it as f64s into `features`,
+/// through caller-owned scratch — the surrogate tuners' candidate-scoring
+/// inner loop, shared so the featurization cannot drift between them.
+pub(crate) fn decode_features(
+    space: &ConfigSpace,
+    index: u64,
+    cfg: &mut [i64],
+    features: &mut [f64],
+) {
+    space.decode_into(index, cfg);
+    for (f, &v) in features.iter_mut().zip(cfg.iter()) {
+        *f = v as f64;
+    }
+}
+
 /// Evaluate `index`, append a [`Trial`] to `run`, and classify the outcome.
 pub fn record_eval(eval: &Evaluator<'_>, run: &mut TuningRun, index: u64) -> Recorded {
     let Some(outcome) = eval.evaluate_index(index) else {
