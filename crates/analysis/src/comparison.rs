@@ -14,7 +14,7 @@
 //!   problems — the Friedman-test aggregation used in optimizer
 //!   benchmarking).
 
-use bat_core::{Evaluator, Protocol, TuningProblem};
+use bat_core::{friedman_mean_ranks, Evaluator, Protocol, TuningProblem};
 use bat_tuners::Tuner;
 use rayon::prelude::*;
 
@@ -197,32 +197,9 @@ pub fn compare_tuners(
     }
 
     // Mean rank per tuner: rank tuners within each seed by final time,
-    // failures rank last, ties share the average rank.
-    // (`finals` is tuner-major, so the seed loop must index into it.)
-    let mut rank_sum = vec![0.0f64; n];
-    #[allow(clippy::needless_range_loop)]
-    for s in 0..reps {
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| match (finals[a][s], finals[b][s]) {
-            (Some(x), Some(y)) => x.total_cmp(&y),
-            (Some(_), None) => std::cmp::Ordering::Less,
-            (None, Some(_)) => std::cmp::Ordering::Greater,
-            (None, None) => std::cmp::Ordering::Equal,
-        });
-        let key = |i: usize| finals[i][s];
-        let mut pos = 0usize;
-        while pos < n {
-            let mut end = pos + 1;
-            while end < n && key(order[end]) == key(order[pos]) {
-                end += 1;
-            }
-            let shared = (pos + 1..=end).sum::<usize>() as f64 / (end - pos) as f64;
-            for &t in &order[pos..end] {
-                rank_sum[t] += shared;
-            }
-            pos = end;
-        }
-    }
+    // failures rank last, ties share the average rank — the shared
+    // Friedman reducer, so rankings agree with the harness summary path.
+    let mean_ranks = friedman_mean_ranks(&finals);
 
     let mut results: Vec<TunerResult> = (0..n)
         .map(|t| {
@@ -240,7 +217,7 @@ pub fn compare_tuners(
                 tuner: tuners[t].name().to_string(),
                 final_times: finals[t].clone(),
                 median_curve,
-                mean_rank: rank_sum[t] / reps as f64,
+                mean_rank: mean_ranks[t],
             }
         })
         .collect();

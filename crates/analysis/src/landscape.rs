@@ -9,7 +9,11 @@
 //! Evaluation streams in fixed-size chunks directly into the preallocated
 //! sample vector: each worker decodes configurations into one reusable
 //! scratch (`ConfigSpace::decode_into`) instead of allocating a `Vec<i64>`
-//! per index, and no intermediate index vectors are materialized.
+//! per index, and no intermediate index vectors are materialized. Chunk
+//! *scheduling* is adaptive (compat-rayon `for_each` claims the next
+//! pending chunk from a shared cursor when a worker drains its current
+//! one), so kernels with skewed per-configuration model costs no longer
+//! serialize evaluation behind one statically assigned chunk range.
 
 use rayon::prelude::*;
 

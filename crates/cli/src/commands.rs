@@ -7,7 +7,10 @@ use bat_analysis::{
     random_search_convergence, reduce_space, FitnessFlowGraph, Landscape, PageRankParams,
     PerformanceDistribution,
 };
-use bat_core::{Evaluator, Protocol, TuningProblem};
+use bat_core::{Protocol, TuningProblem};
+use bat_harness::{
+    run_campaign, CampaignSummary, ExperimentSpec, RecordLevel, SeedPolicy, Selector,
+};
 use bat_space::Neighborhood;
 use bat_tuners::default_tuners;
 
@@ -403,7 +406,33 @@ pub fn cmd_fig6(opts: &Opts) {
     }
 }
 
-/// `bat tune` — run one tuner on one benchmark.
+/// Build the sequential-seed campaign the comparison-style subcommands
+/// share: every suite tuner on an explicit benchmark × architecture set,
+/// `repeats` repetitions with the historical per-repetition seeds
+/// `0..repeats`, compact (curve-only) records. Benchmark names are
+/// lowercased here because spec selectors match exactly, unlike the
+/// fuzzy kernel registry.
+fn comparison_spec(
+    name: &str,
+    benches: &[String],
+    archs: &[bat_gpusim::GpuArch],
+    budget: u64,
+    repeats: u64,
+) -> ExperimentSpec {
+    ExperimentSpec {
+        tuners: Selector::All,
+        benchmarks: Selector::Subset(benches.iter().map(|b| b.to_ascii_lowercase()).collect()),
+        architectures: Selector::Subset(archs.iter().map(|a| a.name.to_string()).collect()),
+        budget,
+        repetitions: u32::try_from(repeats).expect("--repeats out of range"),
+        seed_policy: SeedPolicy::Sequential,
+        record: RecordLevel::Curve,
+        ..ExperimentSpec::new(name)
+    }
+}
+
+/// `bat tune` — run one tuner on one benchmark (through the harness's
+/// shared tuning entry point).
 pub fn cmd_tune(opts: &Opts) {
     let bench = opts.get("--bench").unwrap_or_else(|| "gemm".into());
     let archs = selected_archs(opts);
@@ -413,14 +442,12 @@ pub fn cmd_tune(opts: &Opts) {
     let tuner_name = opts
         .get("--tuner")
         .unwrap_or_else(|| "random-search".into());
-    let tuner = default_tuners()
-        .into_iter()
-        .find(|t| t.name() == tuner_name)
+    let tuner = bat_harness::tuner_by_name(&tuner_name)
         .unwrap_or_else(|| panic!("unknown tuner {tuner_name:?}; see `bat list`"));
 
     let b = bench_on(&bench, arch);
-    let eval = Evaluator::with_protocol(&b, Protocol::default()).with_budget(budget);
-    let run = tuner.tune(&eval, seed);
+    let (run, _stats) =
+        bat_harness::run_tuning(&b, tuner.as_ref(), Protocol::default(), budget, seed);
     println!(
         "tuned {bench} on {} with {} ({} evaluations, {} successful)",
         arch.name,
@@ -595,34 +622,33 @@ pub fn cmd_compare(opts: &Opts) {
     let l = paper_landscape(&b, opts.get_usize("--samples", 10_000), 0);
     let t_opt = l.best().map(|s| s.time_ms.unwrap()).unwrap_or(f64::NAN);
 
+    // One declarative campaign replaces the bespoke (tuner × seed) loop;
+    // sequential seeds reproduce the historical numbers exactly.
+    let spec = comparison_spec(
+        "compare",
+        std::slice::from_ref(&bench),
+        &archs[..1],
+        budget,
+        seeds,
+    );
+    let campaign = run_campaign(&spec).expect("comparison campaign").result;
+
     let mut rows = Vec::new();
-    for tuner in default_tuners() {
-        let mut bests = Vec::new();
-        for seed in 0..seeds {
-            let eval = Evaluator::with_protocol(&b, Protocol::default()).with_budget(budget);
-            let run = tuner.tune(&eval, seed);
-            if let Some(best) = run.best() {
-                bests.push(best.time_ms().unwrap());
-            }
-        }
+    for tuner in bat_harness::known_tuners() {
+        let mut bests: Vec<f64> = campaign
+            .trials
+            .iter()
+            .filter(|t| t.tuner == tuner)
+            .filter_map(|t| t.best_ms)
+            .collect();
         if bests.is_empty() {
-            rows.push(vec![
-                tuner.name().to_string(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-            ]);
+            rows.push(vec![tuner, "-".into(), "-".into(), "-".into()]);
             continue;
         }
         bests.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = bests[bests.len() / 2];
         let best = bests[0];
-        rows.push(vec![
-            tuner.name().to_string(),
-            f(median, 4),
-            f(best, 4),
-            f(t_opt / median, 3),
-        ]);
+        rows.push(vec![tuner, f(median, 4), f(best, 4), f(t_opt / median, 3)]);
     }
     rows.sort_by(|a, b| a[1].partial_cmp(&b[1]).unwrap());
     print_table(
@@ -682,29 +708,26 @@ pub fn cmd_convergence_tuners(opts: &Opts) {
         arch.name
     );
     let checkpoints = [10usize, 25, 50, 100, 200, 400];
+    // The campaign's compact best-so-far curves answer every checkpoint
+    // probe, so no bespoke (tuner × seed) loop is needed.
+    let spec = comparison_spec(
+        "convergence",
+        std::slice::from_ref(&bench),
+        &archs[..1],
+        budget,
+        seeds,
+    );
+    let campaign = run_campaign(&spec).expect("convergence campaign").result;
     let mut rows = Vec::new();
-    for tuner in default_tuners() {
-        let mut curves: Vec<Vec<f64>> = Vec::new();
-        for seed in 0..seeds {
-            let eval = Evaluator::with_protocol(&b, Protocol::default()).with_budget(budget);
-            let run = tuner.tune(&eval, seed);
-            let bsf = run.best_so_far();
-            curves.push(
-                checkpoints
-                    .iter()
-                    .map(|&c| {
-                        bsf.get(c.min(bsf.len()).saturating_sub(1))
-                            .copied()
-                            .flatten()
-                            .map(|t| t_opt / t)
-                            .unwrap_or(0.0)
-                    })
-                    .collect(),
-            );
-        }
-        let mut row = vec![tuner.name().to_string()];
-        for c in 0..checkpoints.len() {
-            let mut col: Vec<f64> = curves.iter().map(|r| r[c]).collect();
+    for tuner in bat_harness::known_tuners() {
+        let mut row = vec![tuner.clone()];
+        for &c in &checkpoints {
+            let mut col: Vec<f64> = campaign
+                .trials
+                .iter()
+                .filter(|t| t.tuner == tuner)
+                .map(|t| t.best_at(c as u64).map(|ms| t_opt / ms).unwrap_or(0.0))
+                .collect();
             col.sort_by(|a, b| a.partial_cmp(b).unwrap());
             row.push(f(col[col.len() / 2], 3));
         }
@@ -722,35 +745,55 @@ pub fn cmd_ranks(opts: &Opts) {
     let archs = selected_archs(opts);
     let budget = opts.get_u64("--budget", 150);
     let repeats = opts.get_u64("--repeats", 5);
-    let tuners = default_tuners();
 
     println!(
         "Cross-benchmark tuner ranking (budget {budget} evals, {repeats} repeats, {} benchmark×GPU cells)\n",
         benches.len() * archs.len()
     );
-    let settings = bat_analysis::ComparisonSettings {
-        budget,
-        repeats,
-        ..bat_analysis::ComparisonSettings::default()
-    };
-    let mut comparisons = Vec::new();
-    for bench in &benches {
-        for arch in &archs {
-            let b = bench_on(bench, arch);
-            let c = bat_analysis::compare_tuners(&b, &tuners, &settings, None);
-            println!(
-                "— {bench} / {}: winner {}",
-                arch.name,
-                c.winner().map_or("-", |w| &w.tuner)
-            );
-            comparisons.push(c);
-        }
+    // One campaign covers every benchmark × GPU cell; the harness summary's
+    // Friedman-style rank reducer matches the comparison module's
+    // aggregation (per-repetition ranks, failures last, ties averaged).
+    let spec = comparison_spec("ranks", &benches, &archs, budget, repeats);
+    let campaign = run_campaign(&spec).expect("ranking campaign").result;
+    let summary = CampaignSummary::from_result(&campaign);
+    for cell in &summary.cells {
+        println!(
+            "— {} / {}: winner {}",
+            cell.benchmark,
+            cell.architecture,
+            cell.winner().unwrap_or("-")
+        );
     }
     println!("\nOverall mean ranks (1 = best):\n");
-    print!(
-        "{}",
-        bat_analysis::aggregate_ranks(&comparisons).render_table()
-    );
+    let mut order: Vec<usize> = (0..summary.tuners.len()).collect();
+    order.sort_by(|&a, &b| summary.overall_rank[a].total_cmp(&summary.overall_rank[b]));
+    println!("{:<24} {:>10}", "tuner", "mean rank");
+    for &t in &order {
+        println!(
+            "{:<24} {:>10.2}",
+            summary.tuners[t], summary.overall_rank[t]
+        );
+    }
+}
+
+/// `bat campaign` — run a declarative campaign spec through the harness
+/// (the CLI face of the `bat-harness` binary).
+pub fn cmd_campaign(opts: &Opts) {
+    let path = opts
+        .get("--spec")
+        .expect("--spec FILE is required; see specs/ for examples");
+    let spec = bat_harness::load_spec_file(&path).unwrap_or_else(|e| panic!("{e}"));
+    let out = opts.get("--out");
+    let run = bat_harness::run_spec_to_file(&spec, out.as_deref(), opts.has("--resume"), false)
+        .unwrap_or_else(|e| panic!("campaign failed: {e}"));
+
+    match &out {
+        Some(p) => println!("wrote {p}"),
+        // Artifact on stdout; the report goes to stderr so a redirected
+        // artifact stays parseable.
+        None => println!("{}", run.result.to_json()),
+    }
+    bat_harness::report_run(&run, false);
 }
 
 /// `bat online` — KTT-style dynamic autotuning: does tuning during the

@@ -106,32 +106,11 @@ pub fn paper_landscape(bench: &GpuBenchmark, samples: usize, seed: u64) -> Lands
     }
 }
 
-/// Print an aligned text table: `header` then `rows`.
+/// Print an aligned text table: `header` then `rows` (the harness's
+/// renderer, so both binaries format tables identically).
 pub fn print_table(header: &[String], rows: &[Vec<String>]) {
-    let cols = header.len();
-    let mut width = vec![0usize; cols];
-    for (i, h) in header.iter().enumerate() {
-        width[i] = h.len();
-    }
-    for r in rows {
-        for (i, cell) in r.iter().enumerate() {
-            width[i] = width[i].max(cell.len());
-        }
-    }
-    let line = |r: &[String]| {
-        let cells: Vec<String> = r
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{c:<w$}", w = width[i]))
-            .collect();
-        println!("  {}", cells.join("  "));
-    };
-    line(header);
-    let total: usize = width.iter().sum::<usize>() + 2 * cols;
-    println!("  {}", "-".repeat(total));
-    for r in rows {
-        line(r);
-    }
+    let refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print!("{}", bat_harness::render_table(&refs, rows));
 }
 
 /// Format a float with `d` decimals.

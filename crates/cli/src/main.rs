@@ -27,6 +27,7 @@ EXPERIMENT COMMANDS (one per paper table/figure):
 SUITE COMMANDS:
     list                 benchmarks, GPUs and tuners
     tune                 run one tuner  (--bench, --tuner, --budget, --seed, --json, --t4, --source)
+    campaign             run a declarative campaign spec (--spec FILE, --out FILE, --resume)
     compare              compare all tuners at equal budget (--bench, --budget, --repeats)
     ranks                cross-benchmark tuner ranking, Friedman-style (--budget, --repeats)
     online               KTT-style dynamic autotuning time-to-solution (--bench, --invocations)
@@ -46,6 +47,7 @@ EXAMPLES:
     bat table8 --samples 3000
     bat fig5 --bench pnpoly
     bat tune --bench hotspot --arch rtx3090 --tuner greedy-ils --budget 500
+    bat campaign --spec specs/ci-smoke.json --out smoke.json
 ";
 
 fn main() {
@@ -66,6 +68,7 @@ fn main() {
         "fig5" => commands::cmd_fig5(&opts),
         "fig6" => commands::cmd_fig6(&opts),
         "tune" => commands::cmd_tune(&opts),
+        "campaign" => commands::cmd_campaign(&opts),
         "compare" => commands::cmd_compare(&opts),
         "ranks" => commands::cmd_ranks(&opts),
         "online" => commands::cmd_online(&opts),

@@ -5,10 +5,16 @@
 //! the same call surface (`into_par_iter`, `par_iter`, `par_iter_mut`,
 //! `par_chunks_mut`, plus `map`/`enumerate` adapters and
 //! `sum`/`collect`/`for_each` terminals) backed by `std::thread::scope`.
-//! Work is split into one contiguous chunk per available core; on a
-//! single-core host (or inside an already-parallel region) everything runs
-//! serially, which matches rayon's semantics for deterministic, order-
-//! preserving pipelines.
+//! Order-preserving terminals (`collect`, `sum`) split work into one
+//! contiguous chunk per available core; on a single-core host (or inside an
+//! already-parallel region) everything runs serially, which matches rayon's
+//! semantics for deterministic, order-preserving pipelines.
+//!
+//! Side-effect terminals (`for_each`) schedule *adaptively*, approximating
+//! rayon's work stealing: workers claim the next pending item (or, for lazy
+//! ranges, the next block of the remaining range) from a shared atomic
+//! cursor whenever they drain their current one, so a handful of expensive
+//! items no longer serializes the whole pass behind one static chunk.
 //!
 //! Integer ranges get a dedicated lazy implementation ([`RangePar`]): the
 //! range is split into per-worker subranges by arithmetic alone, so
@@ -17,6 +23,8 @@
 //! pipeline's *outputs* are ever collected.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 thread_local! {
     /// True while this thread is executing inside a parallel terminal;
@@ -77,6 +85,53 @@ where
     out.into_iter().flatten().collect()
 }
 
+/// Apply `f` to every item with adaptive scheduling: each worker claims the
+/// next pending *block* of items from a shared cursor when it drains its
+/// current one, so skewed per-item costs rebalance while fine-grained
+/// items (single floats, small slots) amortize the claim overhead.
+/// Execution order is unspecified (side effects must not depend on it, as
+/// with rayon's `for_each`), but every item runs exactly once.
+fn run_for_each<T, F>(items: Vec<T>, f: &F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let workers = worker_count(items.len());
+    if workers <= 1 {
+        let was = IN_PARALLEL.with(|c| c.replace(true));
+        items.into_iter().for_each(f);
+        IN_PARALLEL.with(|c| c.set(was));
+        return;
+    }
+    // ~8 claims per worker; each block is taken out of its slot exactly
+    // once, so the per-block lock is uncontended.
+    let block = (items.len() / (workers * 8)).clamp(1, 1024);
+    let mut blocks: Vec<Mutex<Vec<T>>> = Vec::with_capacity(items.len().div_ceil(block));
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(block).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        blocks.push(Mutex::new(chunk));
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                IN_PARALLEL.with(|c| c.set(true));
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(slot) = blocks.get(i) else { break };
+                    let chunk =
+                        std::mem::take(&mut *slot.lock().expect("rayon-compat worker panicked"));
+                    chunk.into_iter().for_each(f);
+                }
+            });
+        }
+    });
+}
+
 /// A materialized "parallel" iterator: the item list plus order-preserving
 /// parallel terminals.
 pub struct ParIter<T> {
@@ -99,9 +154,10 @@ impl<T: Send> ParIter<T> {
         }
     }
 
-    /// Apply `f` to every item.
+    /// Apply `f` to every item (adaptive scheduling; execution order is
+    /// unspecified).
     pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
-        run_map(self.items, &|t| f(t));
+        run_for_each(self.items, &f);
     }
 
     /// Collect the items (identity pipeline).
@@ -163,10 +219,10 @@ where
         run_map(self.items, &self.f).into_iter().sum()
     }
 
-    /// Run the pipeline for its side effects.
+    /// Run the pipeline for its side effects (adaptive scheduling).
     pub fn for_each<G: Fn(U) + Sync>(self, g: G) {
         let f = self.f;
-        run_map(self.items, &|t| g(f(t)));
+        run_for_each(self.items, &|t| g(f(t)));
     }
 }
 
@@ -248,6 +304,11 @@ where
 
 /// Stream `f` over the range for its side effects; nothing is collected, so
 /// arbitrarily long ranges cost no memory.
+///
+/// Scheduling is adaptive: instead of one static subrange per worker, each
+/// worker claims the next `block`-sized window of the remaining range when
+/// it drains its current one, so skewed per-item costs cannot strand the
+/// tail of the range behind one slow worker.
 fn run_range_for_each<T, F>(start: T, len: u64, f: &F)
 where
     T: RangeIndex,
@@ -262,22 +323,25 @@ where
         IN_PARALLEL.with(|c| c.set(was));
         return;
     }
-    let chunk = len.div_ceil(workers as u64);
+    // ~8 claims per worker balances skew against cursor traffic; the block
+    // is capped so very long ranges still rebalance frequently.
+    let block = (len / (workers as u64 * 8)).clamp(1, 65_536);
+    let cursor = AtomicU64::new(0);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers as u64)
-            .map(|w| {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(len);
-                scope.spawn(move || {
-                    IN_PARALLEL.with(|c| c.set(true));
+        for _ in 0..workers {
+            scope.spawn(|| {
+                IN_PARALLEL.with(|c| c.set(true));
+                loop {
+                    let lo = cursor.fetch_add(block, Ordering::Relaxed);
+                    if lo >= len {
+                        break;
+                    }
+                    let hi = lo.saturating_add(block).min(len);
                     for k in lo..hi {
                         f(start.offset(k));
                     }
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().expect("rayon-compat worker panicked");
+                }
+            });
         }
     });
 }
@@ -493,6 +557,37 @@ mod tests {
         assert_eq!(s, (10usize..20).sum::<usize>());
         let empty: Vec<u32> = (7u32..7).into_par_iter().map(|x| x).collect();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn for_each_with_skewed_costs_covers_every_item_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = 397usize;
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        (0..n).collect::<Vec<_>>().into_par_iter().for_each(|i| {
+            // Skew: the first few items are far more expensive; adaptive
+            // claiming must still run every item exactly once.
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn range_for_each_block_claiming_covers_uneven_lengths() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // Lengths around block-size boundaries (block cap is 65_536 and the
+        // claim granularity depends on worker count): every index must be
+        // visited exactly once regardless of how blocks tile the range.
+        for len in [1u64, 2, 7, 1023, 4096, 4099] {
+            let sum = AtomicU64::new(0);
+            (0..len).into_par_iter().for_each(|x| {
+                sum.fetch_add(x + 1, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), len * (len + 1) / 2, "{len}");
+        }
     }
 
     #[test]

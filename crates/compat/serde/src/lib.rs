@@ -11,8 +11,8 @@
 //! the `serde_derive` stand-in) generate those impls for structs with named
 //! fields and for enums with unit/newtype variants, honouring the
 //! `#[serde(rename)]`, `#[serde(rename_all = "snake_case")]`,
-//! `#[serde(default)]` and `#[serde(skip_serializing_if = "path")]`
-//! attributes the workspace uses.
+//! `#[serde(default)]`, `#[serde(skip_serializing_if = "path")]` and
+//! `#[serde(deny_unknown_fields)]` attributes the workspace uses.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -78,6 +78,11 @@ impl DeError {
     /// Missing required field error.
     pub fn missing_field(field: &str, ty: &str) -> DeError {
         DeError(format!("missing field {field:?} while deserializing {ty}"))
+    }
+
+    /// Unknown field error (emitted by `#[serde(deny_unknown_fields)]`).
+    pub fn unknown_field(field: &str, ty: &str) -> DeError {
+        DeError(format!("unknown field {field:?} while deserializing {ty}"))
     }
 }
 

@@ -6,8 +6,10 @@
 //! * structs with named fields;
 //! * enums whose variants are unit or newtype (one unnamed field);
 //! * attributes `#[serde(rename = "...")]`, `#[serde(rename_all =
-//!   "snake_case")]`, `#[serde(default)]` and
-//!   `#[serde(skip_serializing_if = "path")]`.
+//!   "snake_case")]`, `#[serde(default)]`,
+//!   `#[serde(skip_serializing_if = "path")]` and the container attribute
+//!   `#[serde(deny_unknown_fields)]` (structs: deserialization errors on
+//!   any object key that maps to no field).
 //!
 //! Implemented directly on `proc_macro` token streams (no `syn`/`quote`
 //! available offline); code is generated as source text and re-parsed.
@@ -21,6 +23,7 @@ struct SerdeAttrs {
     rename_all: Option<String>,
     default: bool,
     skip_serializing_if: Option<String>,
+    deny_unknown_fields: bool,
 }
 
 impl SerdeAttrs {
@@ -35,6 +38,7 @@ impl SerdeAttrs {
         if other.skip_serializing_if.is_some() {
             self.skip_serializing_if = other.skip_serializing_if;
         }
+        self.deny_unknown_fields |= other.deny_unknown_fields;
     }
 }
 
@@ -58,6 +62,7 @@ struct Variant {
 enum Item {
     Struct {
         name: String,
+        attrs: SerdeAttrs,
         fields: Vec<Field>,
     },
     Enum {
@@ -93,6 +98,7 @@ fn parse_serde_args(group: &proc_macro::Group) -> SerdeAttrs {
             "rename_all" => out.rename_all = value,
             "default" => out.default = true,
             "skip_serializing_if" => out.skip_serializing_if = value,
+            "deny_unknown_fields" => out.deny_unknown_fields = true,
             other => panic!("serde-compat derive: unsupported serde attribute {other:?}"),
         }
         i += 1;
@@ -243,6 +249,7 @@ fn parse_item(input: TokenStream) -> Item {
     match kind.as_str() {
         "struct" => Item::Struct {
             name,
+            attrs: container_attrs,
             fields: parse_fields(body),
         },
         "enum" => Item::Enum {
@@ -289,7 +296,7 @@ fn field_key(f: &Field) -> String {
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let mut src = String::new();
     match parse_item(input) {
-        Item::Struct { name, fields } => {
+        Item::Struct { name, fields, .. } => {
             src.push_str(&format!(
                 "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n"
             ));
@@ -358,10 +365,25 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let mut src = String::new();
     match parse_item(input) {
-        Item::Struct { name, fields } => {
+        Item::Struct {
+            name,
+            attrs,
+            fields,
+        } => {
             src.push_str(&format!(
-                "impl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n        let entries = v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}\"))?;\n        ::core::result::Result::Ok({name} {{\n"
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n        let entries = v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}\"))?;\n"
             ));
+            if attrs.deny_unknown_fields {
+                let known: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("\"{}\"", field_key(f)))
+                    .collect();
+                src.push_str(&format!(
+                    "        const KNOWN: &[&str] = &[{}];\n        for (k, _) in entries {{\n            if !KNOWN.contains(&k.as_str()) {{\n                return ::core::result::Result::Err(::serde::DeError::unknown_field(k, \"{name}\"));\n            }}\n        }}\n",
+                    known.join(", ")
+                ));
+            }
+            src.push_str(&format!("        ::core::result::Result::Ok({name} {{\n"));
             for f in &fields {
                 let key = field_key(f);
                 let fname = &f.name;

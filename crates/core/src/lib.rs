@@ -24,10 +24,12 @@
 mod evaluator;
 mod measurement;
 mod problem;
+mod ranking;
 mod record;
 pub mod t4;
 
 pub use evaluator::{Evaluator, Protocol};
 pub use measurement::{EvalFailure, Measurement};
 pub use problem::{SyntheticProblem, TuningProblem};
+pub use ranking::friedman_mean_ranks;
 pub use record::{Trial, TuningRun};

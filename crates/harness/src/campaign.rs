@@ -1,0 +1,495 @@
+//! The campaign executor: compiled trials in, a deterministic artifact out.
+//!
+//! Every trial is independent — its own problem instance, evaluator,
+//! tuner and RNG seed — so trials fan out over the compat-rayon pool and
+//! the result is bit-identical no matter how many threads ran them or in
+//! what order they finished. Resume works the same way: trials already
+//! present in a prior (possibly partial) result are reused verbatim and
+//! only the missing ones execute.
+
+use std::time::{Duration, Instant};
+
+use rayon::prelude::*;
+
+use bat_core::{Evaluator, Protocol, TuningProblem, TuningRun};
+use bat_tuners::{default_tuners, Tuner};
+
+use crate::result::{CampaignResult, TrialRecord, RESULT_SCHEMA};
+use crate::spec::{CompiledTrial, ExperimentSpec, RecordLevel, SpecError};
+
+/// A campaign execution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HarnessError {
+    /// The spec is not runnable.
+    Spec(SpecError),
+    /// A prior result offered for resume does not belong to this spec.
+    ResumeMismatch(String),
+    /// A trial could not be executed (unknown tuner/benchmark/arch —
+    /// normally caught by validation, but resumable artifacts make this
+    /// reachable again).
+    Trial(String),
+    /// A checkpoint callback (artifact write) failed.
+    Io(String),
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::Spec(e) => e.fmt(f),
+            HarnessError::ResumeMismatch(m) => write!(f, "cannot resume: {m}"),
+            HarnessError::Trial(m) => write!(f, "trial failed: {m}"),
+            HarnessError::Io(m) => write!(f, "checkpoint failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl From<SpecError> for HarnessError {
+    fn from(e: SpecError) -> Self {
+        HarnessError::Spec(e)
+    }
+}
+
+/// A finished campaign plus execution metadata. The metadata (wall time,
+/// executed/reused counts) is deliberately *not* part of the serialized
+/// [`CampaignResult`], which must stay a pure function of the spec.
+#[derive(Debug)]
+pub struct CampaignRun {
+    /// The deterministic artifact (partial under [`advance_campaign`]'s
+    /// trial limit, complete otherwise).
+    pub result: CampaignResult,
+    /// Whether every compiled trial is present in `result`.
+    pub complete: bool,
+    /// Trials executed in this run.
+    pub executed: usize,
+    /// Trials reused from a prior result.
+    pub reused: usize,
+    /// Evaluations spent by the trials executed in this run (reused trials
+    /// excluded).
+    pub executed_evals: u64,
+    /// Wall time spent executing trials.
+    pub wall: Duration,
+}
+
+impl CampaignRun {
+    /// Executed-trial throughput (trials per second of wall time).
+    pub fn trials_per_sec(&self) -> f64 {
+        if self.wall.as_secs_f64() <= 0.0 {
+            return 0.0;
+        }
+        self.executed as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Evaluation throughput of the trials executed in this run.
+    pub fn evals_per_sec(&self) -> f64 {
+        if self.wall.as_secs_f64() <= 0.0 {
+            return 0.0;
+        }
+        self.executed_evals as f64 / self.wall.as_secs_f64()
+    }
+
+    /// One-line execution report (trial counts, wall time, throughput) —
+    /// shared by every front-end so the binaries cannot drift.
+    pub fn report(&self) -> String {
+        format!(
+            "{} trials ({} executed, {} reused) in {:.2}s — {:.1} trials/s, {:.0} evals/s",
+            self.result.trials.len(),
+            self.executed,
+            self.reused,
+            self.wall.as_secs_f64(),
+            self.trials_per_sec(),
+            self.evals_per_sec(),
+        )
+    }
+}
+
+/// Look up a suite tuner by name.
+pub fn tuner_by_name(name: &str) -> Option<Box<dyn Tuner>> {
+    default_tuners().into_iter().find(|t| t.name() == name)
+}
+
+/// Statistics of one tuning run's evaluator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Evaluations spent (budget accounting).
+    pub evals: u64,
+    /// Distinct configurations measured.
+    pub distinct: u64,
+}
+
+/// Run one tuner on one problem under the harness measurement discipline:
+/// a fresh budgeted [`Evaluator`] per run, everything flowing through the
+/// shared protocol. This is the single tuning entry point used by the
+/// campaign engine and the `bat tune` subcommand alike.
+pub fn run_tuning(
+    problem: &dyn TuningProblem,
+    tuner: &dyn Tuner,
+    protocol: Protocol,
+    budget: u64,
+    seed: u64,
+) -> (TuningRun, EvalStats) {
+    let eval = Evaluator::with_protocol(problem, protocol).with_budget(budget);
+    let run = tuner.tune(&eval, seed);
+    let stats = EvalStats {
+        evals: eval.evals_used(),
+        distinct: eval.distinct_evals(),
+    };
+    (run, stats)
+}
+
+/// Execute one compiled trial.
+fn execute_trial(ct: &CompiledTrial) -> Result<TrialRecord, HarnessError> {
+    let arch = bat_gpusim::GpuArch::by_name(&ct.key.architecture)
+        .ok_or_else(|| HarnessError::Trial(format!("unknown GPU {:?}", ct.key.architecture)))?;
+    let problem = bat_kernels::benchmark(&ct.key.benchmark, arch)
+        .ok_or_else(|| HarnessError::Trial(format!("unknown benchmark {:?}", ct.key.benchmark)))?;
+    let tuner = tuner_by_name(&ct.key.tuner)
+        .ok_or_else(|| HarnessError::Trial(format!("unknown tuner {:?}", ct.key.tuner)))?;
+    let (run, stats) = run_tuning(&problem, tuner.as_ref(), ct.protocol, ct.budget, ct.seed);
+    let names = bat_core::TuningProblem::space(&problem).names().to_vec();
+    Ok(TrialRecord::from_run(
+        &ct.key,
+        ct.seed,
+        &run,
+        &names,
+        stats.evals,
+        stats.distinct,
+        ct.record == RecordLevel::Full,
+    ))
+}
+
+/// How trials are scheduled (internal: callers pick via
+/// [`run_campaign`] vs [`run_campaign_serial`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Execution {
+    /// Fan trials out over the compat-rayon pool (the default).
+    Parallel,
+    /// Run trials one by one on the calling thread (determinism oracle).
+    Serial,
+}
+
+fn validate_prior(spec: &ExperimentSpec, prior: &CampaignResult) -> Result<(), HarnessError> {
+    if prior.schema != RESULT_SCHEMA {
+        return Err(HarnessError::ResumeMismatch(format!(
+            "prior result schema {:?} is not {RESULT_SCHEMA:?}",
+            prior.schema
+        )));
+    }
+    if prior.spec != *spec {
+        return Err(HarnessError::ResumeMismatch(
+            "prior result was produced by a different spec".into(),
+        ));
+    }
+    Ok(())
+}
+
+type PriorIndex<'a> = std::collections::HashMap<(&'a str, &'a str, &'a str, u32), &'a TrialRecord>;
+
+/// Index a prior's records by trial key — a linear `find()` per compiled
+/// trial would make resuming large campaigns quadratic.
+fn index_prior(prior: Option<&CampaignResult>) -> PriorIndex<'_> {
+    prior
+        .map(|p| {
+            p.trials
+                .iter()
+                .map(|r| {
+                    (
+                        (
+                            r.tuner.as_str(),
+                            r.benchmark.as_str(),
+                            r.architecture.as_str(),
+                            r.rep,
+                        ),
+                        r,
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// The prior's record for `ct`, if its key and seed match.
+fn reuse_record(index: &PriorIndex<'_>, ct: &CompiledTrial) -> Option<TrialRecord> {
+    index
+        .get(&(
+            ct.key.tuner.as_str(),
+            ct.key.benchmark.as_str(),
+            ct.key.architecture.as_str(),
+            ct.key.rep,
+        ))
+        .filter(|r| r.seed == ct.seed)
+        .map(|r| (*r).clone())
+}
+
+fn run_impl(
+    spec: &ExperimentSpec,
+    prior: Option<&CampaignResult>,
+    execution: Execution,
+    limit: Option<usize>,
+) -> Result<CampaignRun, HarnessError> {
+    let compiled = spec.compile()?;
+    if let Some(p) = prior {
+        validate_prior(spec, p)?;
+    }
+
+    // Slot per compiled trial: resume fills what it can, execution fills
+    // the rest. Output order is the canonical compiled order either way.
+    let prior_index = index_prior(prior);
+    let mut slots: Vec<Option<TrialRecord>> = compiled
+        .iter()
+        .map(|ct| reuse_record(&prior_index, ct))
+        .collect();
+    let mut todo: Vec<(usize, &CompiledTrial)> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_none())
+        .map(|(i, _)| (i, &compiled[i]))
+        .collect();
+    let reused = compiled.len() - todo.len();
+    if let Some(limit) = limit {
+        todo.truncate(limit);
+    }
+    let executed = todo.len();
+
+    let start = Instant::now();
+    let outcomes: Vec<(usize, Result<TrialRecord, HarnessError>)> = match execution {
+        Execution::Parallel => todo
+            .into_par_iter()
+            .map(|(i, ct)| (i, execute_trial(ct)))
+            .collect(),
+        Execution::Serial => todo
+            .into_iter()
+            .map(|(i, ct)| (i, execute_trial(ct)))
+            .collect(),
+    };
+    let wall = start.elapsed();
+    let mut executed_evals = 0u64;
+    for (i, outcome) in outcomes {
+        let record = outcome?;
+        executed_evals += record.evals;
+        slots[i] = Some(record);
+    }
+
+    // Under a `limit`, unexecuted slots stay empty and the result is a
+    // canonical-order partial artifact (what checkpointed runs write).
+    let complete = slots.iter().all(Option::is_some);
+    Ok(CampaignRun {
+        result: CampaignResult {
+            schema: RESULT_SCHEMA.to_string(),
+            spec: spec.clone(),
+            trials: slots.into_iter().flatten().collect(),
+        },
+        complete,
+        executed,
+        reused,
+        executed_evals,
+        wall,
+    })
+}
+
+/// Run a campaign, fanning trials out over the compat-rayon pool.
+pub fn run_campaign(spec: &ExperimentSpec) -> Result<CampaignRun, HarnessError> {
+    run_impl(spec, None, Execution::Parallel, None)
+}
+
+/// Run a campaign strictly sequentially (the determinism oracle: its
+/// result must be byte-identical to [`run_campaign`]'s).
+pub fn run_campaign_serial(spec: &ExperimentSpec) -> Result<CampaignRun, HarnessError> {
+    run_impl(spec, None, Execution::Serial, None)
+}
+
+/// Run a campaign, reusing every trial of `prior` that matches the spec
+/// (same key and derived seed). `prior` may be partial — e.g. an artifact
+/// from an interrupted run — and may even contain no usable trials, in
+/// which case this degenerates to a full run.
+pub fn resume_campaign(
+    spec: &ExperimentSpec,
+    prior: &CampaignResult,
+) -> Result<CampaignRun, HarnessError> {
+    run_impl(spec, Some(prior), Execution::Parallel, None)
+}
+
+/// Execute at most `limit` pending trials of `spec`, reusing everything
+/// `prior` already holds. The returned run's result is a canonical-order
+/// (possibly partial) artifact; `complete` reports whether every compiled
+/// trial is now present.
+pub fn advance_campaign(
+    spec: &ExperimentSpec,
+    prior: Option<&CampaignResult>,
+    limit: usize,
+) -> Result<CampaignRun, HarnessError> {
+    run_impl(spec, prior, Execution::Parallel, Some(limit))
+}
+
+/// Run a campaign to completion in `batch`-sized steps, invoking
+/// `checkpoint` with the canonical-order partial artifact after each step
+/// (and once up front when every trial was already reused). Records
+/// accumulate in place — unlike chaining [`advance_campaign`] calls,
+/// prior trials are cloned once, not once per batch — so checkpointing a
+/// large campaign costs only the periodic serialization.
+pub fn run_campaign_checkpointed(
+    spec: &ExperimentSpec,
+    prior: Option<&CampaignResult>,
+    batch: usize,
+    checkpoint: &mut dyn FnMut(&CampaignResult) -> Result<(), HarnessError>,
+) -> Result<CampaignRun, HarnessError> {
+    assert!(batch > 0, "checkpoint batch must be positive");
+    let compiled = spec.compile()?;
+    if let Some(p) = prior {
+        validate_prior(spec, p)?;
+    }
+    let prior_index = index_prior(prior);
+
+    // `present[i]` ⇔ compiled trial `i` is already in `result.trials`
+    // (which stays sorted in canonical compiled order throughout).
+    let mut present = vec![false; compiled.len()];
+    let mut trials = Vec::with_capacity(compiled.len());
+    for (i, ct) in compiled.iter().enumerate() {
+        if let Some(r) = reuse_record(&prior_index, ct) {
+            present[i] = true;
+            trials.push(r);
+        }
+    }
+    let reused = trials.len();
+    let mut result = CampaignResult {
+        schema: RESULT_SCHEMA.to_string(),
+        spec: spec.clone(),
+        trials,
+    };
+    let todo: Vec<(usize, &CompiledTrial)> = present
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !**p)
+        .map(|(i, _)| (i, &compiled[i]))
+        .collect();
+    let executed = todo.len();
+    if executed == 0 {
+        checkpoint(&result)?;
+    }
+
+    let start = Instant::now();
+    let mut executed_evals = 0u64;
+    // Records arrive in strictly ascending compiled index, so a running
+    // cursor yields each insert position in O(1) amortized instead of a
+    // per-record prefix scan. Inserts only shift when resuming into holes
+    // before reused trials; fresh runs append.
+    let mut cursor_i = 0usize;
+    let mut cursor_pos = 0usize;
+    for chunk in todo.chunks(batch) {
+        let outcomes: Vec<(usize, Result<TrialRecord, HarnessError>)> = chunk
+            .to_vec()
+            .into_par_iter()
+            .map(|(i, ct)| (i, execute_trial(ct)))
+            .collect();
+        for (i, outcome) in outcomes {
+            let record = outcome?;
+            executed_evals += record.evals;
+            while cursor_i < i {
+                cursor_pos += usize::from(present[cursor_i]);
+                cursor_i += 1;
+            }
+            result.trials.insert(cursor_pos, record);
+            present[i] = true;
+        }
+        checkpoint(&result)?;
+    }
+
+    Ok(CampaignRun {
+        result,
+        complete: true,
+        executed,
+        reused,
+        executed_evals,
+        wall: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Selector;
+
+    fn spec() -> ExperimentSpec {
+        ExperimentSpec {
+            tuners: Selector::Subset(vec!["random-search".into(), "simulated-annealing".into()]),
+            benchmarks: Selector::Subset(vec!["nbody".into()]),
+            architectures: Selector::Subset(vec!["RTX 3090".into()]),
+            budget: 25,
+            repetitions: 2,
+            ..ExperimentSpec::new("campaign-unit")
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_are_byte_identical() {
+        let s = spec();
+        let a = run_campaign(&s).unwrap();
+        let b = run_campaign_serial(&s).unwrap();
+        assert_eq!(a.result.to_json(), b.result.to_json());
+        assert_eq!(a.executed, 4);
+        assert_eq!(a.reused, 0);
+    }
+
+    #[test]
+    fn trials_spend_their_budget_and_record_order_is_canonical() {
+        let s = spec();
+        let run = run_campaign(&s).unwrap();
+        assert_eq!(run.result.trials.len(), 4);
+        for t in &run.result.trials {
+            assert_eq!(t.evals, 25);
+            assert!(t.best_ms.is_some());
+            assert!(t.distinct_evals <= t.evals);
+        }
+        let keys: Vec<(String, u32)> = run
+            .result
+            .trials
+            .iter()
+            .map(|t| (t.tuner.clone(), t.rep))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("random-search".into(), 0),
+                ("random-search".into(), 1),
+                ("simulated-annealing".into(), 0),
+                ("simulated-annealing".into(), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn resume_from_partial_result_reproduces_full_result() {
+        let s = spec();
+        let full = run_campaign(&s).unwrap();
+        let mut partial = full.result.clone();
+        partial.trials.truncate(1);
+        let resumed = resume_campaign(&s, &partial).unwrap();
+        assert_eq!(resumed.reused, 1);
+        assert_eq!(resumed.executed, 3);
+        assert_eq!(resumed.result.to_json(), full.result.to_json());
+    }
+
+    #[test]
+    fn resume_rejects_foreign_artifacts() {
+        let s = spec();
+        let full = run_campaign(&s).unwrap();
+        let other = ExperimentSpec { seed: 99, ..spec() };
+        assert!(matches!(
+            resume_campaign(&other, &full.result),
+            Err(HarnessError::ResumeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn run_tuning_matches_direct_evaluator_use() {
+        let arch = bat_gpusim::GpuArch::rtx_3090();
+        let p = bat_kernels::benchmark("nbody", arch).unwrap();
+        let tuner = tuner_by_name("random-search").unwrap();
+        let (run, stats) = run_tuning(&p, tuner.as_ref(), Protocol::default(), 30, 7);
+        let eval = Evaluator::with_protocol(&p, Protocol::default()).with_budget(30);
+        let direct = bat_tuners::RandomSearch.tune(&eval, 7);
+        assert_eq!(run, direct);
+        assert_eq!(stats.evals, 30);
+    }
+}

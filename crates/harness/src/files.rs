@@ -1,0 +1,207 @@
+//! The shared file-level front-end flow: spec in, artifact out.
+//!
+//! Both campaign entry points (`bat-harness run` and `bat campaign`) are
+//! thin shells over these helpers, so resume semantics, checkpointing,
+//! error handling and the post-run report cannot drift between the two
+//! binaries.
+
+use crate::campaign::{
+    run_campaign, run_campaign_checkpointed, run_campaign_serial, CampaignRun, HarnessError,
+};
+use crate::result::CampaignResult;
+use crate::spec::ExperimentSpec;
+use crate::summary::CampaignSummary;
+
+/// Trials executed between checkpoint writes of the output artifact.
+/// Small enough that an interrupted long campaign loses little work,
+/// large enough that serialization stays a rounding error next to trial
+/// execution.
+const CHECKPOINT_TRIALS: usize = 32;
+
+/// Load and parse a campaign spec file.
+pub fn load_spec_file(path: &str) -> Result<ExperimentSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    ExperimentSpec::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// Load and parse a campaign result artifact.
+pub fn load_result_file(path: &str) -> Result<CampaignResult, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    CampaignResult::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// Execute `spec` and, when `out` is given, write the artifact there —
+/// checkpointed every [`CHECKPOINT_TRIALS`] completed trials, so an
+/// interrupted run leaves a partial artifact that `resume` picks up.
+///
+/// With `resume`, trials already present in the `out` artifact are reused
+/// (a missing file degenerates to a full run; any other read or parse
+/// failure is an error — silently re-running would overwrite the
+/// artifact). `serial` runs the determinism oracle and is mutually
+/// exclusive with `resume`.
+pub fn run_spec_to_file(
+    spec: &ExperimentSpec,
+    out: Option<&str>,
+    resume: bool,
+    serial: bool,
+) -> Result<CampaignRun, String> {
+    if resume && serial {
+        return Err("--resume and --serial are mutually exclusive".into());
+    }
+    let prior: Option<CampaignResult> = if resume {
+        let path = out.ok_or("--resume requires --out (the file to resume from)")?;
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                Some(CampaignResult::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))?)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(format!("reading {path}: {e}")),
+        }
+    } else {
+        None
+    };
+
+    if serial {
+        // The determinism oracle runs in one shot; its artifact still
+        // lands on disk at the end.
+        let run = run_campaign_serial(spec).map_err(|e| e.to_string())?;
+        if let Some(path) = out {
+            write_artifact(path, &run.result)?;
+        }
+        return Ok(run);
+    }
+
+    match out {
+        // Without an output file there is nothing to checkpoint into
+        // (and resume already required one, so `prior` is None here).
+        None => run_campaign(spec).map_err(|e| e.to_string()),
+        Some(path) => {
+            run_campaign_checkpointed(spec, prior.as_ref(), CHECKPOINT_TRIALS, &mut |partial| {
+                write_artifact(path, partial).map_err(HarnessError::Io)
+            })
+            .map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Write the artifact atomically (temp file + rename) so a crash mid-write
+/// cannot leave the corrupt file that would make the next `--resume` abort.
+fn write_artifact(path: &str, result: &CampaignResult) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, result.to_json()).map_err(|e| format!("writing {tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("renaming {tmp} to {path}: {e}"))
+}
+
+/// Print the shared post-run report to stderr: summary tables and the
+/// throughput line (unless `quiet`), plus a warning when trials found no
+/// valid configuration. Returns the failed-trial count so strict
+/// front-ends can gate on it.
+pub fn report_run(run: &CampaignRun, quiet: bool) -> usize {
+    if !quiet {
+        eprint!("{}", CampaignSummary::from_result(&run.result).render());
+        eprintln!("\n{}", run.report());
+    }
+    let failed = run.result.failed_trials();
+    if failed > 0 {
+        eprintln!("warning: {failed} trial(s) found no valid configuration");
+    }
+    failed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{advance_campaign, run_campaign};
+    use crate::spec::Selector;
+
+    fn spec() -> ExperimentSpec {
+        ExperimentSpec {
+            tuners: Selector::Subset(vec!["random-search".into()]),
+            benchmarks: Selector::Subset(vec!["nbody".into()]),
+            architectures: Selector::Subset(vec!["RTX 3060".into()]),
+            budget: 10,
+            repetitions: 1,
+            ..ExperimentSpec::new("files-unit")
+        }
+    }
+
+    fn temp_out(name: &str) -> String {
+        let dir = std::env::temp_dir().join("bat-harness-files-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn run_write_resume_round_trip() {
+        let out = temp_out("artifact.json");
+
+        // Missing artifact + resume degenerates to a full run.
+        let first = run_spec_to_file(&spec(), Some(&out), true, false).unwrap();
+        assert!(first.complete);
+        assert_eq!(first.executed, 1);
+        // Resuming from the written artifact reuses everything.
+        let second = run_spec_to_file(&spec(), Some(&out), true, false).unwrap();
+        assert_eq!(second.reused, 1);
+        assert_eq!(second.result, first.result);
+        assert_eq!(load_result_file(&out).unwrap(), first.result);
+
+        // A corrupt artifact is an error, not a silent re-run.
+        std::fs::write(&out, "{ not json").unwrap();
+        assert!(run_spec_to_file(&spec(), Some(&out), true, false).is_err());
+        std::fs::remove_file(&out).unwrap();
+    }
+
+    #[test]
+    fn checkpointed_batches_reproduce_the_single_shot_artifact() {
+        // More trials than one checkpoint batch (2 tuners × 2 benchmarks
+        // × 10 reps = 40 on a tiny budget) forces at least one mid-run
+        // artifact write before completion; the assert pins the relation
+        // so a larger CHECKPOINT_TRIALS cannot make this vacuous.
+        let spec = ExperimentSpec {
+            tuners: Selector::Subset(vec!["random-search".into(), "greedy-ils".into()]),
+            benchmarks: Selector::Subset(vec!["nbody".into(), "gemm".into()]),
+            repetitions: 10,
+            budget: 5,
+            ..spec()
+        };
+        assert!(spec.compile().unwrap().len() > CHECKPOINT_TRIALS);
+        let out = temp_out("checkpointed.json");
+        let batched = run_spec_to_file(&spec, Some(&out), false, false).unwrap();
+        let single = run_campaign(&spec).unwrap();
+        assert!(batched.complete);
+        assert_eq!(batched.executed, single.result.trials.len());
+        assert_eq!(batched.result.to_json(), single.result.to_json());
+        std::fs::remove_file(&out).unwrap();
+    }
+
+    #[test]
+    fn partial_artifact_resumes_to_the_full_result() {
+        let spec = ExperimentSpec {
+            repetitions: 6,
+            ..spec()
+        };
+        // Simulate an interrupted checkpoint: only 2 of 6 trials done.
+        let partial = advance_campaign(&spec, None, 2).unwrap();
+        assert!(!partial.complete);
+        assert_eq!(partial.result.trials.len(), 2);
+        let out = temp_out("partial.json");
+        std::fs::write(&out, partial.result.to_json()).unwrap();
+        let resumed = run_spec_to_file(&spec, Some(&out), true, false).unwrap();
+        assert!(resumed.complete);
+        assert_eq!(resumed.reused, 2);
+        assert_eq!(resumed.executed, 4);
+        assert_eq!(
+            resumed.result.to_json(),
+            run_campaign(&spec).unwrap().result.to_json()
+        );
+        std::fs::remove_file(&out).unwrap();
+    }
+
+    #[test]
+    fn flag_combinations_are_validated() {
+        assert!(run_spec_to_file(&spec(), Some("x"), true, true).is_err());
+        assert!(run_spec_to_file(&spec(), None, true, false).is_err());
+    }
+}

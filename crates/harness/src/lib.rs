@@ -1,0 +1,53 @@
+//! # bat-harness
+//!
+//! The suite's declarative experiment-orchestration engine: tuning
+//! campaigns are *data*, not code.
+//!
+//! A campaign is an [`ExperimentSpec`] — tuners × benchmarks ×
+//! architectures × budget × repetitions, with `"all"`/subset selectors —
+//! that compiles into a flat list of independent trials. Trials execute in
+//! parallel over the compat-rayon pool; each one derives its RNG seed
+//! purely from `(campaign seed, tuner, benchmark, architecture, rep)`, so
+//! the resulting [`CampaignResult`] is **bit-identical** regardless of
+//! thread count or completion order, and CI can regression-check a whole
+//! campaign with a byte diff. Artifacts embed the producing spec, support
+//! resume-from-partial-results, and feed the [`summary`] reducers (final
+//! best, convergence AUC, Friedman-style rank matrix) without any
+//! re-execution.
+//!
+//! ```
+//! use bat_harness::{run_campaign, ExperimentSpec, Selector};
+//!
+//! let spec = ExperimentSpec {
+//!     tuners: Selector::Subset(vec!["random-search".into()]),
+//!     benchmarks: Selector::Subset(vec!["nbody".into()]),
+//!     architectures: Selector::Subset(vec!["RTX 3090".into()]),
+//!     budget: 20,
+//!     repetitions: 2,
+//!     ..ExperimentSpec::new("doc")
+//! };
+//! let run = run_campaign(&spec).unwrap();
+//! assert_eq!(run.result.trials.len(), 2);
+//! let replay = run_campaign(&spec).unwrap();
+//! assert_eq!(run.result.to_json(), replay.result.to_json());
+//! ```
+
+#![warn(missing_docs)]
+
+mod campaign;
+mod files;
+mod result;
+mod spec;
+pub mod summary;
+
+pub use campaign::{
+    advance_campaign, resume_campaign, run_campaign, run_campaign_checkpointed,
+    run_campaign_serial, run_tuning, tuner_by_name, CampaignRun, EvalStats, HarnessError,
+};
+pub use files::{load_result_file, load_spec_file, report_run, run_spec_to_file};
+pub use result::{CampaignResult, CurvePoint, TrialRecord, RESULT_SCHEMA};
+pub use spec::{
+    known_architectures, known_benchmarks, known_tuners, CompiledTrial, ExperimentSpec,
+    ProtocolSpec, RecordLevel, SeedPolicy, Selector, SpecError, TrialKey, SPEC_SCHEMA,
+};
+pub use summary::{convergence_auc, render_table, CampaignSummary, CellSummary};

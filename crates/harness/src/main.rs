@@ -1,0 +1,140 @@
+//! `bat-harness` — run declarative tuning campaigns and summarize their
+//! artifacts.
+//!
+//! The binary is a thin shell over [`bat_harness`]: it reads a spec JSON,
+//! executes (or resumes) the campaign, writes the deterministic result
+//! artifact, and prints the summary tables. CI runs it twice and byte-
+//! diffs the outputs.
+
+use std::process::ExitCode;
+
+use bat_harness::{
+    load_result_file, load_spec_file, report_run, run_spec_to_file, CampaignSummary, ExperimentSpec,
+};
+
+const HELP: &str = "\
+bat-harness — declarative experiment orchestration for BAT-rs
+
+USAGE:
+    bat-harness run --spec FILE [--out FILE] [--resume] [--serial] [--strict] [--quiet]
+    bat-harness summary --input FILE
+    bat-harness trials --spec FILE
+
+COMMANDS:
+    run        execute a campaign spec; writes the CampaignResult JSON to
+               --out (or stdout) and prints the summary tables
+    summary    print the summary tables of an existing result artifact
+    trials     list the compiled trials of a spec without running them
+
+OPTIONS:
+    --spec FILE    campaign spec (see specs/ for examples)
+    --out FILE     where to write the result JSON (default: stdout)
+    --resume       reuse trials already present in --out, run only the rest
+    --serial       run trials sequentially (determinism oracle; the output
+                   must be byte-identical to the parallel run)
+    --strict       exit non-zero if any trial found no valid configuration
+    --quiet        suppress the summary tables and throughput line
+";
+
+fn opt(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+fn load_spec(args: &[String]) -> Result<ExperimentSpec, String> {
+    let path = opt(args, "--spec").ok_or("--spec FILE is required")?;
+    load_spec_file(&path)
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let spec = load_spec(args)?;
+    let out = opt(args, "--out");
+    let quiet = flag(args, "--quiet");
+
+    let run = run_spec_to_file(
+        &spec,
+        out.as_deref(),
+        flag(args, "--resume"),
+        flag(args, "--serial"),
+    )?;
+    if out.is_none() {
+        println!("{}", run.result.to_json());
+    }
+
+    let failed = report_run(&run, quiet);
+    if failed > 0 && flag(args, "--strict") {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_summary(args: &[String]) -> Result<ExitCode, String> {
+    let path = opt(args, "--input").ok_or("--input FILE is required")?;
+    let result = load_result_file(&path)?;
+    print!("{}", CampaignSummary::from_result(&result).render());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_trials(args: &[String]) -> Result<ExitCode, String> {
+    let spec = load_spec(args)?;
+    let trials = spec.compile().map_err(|e| e.to_string())?;
+    let rows: Vec<Vec<String>> = trials
+        .iter()
+        .map(|t| {
+            vec![
+                t.key.benchmark.clone(),
+                t.key.architecture.clone(),
+                t.key.tuner.clone(),
+                t.key.rep.to_string(),
+                t.seed.to_string(),
+                t.budget.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        bat_harness::render_table(
+            &[
+                "benchmark",
+                "architecture",
+                "tuner",
+                "rep",
+                "seed",
+                "budget"
+            ],
+            &rows
+        )
+    );
+    println!("{} trials", trials.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("summary") => cmd_summary(&args[1..]),
+        Some("trials") => cmd_trials(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{HELP}");
+            return ExitCode::SUCCESS;
+        }
+        _ => {
+            eprint!("{HELP}");
+            return ExitCode::from(2);
+        }
+    };
+    match outcome {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("bat-harness: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

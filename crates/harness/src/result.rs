@@ -1,0 +1,242 @@
+//! Campaign result artifacts: what a campaign run serializes.
+//!
+//! A [`CampaignResult`] embeds the [`ExperimentSpec`] that produced it plus
+//! one [`TrialRecord`] per compiled trial, in canonical spec order. The
+//! document is a pure function of the spec — no timestamps, wall times or
+//! host details — so two runs of the same spec produce byte-identical JSON
+//! regardless of thread count, and CI can regression-check campaigns with
+//! a plain `diff`.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use bat_core::t4::T4Results;
+use bat_core::TuningRun;
+
+use crate::spec::{ExperimentSpec, TrialKey};
+
+/// Schema identifier every result document carries.
+pub const RESULT_SCHEMA: &str = "bat/campaign-result/v1";
+
+/// One point of a best-so-far curve: the best objective after `eval`
+/// evaluations. Points are recorded only where the best improves, so the
+/// curve is a compact step function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct CurvePoint {
+    /// 1-based evaluation count at which this best was reached.
+    pub eval: u64,
+    /// Best objective (ms) after `eval` evaluations.
+    pub best_ms: f64,
+}
+
+/// The serialized outcome of one trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct TrialRecord {
+    /// Tuner name.
+    pub tuner: String,
+    /// Benchmark (kernel) name.
+    pub benchmark: String,
+    /// Architecture (GPU) name.
+    pub architecture: String,
+    /// Repetition index.
+    pub rep: u32,
+    /// Tuner RNG seed the trial ran with.
+    pub seed: u64,
+    /// Evaluations spent (budget accounting, cached or not).
+    pub evals: u64,
+    /// Distinct configurations measured (`evals - distinct` = cache hits).
+    pub distinct_evals: u64,
+    /// Evaluations that produced no objective (restricted + launch-failed).
+    pub failures: u64,
+    /// Final best objective in ms (`None` when every evaluation failed).
+    pub best_ms: Option<f64>,
+    /// Named parameter values of the best configuration (empty when none).
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub best_config: BTreeMap<String, i64>,
+    /// Best-so-far improvement curve (compact step function).
+    pub curve: Vec<CurvePoint>,
+    /// Full per-evaluation history as a T4 results document
+    /// (present when the spec's record level is `full`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub history: Option<T4Results>,
+}
+
+impl TrialRecord {
+    /// Build a record from a finished [`TuningRun`].
+    ///
+    /// `param_names` must align with each trial's config vector;
+    /// `keep_history` controls whether the full T4 document is embedded.
+    pub fn from_run(
+        key: &TrialKey,
+        seed: u64,
+        run: &TuningRun,
+        param_names: &[String],
+        evals: u64,
+        distinct_evals: u64,
+        keep_history: bool,
+    ) -> TrialRecord {
+        let mut curve = Vec::new();
+        let mut best: Option<f64> = None;
+        let mut best_config = BTreeMap::new();
+        for (i, t) in run.trials.iter().enumerate() {
+            if let Some(ms) = t.time_ms() {
+                if best.is_none_or(|b| ms < b) {
+                    best = Some(ms);
+                    curve.push(CurvePoint {
+                        eval: i as u64 + 1,
+                        best_ms: ms,
+                    });
+                    best_config = param_names
+                        .iter()
+                        .cloned()
+                        .zip(t.config.iter().copied())
+                        .collect();
+                }
+            }
+        }
+        TrialRecord {
+            tuner: key.tuner.clone(),
+            benchmark: key.benchmark.clone(),
+            architecture: key.architecture.clone(),
+            rep: key.rep,
+            seed,
+            evals,
+            distinct_evals,
+            failures: (run.trials.len() - run.successes()) as u64,
+            best_ms: best,
+            best_config,
+            curve,
+            history: keep_history.then(|| T4Results::from_run(run, param_names)),
+        }
+    }
+
+    /// Whether this record belongs to `key`.
+    pub fn matches(&self, key: &TrialKey) -> bool {
+        self.tuner == key.tuner
+            && self.benchmark == key.benchmark
+            && self.architecture == key.architecture
+            && self.rep == key.rep
+    }
+
+    /// Best objective after `eval` evaluations (clamped to the trial's
+    /// length), i.e. the value of the best-so-far step function. `None`
+    /// before the first success.
+    pub fn best_at(&self, eval: u64) -> Option<f64> {
+        let e = eval.min(self.evals);
+        self.curve
+            .iter()
+            .take_while(|p| p.eval <= e)
+            .last()
+            .map(|p| p.best_ms)
+    }
+
+    /// The benchmark × architecture cell this trial belongs to.
+    pub fn cell(&self) -> (String, String) {
+        (self.benchmark.clone(), self.architecture.clone())
+    }
+}
+
+/// A complete campaign artifact: spec + one record per trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct CampaignResult {
+    /// Format version; must equal [`RESULT_SCHEMA`].
+    pub schema: String,
+    /// The spec that produced (and reproduces) this result.
+    pub spec: ExperimentSpec,
+    /// One record per compiled trial, in canonical spec order.
+    pub trials: Vec<TrialRecord>,
+}
+
+impl CampaignResult {
+    /// Serialize to pretty JSON (deterministic: field order is fixed and
+    /// no volatile data is recorded).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("campaign result serializes")
+    }
+
+    /// Parse a result document (unknown fields are rejected).
+    pub fn from_json(s: &str) -> Result<CampaignResult, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// The record for `key`, if present.
+    pub fn find(&self, key: &TrialKey) -> Option<&TrialRecord> {
+        self.trials.iter().find(|t| t.matches(key))
+    }
+
+    /// Number of trials whose every evaluation failed.
+    pub fn failed_trials(&self) -> usize {
+        self.trials.iter().filter(|t| t.best_ms.is_none()).count()
+    }
+
+    /// Total evaluations spent across all trials.
+    pub fn total_evals(&self) -> u64 {
+        self.trials.iter().map(|t| t.evals).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_core::{EvalFailure, Measurement, Trial};
+
+    fn key() -> TrialKey {
+        TrialKey {
+            tuner: "random-search".into(),
+            benchmark: "toy".into(),
+            architecture: "SIM".into(),
+            rep: 0,
+        }
+    }
+
+    fn run() -> (TuningRun, Vec<String>) {
+        let mut run = TuningRun::new("toy", "SIM", "random-search", 7);
+        for (i, t) in [None, Some(5.0), Some(3.0), Some(4.0), Some(2.0)]
+            .iter()
+            .enumerate()
+        {
+            run.push(Trial {
+                eval: i as u64 + 1,
+                index: i as u64,
+                config: vec![i as i64, 2 * i as i64],
+                outcome: match t {
+                    Some(v) => Ok(Measurement::from_samples(vec![*v])),
+                    None => Err(EvalFailure::Restricted),
+                },
+            });
+        }
+        (run, vec!["a".into(), "b".into()])
+    }
+
+    #[test]
+    fn record_captures_curve_and_best() {
+        let (run, names) = run();
+        let r = TrialRecord::from_run(&key(), 7, &run, &names, 5, 5, true);
+        assert_eq!(r.failures, 1);
+        assert_eq!(r.best_ms, Some(2.0));
+        assert_eq!(r.best_config["a"], 4);
+        // Improvements at evals 2, 3, 5 — eval 4 (worse) records nothing.
+        let evals: Vec<u64> = r.curve.iter().map(|p| p.eval).collect();
+        assert_eq!(evals, vec![2, 3, 5]);
+        assert_eq!(r.best_at(1), None);
+        assert_eq!(r.best_at(2), Some(5.0));
+        assert_eq!(r.best_at(4), Some(3.0));
+        assert_eq!(r.best_at(999), Some(2.0)); // clamped to trial length
+        assert_eq!(r.history.as_ref().unwrap().results.len(), 5);
+    }
+
+    #[test]
+    fn curve_record_level_drops_history() {
+        let (run, names) = run();
+        let r = TrialRecord::from_run(&key(), 7, &run, &names, 5, 5, false);
+        assert!(r.history.is_none());
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        assert!(!json.contains("\"history\""));
+        let back: TrialRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,483 @@
+//! Campaign specifications: experiments as data.
+//!
+//! An [`ExperimentSpec`] names *what* to run — tuners × benchmarks ×
+//! architectures × budget × repetitions — and is compiled into a flat list
+//! of independent [`CompiledTrial`]s. Every derived quantity (most
+//! importantly each trial's RNG seed) is a pure function of the spec, so a
+//! campaign is reproducible from its JSON alone, bit-for-bit, on any
+//! machine and with any thread count.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use bat_core::Protocol;
+use bat_gpusim::{mix, GpuArch};
+use bat_tuners::default_tuners;
+
+/// Schema identifier every spec document must carry.
+pub const SPEC_SCHEMA: &str = "bat/campaign-spec/v1";
+
+/// A dimension selector: every known value, or an explicit subset.
+///
+/// Serializes as the JSON string `"all"` or an array of names.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selector {
+    /// Every value the suite knows (resolved at compile time).
+    All,
+    /// An explicit, ordered subset of names.
+    Subset(Vec<String>),
+}
+
+impl Serialize for Selector {
+    fn to_value(&self) -> Value {
+        match self {
+            Selector::All => Value::String("all".to_string()),
+            Selector::Subset(names) => {
+                Value::Array(names.iter().map(|n| Value::String(n.clone())).collect())
+            }
+        }
+    }
+}
+
+impl Deserialize for Selector {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) if s == "all" => Ok(Selector::All),
+            Value::String(_) => Err(DeError::expected("\"all\" or an array", "Selector")),
+            Value::Array(items) => items
+                .iter()
+                .map(|i| {
+                    i.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| DeError::expected("string element", "Selector"))
+                })
+                .collect::<Result<Vec<String>, DeError>>()
+                .map(Selector::Subset),
+            _ => Err(DeError::expected("\"all\" or an array", "Selector")),
+        }
+    }
+}
+
+impl Selector {
+    /// Resolve against `universe` (the known names, in canonical order).
+    /// Subset entries must be distinct members of the universe; `All` keeps
+    /// the universe's own order.
+    fn resolve(&self, universe: &[String], dimension: &str) -> Result<Vec<String>, SpecError> {
+        match self {
+            Selector::All => Ok(universe.to_vec()),
+            Selector::Subset(names) => {
+                if names.is_empty() {
+                    return Err(SpecError(format!("{dimension}: empty selection")));
+                }
+                let mut seen = Vec::with_capacity(names.len());
+                for n in names {
+                    if !universe.contains(n) {
+                        return Err(SpecError(format!(
+                            "{dimension}: unknown name {n:?} (known: {universe:?})"
+                        )));
+                    }
+                    if seen.contains(n) {
+                        return Err(SpecError(format!("{dimension}: duplicate name {n:?}")));
+                    }
+                    seen.push(n.clone());
+                }
+                Ok(seen)
+            }
+        }
+    }
+}
+
+/// How per-trial RNG seeds derive from the campaign seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SeedPolicy {
+    /// Hash of `(campaign_seed, tuner, benchmark, architecture, rep)` —
+    /// statistically independent streams for every cell of the campaign.
+    #[default]
+    Derived,
+    /// `campaign_seed + rep`: every cell's repetition `r` reuses seed
+    /// `seed + r`, matching the suite's historical CLI loops
+    /// (`for seed in 0..repeats`).
+    Sequential,
+}
+
+/// Measurement-protocol block of a spec (mirrors [`Protocol`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ProtocolSpec {
+    /// Runs per configuration.
+    pub runs: u32,
+    /// Relative run-to-run noise (σ of the multiplicative factor).
+    pub sigma: f64,
+    /// Seed folded into the deterministic measurement noise.
+    pub noise_seed: u64,
+}
+
+impl Default for ProtocolSpec {
+    fn default() -> Self {
+        let p = Protocol::default();
+        ProtocolSpec {
+            runs: p.runs,
+            sigma: p.sigma,
+            noise_seed: p.seed,
+        }
+    }
+}
+
+impl ProtocolSpec {
+    /// The evaluator protocol this block describes.
+    pub fn protocol(&self) -> Protocol {
+        Protocol {
+            runs: self.runs,
+            sigma: self.sigma,
+            seed: self.noise_seed,
+        }
+    }
+}
+
+/// How much per-trial detail the result artifact keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum RecordLevel {
+    /// Full T4 evaluation history per trial plus the compact summary.
+    #[default]
+    Full,
+    /// Only the compact summary (best-so-far curve, counters, best config).
+    Curve,
+}
+
+/// A declarative tuning campaign: the suite's unit of experimentation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ExperimentSpec {
+    /// Format version; must equal [`SPEC_SCHEMA`].
+    pub schema: String,
+    /// Human-readable campaign name (carried into the result artifact).
+    pub name: String,
+    /// Campaign seed all per-trial seeds derive from.
+    #[serde(default)]
+    pub seed: u64,
+    /// Tuner selection (`"all"` = every suite tuner).
+    pub tuners: Selector,
+    /// Benchmark selection (`"all"` = all seven kernels).
+    pub benchmarks: Selector,
+    /// Architecture selection (`"all"` = the four-GPU paper testbed).
+    pub architectures: Selector,
+    /// Evaluation budget per trial.
+    pub budget: u64,
+    /// Independent repetitions per (tuner, benchmark, architecture) cell.
+    pub repetitions: u32,
+    /// Per-trial seed derivation (default: hash-derived).
+    #[serde(default)]
+    pub seed_policy: SeedPolicy,
+    /// Measurement protocol (default: the suite protocol — 5 runs, 1% σ).
+    #[serde(default)]
+    pub protocol: ProtocolSpec,
+    /// Result detail level (default: full T4 histories).
+    #[serde(default)]
+    pub record: RecordLevel,
+}
+
+/// Resolved campaign dimensions: `(tuners, benchmarks, architectures)`.
+pub type ResolvedDimensions = (Vec<String>, Vec<String>, Vec<String>);
+
+/// A spec that does not describe a runnable campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid campaign spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Identity of one trial within a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialKey {
+    /// Tuner name (as in [`default_tuners`]).
+    pub tuner: String,
+    /// Benchmark (kernel) name.
+    pub benchmark: String,
+    /// Architecture (GPU) name.
+    pub architecture: String,
+    /// Repetition index, `0..repetitions`.
+    pub rep: u32,
+}
+
+/// One fully resolved, independently executable trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledTrial {
+    /// Which cell of the campaign this is.
+    pub key: TrialKey,
+    /// The trial's tuner RNG seed (pure function of spec + key).
+    pub seed: u64,
+    /// Evaluation budget.
+    pub budget: u64,
+    /// Measurement protocol.
+    pub protocol: Protocol,
+    /// Result detail level.
+    pub record: RecordLevel,
+}
+
+/// FNV-1a over a string — a stable, platform-independent name hash for
+/// seed derivation (must never change, or archived campaigns stop being
+/// reproducible).
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// All tuner names the suite ships, in canonical (comparison-table) order.
+pub fn known_tuners() -> Vec<String> {
+    default_tuners()
+        .iter()
+        .map(|t| t.name().to_string())
+        .collect()
+}
+
+/// All benchmark names, in the paper's Table VIII order.
+pub fn known_benchmarks() -> Vec<String> {
+    bat_kernels::BENCHMARK_NAMES
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// All simulated testbed GPU names.
+pub fn known_architectures() -> Vec<String> {
+    GpuArch::paper_testbed()
+        .iter()
+        .map(|a| a.name.to_string())
+        .collect()
+}
+
+impl ExperimentSpec {
+    /// A minimal well-formed spec (callers then adjust the selections).
+    pub fn new(name: impl Into<String>) -> ExperimentSpec {
+        ExperimentSpec {
+            schema: SPEC_SCHEMA.to_string(),
+            name: name.into(),
+            seed: 0,
+            tuners: Selector::All,
+            benchmarks: Selector::All,
+            architectures: Selector::All,
+            budget: 100,
+            repetitions: 1,
+            seed_policy: SeedPolicy::default(),
+            protocol: ProtocolSpec::default(),
+            record: RecordLevel::default(),
+        }
+    }
+
+    /// Parse a spec from JSON (unknown fields are rejected).
+    pub fn from_json(s: &str) -> Result<ExperimentSpec, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+
+    /// Check the spec describes a runnable campaign and resolve selectors.
+    /// Returns `(tuners, benchmarks, architectures)` in execution order.
+    pub fn validate(&self) -> Result<ResolvedDimensions, SpecError> {
+        if self.schema != SPEC_SCHEMA {
+            return Err(SpecError(format!(
+                "schema {:?} is not the supported {SPEC_SCHEMA:?}",
+                self.schema
+            )));
+        }
+        if self.budget == 0 {
+            return Err(SpecError("budget must be positive".into()));
+        }
+        if self.repetitions == 0 {
+            return Err(SpecError("repetitions must be positive".into()));
+        }
+        if self.protocol.runs == 0 {
+            return Err(SpecError("protocol.runs must be positive".into()));
+        }
+        if self.protocol.sigma.is_nan() || self.protocol.sigma < 0.0 {
+            return Err(SpecError("protocol.sigma must be non-negative".into()));
+        }
+        let tuners = self.tuners.resolve(&known_tuners(), "tuners")?;
+        let benchmarks = self.benchmarks.resolve(&known_benchmarks(), "benchmarks")?;
+        let architectures = self
+            .architectures
+            .resolve(&known_architectures(), "architectures")?;
+        Ok((tuners, benchmarks, architectures))
+    }
+
+    /// The RNG seed of one trial: a pure function of the spec and the
+    /// trial's key, so results never depend on execution order.
+    pub fn trial_seed(&self, key: &TrialKey) -> u64 {
+        match self.seed_policy {
+            SeedPolicy::Derived => mix(
+                mix(self.seed, fnv1a(&key.tuner)),
+                mix(
+                    mix(fnv1a(&key.benchmark), fnv1a(&key.architecture)),
+                    u64::from(key.rep),
+                ),
+            ),
+            // Wrapping: a near-u64::MAX campaign seed must not make the
+            // same spec panic in debug builds but run in release.
+            SeedPolicy::Sequential => self.seed.wrapping_add(u64::from(key.rep)),
+        }
+    }
+
+    /// Compile into the flat list of independent trials, in canonical
+    /// order: benchmarks → architectures → tuners → repetitions.
+    pub fn compile(&self) -> Result<Vec<CompiledTrial>, SpecError> {
+        let (tuners, benchmarks, architectures) = self.validate()?;
+        let protocol = self.protocol.protocol();
+        let mut trials = Vec::with_capacity(
+            tuners.len() * benchmarks.len() * architectures.len() * self.repetitions as usize,
+        );
+        for benchmark in &benchmarks {
+            for architecture in &architectures {
+                for tuner in &tuners {
+                    for rep in 0..self.repetitions {
+                        let key = TrialKey {
+                            tuner: tuner.clone(),
+                            benchmark: benchmark.clone(),
+                            architecture: architecture.clone(),
+                            rep,
+                        };
+                        trials.push(CompiledTrial {
+                            seed: self.trial_seed(&key),
+                            key,
+                            budget: self.budget,
+                            protocol,
+                            record: self.record,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(trials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            tuners: Selector::Subset(vec!["random-search".into()]),
+            benchmarks: Selector::Subset(vec!["gemm".into(), "nbody".into()]),
+            architectures: Selector::Subset(vec!["RTX 3090".into()]),
+            budget: 10,
+            repetitions: 3,
+            ..ExperimentSpec::new("unit")
+        }
+    }
+
+    #[test]
+    fn compile_enumerates_all_cells() {
+        let trials = small_spec().compile().unwrap();
+        assert_eq!(trials.len(), 6); // 2 benchmarks × 1 arch × 1 tuner × 3 reps
+                                     // Canonical order: benchmark-major, rep-minor.
+        assert_eq!(trials[0].key.benchmark, "gemm");
+        assert_eq!(trials[0].key.rep, 0);
+        assert_eq!(trials[2].key.rep, 2);
+        assert_eq!(trials[3].key.benchmark, "nbody");
+    }
+
+    #[test]
+    fn derived_seeds_differ_between_cells_and_reps() {
+        let trials = small_spec().compile().unwrap();
+        let mut seeds: Vec<u64> = trials.iter().map(|t| t.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), trials.len(), "derived seeds must be distinct");
+    }
+
+    #[test]
+    fn sequential_seeds_are_campaign_seed_plus_rep() {
+        let spec = ExperimentSpec {
+            seed: 5,
+            seed_policy: SeedPolicy::Sequential,
+            ..small_spec()
+        };
+        for t in spec.compile().unwrap() {
+            assert_eq!(t.seed, 5 + u64::from(t.key.rep));
+        }
+    }
+
+    #[test]
+    fn trial_seed_is_order_free_and_stable() {
+        let spec = small_spec();
+        let key = TrialKey {
+            tuner: "random-search".into(),
+            benchmark: "gemm".into(),
+            architecture: "RTX 3090".into(),
+            rep: 1,
+        };
+        assert_eq!(spec.trial_seed(&key), spec.trial_seed(&key));
+        // Pinned value: changing the derivation breaks replay of archived
+        // campaign artifacts, so it must fail loudly here first.
+        assert_eq!(spec.trial_seed(&key), 5971933076532582476);
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        assert!(ExperimentSpec {
+            schema: "bat/campaign-spec/v0".into(),
+            ..small_spec()
+        }
+        .validate()
+        .is_err());
+        assert!(ExperimentSpec {
+            budget: 0,
+            ..small_spec()
+        }
+        .validate()
+        .is_err());
+        assert!(ExperimentSpec {
+            tuners: Selector::Subset(vec!["no-such-tuner".into()]),
+            ..small_spec()
+        }
+        .validate()
+        .is_err());
+        assert!(ExperimentSpec {
+            benchmarks: Selector::Subset(vec![]),
+            ..small_spec()
+        }
+        .validate()
+        .is_err());
+        assert!(ExperimentSpec {
+            benchmarks: Selector::Subset(vec!["gemm".into(), "gemm".into()]),
+            ..small_spec()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn all_selector_resolves_every_dimension() {
+        let spec = ExperimentSpec {
+            budget: 1,
+            ..ExperimentSpec::new("all")
+        };
+        let (t, b, a) = spec.validate().unwrap();
+        assert_eq!(t.len(), default_tuners().len());
+        assert_eq!(b.len(), 7);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn selector_json_forms() {
+        let all: Selector = serde_json::from_str("\"all\"").unwrap();
+        assert_eq!(all, Selector::All);
+        let sub: Selector = serde_json::from_str("[\"gemm\", \"nbody\"]").unwrap();
+        assert_eq!(sub, Selector::Subset(vec!["gemm".into(), "nbody".into()]));
+        assert!(serde_json::from_str::<Selector>("\"everything\"").is_err());
+        assert!(serde_json::from_str::<Selector>("{\"x\": 1}").is_err());
+    }
+}

@@ -1,0 +1,370 @@
+//! Summary reducers over campaign artifacts.
+//!
+//! Everything here is computed from a serialized [`CampaignResult`] alone —
+//! no re-execution — so the paper-style aggregations (final best per cell,
+//! convergence AUC, Friedman-style tuner rank matrix, Tables IV/VI in
+//! spirit) can be regenerated offline from an archived artifact.
+
+use bat_core::friedman_mean_ranks;
+
+use crate::result::{CampaignResult, TrialRecord};
+
+/// One benchmark × architecture cell's per-tuner aggregates.
+#[derive(Debug, Clone)]
+pub struct CellSummary {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Architecture name.
+    pub architecture: String,
+    /// Tuner names, in campaign order.
+    pub tuners: Vec<String>,
+    /// Median over repetitions of each tuner's final best (ms).
+    pub median_best_ms: Vec<Option<f64>>,
+    /// Minimum over repetitions of each tuner's final best (ms).
+    pub min_best_ms: Vec<Option<f64>>,
+    /// Mean normalized convergence AUC per tuner (higher = faster
+    /// convergence to better configurations; see [`convergence_auc`]).
+    pub auc: Vec<Option<f64>>,
+    /// Friedman-style mean rank per tuner: within every repetition the
+    /// tuners are ranked by final best (failures last, ties share the
+    /// average rank), then ranks are averaged over repetitions.
+    pub mean_rank: Vec<f64>,
+    /// Best objective observed anywhere in the cell (the reference for
+    /// relative performance and AUC).
+    pub cell_best_ms: Option<f64>,
+}
+
+impl CellSummary {
+    /// The tuner with the lowest mean rank (ties: first in campaign order).
+    pub fn winner(&self) -> Option<&str> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, r) in self.mean_rank.iter().enumerate() {
+            if best.is_none_or(|(_, b)| *r < b) {
+                best = Some((i, *r));
+            }
+        }
+        best.map(|(i, _)| self.tuners[i].as_str())
+    }
+}
+
+/// Campaign-wide aggregates: per-cell summaries plus the cross-cell rank
+/// matrix.
+#[derive(Debug, Clone)]
+pub struct CampaignSummary {
+    /// Campaign name (from the spec).
+    pub name: String,
+    /// Per-cell summaries, in campaign order.
+    pub cells: Vec<CellSummary>,
+    /// Tuner names, in campaign order (identical across cells).
+    pub tuners: Vec<String>,
+    /// `rank_matrix[t][c]` = tuner `t`'s mean rank in cell `c`.
+    pub rank_matrix: Vec<Vec<f64>>,
+    /// Overall mean rank per tuner (mean over cells; 1 = best).
+    pub overall_rank: Vec<f64>,
+}
+
+/// Normalized convergence AUC of one trial: the mean over evaluations
+/// `1..=E` of `t*/b(e)`, where `b(e)` is the best-so-far objective after
+/// `e` evaluations and `t*` the cell's best-known objective. Evaluations
+/// before the first success contribute 0, so the metric rewards both
+/// finding good configurations and finding them early; 1.0 means the very
+/// first evaluation already hit the cell optimum.
+pub fn convergence_auc(record: &TrialRecord, cell_best_ms: f64) -> Option<f64> {
+    if record.evals == 0 || record.curve.is_empty() || cell_best_ms.is_nan() || cell_best_ms <= 0.0
+    {
+        return None;
+    }
+    // Walk the step function segment by segment instead of per eval.
+    // Saturating spans keep malformed artifacts (curve points past the
+    // recorded eval count, hand-edited files) from underflowing.
+    let mut total = 0.0;
+    for (i, p) in record.curve.iter().enumerate() {
+        let until = record
+            .curve
+            .get(i + 1)
+            .map_or(record.evals, |next| next.eval.saturating_sub(1))
+            .min(record.evals);
+        let span = (until + 1).saturating_sub(p.eval) as f64;
+        total += span * (cell_best_ms / p.best_ms);
+    }
+    Some(total / record.evals as f64)
+}
+
+fn median(mut values: Vec<f64>) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.total_cmp(b));
+    Some(values[values.len() / 2])
+}
+
+impl CampaignSummary {
+    /// Reduce a campaign artifact.
+    pub fn from_result(result: &CampaignResult) -> CampaignSummary {
+        // Cells and tuners in first-appearance (campaign) order.
+        let mut cells: Vec<(String, String)> = Vec::new();
+        let mut tuners: Vec<String> = Vec::new();
+        for t in &result.trials {
+            if !cells.contains(&t.cell()) {
+                cells.push(t.cell());
+            }
+            if !tuners.contains(&t.tuner) {
+                tuners.push(t.tuner.clone());
+            }
+        }
+
+        let mut summaries = Vec::with_capacity(cells.len());
+        for (bench, arch) in &cells {
+            let in_cell = |t: &&TrialRecord| &t.benchmark == bench && &t.architecture == arch;
+            let cell_best_ms = result
+                .trials
+                .iter()
+                .filter(in_cell)
+                .filter_map(|t| t.best_ms)
+                .min_by(f64::total_cmp);
+            // finals[tuner][rep], indexed by repetition so partial
+            // artifacts (a tuner missing rep 0 but holding rep 1) keep
+            // repetitions aligned across tuners; absent reps stay None
+            // and rank as failures.
+            let reps = result
+                .trials
+                .iter()
+                .filter(in_cell)
+                .map(|t| t.rep as usize + 1)
+                .max()
+                .unwrap_or(0);
+            let finals: Vec<Vec<Option<f64>>> = tuners
+                .iter()
+                .map(|name| {
+                    let mut by_rep = vec![None; reps];
+                    for t in result
+                        .trials
+                        .iter()
+                        .filter(in_cell)
+                        .filter(|t| &t.tuner == name)
+                    {
+                        by_rep[t.rep as usize] = t.best_ms;
+                    }
+                    by_rep
+                })
+                .collect();
+            let median_best_ms: Vec<Option<f64>> = finals
+                .iter()
+                .map(|f| median(f.iter().flatten().copied().collect()))
+                .collect();
+            let min_best_ms: Vec<Option<f64>> = finals
+                .iter()
+                .map(|f| f.iter().flatten().copied().min_by(f64::total_cmp))
+                .collect();
+            let auc: Vec<Option<f64>> = tuners
+                .iter()
+                .map(|name| {
+                    let best = cell_best_ms?;
+                    let aucs: Vec<f64> = result
+                        .trials
+                        .iter()
+                        .filter(in_cell)
+                        .filter(|t| &t.tuner == name)
+                        .filter_map(|t| convergence_auc(t, best))
+                        .collect();
+                    if aucs.is_empty() {
+                        None
+                    } else {
+                        Some(aucs.iter().sum::<f64>() / aucs.len() as f64)
+                    }
+                })
+                .collect();
+            summaries.push(CellSummary {
+                benchmark: bench.clone(),
+                architecture: arch.clone(),
+                tuners: tuners.clone(),
+                median_best_ms,
+                min_best_ms,
+                auc,
+                mean_rank: friedman_mean_ranks(&finals),
+                cell_best_ms,
+            });
+        }
+
+        let rank_matrix: Vec<Vec<f64>> = (0..tuners.len())
+            .map(|t| summaries.iter().map(|c| c.mean_rank[t]).collect())
+            .collect();
+        let overall_rank: Vec<f64> = rank_matrix
+            .iter()
+            .map(|row| {
+                if row.is_empty() {
+                    0.0
+                } else {
+                    row.iter().sum::<f64>() / row.len() as f64
+                }
+            })
+            .collect();
+
+        CampaignSummary {
+            name: result.spec.name.clone(),
+            cells: summaries,
+            tuners,
+            rank_matrix,
+            overall_rank,
+        }
+    }
+
+    /// Render the three summary tables (final best, convergence AUC,
+    /// rank matrix) as aligned text.
+    pub fn render(&self) -> String {
+        let fmt_opt = |v: Option<f64>, d: usize| v.map_or("-".to_string(), |x| format!("{x:.d$}"));
+        let mut out = String::new();
+        out.push_str(&format!("campaign: {}\n", self.name));
+
+        out.push_str("\nFinal best per cell (median over reps, ms; * = cell winner by rank):\n");
+        let mut rows = Vec::new();
+        for c in &self.cells {
+            let winner = c.winner().unwrap_or("-").to_string();
+            for (i, t) in c.tuners.iter().enumerate() {
+                rows.push(vec![
+                    format!("{}/{}", c.benchmark, c.architecture),
+                    format!("{}{}", if *t == winner { "*" } else { " " }, t),
+                    fmt_opt(c.median_best_ms[i], 4),
+                    fmt_opt(c.min_best_ms[i], 4),
+                    fmt_opt(c.auc[i], 3),
+                    format!("{:.2}", c.mean_rank[i]),
+                ]);
+            }
+        }
+        out.push_str(&render_table(
+            &["cell", "tuner", "median ms", "best ms", "AUC", "rank"],
+            &rows,
+        ));
+
+        out.push_str("\nTuner rank matrix (rows: tuners, mean rank per cell; 1 = best):\n");
+        let mut header: Vec<String> = vec!["tuner".into()];
+        header.extend(
+            self.cells
+                .iter()
+                .map(|c| format!("{}/{}", c.benchmark, c.architecture)),
+        );
+        header.push("overall".into());
+        let mut order: Vec<usize> = (0..self.tuners.len()).collect();
+        order.sort_by(|&a, &b| self.overall_rank[a].total_cmp(&self.overall_rank[b]));
+        let rows: Vec<Vec<String>> = order
+            .iter()
+            .map(|&t| {
+                let mut row = vec![self.tuners[t].clone()];
+                row.extend(self.rank_matrix[t].iter().map(|r| format!("{r:.2}")));
+                row.push(format!("{:.2}", self.overall_rank[t]));
+                row
+            })
+            .collect();
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        out.push_str(&render_table(&header_refs, &rows));
+        out
+    }
+}
+
+/// Render an aligned text table.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut width: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, cell) in r.iter().enumerate() {
+            width[i] = width[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: Vec<String>, out: &mut String| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<w$}", w = width[i]))
+            .collect();
+        out.push_str(&format!("  {}\n", padded.join("  ")));
+    };
+    line(header.iter().map(|h| h.to_string()).collect(), &mut out);
+    out.push_str(&format!(
+        "  {}\n",
+        "-".repeat(width.iter().sum::<usize>() + 2 * cols)
+    ));
+    for r in rows {
+        line(r.clone(), &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+    use crate::spec::{ExperimentSpec, Selector};
+
+    fn result() -> CampaignResult {
+        let spec = ExperimentSpec {
+            tuners: Selector::Subset(vec!["random-search".into(), "greedy-ils".into()]),
+            benchmarks: Selector::Subset(vec!["nbody".into(), "gemm".into()]),
+            architectures: Selector::Subset(vec!["RTX 3090".into()]),
+            budget: 30,
+            repetitions: 3,
+            ..ExperimentSpec::new("summary-unit")
+        };
+        run_campaign(&spec).unwrap().result
+    }
+
+    #[test]
+    fn summary_covers_every_cell_and_tuner() {
+        let s = CampaignSummary::from_result(&result());
+        assert_eq!(s.cells.len(), 2);
+        assert_eq!(s.tuners.len(), 2);
+        assert_eq!(s.rank_matrix.len(), 2);
+        assert_eq!(s.rank_matrix[0].len(), 2);
+        for c in &s.cells {
+            assert!(c.cell_best_ms.is_some());
+            assert!(c.winner().is_some());
+            // Ranks within a cell sum to reps-invariant n(n+1)/2.
+            let total: f64 = c.mean_rank.iter().sum();
+            assert!((total - 3.0).abs() < 1e-9, "total {total}");
+        }
+    }
+
+    #[test]
+    fn auc_is_in_unit_interval_and_rewards_early_convergence() {
+        let r = result();
+        let s = CampaignSummary::from_result(&r);
+        for c in &s.cells {
+            for a in c.auc.iter().flatten() {
+                assert!(*a > 0.0 && *a <= 1.0 + 1e-12, "AUC {a}");
+            }
+        }
+        // A trial that finds the cell optimum at eval 1 has AUC 1.
+        let t = &r.trials[0];
+        let mut perfect = t.clone();
+        perfect.curve = vec![crate::result::CurvePoint {
+            eval: 1,
+            best_ms: 2.0,
+        }];
+        perfect.evals = 10;
+        assert!((convergence_auc(&perfect, 2.0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_is_computable_from_json_alone() {
+        let r = result();
+        let back = CampaignResult::from_json(&r.to_json()).unwrap();
+        let a = CampaignSummary::from_result(&r).render();
+        let b = CampaignSummary::from_result(&back).render();
+        assert_eq!(a, b);
+        assert!(a.contains("random-search"));
+        assert!(a.contains("nbody/RTX 3090"));
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let t = render_table(
+            &["a", "bb"],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["long".into(), "z".into()],
+            ],
+        );
+        assert!(t.contains("a     bb"));
+        assert!(t.contains("long  z"));
+    }
+}

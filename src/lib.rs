@@ -19,7 +19,9 @@
 //! * [`ml`] — gradient-boosted trees + permutation feature importance;
 //! * [`tuners`] — random/local/evolutionary/surrogate optimizers;
 //! * [`analysis`] — distributions, convergence, FFG centrality, speedups,
-//!   portability, PFI, space reduction.
+//!   portability, PFI, space reduction;
+//! * [`harness`] — declarative experiment orchestration: campaign specs in,
+//!   deterministic, resumable result artifacts out.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +39,7 @@
 pub use bat_analysis as analysis;
 pub use bat_core as core;
 pub use bat_gpusim as gpusim;
+pub use bat_harness as harness;
 pub use bat_kernels as kernels;
 pub use bat_ml as ml;
 pub use bat_space as space;
@@ -51,6 +54,10 @@ pub mod prelude {
     };
     pub use bat_core::{EvalFailure, Evaluator, Measurement, Protocol, TuningProblem, TuningRun};
     pub use bat_gpusim::{GpuArch, KernelModel, LaunchError};
+    pub use bat_harness::{
+        resume_campaign, run_campaign, run_campaign_serial, CampaignResult, CampaignSummary,
+        ExperimentSpec, SeedPolicy, Selector, TrialRecord,
+    };
     pub use bat_kernels::{GpuBenchmark, KernelSpec};
     pub use bat_space::{ConfigSpace, Neighborhood, Param};
     pub use bat_tuners::{

@@ -1,0 +1,132 @@
+//! Harness contract tests: spec/result serde stability (versioned schema,
+//! unknown-field rejection) and campaign determinism (parallel ≡ serial,
+//! resume-from-truncated ≡ full run) — property-tested over random specs.
+
+use bat::harness::{RecordLevel, SPEC_SCHEMA};
+use bat::prelude::*;
+use proptest::prelude::*;
+
+fn tiny_spec() -> ExperimentSpec {
+    ExperimentSpec {
+        tuners: Selector::Subset(vec!["random-search".into(), "greedy-ils".into()]),
+        benchmarks: Selector::Subset(vec!["nbody".into()]),
+        architectures: Selector::Subset(vec!["RTX 3060".into()]),
+        budget: 15,
+        repetitions: 2,
+        ..ExperimentSpec::new("contract")
+    }
+}
+
+#[test]
+fn spec_json_round_trip_is_lossless() {
+    let spec = tiny_spec();
+    let back = ExperimentSpec::from_json(&spec.to_json()).unwrap();
+    assert_eq!(back, spec);
+    // All-selector and non-default knobs survive too.
+    let fancy = ExperimentSpec {
+        tuners: Selector::All,
+        seed: 99,
+        seed_policy: SeedPolicy::Sequential,
+        record: RecordLevel::Curve,
+        ..tiny_spec()
+    };
+    let back = ExperimentSpec::from_json(&fancy.to_json()).unwrap();
+    assert_eq!(back, fancy);
+}
+
+#[test]
+fn spec_rejects_unknown_fields_and_wrong_schema() {
+    let json = tiny_spec().to_json();
+    // Smuggle an unknown top-level field in.
+    let tampered = json.replacen("\"name\"", "\"surprise\": 1,\n  \"name\"", 1);
+    assert!(
+        ExperimentSpec::from_json(&tampered).is_err(),
+        "unknown top-level field must be rejected"
+    );
+    // Unknown field inside the protocol block.
+    let tampered = json.replacen("\"runs\"", "\"warmup\": 2, \"runs\"", 1);
+    assert!(
+        ExperimentSpec::from_json(&tampered).is_err(),
+        "unknown protocol field must be rejected"
+    );
+    // A future schema version parses but refuses to run.
+    let future = json.replace(SPEC_SCHEMA, "bat/campaign-spec/v2");
+    let spec = ExperimentSpec::from_json(&future).unwrap();
+    assert!(spec.validate().is_err(), "wrong schema must not validate");
+    // Missing schema field fails at parse time (it is not defaulted).
+    let missing = json.replacen("\"schema\"", "\"schema_was\"", 1);
+    assert!(ExperimentSpec::from_json(&missing).is_err());
+}
+
+#[test]
+fn result_json_round_trip_is_lossless_and_versioned() {
+    let run = run_campaign(&tiny_spec()).unwrap();
+    let json = run.result.to_json();
+    assert!(json.contains("bat/campaign-result/v1"));
+    let back = CampaignResult::from_json(&json).unwrap();
+    assert_eq!(back, run.result);
+    // Unknown fields in an artifact are rejected, so CI diffs cannot
+    // silently ignore drift.
+    let tampered = json.replacen("\"trials\"", "\"wall_ms\": 1.0, \"trials\"", 1);
+    assert!(CampaignResult::from_json(&tampered).is_err());
+    // Trial-record level too.
+    let tampered = json.replacen("\"tuner\"", "\"host\": \"ci\", \"tuner\"", 1);
+    assert!(CampaignResult::from_json(&tampered).is_err());
+}
+
+#[test]
+fn artifacts_contain_no_volatile_data() {
+    // Wall time, throughput and host facts live on CampaignRun only; the
+    // serialized artifact must stay a pure function of the spec.
+    let json = run_campaign(&tiny_spec()).unwrap().result.to_json();
+    for forbidden in ["wall", "time_stamp", "timestamp", "duration", "host"] {
+        assert!(
+            !json.contains(&format!("\"{forbidden}")),
+            "artifact leaks volatile field {forbidden:?}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn parallel_serial_and_resumed_runs_are_byte_identical(
+        (budget, seed, reps, policy, cut) in (
+            5u64..25,
+            0u64..1000,
+            1u32..3,
+            0u8..2,
+            0usize..6,
+        )
+    ) {
+        let spec = ExperimentSpec {
+            tuners: Selector::Subset(vec![
+                "random-search".into(),
+                "simulated-annealing".into(),
+            ]),
+            benchmarks: Selector::Subset(vec!["nbody".into()]),
+            architectures: Selector::Subset(vec!["RTX 2080 Ti".into()]),
+            budget,
+            repetitions: reps,
+            seed,
+            seed_policy: if policy == 0 {
+                SeedPolicy::Derived
+            } else {
+                SeedPolicy::Sequential
+            },
+            record: RecordLevel::Curve,
+            ..ExperimentSpec::new("prop")
+        };
+        let parallel = run_campaign(&spec).unwrap();
+        let serial = run_campaign_serial(&spec).unwrap();
+        let json = parallel.result.to_json();
+        prop_assert_eq!(&json, &serial.result.to_json());
+
+        // Resuming from any truncation of the artifact reproduces it.
+        let mut partial = parallel.result.clone();
+        let keep = cut.min(partial.trials.len());
+        partial.trials.truncate(keep);
+        let resumed = resume_campaign(&spec, &partial).unwrap();
+        prop_assert_eq!(resumed.reused, keep);
+        prop_assert_eq!(&resumed.result.to_json(), &json);
+    }
+}
