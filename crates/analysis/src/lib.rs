@@ -15,7 +15,9 @@
 //! * [`compare_tuners`] + [`aggregate_ranks`] — head-to-head optimizer
 //!   comparisons (the suite's §I purpose, in the style of reference \[3\]),
 //! * [`OnlineSimulation`] — KTT-style dynamic autotuning (time-to-solution
-//!   including the tuning overhead).
+//!   including the tuning overhead),
+//! * [`front_summary`] + [`hypervolume_reference`] — Pareto-front quality
+//!   reducers for the multi-objective (time × energy) campaigns.
 
 #![warn(missing_docs)]
 
@@ -30,6 +32,7 @@ mod landscape_valid;
 mod noise;
 mod online;
 mod pagerank;
+mod pareto;
 mod pfi;
 mod portability;
 mod reduction;
@@ -49,6 +52,7 @@ pub use landscape_valid::sampled_valid;
 pub use noise::{noise_sensitivity, NoisePoint};
 pub use online::{OnlinePolicy, OnlineSimulation, OnlineTrace};
 pub use pagerank::{pagerank, PageRankParams};
+pub use pareto::{front_summary, hypervolume_reference, FrontSummary};
 pub use pfi::{default_gbdt_params, feature_importance, landscape_dataset, FeatureImportance};
 pub use portability::{portability_matrix, PortabilityMatrix};
 pub use reduction::{important_on_any, reduce_space, ReducedSpace};

@@ -63,6 +63,7 @@ fn tree_fit(c: &mut Criterion) {
     let params = TreeParams {
         max_depth: 10,
         min_samples_leaf: 2,
+        ..TreeParams::default()
     };
     let mut g = c.benchmark_group("tree_fit_10k");
     g.throughput(Throughput::Elements(data.n_rows() as u64));

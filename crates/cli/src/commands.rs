@@ -68,6 +68,10 @@ pub fn cmd_list(_opts: &Opts) {
     for t in default_tuners() {
         println!("  {}", t.name());
     }
+    println!("\nMulti-objective tuners (`bat pareto`, campaign objective specs):");
+    for t in bat_moo::moo_tuners() {
+        println!("  {}", t.name());
+    }
 }
 
 /// `bat tables` — Tables I–VII (the tunable parameter spaces).
@@ -773,6 +777,91 @@ pub fn cmd_ranks(opts: &Opts) {
             "{:<24} {:>10.2}",
             summary.tuners[t], summary.overall_rank[t]
         );
+    }
+}
+
+/// `bat pareto` — multi-objective tuning: the non-dominated time × energy
+/// front of each benchmark × GPU cell, found by a multi-objective tuner.
+///
+/// Deterministic end to end: the tuner is seeded, measurements are
+/// deterministic, and the archive resolves ties by fixed keys — two
+/// invocations (at any thread count) print identical fronts.
+pub fn cmd_pareto(opts: &Opts) {
+    let budget = opts.get_u64("--budget", 300);
+    let seed = opts.get_u64("--seed", 0);
+    let capacity = opts.get_usize("--capacity", 16);
+    let tuner_name = opts.get("--tuner").unwrap_or_else(|| "nsga2".into());
+    let tuner = bat_harness::tuner_by_name(&tuner_name)
+        .unwrap_or_else(|| panic!("unknown tuner {tuner_name:?}; see `bat list`"));
+
+    for bench in selected_benches(opts) {
+        for arch in selected_archs(opts) {
+            let b = bench_on(&bench, &arch);
+            let (run, stats) = bat_harness::run_tuning_with_energy(
+                &b,
+                tuner.as_ref(),
+                Protocol::default(),
+                budget,
+                seed,
+            );
+            let archive = bat_moo::front_of_run(&run, capacity);
+            println!(
+                "\nPareto front: {bench} on {} ({} with {} evaluations, {} distinct)",
+                arch.name,
+                tuner.name(),
+                stats.evals,
+                stats.distinct
+            );
+            if archive.is_empty() {
+                println!("  no valid configuration found");
+                continue;
+            }
+            let names = b.space().names();
+            let rows: Vec<Vec<String>> = archive
+                .front()
+                .iter()
+                .map(|p| {
+                    let cfg = b.space().config_at(p.index);
+                    let cfg: Vec<String> = names
+                        .iter()
+                        .zip(&cfg)
+                        .map(|(n, v)| format!("{n}={v}"))
+                        .collect();
+                    vec![
+                        f(p.time_ms, 4),
+                        f(p.energy_mj, 2),
+                        f(p.time_ms * p.energy_mj, 2),
+                        cfg.join(" "),
+                    ]
+                })
+                .collect();
+            print_table(
+                &[
+                    "time ms".into(),
+                    "energy mJ".into(),
+                    "EDP mJ·ms".into(),
+                    "configuration".into(),
+                ],
+                &rows,
+            );
+            let points: Vec<(f64, f64)> = archive
+                .front()
+                .iter()
+                .map(|p| (p.time_ms, p.energy_mj))
+                .collect();
+            if let Some(reference) = bat_analysis::hypervolume_reference([points.as_slice()]) {
+                let summary = bat_analysis::front_summary(&points, reference).unwrap();
+                println!(
+                    "  front size {} | hypervolume {:.4} (ref {:.4} ms, {:.2} mJ) | best time {:.4} ms | best energy {:.2} mJ",
+                    summary.front_size,
+                    summary.hypervolume,
+                    reference.0,
+                    reference.1,
+                    summary.best_time_ms,
+                    summary.best_energy_mj,
+                );
+            }
+        }
     }
 }
 

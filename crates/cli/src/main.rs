@@ -27,6 +27,8 @@ EXPERIMENT COMMANDS (one per paper table/figure):
 SUITE COMMANDS:
     list                 benchmarks, GPUs and tuners
     tune                 run one tuner  (--bench, --tuner, --budget, --seed, --json, --t4, --source)
+    pareto               multi-objective tuning: time × energy Pareto fronts
+                         (--bench, --arch, --budget, --seed, --tuner, --capacity)
     campaign             run a declarative campaign spec (--spec FILE, --out FILE, --resume)
     compare              compare all tuners at equal budget (--bench, --budget, --repeats)
     ranks                cross-benchmark tuner ranking, Friedman-style (--budget, --repeats)
@@ -68,6 +70,7 @@ fn main() {
         "fig5" => commands::cmd_fig5(&opts),
         "fig6" => commands::cmd_fig6(&opts),
         "tune" => commands::cmd_tune(&opts),
+        "pareto" => commands::cmd_pareto(&opts),
         "campaign" => commands::cmd_campaign(&opts),
         "compare" => commands::cmd_compare(&opts),
         "ranks" => commands::cmd_ranks(&opts),

@@ -62,10 +62,16 @@ thread_local! {
     static CONFIG_SCRATCH: RefCell<Vec<i64>> = const { RefCell::new(Vec::new()) };
 }
 
+/// Salt folded into the energy noise stream so a configuration's energy
+/// samples scatter independently of its time samples (a real power meter
+/// does not jitter in lockstep with the wall clock).
+const ENERGY_NOISE_STREAM: u64 = 0x656e_6572_6779_u64; // "energy"
+
 /// The evaluation harness: memoization + noise + budget accounting.
 pub struct Evaluator<'p> {
     problem: &'p dyn TuningProblem,
     protocol: Protocol,
+    measure_energy: bool,
     cache_enabled: bool,
     cache: Vec<Mutex<HashMap<u64, Result<Measurement, EvalFailure>>>>,
     evals: AtomicU64,
@@ -84,6 +90,7 @@ impl<'p> Evaluator<'p> {
         Evaluator {
             problem,
             protocol,
+            measure_energy: false,
             cache_enabled: true,
             cache: (0..CACHE_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
@@ -113,6 +120,16 @@ impl<'p> Evaluator<'p> {
     /// Disable memoization (ablation: every call re-measures).
     pub fn without_cache(mut self) -> Self {
         self.cache_enabled = false;
+        self
+    }
+
+    /// Also measure the energy objective: measurements carry `energy_mj` /
+    /// `energy_samples` whenever the problem's
+    /// [`TuningProblem::evaluate_pure2`] reports an energy. Off by default,
+    /// so time-only runs (and their serialized records) are bit-identical
+    /// to the pre-energy suite.
+    pub fn with_energy(mut self) -> Self {
+        self.measure_energy = true;
         self
     }
 
@@ -201,12 +218,28 @@ impl<'p> Evaluator<'p> {
     }
 
     fn measure(&self, index: u64, config: &[i64]) -> Result<Measurement, EvalFailure> {
-        let pure = self.problem.evaluate_pure(config)?;
         let salt = bat_gpusim::mix(self.problem.noise_salt(), self.protocol.seed);
+        let (pure, pure_energy) = if self.measure_energy {
+            self.problem.evaluate_pure2(config)?
+        } else {
+            (self.problem.evaluate_pure(config)?, None)
+        };
         let samples: Vec<f64> = (0..self.protocol.runs)
             .map(|run| noisy_time_ms(pure, self.protocol.sigma, noise_key(salt, index, run)))
             .collect();
-        Ok(Measurement::from_samples(samples))
+        let m = Measurement::from_samples(samples);
+        Ok(match pure_energy {
+            Some(e) => {
+                // Same noise discipline as the runtimes, on an independent
+                // deterministic stream.
+                let esalt = bat_gpusim::mix(salt, ENERGY_NOISE_STREAM);
+                let energy_samples: Vec<f64> = (0..self.protocol.runs)
+                    .map(|run| noisy_time_ms(e, self.protocol.sigma, noise_key(esalt, index, run)))
+                    .collect();
+                m.with_energy_samples(energy_samples)
+            }
+            None => m,
+        })
     }
 }
 
@@ -299,6 +332,78 @@ mod tests {
         let spread = m.samples.iter().cloned().fold(f64::MIN, f64::max)
             - m.samples.iter().cloned().fold(f64::MAX, f64::min);
         assert!(spread > 0.0);
+    }
+
+    #[test]
+    fn energy_is_measured_only_on_request() {
+        let space = ConfigSpace::builder()
+            .param(Param::int_range("x", 0, 9))
+            .build()
+            .unwrap();
+        // A two-objective problem: energy = 10 × time.
+        let p = EnergyProblem { space };
+        let plain = Evaluator::with_protocol(&p, Protocol::noiseless());
+        let m = plain.evaluate_index(3).unwrap().unwrap();
+        assert_eq!(m.energy_mj, None);
+
+        let energetic = Evaluator::with_protocol(&p, Protocol::noiseless()).with_energy();
+        let m = energetic.evaluate_index(3).unwrap().unwrap();
+        assert_eq!(m.time_ms, 4.0);
+        assert_eq!(m.energy_mj, Some(40.0));
+        assert_eq!(m.energy_samples, vec![40.0]);
+    }
+
+    #[test]
+    fn energy_noise_stream_is_independent_of_time_noise() {
+        let space = ConfigSpace::builder()
+            .param(Param::int_range("x", 0, 9))
+            .build()
+            .unwrap();
+        let p = EnergyProblem { space };
+        let e = Evaluator::with_protocol(
+            &p,
+            Protocol {
+                runs: 5,
+                sigma: 0.05,
+                seed: 1,
+            },
+        )
+        .with_energy();
+        let m = e.evaluate_index(2).unwrap().unwrap();
+        // Were the streams shared, every energy sample would be exactly
+        // 10 × its time sample (identical multiplicative factors).
+        let lockstep = m
+            .samples
+            .iter()
+            .zip(&m.energy_samples)
+            .all(|(t, en)| (en / t - 10.0).abs() < 1e-12);
+        assert!(!lockstep, "energy noise mirrors time noise");
+        // Determinism still holds.
+        let m2 = e.evaluate_index(2).unwrap().unwrap();
+        assert_eq!(m, m2);
+    }
+
+    struct EnergyProblem {
+        space: ConfigSpace,
+    }
+
+    impl TuningProblem for EnergyProblem {
+        fn name(&self) -> &str {
+            "energetic"
+        }
+        fn platform(&self) -> &str {
+            "sim"
+        }
+        fn space(&self) -> &ConfigSpace {
+            &self.space
+        }
+        fn evaluate_pure(&self, config: &[i64]) -> Result<f64, EvalFailure> {
+            Ok(1.0 + config[0] as f64)
+        }
+        fn evaluate_pure2(&self, config: &[i64]) -> Result<(f64, Option<f64>), EvalFailure> {
+            let t = self.evaluate_pure(config)?;
+            Ok((t, Some(10.0 * t)))
+        }
     }
 
     #[test]

@@ -23,6 +23,11 @@ impl std::fmt::Display for EvalFailure {
 }
 
 /// One measured configuration: repeated runs plus the aggregate objective.
+///
+/// Energy is the suite's optional second objective: it is populated only
+/// when the evaluator measures it (see `Evaluator::with_energy`), so
+/// time-only runs — and their serialized records — are unchanged by its
+/// existence.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Measurement {
     /// Aggregated objective in milliseconds (median of `samples` by
@@ -30,6 +35,25 @@ pub struct Measurement {
     pub time_ms: f64,
     /// Individual run times in milliseconds.
     pub samples: Vec<f64>,
+    /// Aggregated energy in millijoules (median of `energy_samples`), when
+    /// energy was measured.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub energy_mj: Option<f64>,
+    /// Individual run energies in millijoules (empty when not measured).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub energy_samples: Vec<f64>,
+}
+
+/// Median of a non-empty sample vector (the suite's robust aggregate).
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    }
 }
 
 impl Measurement {
@@ -37,21 +61,36 @@ impl Measurement {
     /// occasional slow run, as real tuners do).
     pub fn from_samples(mut samples: Vec<f64>) -> Measurement {
         assert!(!samples.is_empty(), "measurement needs at least one run");
-        let mut sorted = samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN runtime"));
-        let mid = sorted.len() / 2;
-        let time_ms = if sorted.len() % 2 == 1 {
-            sorted[mid]
-        } else {
-            0.5 * (sorted[mid - 1] + sorted[mid])
-        };
+        let time_ms = median(&samples);
         samples.shrink_to_fit();
-        Measurement { time_ms, samples }
+        Measurement {
+            time_ms,
+            samples,
+            energy_mj: None,
+            energy_samples: Vec::new(),
+        }
+    }
+
+    /// Attach energy samples (median-aggregated, like the time samples).
+    pub fn with_energy_samples(mut self, mut energy_samples: Vec<f64>) -> Measurement {
+        assert!(
+            !energy_samples.is_empty(),
+            "energy measurement needs at least one run"
+        );
+        self.energy_mj = Some(median(&energy_samples));
+        energy_samples.shrink_to_fit();
+        self.energy_samples = energy_samples;
+        self
     }
 
     /// Minimum over samples.
     pub fn best_sample(&self) -> f64 {
         self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Energy–delay product in mJ·ms, when energy was measured.
+    pub fn edp(&self) -> Option<f64> {
+        self.energy_mj.map(|e| e * self.time_ms)
     }
 }
 
@@ -81,6 +120,33 @@ mod tests {
     #[should_panic(expected = "at least one run")]
     fn empty_samples_panic() {
         let _ = Measurement::from_samples(vec![]);
+    }
+
+    #[test]
+    fn energy_samples_aggregate_by_median() {
+        let m = Measurement::from_samples(vec![2.0]).with_energy_samples(vec![9.0, 3.0, 6.0]);
+        assert_eq!(m.energy_mj, Some(6.0));
+        assert_eq!(m.edp(), Some(12.0));
+    }
+
+    #[test]
+    fn time_only_measurement_serializes_without_energy_fields() {
+        let m = Measurement::from_samples(vec![1.0, 2.0]);
+        assert_eq!(m.energy_mj, None);
+        assert!(m.edp().is_none());
+        let json = serde_json::to_string_pretty(&m).unwrap();
+        assert!(!json.contains("energy"));
+        let back: Measurement = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn energy_measurement_round_trips() {
+        let m = Measurement::from_samples(vec![1.0]).with_energy_samples(vec![5.0, 4.0]);
+        let json = serde_json::to_string_pretty(&m).unwrap();
+        let back: Measurement = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.energy_mj, Some(4.5));
     }
 
     #[test]

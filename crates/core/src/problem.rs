@@ -36,6 +36,24 @@ pub trait TuningProblem: Send + Sync {
     /// platform.
     fn evaluate_pure(&self, config: &[i64]) -> Result<f64, EvalFailure>;
 
+    /// Noise-free cost of `config` as `(time_ms, energy_mj)` — the suite's
+    /// two objectives.
+    ///
+    /// The default implementation reports no energy, so single-objective
+    /// problems (and every pre-existing implementation) work unchanged;
+    /// problems with a physical cost model override this with their real
+    /// energy (the GPU benchmarks price the same [`KernelModel`] work
+    /// profile through the simulator's power model).
+    ///
+    /// Implementations must keep the time component identical to
+    /// [`TuningProblem::evaluate_pure`]: the two entry points describe one
+    /// execution, not two.
+    ///
+    /// [`KernelModel`]: bat_gpusim::KernelModel
+    fn evaluate_pure2(&self, config: &[i64]) -> Result<(f64, Option<f64>), EvalFailure> {
+        self.evaluate_pure(config).map(|t| (t, None))
+    }
+
     /// A stable 64-bit key identifying this (problem, platform) pair; used
     /// to salt deterministic measurement noise. The default hashes name and
     /// platform.
@@ -137,6 +155,13 @@ mod tests {
             p.evaluate_pure(&[10, 10]),
             Err(EvalFailure::Restricted)
         ));
+    }
+
+    #[test]
+    fn default_second_objective_reports_no_energy() {
+        let p = quadratic();
+        assert_eq!(p.evaluate_pure2(&[3, 7]).unwrap(), (1.0, None));
+        assert!(p.evaluate_pure2(&[10, 10]).is_err());
     }
 
     #[test]

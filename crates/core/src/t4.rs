@@ -39,6 +39,9 @@ pub const T4_SCHEMA_VERSION: &str = "1.0.0";
 /// Objective unit used throughout the suite.
 pub const T4_TIME_UNIT: &str = "ms";
 
+/// Energy unit used for the optional second objective.
+pub const T4_ENERGY_UNIT: &str = "mJ";
+
 /// Why a configuration produced no valid objective — T4's invalidity
 /// taxonomy (`"valid"` entries carry measurements instead).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,6 +72,11 @@ pub struct T4Result {
     /// Per-run times in [`T4_TIME_UNIT`] (empty for invalid entries).
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub times: Vec<f64>,
+    /// Per-run energies in [`T4_ENERGY_UNIT`] (empty when energy was not
+    /// measured — time-only documents serialize exactly as before the
+    /// energy objective existed).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub energies: Vec<f64>,
     /// Aggregated objective measurements (empty for invalid entries).
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub measurements: Vec<T4Measurement>,
@@ -83,6 +91,14 @@ impl T4Result {
         self.measurements
             .iter()
             .find(|m| m.name == "time")
+            .map(|m| m.value)
+    }
+
+    /// The aggregated energy objective, when measured.
+    pub fn energy_mj(&self) -> Option<f64> {
+        self.measurements
+            .iter()
+            .find(|m| m.name == "energy")
             .map(|m| m.value)
     }
 
@@ -132,25 +148,38 @@ impl T4Results {
                     .zip(t.config.iter().copied())
                     .collect();
                 match &t.outcome {
-                    Ok(m) => T4Result {
-                        configuration,
-                        times: m.samples.clone(),
-                        measurements: vec![T4Measurement {
+                    Ok(m) => {
+                        let mut measurements = vec![T4Measurement {
                             name: "time".to_string(),
                             value: m.time_ms,
                             unit: T4_TIME_UNIT.to_string(),
-                        }],
-                        invalidity: None,
-                    },
+                        }];
+                        if let Some(e) = m.energy_mj {
+                            measurements.push(T4Measurement {
+                                name: "energy".to_string(),
+                                value: e,
+                                unit: T4_ENERGY_UNIT.to_string(),
+                            });
+                        }
+                        T4Result {
+                            configuration,
+                            times: m.samples.clone(),
+                            energies: m.energy_samples.clone(),
+                            measurements,
+                            invalidity: None,
+                        }
+                    }
                     Err(EvalFailure::Restricted) => T4Result {
                         configuration,
                         times: Vec::new(),
+                        energies: Vec::new(),
                         measurements: Vec::new(),
                         invalidity: Some(T4Invalidity::Constraints),
                     },
                     Err(EvalFailure::Launch(_)) => T4Result {
                         configuration,
                         times: Vec::new(),
+                        energies: Vec::new(),
                         measurements: Vec::new(),
                         invalidity: Some(T4Invalidity::Runtime),
                     },
@@ -312,6 +341,33 @@ mod tests {
         // Empty times/measurements are omitted, not serialized as [].
         let runtime_entry = json.split("\"runtime\"").next().unwrap();
         assert!(!runtime_entry.contains("\"times\": []"));
+    }
+
+    #[test]
+    fn energy_measurements_flow_into_t4() {
+        let mut run = TuningRun::new("toy", "SIM", "nsga2", 1);
+        run.push(Trial {
+            eval: 1,
+            index: 0,
+            config: vec![2],
+            outcome: Ok(
+                Measurement::from_samples(vec![1.5]).with_energy_samples(vec![400.0, 420.0])
+            ),
+        });
+        let t4 = T4Results::from_run(&run, &["x".to_string()]);
+        assert_eq!(t4.results[0].energy_mj(), Some(410.0));
+        assert_eq!(t4.results[0].energies, vec![400.0, 420.0]);
+        let json = t4.to_json();
+        assert!(json.contains("\"energy\"") && json.contains("\"mJ\""));
+        assert_eq!(T4Results::from_json(&json).unwrap(), t4);
+    }
+
+    #[test]
+    fn time_only_t4_has_no_energy_fields() {
+        let (run, names) = run_with_outcomes();
+        let t4 = T4Results::from_run(&run, &names);
+        assert_eq!(t4.results[0].energy_mj(), None);
+        assert!(!t4.to_json().contains("energ"));
     }
 
     #[test]

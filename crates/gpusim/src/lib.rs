@@ -19,6 +19,12 @@
 //! Table VIII. Deterministic multiplicative noise ([`noisy_time_ms`]) stands
 //! in for run-to-run measurement variation without sacrificing
 //! reproducibility.
+//!
+//! [`execute_with_energy`] additionally prices the launch's electrical cost
+//! (static + occupancy-scaled background power plus per-operation switching
+//! energy), giving every configuration a deterministic `energy_mj` next to
+//! its `time_ms` — the second objective of the suite's multi-objective
+//! tuning scenarios.
 
 #![warn(missing_docs)]
 
@@ -26,10 +32,12 @@ mod arch;
 mod kernel_model;
 mod noise;
 mod occupancy;
+mod power;
 mod timing;
 
 pub use arch::{Family, GpuArch};
 pub use kernel_model::KernelModel;
 pub use noise::{mix, noise_key, noisy_time_ms};
 pub use occupancy::{occupancy, BlockResources, LaunchError, Limiter, Occupancy};
+pub use power::{execute_with_energy, execute_with_energy_repeated, launch_power, KernelPower};
 pub use timing::{execute, execute_repeated, Bound, KernelTiming};

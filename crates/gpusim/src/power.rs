@@ -1,0 +1,266 @@
+//! The analytical power/energy model.
+//!
+//! Prices the electrical cost of one kernel launch the same way
+//! [`crate::execute`] prices its wall time: deterministically, from the
+//! architecture constants and the launch's work profile. The model splits
+//! draw into
+//!
+//! * **static/idle power** — leakage and always-on infrastructure, scaling
+//!   with SM count (burns for the whole launch, so slow configurations pay
+//!   it longest);
+//! * **active background power** — clock trees, schedulers and register
+//!   files of busy SMs, scaling with occupancy and clock (high-occupancy
+//!   configurations finish sooner but draw more while running);
+//! * **dynamic switching energy** — per-operation energy for FP/INT issue,
+//!   DRAM, L2 and shared-memory traffic, scaling with the *total* work
+//!   (redundant computation, register spills and uncoalesced overfetch cost
+//!   energy even when latency hiding keeps them off the critical path).
+//!
+//! Together these make runtime and energy genuinely distinct objectives:
+//! a configuration that trades extra arithmetic for fewer memory stalls can
+//! win on time while losing on energy, which is exactly the trade-off the
+//! multi-objective tuners in `bat-moo` explore.
+//!
+//! Per-op energies follow the standard CMOS scaling argument (switching
+//! energy ∝ V² with V roughly tracking clock, so pJ/op ∝ (clock/1.5 GHz)²)
+//! with a process factor separating Samsung 8 nm Ampere from TSMC 12 nm
+//! Turing. Constants are calibrated so sustained draw on the modeled parts
+//! lands near their board-power envelopes (RTX 3090 ≈ 320 W flat-out,
+//! RTX 3060 ≈ 170 W), not fitted to any measured trace.
+
+use serde::Serialize;
+
+use crate::arch::{Family, GpuArch};
+use crate::kernel_model::KernelModel;
+use crate::occupancy::LaunchError;
+use crate::timing::{execute, KernelTiming};
+
+/// Base dynamic energy per FP32 FLOP in pJ, at 1.5 GHz on 12 nm.
+const E_FLOP_PJ: f64 = 4.6;
+/// Base dynamic energy per INT32 op in pJ, at 1.5 GHz on 12 nm.
+const E_INT_PJ: f64 = 2.2;
+/// DRAM access energy per byte actually fetched, in pJ (GDDR6 device + PHY
+/// + on-die traversal).
+const E_DRAM_PJ_PER_BYTE: f64 = 105.0;
+/// L2 access energy per byte, in pJ.
+const E_L2_PJ_PER_BYTE: f64 = 14.0;
+/// Shared-memory access energy per byte, in pJ.
+const E_SMEM_PJ_PER_BYTE: f64 = 5.0;
+/// Idle board power independent of GPU size, in W (VRAM refresh, VRM loss,
+/// display/PCIe infrastructure).
+const P_IDLE_BASE_W: f64 = 18.0;
+/// Idle leakage per SM, in W.
+const P_IDLE_PER_SM_W: f64 = 0.38;
+/// Active background power per fully-occupied SM at 1.5 GHz on 12 nm, in W
+/// (clock distribution, warp schedulers, register-file standby).
+const P_ACTIVE_PER_SM_W: f64 = 1.15;
+
+/// Process/design energy factor relative to 12 nm Turing.
+fn family_factor(family: Family) -> f64 {
+    match family {
+        Family::Turing => 1.0,
+        // Samsung 8 nm: denser, lower switching energy per op.
+        Family::Ampere => 0.82,
+    }
+}
+
+/// Electrical breakdown of one priced kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct KernelPower {
+    /// Total energy of the launch in millijoules (no noise).
+    pub energy_mj: f64,
+    /// Average power over the launch in watts.
+    pub avg_power_w: f64,
+    /// Static/idle draw in watts.
+    pub static_w: f64,
+    /// Occupancy-scaled active background draw in watts.
+    pub active_w: f64,
+    /// Dynamic switching energy in millijoules (work-proportional part).
+    pub dynamic_mj: f64,
+}
+
+/// Price the energy of a launch whose timing is already known.
+///
+/// Split out from [`execute_with_energy`] so callers that already priced
+/// the launch (or want to price many energy scenarios against one timing)
+/// do not pay the occupancy/roofline walk twice.
+pub fn launch_power(arch: &GpuArch, model: &KernelModel, timing: &KernelTiming) -> KernelPower {
+    let fam = family_factor(arch.family);
+    let clock_scale = arch.clock_ghz / 1.5;
+    let per_op_scale = clock_scale * clock_scale * fam;
+    let total_threads = model.total_threads();
+
+    // ---- Dynamic switching energy (work-proportional) -------------------
+    let e_flop = model.flops_per_thread * E_FLOP_PJ * per_op_scale;
+    let e_int = model.int_ops_per_thread * E_INT_PJ * per_op_scale;
+    // Poorly coalesced loads fetch whole sectors for few useful bytes: the
+    // DRAM pays for everything fetched, not everything used.
+    let fetched_bytes =
+        model.gmem_bytes_per_thread * (1.0 - model.l2_hit_rate) / model.coalescing.max(1e-3);
+    let e_dram = fetched_bytes * E_DRAM_PJ_PER_BYTE;
+    let l2_bytes = model.gmem_bytes_per_thread * model.l2_hit_rate + model.spill_bytes_per_thread;
+    let e_l2 = l2_bytes * E_L2_PJ_PER_BYTE;
+    // Bank conflicts serialize *and* re-drive the banks.
+    let smem_bytes = model.smem_accesses_per_thread * 4.0 * model.bank_conflict_factor;
+    let e_smem = smem_bytes * E_SMEM_PJ_PER_BYTE;
+    // pJ → mJ is 1e-9.
+    let dynamic_mj = (e_flop + e_int + e_dram + e_l2 + e_smem) * total_threads * 1e-9;
+
+    // ---- Background power (time-proportional) ---------------------------
+    let static_w = P_IDLE_BASE_W + P_IDLE_PER_SM_W * f64::from(arch.sm_count);
+    let active_w = P_ACTIVE_PER_SM_W
+        * f64::from(arch.sm_count)
+        * timing.occupancy.occupancy
+        * clock_scale
+        * fam;
+    // W × ms = mJ.
+    let background_mj = (static_w + active_w) * timing.time_ms;
+
+    let energy_mj = dynamic_mj + background_mj;
+    KernelPower {
+        energy_mj,
+        avg_power_w: energy_mj / timing.time_ms.max(1e-12),
+        static_w,
+        active_w,
+        dynamic_mj,
+    }
+}
+
+/// Price one launch of `model` on `arch` for both time and energy.
+pub fn execute_with_energy(
+    arch: &GpuArch,
+    model: &KernelModel,
+) -> Result<(KernelTiming, KernelPower), LaunchError> {
+    let timing = execute(arch, model)?;
+    let power = launch_power(arch, model, &timing);
+    Ok((timing, power))
+}
+
+/// Price `launches` back-to-back launches: `(time_ms, energy_mj)` totals.
+/// The time component is identical to [`crate::execute_repeated`].
+pub fn execute_with_energy_repeated(
+    arch: &GpuArch,
+    model: &KernelModel,
+    launches: u64,
+) -> Result<(f64, f64), LaunchError> {
+    let (timing, power) = execute_with_energy(arch, model)?;
+    Ok((
+        timing.time_ms * launches as f64,
+        power.energy_mj * launches as f64,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute_kernel() -> KernelModel {
+        let mut m = KernelModel::new("flops", 1 << 14, 256);
+        m.flops_per_thread = 20_000.0;
+        m.ilp = 4.0;
+        m
+    }
+
+    fn memory_kernel() -> KernelModel {
+        let mut m = KernelModel::new("stream", 1 << 14, 256);
+        m.gmem_bytes_per_thread = 1024.0;
+        m.gmem_transactions_per_thread = 256.0;
+        m.ilp = 4.0;
+        m
+    }
+
+    #[test]
+    fn energy_is_positive_and_deterministic() {
+        let arch = GpuArch::rtx_3090();
+        let (_, a) = execute_with_energy(&arch, &compute_kernel()).unwrap();
+        let (_, b) = execute_with_energy(&arch, &compute_kernel()).unwrap();
+        assert!(a.energy_mj > 0.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sustained_power_lands_near_board_envelopes() {
+        // Flat-out compute on the 3090 should draw ballpark-TDP power, and
+        // the small 3060 clearly less than the big 3090.
+        let big = execute_with_energy(&GpuArch::rtx_3090(), &compute_kernel())
+            .unwrap()
+            .1;
+        let small = execute_with_energy(&GpuArch::rtx_3060(), &compute_kernel())
+            .unwrap()
+            .1;
+        assert!(
+            big.avg_power_w > 200.0 && big.avg_power_w < 400.0,
+            "3090 draws {:.0} W",
+            big.avg_power_w
+        );
+        assert!(small.avg_power_w < big.avg_power_w);
+    }
+
+    #[test]
+    fn memory_kernels_spend_energy_on_dram() {
+        let arch = GpuArch::rtx_3090();
+        let (_, mem) = execute_with_energy(&arch, &memory_kernel()).unwrap();
+        let bytes = memory_kernel().gmem_bytes_per_thread * memory_kernel().total_threads();
+        // Dynamic energy is at least the DRAM traffic priced at the DRAM rate.
+        assert!(mem.dynamic_mj >= bytes * E_DRAM_PJ_PER_BYTE * 1e-9 * 0.99);
+    }
+
+    #[test]
+    fn uncoalesced_access_costs_energy_not_just_time() {
+        let arch = GpuArch::rtx_3090();
+        let good = launch_power(
+            &arch,
+            &memory_kernel(),
+            &execute(&arch, &memory_kernel()).unwrap(),
+        );
+        let mut bad_model = memory_kernel();
+        bad_model.coalescing = 0.25;
+        let bad_timing = execute(&arch, &bad_model).unwrap();
+        let bad = launch_power(&arch, &bad_model, &bad_timing);
+        assert!(bad.dynamic_mj > 3.0 * good.dynamic_mj);
+    }
+
+    #[test]
+    fn slower_run_pays_more_static_energy() {
+        // Same work profile, but the launch that takes longer burns more
+        // background energy: static energy scales with time.
+        let arch = GpuArch::rtx_3090();
+        let m = memory_kernel();
+        let t = execute(&arch, &m).unwrap();
+        let mut slow = t.clone();
+        slow.time_ms *= 2.0;
+        let p_fast = launch_power(&arch, &m, &t);
+        let p_slow = launch_power(&arch, &m, &slow);
+        assert!(p_slow.energy_mj > p_fast.energy_mj);
+        assert_eq!(p_slow.dynamic_mj, p_fast.dynamic_mj);
+    }
+
+    #[test]
+    fn occupancy_scales_active_power() {
+        let arch = GpuArch::rtx_3090();
+        let full = memory_kernel();
+        let mut starved = memory_kernel();
+        starved.regs_per_thread = 255;
+        starved.threads_per_block = 32;
+        let p_full = execute_with_energy(&arch, &full).unwrap().1;
+        let p_starved = execute_with_energy(&arch, &starved).unwrap().1;
+        assert!(p_starved.active_w < p_full.active_w);
+    }
+
+    #[test]
+    fn repeated_launches_scale_linearly() {
+        let arch = GpuArch::rtx_titan();
+        let m = compute_kernel();
+        let (t1, e1) = execute_with_energy_repeated(&arch, &m, 1).unwrap();
+        let (t5, e5) = execute_with_energy_repeated(&arch, &m, 5).unwrap();
+        assert!((t5 / t1 - 5.0).abs() < 1e-9);
+        assert!((e5 / e1 - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn launch_errors_propagate() {
+        let mut m = KernelModel::new("huge-smem", 16, 256);
+        m.smem_per_block = 90 * 1024;
+        assert!(execute_with_energy(&GpuArch::rtx_2080_ti(), &m).is_err());
+    }
+}

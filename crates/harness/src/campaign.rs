@@ -15,7 +15,7 @@ use bat_core::{Evaluator, Protocol, TuningProblem, TuningRun};
 use bat_tuners::{default_tuners, Tuner};
 
 use crate::result::{CampaignResult, TrialRecord, RESULT_SCHEMA};
-use crate::spec::{CompiledTrial, ExperimentSpec, RecordLevel, SpecError};
+use crate::spec::{CompiledTrial, ExperimentSpec, ObjectiveMode, RecordLevel, SpecError};
 
 /// A campaign execution failure.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,9 +104,13 @@ impl CampaignRun {
     }
 }
 
-/// Look up a suite tuner by name.
+/// Look up a suite tuner by name (the default registry plus the
+/// multi-objective tuners of `bat-moo`).
 pub fn tuner_by_name(name: &str) -> Option<Box<dyn Tuner>> {
-    default_tuners().into_iter().find(|t| t.name() == name)
+    default_tuners()
+        .into_iter()
+        .chain(bat_moo::moo_tuners())
+        .find(|t| t.name() == name)
 }
 
 /// Statistics of one tuning run's evaluator.
@@ -138,7 +142,28 @@ pub fn run_tuning(
     (run, stats)
 }
 
-/// Execute one compiled trial.
+/// [`run_tuning`] with energy measurement enabled: measurements carry
+/// `energy_mj` whenever the problem prices it. The entry point of every
+/// non-`time` objective.
+pub fn run_tuning_with_energy(
+    problem: &dyn TuningProblem,
+    tuner: &dyn Tuner,
+    protocol: Protocol,
+    budget: u64,
+    seed: u64,
+) -> (TuningRun, EvalStats) {
+    let eval = Evaluator::with_protocol(problem, protocol)
+        .with_budget(budget)
+        .with_energy();
+    let run = tuner.tune(&eval, seed);
+    let stats = EvalStats {
+        evals: eval.evals_used(),
+        distinct: eval.distinct_evals(),
+    };
+    (run, stats)
+}
+
+/// Execute one compiled trial under its objective.
 fn execute_trial(ct: &CompiledTrial) -> Result<TrialRecord, HarnessError> {
     let arch = bat_gpusim::GpuArch::by_name(&ct.key.architecture)
         .ok_or_else(|| HarnessError::Trial(format!("unknown GPU {:?}", ct.key.architecture)))?;
@@ -146,17 +171,69 @@ fn execute_trial(ct: &CompiledTrial) -> Result<TrialRecord, HarnessError> {
         .ok_or_else(|| HarnessError::Trial(format!("unknown benchmark {:?}", ct.key.benchmark)))?;
     let tuner = tuner_by_name(&ct.key.tuner)
         .ok_or_else(|| HarnessError::Trial(format!("unknown tuner {:?}", ct.key.tuner)))?;
-    let (run, stats) = run_tuning(&problem, tuner.as_ref(), ct.protocol, ct.budget, ct.seed);
+    let keep_history = ct.record == RecordLevel::Full;
     let names = bat_core::TuningProblem::space(&problem).names().to_vec();
-    Ok(TrialRecord::from_run(
-        &ct.key,
-        ct.seed,
-        &run,
-        &names,
-        stats.evals,
-        stats.distinct,
-        ct.record == RecordLevel::Full,
-    ))
+
+    let record = match ct.objective.mode {
+        // The historical single-objective path, untouched: no energy is
+        // measured, so the artifact is byte-identical to the pre-moo suite.
+        ObjectiveMode::Time => {
+            let (run, stats) =
+                run_tuning(&problem, tuner.as_ref(), ct.protocol, ct.budget, ct.seed);
+            TrialRecord::from_run(
+                &ct.key,
+                ct.seed,
+                &run,
+                &names,
+                stats.evals,
+                stats.distinct,
+                keep_history,
+            )
+        }
+        // Scalarized modes: every tuner optimizes the blend through the
+        // ordinary evaluator interface; `best_ms` holds the blended
+        // objective and `best_energy_mj` the underlying energy.
+        ObjectiveMode::Energy
+        | ObjectiveMode::Edp
+        | ObjectiveMode::Scalarized
+        | ObjectiveMode::Chebyshev => {
+            let scalarization = ct
+                .objective
+                .scalarization()
+                .expect("blended modes always map to a scalarization");
+            let blended = bat_moo::Scalarized::new(problem, scalarization);
+            let (run, stats) =
+                run_tuning_with_energy(&blended, tuner.as_ref(), ct.protocol, ct.budget, ct.seed);
+            TrialRecord::from_run(
+                &ct.key,
+                ct.seed,
+                &run,
+                &names,
+                stats.evals,
+                stats.distinct,
+                keep_history,
+            )
+        }
+        // Pareto mode: both objectives are measured and the trial records
+        // its bounded non-dominated front.
+        ObjectiveMode::Pareto => {
+            let (run, stats) =
+                run_tuning_with_energy(&problem, tuner.as_ref(), ct.protocol, ct.budget, ct.seed);
+            let front = bat_moo::front_of_run(&run, ct.objective.front_capacity());
+            let mut record = TrialRecord::from_run(
+                &ct.key,
+                ct.seed,
+                &run,
+                &names,
+                stats.evals,
+                stats.distinct,
+                keep_history,
+            );
+            record.front = Some(front.front().to_vec());
+            record
+        }
+    };
+    Ok(record)
 }
 
 /// How trials are scheduled (internal: callers pick via
@@ -169,14 +246,36 @@ pub(crate) enum Execution {
     Serial,
 }
 
-fn validate_prior(spec: &ExperimentSpec, prior: &CampaignResult) -> Result<(), HarnessError> {
+/// How strictly a prior artifact's spec must match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PriorMatch {
+    /// Byte-for-byte spec equality — the resume contract. Kept strict on
+    /// purpose: resuming a *sharded* spec from an unsharded artifact would
+    /// let the checkpoint writer overwrite a complete artifact with the
+    /// shard's subset, destroying the other shards' trials.
+    Exact,
+    /// Equality modulo the shard block — the merge contract, where shard
+    /// artifacts deliberately recombine into the unsharded campaign
+    /// (per-trial seeds never depend on the shard block).
+    IgnoreShard,
+}
+
+fn validate_prior(
+    spec: &ExperimentSpec,
+    prior: &CampaignResult,
+    matching: PriorMatch,
+) -> Result<(), HarnessError> {
     if prior.schema != RESULT_SCHEMA {
         return Err(HarnessError::ResumeMismatch(format!(
             "prior result schema {:?} is not {RESULT_SCHEMA:?}",
             prior.schema
         )));
     }
-    if prior.spec != *spec {
+    let matches = match matching {
+        PriorMatch::Exact => prior.spec == *spec,
+        PriorMatch::IgnoreShard => prior.spec.same_campaign(spec),
+    };
+    if !matches {
         return Err(HarnessError::ResumeMismatch(
             "prior result was produced by a different spec".into(),
         ));
@@ -186,27 +285,24 @@ fn validate_prior(spec: &ExperimentSpec, prior: &CampaignResult) -> Result<(), H
 
 type PriorIndex<'a> = std::collections::HashMap<(&'a str, &'a str, &'a str, u32), &'a TrialRecord>;
 
-/// Index a prior's records by trial key — a linear `find()` per compiled
-/// trial would make resuming large campaigns quadratic.
-fn index_prior(prior: Option<&CampaignResult>) -> PriorIndex<'_> {
-    prior
-        .map(|p| {
-            p.trials
-                .iter()
-                .map(|r| {
-                    (
-                        (
-                            r.tuner.as_str(),
-                            r.benchmark.as_str(),
-                            r.architecture.as_str(),
-                            r.rep,
-                        ),
-                        r,
-                    )
-                })
-                .collect()
-        })
-        .unwrap_or_default()
+/// Index prior records by trial key (first prior holding a key wins) — a
+/// linear `find()` per compiled trial would make resuming large campaigns
+/// quadratic.
+fn index_prior<'a>(priors: &[&'a CampaignResult]) -> PriorIndex<'a> {
+    let mut index = PriorIndex::new();
+    for p in priors {
+        for r in &p.trials {
+            index
+                .entry((
+                    r.tuner.as_str(),
+                    r.benchmark.as_str(),
+                    r.architecture.as_str(),
+                    r.rep,
+                ))
+                .or_insert(r);
+        }
+    }
+    index
 }
 
 /// The prior's record for `ct`, if its key and seed match.
@@ -224,18 +320,19 @@ fn reuse_record(index: &PriorIndex<'_>, ct: &CompiledTrial) -> Option<TrialRecor
 
 fn run_impl(
     spec: &ExperimentSpec,
-    prior: Option<&CampaignResult>,
+    priors: &[&CampaignResult],
+    matching: PriorMatch,
     execution: Execution,
     limit: Option<usize>,
 ) -> Result<CampaignRun, HarnessError> {
     let compiled = spec.compile()?;
-    if let Some(p) = prior {
-        validate_prior(spec, p)?;
+    for p in priors {
+        validate_prior(spec, p, matching)?;
     }
 
     // Slot per compiled trial: resume fills what it can, execution fills
     // the rest. Output order is the canonical compiled order either way.
-    let prior_index = index_prior(prior);
+    let prior_index = index_prior(priors);
     let mut slots: Vec<Option<TrialRecord>> = compiled
         .iter()
         .map(|ct| reuse_record(&prior_index, ct))
@@ -290,13 +387,13 @@ fn run_impl(
 
 /// Run a campaign, fanning trials out over the compat-rayon pool.
 pub fn run_campaign(spec: &ExperimentSpec) -> Result<CampaignRun, HarnessError> {
-    run_impl(spec, None, Execution::Parallel, None)
+    run_impl(spec, &[], PriorMatch::Exact, Execution::Parallel, None)
 }
 
 /// Run a campaign strictly sequentially (the determinism oracle: its
 /// result must be byte-identical to [`run_campaign`]'s).
 pub fn run_campaign_serial(spec: &ExperimentSpec) -> Result<CampaignRun, HarnessError> {
-    run_impl(spec, None, Execution::Serial, None)
+    run_impl(spec, &[], PriorMatch::Exact, Execution::Serial, None)
 }
 
 /// Run a campaign, reusing every trial of `prior` that matches the spec
@@ -307,7 +404,26 @@ pub fn resume_campaign(
     spec: &ExperimentSpec,
     prior: &CampaignResult,
 ) -> Result<CampaignRun, HarnessError> {
-    run_impl(spec, Some(prior), Execution::Parallel, None)
+    run_impl(spec, &[prior], PriorMatch::Exact, Execution::Parallel, None)
+}
+
+/// Merge any number of (typically shard) artifacts into `spec`'s campaign:
+/// every compiled trial found in a prior is reused (first prior wins),
+/// missing trials execute. Merging the complete shards of a spec therefore
+/// reproduces the unsharded artifact byte-for-byte without executing
+/// anything.
+pub fn merge_campaigns(
+    spec: &ExperimentSpec,
+    priors: &[CampaignResult],
+) -> Result<CampaignRun, HarnessError> {
+    let refs: Vec<&CampaignResult> = priors.iter().collect();
+    run_impl(
+        spec,
+        &refs,
+        PriorMatch::IgnoreShard,
+        Execution::Parallel,
+        None,
+    )
 }
 
 /// Execute at most `limit` pending trials of `spec`, reusing everything
@@ -319,7 +435,14 @@ pub fn advance_campaign(
     prior: Option<&CampaignResult>,
     limit: usize,
 ) -> Result<CampaignRun, HarnessError> {
-    run_impl(spec, prior, Execution::Parallel, Some(limit))
+    let priors: Vec<&CampaignResult> = prior.into_iter().collect();
+    run_impl(
+        spec,
+        &priors,
+        PriorMatch::Exact,
+        Execution::Parallel,
+        Some(limit),
+    )
 }
 
 /// Run a campaign to completion in `batch`-sized steps, invoking
@@ -337,9 +460,10 @@ pub fn run_campaign_checkpointed(
     assert!(batch > 0, "checkpoint batch must be positive");
     let compiled = spec.compile()?;
     if let Some(p) = prior {
-        validate_prior(spec, p)?;
+        validate_prior(spec, p, PriorMatch::Exact)?;
     }
-    let prior_index = index_prior(prior);
+    let priors: Vec<&CampaignResult> = prior.into_iter().collect();
+    let prior_index = index_prior(&priors);
 
     // `present[i]` ⇔ compiled trial `i` is already in `result.trials`
     // (which stays sorted in canonical compiled order throughout).
@@ -408,7 +532,7 @@ pub fn run_campaign_checkpointed(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::Selector;
+    use crate::spec::{ObjectiveSpec, Selector, ShardSpec};
 
     fn spec() -> ExperimentSpec {
         ExperimentSpec {
@@ -479,6 +603,128 @@ mod tests {
             resume_campaign(&other, &full.result),
             Err(HarnessError::ResumeMismatch(_))
         ));
+        // Resume is shard-strict: a sharded spec must not resume from (and
+        // later overwrite) the unsharded artifact — recombination goes
+        // through `merge_campaigns` only.
+        let sharded = ExperimentSpec {
+            shard: Some(ShardSpec { index: 0, count: 2 }),
+            ..spec()
+        };
+        assert!(matches!(
+            resume_campaign(&sharded, &full.result),
+            Err(HarnessError::ResumeMismatch(_))
+        ));
+        // Merge accepts the same pairing by design.
+        assert!(merge_campaigns(&sharded, std::slice::from_ref(&full.result)).is_ok());
+    }
+
+    #[test]
+    fn sharded_runs_merge_to_the_unsharded_artifact() {
+        let s = spec();
+        let full = run_campaign(&s).unwrap();
+        let shards: Vec<CampaignResult> = (0..2)
+            .map(|index| {
+                run_campaign(&ExperimentSpec {
+                    shard: Some(ShardSpec { index, count: 2 }),
+                    ..spec()
+                })
+                .unwrap()
+                .result
+            })
+            .collect();
+        assert_eq!(shards[0].trials.len() + shards[1].trials.len(), 4);
+        let merged = merge_campaigns(&s, &shards).unwrap();
+        assert_eq!(merged.executed, 0);
+        assert_eq!(merged.reused, 4);
+        assert_eq!(merged.result.to_json(), full.result.to_json());
+        // A missing shard degenerates to executing the hole.
+        let partial = merge_campaigns(&s, &shards[..1]).unwrap();
+        assert_eq!(partial.reused, shards[0].trials.len());
+        assert_eq!(partial.result.to_json(), full.result.to_json());
+    }
+
+    #[test]
+    fn pareto_objective_records_clean_fronts() {
+        let s = ExperimentSpec {
+            tuners: Selector::Subset(vec!["nsga2".into(), "random-search".into()]),
+            objective: ObjectiveSpec {
+                mode: ObjectiveMode::Pareto,
+                front_capacity: Some(8),
+                ..ObjectiveSpec::default()
+            },
+            record: crate::spec::RecordLevel::Curve,
+            budget: 60,
+            repetitions: 1,
+            ..spec()
+        };
+        let run = run_campaign(&s).unwrap();
+        let serial = run_campaign_serial(&s).unwrap();
+        assert_eq!(run.result.to_json(), serial.result.to_json());
+        for t in &run.result.trials {
+            let front = t.front.as_ref().expect("pareto trials record fronts");
+            assert!(!front.is_empty() && front.len() <= 8);
+            // Mutually non-dominated, sorted by time.
+            for w in front.windows(2) {
+                assert!(w[0].time_ms < w[1].time_ms);
+                assert!(w[0].energy_mj > w[1].energy_mj);
+            }
+            assert!(t.best_energy_mj.is_some());
+        }
+    }
+
+    #[test]
+    fn scalarized_objectives_measure_energy_and_stay_deterministic() {
+        for mode in [
+            ObjectiveMode::Energy,
+            ObjectiveMode::Edp,
+            ObjectiveMode::Scalarized,
+        ] {
+            let s = ExperimentSpec {
+                objective: ObjectiveSpec {
+                    mode,
+                    weight: (mode == ObjectiveMode::Scalarized).then_some(0.5),
+                    ..ObjectiveSpec::default()
+                },
+                record: crate::spec::RecordLevel::Curve,
+                budget: 20,
+                ..spec()
+            };
+            let a = run_campaign(&s).unwrap();
+            let b = run_campaign_serial(&s).unwrap();
+            assert_eq!(a.result.to_json(), b.result.to_json(), "{mode:?}");
+            for t in &a.result.trials {
+                assert!(t.best_ms.is_some(), "{mode:?}");
+                assert!(t.best_energy_mj.is_some(), "{mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn objective_modes_select_different_optima() {
+        // On gemm × RTX 3090 with a healthy budget, the time-optimal and
+        // energy-optimal configurations should differ (that is the whole
+        // point of the second objective).
+        let base = ExperimentSpec {
+            tuners: Selector::Subset(vec!["greedy-ils".into()]),
+            benchmarks: Selector::Subset(vec!["gemm".into()]),
+            architectures: Selector::Subset(vec!["RTX 3090".into()]),
+            budget: 400,
+            repetitions: 1,
+            record: crate::spec::RecordLevel::Curve,
+            ..ExperimentSpec::new("objective-split")
+        };
+        let time = run_campaign(&base).unwrap();
+        let energy = run_campaign(&ExperimentSpec {
+            objective: ObjectiveSpec {
+                mode: ObjectiveMode::Energy,
+                ..ObjectiveSpec::default()
+            },
+            ..base.clone()
+        })
+        .unwrap();
+        let t_cfg = &time.result.trials[0].best_config;
+        let e_cfg = &energy.result.trials[0].best_config;
+        assert_ne!(t_cfg, e_cfg, "time and energy optima coincide");
     }
 
     #[test]

@@ -5,11 +5,14 @@
 //! error handling and the post-run report cannot drift between the two
 //! binaries.
 
+use bat_core::t4::{T4Metadata, T4_SCHEMA_VERSION};
+
 use crate::campaign::{
-    run_campaign, run_campaign_checkpointed, run_campaign_serial, CampaignRun, HarnessError,
+    merge_campaigns, run_campaign, run_campaign_checkpointed, run_campaign_serial, CampaignRun,
+    HarnessError,
 };
-use crate::result::CampaignResult;
-use crate::spec::ExperimentSpec;
+use crate::result::{CampaignResult, RESULT_SCHEMA};
+use crate::spec::{ExperimentSpec, SPEC_SCHEMA};
 use crate::summary::CampaignSummary;
 
 /// Trials executed between checkpoint writes of the output artifact.
@@ -67,6 +70,7 @@ pub fn run_spec_to_file(
         let run = run_campaign_serial(spec).map_err(|e| e.to_string())?;
         if let Some(path) = out {
             write_artifact(path, &run.result)?;
+            write_metadata(path, spec)?;
         }
         return Ok(run);
     }
@@ -76,20 +80,81 @@ pub fn run_spec_to_file(
         // (and resume already required one, so `prior` is None here).
         None => run_campaign(spec).map_err(|e| e.to_string()),
         Some(path) => {
-            run_campaign_checkpointed(spec, prior.as_ref(), CHECKPOINT_TRIALS, &mut |partial| {
-                write_artifact(path, partial).map_err(HarnessError::Io)
-            })
-            .map_err(|e| e.to_string())
+            let run = run_campaign_checkpointed(
+                spec,
+                prior.as_ref(),
+                CHECKPOINT_TRIALS,
+                &mut |partial| write_artifact(path, partial).map_err(HarnessError::Io),
+            )
+            .map_err(|e| e.to_string())?;
+            write_metadata(path, spec)?;
+            Ok(run)
         }
     }
 }
 
-/// Write the artifact atomically (temp file + rename) so a crash mid-write
-/// cannot leave the corrupt file that would make the next `--resume` abort.
-fn write_artifact(path: &str, result: &CampaignResult) -> Result<(), String> {
+/// Write a document atomically (temp file + rename) so a crash mid-write
+/// cannot leave a corrupt file — for the artifact that would make the
+/// next `--resume` abort, for the metadata it would break any consumer.
+fn write_atomic(path: &str, contents: &str) -> Result<(), String> {
     let tmp = format!("{path}.tmp");
-    std::fs::write(&tmp, result.to_json()).map_err(|e| format!("writing {tmp}: {e}"))?;
+    std::fs::write(&tmp, contents).map_err(|e| format!("writing {tmp}: {e}"))?;
     std::fs::rename(&tmp, path).map_err(|e| format!("renaming {tmp} to {path}: {e}"))
+}
+
+fn write_artifact(path: &str, result: &CampaignResult) -> Result<(), String> {
+    write_atomic(path, &result.to_json())
+}
+
+/// The T4 metadata document describing a campaign's environment: suite,
+/// backend, schemas and a human-readable objective description. Emitted
+/// alongside every written artifact (`<out>.meta.json`) so campaign
+/// results travel with self-describing context, T4-ecosystem style. A pure
+/// function of the spec — byte-deterministic like the artifact itself.
+pub fn campaign_metadata(spec: &ExperimentSpec) -> T4Metadata {
+    let hardware = match spec.validate() {
+        Ok((_, _, architectures)) => architectures.join(", "),
+        Err(_) => "unknown".to_string(),
+    };
+    let mut md = T4Metadata::for_platform(hardware);
+    md.environment
+        .insert("campaign".to_string(), spec.name.clone());
+    md.environment
+        .insert("objective".to_string(), spec.objective.describe());
+    md.environment
+        .insert("spec_schema".to_string(), SPEC_SCHEMA.to_string());
+    md.environment
+        .insert("result_schema".to_string(), RESULT_SCHEMA.to_string());
+    md.environment
+        .insert("t4_schema".to_string(), T4_SCHEMA_VERSION.to_string());
+    md
+}
+
+/// Path of the metadata document emitted next to an artifact.
+pub fn metadata_path(out: &str) -> String {
+    format!("{out}.meta.json")
+}
+
+fn write_metadata(out: &str, spec: &ExperimentSpec) -> Result<(), String> {
+    write_atomic(&metadata_path(out), &campaign_metadata(spec).to_json())
+}
+
+/// Merge shard artifacts into `spec`'s campaign and write the result (plus
+/// its metadata document) to `out`. Missing trials execute, so merging an
+/// incomplete shard set still produces the complete artifact.
+pub fn merge_files(
+    spec: &ExperimentSpec,
+    inputs: &[String],
+    out: &str,
+) -> Result<CampaignRun, String> {
+    let priors: Vec<CampaignResult> = inputs
+        .iter()
+        .map(|p| load_result_file(p))
+        .collect::<Result<_, String>>()?;
+    let run = merge_campaigns(spec, &priors).map_err(|e| e.to_string())?;
+    write_artifact(out, &run.result)?;
+    write_metadata(out, spec)?;
+    Ok(run)
 }
 
 /// Print the shared post-run report to stderr: summary tables and the
@@ -203,5 +268,54 @@ mod tests {
     fn flag_combinations_are_validated() {
         assert!(run_spec_to_file(&spec(), Some("x"), true, true).is_err());
         assert!(run_spec_to_file(&spec(), None, true, false).is_err());
+    }
+
+    #[test]
+    fn metadata_document_is_emitted_and_deterministic() {
+        let out = temp_out("with-meta.json");
+        run_spec_to_file(&spec(), Some(&out), false, false).unwrap();
+        let meta1 = std::fs::read_to_string(metadata_path(&out)).unwrap();
+        run_spec_to_file(&spec(), Some(&out), false, false).unwrap();
+        let meta2 = std::fs::read_to_string(metadata_path(&out)).unwrap();
+        assert_eq!(meta1, meta2, "metadata must be byte-deterministic");
+        let md = bat_core::t4::T4Metadata::from_json(&meta1).unwrap();
+        assert_eq!(md.hardware, "RTX 3060");
+        assert_eq!(md.environment["campaign"], "files-unit");
+        assert!(md.environment["objective"].contains("time"));
+        assert_eq!(md.environment["spec_schema"], crate::spec::SPEC_SCHEMA);
+        std::fs::remove_file(&out).unwrap();
+        std::fs::remove_file(metadata_path(&out)).unwrap();
+    }
+
+    #[test]
+    fn merge_files_round_trips_shard_artifacts() {
+        use crate::spec::ShardSpec;
+        let base = ExperimentSpec {
+            repetitions: 4,
+            ..spec()
+        };
+        let full = run_campaign(&base).unwrap();
+        let mut inputs = Vec::new();
+        for index in 0..2 {
+            let shard_spec = ExperimentSpec {
+                shard: Some(ShardSpec { index, count: 2 }),
+                ..base.clone()
+            };
+            let out = temp_out(&format!("shard-{index}.json"));
+            run_spec_to_file(&shard_spec, Some(&out), false, false).unwrap();
+            inputs.push(out);
+        }
+        let merged_out = temp_out("merged.json");
+        let run = merge_files(&base, &inputs, &merged_out).unwrap();
+        assert_eq!(run.executed, 0);
+        assert_eq!(run.reused, 4);
+        assert_eq!(
+            std::fs::read_to_string(&merged_out).unwrap(),
+            full.result.to_json()
+        );
+        for p in inputs.iter().chain([&merged_out]) {
+            std::fs::remove_file(p).unwrap();
+            let _ = std::fs::remove_file(metadata_path(p));
+        }
     }
 }

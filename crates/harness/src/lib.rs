@@ -41,13 +41,18 @@ mod spec;
 pub mod summary;
 
 pub use campaign::{
-    advance_campaign, resume_campaign, run_campaign, run_campaign_checkpointed,
-    run_campaign_serial, run_tuning, tuner_by_name, CampaignRun, EvalStats, HarnessError,
+    advance_campaign, merge_campaigns, resume_campaign, run_campaign, run_campaign_checkpointed,
+    run_campaign_serial, run_tuning, run_tuning_with_energy, tuner_by_name, CampaignRun, EvalStats,
+    HarnessError,
 };
-pub use files::{load_result_file, load_spec_file, report_run, run_spec_to_file};
+pub use files::{
+    campaign_metadata, load_result_file, load_spec_file, merge_files, metadata_path, report_run,
+    run_spec_to_file,
+};
 pub use result::{CampaignResult, CurvePoint, TrialRecord, RESULT_SCHEMA};
 pub use spec::{
-    known_architectures, known_benchmarks, known_tuners, CompiledTrial, ExperimentSpec,
-    ProtocolSpec, RecordLevel, SeedPolicy, Selector, SpecError, TrialKey, SPEC_SCHEMA,
+    known_architectures, known_benchmarks, known_moo_tuners, known_tuners, CompiledTrial,
+    ExperimentSpec, ObjectiveMode, ObjectiveSpec, ProtocolSpec, RecordLevel, SeedPolicy, Selector,
+    ShardSpec, SpecError, TrialKey, SPEC_SCHEMA,
 };
 pub use summary::{convergence_auc, render_table, CampaignSummary, CellSummary};

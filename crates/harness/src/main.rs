@@ -9,20 +9,25 @@
 use std::process::ExitCode;
 
 use bat_harness::{
-    load_result_file, load_spec_file, report_run, run_spec_to_file, CampaignSummary, ExperimentSpec,
+    load_result_file, load_spec_file, merge_files, report_run, run_spec_to_file, CampaignSummary,
+    ExperimentSpec, ShardSpec,
 };
 
 const HELP: &str = "\
 bat-harness — declarative experiment orchestration for BAT-rs
 
 USAGE:
-    bat-harness run --spec FILE [--out FILE] [--resume] [--serial] [--strict] [--quiet]
+    bat-harness run --spec FILE [--out FILE] [--resume] [--serial] [--strict] [--quiet] [--shard I/N]
+    bat-harness merge --spec FILE --inputs A,B,... --out FILE [--quiet]
     bat-harness summary --input FILE
     bat-harness trials --spec FILE
 
 COMMANDS:
     run        execute a campaign spec; writes the CampaignResult JSON to
-               --out (or stdout) and prints the summary tables
+               --out (or stdout, plus a <out>.meta.json T4 metadata
+               document) and prints the summary tables
+    merge      merge shard artifacts into the complete campaign artifact
+               (missing trials execute); byte-identical to the unsharded run
     summary    print the summary tables of an existing result artifact
     trials     list the compiled trials of a spec without running them
 
@@ -32,6 +37,9 @@ OPTIONS:
     --resume       reuse trials already present in --out, run only the rest
     --serial       run trials sequentially (determinism oracle; the output
                    must be byte-identical to the parallel run)
+    --shard I/N    override the spec's shard block: run only every N-th
+                   compiled trial, starting at I (0-based)
+    --inputs A,B   comma-separated shard artifacts to merge
     --strict       exit non-zero if any trial found no valid configuration
     --quiet        suppress the summary tables and throughput line
 ";
@@ -52,8 +60,25 @@ fn load_spec(args: &[String]) -> Result<ExperimentSpec, String> {
     load_spec_file(&path)
 }
 
+/// Parse an `I/N` shard selector.
+fn parse_shard(s: &str) -> Result<ShardSpec, String> {
+    let (index, count) = s
+        .split_once('/')
+        .ok_or_else(|| format!("--shard expects I/N, got {s:?}"))?;
+    let index = index
+        .parse()
+        .map_err(|_| format!("bad shard index {index:?}"))?;
+    let count = count
+        .parse()
+        .map_err(|_| format!("bad shard count {count:?}"))?;
+    Ok(ShardSpec { index, count })
+}
+
 fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
-    let spec = load_spec(args)?;
+    let mut spec = load_spec(args)?;
+    if let Some(shard) = opt(args, "--shard") {
+        spec.shard = Some(parse_shard(&shard)?);
+    }
     let out = opt(args, "--out");
     let quiet = flag(args, "--quiet");
 
@@ -71,6 +96,24 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     if failed > 0 && flag(args, "--strict") {
         return Ok(ExitCode::FAILURE);
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_merge(args: &[String]) -> Result<ExitCode, String> {
+    let spec = load_spec(args)?;
+    let inputs: Vec<String> = opt(args, "--inputs")
+        .ok_or("--inputs A,B,... is required")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if inputs.is_empty() {
+        return Err("--inputs names no artifacts".into());
+    }
+    let out = opt(args, "--out").ok_or("--out FILE is required")?;
+    let run = merge_files(&spec, &inputs, &out)?;
+    report_run(&run, flag(args, "--quiet"));
+    eprintln!("merged {} artifacts into {out}", inputs.len());
     Ok(ExitCode::SUCCESS)
 }
 
@@ -119,6 +162,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let outcome = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
         Some("summary") => cmd_summary(&args[1..]),
         Some("trials") => cmd_trials(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {

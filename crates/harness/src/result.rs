@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use bat_core::t4::T4Results;
 use bat_core::TuningRun;
+use bat_moo::ParetoPoint;
 
 use crate::spec::{ExperimentSpec, TrialKey};
 
@@ -52,12 +53,23 @@ pub struct TrialRecord {
     /// Evaluations that produced no objective (restricted + launch-failed).
     pub failures: u64,
     /// Final best objective in ms (`None` when every evaluation failed).
+    /// Under a scalarized objective this is the blended objective value,
+    /// not a wall time.
     pub best_ms: Option<f64>,
     /// Named parameter values of the best configuration (empty when none).
     #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
     pub best_config: BTreeMap<String, i64>,
+    /// Measured energy (mJ) of the best configuration, when the campaign's
+    /// objective measured energy (absent — and skipped — on time-only
+    /// campaigns, keeping their artifacts byte-identical).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub best_energy_mj: Option<f64>,
     /// Best-so-far improvement curve (compact step function).
     pub curve: Vec<CurvePoint>,
+    /// The trial's non-dominated (time, energy) front, recorded under the
+    /// `pareto` objective.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub front: Option<Vec<ParetoPoint>>,
     /// Full per-evaluation history as a T4 results document
     /// (present when the spec's record level is `full`).
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -80,11 +92,13 @@ impl TrialRecord {
     ) -> TrialRecord {
         let mut curve = Vec::new();
         let mut best: Option<f64> = None;
+        let mut best_energy_mj = None;
         let mut best_config = BTreeMap::new();
         for (i, t) in run.trials.iter().enumerate() {
             if let Some(ms) = t.time_ms() {
                 if best.is_none_or(|b| ms < b) {
                     best = Some(ms);
+                    best_energy_mj = t.outcome.as_ref().ok().and_then(|m| m.energy_mj);
                     curve.push(CurvePoint {
                         eval: i as u64 + 1,
                         best_ms: ms,
@@ -108,9 +122,19 @@ impl TrialRecord {
             failures: (run.trials.len() - run.successes()) as u64,
             best_ms: best,
             best_config,
+            best_energy_mj,
             curve,
+            front: None,
             history: keep_history.then(|| T4Results::from_run(run, param_names)),
         }
+    }
+
+    /// The trial's front as plain `(time_ms, energy_mj)` pairs, for the
+    /// analysis reducers.
+    pub fn front_points(&self) -> Option<Vec<(f64, f64)>> {
+        self.front
+            .as_ref()
+            .map(|f| f.iter().map(|p| (p.time_ms, p.energy_mj)).collect())
     }
 
     /// Whether this record belongs to `key`.
@@ -227,6 +251,39 @@ mod tests {
         assert_eq!(r.best_at(4), Some(3.0));
         assert_eq!(r.best_at(999), Some(2.0)); // clamped to trial length
         assert_eq!(r.history.as_ref().unwrap().results.len(), 5);
+    }
+
+    #[test]
+    fn time_only_records_skip_the_moo_fields() {
+        let (run, names) = run();
+        let r = TrialRecord::from_run(&key(), 7, &run, &names, 5, 5, false);
+        assert_eq!(r.best_energy_mj, None);
+        assert_eq!(r.front, None);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        assert!(!json.contains("energy") && !json.contains("front"));
+    }
+
+    #[test]
+    fn records_with_fronts_round_trip() {
+        let (run, names) = run();
+        let mut r = TrialRecord::from_run(&key(), 7, &run, &names, 5, 5, false);
+        r.front = Some(vec![
+            bat_moo::ParetoPoint {
+                index: 2,
+                time_ms: 3.0,
+                energy_mj: 40.0,
+            },
+            bat_moo::ParetoPoint {
+                index: 4,
+                time_ms: 4.0,
+                energy_mj: 30.0,
+            },
+        ]);
+        r.best_energy_mj = Some(40.0);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: TrialRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.front_points().unwrap(), vec![(3.0, 40.0), (4.0, 30.0)]);
     }
 
     #[test]

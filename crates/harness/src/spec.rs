@@ -59,9 +59,17 @@ impl Deserialize for Selector {
 
 impl Selector {
     /// Resolve against `universe` (the known names, in canonical order).
-    /// Subset entries must be distinct members of the universe; `All` keeps
-    /// the universe's own order.
-    fn resolve(&self, universe: &[String], dimension: &str) -> Result<Vec<String>, SpecError> {
+    /// Subset entries must be distinct members of the universe or of
+    /// `extra` (opt-in names that `All` deliberately does *not* pick up —
+    /// the multi-objective tuners live there, so `"all"` keeps resolving
+    /// exactly as it did before they existed); `All` keeps the universe's
+    /// own order.
+    fn resolve(
+        &self,
+        universe: &[String],
+        extra: &[String],
+        dimension: &str,
+    ) -> Result<Vec<String>, SpecError> {
         match self {
             Selector::All => Ok(universe.to_vec()),
             Selector::Subset(names) => {
@@ -70,10 +78,14 @@ impl Selector {
                 }
                 let mut seen = Vec::with_capacity(names.len());
                 for n in names {
-                    if !universe.contains(n) {
-                        return Err(SpecError(format!(
-                            "{dimension}: unknown name {n:?} (known: {universe:?})"
-                        )));
+                    if !universe.contains(n) && !extra.contains(n) {
+                        return Err(SpecError(if extra.is_empty() {
+                            format!("{dimension}: unknown name {n:?} (known: {universe:?})")
+                        } else {
+                            format!(
+                                "{dimension}: unknown name {n:?} (known: {universe:?} + {extra:?})"
+                            )
+                        }));
                     }
                     if seen.contains(n) {
                         return Err(SpecError(format!("{dimension}: duplicate name {n:?}")));
@@ -134,6 +146,174 @@ impl ProtocolSpec {
     }
 }
 
+/// What each trial optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ObjectiveMode {
+    /// Runtime in ms (the suite's historical single objective).
+    #[default]
+    Time,
+    /// Energy in mJ.
+    Energy,
+    /// Energy–delay product (mJ·ms).
+    Edp,
+    /// Weighted time–energy blend (`weight` on time, see
+    /// [`ObjectiveSpec::weight`]).
+    Scalarized,
+    /// Chebyshev (max-norm) time–energy blend.
+    Chebyshev,
+    /// Multi-objective: tuners guide on time, both objectives are measured,
+    /// and every trial records its non-dominated (time, energy) front.
+    Pareto,
+}
+
+/// The objective block of a spec.
+///
+/// Defaults to plain `time`, in which case the block is skipped during
+/// serialization and the evaluator never touches the power model — existing
+/// time-only specs and their artifacts are byte-identical to the
+/// pre-objective suite.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ObjectiveSpec {
+    /// Objective mode (default `time`).
+    #[serde(default)]
+    pub mode: ObjectiveMode,
+    /// Weight on the normalized time objective for
+    /// `scalarized`/`chebyshev`, in `[0, 1]` (required there, rejected
+    /// elsewhere).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub weight: Option<f64>,
+    /// Time normalization scale in ms for the blended modes (default 1.0).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub time_scale_ms: Option<f64>,
+    /// Energy normalization scale in mJ for the blended modes
+    /// (default 1.0).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub energy_scale_mj: Option<f64>,
+    /// Capacity of the recorded Pareto front in `pareto` mode
+    /// (default 32).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub front_capacity: Option<u32>,
+}
+
+impl ObjectiveSpec {
+    /// True for the default (plain time) block — the serialization skip
+    /// predicate that keeps time-only artifacts byte-identical.
+    pub fn is_default(&self) -> bool {
+        *self == ObjectiveSpec::default()
+    }
+
+    /// The scalarization this block describes, `None` for `time`/`pareto`.
+    pub fn scalarization(&self) -> Option<bat_moo::Scalarization> {
+        match self.mode {
+            ObjectiveMode::Time | ObjectiveMode::Pareto => None,
+            ObjectiveMode::Energy => Some(bat_moo::Scalarization::Energy),
+            ObjectiveMode::Edp => Some(bat_moo::Scalarization::Edp),
+            ObjectiveMode::Scalarized => Some(bat_moo::Scalarization::Weighted {
+                time_weight: self.weight.unwrap_or(0.5),
+                time_scale_ms: self.time_scale_ms.unwrap_or(1.0),
+                energy_scale_mj: self.energy_scale_mj.unwrap_or(1.0),
+            }),
+            ObjectiveMode::Chebyshev => Some(bat_moo::Scalarization::Chebyshev {
+                time_weight: self.weight.unwrap_or(0.5),
+                time_scale_ms: self.time_scale_ms.unwrap_or(1.0),
+                energy_scale_mj: self.energy_scale_mj.unwrap_or(1.0),
+            }),
+        }
+    }
+
+    /// Bounded front capacity for `pareto` mode.
+    pub fn front_capacity(&self) -> usize {
+        self.front_capacity.map_or(32, |c| c.max(1) as usize)
+    }
+
+    /// One-line human description (T4 metadata, reports).
+    pub fn describe(&self) -> String {
+        match self.mode {
+            ObjectiveMode::Time => "time (ms, minimized)".into(),
+            ObjectiveMode::Energy => "energy (mJ, minimized)".into(),
+            ObjectiveMode::Edp => "energy-delay product (mJ*ms, minimized)".into(),
+            ObjectiveMode::Scalarized => format!(
+                "weighted time-energy blend (time weight {})",
+                self.weight.unwrap_or(0.5)
+            ),
+            ObjectiveMode::Chebyshev => format!(
+                "chebyshev time-energy blend (time weight {})",
+                self.weight.unwrap_or(0.5)
+            ),
+            ObjectiveMode::Pareto => format!(
+                "pareto time x energy (front capacity {})",
+                self.front_capacity()
+            ),
+        }
+    }
+
+    fn validate(&self) -> Result<(), SpecError> {
+        let blended = matches!(
+            self.mode,
+            ObjectiveMode::Scalarized | ObjectiveMode::Chebyshev
+        );
+        if blended && self.weight.is_none() {
+            return Err(SpecError(format!(
+                "objective.weight is required for {:?}",
+                self.mode
+            )));
+        }
+        if let Some(w) = self.weight {
+            if !blended {
+                return Err(SpecError(format!(
+                    "objective.weight only applies to scalarized/chebyshev, not {:?}",
+                    self.mode
+                )));
+            }
+            if !(0.0..=1.0).contains(&w) {
+                return Err(SpecError(format!("objective.weight {w} outside [0, 1]")));
+            }
+        }
+        for (label, v) in [
+            ("time_scale_ms", self.time_scale_ms),
+            ("energy_scale_mj", self.energy_scale_mj),
+        ] {
+            if let Some(s) = v {
+                if !blended {
+                    return Err(SpecError(format!(
+                        "objective.{label} only applies to scalarized/chebyshev"
+                    )));
+                }
+                if !(s.is_finite() && s > 0.0) {
+                    return Err(SpecError(format!("objective.{label} must be positive")));
+                }
+            }
+        }
+        if self.front_capacity.is_some() && self.mode != ObjectiveMode::Pareto {
+            return Err(SpecError(
+                "objective.front_capacity only applies to pareto mode".into(),
+            ));
+        }
+        if self.front_capacity == Some(0) {
+            return Err(SpecError(
+                "objective.front_capacity must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Campaign sharding: run only every `count`-th compiled trial, starting
+/// at `index`. Shards of the same spec partition the trial list exactly,
+/// and their artifacts merge back through the resume path into the
+/// byte-identical unsharded artifact (per-trial seeds ignore the shard
+/// block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ShardSpec {
+    /// This shard's index, `0..count`.
+    pub index: u32,
+    /// Total number of shards.
+    pub count: u32,
+}
+
 /// How much per-trial detail the result artifact keeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
@@ -175,6 +355,14 @@ pub struct ExperimentSpec {
     /// Result detail level (default: full T4 histories).
     #[serde(default)]
     pub record: RecordLevel,
+    /// Objective block (default: plain time — skipped in serialization, so
+    /// time-only specs and artifacts are unchanged).
+    #[serde(default, skip_serializing_if = "ObjectiveSpec::is_default")]
+    pub objective: ObjectiveSpec,
+    /// Campaign shard selector (default: run every trial). Per-trial seeds
+    /// ignore this block, so shard artifacts merge byte-exactly.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shard: Option<ShardSpec>,
 }
 
 /// Resolved campaign dimensions: `(tuners, benchmarks, architectures)`.
@@ -218,6 +406,8 @@ pub struct CompiledTrial {
     pub protocol: Protocol,
     /// Result detail level.
     pub record: RecordLevel,
+    /// What the trial optimizes.
+    pub objective: ObjectiveSpec,
 }
 
 /// FNV-1a over a string — a stable, platform-independent name hash for
@@ -235,6 +425,16 @@ fn fnv1a(s: &str) -> u64 {
 /// All tuner names the suite ships, in canonical (comparison-table) order.
 pub fn known_tuners() -> Vec<String> {
     default_tuners()
+        .iter()
+        .map(|t| t.name().to_string())
+        .collect()
+}
+
+/// The multi-objective tuner names (`bat_moo::moo_tuners`). Selectable by
+/// explicit subset, *not* included in `"all"`: campaigns archived before
+/// the moo subsystem must keep resolving to the same trial lists.
+pub fn known_moo_tuners() -> Vec<String> {
+    bat_moo::moo_tuners()
         .iter()
         .map(|t| t.name().to_string())
         .collect()
@@ -271,6 +471,8 @@ impl ExperimentSpec {
             seed_policy: SeedPolicy::default(),
             protocol: ProtocolSpec::default(),
             record: RecordLevel::default(),
+            objective: ObjectiveSpec::default(),
+            shard: None,
         }
     }
 
@@ -305,11 +507,27 @@ impl ExperimentSpec {
         if self.protocol.sigma.is_nan() || self.protocol.sigma < 0.0 {
             return Err(SpecError("protocol.sigma must be non-negative".into()));
         }
-        let tuners = self.tuners.resolve(&known_tuners(), "tuners")?;
-        let benchmarks = self.benchmarks.resolve(&known_benchmarks(), "benchmarks")?;
-        let architectures = self
-            .architectures
-            .resolve(&known_architectures(), "architectures")?;
+        self.objective.validate()?;
+        if let Some(shard) = self.shard {
+            if shard.count == 0 {
+                return Err(SpecError("shard.count must be positive".into()));
+            }
+            if shard.index >= shard.count {
+                return Err(SpecError(format!(
+                    "shard.index {} out of range 0..{}",
+                    shard.index, shard.count
+                )));
+            }
+        }
+        let tuners = self
+            .tuners
+            .resolve(&known_tuners(), &known_moo_tuners(), "tuners")?;
+        let benchmarks = self
+            .benchmarks
+            .resolve(&known_benchmarks(), &[], "benchmarks")?;
+        let architectures =
+            self.architectures
+                .resolve(&known_architectures(), &[], "architectures")?;
         Ok((tuners, benchmarks, architectures))
     }
 
@@ -330,8 +548,27 @@ impl ExperimentSpec {
         }
     }
 
+    /// True when `other` describes the same campaign, shard selection
+    /// aside. This is the *merge* compatibility test: a shard artifact may
+    /// seed the unsharded campaign (and vice versa) because per-trial
+    /// seeds are shard-independent. Resume stays shard-strict — see
+    /// the harness's prior validation.
+    pub fn same_campaign(&self, other: &ExperimentSpec) -> bool {
+        let a = ExperimentSpec {
+            shard: None,
+            ..self.clone()
+        };
+        let b = ExperimentSpec {
+            shard: None,
+            ..other.clone()
+        };
+        a == b
+    }
+
     /// Compile into the flat list of independent trials, in canonical
-    /// order: benchmarks → architectures → tuners → repetitions.
+    /// order: benchmarks → architectures → tuners → repetitions. A `shard`
+    /// block keeps every `count`-th trial of that same canonical list
+    /// (starting at `index`), so the shards of a spec partition it exactly.
     pub fn compile(&self) -> Result<Vec<CompiledTrial>, SpecError> {
         let (tuners, benchmarks, architectures) = self.validate()?;
         let protocol = self.protocol.protocol();
@@ -354,10 +591,20 @@ impl ExperimentSpec {
                             budget: self.budget,
                             protocol,
                             record: self.record,
+                            objective: self.objective,
                         });
                     }
                 }
             }
+        }
+        if let Some(shard) = self.shard {
+            let (index, count) = (shard.index as usize, shard.count as usize);
+            trials = trials
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| i % count == index)
+                .map(|(_, t)| t)
+                .collect();
         }
         Ok(trials)
     }
@@ -469,6 +716,141 @@ mod tests {
         assert_eq!(t.len(), default_tuners().len());
         assert_eq!(b.len(), 7);
         assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn default_objective_is_skipped_in_json_and_round_trips() {
+        let spec = small_spec();
+        assert!(spec.objective.is_default());
+        let json = spec.to_json();
+        assert!(!json.contains("objective"));
+        assert!(!json.contains("shard"));
+        assert_eq!(ExperimentSpec::from_json(&json).unwrap(), spec);
+
+        let moo = ExperimentSpec {
+            objective: ObjectiveSpec {
+                mode: ObjectiveMode::Scalarized,
+                weight: Some(0.25),
+                ..ObjectiveSpec::default()
+            },
+            shard: Some(ShardSpec { index: 1, count: 2 }),
+            ..small_spec()
+        };
+        let json = moo.to_json();
+        assert!(json.contains("\"scalarized\"") && json.contains("\"shard\""));
+        assert_eq!(ExperimentSpec::from_json(&json).unwrap(), moo);
+    }
+
+    #[test]
+    fn objective_blocks_are_validated() {
+        let with = |objective| ExperimentSpec {
+            objective,
+            ..small_spec()
+        };
+        assert!(with(ObjectiveSpec {
+            mode: ObjectiveMode::Time,
+            weight: Some(0.5),
+            ..ObjectiveSpec::default()
+        })
+        .validate()
+        .is_err());
+        assert!(with(ObjectiveSpec {
+            mode: ObjectiveMode::Scalarized,
+            weight: Some(1.5),
+            ..ObjectiveSpec::default()
+        })
+        .validate()
+        .is_err());
+        // Blended modes require an explicit weight.
+        assert!(with(ObjectiveSpec {
+            mode: ObjectiveMode::Chebyshev,
+            ..ObjectiveSpec::default()
+        })
+        .validate()
+        .is_err());
+        assert!(with(ObjectiveSpec {
+            mode: ObjectiveMode::Energy,
+            front_capacity: Some(8),
+            ..ObjectiveSpec::default()
+        })
+        .validate()
+        .is_err());
+        assert!(with(ObjectiveSpec {
+            mode: ObjectiveMode::Pareto,
+            front_capacity: Some(0),
+            ..ObjectiveSpec::default()
+        })
+        .validate()
+        .is_err());
+        assert!(with(ObjectiveSpec {
+            mode: ObjectiveMode::Edp,
+            ..ObjectiveSpec::default()
+        })
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn shards_partition_the_compiled_trials() {
+        let spec = small_spec();
+        let all = spec.compile().unwrap();
+        let mut rebuilt: Vec<Option<CompiledTrial>> = vec![None; all.len()];
+        for index in 0..3 {
+            let shard = ExperimentSpec {
+                shard: Some(ShardSpec { index, count: 3 }),
+                ..small_spec()
+            };
+            for t in shard.compile().unwrap() {
+                let pos = all.iter().position(|a| *a == t).unwrap();
+                assert!(rebuilt[pos].is_none(), "trial compiled by two shards");
+                rebuilt[pos] = Some(t);
+            }
+        }
+        let rebuilt: Vec<CompiledTrial> = rebuilt.into_iter().map(Option::unwrap).collect();
+        assert_eq!(rebuilt, all);
+        // Bad shard blocks are rejected.
+        assert!(ExperimentSpec {
+            shard: Some(ShardSpec { index: 2, count: 2 }),
+            ..small_spec()
+        }
+        .validate()
+        .is_err());
+        assert!(ExperimentSpec {
+            shard: Some(ShardSpec { index: 0, count: 0 }),
+            ..small_spec()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn same_campaign_ignores_only_the_shard_block() {
+        let a = small_spec();
+        let sharded = ExperimentSpec {
+            shard: Some(ShardSpec { index: 0, count: 2 }),
+            ..small_spec()
+        };
+        assert!(a.same_campaign(&sharded));
+        let other_seed = ExperimentSpec {
+            seed: 1,
+            ..small_spec()
+        };
+        assert!(!a.same_campaign(&other_seed));
+    }
+
+    #[test]
+    fn moo_tuners_resolve_only_by_explicit_subset() {
+        // "all" stays exactly the historical registry…
+        let (t, _, _) = ExperimentSpec::new("all").validate().unwrap();
+        assert_eq!(t, known_tuners());
+        assert!(!t.contains(&"nsga2".to_string()));
+        // …but subsets may name the moo tuners.
+        let spec = ExperimentSpec {
+            tuners: Selector::Subset(vec!["nsga2".into(), "random-search".into()]),
+            ..small_spec()
+        };
+        let (t, _, _) = spec.validate().unwrap();
+        assert_eq!(t, vec!["nsga2".to_string(), "random-search".to_string()]);
     }
 
     #[test]

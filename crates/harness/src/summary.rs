@@ -5,6 +5,7 @@
 //! convergence AUC, Friedman-style tuner rank matrix, Tables IV/VI in
 //! spirit) can be regenerated offline from an archived artifact.
 
+use bat_analysis::{front_summary, hypervolume_reference};
 use bat_core::friedman_mean_ranks;
 
 use crate::result::{CampaignResult, TrialRecord};
@@ -32,6 +33,12 @@ pub struct CellSummary {
     /// Best objective observed anywhere in the cell (the reference for
     /// relative performance and AUC).
     pub cell_best_ms: Option<f64>,
+    /// Mean dominated hypervolume per tuner against the cell-wide reference
+    /// point (multi-objective campaigns only; `None` when a tuner recorded
+    /// no front).
+    pub hypervolume: Vec<Option<f64>>,
+    /// Mean Pareto-front size per tuner (multi-objective campaigns only).
+    pub front_size: Vec<Option<f64>>,
 }
 
 impl CellSummary {
@@ -174,6 +181,36 @@ impl CampaignSummary {
                     }
                 })
                 .collect();
+            // Pareto reducers: all fronts of the cell share one reference
+            // point, otherwise per-tuner hypervolumes are incomparable.
+            let cell_fronts: Vec<Vec<(f64, f64)>> = result
+                .trials
+                .iter()
+                .filter(in_cell)
+                .filter_map(|t| t.front_points())
+                .collect();
+            let reference = hypervolume_reference(cell_fronts.iter().map(Vec::as_slice));
+            let mut hypervolume = vec![None; tuners.len()];
+            let mut front_size = vec![None; tuners.len()];
+            if let Some(reference) = reference {
+                for (ti, name) in tuners.iter().enumerate() {
+                    let reduced: Vec<_> = result
+                        .trials
+                        .iter()
+                        .filter(in_cell)
+                        .filter(|t| &t.tuner == name)
+                        .filter_map(|t| t.front_points())
+                        .filter_map(|pts| front_summary(&pts, reference))
+                        .collect();
+                    if !reduced.is_empty() {
+                        let n = reduced.len() as f64;
+                        hypervolume[ti] =
+                            Some(reduced.iter().map(|s| s.hypervolume).sum::<f64>() / n);
+                        front_size[ti] =
+                            Some(reduced.iter().map(|s| s.front_size as f64).sum::<f64>() / n);
+                    }
+                }
+            }
             summaries.push(CellSummary {
                 benchmark: bench.clone(),
                 architecture: arch.clone(),
@@ -183,6 +220,8 @@ impl CampaignSummary {
                 auc,
                 mean_rank: friedman_mean_ranks(&finals),
                 cell_best_ms,
+                hypervolume,
+                front_size,
             });
         }
 
@@ -235,6 +274,35 @@ impl CampaignSummary {
             &["cell", "tuner", "median ms", "best ms", "AUC", "rank"],
             &rows,
         ));
+
+        // Multi-objective campaigns: front quality per cell × tuner.
+        if self
+            .cells
+            .iter()
+            .any(|c| c.hypervolume.iter().any(Option::is_some))
+        {
+            out.push_str(
+                "\nPareto fronts (mean hypervolume vs cell reference / mean front size):\n",
+            );
+            let mut rows = Vec::new();
+            for c in &self.cells {
+                for (i, t) in c.tuners.iter().enumerate() {
+                    if c.hypervolume[i].is_none() && c.front_size[i].is_none() {
+                        continue;
+                    }
+                    rows.push(vec![
+                        format!("{}/{}", c.benchmark, c.architecture),
+                        t.clone(),
+                        fmt_opt(c.hypervolume[i], 4),
+                        fmt_opt(c.front_size[i], 1),
+                    ]);
+                }
+            }
+            out.push_str(&render_table(
+                &["cell", "tuner", "hypervolume", "front size"],
+                &rows,
+            ));
+        }
 
         out.push_str("\nTuner rank matrix (rows: tuners, mean rank per cell; 1 = best):\n");
         let mut header: Vec<String> = vec!["tuner".into()];
@@ -342,6 +410,36 @@ mod tests {
         }];
         perfect.evals = 10;
         assert!((convergence_auc(&perfect, 2.0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_campaigns_report_hypervolume_and_front_size() {
+        let spec = ExperimentSpec {
+            tuners: Selector::Subset(vec!["nsga2".into(), "random-search".into()]),
+            benchmarks: Selector::Subset(vec!["gemm".into()]),
+            architectures: Selector::Subset(vec!["RTX 3090".into()]),
+            budget: 60,
+            repetitions: 2,
+            objective: crate::spec::ObjectiveSpec {
+                mode: crate::spec::ObjectiveMode::Pareto,
+                ..Default::default()
+            },
+            record: crate::spec::RecordLevel::Curve,
+            ..ExperimentSpec::new("pareto-summary-unit")
+        };
+        let result = run_campaign(&spec).unwrap().result;
+        let s = CampaignSummary::from_result(&result);
+        let c = &s.cells[0];
+        for i in 0..c.tuners.len() {
+            let hv = c.hypervolume[i].expect("hypervolume per tuner");
+            assert!(hv > 0.0);
+            assert!(c.front_size[i].unwrap() >= 1.0);
+        }
+        let rendered = s.render();
+        assert!(rendered.contains("hypervolume"));
+        // Reduced purely from the serialized artifact.
+        let back = CampaignResult::from_json(&result.to_json()).unwrap();
+        assert_eq!(CampaignSummary::from_result(&back).render(), rendered);
     }
 
     #[test]

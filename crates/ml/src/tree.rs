@@ -28,6 +28,15 @@ pub struct TreeParams {
     pub max_depth: usize,
     /// Minimum samples in a leaf.
     pub min_samples_leaf: usize,
+    /// L2 regularization λ on leaf values (XGBoost-style second-order
+    /// boosting): each leaf takes the Newton step of the regularized
+    /// squared loss, `w* = Σr / (n + λ)`, instead of the plain residual
+    /// mean `Σr / n`. For squared error the per-sample Hessian is 1, so
+    /// the node statistics the histograms already carry — (sum, sum²,
+    /// count) — are exactly the gradient/Hessian totals the step needs.
+    /// `λ = 0` (the default) reproduces the first-order leaves bit for
+    /// bit.
+    pub leaf_lambda: f64,
 }
 
 impl Default for TreeParams {
@@ -35,6 +44,7 @@ impl Default for TreeParams {
         TreeParams {
             max_depth: 6,
             min_samples_leaf: 5,
+            leaf_lambda: 0.0,
         }
     }
 }
@@ -234,6 +244,12 @@ impl Grower<'_> {
         self.nodes.len() - 1
     }
 
+    /// The node's leaf value: the Newton step of the λ-regularized squared
+    /// loss (`Σr / (n + λ)`; the plain mean when λ = 0).
+    fn leaf_value(&self, sum: f64, n: usize) -> f64 {
+        sum / (n.max(1) as f64 + self.params.leaf_lambda)
+    }
+
     /// Histogram path: `hist_id` holds this node's pre-built histogram and
     /// is consumed (released or handed to a child) before returning.
     fn grow_hist(&mut self, rows: &mut [usize], depth: usize, hist_id: usize) -> usize {
@@ -246,21 +262,21 @@ impl Grower<'_> {
             sum += t;
             sq += t * t;
         }
-        let mean = sum / n.max(1) as f64;
+        let value = self.leaf_value(sum, n);
         if depth >= self.params.max_depth || n < 2 * self.params.min_samples_leaf {
             self.pool.release(hist_id);
-            return self.leaf(mean, rows);
+            return self.leaf(value, rows);
         }
         let Some(best) = self.best_split_hist(hist_id, n as f64, sum, sq) else {
             self.pool.release(hist_id);
-            return self.leaf(mean, rows);
+            return self.leaf(value, rows);
         };
         let codes = binned.feature_codes(best.feature);
         let mid = stable_partition(rows, self.part, |r| codes[r] <= best.bin);
         if mid == 0 || mid == n {
             // Unreachable for a valid histogram split; kept as a guard.
             self.pool.release(hist_id);
-            return self.leaf(mean, rows);
+            return self.leaf(value, rows);
         }
         // Scan only the smaller child; derive the larger by subtraction.
         let small_is_left = mid <= n - mid;
@@ -284,7 +300,7 @@ impl Grower<'_> {
             (hist_id, small_id)
         };
         let placeholder = self.nodes.len();
-        self.nodes.push(Node::Leaf { value: mean }); // replaced below
+        self.nodes.push(Node::Leaf { value }); // replaced below
         let (left_rows, right_rows) = rows.split_at_mut(mid);
         let left = self.grow_hist(left_rows, depth + 1, left_id);
         let right = self.grow_hist(right_rows, depth + 1, right_id);
@@ -362,22 +378,23 @@ impl Grower<'_> {
 
     /// Exact path: per-node, per-feature sort over raw values.
     fn grow_exact(&mut self, rows: &mut [usize], depth: usize) -> usize {
-        let mean = rows.iter().map(|&r| self.targets[r]).sum::<f64>() / rows.len().max(1) as f64;
+        let sum = rows.iter().map(|&r| self.targets[r]).sum::<f64>();
+        let value = self.leaf_value(sum, rows.len());
         if depth >= self.params.max_depth || rows.len() < 2 * self.params.min_samples_leaf {
-            return self.leaf(mean, rows);
+            return self.leaf(value, rows);
         }
         let Some(best) = best_split_exact(self.data, self.targets, rows, self.params) else {
-            return self.leaf(mean, rows);
+            return self.leaf(value, rows);
         };
         let data = self.data;
         let mid = stable_partition(rows, self.part, |r| {
             data.value(r, best.feature) <= best.threshold
         });
         if mid == 0 || mid == rows.len() {
-            return self.leaf(mean, rows);
+            return self.leaf(value, rows);
         }
         let placeholder = self.nodes.len();
-        self.nodes.push(Node::Leaf { value: mean }); // replaced below
+        self.nodes.push(Node::Leaf { value }); // replaced below
         let (left_rows, right_rows) = rows.split_at_mut(mid);
         let left = self.grow_exact(left_rows, depth + 1);
         let right = self.grow_exact(right_rows, depth + 1);
@@ -422,6 +439,10 @@ impl RegressionTree {
         exact: bool,
     ) -> Self {
         assert_eq!(targets.len(), data.n_rows());
+        assert!(
+            params.leaf_lambda.is_finite() && params.leaf_lambda >= 0.0,
+            "leaf_lambda must be a non-negative finite number"
+        );
         let TreeScratch {
             rows: row_buf,
             part,
@@ -624,6 +645,7 @@ mod tests {
             &TreeParams {
                 max_depth: 0,
                 min_samples_leaf: 1,
+                ..TreeParams::default()
             },
         );
         let mean = y.iter().sum::<f64>() / y.len() as f64;
@@ -641,7 +663,8 @@ mod tests {
             &rows,
             &TreeParams {
                 max_depth: 10,
-                min_samples_leaf: 60, // cannot split 100 rows into 60+60
+                min_samples_leaf: 60, // cannot split 100 rows into 60+60,
+                ..TreeParams::default()
             },
         );
         assert!(tree.is_empty());
@@ -665,10 +688,12 @@ mod tests {
             TreeParams {
                 max_depth: 10,
                 min_samples_leaf: 1,
+                ..TreeParams::default()
             },
             TreeParams {
                 max_depth: 3,
                 min_samples_leaf: 7,
+                ..TreeParams::default()
             },
         ] {
             let hist = RegressionTree::fit(&data, &y, &rows, &params);
@@ -681,6 +706,61 @@ mod tests {
                 assert_eq!(hist.predict(&[x, 1.2]), exact.predict(&[x, 1.2]));
             }
         }
+    }
+
+    #[test]
+    fn newton_lambda_shrinks_leaves_toward_zero() {
+        let (data, y) = step_data();
+        let rows: Vec<usize> = (0..data.n_rows()).collect();
+        let plain = RegressionTree::fit(&data, &y, &rows, &TreeParams::default());
+        let damped = RegressionTree::fit(
+            &data,
+            &y,
+            &rows,
+            &TreeParams {
+                leaf_lambda: 10.0,
+                ..TreeParams::default()
+            },
+        );
+        for q in 0..data.n_rows() {
+            let p = plain.predict(data.row(q));
+            let d = damped.predict(data.row(q));
+            assert!(d.abs() < p.abs(), "λ must damp |{p}| but gave {d}");
+            assert!(d.signum() == p.signum());
+            // Exactly the Newton step: the 50-row leaves shrink by 50/60.
+            assert!((d - p * 50.0 / 60.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn newton_lambda_holds_hist_exact_equivalence() {
+        let (data, y) = step_data();
+        let rows: Vec<usize> = (0..data.n_rows()).collect();
+        let params = TreeParams {
+            leaf_lambda: 3.5,
+            ..TreeParams::default()
+        };
+        let hist = RegressionTree::fit(&data, &y, &rows, &params);
+        let exact = RegressionTree::fit_exact(&data, &y, &rows, &params);
+        for q in 0..data.n_rows() {
+            assert_eq!(hist.predict(data.row(q)), exact.predict(data.row(q)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf_lambda")]
+    fn negative_lambda_is_rejected() {
+        let (data, y) = step_data();
+        let rows: Vec<usize> = (0..data.n_rows()).collect();
+        let _ = RegressionTree::fit(
+            &data,
+            &y,
+            &rows,
+            &TreeParams {
+                leaf_lambda: -1.0,
+                ..TreeParams::default()
+            },
+        );
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! A bounded non-dominated archive over the (time, energy) plane.
+//!
+//! The archive is the multi-objective analogue of a best-so-far scalar:
+//! tuners and reducers feed every successful measurement through
+//! [`ParetoArchive::insert`] and the archive maintains the set of mutually
+//! non-dominated points, truncated to a capacity bound by NSGA-II crowding
+//! distance (interior points in the densest region go first; the extremes
+//! of the front are never evicted).
+//!
+//! Everything is deterministic: insertion order, domination pruning and
+//! crowding eviction resolve ties by fixed keys, so archives built from the
+//! same measurement stream are identical — which is what lets campaign
+//! artifacts embed fronts and stay byte-identical across thread counts.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a Pareto front: a configuration and its two objectives.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ParetoPoint {
+    /// Dense configuration index in the problem's space.
+    pub index: u64,
+    /// Time objective in milliseconds.
+    pub time_ms: f64,
+    /// Energy objective in millijoules.
+    pub energy_mj: f64,
+}
+
+impl ParetoPoint {
+    /// True when `self` dominates `other`: no worse on both objectives and
+    /// strictly better on at least one (both minimized).
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        self.time_ms <= other.time_ms
+            && self.energy_mj <= other.energy_mj
+            && (self.time_ms < other.time_ms || self.energy_mj < other.energy_mj)
+    }
+
+    /// True when `self` is at least as good as `other` on both objectives
+    /// (domination *or* objective-for-objective equality).
+    fn covers(&self, other: &ParetoPoint) -> bool {
+        self.time_ms <= other.time_ms && self.energy_mj <= other.energy_mj
+    }
+}
+
+/// A bounded archive of mutually non-dominated points, kept sorted by
+/// ascending time (hence descending energy — the canonical 2-D front
+/// order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoArchive {
+    capacity: usize,
+    points: Vec<ParetoPoint>,
+}
+
+impl ParetoArchive {
+    /// An empty archive holding at most `capacity` points.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    pub fn new(capacity: usize) -> ParetoArchive {
+        assert!(capacity > 0, "archive capacity must be positive");
+        ParetoArchive {
+            capacity,
+            points: Vec::new(),
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current front, sorted by ascending time.
+    pub fn front(&self) -> &[ParetoPoint] {
+        &self.points
+    }
+
+    /// Number of archived points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing has been archived.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Offer a point. Returns `true` when the point is in the archive
+    /// afterwards — i.e. it is not covered by any member (members it
+    /// covers are evicted) and it survived any capacity truncation.
+    ///
+    /// Duplicate objective vectors are kept singly: the incumbent wins, so
+    /// re-offering an archived measurement is a no-op.
+    pub fn insert(&mut self, p: ParetoPoint) -> bool {
+        debug_assert!(
+            p.time_ms.is_finite() && p.energy_mj.is_finite(),
+            "archive points must be finite"
+        );
+        if self.points.iter().any(|m| m.covers(&p)) {
+            return false;
+        }
+        self.points.retain(|m| !p.covers(m));
+        // Insert in front order. After pruning no member shares p's time
+        // coordinate (an equal-time member either covered p or was covered
+        // by p), so ascending time is a strict order.
+        let at = self.points.partition_point(|m| m.time_ms < p.time_ms);
+        self.points.insert(at, p);
+        if self.points.len() > self.capacity {
+            let evicted = self.evict_most_crowded();
+            // The newcomer itself may have been the most crowded point.
+            return evicted != at;
+        }
+        true
+    }
+
+    /// Drop the interior point with the smallest crowding distance (the
+    /// first such point in front order on ties); returns its position.
+    /// Extreme points have infinite distance and survive; capacity 1
+    /// keeps the fastest point.
+    fn evict_most_crowded(&mut self) -> usize {
+        let n = self.points.len();
+        if n <= 2 {
+            // Over capacity with ≤ 2 points means capacity 1: drop the
+            // slower extreme.
+            self.points.truncate(self.capacity.max(1));
+            return self.points.len();
+        }
+        let t_span = (self.points[n - 1].time_ms - self.points[0].time_ms).max(f64::MIN_POSITIVE);
+        let e_span =
+            (self.points[0].energy_mj - self.points[n - 1].energy_mj).max(f64::MIN_POSITIVE);
+        let mut evict = 1;
+        let mut min_d = f64::INFINITY;
+        for i in 1..n - 1 {
+            let d = (self.points[i + 1].time_ms - self.points[i - 1].time_ms) / t_span
+                + (self.points[i - 1].energy_mj - self.points[i + 1].energy_mj) / e_span;
+            if d < min_d {
+                min_d = d;
+                evict = i;
+            }
+        }
+        self.points.remove(evict);
+        evict
+    }
+
+    /// Hypervolume dominated by the front w.r.t. `reference`
+    /// (both objectives minimized; points beyond the reference contribute
+    /// nothing). The standard 2-D sweep: rectangles between consecutive
+    /// front points.
+    pub fn hypervolume(&self, reference: (f64, f64)) -> f64 {
+        let pts: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .map(|p| (p.time_ms, p.energy_mj))
+            .collect();
+        crate::hypervolume_2d(&pts, reference)
+    }
+
+    /// Debug invariant: no member covers another and the front is sorted.
+    /// Cheap enough for property tests; not called on the hot path.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, a) in self.points.iter().enumerate() {
+            for (j, b) in self.points.iter().enumerate() {
+                if i != j && a.covers(b) {
+                    return Err(format!("point {i} covers point {j}: {a:?} vs {b:?}"));
+                }
+            }
+        }
+        for w in self.points.windows(2) {
+            if !(w[0].time_ms < w[1].time_ms && w[0].energy_mj > w[1].energy_mj) {
+                return Err(format!("front order violated: {:?} then {:?}", w[0], w[1]));
+            }
+        }
+        if self.points.len() > self.capacity {
+            return Err(format!(
+                "over capacity: {} > {}",
+                self.points.len(),
+                self.capacity
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(index: u64, t: f64, e: f64) -> ParetoPoint {
+        ParetoPoint {
+            index,
+            time_ms: t,
+            energy_mj: e,
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_rejected() {
+        let mut a = ParetoArchive::new(8);
+        assert!(a.insert(p(0, 1.0, 10.0)));
+        assert!(!a.insert(p(1, 2.0, 20.0)));
+        assert!(!a.insert(p(2, 1.0, 10.0))); // duplicate objectives
+        assert_eq!(a.len(), 1);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dominating_point_evicts_the_dominated() {
+        let mut a = ParetoArchive::new(8);
+        a.insert(p(0, 2.0, 20.0));
+        a.insert(p(1, 3.0, 10.0));
+        assert!(a.insert(p(2, 1.5, 12.0))); // dominates point 0, coexists with point 1
+        assert_eq!(a.len(), 2);
+        assert!(a.front().iter().all(|m| m.index != 0));
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn front_is_sorted_by_time() {
+        let mut a = ParetoArchive::new(8);
+        a.insert(p(0, 3.0, 1.0));
+        a.insert(p(1, 1.0, 3.0));
+        a.insert(p(2, 2.0, 2.0));
+        let times: Vec<f64> = a.front().iter().map(|m| m.time_ms).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn crowding_truncation_keeps_extremes() {
+        let mut a = ParetoArchive::new(3);
+        // A dense front of 5 mutually non-dominated points.
+        for (i, (t, e)) in [(1.0, 5.0), (1.1, 4.9), (1.2, 4.8), (3.0, 2.0), (5.0, 1.0)]
+            .iter()
+            .enumerate()
+        {
+            a.insert(p(i as u64, *t, *e));
+        }
+        assert_eq!(a.len(), 3);
+        // The two extremes always survive.
+        assert_eq!(a.front().first().unwrap().time_ms, 1.0);
+        assert_eq!(a.front().last().unwrap().time_ms, 5.0);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insertion_is_deterministic() {
+        let pts: Vec<ParetoPoint> = (0u32..200)
+            .map(|i| {
+                let t = 1.0 + f64::from((i * 37) % 101) / 10.0;
+                let e = 1.0 + f64::from((i * 61) % 97) / 10.0;
+                p(u64::from(i), t, e)
+            })
+            .collect();
+        let mut a = ParetoArchive::new(16);
+        let mut b = ParetoArchive::new(16);
+        for q in &pts {
+            a.insert(*q);
+            b.insert(*q);
+        }
+        assert_eq!(a, b);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn capacity_one_keeps_the_fastest_point() {
+        let mut a = ParetoArchive::new(1);
+        a.insert(p(0, 2.0, 1.0));
+        assert!(a.insert(p(1, 1.0, 5.0)));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.front()[0].time_ms, 1.0);
+        // A non-dominated but slower point is truncated straight back out
+        // — insert must report that it did not stay.
+        assert!(!a.insert(p(2, 3.0, 0.5)));
+        assert_eq!(a.front()[0].time_ms, 1.0);
+    }
+
+    #[test]
+    fn insert_reports_false_when_crowded_straight_back_out() {
+        let mut a = ParetoArchive::new(3);
+        for (i, (t, e)) in [(1.0, 5.0), (3.0, 3.0), (5.0, 1.0)].iter().enumerate() {
+            assert!(a.insert(p(i as u64, *t, *e)));
+        }
+        // (2.9, 3.1) is non-dominated but lands in the densest region and
+        // is the crowding-eviction victim itself.
+        assert!(!a.insert(p(9, 2.9, 3.1)));
+        assert_eq!(a.len(), 3);
+        assert!(a.front().iter().all(|m| m.index != 9));
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn hypervolume_of_a_simple_front() {
+        let mut a = ParetoArchive::new(8);
+        a.insert(p(0, 1.0, 3.0));
+        a.insert(p(1, 2.0, 1.0));
+        // Reference (4, 4): rectangles (4-1)×(4-3) + (4-2)×(3-1) = 3 + 4.
+        assert!((a.hypervolume((4.0, 4.0)) - 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,129 @@
+//! # bat-moo
+//!
+//! Multi-objective (time × energy) tuning for BAT-rs.
+//!
+//! The simulator prices every launch in both milliseconds and millijoules
+//! ([`bat_gpusim::execute_with_energy`]); this crate supplies the
+//! optimization layer on top:
+//!
+//! * [`ParetoArchive`] — a bounded non-dominated archive with
+//!   crowding-distance truncation, the multi-objective analogue of a
+//!   best-so-far scalar;
+//! * [`Nsga2`] — an elitist non-dominated-sorting population tuner
+//!   implementing the suite's ordinary [`bat_tuners::Tuner`] trait, so it
+//!   drops into campaigns next to the single-objective algorithms;
+//! * [`Scalarized`] — a problem adapter blending the two objectives
+//!   (energy, EDP, weighted or Chebyshev) into one scalar, which lets
+//!   *every* existing tuner optimize time–energy trade-offs unmodified;
+//! * [`hypervolume_2d`] / [`pareto_front_2d`] — the front-quality
+//!   primitives the analysis reducers build on.
+
+#![warn(missing_docs)]
+
+mod archive;
+mod nsga2;
+mod scalarize;
+
+pub use archive::{ParetoArchive, ParetoPoint};
+pub use nsga2::{front_of_run, Nsga2};
+pub use scalarize::{Scalarization, Scalarized};
+
+use bat_tuners::Tuner;
+
+/// The multi-objective tuners this crate ships (the moo counterpart of
+/// [`bat_tuners::default_tuners`]). Kept out of the default registry so
+/// time-only comparisons and their archived artifacts are untouched;
+/// harness specs name these tuners explicitly.
+pub fn moo_tuners() -> Vec<Box<dyn Tuner>> {
+    vec![Box::new(Nsga2::default())]
+}
+
+/// The non-dominated subset of `points` (both coordinates minimized),
+/// sorted by ascending first coordinate. Duplicate objective vectors are
+/// kept once.
+pub fn pareto_front_2d(points: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<(f64, f64)> = points.to_vec();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    // Left-to-right sweep: a point joins the front iff it strictly improves
+    // the running second-coordinate minimum (equal-or-worse points are
+    // weakly dominated by an earlier one).
+    let mut front: Vec<(f64, f64)> = Vec::new();
+    let mut best_y = f64::INFINITY;
+    for p in sorted {
+        if p.1 < best_y {
+            best_y = p.1;
+            front.push(p);
+        }
+    }
+    front
+}
+
+/// Hypervolume dominated by `front` w.r.t. `reference` (both coordinates
+/// minimized). Points not dominating the reference contribute nothing;
+/// dominated/duplicate points in the input are filtered first, so any
+/// point set is accepted.
+pub fn hypervolume_2d(points: &[(f64, f64)], reference: (f64, f64)) -> f64 {
+    let front = pareto_front_2d(points);
+    let (rx, ry) = reference;
+    let mut hv = 0.0;
+    let mut prev_y = ry;
+    for (x, y) in front {
+        if x >= rx || y >= prev_y {
+            continue;
+        }
+        hv += (rx - x) * (prev_y - y);
+        prev_y = y;
+    }
+    hv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn front_filters_dominated_and_duplicate_points() {
+        let pts = vec![
+            (2.0, 2.0),
+            (1.0, 3.0),
+            (3.0, 1.0),
+            (2.5, 2.5), // dominated by (2,2)
+            (1.0, 3.0), // duplicate
+            (1.0, 4.0), // same time, worse energy
+        ];
+        assert_eq!(
+            pareto_front_2d(&pts),
+            vec![(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]
+        );
+    }
+
+    #[test]
+    fn hypervolume_matches_hand_computation() {
+        let pts = vec![(1.0, 3.0), (2.0, 1.0), (5.0, 0.5)];
+        // ref (4,4): (4-1)*(4-3) + (4-2)*(3-1) = 3 + 4; the (5,0.5) point
+        // lies beyond the reference time and contributes nothing.
+        assert!((hypervolume_2d(&pts, (4.0, 4.0)) - 7.0).abs() < 1e-12);
+        // Empty and fully-out-of-reference sets have zero volume.
+        assert_eq!(hypervolume_2d(&[], (1.0, 1.0)), 0.0);
+        assert_eq!(hypervolume_2d(&[(2.0, 2.0)], (1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn hypervolume_grows_with_better_fronts() {
+        let worse = vec![(2.0, 2.0)];
+        let better = vec![(2.0, 2.0), (1.0, 3.5), (3.5, 1.0)];
+        let r = (4.0, 4.0);
+        assert!(hypervolume_2d(&better, r) > hypervolume_2d(&worse, r));
+    }
+
+    #[test]
+    fn moo_registry_is_disjoint_from_the_default_one() {
+        let defaults: Vec<String> = bat_tuners::default_tuners()
+            .iter()
+            .map(|t| t.name().to_string())
+            .collect();
+        for t in moo_tuners() {
+            assert!(!defaults.contains(&t.name().to_string()), "{}", t.name());
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Scalarization: multi-objective tuning through single-objective tuners.
+//!
+//! [`Scalarized`] wraps any [`TuningProblem`] and presents a blended
+//! time–energy objective through the ordinary `evaluate_pure` interface.
+//! Because every suite tuner optimizes whatever the evaluator measures,
+//! this lets *all* existing algorithms (random search, annealing, Bayesian
+//! optimization, TPE, SMAC, …) minimize energy, energy-delay product, or a
+//! weighted/Chebyshev blend without any modification — the classic
+//! decomposition approach to multi-objective optimization.
+
+use bat_core::{EvalFailure, TuningProblem};
+use bat_space::ConfigSpace;
+
+/// How the two objectives blend into one scalar (both minimized).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scalarization {
+    /// Pure energy (mJ).
+    Energy,
+    /// Energy–delay product (mJ·ms) — the scale-free efficiency classic.
+    Edp,
+    /// Weighted sum `w·t/tˢ + (1−w)·e/eˢ` with normalization scales
+    /// `tˢ` (ms) and `eˢ` (mJ).
+    Weighted {
+        /// Weight on the (scaled) time objective, in `[0, 1]`.
+        time_weight: f64,
+        /// Time normalization scale in ms.
+        time_scale_ms: f64,
+        /// Energy normalization scale in mJ.
+        energy_scale_mj: f64,
+    },
+    /// Chebyshev (max-norm) blend `max(w·t/tˢ, (1−w)·e/eˢ)` — reaches
+    /// points of non-convex fronts that weighted sums cannot.
+    Chebyshev {
+        /// Weight on the (scaled) time objective, in `[0, 1]`.
+        time_weight: f64,
+        /// Time normalization scale in ms.
+        time_scale_ms: f64,
+        /// Energy normalization scale in mJ.
+        energy_scale_mj: f64,
+    },
+}
+
+impl Scalarization {
+    /// Blend `(time_ms, energy_mj)` into the scalar objective.
+    pub fn blend(&self, time_ms: f64, energy_mj: f64) -> f64 {
+        match *self {
+            Scalarization::Energy => energy_mj,
+            Scalarization::Edp => energy_mj * time_ms,
+            Scalarization::Weighted {
+                time_weight,
+                time_scale_ms,
+                energy_scale_mj,
+            } => {
+                time_weight * time_ms / time_scale_ms
+                    + (1.0 - time_weight) * energy_mj / energy_scale_mj
+            }
+            Scalarization::Chebyshev {
+                time_weight,
+                time_scale_ms,
+                energy_scale_mj,
+            } => (time_weight * time_ms / time_scale_ms)
+                .max((1.0 - time_weight) * energy_mj / energy_scale_mj),
+        }
+    }
+
+    /// A short stable tag (used in problem names and noise salting).
+    pub fn tag(&self) -> String {
+        match *self {
+            Scalarization::Energy => "energy".into(),
+            Scalarization::Edp => "edp".into(),
+            Scalarization::Weighted { time_weight, .. } => {
+                format!("weighted(w={time_weight})")
+            }
+            Scalarization::Chebyshev { time_weight, .. } => {
+                format!("chebyshev(w={time_weight})")
+            }
+        }
+    }
+}
+
+/// A [`TuningProblem`] whose objective is a scalarized time–energy blend
+/// of the wrapped problem's two objectives.
+///
+/// The blend is applied to the *pure* model values; the evaluator then
+/// layers its usual multiplicative noise on top, so scalarized runs follow
+/// exactly the same measurement discipline as time-only runs. Problems
+/// that report no energy fall back to time, so wrapping a single-objective
+/// problem degrades gracefully instead of failing.
+pub struct Scalarized<P: TuningProblem> {
+    inner: P,
+    scalarization: Scalarization,
+    name: String,
+    /// Cached at construction: `noise_salt()` sits on the per-measurement
+    /// hot path and both inputs are immutable.
+    noise_salt: u64,
+}
+
+impl<P: TuningProblem> Scalarized<P> {
+    /// Wrap `inner` under `scalarization`.
+    pub fn new(inner: P, scalarization: Scalarization) -> Scalarized<P> {
+        let name = format!("{}+{}", inner.name(), scalarization.tag());
+        // Distinct noise stream per scalarization so blends do not reuse
+        // the raw problem's sample jitter.
+        let mut noise_salt = inner.noise_salt();
+        for b in scalarization.tag().bytes() {
+            noise_salt ^= u64::from(b);
+            noise_salt = noise_salt.wrapping_mul(0x1000_0000_01b3);
+        }
+        Scalarized {
+            inner,
+            scalarization,
+            name,
+            noise_salt,
+        }
+    }
+
+    /// The wrapped problem.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The active scalarization.
+    pub fn scalarization(&self) -> Scalarization {
+        self.scalarization
+    }
+}
+
+impl<P: TuningProblem> TuningProblem for Scalarized<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn platform(&self) -> &str {
+        self.inner.platform()
+    }
+
+    fn space(&self) -> &ConfigSpace {
+        self.inner.space()
+    }
+
+    fn evaluate_pure(&self, config: &[i64]) -> Result<f64, EvalFailure> {
+        let (t, e) = self.inner.evaluate_pure2(config)?;
+        Ok(self.scalarization.blend(t, e.unwrap_or(t)))
+    }
+
+    fn evaluate_pure2(&self, config: &[i64]) -> Result<(f64, Option<f64>), EvalFailure> {
+        let (t, e) = self.inner.evaluate_pure2(config)?;
+        let energy = e.unwrap_or(t);
+        Ok((self.scalarization.blend(t, energy), Some(energy)))
+    }
+
+    fn noise_salt(&self) -> u64 {
+        self.noise_salt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_core::SyntheticProblem;
+    use bat_space::Param;
+
+    fn two_objective_problem() -> impl TuningProblem {
+        // time = 1 + x, and the synthetic default reports no energy, so the
+        // fallback path (energy := time) is exercised.
+        let space = ConfigSpace::builder()
+            .param(Param::int_range("x", 0, 9))
+            .build()
+            .unwrap();
+        SyntheticProblem::new("toy", "sim", space, |c| Ok(1.0 + c[0] as f64))
+    }
+
+    #[test]
+    fn blends_compute_the_expected_scalars() {
+        let w = Scalarization::Weighted {
+            time_weight: 0.25,
+            time_scale_ms: 2.0,
+            energy_scale_mj: 10.0,
+        };
+        assert!((w.blend(4.0, 20.0) - (0.25 * 2.0 + 0.75 * 2.0)).abs() < 1e-12);
+        let c = Scalarization::Chebyshev {
+            time_weight: 0.5,
+            time_scale_ms: 1.0,
+            energy_scale_mj: 1.0,
+        };
+        assert_eq!(c.blend(4.0, 6.0), 3.0);
+        assert_eq!(Scalarization::Edp.blend(2.0, 5.0), 10.0);
+        assert_eq!(Scalarization::Energy.blend(2.0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn scalarized_problem_blends_and_keeps_space() {
+        let p = Scalarized::new(two_objective_problem(), Scalarization::Edp);
+        // Energy falls back to time → EDP = t².
+        assert_eq!(p.evaluate_pure(&[3]).unwrap(), 16.0);
+        assert_eq!(p.evaluate_pure2(&[3]).unwrap(), (16.0, Some(4.0)));
+        assert_eq!(p.space().num_params(), 1);
+        assert_eq!(p.name(), "toy+edp");
+    }
+
+    #[test]
+    fn scalarizations_get_distinct_noise_streams() {
+        let a = Scalarized::new(two_objective_problem(), Scalarization::Edp);
+        let b = Scalarized::new(two_objective_problem(), Scalarization::Energy);
+        assert_ne!(a.noise_salt(), b.noise_salt());
+        assert_ne!(a.noise_salt(), a.inner().noise_salt());
+    }
+}

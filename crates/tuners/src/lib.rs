@@ -39,7 +39,7 @@ pub use random::{ExhaustiveSearch, RandomSearch};
 pub use smac::SmacTuner;
 pub use surrogate::SurrogateTuner;
 pub use tpe::Tpe;
-pub use tuner::{new_run, ordinal, record_eval, Recorded, Tuner};
+pub use tuner::{new_run, ordinal, record_eval, record_eval2, Recorded, Tuner};
 pub use warmstart::WarmStartTuner;
 
 /// All tuners with default settings, for suite-wide comparisons.

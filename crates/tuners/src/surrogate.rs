@@ -98,6 +98,7 @@ impl Tuner for SurrogateTuner {
                         tree: TreeParams {
                             max_depth: 5,
                             min_samples_leaf: 2,
+                            ..TreeParams::default()
                         },
                         subsample: 0.9,
                         seed: seed ^ 0x5eed,

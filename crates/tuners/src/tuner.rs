@@ -1,6 +1,6 @@
 //! The tuner-side of the shared problem interface.
 
-use bat_core::{Evaluator, Trial, TuningRun};
+use bat_core::{EvalFailure, Evaluator, Measurement, Trial, TuningRun};
 use bat_space::ConfigSpace;
 use rand::Rng;
 
@@ -48,11 +48,16 @@ pub(crate) fn decode_features(
     }
 }
 
-/// Evaluate `index`, append a [`Trial`] to `run`, and classify the outcome.
-pub fn record_eval(eval: &Evaluator<'_>, run: &mut TuningRun, index: u64) -> Recorded {
-    let Some(outcome) = eval.evaluate_index(index) else {
-        return Recorded::Exhausted;
-    };
+/// Evaluate `index`, append a [`Trial`] to `run`, and return the full
+/// outcome — `None` when the budget is exhausted. The single
+/// trial-recording protocol every tuner shares; multi-objective tuners use
+/// this form directly because they need more than the scalar objective.
+pub fn record_eval2(
+    eval: &Evaluator<'_>,
+    run: &mut TuningRun,
+    index: u64,
+) -> Option<Result<Measurement, EvalFailure>> {
+    let outcome = eval.evaluate_index(index)?;
     let config = eval.problem().space().config_at(index);
     let trial = Trial {
         eval: run.trials.len() as u64 + 1,
@@ -61,9 +66,15 @@ pub fn record_eval(eval: &Evaluator<'_>, run: &mut TuningRun, index: u64) -> Rec
         outcome: outcome.clone(),
     };
     run.push(trial);
-    match outcome {
-        Ok(m) => Recorded::Ok(m.time_ms),
-        Err(_) => Recorded::Failed,
+    Some(outcome)
+}
+
+/// Evaluate `index`, append a [`Trial`] to `run`, and classify the outcome.
+pub fn record_eval(eval: &Evaluator<'_>, run: &mut TuningRun, index: u64) -> Recorded {
+    match record_eval2(eval, run, index) {
+        None => Recorded::Exhausted,
+        Some(Ok(m)) => Recorded::Ok(m.time_ms),
+        Some(Err(_)) => Recorded::Failed,
     }
 }
 

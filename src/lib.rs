@@ -18,6 +18,8 @@
 //!   Dedispersion;
 //! * [`ml`] — gradient-boosted trees + permutation feature importance;
 //! * [`tuners`] — random/local/evolutionary/surrogate optimizers;
+//! * [`moo`] — multi-objective (time × energy) tuning: Pareto archive,
+//!   NSGA-II, scalarization adapters;
 //! * [`analysis`] — distributions, convergence, FFG centrality, speedups,
 //!   portability, PFI, space reduction;
 //! * [`harness`] — declarative experiment orchestration: campaign specs in,
@@ -42,6 +44,7 @@ pub use bat_gpusim as gpusim;
 pub use bat_harness as harness;
 pub use bat_kernels as kernels;
 pub use bat_ml as ml;
+pub use bat_moo as moo;
 pub use bat_space as space;
 pub use bat_tuners as tuners;
 
@@ -59,6 +62,7 @@ pub mod prelude {
         ExperimentSpec, SeedPolicy, Selector, TrialRecord,
     };
     pub use bat_kernels::{GpuBenchmark, KernelSpec};
+    pub use bat_moo::{Nsga2, ParetoArchive, ParetoPoint, Scalarization, Scalarized};
     pub use bat_space::{ConfigSpace, Neighborhood, Param};
     pub use bat_tuners::{
         Acquisition, BasinHopping, BayesianOptimization, DifferentialEvolution, GeneticAlgorithm,
