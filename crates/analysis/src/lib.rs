@@ -52,7 +52,7 @@ pub use landscape_valid::sampled_valid;
 pub use noise::{noise_sensitivity, NoisePoint};
 pub use online::{OnlinePolicy, OnlineSimulation, OnlineTrace};
 pub use pagerank::{pagerank, PageRankParams};
-pub use pareto::{front_summary, hypervolume_reference, FrontSummary};
+pub use pareto::{front_summary, hypervolume_reference, merged_front, FrontSummary};
 pub use pfi::{default_gbdt_params, feature_importance, landscape_dataset, FeatureImportance};
 pub use portability::{portability_matrix, PortabilityMatrix};
 pub use reduction::{important_on_any, reduce_space, ReducedSpace};

@@ -52,6 +52,7 @@ pub fn noise_sensitivity(
                         runs: runs_per_config,
                         sigma,
                         seed: base_seed ^ (rep << 17),
+                        ..Protocol::default()
                     };
                     let eval = Evaluator::with_protocol(problem, protocol).with_budget(budget);
                     let run = tuner.tune(&eval, base_seed.wrapping_add(rep));

@@ -10,7 +10,7 @@
 //! *protocol* (reference choice, normalization) so every front-end reports
 //! comparable numbers.
 
-use bat_moo::{hypervolume_2d, pareto_front_2d};
+use bat_moo::{hypervolume_2d, pareto_front_2d, ParetoArchive, ParetoPoint};
 
 /// Margin applied to the cell-wide worst point when deriving the
 /// hypervolume reference, so boundary points contribute non-zero volume.
@@ -50,6 +50,28 @@ where
         }
     }
     worst.map(|(t, e)| (t * REFERENCE_MARGIN, e * REFERENCE_MARGIN))
+}
+
+/// Union several recorded fronts into one bounded [`ParetoArchive`] — the
+/// *best-known front* of a benchmark × architecture cell, merged across
+/// every tuner and repetition that recorded points there (ROADMAP
+/// follow-up (k)).
+///
+/// Points are offered in iteration order (campaign artifacts iterate
+/// trials canonically), and the archive resolves domination and crowding
+/// ties deterministically, so the merged front is a pure function of the
+/// artifact.
+pub fn merged_front<'a, I>(fronts: I, capacity: usize) -> ParetoArchive
+where
+    I: IntoIterator<Item = &'a [ParetoPoint]>,
+{
+    let mut archive = ParetoArchive::new(capacity.max(1));
+    for front in fronts {
+        for &p in front {
+            archive.insert(p);
+        }
+    }
+    archive
 }
 
 /// Reduce one front against a shared reference point.
@@ -94,6 +116,26 @@ mod tests {
         assert_eq!(s.best_energy_mj, 1.0);
         assert!(s.hypervolume > 0.0);
         assert!(front_summary(&[], (4.0, 4.0)).is_none());
+    }
+
+    #[test]
+    fn merged_front_unions_and_prunes_dominated_points() {
+        let p = |i: u64, t: f64, e: f64| ParetoPoint {
+            index: i,
+            time_ms: t,
+            energy_mj: e,
+        };
+        let a = vec![p(0, 1.0, 5.0), p(1, 3.0, 3.0)];
+        let b = vec![p(2, 2.0, 4.0), p(3, 3.5, 3.5), p(4, 5.0, 1.0)];
+        let merged = merged_front([a.as_slice(), b.as_slice()], 16);
+        merged.check_invariants().unwrap();
+        let idx: Vec<u64> = merged.front().iter().map(|q| q.index).collect();
+        // (3.5, 3.5) is dominated by (3, 3); everything else survives.
+        assert_eq!(idx, vec![0, 2, 1, 4]);
+        // Deterministic given the same inputs.
+        assert_eq!(merged, merged_front([a.as_slice(), b.as_slice()], 16));
+        // Capacity bound is honoured.
+        assert!(merged_front([a.as_slice(), b.as_slice()], 2).len() <= 2);
     }
 
     #[test]

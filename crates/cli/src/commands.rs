@@ -435,6 +435,18 @@ fn comparison_spec(
     }
 }
 
+/// Parse and validate the CLI's `--batch` knob with the same rules the
+/// spec path applies: positive, and no wider than the budget.
+fn batch_arg(opts: &Opts, budget: u64) -> u32 {
+    let batch = opts.get_u64("--batch", 1);
+    assert!(batch >= 1, "--batch must be positive");
+    assert!(
+        batch <= budget,
+        "--batch {batch} exceeds the budget {budget}"
+    );
+    u32::try_from(batch).expect("--batch out of range")
+}
+
 /// `bat tune` — run one tuner on one benchmark (through the harness's
 /// shared tuning entry point).
 pub fn cmd_tune(opts: &Opts) {
@@ -443,6 +455,9 @@ pub fn cmd_tune(opts: &Opts) {
     let arch = &archs[0];
     let budget = opts.get_u64("--budget", 500);
     let seed = opts.get_u64("--seed", 0);
+    // Measurement parallelism of the ask/tell protocol (1 = the classic
+    // serial protocol, byte-identical to the historical output).
+    let batch = batch_arg(opts, budget);
     let tuner_name = opts
         .get("--tuner")
         .unwrap_or_else(|| "random-search".into());
@@ -450,8 +465,8 @@ pub fn cmd_tune(opts: &Opts) {
         .unwrap_or_else(|| panic!("unknown tuner {tuner_name:?}; see `bat list`"));
 
     let b = bench_on(&bench, arch);
-    let (run, _stats) =
-        bat_harness::run_tuning(&b, tuner.as_ref(), Protocol::default(), budget, seed);
+    let protocol = Protocol::default().with_batch(batch);
+    let (run, _stats) = bat_harness::run_tuning(&b, tuner.as_ref(), protocol, budget, seed);
     println!(
         "tuned {bench} on {} with {} ({} evaluations, {} successful)",
         arch.name,
@@ -790,6 +805,7 @@ pub fn cmd_pareto(opts: &Opts) {
     let budget = opts.get_u64("--budget", 300);
     let seed = opts.get_u64("--seed", 0);
     let capacity = opts.get_usize("--capacity", 16);
+    let batch = batch_arg(opts, budget);
     let tuner_name = opts.get("--tuner").unwrap_or_else(|| "nsga2".into());
     let tuner = bat_harness::tuner_by_name(&tuner_name)
         .unwrap_or_else(|| panic!("unknown tuner {tuner_name:?}; see `bat list`"));
@@ -800,7 +816,7 @@ pub fn cmd_pareto(opts: &Opts) {
             let (run, stats) = bat_harness::run_tuning_with_energy(
                 &b,
                 tuner.as_ref(),
-                Protocol::default(),
+                Protocol::default().with_batch(batch),
                 budget,
                 seed,
             );
@@ -871,7 +887,13 @@ pub fn cmd_campaign(opts: &Opts) {
     let path = opts
         .get("--spec")
         .expect("--spec FILE is required; see specs/ for examples");
-    let spec = bat_harness::load_spec_file(&path).unwrap_or_else(|e| panic!("{e}"));
+    let mut spec = bat_harness::load_spec_file(&path).unwrap_or_else(|e| panic!("{e}"));
+    if let Some(batch) = opts.get("--batch") {
+        let batch: u32 = batch
+            .parse()
+            .unwrap_or_else(|_| panic!("bad --batch value {batch:?}"));
+        spec.protocol.set_batch(batch);
+    }
     let out = opts.get("--out");
     let run = bat_harness::run_spec_to_file(&spec, out.as_deref(), opts.has("--resume"), false)
         .unwrap_or_else(|e| panic!("campaign failed: {e}"));

@@ -26,9 +26,9 @@ EXPERIMENT COMMANDS (one per paper table/figure):
 
 SUITE COMMANDS:
     list                 benchmarks, GPUs and tuners
-    tune                 run one tuner  (--bench, --tuner, --budget, --seed, --json, --t4, --source)
+    tune                 run one tuner  (--bench, --tuner, --budget, --seed, --batch, --json, --t4, --source)
     pareto               multi-objective tuning: time × energy Pareto fronts
-                         (--bench, --arch, --budget, --seed, --tuner, --capacity)
+                         (--bench, --arch, --budget, --seed, --tuner, --capacity, --batch)
     campaign             run a declarative campaign spec (--spec FILE, --out FILE, --resume)
     compare              compare all tuners at equal budget (--bench, --budget, --repeats)
     ranks                cross-benchmark tuner ranking, Friedman-style (--budget, --repeats)

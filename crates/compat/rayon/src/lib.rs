@@ -32,14 +32,23 @@ thread_local! {
     static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Cached core count: `available_parallelism` is a syscall, and fine-grained
+/// callers (e.g. the evaluator's per-batch fan-out) hit `worker_count` on
+/// every parallel call.
+fn cores() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
 fn worker_count(items: usize) -> usize {
     if items < 2 || IN_PARALLEL.with(Cell::get) {
         return 1;
     }
-    let cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    cores.min(items)
+    cores().min(items)
 }
 
 /// Apply `f` to every item, in order, returning the results. Runs on

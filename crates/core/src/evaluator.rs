@@ -11,6 +11,7 @@ use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 use bat_gpusim::{noise_key, noisy_time_ms};
@@ -28,6 +29,11 @@ pub struct Protocol {
     pub sigma: f64,
     /// Seed folded into the deterministic noise.
     pub seed: u64,
+    /// Measurement parallelism: how many configurations the evaluation
+    /// side measures per step of the ask/tell protocol (step-driven tuners
+    /// ask up to this many candidates before seeing any result). `1` is
+    /// the classic strictly-serial protocol; values are clamped to ≥ 1.
+    pub batch: u32,
 }
 
 impl Default for Protocol {
@@ -36,6 +42,7 @@ impl Default for Protocol {
             runs: 5,
             sigma: 0.01,
             seed: 0,
+            batch: 1,
         }
     }
 }
@@ -47,7 +54,19 @@ impl Protocol {
             runs: 1,
             sigma: 0.0,
             seed: 0,
+            batch: 1,
         }
+    }
+
+    /// The same protocol with a different measurement parallelism.
+    pub fn with_batch(mut self, batch: u32) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// The validated measurement parallelism (never 0).
+    pub fn batch(&self) -> usize {
+        self.batch.max(1) as usize
     }
 }
 
@@ -138,6 +157,11 @@ impl<'p> Evaluator<'p> {
         self.problem
     }
 
+    /// The measurement protocol (the step driver reads its `batch` knob).
+    pub fn protocol(&self) -> &Protocol {
+        &self.protocol
+    }
+
     /// Number of evaluations performed so far (every call counts, cached or
     /// not — on real hardware a revisited configuration still spends budget
     /// unless the tuner itself deduplicates).
@@ -188,6 +212,113 @@ impl<'p> Evaluator<'p> {
                 Some(result)
             }
         }
+    }
+
+    /// Evaluate a batch of configurations by dense index — the measurement
+    /// side of the ask/tell protocol.
+    ///
+    /// Semantically equivalent to calling [`Evaluator::evaluate_index`] on
+    /// each element in order (same results, same budget accounting, same
+    /// memo/distinct state), but:
+    ///
+    /// * the budget is claimed **once** for the whole batch (one atomic
+    ///   transaction instead of one per element);
+    /// * duplicate indices within the batch are decoded and measured once
+    ///   (each occurrence still spends budget, exactly like repeated serial
+    ///   calls);
+    /// * cache-missing configurations fan out over the compat-rayon pool,
+    ///   each worker decoding into its own thread-local scratch.
+    ///
+    /// The returned vector holds one outcome per element until the budget
+    /// ran out: if only `k` evaluations were affordable, it has length `k`
+    /// (serial calls would have returned `None` from element `k` on).
+    pub fn evaluate_batch(&self, indices: &[u64]) -> Vec<Result<Measurement, EvalFailure>> {
+        let want = indices.len() as u64;
+        if want == 0 {
+            return Vec::new();
+        }
+        // One budget claim for the whole batch.
+        let claimed = match self.budget {
+            None => {
+                self.evals.fetch_add(want, Ordering::Relaxed);
+                want
+            }
+            Some(budget) => loop {
+                let used = self.evals.load(Ordering::Relaxed);
+                let claim = budget.saturating_sub(used).min(want);
+                if claim == 0 {
+                    break 0;
+                }
+                if self
+                    .evals
+                    .compare_exchange(used, used + claim, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    break claim;
+                }
+            },
+        } as usize;
+        let indices = &indices[..claimed];
+
+        if !self.cache_enabled {
+            // No memoization: every occurrence re-measures, as serially.
+            let out: Vec<Result<Measurement, EvalFailure>> = indices
+                .par_iter()
+                .map(|&idx| self.decode_and_measure(idx))
+                .collect();
+            self.distinct.fetch_add(claimed as u64, Ordering::Relaxed);
+            return out;
+        }
+
+        // Partition into cache hits and a deduplicated measurement list
+        // (first-occurrence order, so `distinct` counts match serial calls).
+        // Small batches — the driver's common case — dedup by linear scan
+        // to avoid a per-call HashMap allocation.
+        let mut out: Vec<Option<Result<Measurement, EvalFailure>>> = vec![None; claimed];
+        let mut to_measure: Vec<u64> = Vec::new();
+        let mut slot_of: Option<HashMap<u64, usize>> = (claimed > 128).then(HashMap::new);
+        let mut occurrences: Vec<(usize, usize)> = Vec::new();
+        for (i, &idx) in indices.iter().enumerate() {
+            if let Some(hit) = self.shard(idx).lock().get(&idx) {
+                out[i] = Some(hit.clone());
+                continue;
+            }
+            let slot = match &mut slot_of {
+                Some(map) => *map.entry(idx).or_insert_with(|| {
+                    to_measure.push(idx);
+                    to_measure.len() - 1
+                }),
+                None => match to_measure.iter().position(|&m| m == idx) {
+                    Some(slot) => slot,
+                    None => {
+                        to_measure.push(idx);
+                        to_measure.len() - 1
+                    }
+                },
+            };
+            occurrences.push((i, slot));
+        }
+
+        // Measure the unique misses in parallel (deterministic per index,
+        // collected in order), then publish through the entry API so
+        // `distinct` counts each configuration exactly once under races.
+        let measured: Vec<Result<Measurement, EvalFailure>> = to_measure
+            .par_iter()
+            .map(|&idx| self.decode_and_measure(idx))
+            .collect();
+        for (&idx, result) in to_measure.iter().zip(&measured) {
+            if let std::collections::hash_map::Entry::Vacant(e) = self.shard(idx).lock().entry(idx)
+            {
+                e.insert(result.clone());
+                self.distinct.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        for (i, slot) in occurrences {
+            out[i] = Some(measured[slot].clone());
+        }
+        out.into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
     }
 
     /// Evaluate a configuration by value vector. Returns `None` when the
@@ -324,6 +455,7 @@ mod tests {
                 runs: 7,
                 sigma: 0.02,
                 seed: 9,
+                ..Protocol::default()
             },
         );
         let m = e.evaluate_config(&[4]).unwrap().unwrap();
@@ -366,6 +498,7 @@ mod tests {
                 runs: 5,
                 sigma: 0.05,
                 seed: 1,
+                ..Protocol::default()
             },
         )
         .with_energy();
@@ -436,6 +569,60 @@ mod tests {
     }
 
     #[test]
+    fn batch_matches_serial_results_and_accounting() {
+        let p = problem();
+        let serial = Evaluator::new(&p);
+        let batched = Evaluator::new(&p);
+        let indices = [3u64, 5, 3, 8, 8, 1];
+        let expect: Vec<_> = indices
+            .iter()
+            .map(|&i| serial.evaluate_index(i).unwrap())
+            .collect();
+        let got = batched.evaluate_batch(&indices);
+        assert_eq!(got, expect);
+        assert_eq!(batched.evals_used(), serial.evals_used());
+        assert_eq!(batched.distinct_evals(), serial.distinct_evals());
+        // Memo state matches: a later serial probe returns the cached value
+        // without growing `distinct`.
+        let before = batched.distinct_evals();
+        assert_eq!(
+            batched.evaluate_index(3).unwrap(),
+            serial.evaluate_index(3).unwrap()
+        );
+        assert_eq!(batched.distinct_evals(), before);
+    }
+
+    #[test]
+    fn batch_truncates_at_the_budget_with_one_claim() {
+        let p = problem();
+        let e = Evaluator::new(&p).with_budget(4);
+        let got = e.evaluate_batch(&[0, 1, 2, 3, 4, 5]);
+        assert_eq!(got.len(), 4);
+        assert_eq!(e.evals_used(), 4);
+        assert!(!e.has_budget());
+        assert!(e.evaluate_batch(&[6]).is_empty());
+        assert_eq!(e.evals_used(), 4);
+    }
+
+    #[test]
+    fn batch_without_cache_measures_every_occurrence() {
+        let p = problem();
+        let e = Evaluator::new(&p).without_cache();
+        let got = e.evaluate_batch(&[2, 2, 2]);
+        assert_eq!(got.len(), 3);
+        assert_eq!(e.distinct_evals(), 3);
+        assert_eq!(e.evals_used(), 3);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let p = problem();
+        let e = Evaluator::new(&p).with_budget(1);
+        assert!(e.evaluate_batch(&[]).is_empty());
+        assert_eq!(e.evals_used(), 0);
+    }
+
+    #[test]
     fn different_seeds_change_samples() {
         let p = problem();
         let e1 = Evaluator::with_protocol(
@@ -444,6 +631,7 @@ mod tests {
                 runs: 3,
                 sigma: 0.05,
                 seed: 1,
+                ..Protocol::default()
             },
         );
         let e2 = Evaluator::with_protocol(
@@ -452,6 +640,7 @@ mod tests {
                 runs: 3,
                 sigma: 0.05,
                 seed: 2,
+                ..Protocol::default()
             },
         );
         let a = e1.evaluate_index(3).unwrap().unwrap();

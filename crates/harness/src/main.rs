@@ -17,7 +17,7 @@ const HELP: &str = "\
 bat-harness — declarative experiment orchestration for BAT-rs
 
 USAGE:
-    bat-harness run --spec FILE [--out FILE] [--resume] [--serial] [--strict] [--quiet] [--shard I/N]
+    bat-harness run --spec FILE [--out FILE] [--resume] [--serial] [--strict] [--quiet] [--shard I/N] [--batch N]
     bat-harness merge --spec FILE --inputs A,B,... --out FILE [--quiet]
     bat-harness summary --input FILE
     bat-harness trials --spec FILE
@@ -39,6 +39,9 @@ OPTIONS:
                    must be byte-identical to the parallel run)
     --shard I/N    override the spec's shard block: run only every N-th
                    compiled trial, starting at I (0-based)
+    --batch N      override the spec's protocol.batch (measurement
+                   parallelism of the ask/tell protocol; 1 = the classic
+                   serial protocol, stored canonically as absent)
     --inputs A,B   comma-separated shard artifacts to merge
     --strict       exit non-zero if any trial found no valid configuration
     --quiet        suppress the summary tables and throughput line
@@ -78,6 +81,12 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut spec = load_spec(args)?;
     if let Some(shard) = opt(args, "--shard") {
         spec.shard = Some(parse_shard(&shard)?);
+    }
+    if let Some(batch) = opt(args, "--batch") {
+        let batch: u32 = batch
+            .parse()
+            .map_err(|_| format!("bad --batch value {batch:?}"))?;
+        spec.protocol.set_batch(batch);
     }
     let out = opt(args, "--out");
     let quiet = flag(args, "--quiet");

@@ -122,6 +122,13 @@ pub struct ProtocolSpec {
     pub sigma: f64,
     /// Seed folded into the deterministic measurement noise.
     pub noise_seed: u64,
+    /// Measurement parallelism of the ask/tell protocol: step-driven
+    /// tuners ask up to this many configurations per round. Absent means
+    /// `1` — the classic strictly-serial protocol, under which artifacts
+    /// are byte-identical to the pre-batch suite (which is why the default
+    /// is skipped during serialization).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub batch: Option<u32>,
 }
 
 impl Default for ProtocolSpec {
@@ -131,6 +138,7 @@ impl Default for ProtocolSpec {
             runs: p.runs,
             sigma: p.sigma,
             noise_seed: p.seed,
+            batch: None,
         }
     }
 }
@@ -142,7 +150,20 @@ impl ProtocolSpec {
             runs: self.runs,
             sigma: self.sigma,
             seed: self.noise_seed,
+            batch: self.batch.unwrap_or(1),
         }
+    }
+
+    /// The effective measurement parallelism (≥ 1).
+    pub fn batch(&self) -> u32 {
+        self.batch.unwrap_or(1).max(1)
+    }
+
+    /// Set the batch knob in canonical form: `1` is stored as absent, so
+    /// a `batch = 1` override keeps specs (and their embedded artifact
+    /// copies) byte-identical to the pre-batch suite.
+    pub fn set_batch(&mut self, batch: u32) {
+        self.batch = (batch != 1).then_some(batch);
     }
 }
 
@@ -507,6 +528,17 @@ impl ExperimentSpec {
         if self.protocol.sigma.is_nan() || self.protocol.sigma < 0.0 {
             return Err(SpecError("protocol.sigma must be non-negative".into()));
         }
+        if self.protocol.batch == Some(0) {
+            return Err(SpecError("protocol.batch must be positive".into()));
+        }
+        if let Some(b) = self.protocol.batch {
+            if u64::from(b) > self.budget {
+                return Err(SpecError(format!(
+                    "protocol.batch {b} exceeds the per-trial budget {}",
+                    self.budget
+                )));
+            }
+        }
         self.objective.validate()?;
         if let Some(shard) = self.shard {
             if shard.count == 0 {
@@ -704,6 +736,31 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn batch_knob_is_validated_and_canonically_serialized() {
+        // Absent batch serializes without the field (byte-stable specs).
+        let spec = small_spec();
+        assert!(!spec.to_json().contains("batch"));
+        assert_eq!(spec.protocol.batch(), 1);
+        // Canonical setter: 1 → absent, n → present.
+        let mut batched = small_spec();
+        batched.protocol.set_batch(4);
+        assert_eq!(batched.protocol.batch, Some(4));
+        assert!(batched.to_json().contains("\"batch\": 4"));
+        assert!(batched.validate().is_ok());
+        let back = ExperimentSpec::from_json(&batched.to_json()).unwrap();
+        assert_eq!(back, batched);
+        batched.protocol.set_batch(1);
+        assert_eq!(batched.protocol.batch, None);
+        // Zero is rejected; so is a batch wider than the whole budget.
+        let mut zero = small_spec();
+        zero.protocol.batch = Some(0);
+        assert!(zero.validate().is_err());
+        let mut wide = small_spec();
+        wide.protocol.batch = Some(11); // budget is 10
+        assert!(wide.validate().is_err());
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! convergence AUC, Friedman-style tuner rank matrix, Tables IV/VI in
 //! spirit) can be regenerated offline from an archived artifact.
 
-use bat_analysis::{front_summary, hypervolume_reference};
+use bat_analysis::{front_summary, hypervolume_reference, merged_front};
 use bat_core::friedman_mean_ranks;
+use bat_moo::ParetoPoint;
 
 use crate::result::{CampaignResult, TrialRecord};
 
@@ -39,6 +40,13 @@ pub struct CellSummary {
     pub hypervolume: Vec<Option<f64>>,
     /// Mean Pareto-front size per tuner (multi-objective campaigns only).
     pub front_size: Vec<Option<f64>>,
+    /// The cell's best-known front: the [`bat_analysis::merged_front`]
+    /// archive union of every recorded front across tuners and
+    /// repetitions — the baseline per-tuner fronts are judged against.
+    /// Empty on single-objective campaigns.
+    pub best_known_front: Vec<ParetoPoint>,
+    /// Hypervolume of the best-known front against the cell reference.
+    pub best_known_hypervolume: Option<f64>,
 }
 
 impl CellSummary {
@@ -192,6 +200,20 @@ impl CampaignSummary {
             let reference = hypervolume_reference(cell_fronts.iter().map(Vec::as_slice));
             let mut hypervolume = vec![None; tuners.len()];
             let mut front_size = vec![None; tuners.len()];
+            // Best-known front: archive union of every recorded front in
+            // the cell (cross-rep, cross-tuner), bounded by the campaign's
+            // front capacity.
+            let best_known = merged_front(
+                result
+                    .trials
+                    .iter()
+                    .filter(in_cell)
+                    .filter_map(|t| t.front.as_deref()),
+                result.spec.objective.front_capacity(),
+            );
+            let best_known_hypervolume = reference
+                .filter(|_| !best_known.is_empty())
+                .map(|r| best_known.hypervolume(r));
             if let Some(reference) = reference {
                 for (ti, name) in tuners.iter().enumerate() {
                     let reduced: Vec<_> = result
@@ -222,6 +244,8 @@ impl CampaignSummary {
                 cell_best_ms,
                 hypervolume,
                 front_size,
+                best_known_front: best_known.front().to_vec(),
+                best_known_hypervolume,
             });
         }
 
@@ -295,6 +319,16 @@ impl CampaignSummary {
                         t.clone(),
                         fmt_opt(c.hypervolume[i], 4),
                         fmt_opt(c.front_size[i], 1),
+                    ]);
+                }
+                // Baseline: the cell's merged best-known front (archive
+                // union across every tuner and repetition).
+                if !c.best_known_front.is_empty() {
+                    rows.push(vec![
+                        format!("{}/{}", c.benchmark, c.architecture),
+                        "(best known)".to_string(),
+                        fmt_opt(c.best_known_hypervolume, 4),
+                        format!("{:.1}", c.best_known_front.len() as f64),
                     ]);
                 }
             }
@@ -435,8 +469,19 @@ mod tests {
             assert!(hv > 0.0);
             assert!(c.front_size[i].unwrap() >= 1.0);
         }
+        // The merged best-known front dominates (or equals) every
+        // per-tuner mean hypervolume and is itself a clean front.
+        assert!(!c.best_known_front.is_empty());
+        for w in c.best_known_front.windows(2) {
+            assert!(w[0].time_ms < w[1].time_ms && w[0].energy_mj > w[1].energy_mj);
+        }
+        let bk = c.best_known_hypervolume.expect("best-known hypervolume");
+        for hv in c.hypervolume.iter().flatten() {
+            assert!(bk >= *hv - 1e-12, "best-known {bk} < tuner {hv}");
+        }
         let rendered = s.render();
         assert!(rendered.contains("hypervolume"));
+        assert!(rendered.contains("(best known)"));
         // Reduced purely from the serialized artifact.
         let back = CampaignResult::from_json(&result.to_json()).unwrap();
         assert_eq!(CampaignSummary::from_result(&back).render(), rendered);

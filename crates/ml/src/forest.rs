@@ -11,13 +11,24 @@
 //! the rayon-parallel tree fits all train from per-bin histograms; each
 //! worker owns its per-tree scratch.
 
+use std::cell::RefCell;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
 use crate::dataset::Dataset;
 use crate::metrics::r2_score;
-use crate::tree::{RegressionTree, TreeParams};
+use crate::tree::{RegressionTree, TreeParams, TreeScratch};
+
+thread_local! {
+    /// One histogram/scratch pool per worker thread: every bagged tree a
+    /// worker fits reuses the same buffers instead of allocating per-tree
+    /// scratch (ROADMAP follow-up (d)). Scratch reuse is bit-neutral — the
+    /// buffers are (re)sized and cleared per fit — so forests are
+    /// identical to the per-tree-scratch ones.
+    static FOREST_SCRATCH: RefCell<TreeScratch> = RefCell::new(TreeScratch::default());
+}
 
 /// Hyperparameters for [`RandomForest`].
 #[derive(Debug, Clone, Copy)]
@@ -92,11 +103,24 @@ impl RandomForest {
             .map(|_| (0..sample_size).map(|_| rng.random_range(0..n)).collect())
             .collect();
 
-        // Bin once on this thread; the workers below only read the cache.
+        // Bin once on this thread; the workers below only read the cache
+        // and train through their per-worker shared scratch pool.
         let _ = data.binned();
         let trees: Vec<RegressionTree> = samples
             .par_iter()
-            .map(|rows| RegressionTree::fit(data, y, rows, &params.tree))
+            .map(|rows| {
+                FOREST_SCRATCH.with(|scratch| {
+                    RegressionTree::fit_with_scratch(
+                        data,
+                        y,
+                        rows,
+                        &params.tree,
+                        &mut scratch.borrow_mut(),
+                        None,
+                        false,
+                    )
+                })
+            })
             .collect();
 
         // Out-of-bag estimate: predict each row only with trees whose
@@ -214,6 +238,37 @@ mod tests {
         let step = forest.predict(&[29.6]);
         assert!(plateau.variance <= step.variance + 1e-12);
         assert!(plateau.std_dev() >= 0.0);
+    }
+
+    #[test]
+    fn shared_worker_scratch_is_bit_neutral() {
+        // The pooled-scratch forest must equal trees fit with fresh
+        // per-tree scratch from the same bootstrap rows.
+        let data = grid_data();
+        let params = ForestParams {
+            n_trees: 8,
+            seed: 5,
+            ..ForestParams::default()
+        };
+        let forest = RandomForest::fit(&data, &params);
+        // Re-derive the bootstrap rows exactly as `fit` does.
+        let n = data.n_rows();
+        let sample_size = ((n as f64) * params.bootstrap).ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let samples: Vec<Vec<usize>> = (0..params.n_trees)
+            .map(|_| (0..sample_size).map(|_| rng.random_range(0..n)).collect())
+            .collect();
+        for (tree_rows, i) in samples.iter().zip(0..) {
+            let fresh = RegressionTree::fit(&data, data.targets(), tree_rows, &params.tree);
+            for r in 0..n {
+                let row = data.row(r);
+                assert_eq!(
+                    forest.trees[i].predict(row),
+                    fresh.predict(row),
+                    "tree {i} diverged under pooled scratch"
+                );
+            }
+        }
     }
 
     #[test]

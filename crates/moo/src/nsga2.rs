@@ -16,14 +16,16 @@
 
 use bat_core::{Evaluator, TuningRun};
 use bat_space::ConfigSpace;
-use bat_tuners::{new_run, ordinal, record_eval2, Tuner};
+use bat_tuners::{
+    new_run, ordinal, record_eval2, StepCtx, StepTuner, Told, TransferDatabase, Tuner,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::archive::{ParetoArchive, ParetoPoint};
 
 /// The NSGA-II population tuner.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Nsga2 {
     /// Population size (and offspring count per generation).
     pub population: usize,
@@ -32,6 +34,11 @@ pub struct Nsga2 {
     pub crossover_rate: f64,
     /// Per-gene probability of mutating to a different value.
     pub mutation_rate: f64,
+    /// Warm-start seed configurations evaluated as the head of the initial
+    /// population (typically the transfer database's best configurations
+    /// from other architectures). Unrepresentable seeds are skipped; with
+    /// no seeds the tuner is byte-identical to its historical form.
+    pub seeds: Vec<Vec<i64>>,
 }
 
 impl Default for Nsga2 {
@@ -40,6 +47,20 @@ impl Default for Nsga2 {
             population: 24,
             crossover_rate: 0.9,
             mutation_rate: 0.15,
+            seeds: Vec::new(),
+        }
+    }
+}
+
+impl Nsga2 {
+    /// A default-parameter NSGA-II whose initial population is seeded from
+    /// the warm-start [`TransferDatabase`]: every configuration the
+    /// database holds for *other* platforms heads the first generation
+    /// (ROADMAP follow-up (j) — multi-objective transfer tuning).
+    pub fn warm_started(db: &TransferDatabase, target_platform: &str) -> Nsga2 {
+        Nsga2 {
+            seeds: db.seeds_for(target_platform),
+            ..Nsga2::default()
         }
     }
 }
@@ -207,20 +228,153 @@ impl Nsga2 {
     }
 }
 
-impl Tuner for Nsga2 {
-    fn name(&self) -> &str {
-        "nsga2"
+/// Environmental selection: best ranks first, last front by descending
+/// crowding (ties by list position — deterministic). Returns the surviving
+/// population in stable age order.
+fn environmental_selection(combined: &[Individual], pop_size: usize) -> Vec<Individual> {
+    let ranks = rank(combined);
+    let dist = crowding(combined, &ranks);
+    let mut order: Vec<usize> = (0..combined.len()).collect();
+    order.sort_by(|&a, &b| {
+        ranks[a]
+            .cmp(&ranks[b])
+            .then(dist[b].total_cmp(&dist[a]))
+            .then(a.cmp(&b))
+    });
+    order.truncate(pop_size);
+    order.sort_unstable(); // keep population in stable age order
+    order.into_iter().map(|i| combined[i].clone()).collect()
+}
+
+/// Objectives of one told outcome: `(time_ms, energy_mj)` with the time
+/// fallback, `None` for failed configurations.
+fn objectives_of(told: &Told) -> Option<(f64, f64)> {
+    told.outcome
+        .as_ref()
+        .ok()
+        .map(|m| (m.time_ms, m.energy_mj.unwrap_or(m.time_ms)))
+}
+
+/// In-flight generation state of the step session.
+struct GenState {
+    ranks: Vec<u32>,
+    dist: Vec<f64>,
+    /// Parents plus the offspring told so far.
+    combined: Vec<Individual>,
+    /// Offspring asked so far this generation.
+    produced: usize,
+}
+
+struct Nsga2Step<'a> {
+    cfg: &'a Nsga2,
+    space: &'a ConfigSpace,
+    rng: StdRng,
+    pop_size: usize,
+    /// Representable warm-start seeds still to inject into the initial
+    /// population (FIFO).
+    seeds: std::collections::VecDeque<Vec<usize>>,
+    pop: Vec<Individual>,
+    gen: Option<GenState>,
+    /// Genomes asked but not yet told, in ask order.
+    pending: Vec<Vec<usize>>,
+}
+
+impl StepTuner for Nsga2Step<'_> {
+    fn ask(&mut self, ctx: &StepCtx) -> Vec<u64> {
+        self.pending.clear();
+        if self.pop.len() < self.pop_size {
+            // Initial population: warm-start seeds head the generation,
+            // the remainder is random (RNG-identical to the classic loop
+            // when no seeds are present).
+            let want = (self.pop_size - self.pop.len()).min(ctx.batch);
+            for _ in 0..want {
+                let pos = match self.seeds.pop_front() {
+                    Some(pos) => pos,
+                    None => ordinal::random_positions(self.space, &mut self.rng),
+                };
+                self.pending.push(pos);
+            }
+        } else {
+            if self.gen.is_none() {
+                let ranks = rank(&self.pop);
+                let dist = crowding(&self.pop, &ranks);
+                self.gen = Some(GenState {
+                    ranks,
+                    dist,
+                    combined: self.pop.clone(),
+                    produced: 0,
+                });
+            }
+            let g = self.gen.as_mut().expect("generation state initialized");
+            let want = (self.pop_size - g.produced).min(ctx.batch);
+            g.produced += want;
+            for _ in 0..want {
+                let g = self.gen.as_ref().expect("generation state initialized");
+                let p1 = self
+                    .cfg
+                    .tournament(&self.pop, &g.ranks, &g.dist, &mut self.rng);
+                let p2 = self
+                    .cfg
+                    .tournament(&self.pop, &g.ranks, &g.dist, &mut self.rng);
+                let pos = self.cfg.offspring(self.space, (p1, p2), &mut self.rng);
+                self.pending.push(pos);
+            }
+        }
+        self.pending
+            .iter()
+            .map(|pos| ordinal::index_of(self.space, pos))
+            .collect()
     }
 
-    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
+    fn tell(&mut self, results: &[Told]) {
+        let initializing = self.pop.len() < self.pop_size;
+        for (pos, r) in self.pending.drain(..).zip(results) {
+            let objectives = objectives_of(r);
+            let ind = Individual { pos, objectives };
+            if initializing {
+                self.pop.push(ind);
+            } else {
+                let g = self.gen.as_mut().expect("offspring belong to a generation");
+                g.combined.push(ind);
+            }
+        }
+        if let Some(g) = &self.gen {
+            if g.combined.len() == 2 * self.pop_size {
+                let survivors = environmental_selection(&g.combined, self.pop_size);
+                self.pop = survivors;
+                self.gen = None;
+            }
+        }
+    }
+}
+
+impl Nsga2 {
+    /// Representable seed configurations as position vectors, in seed
+    /// order (unrepresentable ones are skipped for free, as in
+    /// [`bat_tuners::WarmStartTuner`]).
+    fn seed_positions(&self, space: &ConfigSpace) -> Vec<Vec<usize>> {
+        self.seeds
+            .iter()
+            .filter_map(|cfg| space.index_of(cfg))
+            .map(|idx| ordinal::positions_of(space, idx))
+            .collect()
+    }
+
+    /// The pre-ask/tell pull loop, kept verbatim as the equivalence oracle
+    /// for the step driver (property-tested bit-identical at `batch = 1`).
+    pub fn reference_tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
         let space = eval.problem().space();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut run = new_run(eval, self.name(), seed);
         let pop_size = self.population.max(2);
+        let mut seeds: std::collections::VecDeque<Vec<usize>> = self.seed_positions(space).into();
 
         let mut pop: Vec<Individual> = Vec::with_capacity(pop_size);
         for _ in 0..pop_size {
-            let pos = ordinal::random_positions(space, &mut rng);
+            let pos = match seeds.pop_front() {
+                Some(pos) => pos,
+                None => ordinal::random_positions(space, &mut rng),
+            };
             match evaluate(eval, space, &mut run, &pos) {
                 Ok(objectives) => pop.push(Individual { pos, objectives }),
                 Err(()) => return run,
@@ -244,21 +398,27 @@ impl Tuner for Nsga2 {
                     Err(()) => return run,
                 }
             }
-            // Environmental selection: best ranks first, last front by
-            // descending crowding (ties by list position — deterministic).
-            let ranks = rank(&combined);
-            let dist = crowding(&combined, &ranks);
-            let mut order: Vec<usize> = (0..combined.len()).collect();
-            order.sort_by(|&a, &b| {
-                ranks[a]
-                    .cmp(&ranks[b])
-                    .then(dist[b].total_cmp(&dist[a]))
-                    .then(a.cmp(&b))
-            });
-            order.truncate(pop_size);
-            order.sort_unstable(); // keep population in stable age order
-            pop = order.into_iter().map(|i| combined[i].clone()).collect();
+            pop = environmental_selection(&combined, pop_size);
         }
+    }
+}
+
+impl Tuner for Nsga2 {
+    fn name(&self) -> &str {
+        "nsga2"
+    }
+
+    fn start<'a>(&'a self, space: &'a ConfigSpace, seed: u64) -> Box<dyn StepTuner + 'a> {
+        Box::new(Nsga2Step {
+            cfg: self,
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            pop_size: self.population.max(2),
+            seeds: self.seed_positions(space).into(),
+            pop: Vec::new(),
+            gen: None,
+            pending: Vec::new(),
+        })
     }
 }
 
@@ -371,6 +531,72 @@ mod tests {
         assert_eq!(run.trials.len(), 40);
         assert_eq!(run.successes(), 0);
         assert!(front_of_run(&run, 8).is_empty());
+    }
+
+    #[test]
+    fn step_driver_matches_reference_loop_at_batch_one() {
+        let p = problem();
+        let tuner = Nsga2::default();
+        for seed in 0..4 {
+            let e1 = Evaluator::with_protocol(&p, Protocol::noiseless())
+                .with_energy()
+                .with_budget(120);
+            let e2 = Evaluator::with_protocol(&p, Protocol::noiseless())
+                .with_energy()
+                .with_budget(120);
+            assert_eq!(tuner.tune(&e1, seed), tuner.reference_tune(&e2, seed));
+        }
+    }
+
+    #[test]
+    fn whole_generation_batches_are_deterministic_and_spread_the_front() {
+        let p = problem();
+        // batch == population: every generation is asked at once.
+        let protocol = Protocol::noiseless().with_batch(24);
+        let e1 = Evaluator::with_protocol(&p, protocol)
+            .with_energy()
+            .with_budget(300);
+        let e2 = Evaluator::with_protocol(&p, protocol)
+            .with_energy()
+            .with_budget(300);
+        let a = Nsga2::default().tune(&e1, 3);
+        let b = Nsga2::default().tune(&e2, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.trials.len(), 300);
+        // Offspring RNG is independent of in-generation results, so the
+        // whole-generation batch replays the serial trial sequence exactly.
+        let e3 = Evaluator::with_protocol(&p, Protocol::noiseless())
+            .with_energy()
+            .with_budget(300);
+        let serial = Nsga2::default().tune(&e3, 3);
+        assert_eq!(a, serial);
+        let front = front_of_run(&a, 32);
+        front.check_invariants().unwrap();
+        assert!(front.len() >= 10);
+    }
+
+    #[test]
+    fn transfer_seeds_head_the_initial_population() {
+        let p = problem();
+        let mut db = bat_tuners::TransferDatabase::new();
+        db.record("other-gpu", vec![20, 3]);
+        db.record("sim", vec![0, 0]); // same platform: not a transfer seed
+        db.record("third-gpu", vec![99, 99]); // unrepresentable: skipped free
+        db.record("third-gpu", vec![5, 1]);
+        let tuner = Nsga2::warm_started(&db, "sim");
+        assert_eq!(tuner.seeds, vec![vec![20, 3], vec![99, 99], vec![5, 1]]);
+
+        let eval = Evaluator::with_protocol(&p, Protocol::noiseless())
+            .with_energy()
+            .with_budget(60);
+        let run = tuner.tune(&eval, 7);
+        assert_eq!(run.trials[0].config, vec![20, 3]);
+        assert_eq!(run.trials[1].config, vec![5, 1]);
+        // Driver and reference agree with seeds present too.
+        let e2 = Evaluator::with_protocol(&p, Protocol::noiseless())
+            .with_energy()
+            .with_budget(60);
+        assert_eq!(run, tuner.reference_tune(&e2, 7));
     }
 
     #[test]

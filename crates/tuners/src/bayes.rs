@@ -22,6 +22,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use crate::step::{StepCtx, StepTuner, Told};
 use crate::tuner::{new_run, ordinal, record_eval, Recorded, Tuner};
 
 /// Acquisition functions for minimization. All scores are
@@ -155,12 +156,158 @@ impl Observations {
     }
 }
 
+struct BayesStep<'a> {
+    cfg: &'a BayesianOptimization,
+    space: &'a bat_space::ConfigSpace,
+    rng: StdRng,
+    card: u64,
+    obs: Observations,
+    best_log: f64,
+    best_idx: Option<u64>,
+    /// Configurations already spent budget on (candidate dedup).
+    seen: HashSet<u64>,
+    hyper: Option<(f64, f64)>, // (lengthscale, noise)
+    obs_at_last_grid_fit: usize,
+    warmup_left: usize,
+}
+
+impl StepTuner for BayesStep<'_> {
+    fn ask(&mut self, ctx: &StepCtx) -> Vec<u64> {
+        if self.warmup_left > 0 {
+            let want = self.warmup_left.min(ctx.batch);
+            self.warmup_left -= want;
+            return (0..want)
+                .map(|_| {
+                    let idx = self.rng.random_range(0..self.card);
+                    self.seen.insert(idx);
+                    idx
+                })
+                .collect();
+        }
+        if self.obs.y.len() < 2 {
+            // Everything failed so far: keep sampling at random.
+            let idx = self.rng.random_range(0..self.card);
+            self.seen.insert(idx);
+            return vec![idx];
+        }
+
+        let (tx, ty) = self
+            .obs
+            .training_set(self.cfg.max_observations, &mut self.rng);
+        let grid_due = self.hyper.is_none()
+            || self.obs.y.len() - self.obs_at_last_grid_fit >= self.cfg.hyper_refit_every;
+        let params = if grid_due {
+            GpParams {
+                kernel: self.cfg.kernel,
+                ..GpParams::default()
+            }
+        } else {
+            let (ell, noise) = self.hyper.expect("set when not due");
+            GpParams::fixed(self.cfg.kernel, ell, noise)
+        };
+        let gp = GaussianProcess::fit(&tx, &ty, &params);
+        if grid_due {
+            self.hyper = Some((gp.lengthscale(), gp.noise()));
+            self.obs_at_last_grid_fit = self.obs.y.len();
+        }
+
+        // Candidate pool: random configurations plus Hamming-1 neighbours
+        // of the incumbent (local refinement, as in SMAC/ref [22]).
+        let mut candidates: Vec<u64> = (0..self.cfg.pool)
+            .map(|_| {
+                ordinal::index_of(
+                    self.space,
+                    &ordinal::random_positions(self.space, &mut self.rng),
+                )
+            })
+            .collect();
+        if let Some(bi) = self.best_idx {
+            let pos = ordinal::positions_of(self.space, bi);
+            for i in 0..pos.len() {
+                for alt in 0..self.space.params()[i].len() {
+                    if alt != pos[i] {
+                        let mut p = pos.clone();
+                        p[i] = alt;
+                        candidates.push(ordinal::index_of(self.space, &p));
+                    }
+                }
+            }
+        }
+
+        // Score unseen candidates; ask the top `batch` distinct (stable
+        // order, so `batch = 1` is the classic first-strict-maximum pick).
+        let mut scored: Vec<(f64, u64)> = Vec::new();
+        for &idx in &candidates {
+            if self.seen.contains(&idx) {
+                continue;
+            }
+            let p = gp.predict(&gp_features(self.space, idx));
+            let s = self
+                .cfg
+                .acquisition
+                .score(p.mean, p.std_dev(), self.best_log);
+            scored.push((s, idx));
+        }
+        let mut out = crate::step::take_top_distinct(scored, ctx.batch, false);
+        if out.is_empty() {
+            // Whole pool already evaluated (tiny spaces): fall back to a
+            // fresh random draw, seen or not.
+            out.push(self.rng.random_range(0..self.card));
+        }
+        for &idx in &out {
+            self.seen.insert(idx);
+        }
+        out
+    }
+
+    fn tell(&mut self, results: &[Told]) {
+        for r in results {
+            if let Some(v) = r.value() {
+                let logv = v.max(1e-12).ln();
+                self.obs.x.push(gp_features(self.space, r.index));
+                self.obs.y.push(logv);
+                if logv < self.best_log {
+                    self.best_log = logv;
+                    self.best_idx = Some(r.index);
+                }
+            }
+        }
+    }
+}
+
 impl Tuner for BayesianOptimization {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
+    fn start<'a>(
+        &'a self,
+        space: &'a bat_space::ConfigSpace,
+        seed: u64,
+    ) -> Box<dyn StepTuner + 'a> {
+        Box::new(BayesStep {
+            cfg: self,
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            card: space.cardinality(),
+            obs: Observations {
+                x: Vec::new(),
+                y: Vec::new(),
+            },
+            best_log: f64::INFINITY,
+            best_idx: None,
+            seen: HashSet::new(),
+            hyper: None,
+            obs_at_last_grid_fit: 0,
+            warmup_left: self.warmup,
+        })
+    }
+}
+
+impl BayesianOptimization {
+    /// The pre-ask/tell pull loop, kept verbatim as the equivalence oracle
+    /// for the step driver (property-tested bit-identical at `batch = 1`).
+    pub fn reference_tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut run = new_run(eval, self.name(), seed);
         let space = eval.problem().space();
@@ -415,6 +562,27 @@ mod tests {
         let idx1: Vec<u64> = run1.trials.iter().map(|t| t.index).collect();
         let idx2: Vec<u64> = run2.trials.iter().map(|t| t.index).collect();
         assert_eq!(idx1, idx2);
+    }
+
+    #[test]
+    fn step_driver_matches_reference_loop_at_batch_one() {
+        let p = smooth_problem();
+        let bo = BayesianOptimization::default();
+        for seed in 0..3 {
+            let e1 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(45);
+            let e2 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(45);
+            assert_eq!(bo.tune(&e1, seed), bo.reference_tune(&e2, seed));
+        }
+    }
+
+    #[test]
+    fn batched_bo_converges() {
+        let p = smooth_problem();
+        let protocol = Protocol::noiseless().with_batch(4);
+        let eval = Evaluator::with_protocol(&p, protocol).with_budget(120);
+        let run = BayesianOptimization::default().tune(&eval, 3);
+        assert_eq!(run.trials.len(), 120);
+        assert!(run.best().unwrap().time_ms().unwrap() <= 0.6);
     }
 
     #[test]

@@ -24,6 +24,7 @@ mod local;
 mod pso;
 mod random;
 mod smac;
+mod step;
 mod surrogate;
 mod tpe;
 mod tuner;
@@ -37,10 +38,11 @@ pub use local::{IteratedLocalSearch, LocalSearch, Strategy};
 pub use pso::ParticleSwarm;
 pub use random::{ExhaustiveSearch, RandomSearch};
 pub use smac::SmacTuner;
+pub use step::{drive, StepCtx, StepTuner, Told};
 pub use surrogate::SurrogateTuner;
 pub use tpe::Tpe;
 pub use tuner::{new_run, ordinal, record_eval, record_eval2, Recorded, Tuner};
-pub use warmstart::WarmStartTuner;
+pub use warmstart::{TransferDatabase, WarmStartTuner};
 
 /// All tuners with default settings, for suite-wide comparisons.
 pub fn default_tuners() -> Vec<Box<dyn Tuner>> {

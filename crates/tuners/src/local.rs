@@ -3,13 +3,21 @@
 //! The fitness-flow-graph analysis (Fig. 3) models exactly the randomized
 //! first-improvement hill climber implemented here, so tuner behaviour and
 //! landscape metric line up.
+//!
+//! All variants are expressed as ask/tell state machines around one shared
+//! [`Descent`] core. At `batch = 1` they replay the historical pull loops
+//! bit-exactly; at larger batches they speculate — first-improvement
+//! evaluates a whole window of the shuffled neighbourhood at once and
+//! takes the first improving member, best-improvement simply fills its
+//! full-neighbourhood scan in parallel-sized bites.
 
 use bat_core::{Evaluator, TuningRun};
-use bat_space::Neighborhood;
+use bat_space::{ConfigSpace, Neighborhood};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use crate::step::{StepCtx, StepTuner, Told};
 use crate::tuner::{new_run, ordinal, record_eval, Recorded, Tuner};
 
 /// Neighbour-acceptance strategy.
@@ -41,10 +49,176 @@ impl Default for LocalSearch {
     }
 }
 
+/// One in-progress descent: the step-protocol form of the classic
+/// "shuffle neighbours, walk to an improvement" inner loop, shared by
+/// local search, iterated local search and basin hopping.
+pub(crate) struct Descent {
+    strategy: Strategy,
+    neighborhood: Neighborhood,
+    current: u64,
+    current_val: f64,
+    neighbors: Vec<u64>,
+    cursor: usize,
+    best_neighbor: Option<(u64, f64)>,
+}
+
+impl Descent {
+    /// Start a descent at `start` (already measured at `start_val`):
+    /// computes and shuffles its neighbourhood, exactly where the classic
+    /// loop did.
+    pub(crate) fn begin(
+        space: &ConfigSpace,
+        strategy: Strategy,
+        neighborhood: Neighborhood,
+        rng: &mut StdRng,
+        start: u64,
+        start_val: f64,
+    ) -> Descent {
+        let mut neighbors = neighborhood.neighbor_indices(space, start);
+        neighbors.shuffle(rng);
+        Descent {
+            strategy,
+            neighborhood,
+            current: start,
+            current_val: start_val,
+            neighbors,
+            cursor: 0,
+            best_neighbor: None,
+        }
+    }
+
+    /// True when the current point has no (remaining) neighbours at all —
+    /// it is trivially a local minimum.
+    pub(crate) fn stuck(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// The local minimum this descent is parked at (valid when finished).
+    pub(crate) fn minimum(&self) -> (u64, f64) {
+        (self.current, self.current_val)
+    }
+
+    /// Next window of unevaluated neighbours, at most `batch` of them.
+    pub(crate) fn ask(&mut self, batch: usize) -> Vec<u64> {
+        let end = (self.cursor + batch).min(self.neighbors.len());
+        self.neighbors[self.cursor..end].to_vec()
+    }
+
+    fn move_to(&mut self, space: &ConfigSpace, rng: &mut StdRng, n: u64, v: f64) {
+        self.current = n;
+        self.current_val = v;
+        self.neighbors = self.neighborhood.neighbor_indices(space, n);
+        self.neighbors.shuffle(rng);
+        self.cursor = 0;
+        self.best_neighbor = None;
+    }
+
+    /// Digest a window of neighbour outcomes. Returns the local minimum
+    /// when the descent terminated, `None` while it continues (possibly
+    /// having moved, discarding the rest of a speculative window).
+    pub(crate) fn tell(
+        &mut self,
+        space: &ConfigSpace,
+        rng: &mut StdRng,
+        results: &[Told],
+    ) -> Option<(u64, f64)> {
+        for r in results {
+            match r.value() {
+                None => self.cursor += 1,
+                Some(v) => match self.strategy {
+                    Strategy::FirstImprovement => {
+                        if v < self.current_val {
+                            self.move_to(space, rng, r.index, v);
+                            return None;
+                        }
+                        self.cursor += 1;
+                    }
+                    Strategy::BestImprovement => {
+                        if v < self.best_neighbor.map_or(self.current_val, |(_, bv)| bv) {
+                            self.best_neighbor = Some((r.index, v));
+                        }
+                        self.cursor += 1;
+                    }
+                },
+            }
+            if self.cursor >= self.neighbors.len() {
+                // Whole neighbourhood seen.
+                if let Some((n, v)) = self.best_neighbor.take() {
+                    self.move_to(space, rng, n, v);
+                    return None;
+                }
+                return Some((self.current, self.current_val));
+            }
+        }
+        None
+    }
+}
+
+enum LsState {
+    /// Drawing random starting points.
+    Start,
+    /// Descending from the last successful start.
+    Descending(Descent),
+}
+
+struct LocalSearchStep<'a> {
+    cfg: &'a LocalSearch,
+    space: &'a ConfigSpace,
+    rng: StdRng,
+    card: u64,
+    state: LsState,
+}
+
+impl StepTuner for LocalSearchStep<'_> {
+    fn ask(&mut self, ctx: &StepCtx) -> Vec<u64> {
+        loop {
+            match &mut self.state {
+                LsState::Start => {
+                    return (0..ctx.batch)
+                        .map(|_| self.rng.random_range(0..self.card))
+                        .collect();
+                }
+                LsState::Descending(d) => {
+                    if d.stuck() {
+                        self.state = LsState::Start; // local minimum: restart
+                        continue;
+                    }
+                    return d.ask(ctx.batch);
+                }
+            }
+        }
+    }
+
+    fn tell(&mut self, results: &[Told]) {
+        match &mut self.state {
+            LsState::Start => {
+                for r in results {
+                    if let Some(v) = r.value() {
+                        self.state = LsState::Descending(Descent::begin(
+                            self.space,
+                            self.cfg.strategy,
+                            self.cfg.neighborhood,
+                            &mut self.rng,
+                            r.index,
+                            v,
+                        ));
+                        break;
+                    }
+                }
+            }
+            LsState::Descending(d) => {
+                if d.tell(self.space, &mut self.rng, results).is_some() {
+                    self.state = LsState::Start;
+                }
+            }
+        }
+    }
+}
+
 impl LocalSearch {
     /// Descend from `start`; returns the local-minimum index and its value,
-    /// or `None` when the budget died mid-descent.
-    fn descend(
+    /// or `None` when the budget died mid-descent. (Reference-oracle form.)
+    pub(crate) fn reference_descend(
         &self,
         eval: &Evaluator<'_>,
         run: &mut TuningRun,
@@ -95,8 +269,8 @@ impl LocalSearch {
     }
 
     /// Draw a random starting point that evaluates successfully; records
-    /// the failed draws too.
-    fn random_start(
+    /// the failed draws too. (Reference-oracle form.)
+    pub(crate) fn reference_random_start(
         &self,
         eval: &Evaluator<'_>,
         run: &mut TuningRun,
@@ -112,6 +286,25 @@ impl LocalSearch {
             }
         }
     }
+
+    /// The pre-ask/tell pull loop, kept verbatim as the equivalence oracle
+    /// for the step driver (property-tested bit-identical at `batch = 1`).
+    pub fn reference_tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut run = new_run(eval, self.name(), seed);
+        while eval.has_budget() {
+            let Some((start, val)) = self.reference_random_start(eval, &mut run, &mut rng) else {
+                break;
+            };
+            if self
+                .reference_descend(eval, &mut run, &mut rng, start, val)
+                .is_none()
+            {
+                break;
+            }
+        }
+        run
+    }
 }
 
 impl Tuner for LocalSearch {
@@ -122,18 +315,14 @@ impl Tuner for LocalSearch {
         }
     }
 
-    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut run = new_run(eval, self.name(), seed);
-        while eval.has_budget() {
-            let Some((start, val)) = self.random_start(eval, &mut run, &mut rng) else {
-                break;
-            };
-            if self.descend(eval, &mut run, &mut rng, start, val).is_none() {
-                break;
-            }
-        }
-        run
+    fn start<'a>(&'a self, space: &'a ConfigSpace, seed: u64) -> Box<dyn StepTuner + 'a> {
+        Box::new(LocalSearchStep {
+            cfg: self,
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            card: space.cardinality(),
+            state: LsState::Start,
+        })
     }
 }
 
@@ -157,21 +346,136 @@ impl Default for IteratedLocalSearch {
     }
 }
 
-impl Tuner for IteratedLocalSearch {
-    fn name(&self) -> &str {
-        "greedy-ils"
+enum IlsState {
+    /// Drawing the initial random point.
+    Start,
+    /// First descent (establishes `home` unconditionally).
+    InitialDescent(Descent),
+    /// Proposing perturbations of `home`.
+    Perturb,
+    /// Descending from an accepted perturbation.
+    Descending(Descent),
+}
+
+struct IlsStep<'a> {
+    cfg: &'a IteratedLocalSearch,
+    space: &'a ConfigSpace,
+    rng: StdRng,
+    card: u64,
+    home: Option<(u64, f64)>,
+    state: IlsState,
+}
+
+impl IlsStep<'_> {
+    fn perturbed_candidate(&mut self) -> u64 {
+        let (home, _) = self.home.expect("perturbing requires a home");
+        let mut pos = ordinal::positions_of(self.space, home);
+        for _ in 0..self.cfg.perturbation {
+            ordinal::mutate_one(self.space, &mut pos, &mut self.rng);
+        }
+        ordinal::index_of(self.space, &pos)
+    }
+}
+
+impl StepTuner for IlsStep<'_> {
+    fn ask(&mut self, ctx: &StepCtx) -> Vec<u64> {
+        loop {
+            match &mut self.state {
+                IlsState::Start => {
+                    return (0..ctx.batch)
+                        .map(|_| self.rng.random_range(0..self.card))
+                        .collect();
+                }
+                IlsState::Perturb => {
+                    return (0..ctx.batch).map(|_| self.perturbed_candidate()).collect();
+                }
+                IlsState::InitialDescent(d) => {
+                    if d.stuck() {
+                        self.home = Some(d.minimum());
+                        self.state = IlsState::Perturb;
+                        continue;
+                    }
+                    return d.ask(ctx.batch);
+                }
+                IlsState::Descending(d) => {
+                    if d.stuck() {
+                        let (idx, v) = d.minimum();
+                        if v < self.home.expect("home set").1 {
+                            self.home = Some((idx, v));
+                        }
+                        self.state = IlsState::Perturb;
+                        continue;
+                    }
+                    return d.ask(ctx.batch);
+                }
+            }
+        }
     }
 
-    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
+    fn tell(&mut self, results: &[Told]) {
+        match &mut self.state {
+            IlsState::Start => {
+                for r in results {
+                    if let Some(v) = r.value() {
+                        self.state = IlsState::InitialDescent(Descent::begin(
+                            self.space,
+                            self.cfg.inner.strategy,
+                            self.cfg.inner.neighborhood,
+                            &mut self.rng,
+                            r.index,
+                            v,
+                        ));
+                        break;
+                    }
+                }
+            }
+            IlsState::Perturb => {
+                for r in results {
+                    if let Some(v) = r.value() {
+                        self.state = IlsState::Descending(Descent::begin(
+                            self.space,
+                            self.cfg.inner.strategy,
+                            self.cfg.inner.neighborhood,
+                            &mut self.rng,
+                            r.index,
+                            v,
+                        ));
+                        break;
+                    }
+                }
+            }
+            IlsState::InitialDescent(d) => {
+                if let Some(min) = d.tell(self.space, &mut self.rng, results) {
+                    self.home = Some(min);
+                    self.state = IlsState::Perturb;
+                }
+            }
+            IlsState::Descending(d) => {
+                if let Some((idx, v)) = d.tell(self.space, &mut self.rng, results) {
+                    if v < self.home.expect("home set").1 {
+                        self.home = Some((idx, v));
+                    }
+                    self.state = IlsState::Perturb;
+                }
+            }
+        }
+    }
+}
+
+impl IteratedLocalSearch {
+    /// The pre-ask/tell pull loop (equivalence oracle, see
+    /// [`LocalSearch::reference_tune`]).
+    pub fn reference_tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut run = new_run(eval, self.name(), seed);
         let space = eval.problem().space();
 
-        let Some((start, val)) = self.inner.random_start(eval, &mut run, &mut rng) else {
+        let Some((start, val)) = self.inner.reference_random_start(eval, &mut run, &mut rng) else {
             return run;
         };
-        let Some((mut home, mut home_val)) =
-            self.inner.descend(eval, &mut run, &mut rng, start, val)
+        let Some((mut home, mut home_val)) = self
+            .inner
+            .reference_descend(eval, &mut run, &mut rng, start, val)
         else {
             return run;
         };
@@ -190,7 +494,7 @@ impl Tuner for IteratedLocalSearch {
             };
             match self
                 .inner
-                .descend(eval, &mut run, &mut rng, candidate, cand_val)
+                .reference_descend(eval, &mut run, &mut rng, candidate, cand_val)
             {
                 None => break,
                 Some((idx, v)) => {
@@ -202,6 +506,23 @@ impl Tuner for IteratedLocalSearch {
             }
         }
         run
+    }
+}
+
+impl Tuner for IteratedLocalSearch {
+    fn name(&self) -> &str {
+        "greedy-ils"
+    }
+
+    fn start<'a>(&'a self, space: &'a ConfigSpace, seed: u64) -> Box<dyn StepTuner + 'a> {
+        Box::new(IlsStep {
+            cfg: self,
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            card: space.cardinality(),
+            home: None,
+            state: IlsState::Start,
+        })
     }
 }
 
@@ -289,6 +610,40 @@ mod tests {
             let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(budget);
             let run = LocalSearch::default().tune(&eval, 1);
             assert_eq!(run.trials.len() as u64, budget);
+        }
+    }
+
+    #[test]
+    fn step_driver_matches_reference_loop_at_batch_one() {
+        let p = convex_problem();
+        for seed in 0..6 {
+            for tuner in [
+                LocalSearch::default(),
+                LocalSearch {
+                    strategy: Strategy::BestImprovement,
+                    ..LocalSearch::default()
+                },
+            ] {
+                let e1 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(300);
+                let e2 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(300);
+                assert_eq!(tuner.tune(&e1, seed), tuner.reference_tune(&e2, seed));
+            }
+            let ils = IteratedLocalSearch::default();
+            let e1 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(300);
+            let e2 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(300);
+            assert_eq!(ils.tune(&e1, seed), ils.reference_tune(&e2, seed));
+        }
+    }
+
+    #[test]
+    fn batched_local_search_still_descends() {
+        let p = convex_problem();
+        for batch in [2u32, 8, 32] {
+            let eval = Evaluator::with_protocol(&p, Protocol::noiseless().with_batch(batch))
+                .with_budget(2_000);
+            let run = LocalSearch::default().tune(&eval, 5);
+            assert_eq!(run.trials.len(), 2_000);
+            assert_eq!(run.best().unwrap().config, vec![9, 2, 13]);
         }
     }
 }

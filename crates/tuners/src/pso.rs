@@ -1,9 +1,17 @@
 //! Particle swarm optimization, discretized to ordinal positions.
+//!
+//! Ask/tell form: swarm initialization batches freely; the flight phase
+//! advances up to `batch` particles per step against the global-best
+//! snapshot and folds personal/global bests back in told order.
+//! `batch = 1` replays the historical loop bit-exactly; `batch = swarm
+//! size` is the classic synchronous PSO iteration.
 
 use bat_core::{Evaluator, TuningRun};
+use bat_space::ConfigSpace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::step::{StepCtx, StepTuner, Told};
 use crate::tuner::{new_run, ordinal, record_eval, Recorded, Tuner};
 
 /// PSO over the ordinal embedding of the space: particles carry continuous
@@ -39,12 +47,120 @@ struct Particle {
     best_val: f64,
 }
 
-impl Tuner for ParticleSwarm {
-    fn name(&self) -> &str {
-        "particle-swarm"
+struct PsoStep<'a> {
+    cfg: &'a ParticleSwarm,
+    space: &'a ConfigSpace,
+    rng: StdRng,
+    swarm: Vec<Particle>,
+    g_best: Option<(Vec<f64>, f64)>,
+    /// Next particle of the cyclic flight pass.
+    next: usize,
+    /// `(particle slot, flown position)` pairs asked but not yet told
+    /// (flight phase). The position snapshot keeps (position, value)
+    /// pairs honest even when a batch wider than the swarm flies the
+    /// same particle twice before its first result arrives.
+    pending: Vec<(usize, Vec<f64>)>,
+    /// `(x, v)` of initial particles asked but not yet told.
+    init_pending: Vec<(Vec<f64>, Vec<f64>)>,
+}
+
+impl PsoStep<'_> {
+    fn random_particle(&mut self) -> (Vec<f64>, Vec<f64>) {
+        let dims = self.space.num_params();
+        let x: Vec<f64> = (0..dims)
+            .map(|i| {
+                self.rng
+                    .random_range(0.0..self.space.params()[i].len() as f64 - 1e-9)
+            })
+            .collect();
+        let v: Vec<f64> = (0..dims)
+            .map(|i| {
+                let span = self.space.params()[i].len() as f64;
+                self.rng.random_range(-span / 4.0..span / 4.0)
+            })
+            .collect();
+        (x, v)
     }
 
-    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
+    /// Advance particle `p` one flight step against the current global
+    /// best (mutates its position in place, as the classic loop did).
+    fn fly(&mut self, p: usize) {
+        let (gx, _) = self.g_best.as_ref().expect("swarm initialized");
+        let gx = gx.clone();
+        let particle = &mut self.swarm[p];
+        for (i, &g) in gx.iter().enumerate() {
+            let r1: f64 = self.rng.random_range(0.0..1.0);
+            let r2: f64 = self.rng.random_range(0.0..1.0);
+            particle.v[i] = self.cfg.inertia * particle.v[i]
+                + self.cfg.cognitive * r1 * (particle.best_x[i] - particle.x[i])
+                + self.cfg.social * r2 * (g - particle.x[i]);
+            // Velocity clamp to half the axis span.
+            let span = self.space.params()[i].len() as f64;
+            particle.v[i] = particle.v[i].clamp(-span / 2.0, span / 2.0);
+            particle.x[i] = (particle.x[i] + particle.v[i]).clamp(0.0, span - 1.0);
+        }
+    }
+}
+
+impl StepTuner for PsoStep<'_> {
+    fn ask(&mut self, ctx: &StepCtx) -> Vec<u64> {
+        if self.swarm.len() < self.cfg.particles {
+            let want = (self.cfg.particles - self.swarm.len()).min(ctx.batch);
+            self.init_pending = (0..want).map(|_| self.random_particle()).collect();
+            return self
+                .init_pending
+                .iter()
+                .map(|(x, _)| ordinal::index_of_continuous(self.space, x))
+                .collect();
+        }
+        self.pending.clear();
+        let mut out = Vec::with_capacity(ctx.batch);
+        for _ in 0..ctx.batch {
+            let p = self.next;
+            self.next = (self.next + 1) % self.cfg.particles;
+            self.fly(p);
+            self.pending.push((p, self.swarm[p].x.clone()));
+            out.push(ordinal::index_of_continuous(self.space, &self.swarm[p].x));
+        }
+        out
+    }
+
+    fn tell(&mut self, results: &[Told]) {
+        if !self.init_pending.is_empty() {
+            for ((x, v), r) in self.init_pending.drain(..).zip(results) {
+                let val = r.value().unwrap_or(f64::INFINITY);
+                // Failed particles carry +inf, exactly like the classic
+                // loop — the very first one may even seed the global best.
+                if self.g_best.as_ref().is_none_or(|(_, gv)| val < *gv) {
+                    self.g_best = Some((x.clone(), val));
+                }
+                self.swarm.push(Particle {
+                    best_x: x.clone(),
+                    best_val: val,
+                    x,
+                    v,
+                });
+            }
+            return;
+        }
+        for ((p, x), r) in self.pending.drain(..).zip(results) {
+            let Some(val) = r.value() else { continue };
+            let particle = &mut self.swarm[p];
+            if val < particle.best_val {
+                particle.best_val = val;
+                particle.best_x = x.clone();
+            }
+            if self.g_best.as_ref().is_none_or(|(_, gv)| val < *gv) {
+                self.g_best = Some((x, val));
+            }
+        }
+    }
+}
+
+impl ParticleSwarm {
+    /// The pre-ask/tell pull loop, kept verbatim as the equivalence oracle
+    /// for the step driver (property-tested bit-identical at `batch = 1`).
+    pub fn reference_tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut run = new_run(eval, self.name(), seed);
         let space = eval.problem().space();
@@ -118,6 +234,25 @@ impl Tuner for ParticleSwarm {
     }
 }
 
+impl Tuner for ParticleSwarm {
+    fn name(&self) -> &str {
+        "particle-swarm"
+    }
+
+    fn start<'a>(&'a self, space: &'a ConfigSpace, seed: u64) -> Box<dyn StepTuner + 'a> {
+        Box::new(PsoStep {
+            cfg: self,
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            swarm: Vec::with_capacity(self.particles),
+            g_best: None,
+            next: 0,
+            pending: Vec::new(),
+            init_pending: Vec::new(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +300,46 @@ mod tests {
             ParticleSwarm::default().tune(&e1, 6),
             ParticleSwarm::default().tune(&e2, 6)
         );
+    }
+
+    #[test]
+    fn step_driver_matches_reference_loop_at_batch_one() {
+        let p = problem();
+        let pso = ParticleSwarm::default();
+        for seed in 0..6 {
+            let e1 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(160);
+            let e2 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(160);
+            assert_eq!(pso.tune(&e1, seed), pso.reference_tune(&e2, seed));
+        }
+    }
+
+    #[test]
+    fn synchronous_swarm_converges() {
+        let p = problem();
+        let protocol = Protocol::noiseless().with_batch(15);
+        let eval = Evaluator::with_protocol(&p, protocol).with_budget(1_000);
+        let run = ParticleSwarm::default().tune(&eval, 5);
+        assert_eq!(run.trials.len(), 1_000);
+        assert!(run.best().unwrap().time_ms().unwrap() <= 4.0);
+    }
+
+    #[test]
+    fn batch_wider_than_swarm_pairs_positions_with_their_values() {
+        // A batch wider than the swarm flies particles twice per ask; the
+        // pending snapshot must keep each measured value paired with the
+        // position that produced it. The measured best trial and the
+        // recorded global best must agree at every batch width.
+        let p = problem();
+        for batch in [32u32, 64] {
+            let protocol = Protocol::noiseless().with_batch(batch);
+            let e1 = Evaluator::with_protocol(&p, protocol).with_budget(1_000);
+            let e2 = Evaluator::with_protocol(&p, protocol).with_budget(1_000);
+            let a = ParticleSwarm::default().tune(&e1, 5);
+            let b = ParticleSwarm::default().tune(&e2, 5);
+            assert_eq!(a, b);
+            assert_eq!(a.trials.len(), 1_000);
+            // A healthy swarm still converges despite double-speculation.
+            assert!(a.best().unwrap().time_ms().unwrap() <= 6.0, "batch {batch}");
+        }
     }
 }

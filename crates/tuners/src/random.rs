@@ -1,9 +1,11 @@
 //! Random search — the algorithm the paper's Fig. 2 evaluates.
 
 use bat_core::{Evaluator, TuningRun};
+use bat_space::ConfigSpace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::step::{StepCtx, StepTuner, Told};
 use crate::tuner::{new_run, record_eval, Recorded, Tuner};
 
 /// Uniform random sampling (with replacement) over the full cartesian
@@ -12,12 +14,38 @@ use crate::tuner::{new_run, record_eval, Recorded, Tuner};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RandomSearch;
 
+struct RandomStep {
+    rng: StdRng,
+    card: u64,
+}
+
+impl StepTuner for RandomStep {
+    fn ask(&mut self, ctx: &StepCtx) -> Vec<u64> {
+        (0..ctx.batch)
+            .map(|_| self.rng.random_range(0..self.card))
+            .collect()
+    }
+
+    fn tell(&mut self, _results: &[Told]) {}
+}
+
 impl Tuner for RandomSearch {
     fn name(&self) -> &str {
         "random-search"
     }
 
-    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
+    fn start<'a>(&'a self, space: &'a ConfigSpace, seed: u64) -> Box<dyn StepTuner + 'a> {
+        Box::new(RandomStep {
+            rng: StdRng::seed_from_u64(seed),
+            card: space.cardinality(),
+        })
+    }
+}
+
+impl RandomSearch {
+    /// The pre-ask/tell pull loop, kept verbatim as the equivalence oracle
+    /// for the step driver (property-tested bit-identical at `batch = 1`).
+    pub fn reference_tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut run = new_run(eval, self.name(), seed);
         let card = eval.problem().space().cardinality();
@@ -37,12 +65,39 @@ impl Tuner for RandomSearch {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExhaustiveSearch;
 
+struct ExhaustiveStep {
+    next: u64,
+    card: u64,
+}
+
+impl StepTuner for ExhaustiveStep {
+    fn ask(&mut self, ctx: &StepCtx) -> Vec<u64> {
+        let end = self.next.saturating_add(ctx.batch as u64).min(self.card);
+        let out: Vec<u64> = (self.next..end).collect();
+        self.next = end;
+        out
+    }
+
+    fn tell(&mut self, _results: &[Told]) {}
+}
+
 impl Tuner for ExhaustiveSearch {
     fn name(&self) -> &str {
         "exhaustive"
     }
 
-    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
+    fn start<'a>(&'a self, space: &'a ConfigSpace, _seed: u64) -> Box<dyn StepTuner + 'a> {
+        Box::new(ExhaustiveStep {
+            next: 0,
+            card: space.cardinality(),
+        })
+    }
+}
+
+impl ExhaustiveSearch {
+    /// The pre-ask/tell pull loop (equivalence oracle, see
+    /// [`RandomSearch::reference_tune`]).
+    pub fn reference_tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
         let mut run = new_run(eval, self.name(), seed);
         let card = eval.problem().space().cardinality();
         for idx in 0..card {

@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::bayes::Acquisition;
+use crate::step::{StepCtx, StepTuner, Told};
 use crate::tuner::{decode_features, new_run, ordinal, record_eval, Recorded, Tuner};
 
 /// SMAC-style tuner settings.
@@ -51,12 +52,164 @@ impl Default for SmacTuner {
     }
 }
 
+struct SmacStep<'a> {
+    cfg: &'a SmacTuner,
+    space: &'a bat_space::ConfigSpace,
+    rng: StdRng,
+    seed: u64,
+    card: u64,
+    feature_names: Vec<String>,
+    obs_x: Vec<Vec<f64>>,
+    obs_y: Vec<f64>, // log time
+    seen: HashSet<u64>,
+    forest: Option<RandomForest>,
+    fitted_at: usize,
+    iteration: usize,
+    warmup_left: usize,
+}
+
+impl StepTuner for SmacStep<'_> {
+    fn ask(&mut self, ctx: &StepCtx) -> Vec<u64> {
+        if self.warmup_left > 0 {
+            let want = self.warmup_left.min(ctx.batch);
+            self.warmup_left -= want;
+            return (0..want)
+                .map(|_| {
+                    let idx = self.rng.random_range(0..self.card);
+                    self.seen.insert(idx);
+                    idx
+                })
+                .collect();
+        }
+        self.iteration += 1;
+        // Interleaved random evaluation (SMAC's exploration guarantee).
+        if (self.cfg.interleave_random > 0
+            && self.iteration.is_multiple_of(self.cfg.interleave_random))
+            || self.obs_y.len() < 2
+        {
+            let idx = self.rng.random_range(0..self.card);
+            self.seen.insert(idx);
+            return vec![idx];
+        }
+
+        if self.forest.is_none() || self.obs_y.len() - self.fitted_at >= self.cfg.refit_every {
+            let data = Dataset::new(&self.obs_x, self.obs_y.clone(), self.feature_names.clone());
+            self.forest = Some(RandomForest::fit(
+                &data,
+                &ForestParams {
+                    n_trees: self.cfg.n_trees,
+                    seed: self.seed ^ 0xf0_5e57,
+                    ..ForestParams::default()
+                },
+            ));
+            self.fitted_at = self.obs_y.len();
+        }
+        let model = self.forest.as_ref().expect("fitted above");
+        let best_log = self.obs_y.iter().cloned().fold(f64::INFINITY, f64::min);
+
+        // Candidate pool: global random + neighbourhoods of the best
+        // `local_from` incumbents.
+        let mut candidates: Vec<u64> = (0..self.cfg.pool)
+            .map(|_| {
+                ordinal::index_of(
+                    self.space,
+                    &ordinal::random_positions(self.space, &mut self.rng),
+                )
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..self.obs_y.len()).collect();
+        order.sort_by(|&a, &b| self.obs_y[a].total_cmp(&self.obs_y[b]));
+        for &oi in order.iter().take(self.cfg.local_from) {
+            let pos: Vec<usize> = self.obs_x[oi]
+                .iter()
+                .enumerate()
+                .map(|(d, &raw)| self.space.params()[d].position(raw as i64).unwrap_or(0))
+                .collect();
+            for d in 0..pos.len() {
+                for alt in 0..self.space.params()[d].len() {
+                    if alt != pos[d] {
+                        let mut p = pos.clone();
+                        p[d] = alt;
+                        candidates.push(ordinal::index_of(self.space, &p));
+                    }
+                }
+            }
+        }
+
+        // Score unseen candidates by Expected Improvement; ask the top
+        // `batch` distinct (stable order: `batch = 1` is the classic
+        // first-strict-maximum pick).
+        let acq = Acquisition::ExpectedImprovement;
+        let d = self.space.num_params();
+        let mut cfg = vec![0i64; d];
+        let mut features = vec![0.0f64; d];
+        let mut scored: Vec<(f64, u64)> = Vec::new();
+        for &idx in &candidates {
+            if self.seen.contains(&idx) {
+                continue;
+            }
+            decode_features(self.space, idx, &mut cfg, &mut features);
+            let p = model.predict(&features);
+            scored.push((acq.score(p.mean, p.std_dev(), best_log), idx));
+        }
+        let mut out = crate::step::take_top_distinct(scored, ctx.batch, false);
+        if out.is_empty() {
+            out.push(self.rng.random_range(0..self.card));
+        }
+        for &idx in &out {
+            self.seen.insert(idx);
+        }
+        out
+    }
+
+    fn tell(&mut self, results: &[Told]) {
+        for r in results {
+            if let Some(v) = r.value() {
+                self.obs_x.push(
+                    self.space
+                        .config_at(r.index)
+                        .iter()
+                        .map(|&x| x as f64)
+                        .collect(),
+                );
+                self.obs_y.push(v.max(1e-12).ln());
+            }
+        }
+    }
+}
+
 impl Tuner for SmacTuner {
     fn name(&self) -> &str {
         "smac-forest"
     }
 
-    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
+    fn start<'a>(
+        &'a self,
+        space: &'a bat_space::ConfigSpace,
+        seed: u64,
+    ) -> Box<dyn StepTuner + 'a> {
+        Box::new(SmacStep {
+            cfg: self,
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            card: space.cardinality(),
+            feature_names: space.names().to_vec(),
+            obs_x: Vec::new(),
+            obs_y: Vec::new(),
+            seen: HashSet::new(),
+            forest: None,
+            fitted_at: 0,
+            iteration: 0,
+            warmup_left: self.warmup,
+        })
+    }
+}
+
+impl SmacTuner {
+    /// The pre-ask/tell pull loop, kept verbatim as the equivalence oracle
+    /// for the step driver (property-tested bit-identical at `batch = 1`).
+    pub fn reference_tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut run = new_run(eval, self.name(), seed);
         let space = eval.problem().space();
@@ -263,6 +416,27 @@ mod tests {
         let eval = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(40);
         let run = tuner.tune(&eval, 3);
         assert_eq!(run.trials.len(), 40);
+    }
+
+    #[test]
+    fn step_driver_matches_reference_loop_at_batch_one() {
+        let p = rugged_problem();
+        let t = SmacTuner::default();
+        for seed in 0..3 {
+            let e1 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(45);
+            let e2 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(45);
+            assert_eq!(t.tune(&e1, seed), t.reference_tune(&e2, seed));
+        }
+    }
+
+    #[test]
+    fn batched_smac_converges() {
+        let p = rugged_problem();
+        let protocol = Protocol::noiseless().with_batch(8);
+        let eval = Evaluator::with_protocol(&p, protocol).with_budget(150);
+        let run = SmacTuner::default().tune(&eval, 1);
+        assert_eq!(run.trials.len(), 150);
+        assert!(run.best().unwrap().time_ms().unwrap() <= 0.4);
     }
 
     #[test]

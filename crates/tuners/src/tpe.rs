@@ -15,6 +15,7 @@ use bat_space::ConfigSpace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::step::{StepCtx, StepTuner, Told};
 use crate::tuner::{new_run, ordinal, record_eval, Recorded, Tuner};
 
 /// TPE tuner settings.
@@ -146,12 +147,131 @@ impl ParzenPair {
     }
 }
 
+struct TpeStep<'a> {
+    cfg: &'a Tpe,
+    space: &'a ConfigSpace,
+    rng: StdRng,
+    card: u64,
+    /// (positions, log time); failures carry a penalty objective.
+    observations: Vec<(Vec<usize>, f64)>,
+    worst_seen: f64,
+    warmup_left: usize,
+    draw_scratch: Vec<i64>,
+}
+
+impl TpeStep<'_> {
+    /// Uniform draw, rejection-sampled against the static restrictions
+    /// when `respect_restrictions` (bounded attempts: heavily constrained
+    /// spaces fall back to an unfiltered draw).
+    fn draw(&mut self) -> u64 {
+        if self.cfg.respect_restrictions {
+            for _ in 0..64 {
+                let idx = self.rng.random_range(0..self.card);
+                if self.space.is_valid_index_into(idx, &mut self.draw_scratch) {
+                    return idx;
+                }
+            }
+        }
+        self.rng.random_range(0..self.card)
+    }
+}
+
+impl StepTuner for TpeStep<'_> {
+    fn ask(&mut self, ctx: &StepCtx) -> Vec<u64> {
+        if self.warmup_left > 0 {
+            let want = self.warmup_left.min(ctx.batch);
+            self.warmup_left -= want;
+            return (0..want).map(|_| self.draw()).collect();
+        }
+        if self.observations.len() < 2 {
+            return vec![self.draw()];
+        }
+        let pair = ParzenPair::build(
+            self.space,
+            &self.observations,
+            self.cfg.gamma,
+            self.cfg.prior_weight,
+        );
+        // Sample the candidate set once; ask the top `batch` distinct
+        // likelihood ratios (stable order, so `batch = 1` is the classic
+        // first-strict-maximum pick).
+        let mut sampled: Vec<(f64, Vec<usize>)> = Vec::new();
+        let mut kept = 0usize;
+        let mut attempts = 0usize;
+        while kept < self.cfg.candidates && attempts < self.cfg.candidates * 10 {
+            attempts += 1;
+            let pos = pair.sample_good(&mut self.rng);
+            if self.cfg.respect_restrictions {
+                let cfg: Vec<i64> = pos
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &p)| self.space.params()[d].value(p))
+                    .collect();
+                if !self.space.is_valid(&cfg) {
+                    continue;
+                }
+            }
+            kept += 1;
+            let r = pair.log_ratio(&pos);
+            sampled.push((r, pos));
+        }
+        if sampled.is_empty() {
+            // All sampled candidates were restricted: evaluate an
+            // unfiltered draw rather than stalling.
+            return vec![self.draw()];
+        }
+        let scored: Vec<(f64, u64)> = sampled
+            .into_iter()
+            .map(|(r, pos)| (r, ordinal::index_of(self.space, &pos)))
+            .collect();
+        crate::step::take_top_distinct(scored, ctx.batch, false)
+    }
+
+    fn tell(&mut self, results: &[Told]) {
+        for r in results {
+            let pos = ordinal::positions_of(self.space, r.index);
+            match r.value() {
+                None => {
+                    let penalty = if self.worst_seen.is_finite() {
+                        self.worst_seen + 1.0
+                    } else {
+                        1e3
+                    };
+                    self.observations.push((pos, penalty));
+                }
+                Some(v) => {
+                    let logv = v.max(1e-12).ln();
+                    self.worst_seen = self.worst_seen.max(logv);
+                    self.observations.push((pos, logv));
+                }
+            }
+        }
+    }
+}
+
 impl Tuner for Tpe {
     fn name(&self) -> &str {
         "tpe"
     }
 
-    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
+    fn start<'a>(&'a self, space: &'a ConfigSpace, seed: u64) -> Box<dyn StepTuner + 'a> {
+        Box::new(TpeStep {
+            cfg: self,
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            card: space.cardinality(),
+            observations: Vec::new(),
+            worst_seen: f64::NEG_INFINITY,
+            warmup_left: self.warmup,
+            draw_scratch: vec![0i64; space.num_params()],
+        })
+    }
+}
+
+impl Tpe {
+    /// The pre-ask/tell pull loop, kept verbatim as the equivalence oracle
+    /// for the step driver (property-tested bit-identical at `batch = 1`).
+    pub fn reference_tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut run = new_run(eval, self.name(), seed);
         let space = eval.problem().space();
@@ -394,5 +514,26 @@ mod tests {
         };
         assert_eq!(idx(4), idx(4));
         assert_ne!(idx(4), idx(5));
+    }
+
+    #[test]
+    fn step_driver_matches_reference_loop_at_batch_one() {
+        let p = separable_problem();
+        let t = Tpe::default();
+        for seed in 0..4 {
+            let e1 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(80);
+            let e2 = Evaluator::with_protocol(&p, Protocol::noiseless()).with_budget(80);
+            assert_eq!(t.tune(&e1, seed), t.reference_tune(&e2, seed));
+        }
+    }
+
+    #[test]
+    fn batched_tpe_converges() {
+        let p = separable_problem();
+        let protocol = Protocol::noiseless().with_batch(8);
+        let eval = Evaluator::with_protocol(&p, protocol).with_budget(300);
+        let run = Tpe::default().tune(&eval, 5);
+        assert_eq!(run.trials.len(), 300);
+        assert!(run.best().unwrap().time_ms().unwrap() <= 6.0);
     }
 }

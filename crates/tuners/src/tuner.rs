@@ -11,6 +11,12 @@ use rand::Rng;
 /// the evaluator's protocol and budget, which is what makes comparisons
 /// between algorithms fair (the paper's motivation for a shared interface).
 ///
+/// Since the ask/tell refactor the search core is *push-based*: a tuner's
+/// real implementation is the step session it opens in
+/// [`Tuner::start`], and [`Tuner::tune`] is provided for every implementor
+/// by the shared [`crate::drive`] loop — callers keep the familiar
+/// pull-style entry point, the evaluation side owns batching.
+///
 /// `Send + Sync` is required so comparison harnesses can fan runs out over
 /// threads; tuners are configuration-holding value types, so this costs
 /// implementors nothing.
@@ -18,9 +24,21 @@ pub trait Tuner: Send + Sync {
     /// Algorithm name used in run records.
     fn name(&self) -> &str;
 
+    /// Open a step-driven (ask/tell) search session over `space`, seeded
+    /// with `seed`. The session borrows the space (and the tuner's own
+    /// configuration) for its lifetime.
+    fn start<'a>(&'a self, space: &'a ConfigSpace, seed: u64) -> Box<dyn crate::StepTuner + 'a>;
+
     /// Search until the evaluator's budget is exhausted (or the algorithm
     /// is done). Returns the complete trial history.
-    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun;
+    ///
+    /// The default implementation runs [`Tuner::start`]'s session through
+    /// the shared deterministic driver; with `Protocol::batch == 1` it is
+    /// bit-identical to the historical per-tuner loops.
+    fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
+        let mut session = self.start(eval.problem().space(), seed);
+        crate::step::drive(self.name(), session.as_mut(), eval, seed)
+    }
 }
 
 /// Outcome of one recorded evaluation inside a tuner loop.
@@ -141,6 +159,16 @@ pub mod ordinal {
     pub fn clamp(space: &ConfigSpace, i: usize, v: f64) -> usize {
         let len = space.params()[i].len();
         (v.round().max(0.0) as usize).min(len - 1)
+    }
+
+    /// Dense index of a continuous genome: every coordinate rounded and
+    /// clamped into its parameter's position range (the shared embedding
+    /// of the continuous-relaxation tuners, DE and PSO).
+    pub fn index_of_continuous(space: &ConfigSpace, x: &[f64]) -> u64 {
+        let pos: Vec<usize> = (0..space.num_params())
+            .map(|i| clamp(space, i, x[i]))
+            .collect();
+        index_of(space, &pos)
     }
 }
 

@@ -67,6 +67,7 @@ pub mod prelude {
     pub use bat_tuners::{
         Acquisition, BasinHopping, BayesianOptimization, DifferentialEvolution, GeneticAlgorithm,
         IteratedLocalSearch, LocalSearch, ParticleSwarm, RandomSearch, SimulatedAnnealing,
-        SmacTuner, SurrogateTuner, Tpe, Tuner,
+        SmacTuner, StepCtx, StepTuner, SurrogateTuner, Told, Tpe, TransferDatabase, Tuner,
+        WarmStartTuner,
     };
 }
