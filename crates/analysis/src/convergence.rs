@@ -30,6 +30,22 @@ impl ConvergenceCurve {
     }
 }
 
+/// First evaluation count at which a best-so-far step curve reaches a
+/// target objective.
+///
+/// `curve` is a `(eval, best_so_far)` step function as recorded by tuning
+/// trials (strictly increasing evals, non-increasing best). Returns the
+/// eval index of the first point whose best is at or below `target`, or
+/// `None` if the trial never got there. Used by the resilience reducers to
+/// measure how many extra evaluations faults cost a tuner before it
+/// reaches a fixed quality level.
+pub fn evals_to_target(curve: &[(u64, f64)], target: f64) -> Option<u64> {
+    if !target.is_finite() {
+        return None;
+    }
+    curve.iter().find(|(_, b)| *b <= target).map(|(e, _)| *e)
+}
+
 /// Simulate random search over a pre-evaluated landscape.
 ///
 /// `times` are the runtimes of the landscape's configurations; failed
@@ -150,6 +166,17 @@ mod tests {
         let n90 = c.evals_to_reach(0.9).unwrap();
         assert!(n90 <= 50, "tiny pool must converge fast, got {n90}");
         assert!(c.evals_to_reach(2.0).is_none());
+    }
+
+    #[test]
+    fn evals_to_target_walks_the_step_curve() {
+        let curve = [(1, 9.0), (4, 5.0), (20, 2.5)];
+        assert_eq!(evals_to_target(&curve, 10.0), Some(1));
+        assert_eq!(evals_to_target(&curve, 5.0), Some(4));
+        assert_eq!(evals_to_target(&curve, 2.6), Some(20));
+        assert_eq!(evals_to_target(&curve, 1.0), None);
+        assert_eq!(evals_to_target(&curve, f64::NAN), None);
+        assert_eq!(evals_to_target(&[], 1.0), None);
     }
 
     #[test]

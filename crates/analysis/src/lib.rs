@@ -43,7 +43,7 @@ pub use comparison::{
     aggregate_ranks, compare_tuners, ComparisonSettings, CrossProblemRanks, TunerComparison,
     TunerResult,
 };
-pub use convergence::{random_search_convergence, ConvergenceCurve};
+pub use convergence::{evals_to_target, random_search_convergence, ConvergenceCurve};
 pub use difficulty::{difficulty, difficulty_default, DifficultyReport};
 pub use distribution::PerformanceDistribution;
 pub use ffg::FitnessFlowGraph;

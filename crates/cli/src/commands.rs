@@ -894,6 +894,16 @@ pub fn cmd_campaign(opts: &Opts) {
             .unwrap_or_else(|_| panic!("bad --batch value {batch:?}"));
         spec.protocol.set_batch(batch);
     }
+    if let Some(rate) = opts.get("--fault-rate") {
+        let rate: f64 = rate
+            .parse()
+            .unwrap_or_else(|_| panic!("bad --fault-rate value {rate:?}"));
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "--fault-rate must be in [0, 1], got {rate}"
+        );
+        spec.set_fault_rate(rate);
+    }
     let out = opts.get("--out");
     let run = bat_harness::run_spec_to_file(&spec, out.as_deref(), opts.has("--resume"), false)
         .unwrap_or_else(|e| panic!("campaign failed: {e}"));

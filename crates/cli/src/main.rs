@@ -29,7 +29,8 @@ SUITE COMMANDS:
     tune                 run one tuner  (--bench, --tuner, --budget, --seed, --batch, --json, --t4, --source)
     pareto               multi-objective tuning: time × energy Pareto fronts
                          (--bench, --arch, --budget, --seed, --tuner, --capacity, --batch)
-    campaign             run a declarative campaign spec (--spec FILE, --out FILE, --resume)
+    campaign             run a declarative campaign spec (--spec FILE, --out FILE, --resume,
+                         --batch N, --fault-rate R)
     compare              compare all tuners at equal budget (--bench, --budget, --repeats)
     ranks                cross-benchmark tuner ranking, Friedman-style (--budget, --repeats)
     online               KTT-style dynamic autotuning time-to-solution (--bench, --invocations)

@@ -14,10 +14,55 @@ use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::collections::HashMap;
 
-use bat_gpusim::{noise_key, noisy_time_ms};
+use bat_gpusim::{noise_key, noisy_time_ms, FaultModel};
 
 use crate::measurement::{EvalFailure, Measurement};
 use crate::problem::TuningProblem;
+
+/// Bounded, deterministic retry policy for retryable measurement failures
+/// ([`EvalFailure::is_retryable`]): transient flakes and timeouts are
+/// re-attempted up to `max_retries` times within one budget-charged
+/// evaluation, with a linear backoff priced against the evaluation budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retries after the initial attempt of one evaluation.
+    pub max_retries: u32,
+    /// Backoff cost: the r-th retry charges `1 + backoff_evals · r`
+    /// evaluations — the cool-down a real harness would spend sleeping,
+    /// expressed in budget currency so chaos campaigns stay comparable.
+    pub backoff_evals: u32,
+    /// Quarantine a configuration after this many observed crashes: further
+    /// proposals fail immediately with [`EvalFailure::Crash`] instead of
+    /// re-executing a known device-killer. `0` disables quarantine.
+    pub quarantine_after: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff_evals: 0,
+            quarantine_after: 3,
+        }
+    }
+}
+
+/// Per-configuration fault ledger: measurement attempts consumed (the
+/// deterministic fault-draw counter) and crash strikes toward quarantine.
+#[derive(Default)]
+struct FaultEntry {
+    attempts: u64,
+    crashes: u32,
+    quarantined: bool,
+}
+
+/// Installed fault-injection state: the model, the retry policy and the
+/// per-configuration attempt/strike ledger.
+struct FaultInjection {
+    model: FaultModel,
+    policy: RetryPolicy,
+    state: Mutex<HashMap<u64, FaultEntry>>,
+}
 
 /// Measurement-protocol settings.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,8 +138,11 @@ pub struct Evaluator<'p> {
     measure_energy: bool,
     cache_enabled: bool,
     cache: Vec<Mutex<HashMap<u64, Result<Measurement, EvalFailure>>>>,
+    faults: Option<FaultInjection>,
     evals: AtomicU64,
     distinct: AtomicU64,
+    retries: AtomicU64,
+    quarantined: AtomicU64,
     budget: Option<u64>,
 }
 
@@ -114,8 +162,11 @@ impl<'p> Evaluator<'p> {
             cache: (0..CACHE_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            faults: None,
             evals: AtomicU64::new(0),
             distinct: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
             budget: None,
         }
     }
@@ -139,6 +190,21 @@ impl<'p> Evaluator<'p> {
     /// Disable memoization (ablation: every call re-measures).
     pub fn without_cache(mut self) -> Self {
         self.cache_enabled = false;
+        self
+    }
+
+    /// Install a fault model and retry policy. Measurements then run as
+    /// bounded retry chains: retryable failures (transient, timeout) are
+    /// re-attempted per `policy`, never memoized, and configurations that
+    /// crash `policy.quarantine_after` times are quarantined. A disabled
+    /// model injects nothing, and with no model installed at all the
+    /// evaluation path is byte-for-byte the pre-fault one.
+    pub fn with_faults(mut self, model: FaultModel, policy: RetryPolicy) -> Self {
+        self.faults = Some(FaultInjection {
+            model,
+            policy,
+            state: Mutex::new(HashMap::new()),
+        });
         self
     }
 
@@ -174,6 +240,16 @@ impl<'p> Evaluator<'p> {
         self.distinct.load(Ordering::Relaxed)
     }
 
+    /// Number of retries spent on retryable measurement failures.
+    pub fn retries_used(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Number of configurations quarantined after repeated crashes.
+    pub fn quarantined_configs(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
     /// Remaining budget, if a budget is set.
     pub fn budget_left(&self) -> Option<u64> {
         self.budget.map(|b| b.saturating_sub(self.evals_used()))
@@ -191,6 +267,9 @@ impl<'p> Evaluator<'p> {
             return None;
         }
         self.evals.fetch_add(1, Ordering::Relaxed);
+        if self.faults.is_some() {
+            return Some(self.evaluate_faulty(index));
+        }
         if !self.cache_enabled {
             let result = self.decode_and_measure(index);
             self.distinct.fetch_add(1, Ordering::Relaxed);
@@ -259,6 +338,10 @@ impl<'p> Evaluator<'p> {
             },
         } as usize;
         let indices = &indices[..claimed];
+
+        if self.faults.is_some() {
+            return self.evaluate_batch_faulty(indices);
+        }
 
         if !self.cache_enabled {
             // No memoization: every occurrence re-measures, as serially.
@@ -335,6 +418,197 @@ impl<'p> Evaluator<'p> {
                 Some(Err(EvalFailure::Restricted))
             }
         }
+    }
+
+    /// The batch fan-out under fault injection. Each unique index runs its
+    /// whole retry chain on one worker, so per-configuration attempt
+    /// counters advance deterministically regardless of thread count;
+    /// duplicate occurrences within a batch share that chain's outcome
+    /// (each still spends budget, exactly as the memo cache serves serial
+    /// repeats of a cacheable outcome).
+    fn evaluate_batch_faulty(&self, indices: &[u64]) -> Vec<Result<Measurement, EvalFailure>> {
+        if !self.cache_enabled {
+            // Without memoization each occurrence re-runs its retry chain,
+            // sequentially so duplicates draw attempt numbers in order.
+            return indices
+                .iter()
+                .map(|&idx| self.evaluate_faulty(idx))
+                .collect();
+        }
+        // Deduplicate to first-occurrence slots (linear scan for the small
+        // batches the driver emits, HashMap beyond that).
+        let claimed = indices.len();
+        let mut uniq: Vec<u64> = Vec::new();
+        let mut slot_of: Option<HashMap<u64, usize>> = (claimed > 128).then(HashMap::new);
+        let mut slots: Vec<usize> = Vec::with_capacity(claimed);
+        for &idx in indices {
+            let slot = match &mut slot_of {
+                Some(map) => *map.entry(idx).or_insert_with(|| {
+                    uniq.push(idx);
+                    uniq.len() - 1
+                }),
+                None => match uniq.iter().position(|&u| u == idx) {
+                    Some(slot) => slot,
+                    None => {
+                        uniq.push(idx);
+                        uniq.len() - 1
+                    }
+                },
+            };
+            slots.push(slot);
+        }
+        let measured: Vec<Result<Measurement, EvalFailure>> = uniq
+            .par_iter()
+            .map(|&idx| self.evaluate_faulty(idx))
+            .collect();
+        slots.into_iter().map(|s| measured[s].clone()).collect()
+    }
+
+    /// One budget-charged evaluation under the installed fault model: cache
+    /// probe, then a bounded retry chain over measurement attempts.
+    fn evaluate_faulty(&self, index: u64) -> Result<Measurement, EvalFailure> {
+        let faults = self.faults.as_ref().expect("fault path without a model");
+        if self.cache_enabled {
+            if let Some(hit) = self.shard(index).lock().get(&index) {
+                return hit.clone();
+            }
+        }
+        let mut first_ever = false;
+        let mut retry: u32 = 0;
+        let outcome = loop {
+            // Claim the next attempt number (or observe quarantine) under
+            // the ledger lock; the measurement itself runs outside it.
+            let attempt = {
+                let mut state = faults.state.lock();
+                let entry = state.entry(index).or_default();
+                if entry.quarantined {
+                    None
+                } else {
+                    let a = entry.attempts;
+                    first_ever |= a == 0;
+                    entry.attempts += 1;
+                    Some(a)
+                }
+            };
+            let result = match attempt {
+                None => Err(EvalFailure::Crash("quarantined configuration".into())),
+                Some(attempt) => {
+                    let r = self.decode_and_measure_attempt(index, attempt);
+                    if matches!(r, Err(EvalFailure::Crash(_))) {
+                        let mut state = faults.state.lock();
+                        let entry = state.entry(index).or_default();
+                        entry.crashes += 1;
+                        if !entry.quarantined
+                            && faults.policy.quarantine_after > 0
+                            && entry.crashes >= faults.policy.quarantine_after
+                        {
+                            entry.quarantined = true;
+                            self.quarantined.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    r
+                }
+            };
+            match &result {
+                Err(f) if f.is_retryable() && retry < faults.policy.max_retries => {
+                    retry += 1;
+                    // The r-th retry charges `1 + backoff_evals · r`: the
+                    // re-measurement plus a linear cool-down, priced in
+                    // budget currency. Charged unconditionally — never
+                    // budget-gated — so concurrent workers cannot disagree
+                    // on whether a retry happened; the budget overshoots by
+                    // at most one bounded retry chain.
+                    self.evals.fetch_add(
+                        1 + u64::from(faults.policy.backoff_evals) * u64::from(retry),
+                        Ordering::Relaxed,
+                    );
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => break result,
+            }
+        };
+        // Memoize deterministic outcomes only: a cached flake would be
+        // permanent, and crash outcomes stay uncached so repeat proposals
+        // keep striking toward quarantine.
+        let cacheable = !matches!(
+            &outcome,
+            Err(EvalFailure::Transient(_) | EvalFailure::Timeout | EvalFailure::Crash(_))
+        );
+        if self.cache_enabled && cacheable {
+            self.shard(index)
+                .lock()
+                .entry(index)
+                .or_insert_with(|| outcome.clone());
+        }
+        if first_ever || !self.cache_enabled {
+            self.distinct.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    }
+
+    /// Decode `index` into the thread-local scratch and run one fault-model
+    /// measurement attempt.
+    fn decode_and_measure_attempt(
+        &self,
+        index: u64,
+        attempt: u64,
+    ) -> Result<Measurement, EvalFailure> {
+        let space = self.problem.space();
+        CONFIG_SCRATCH.with(|s| {
+            let mut config = s.borrow_mut();
+            config.resize(space.num_params(), 0);
+            space.decode_into(index, &mut config);
+            self.measure_attempt(index, &config, attempt)
+        })
+    }
+
+    /// One measurement attempt under the fault model. Deterministic model
+    /// failures (restriction, launch) pass through untouched; then the
+    /// sticky crash set, the per-attempt transient and timeout draws, and
+    /// finally per-run outlier corruption — keyed independently of the
+    /// attempt counter, so a retried success reproduces exactly the samples
+    /// an undisturbed first attempt would have yielded.
+    fn measure_attempt(
+        &self,
+        index: u64,
+        config: &[i64],
+        attempt: u64,
+    ) -> Result<Measurement, EvalFailure> {
+        let faults = self.faults.as_ref().expect("fault path without a model");
+        let model = &faults.model;
+        let salt = bat_gpusim::mix(self.problem.noise_salt(), self.protocol.seed);
+        let fsalt = model.salt_for(salt);
+        let (pure, pure_energy) = if self.measure_energy {
+            self.problem.evaluate_pure2(config)?
+        } else {
+            (self.problem.evaluate_pure(config)?, None)
+        };
+        if model.is_crasher(fsalt, index) {
+            return Err(EvalFailure::Crash("simulated device crash".into()));
+        }
+        if model.transient_fires(fsalt, index, attempt) {
+            return Err(EvalFailure::Transient("simulated launch flake".into()));
+        }
+        if model.timeout_fires(fsalt, index, attempt) {
+            return Err(EvalFailure::Timeout);
+        }
+        let samples: Vec<f64> = (0..self.protocol.runs)
+            .map(|run| {
+                let s = noisy_time_ms(pure, self.protocol.sigma, noise_key(salt, index, run));
+                model.corrupt_sample(fsalt, index, run, s)
+            })
+            .collect();
+        let m = Measurement::from_samples(samples);
+        Ok(match pure_energy {
+            Some(e) => {
+                let esalt = bat_gpusim::mix(salt, ENERGY_NOISE_STREAM);
+                let energy_samples: Vec<f64> = (0..self.protocol.runs)
+                    .map(|run| noisy_time_ms(e, self.protocol.sigma, noise_key(esalt, index, run)))
+                    .collect();
+                m.with_energy_samples(energy_samples)
+            }
+            None => m,
+        })
     }
 
     /// Decode `index` into the thread-local scratch and measure it.
@@ -646,5 +920,246 @@ mod tests {
         let a = e1.evaluate_index(3).unwrap().unwrap();
         let b = e2.evaluate_index(3).unwrap().unwrap();
         assert_ne!(a.samples, b.samples);
+    }
+
+    // --- fault injection -------------------------------------------------
+
+    /// A roomy, restriction-free space so fault-draw searches have indices
+    /// to sift through.
+    fn wide_problem() -> SyntheticProblem<impl Fn(&[i64]) -> Result<f64, EvalFailure> + Send + Sync>
+    {
+        let space = ConfigSpace::builder()
+            .param(Param::int_range("x", 0, 4095))
+            .build()
+            .unwrap();
+        SyntheticProblem::new("wide", "sim", space, |c| Ok(1.0 + c[0] as f64))
+    }
+
+    /// The fault salt an evaluator over `p` with `protocol` derives.
+    fn fault_salt(p: &dyn TuningProblem, protocol: &Protocol, model: &FaultModel) -> u64 {
+        model.salt_for(bat_gpusim::mix(p.noise_salt(), protocol.seed))
+    }
+
+    #[test]
+    fn attached_zero_rate_model_changes_nothing() {
+        let p = problem();
+        let plain = Evaluator::new(&p);
+        let faulty = Evaluator::new(&p).with_faults(
+            FaultModel {
+                seed: 7,
+                ..FaultModel::disabled()
+            },
+            RetryPolicy::default(),
+        );
+        for idx in 0..10 {
+            assert_eq!(plain.evaluate_index(idx), faulty.evaluate_index(idx));
+        }
+        assert_eq!(plain.evals_used(), faulty.evals_used());
+        assert_eq!(plain.distinct_evals(), faulty.distinct_evals());
+        assert_eq!(faulty.retries_used(), 0);
+        assert_eq!(faulty.quarantined_configs(), 0);
+    }
+
+    #[test]
+    fn transient_fault_then_success_converges_without_retries() {
+        // Regression for the memo-cache split: with retries disabled, a
+        // transient failure must NOT be cached — the next call re-attempts
+        // and succeeds, and only then is the success memoized.
+        let p = wide_problem();
+        let protocol = Protocol::default();
+        let model = FaultModel {
+            transient_rate: 0.4,
+            seed: 11,
+            ..FaultModel::disabled()
+        };
+        let salt = fault_salt(&p, &protocol, &model);
+        let idx = (0..4096u64)
+            .find(|&i| model.transient_fires(salt, i, 0) && !model.transient_fires(salt, i, 1))
+            .expect("some config flakes on attempt 0 only");
+        let e = Evaluator::with_protocol(&p, protocol).with_faults(
+            model,
+            RetryPolicy {
+                max_retries: 0,
+                ..RetryPolicy::default()
+            },
+        );
+        let first = e.evaluate_index(idx).unwrap();
+        assert!(matches!(first, Err(EvalFailure::Transient(_))), "{first:?}");
+        let second = e.evaluate_index(idx).unwrap();
+        let m = second.expect("attempt 1 succeeds");
+        // The success is what gets memoized — and it matches the fault-free
+        // measurement byte for byte (outliers are off).
+        let clean = Evaluator::new(&p).evaluate_index(idx).unwrap().unwrap();
+        assert_eq!(m, clean);
+        assert_eq!(e.evaluate_index(idx).unwrap().unwrap(), m);
+        assert_eq!(e.distinct_evals(), 1);
+        assert_eq!(e.evals_used(), 3);
+        assert_eq!(e.retries_used(), 0);
+    }
+
+    #[test]
+    fn retries_recover_within_one_evaluation() {
+        let p = wide_problem();
+        let protocol = Protocol::default();
+        let model = FaultModel {
+            transient_rate: 0.4,
+            seed: 3,
+            ..FaultModel::disabled()
+        };
+        let salt = fault_salt(&p, &protocol, &model);
+        let idx = (0..4096u64)
+            .find(|&i| model.transient_fires(salt, i, 0) && !model.transient_fires(salt, i, 1))
+            .unwrap();
+        let e = Evaluator::with_protocol(&p, protocol).with_faults(model, RetryPolicy::default());
+        let m = e.evaluate_index(idx).unwrap().expect("retry recovers");
+        let clean = Evaluator::new(&p).evaluate_index(idx).unwrap().unwrap();
+        assert_eq!(m, clean, "retried success must reproduce clean samples");
+        assert_eq!(e.retries_used(), 1);
+        // Initial charge + one zero-backoff retry.
+        assert_eq!(e.evals_used(), 2);
+    }
+
+    #[test]
+    fn exhausted_retries_report_the_failure_and_charge_backoff() {
+        let p = wide_problem();
+        let protocol = Protocol::default();
+        let model = FaultModel {
+            transient_rate: 0.4,
+            seed: 5,
+            ..FaultModel::disabled()
+        };
+        let salt = fault_salt(&p, &protocol, &model);
+        let idx = (0..4096u64)
+            .find(|&i| (0..3).all(|a| model.transient_fires(salt, i, a)))
+            .expect("some config flakes three times running");
+        let e = Evaluator::with_protocol(&p, protocol).with_faults(
+            model,
+            RetryPolicy {
+                max_retries: 2,
+                backoff_evals: 1,
+                ..RetryPolicy::default()
+            },
+        );
+        let r = e.evaluate_index(idx).unwrap();
+        assert!(matches!(r, Err(EvalFailure::Transient(_))));
+        assert_eq!(e.retries_used(), 2);
+        // 1 initial + (1 + 1·1) + (1 + 1·2) = 6.
+        assert_eq!(e.evals_used(), 6);
+        // Not memoized: the ledger keeps advancing on the next call.
+        assert_eq!(e.distinct_evals(), 1);
+    }
+
+    #[test]
+    fn crashers_quarantine_after_enough_strikes() {
+        let p = problem();
+        let model = FaultModel {
+            crash_rate: 1.0,
+            seed: 1,
+            ..FaultModel::disabled()
+        };
+        let e = Evaluator::new(&p).with_faults(
+            model,
+            RetryPolicy {
+                quarantine_after: 2,
+                ..RetryPolicy::default()
+            },
+        );
+        for strike in 0..4 {
+            let r = e.evaluate_index(0).unwrap();
+            match r {
+                Err(EvalFailure::Crash(msg)) => {
+                    if strike >= 2 {
+                        assert!(msg.contains("quarantined"), "strike {strike}: {msg}");
+                    } else {
+                        assert!(msg.contains("crash"), "strike {strike}: {msg}");
+                    }
+                }
+                other => panic!("expected crash, got {other:?}"),
+            }
+        }
+        assert_eq!(e.quarantined_configs(), 1);
+        assert_eq!(e.distinct_evals(), 1);
+        // Restriction failures still dominate the crash draw and stay
+        // cached (index 5 is restricted).
+        assert_eq!(e.evaluate_index(5).unwrap(), Err(EvalFailure::Restricted));
+        assert_eq!(e.evaluate_index(5).unwrap(), Err(EvalFailure::Restricted));
+        assert_eq!(e.quarantined_configs(), 1);
+    }
+
+    #[test]
+    fn faulty_batch_matches_serial_calls() {
+        let p = wide_problem();
+        let model = FaultModel {
+            transient_rate: 0.3,
+            timeout_rate: 0.1,
+            crash_rate: 0.1,
+            outlier_rate: 0.1,
+            seed: 9,
+            ..FaultModel::disabled()
+        };
+        let policy = RetryPolicy::default();
+        let serial = Evaluator::new(&p).with_faults(model, policy);
+        let batched = Evaluator::new(&p).with_faults(model, policy);
+        let indices: Vec<u64> = (0..40).collect();
+        let expect: Vec<_> = indices
+            .iter()
+            .map(|&i| serial.evaluate_index(i).unwrap())
+            .collect();
+        let got = batched.evaluate_batch(&indices);
+        assert_eq!(got, expect);
+        assert_eq!(batched.evals_used(), serial.evals_used());
+        assert_eq!(batched.distinct_evals(), serial.distinct_evals());
+        assert_eq!(batched.retries_used(), serial.retries_used());
+        assert_eq!(batched.quarantined_configs(), serial.quarantined_configs());
+    }
+
+    #[test]
+    fn faulty_outcomes_are_thread_count_independent() {
+        // The same batch on a 1-thread and a default pool must agree byte
+        // for byte: attempt counters are per-configuration and each unique
+        // index runs on exactly one worker.
+        let p = wide_problem();
+        let model = FaultModel {
+            transient_rate: 0.3,
+            crash_rate: 0.1,
+            seed: 2,
+            ..FaultModel::disabled()
+        };
+        let indices: Vec<u64> = (0..64).collect();
+        let wide = Evaluator::new(&p).with_faults(model, RetryPolicy::default());
+        let wide_out = wide.evaluate_batch(&indices);
+        // A single-element outer par_iter marks the thread as already
+        // parallel, so the inner batch fan-out degrades to one worker.
+        let narrow = Evaluator::new(&p).with_faults(model, RetryPolicy::default());
+        let narrow_out: Vec<Vec<Result<Measurement, EvalFailure>>> = [&narrow]
+            .par_iter()
+            .map(|e| e.evaluate_batch(&indices))
+            .collect();
+        assert_eq!(wide_out, narrow_out[0]);
+        assert_eq!(wide.retries_used(), narrow.retries_used());
+        assert_eq!(wide.evals_used(), narrow.evals_used());
+    }
+
+    #[test]
+    fn outliers_corrupt_samples_but_not_determinism() {
+        let p = wide_problem();
+        let protocol = Protocol::default();
+        let model = FaultModel {
+            outlier_rate: 0.3,
+            seed: 4,
+            ..FaultModel::disabled()
+        };
+        let e1 = Evaluator::with_protocol(&p, protocol).with_faults(model, RetryPolicy::default());
+        let e2 = Evaluator::with_protocol(&p, protocol).with_faults(model, RetryPolicy::default());
+        let clean = Evaluator::with_protocol(&p, protocol);
+        let mut corrupted = 0usize;
+        for idx in 0..30 {
+            let a = e1.evaluate_index(idx).unwrap().unwrap();
+            let b = e2.evaluate_index(idx).unwrap().unwrap();
+            assert_eq!(a, b);
+            let c = clean.evaluate_index(idx).unwrap().unwrap();
+            corrupted += usize::from(a.samples != c.samples);
+        }
+        assert!(corrupted > 0, "no outlier fired in 30 × 5 runs");
     }
 }

@@ -28,7 +28,8 @@ mod ranking;
 mod record;
 pub mod t4;
 
-pub use evaluator::{Evaluator, Protocol};
+pub use bat_gpusim::FaultModel;
+pub use evaluator::{Evaluator, Protocol, RetryPolicy};
 pub use measurement::{EvalFailure, Measurement};
 pub use problem::{SyntheticProblem, TuningProblem};
 pub use ranking::friedman_mean_ranks;

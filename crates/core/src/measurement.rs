@@ -11,6 +11,26 @@ pub enum EvalFailure {
     /// The configuration passed restrictions but cannot run on the target
     /// architecture — compile/launch failure (outside the "Valid" space).
     Launch(String),
+    /// The measurement attempt failed transiently (driver flake, remote
+    /// hiccup). Retrying the same configuration may well succeed.
+    Transient(String),
+    /// The measurement attempt hung past the protocol deadline and was
+    /// killed. Like [`EvalFailure::Transient`], worth retrying.
+    Timeout,
+    /// The configuration crashed the kernel/device. Not retryable as such —
+    /// crashers are sticky — and repeat offenders get quarantined.
+    Crash(String),
+}
+
+impl EvalFailure {
+    /// Whether a retry of the same configuration could plausibly succeed.
+    ///
+    /// Retryable failures are *never* memoized by the evaluator (caching a
+    /// flake would make it permanent); deterministic failures are cached
+    /// forever, exactly as before the fault model existed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, EvalFailure::Transient(_) | EvalFailure::Timeout)
+    }
 }
 
 impl std::fmt::Display for EvalFailure {
@@ -18,6 +38,9 @@ impl std::fmt::Display for EvalFailure {
         match self {
             EvalFailure::Restricted => f.write_str("restricted configuration"),
             EvalFailure::Launch(msg) => write!(f, "launch failure: {msg}"),
+            EvalFailure::Transient(msg) => write!(f, "transient failure: {msg}"),
+            EvalFailure::Timeout => f.write_str("measurement timed out"),
+            EvalFailure::Crash(msg) => write!(f, "crashed configuration: {msg}"),
         }
     }
 }
@@ -156,5 +179,17 @@ mod tests {
             "restricted configuration"
         );
         assert!(EvalFailure::Launch("x".into()).to_string().contains('x'));
+        assert!(EvalFailure::Transient("y".into()).to_string().contains('y'));
+        assert!(EvalFailure::Timeout.to_string().contains("timed out"));
+        assert!(EvalFailure::Crash("z".into()).to_string().contains('z'));
+    }
+
+    #[test]
+    fn retryability_split() {
+        assert!(EvalFailure::Transient("flake".into()).is_retryable());
+        assert!(EvalFailure::Timeout.is_retryable());
+        assert!(!EvalFailure::Restricted.is_retryable());
+        assert!(!EvalFailure::Launch("bad".into()).is_retryable());
+        assert!(!EvalFailure::Crash("boom".into()).is_retryable());
     }
 }

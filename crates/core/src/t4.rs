@@ -176,7 +176,16 @@ impl T4Results {
                         measurements: Vec::new(),
                         invalidity: Some(T4Invalidity::Constraints),
                     },
-                    Err(EvalFailure::Launch(_)) => T4Result {
+                    // Launch failures and the fault model's runtime-class
+                    // outcomes (flakes, timeouts, crashes) all map to T4's
+                    // "runtime" invalidity: they compiled but died on the
+                    // target.
+                    Err(
+                        EvalFailure::Launch(_)
+                        | EvalFailure::Transient(_)
+                        | EvalFailure::Timeout
+                        | EvalFailure::Crash(_),
+                    ) => T4Result {
                         configuration,
                         times: Vec::new(),
                         energies: Vec::new(),

@@ -1,0 +1,232 @@
+//! Deterministic fault injection.
+//!
+//! Real kernel benchmarking is failure-ridden: configurations crash,
+//! measurements hang past a deadline, launches fail transiently under
+//! driver pressure, and the occasional sample comes back corrupted.
+//! This module reproduces those failure modes with the same counter-based
+//! discipline as [`crate::noisy_time_ms`]: every fault is a pure function
+//! of `(fault seed, problem salt, configuration index, attempt/run)`, so a
+//! chaos campaign is byte-reproducible across runs, thread counts and
+//! resume boundaries — while still exercising retry, timeout and
+//! quarantine machinery for real.
+//!
+//! All rates default to zero; a disabled model injects nothing and costs
+//! nothing, keeping fault-free runs byte-identical to the pre-fault suite.
+
+use crate::noise::{mix, unit};
+
+/// Stream salt for transient launch-failure draws.
+const TRANSIENT_STREAM: u64 = 0x7472_616e_7369; // "transi"
+/// Stream salt for measurement-timeout draws.
+const TIMEOUT_STREAM: u64 = 0x7469_6d65_6f75; // "timeou"
+/// Stream salt for the sticky crashed-configuration set.
+const CRASH_STREAM: u64 = 0x0063_7261_7368; // "crash"
+/// Stream salt for corrupted-outlier sample draws.
+const OUTLIER_STREAM: u64 = 0x6f75_746c_6965; // "outlie"
+/// Stream salt for the per-architecture transient-rate scaling factor.
+const ARCH_SCALE_STREAM: u64 = 0x6172_6368; // "arch"
+
+/// A seeded, deterministic fault model for simulated measurements.
+///
+/// Rates are probabilities in `[0, 1]`. The transient rate is additionally
+/// scaled by a deterministic per-architecture factor in `[0.5, 1.5)`
+/// derived from the problem salt, mirroring how flakiness differs between
+/// physical testbed machines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Probability that one measurement attempt fails transiently
+    /// (launch-level flake; retryable).
+    pub transient_rate: f64,
+    /// Probability that one measurement attempt hangs past the deadline
+    /// (retryable).
+    pub timeout_rate: f64,
+    /// The measurement deadline in ms a timed-out attempt exceeded
+    /// (reporting only; the simulator never actually sleeps).
+    pub deadline_ms: f64,
+    /// Probability that an individual run sample comes back corrupted
+    /// (multiplied by `outlier_factor`; the measurement still "succeeds").
+    pub outlier_rate: f64,
+    /// Multiplicative corruption applied to outlier samples.
+    pub outlier_factor: f64,
+    /// Fraction of the configuration space that crashes *every* time it is
+    /// executed (the sticky "crashed config" set; not retryable).
+    pub crash_rate: f64,
+    /// Seed folded into every fault draw.
+    pub seed: u64,
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel::disabled()
+    }
+}
+
+impl FaultModel {
+    /// A model that injects nothing (all rates zero).
+    pub fn disabled() -> FaultModel {
+        FaultModel {
+            transient_rate: 0.0,
+            timeout_rate: 0.0,
+            deadline_ms: 1_000.0,
+            outlier_rate: 0.0,
+            outlier_factor: 10.0,
+            crash_rate: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// True when any fault can ever fire.
+    pub fn is_enabled(&self) -> bool {
+        self.transient_rate > 0.0
+            || self.timeout_rate > 0.0
+            || self.outlier_rate > 0.0
+            || self.crash_rate > 0.0
+    }
+
+    /// The model's draw salt for a problem: fold the fault seed into the
+    /// problem's noise salt so every (benchmark, architecture) pair sees
+    /// its own independent fault streams.
+    pub fn salt_for(&self, problem_salt: u64) -> u64 {
+        mix(problem_salt, self.seed)
+    }
+
+    /// Deterministic per-architecture scaling of the transient rate, in
+    /// `[0.5, 1.5)`: some machines flake more than others.
+    fn arch_scale(salt: u64) -> f64 {
+        0.5 + unit(mix(salt, ARCH_SCALE_STREAM))
+    }
+
+    /// Does measurement attempt `attempt` of configuration `index` fail
+    /// transiently?
+    pub fn transient_fires(&self, salt: u64, index: u64, attempt: u64) -> bool {
+        self.transient_rate > 0.0
+            && unit(mix(mix(salt, TRANSIENT_STREAM), mix(index, attempt)))
+                < self.transient_rate * Self::arch_scale(salt)
+    }
+
+    /// Does measurement attempt `attempt` of configuration `index` hang
+    /// past the deadline?
+    pub fn timeout_fires(&self, salt: u64, index: u64, attempt: u64) -> bool {
+        self.timeout_rate > 0.0
+            && unit(mix(mix(salt, TIMEOUT_STREAM), mix(index, attempt))) < self.timeout_rate
+    }
+
+    /// Is configuration `index` a member of the sticky crash set? Keyed by
+    /// the configuration alone — a crasher crashes on every attempt, which
+    /// is what makes crash-counting quarantine meaningful.
+    pub fn is_crasher(&self, salt: u64, index: u64) -> bool {
+        self.crash_rate > 0.0 && unit(mix(mix(salt, CRASH_STREAM), index)) < self.crash_rate
+    }
+
+    /// Corrupt one run sample, when the outlier draw for `(index, run)`
+    /// fires. Keyed independently of the attempt counter so a retried
+    /// measurement reproduces the same samples the first attempt would
+    /// have produced.
+    pub fn corrupt_sample(&self, salt: u64, index: u64, run: u32, sample_ms: f64) -> f64 {
+        if self.outlier_rate > 0.0
+            && unit(mix(mix(salt, OUTLIER_STREAM), mix(index, u64::from(run)))) < self.outlier_rate
+        {
+            sample_ms * self.outlier_factor
+        } else {
+            sample_ms
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaotic() -> FaultModel {
+        FaultModel {
+            transient_rate: 0.2,
+            timeout_rate: 0.1,
+            outlier_rate: 0.1,
+            crash_rate: 0.1,
+            seed: 7,
+            ..FaultModel::disabled()
+        }
+    }
+
+    #[test]
+    fn disabled_model_never_fires() {
+        let m = FaultModel::disabled();
+        assert!(!m.is_enabled());
+        for idx in 0..1_000 {
+            assert!(!m.transient_fires(1, idx, 0));
+            assert!(!m.timeout_fires(1, idx, 0));
+            assert!(!m.is_crasher(1, idx));
+            assert_eq!(m.corrupt_sample(1, idx, 0, 3.5), 3.5);
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic() {
+        let m = chaotic();
+        for idx in 0..200 {
+            assert_eq!(m.transient_fires(9, idx, 3), m.transient_fires(9, idx, 3));
+            assert_eq!(m.is_crasher(9, idx), m.is_crasher(9, idx));
+            assert_eq!(
+                m.corrupt_sample(9, idx, 1, 2.0),
+                m.corrupt_sample(9, idx, 1, 2.0)
+            );
+        }
+    }
+
+    #[test]
+    fn crashers_are_sticky_and_roughly_rate_sized() {
+        let m = chaotic();
+        let crashers = (0..10_000).filter(|&i| m.is_crasher(3, i)).count();
+        // 10% ± generous slack.
+        assert!((700..1_300).contains(&crashers), "{crashers} crashers");
+        // Stickiness: membership does not depend on any attempt counter.
+        for idx in 0..100 {
+            let member = m.is_crasher(3, idx);
+            for _ in 0..3 {
+                assert_eq!(m.is_crasher(3, idx), member);
+            }
+        }
+    }
+
+    #[test]
+    fn transient_faults_vary_by_attempt_and_rate_is_respected() {
+        let m = chaotic();
+        let fires = (0..10_000).filter(|&a| m.transient_fires(5, 42, a)).count();
+        // Base rate 20% scaled by the arch factor in [0.5, 1.5).
+        assert!((500..3_500).contains(&fires), "{fires} transients");
+        // Different attempts of the same config draw independently.
+        let all_same = (0..50).all(|a| m.transient_fires(5, 42, a) == m.transient_fires(5, 42, 0));
+        assert!(!all_same);
+    }
+
+    #[test]
+    fn arch_salts_scale_transient_rates_differently() {
+        let m = FaultModel {
+            transient_rate: 0.2,
+            seed: 1,
+            ..FaultModel::disabled()
+        };
+        let rate = |salt: u64| {
+            (0..20_000)
+                .filter(|&a| m.transient_fires(salt, 7, a))
+                .count() as f64
+                / 20_000.0
+        };
+        let (a, b) = (rate(101), rate(202));
+        assert!((a - b).abs() > 0.01, "arch scaling indistinct: {a} vs {b}");
+    }
+
+    #[test]
+    fn outliers_hit_some_runs_and_not_others() {
+        let m = chaotic();
+        let corrupted = (0..1_000u32)
+            .filter(|&r| m.corrupt_sample(11, 3, r, 1.0) != 1.0)
+            .count();
+        assert!((30..250).contains(&corrupted), "{corrupted} outliers");
+        // Corruption multiplies by the configured factor.
+        let hit = (0..1_000u32)
+            .find(|&r| m.corrupt_sample(11, 3, r, 1.0) != 1.0)
+            .unwrap();
+        assert_eq!(m.corrupt_sample(11, 3, hit, 2.0), 2.0 * m.outlier_factor);
+    }
+}

@@ -25,10 +25,16 @@
 //! energy), giving every configuration a deterministic `energy_mj` next to
 //! its `time_ms` — the second objective of the suite's multi-objective
 //! tuning scenarios.
+//!
+//! [`FaultModel`] layers seeded, deterministic *fault injection* on top:
+//! transient launch flakes, measurement timeouts, corrupted outlier
+//! samples and sticky crashed configurations, all drawn from the same
+//! counter-based discipline as the measurement noise — off by default.
 
 #![warn(missing_docs)]
 
 mod arch;
+mod fault;
 mod kernel_model;
 mod noise;
 mod occupancy;
@@ -36,6 +42,7 @@ mod power;
 mod timing;
 
 pub use arch::{Family, GpuArch};
+pub use fault::FaultModel;
 pub use kernel_model::KernelModel;
 pub use noise::{mix, noise_key, noisy_time_ms};
 pub use occupancy::{occupancy, BlockResources, LaunchError, Limiter, Occupancy};

@@ -25,7 +25,7 @@ pub fn mix(a: u64, b: u64) -> u64 {
 
 /// Uniform f64 in [0, 1) from a hash key.
 #[inline]
-fn unit(x: u64) -> f64 {
+pub(crate) fn unit(x: u64) -> f64 {
     (splitmix64(x) >> 11) as f64 / (1u64 << 53) as f64
 }
 

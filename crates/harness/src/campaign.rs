@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 
-use bat_core::{Evaluator, Protocol, TuningProblem, TuningRun};
+use bat_core::{Evaluator, FaultModel, Protocol, RetryPolicy, TuningProblem, TuningRun};
 use bat_tuners::{default_tuners, Tuner};
 
 use crate::result::{CampaignResult, TrialRecord, RESULT_SCHEMA};
@@ -120,6 +120,43 @@ pub struct EvalStats {
     pub evals: u64,
     /// Distinct configurations measured.
     pub distinct: u64,
+    /// Retries spent on retryable measurement failures (0 without faults).
+    pub retries: u64,
+    /// Configurations quarantined after repeated crashes (0 without
+    /// faults).
+    pub quarantined: u64,
+}
+
+impl EvalStats {
+    fn of(eval: &Evaluator<'_>) -> EvalStats {
+        EvalStats {
+            evals: eval.evals_used(),
+            distinct: eval.distinct_evals(),
+            retries: eval.retries_used(),
+            quarantined: eval.quarantined_configs(),
+        }
+    }
+}
+
+fn run_tuning_impl(
+    problem: &dyn TuningProblem,
+    tuner: &dyn Tuner,
+    protocol: Protocol,
+    budget: u64,
+    seed: u64,
+    energy: bool,
+    faults: Option<(FaultModel, RetryPolicy)>,
+) -> (TuningRun, EvalStats) {
+    let mut eval = Evaluator::with_protocol(problem, protocol).with_budget(budget);
+    if energy {
+        eval = eval.with_energy();
+    }
+    if let Some((model, policy)) = faults {
+        eval = eval.with_faults(model, policy);
+    }
+    let run = tuner.tune(&eval, seed);
+    let stats = EvalStats::of(&eval);
+    (run, stats)
 }
 
 /// Run one tuner on one problem under the harness measurement discipline:
@@ -133,13 +170,7 @@ pub fn run_tuning(
     budget: u64,
     seed: u64,
 ) -> (TuningRun, EvalStats) {
-    let eval = Evaluator::with_protocol(problem, protocol).with_budget(budget);
-    let run = tuner.tune(&eval, seed);
-    let stats = EvalStats {
-        evals: eval.evals_used(),
-        distinct: eval.distinct_evals(),
-    };
-    (run, stats)
+    run_tuning_impl(problem, tuner, protocol, budget, seed, false, None)
 }
 
 /// [`run_tuning`] with energy measurement enabled: measurements carry
@@ -152,15 +183,22 @@ pub fn run_tuning_with_energy(
     budget: u64,
     seed: u64,
 ) -> (TuningRun, EvalStats) {
-    let eval = Evaluator::with_protocol(problem, protocol)
-        .with_budget(budget)
-        .with_energy();
-    let run = tuner.tune(&eval, seed);
-    let stats = EvalStats {
-        evals: eval.evals_used(),
-        distinct: eval.distinct_evals(),
-    };
-    (run, stats)
+    run_tuning_impl(problem, tuner, protocol, budget, seed, true, None)
+}
+
+/// [`run_tuning`] under a fault model: evaluations flow through the
+/// resilient retry/quarantine pipeline and the returned stats carry its
+/// counters. `energy` selects the two-objective measurement path.
+pub fn run_tuning_with_faults(
+    problem: &dyn TuningProblem,
+    tuner: &dyn Tuner,
+    protocol: Protocol,
+    budget: u64,
+    seed: u64,
+    energy: bool,
+    faults: (FaultModel, RetryPolicy),
+) -> (TuningRun, EvalStats) {
+    run_tuning_impl(problem, tuner, protocol, budget, seed, energy, Some(faults))
 }
 
 /// Execute one compiled trial under its objective.
@@ -173,22 +211,25 @@ fn execute_trial(ct: &CompiledTrial) -> Result<TrialRecord, HarnessError> {
         .ok_or_else(|| HarnessError::Trial(format!("unknown tuner {:?}", ct.key.tuner)))?;
     let keep_history = ct.record == RecordLevel::Full;
     let names = bat_core::TuningProblem::space(&problem).names().to_vec();
+    // A spec-level `faults` block installs the fault model + retry policy
+    // on the trial's evaluator; without one, the evaluation path — and
+    // therefore every artifact byte — is exactly the pre-fault one.
+    let faults = ct.faults.map(|f| (f.model(), f.retry_policy()));
 
     let record = match ct.objective.mode {
         // The historical single-objective path, untouched: no energy is
         // measured, so the artifact is byte-identical to the pre-moo suite.
         ObjectiveMode::Time => {
-            let (run, stats) =
-                run_tuning(&problem, tuner.as_ref(), ct.protocol, ct.budget, ct.seed);
-            TrialRecord::from_run(
-                &ct.key,
+            let (run, stats) = run_tuning_impl(
+                &problem,
+                tuner.as_ref(),
+                ct.protocol,
+                ct.budget,
                 ct.seed,
-                &run,
-                &names,
-                stats.evals,
-                stats.distinct,
-                keep_history,
-            )
+                false,
+                faults,
+            );
+            TrialRecord::from_run(&ct.key, ct.seed, &run, &names, stats, keep_history)
         }
         // Scalarized modes: every tuner optimizes the blend through the
         // ordinary evaluator interface; `best_ms` holds the blended
@@ -202,33 +243,32 @@ fn execute_trial(ct: &CompiledTrial) -> Result<TrialRecord, HarnessError> {
                 .scalarization()
                 .expect("blended modes always map to a scalarization");
             let blended = bat_moo::Scalarized::new(problem, scalarization);
-            let (run, stats) =
-                run_tuning_with_energy(&blended, tuner.as_ref(), ct.protocol, ct.budget, ct.seed);
-            TrialRecord::from_run(
-                &ct.key,
+            let (run, stats) = run_tuning_impl(
+                &blended,
+                tuner.as_ref(),
+                ct.protocol,
+                ct.budget,
                 ct.seed,
-                &run,
-                &names,
-                stats.evals,
-                stats.distinct,
-                keep_history,
-            )
+                true,
+                faults,
+            );
+            TrialRecord::from_run(&ct.key, ct.seed, &run, &names, stats, keep_history)
         }
         // Pareto mode: both objectives are measured and the trial records
         // its bounded non-dominated front.
         ObjectiveMode::Pareto => {
-            let (run, stats) =
-                run_tuning_with_energy(&problem, tuner.as_ref(), ct.protocol, ct.budget, ct.seed);
-            let front = bat_moo::front_of_run(&run, ct.objective.front_capacity());
-            let mut record = TrialRecord::from_run(
-                &ct.key,
+            let (run, stats) = run_tuning_impl(
+                &problem,
+                tuner.as_ref(),
+                ct.protocol,
+                ct.budget,
                 ct.seed,
-                &run,
-                &names,
-                stats.evals,
-                stats.distinct,
-                keep_history,
+                true,
+                faults,
             );
+            let front = bat_moo::front_of_run(&run, ct.objective.front_capacity());
+            let mut record =
+                TrialRecord::from_run(&ct.key, ct.seed, &run, &names, stats, keep_history);
             record.front = Some(front.front().to_vec());
             record
         }

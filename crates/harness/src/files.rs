@@ -158,19 +158,26 @@ pub fn merge_files(
 }
 
 /// Print the shared post-run report to stderr: summary tables and the
-/// throughput line (unless `quiet`), plus a warning when trials found no
-/// valid configuration. Returns the failed-trial count so strict
-/// front-ends can gate on it.
+/// throughput line (unless `quiet`), plus a warning naming every trial
+/// that found no valid configuration — so a `--strict` failure is
+/// actionable from the log alone, not just a count. Returns the
+/// failed-trial count so strict front-ends can gate on it.
 pub fn report_run(run: &CampaignRun, quiet: bool) -> usize {
     if !quiet {
         eprint!("{}", CampaignSummary::from_result(&run.result).render());
         eprintln!("\n{}", run.report());
     }
-    let failed = run.result.failed_trials();
-    if failed > 0 {
-        eprintln!("warning: {failed} trial(s) found no valid configuration");
+    let failed = run.result.failed_trial_keys();
+    if !failed.is_empty() {
+        eprintln!(
+            "warning: {} trial(s) found no valid configuration:",
+            failed.len()
+        );
+        for key in &failed {
+            eprintln!("  {key}");
+        }
     }
-    failed
+    failed.len()
 }
 
 #[cfg(test)]

@@ -42,8 +42,8 @@ pub mod summary;
 
 pub use campaign::{
     advance_campaign, merge_campaigns, resume_campaign, run_campaign, run_campaign_checkpointed,
-    run_campaign_serial, run_tuning, run_tuning_with_energy, tuner_by_name, CampaignRun, EvalStats,
-    HarnessError,
+    run_campaign_serial, run_tuning, run_tuning_with_energy, run_tuning_with_faults, tuner_by_name,
+    CampaignRun, EvalStats, HarnessError,
 };
 pub use files::{
     campaign_metadata, load_result_file, load_spec_file, merge_files, metadata_path, report_run,
@@ -52,7 +52,7 @@ pub use files::{
 pub use result::{CampaignResult, CurvePoint, TrialRecord, RESULT_SCHEMA};
 pub use spec::{
     known_architectures, known_benchmarks, known_moo_tuners, known_tuners, CompiledTrial,
-    ExperimentSpec, ObjectiveMode, ObjectiveSpec, ProtocolSpec, RecordLevel, SeedPolicy, Selector,
-    ShardSpec, SpecError, TrialKey, SPEC_SCHEMA,
+    ExperimentSpec, FaultSpec, ObjectiveMode, ObjectiveSpec, ProtocolSpec, RecordLevel, SeedPolicy,
+    Selector, ShardSpec, SpecError, TrialKey, SPEC_SCHEMA,
 };
 pub use summary::{convergence_auc, render_table, CampaignSummary, CellSummary};

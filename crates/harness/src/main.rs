@@ -17,7 +17,7 @@ const HELP: &str = "\
 bat-harness — declarative experiment orchestration for BAT-rs
 
 USAGE:
-    bat-harness run --spec FILE [--out FILE] [--resume] [--serial] [--strict] [--quiet] [--shard I/N] [--batch N]
+    bat-harness run --spec FILE [--out FILE] [--resume] [--serial] [--strict] [--quiet] [--shard I/N] [--batch N] [--fault-rate R]
     bat-harness merge --spec FILE --inputs A,B,... --out FILE [--quiet]
     bat-harness summary --input FILE
     bat-harness trials --spec FILE
@@ -42,6 +42,10 @@ OPTIONS:
     --batch N      override the spec's protocol.batch (measurement
                    parallelism of the ask/tell protocol; 1 = the classic
                    serial protocol, stored canonically as absent)
+    --fault-rate R override the spec's faults.transient_rate (0 disables;
+                   an otherwise-default fault block collapses to absent, so
+                   `--fault-rate 0` reproduces the fault-free artifact
+                   byte for byte)
     --inputs A,B   comma-separated shard artifacts to merge
     --strict       exit non-zero if any trial found no valid configuration
     --quiet        suppress the summary tables and throughput line
@@ -87,6 +91,15 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             .parse()
             .map_err(|_| format!("bad --batch value {batch:?}"))?;
         spec.protocol.set_batch(batch);
+    }
+    if let Some(rate) = opt(args, "--fault-rate") {
+        let rate: f64 = rate
+            .parse()
+            .map_err(|_| format!("bad --fault-rate value {rate:?}"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("--fault-rate must be in [0, 1], got {rate}"));
+        }
+        spec.set_fault_rate(rate);
     }
     let out = opt(args, "--out");
     let quiet = flag(args, "--quiet");

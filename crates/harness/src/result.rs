@@ -15,10 +15,18 @@ use bat_core::t4::T4Results;
 use bat_core::TuningRun;
 use bat_moo::ParetoPoint;
 
+use crate::campaign::EvalStats;
 use crate::spec::{ExperimentSpec, TrialKey};
 
 /// Schema identifier every result document carries.
 pub const RESULT_SCHEMA: &str = "bat/campaign-result/v1";
+
+/// Serialization skip predicate for the resilience counters: fault-free
+/// trials record zeros, which are omitted so their artifacts stay
+/// byte-identical to the pre-fault suite.
+fn is_zero(n: &u64) -> bool {
+    *n == 0
+}
 
 /// One point of a best-so-far curve: the best objective after `eval`
 /// evaluations. Points are recorded only where the best improves, so the
@@ -50,8 +58,16 @@ pub struct TrialRecord {
     pub evals: u64,
     /// Distinct configurations measured (`evals - distinct` = cache hits).
     pub distinct_evals: u64,
-    /// Evaluations that produced no objective (restricted + launch-failed).
+    /// Evaluations that produced no objective (restricted + launch-failed,
+    /// plus the fault model's transient/timeout/crash outcomes).
     pub failures: u64,
+    /// Retries spent on retryable measurement failures (omitted when 0 —
+    /// always, on fault-free campaigns).
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub retries: u64,
+    /// Configurations quarantined after repeated crashes (omitted when 0).
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub quarantined: u64,
     /// Final best objective in ms (`None` when every evaluation failed).
     /// Under a scalarized objective this is the blended objective value,
     /// not a wall time.
@@ -86,8 +102,7 @@ impl TrialRecord {
         seed: u64,
         run: &TuningRun,
         param_names: &[String],
-        evals: u64,
-        distinct_evals: u64,
+        stats: EvalStats,
         keep_history: bool,
     ) -> TrialRecord {
         let mut curve = Vec::new();
@@ -117,9 +132,11 @@ impl TrialRecord {
             architecture: key.architecture.clone(),
             rep: key.rep,
             seed,
-            evals,
-            distinct_evals,
+            evals: stats.evals,
+            distinct_evals: stats.distinct,
             failures: (run.trials.len() - run.successes()) as u64,
+            retries: stats.retries,
+            quarantined: stats.quarantined,
             best_ms: best,
             best_config,
             best_energy_mj,
@@ -197,6 +214,23 @@ impl CampaignResult {
         self.trials.iter().filter(|t| t.best_ms.is_none()).count()
     }
 
+    /// Human-readable `(tuner, benchmark, architecture, rep)` keys of the
+    /// trials counted by [`failed_trials`](Self::failed_trials), in
+    /// artifact order — what `--strict` front-ends print so a gate failure
+    /// is actionable from the log alone.
+    pub fn failed_trial_keys(&self) -> Vec<String> {
+        self.trials
+            .iter()
+            .filter(|t| t.best_ms.is_none())
+            .map(|t| {
+                format!(
+                    "({}, {}, {}, rep {})",
+                    t.tuner, t.benchmark, t.architecture, t.rep
+                )
+            })
+            .collect()
+    }
+
     /// Total evaluations spent across all trials.
     pub fn total_evals(&self) -> u64 {
         self.trials.iter().map(|t| t.evals).sum()
@@ -236,10 +270,19 @@ mod tests {
         (run, vec!["a".into(), "b".into()])
     }
 
+    fn stats() -> EvalStats {
+        EvalStats {
+            evals: 5,
+            distinct: 5,
+            retries: 0,
+            quarantined: 0,
+        }
+    }
+
     #[test]
     fn record_captures_curve_and_best() {
         let (run, names) = run();
-        let r = TrialRecord::from_run(&key(), 7, &run, &names, 5, 5, true);
+        let r = TrialRecord::from_run(&key(), 7, &run, &names, stats(), true);
         assert_eq!(r.failures, 1);
         assert_eq!(r.best_ms, Some(2.0));
         assert_eq!(r.best_config["a"], 4);
@@ -256,7 +299,7 @@ mod tests {
     #[test]
     fn time_only_records_skip_the_moo_fields() {
         let (run, names) = run();
-        let r = TrialRecord::from_run(&key(), 7, &run, &names, 5, 5, false);
+        let r = TrialRecord::from_run(&key(), 7, &run, &names, stats(), false);
         assert_eq!(r.best_energy_mj, None);
         assert_eq!(r.front, None);
         let json = serde_json::to_string_pretty(&r).unwrap();
@@ -266,7 +309,7 @@ mod tests {
     #[test]
     fn records_with_fronts_round_trip() {
         let (run, names) = run();
-        let mut r = TrialRecord::from_run(&key(), 7, &run, &names, 5, 5, false);
+        let mut r = TrialRecord::from_run(&key(), 7, &run, &names, stats(), false);
         r.front = Some(vec![
             bat_moo::ParetoPoint {
                 index: 2,
@@ -287,9 +330,57 @@ mod tests {
     }
 
     #[test]
+    fn resilience_counters_skip_when_zero_and_round_trip() {
+        let (run, names) = run();
+        // Fault-free: zeros are omitted entirely (byte-stable artifacts).
+        let r = TrialRecord::from_run(&key(), 7, &run, &names, stats(), false);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        assert!(!json.contains("retries") && !json.contains("quarantined"));
+        let back: TrialRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        // Under faults: counters serialize and round-trip.
+        let chaotic = TrialRecord::from_run(
+            &key(),
+            7,
+            &run,
+            &names,
+            EvalStats {
+                retries: 3,
+                quarantined: 1,
+                ..stats()
+            },
+            false,
+        );
+        let json = serde_json::to_string_pretty(&chaotic).unwrap();
+        assert!(json.contains("\"retries\": 3") && json.contains("\"quarantined\": 1"));
+        let back: TrialRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, chaotic);
+    }
+
+    #[test]
+    fn failed_trial_keys_name_the_empty_trials() {
+        let (tuning_run, names) = run();
+        let ok = TrialRecord::from_run(&key(), 7, &tuning_run, &names, stats(), false);
+        let mut dead = ok.clone();
+        dead.tuner = "greedy-ils".into();
+        dead.rep = 2;
+        dead.best_ms = None;
+        let result = CampaignResult {
+            schema: RESULT_SCHEMA.to_string(),
+            spec: ExperimentSpec::new("failed-keys-unit"),
+            trials: vec![ok, dead],
+        };
+        assert_eq!(result.failed_trials(), 1);
+        assert_eq!(
+            result.failed_trial_keys(),
+            vec!["(greedy-ils, toy, SIM, rep 2)".to_string()]
+        );
+    }
+
+    #[test]
     fn curve_record_level_drops_history() {
         let (run, names) = run();
-        let r = TrialRecord::from_run(&key(), 7, &run, &names, 5, 5, false);
+        let r = TrialRecord::from_run(&key(), 7, &run, &names, stats(), false);
         assert!(r.history.is_none());
         let json = serde_json::to_string_pretty(&r).unwrap();
         assert!(!json.contains("\"history\""));

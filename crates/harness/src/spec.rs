@@ -9,8 +9,8 @@
 
 use serde::{DeError, Deserialize, Serialize, Value};
 
-use bat_core::Protocol;
-use bat_gpusim::{mix, GpuArch};
+use bat_core::{Protocol, RetryPolicy};
+use bat_gpusim::{mix, FaultModel, GpuArch};
 use bat_tuners::default_tuners;
 
 /// Schema identifier every spec document must carry.
@@ -335,6 +335,105 @@ pub struct ShardSpec {
     pub count: u32,
 }
 
+/// Fault-injection block of a spec: a declarative [`FaultModel`] plus the
+/// [`RetryPolicy`] knobs of the resilient measurement pipeline. An absent
+/// block (the default) installs no fault model at all, so the evaluation
+/// path — and every artifact byte — is identical to the pre-fault suite.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct FaultSpec {
+    /// Probability one measurement attempt fails transiently, additionally
+    /// scaled per architecture by a deterministic factor in `[0.5, 1.5)`.
+    #[serde(default)]
+    pub transient_rate: f64,
+    /// Probability one measurement attempt hangs past the deadline.
+    #[serde(default)]
+    pub timeout_rate: f64,
+    /// Probability an individual run sample comes back corrupted.
+    #[serde(default)]
+    pub outlier_rate: f64,
+    /// Fraction of the configuration space that crashes on every attempt.
+    #[serde(default)]
+    pub crash_rate: f64,
+    /// Measurement deadline in ms a timed-out attempt exceeded
+    /// (reporting-only; default 1000).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub deadline_ms: Option<f64>,
+    /// Multiplier applied to corrupted samples (default 10).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub outlier_factor: Option<f64>,
+    /// Seed folded into every fault draw (default 0).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fault_seed: Option<u64>,
+    /// Retries per evaluation after a retryable failure (default 2).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_retries: Option<u32>,
+    /// Backoff: the r-th retry charges `1 + backoff_evals · r` evaluations
+    /// against the budget (default 0).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub backoff_evals: Option<u32>,
+    /// Quarantine a configuration after this many observed crashes
+    /// (default 3).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub quarantine_after: Option<u32>,
+}
+
+impl FaultSpec {
+    /// The fault model this block describes.
+    pub fn model(&self) -> FaultModel {
+        let d = FaultModel::disabled();
+        FaultModel {
+            transient_rate: self.transient_rate,
+            timeout_rate: self.timeout_rate,
+            deadline_ms: self.deadline_ms.unwrap_or(d.deadline_ms),
+            outlier_rate: self.outlier_rate,
+            outlier_factor: self.outlier_factor.unwrap_or(d.outlier_factor),
+            crash_rate: self.crash_rate,
+            seed: self.fault_seed.unwrap_or(0),
+        }
+    }
+
+    /// The retry policy this block describes.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        let d = RetryPolicy::default();
+        RetryPolicy {
+            max_retries: self.max_retries.unwrap_or(d.max_retries),
+            backoff_evals: self.backoff_evals.unwrap_or(d.backoff_evals),
+            quarantine_after: self.quarantine_after.unwrap_or(d.quarantine_after),
+        }
+    }
+
+    fn validate(&self) -> Result<(), SpecError> {
+        for (label, r) in [
+            ("transient_rate", self.transient_rate),
+            ("timeout_rate", self.timeout_rate),
+            ("outlier_rate", self.outlier_rate),
+            ("crash_rate", self.crash_rate),
+        ] {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(SpecError(format!("faults.{label} {r} outside [0, 1]")));
+            }
+        }
+        for (label, v) in [
+            ("deadline_ms", self.deadline_ms),
+            ("outlier_factor", self.outlier_factor),
+        ] {
+            if let Some(x) = v {
+                if !(x.is_finite() && x > 0.0) {
+                    return Err(SpecError(format!("faults.{label} must be positive")));
+                }
+            }
+        }
+        if self.quarantine_after == Some(0) {
+            return Err(SpecError(
+                "faults.quarantine_after must be positive (omit the block to disable faults)"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// How much per-trial detail the result artifact keeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
@@ -384,6 +483,10 @@ pub struct ExperimentSpec {
     /// ignore this block, so shard artifacts merge byte-exactly.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub shard: Option<ShardSpec>,
+    /// Fault-injection block (default: none — the evaluation path and all
+    /// artifacts are byte-identical to the pre-fault suite).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub faults: Option<FaultSpec>,
 }
 
 /// Resolved campaign dimensions: `(tuners, benchmarks, architectures)`.
@@ -429,6 +532,8 @@ pub struct CompiledTrial {
     pub record: RecordLevel,
     /// What the trial optimizes.
     pub objective: ObjectiveSpec,
+    /// Fault injection to run the trial under, when the spec asks for it.
+    pub faults: Option<FaultSpec>,
 }
 
 /// FNV-1a over a string — a stable, platform-independent name hash for
@@ -494,6 +599,7 @@ impl ExperimentSpec {
             record: RecordLevel::default(),
             objective: ObjectiveSpec::default(),
             shard: None,
+            faults: None,
         }
     }
 
@@ -540,6 +646,9 @@ impl ExperimentSpec {
             }
         }
         self.objective.validate()?;
+        if let Some(faults) = &self.faults {
+            faults.validate()?;
+        }
         if let Some(shard) = self.shard {
             if shard.count == 0 {
                 return Err(SpecError("shard.count must be positive".into()));
@@ -578,6 +687,16 @@ impl ExperimentSpec {
             // same spec panic in debug builds but run in release.
             SeedPolicy::Sequential => self.seed.wrapping_add(u64::from(key.rep)),
         }
+    }
+
+    /// CLI override for the transient fault rate, in canonical form: a
+    /// zero rate on an otherwise-default block removes the block entirely,
+    /// so a `--fault-rate 0` override keeps specs (and their embedded
+    /// artifact copies) byte-identical to fault-free ones.
+    pub fn set_fault_rate(&mut self, rate: f64) {
+        let mut block = self.faults.unwrap_or_default();
+        block.transient_rate = rate;
+        self.faults = (block != FaultSpec::default()).then_some(block);
     }
 
     /// True when `other` describes the same campaign, shard selection
@@ -624,6 +743,7 @@ impl ExperimentSpec {
                             protocol,
                             record: self.record,
                             objective: self.objective,
+                            faults: self.faults,
                         });
                     }
                 }
@@ -908,6 +1028,97 @@ mod tests {
         };
         let (t, _, _) = spec.validate().unwrap();
         assert_eq!(t, vec!["nsga2".to_string(), "random-search".to_string()]);
+    }
+
+    #[test]
+    fn fault_block_is_validated_and_canonically_serialized() {
+        // Absent faults serialize without the field (byte-stable specs).
+        let spec = small_spec();
+        assert!(!spec.to_json().contains("faults"));
+        // A populated block round-trips and compiles into every trial.
+        let chaotic = ExperimentSpec {
+            faults: Some(FaultSpec {
+                transient_rate: 0.05,
+                crash_rate: 0.02,
+                quarantine_after: Some(2),
+                ..FaultSpec::default()
+            }),
+            ..small_spec()
+        };
+        assert!(chaotic.validate().is_ok());
+        let json = chaotic.to_json();
+        assert!(json.contains("\"faults\"") && json.contains("\"transient_rate\": 0.05"));
+        assert_eq!(ExperimentSpec::from_json(&json).unwrap(), chaotic);
+        let trials = chaotic.compile().unwrap();
+        assert!(trials.iter().all(|t| t.faults == chaotic.faults));
+        // Bad blocks are rejected.
+        for bad in [
+            FaultSpec {
+                transient_rate: 1.5,
+                ..FaultSpec::default()
+            },
+            FaultSpec {
+                crash_rate: -0.1,
+                ..FaultSpec::default()
+            },
+            FaultSpec {
+                deadline_ms: Some(0.0),
+                ..FaultSpec::default()
+            },
+            FaultSpec {
+                quarantine_after: Some(0),
+                ..FaultSpec::default()
+            },
+        ] {
+            assert!(
+                ExperimentSpec {
+                    faults: Some(bad),
+                    ..small_spec()
+                }
+                .validate()
+                .is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+        // Unknown fault fields are rejected.
+        let tampered = json.replacen("\"transient_rate\"", "\"jitter\": 1, \"transient_rate\"", 1);
+        assert!(ExperimentSpec::from_json(&tampered).is_err());
+    }
+
+    #[test]
+    fn fault_rate_override_is_canonical() {
+        let mut spec = small_spec();
+        spec.set_fault_rate(0.05);
+        assert_eq!(
+            spec.faults.map(|f| f.transient_rate),
+            Some(0.05),
+            "{spec:?}"
+        );
+        // Zero on an otherwise-default block removes it entirely.
+        spec.set_fault_rate(0.0);
+        assert_eq!(spec.faults, None);
+        assert_eq!(spec, small_spec());
+        // Zero on a non-default block keeps the block (other faults live).
+        let mut chaotic = ExperimentSpec {
+            faults: Some(FaultSpec {
+                transient_rate: 0.1,
+                crash_rate: 0.2,
+                ..FaultSpec::default()
+            }),
+            ..small_spec()
+        };
+        chaotic.set_fault_rate(0.0);
+        let block = chaotic.faults.unwrap();
+        assert_eq!(block.transient_rate, 0.0);
+        assert_eq!(block.crash_rate, 0.2);
+    }
+
+    #[test]
+    fn fault_spec_defaults_mirror_core_defaults() {
+        let block = FaultSpec::default();
+        assert_eq!(block.model(), FaultModel::disabled());
+        assert_eq!(block.retry_policy(), RetryPolicy::default());
+        assert!(!block.model().is_enabled());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! convergence AUC, Friedman-style tuner rank matrix, Tables IV/VI in
 //! spirit) can be regenerated offline from an archived artifact.
 
-use bat_analysis::{front_summary, hypervolume_reference, merged_front};
+use bat_analysis::{evals_to_target, front_summary, hypervolume_reference, merged_front};
 use bat_core::friedman_mean_ranks;
 use bat_moo::ParetoPoint;
 
@@ -47,7 +47,22 @@ pub struct CellSummary {
     pub best_known_front: Vec<ParetoPoint>,
     /// Hypervolume of the best-known front against the cell reference.
     pub best_known_hypervolume: Option<f64>,
+    /// Mean retries charged per repetition (fault-injected campaigns;
+    /// all zero otherwise).
+    pub mean_retries: Vec<Option<f64>>,
+    /// Total configurations quarantined across repetitions.
+    pub quarantined: Vec<u64>,
+    /// Mean evaluations to first reach within 5% of the cell's best
+    /// objective (over the repetitions that got there; the companion
+    /// `target_hits` counts how many did).
+    pub evals_to_target: Vec<Option<f64>>,
+    /// Repetitions that reached the 5% target, per tuner.
+    pub target_hits: Vec<u64>,
 }
+
+/// Relative slack on the cell-best objective that counts as "reached the
+/// target" for [`CellSummary::evals_to_target`].
+pub const TARGET_SLACK: f64 = 1.05;
 
 impl CellSummary {
     /// The tuner with the lowest mean rank (ties: first in campaign order).
@@ -76,6 +91,9 @@ pub struct CampaignSummary {
     pub rank_matrix: Vec<Vec<f64>>,
     /// Overall mean rank per tuner (mean over cells; 1 = best).
     pub overall_rank: Vec<f64>,
+    /// Whether the producing spec carried a fault block — gates the
+    /// resilience table in [`CampaignSummary::render`].
+    pub faulted: bool,
 }
 
 /// Normalized convergence AUC of one trial: the mean over evaluations
@@ -233,6 +251,45 @@ impl CampaignSummary {
                     }
                 }
             }
+            // Resilience reducers: retry pressure, quarantine volume, and
+            // the fault tax on convergence (evals to come within
+            // TARGET_SLACK of the cell best). Cheap to compute and all-zero
+            // without a fault block, so they are reduced unconditionally
+            // and only *rendered* for fault-injected campaigns.
+            let mut mean_retries = vec![None; tuners.len()];
+            let mut quarantined = vec![0u64; tuners.len()];
+            let mut evals_target = vec![None; tuners.len()];
+            let mut target_hits = vec![0u64; tuners.len()];
+            for (ti, name) in tuners.iter().enumerate() {
+                let records: Vec<&TrialRecord> = result
+                    .trials
+                    .iter()
+                    .filter(in_cell)
+                    .filter(|t| &t.tuner == name)
+                    .collect();
+                if records.is_empty() {
+                    continue;
+                }
+                let n = records.len() as f64;
+                mean_retries[ti] = Some(records.iter().map(|t| t.retries as f64).sum::<f64>() / n);
+                quarantined[ti] = records.iter().map(|t| t.quarantined).sum();
+                if let Some(best) = cell_best_ms {
+                    let reached: Vec<u64> = records
+                        .iter()
+                        .filter_map(|t| {
+                            let curve: Vec<(u64, f64)> =
+                                t.curve.iter().map(|p| (p.eval, p.best_ms)).collect();
+                            evals_to_target(&curve, best * TARGET_SLACK)
+                        })
+                        .collect();
+                    target_hits[ti] = reached.len() as u64;
+                    if !reached.is_empty() {
+                        evals_target[ti] = Some(
+                            reached.iter().map(|&e| e as f64).sum::<f64>() / reached.len() as f64,
+                        );
+                    }
+                }
+            }
             summaries.push(CellSummary {
                 benchmark: bench.clone(),
                 architecture: arch.clone(),
@@ -246,6 +303,10 @@ impl CampaignSummary {
                 front_size,
                 best_known_front: best_known.front().to_vec(),
                 best_known_hypervolume,
+                mean_retries,
+                quarantined,
+                evals_to_target: evals_target,
+                target_hits,
             });
         }
 
@@ -269,6 +330,7 @@ impl CampaignSummary {
             tuners,
             rank_matrix,
             overall_rank,
+            faulted: result.spec.faults.is_some(),
         }
     }
 
@@ -334,6 +396,39 @@ impl CampaignSummary {
             }
             out.push_str(&render_table(
                 &["cell", "tuner", "hypervolume", "front size"],
+                &rows,
+            ));
+        }
+
+        // Fault-injected campaigns: retry/quarantine pressure and the
+        // fault tax on convergence, per cell × tuner.
+        if self.faulted {
+            out.push_str(&format!(
+                "\nResilience (mean retries / quarantined configs / mean evals to within {:.0}% of cell best):\n",
+                (TARGET_SLACK - 1.0) * 100.0
+            ));
+            let mut rows = Vec::new();
+            for c in &self.cells {
+                for (i, t) in c.tuners.iter().enumerate() {
+                    rows.push(vec![
+                        format!("{}/{}", c.benchmark, c.architecture),
+                        t.clone(),
+                        fmt_opt(c.mean_retries[i], 2),
+                        format!("{}", c.quarantined[i]),
+                        fmt_opt(c.evals_to_target[i], 1),
+                        format!("{}", c.target_hits[i]),
+                    ]);
+                }
+            }
+            out.push_str(&render_table(
+                &[
+                    "cell",
+                    "tuner",
+                    "retries",
+                    "quarantined",
+                    "evals to target",
+                    "hits",
+                ],
                 &rows,
             ));
         }
@@ -484,6 +579,37 @@ mod tests {
         assert!(rendered.contains("(best known)"));
         // Reduced purely from the serialized artifact.
         let back = CampaignResult::from_json(&result.to_json()).unwrap();
+        assert_eq!(CampaignSummary::from_result(&back).render(), rendered);
+    }
+
+    #[test]
+    fn resilience_table_renders_only_for_fault_injected_campaigns() {
+        let clean = result();
+        let clean_summary = CampaignSummary::from_result(&clean);
+        assert!(!clean_summary.faulted);
+        assert!(!clean_summary.render().contains("Resilience"));
+
+        let mut spec = clean.spec.clone();
+        spec.name = "summary-faulted".into();
+        spec.faults = Some(crate::spec::FaultSpec {
+            transient_rate: 0.2,
+            crash_rate: 0.05,
+            ..Default::default()
+        });
+        let faulted = run_campaign(&spec).unwrap().result;
+        let s = CampaignSummary::from_result(&faulted);
+        assert!(s.faulted);
+        let rendered = s.render();
+        assert!(rendered.contains("Resilience"));
+        assert!(rendered.contains("evals to target"));
+        // A 20% transient rate over 30-eval budgets must charge retries
+        // somewhere, and the reducers must surface them.
+        assert!(s
+            .cells
+            .iter()
+            .any(|c| c.mean_retries.iter().flatten().any(|&r| r > 0.0)));
+        // Round-trips through the artifact like every other reducer.
+        let back = CampaignResult::from_json(&faulted.to_json()).unwrap();
         assert_eq!(CampaignSummary::from_result(&back).render(), rendered);
     }
 

@@ -55,8 +55,10 @@ pub mod prelude {
         proportion_of_centrality, random_search_convergence, ComparisonSettings, FitnessFlowGraph,
         Landscape, OnlinePolicy, OnlineSimulation, PerformanceDistribution,
     };
-    pub use bat_core::{EvalFailure, Evaluator, Measurement, Protocol, TuningProblem, TuningRun};
-    pub use bat_gpusim::{GpuArch, KernelModel, LaunchError};
+    pub use bat_core::{
+        EvalFailure, Evaluator, Measurement, Protocol, RetryPolicy, TuningProblem, TuningRun,
+    };
+    pub use bat_gpusim::{FaultModel, GpuArch, KernelModel, LaunchError};
     pub use bat_harness::{
         resume_campaign, run_campaign, run_campaign_serial, CampaignResult, CampaignSummary,
         ExperimentSpec, SeedPolicy, Selector, TrialRecord,

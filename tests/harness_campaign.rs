@@ -2,7 +2,7 @@
 //! unknown-field rejection) and campaign determinism (parallel ≡ serial,
 //! resume-from-truncated ≡ full run) — property-tested over random specs.
 
-use bat::harness::{RecordLevel, SPEC_SCHEMA};
+use bat::harness::{FaultSpec, RecordLevel, SPEC_SCHEMA};
 use bat::prelude::*;
 use proptest::prelude::*;
 
@@ -129,4 +129,82 @@ proptest! {
         prop_assert_eq!(resumed.reused, keep);
         prop_assert_eq!(&resumed.result.to_json(), &json);
     }
+
+    /// The PR-3/5 determinism contract survives fault injection: a chaos
+    /// campaign is byte-identical across the parallel pool, the serial
+    /// oracle, and resume from any truncation — retry chains, quarantine
+    /// and all — because fault draws are counter-based, never stateful.
+    #[test]
+    fn fault_injected_campaigns_are_byte_identical(
+        (budget, seed, cut, transient, crash) in (
+            8u64..25,
+            0u64..1000,
+            0usize..6,
+            1u32..5,
+            0u32..3,
+        )
+    ) {
+        let spec = ExperimentSpec {
+            tuners: Selector::Subset(vec![
+                "random-search".into(),
+                "greedy-ils".into(),
+            ]),
+            benchmarks: Selector::Subset(vec!["nbody".into()]),
+            architectures: Selector::Subset(vec!["RTX 2080 Ti".into()]),
+            budget,
+            repetitions: 2,
+            seed,
+            record: RecordLevel::Curve,
+            faults: Some(FaultSpec {
+                transient_rate: f64::from(transient) * 0.05,
+                timeout_rate: 0.02,
+                outlier_rate: 0.03,
+                crash_rate: f64::from(crash) * 0.04,
+                quarantine_after: Some(2),
+                ..Default::default()
+            }),
+            ..ExperimentSpec::new("chaos-prop")
+        };
+        let parallel = run_campaign(&spec).unwrap();
+        let serial = run_campaign_serial(&spec).unwrap();
+        let json = parallel.result.to_json();
+        prop_assert_eq!(&json, &serial.result.to_json());
+
+        let mut partial = parallel.result.clone();
+        let keep = cut.min(partial.trials.len());
+        partial.trials.truncate(keep);
+        let resumed = resume_campaign(&spec, &partial).unwrap();
+        prop_assert_eq!(resumed.reused, keep);
+        prop_assert_eq!(&resumed.result.to_json(), &json);
+    }
+}
+
+/// A zero-rate fault block canonicalizes to *absent* (`set_fault_rate(0)`
+/// on a spec without other fault knobs), and its artifact is byte-identical
+/// to the fault-free campaign's — the "off by default, byte-identical when
+/// disabled" guarantee, checked at the artifact level.
+#[test]
+fn zero_fault_rate_artifact_matches_the_fault_free_one() {
+    let baseline = tiny_spec();
+    let mut zeroed = tiny_spec();
+    zeroed.set_fault_rate(0.0);
+    assert_eq!(
+        zeroed, baseline,
+        "zero-rate fault block must canonicalize away"
+    );
+    assert_eq!(
+        run_campaign(&zeroed).unwrap().result.to_json(),
+        run_campaign(&baseline).unwrap().result.to_json()
+    );
+
+    // An explicitly present all-zero block must also change nothing but
+    // the embedded spec: trial records stay identical.
+    let mut explicit = tiny_spec();
+    explicit.faults = Some(FaultSpec {
+        quarantine_after: Some(3),
+        ..Default::default()
+    });
+    let with_block = run_campaign(&explicit).unwrap();
+    let without = run_campaign(&baseline).unwrap();
+    assert_eq!(with_block.result.trials, without.result.trials);
 }

@@ -113,7 +113,14 @@ proptest! {
                 Err(EvalFailure::Restricted) => {
                     prop_assert_eq!(r.invalidity, Some(T4Invalidity::Constraints));
                 }
-                Err(EvalFailure::Launch(_)) => {
+                // Launch failures and every fault-model outcome (the kernel
+                // compiled but died on the target) map to Runtime.
+                Err(
+                    EvalFailure::Launch(_)
+                    | EvalFailure::Transient(_)
+                    | EvalFailure::Timeout
+                    | EvalFailure::Crash(_),
+                ) => {
                     prop_assert_eq!(r.invalidity, Some(T4Invalidity::Runtime));
                 }
             }

@@ -200,6 +200,89 @@ proptest! {
         }
     }
 
+    /// Every tuner — the 13 single-objective defaults plus NSGA-II —
+    /// survives a fault model under which *every* measurement fails, for
+    /// each failure species (crash, transient, timeout), at any batch
+    /// size: the run terminates, reports zero successes, and stays inside
+    /// the retry-charged budget envelope.
+    #[test]
+    fn all_tuners_survive_all_failing_batches(
+        space in arb_space(),
+        seed in 0u64..200,
+        batch in 1u32..8,
+        species in 0u32..3,
+    ) {
+        let model = match species {
+            0 => FaultModel { crash_rate: 1.0, ..FaultModel::disabled() },
+            // The transient rate is scaled per-architecture by a factor in
+            // [0.5, 1.5); 2.0 keeps the effective rate at or above 1.
+            1 => FaultModel { transient_rate: 2.0, ..FaultModel::disabled() },
+            _ => FaultModel { timeout_rate: 1.0, ..FaultModel::disabled() },
+        };
+        let policy = RetryPolicy::default();
+        let p = problem(space.clone());
+        let budget = 24u64;
+        // Retryable species charge up to `max_retries` extra evals per
+        // evaluation started before the budget ran out.
+        let envelope = budget + policy.max_retries as u64 * (batch as u64).max(1);
+        let proto = Protocol::noiseless().with_batch(batch);
+        for tuner in bat::tuners::default_tuners() {
+            let e = Evaluator::with_protocol(&p, proto).with_budget(budget).with_faults(model, policy);
+            let run = tuner.tune(&e, seed);
+            prop_assert_eq!(run.successes(), 0, "{} succeeded in a dead space", tuner.name());
+            prop_assert!(run.best().is_none(), "{}", tuner.name());
+            prop_assert!(e.evals_used() <= envelope, "{} spent {} > {envelope}", tuner.name(), e.evals_used());
+        }
+        let e = Evaluator::with_protocol(&p, proto)
+            .with_energy()
+            .with_budget(budget)
+            .with_faults(model, policy);
+        let run = Nsga2::default().tune(&e, seed);
+        prop_assert_eq!(run.successes(), 0);
+        prop_assert!(run.best().is_none());
+    }
+
+    /// Random fault-rate mixes: every tuner completes, and two identical
+    /// runs — including retry and quarantine counters — are equal, because
+    /// every fault draw is a pure function of (seed, config, attempt), not
+    /// of execution order or shared RNG state.
+    #[test]
+    fn fault_rate_sweeps_stay_deterministic(
+        space in arb_space(),
+        seed in 0u64..200,
+        batch in 1u32..6,
+        transient in 0u32..4,
+        timeout in 0u32..3,
+        crash in 0u32..3,
+    ) {
+        let model = FaultModel {
+            transient_rate: f64::from(transient) * 0.07,
+            timeout_rate: f64::from(timeout) * 0.05,
+            crash_rate: f64::from(crash) * 0.04,
+            outlier_rate: 0.05,
+            ..FaultModel::disabled()
+        };
+        let policy = RetryPolicy { quarantine_after: 2, ..RetryPolicy::default() };
+        let p = problem(space.clone());
+        let proto = Protocol::noiseless().with_batch(batch);
+        let budget = 20u64;
+        let mk = || Evaluator::with_protocol(&p, proto).with_budget(budget).with_faults(model, policy);
+        for tuner in bat::tuners::default_tuners() {
+            let (e1, e2) = (mk(), mk());
+            let a = tuner.tune(&e1, seed);
+            let b = tuner.tune(&e2, seed);
+            prop_assert_eq!(&a, &b, "{} diverged under faults", tuner.name());
+            prop_assert_eq!(e1.evals_used(), e2.evals_used());
+            prop_assert_eq!(e1.retries_used(), e2.retries_used());
+            prop_assert_eq!(e1.quarantined_configs(), e2.quarantined_configs());
+        }
+        let mk_moo = || mk().with_energy();
+        let (e1, e2) = (mk_moo(), mk_moo());
+        let tuner = Nsga2::default();
+        prop_assert_eq!(tuner.tune(&e1, seed), tuner.tune(&e2, seed));
+        prop_assert_eq!(e1.retries_used(), e2.retries_used());
+    }
+
     /// At any fixed batch size, runs are deterministic and spend exactly
     /// the full budget for never-finishing tuners.
     #[test]
