@@ -31,7 +31,7 @@ fn evaluator_batch_vs_serial(c: &mut Criterion) {
             }
         })
     });
-    for batch in [8usize, 64, 512] {
+    for batch in [8usize, 64, 512, 1024] {
         g.bench_function(format!("batched_4096_chunk{batch}"), |b| {
             b.iter(|| {
                 let eval = Evaluator::with_protocol(&problem, Protocol::default()).without_cache();

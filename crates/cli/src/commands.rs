@@ -884,6 +884,17 @@ pub fn cmd_pareto(opts: &Opts) {
 /// `bat campaign` — run a declarative campaign spec through the harness
 /// (the CLI face of the `bat-harness` binary).
 pub fn cmd_campaign(opts: &Opts) {
+    if let Some(threads) = opts.get("--threads") {
+        let n: usize = threads
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| panic!("--threads expects a positive integer, got {threads:?}"));
+        assert!(
+            rayon::set_global_threads(n),
+            "--threads came too late: the worker pool already started"
+        );
+    }
     let path = opts
         .get("--spec")
         .expect("--spec FILE is required; see specs/ for examples");

@@ -30,7 +30,8 @@ SUITE COMMANDS:
     pareto               multi-objective tuning: time × energy Pareto fronts
                          (--bench, --arch, --budget, --seed, --tuner, --capacity, --batch)
     campaign             run a declarative campaign spec (--spec FILE, --out FILE, --resume,
-                         --batch N, --fault-rate R)
+                         --batch N, --fault-rate R, --threads N; thread-count
+                         precedence: --threads > BAT_THREADS > host cores)
     compare              compare all tuners at equal budget (--bench, --budget, --repeats)
     ranks                cross-benchmark tuner ranking, Friedman-style (--budget, --repeats)
     online               KTT-style dynamic autotuning time-to-solution (--bench, --invocations)

@@ -4,94 +4,145 @@
 //! The build environment has no access to crates.io, so this crate provides
 //! the same call surface (`into_par_iter`, `par_iter`, `par_iter_mut`,
 //! `par_chunks_mut`, plus `map`/`enumerate` adapters and
-//! `sum`/`collect`/`for_each` terminals) backed by `std::thread::scope`.
-//! Order-preserving terminals (`collect`, `sum`) split work into one
-//! contiguous chunk per available core; on a single-core host (or inside an
-//! already-parallel region) everything runs serially, which matches rayon's
-//! semantics for deterministic, order-preserving pipelines.
+//! `sum`/`collect`/`for_each` terminals) backed by a lazily-initialized
+//! **persistent worker pool** ([`mod@pool`]): parked OS threads claim blocks
+//! of work from a shared atomic cursor, so a parallel terminal costs one
+//! queue push + condvar wake instead of per-call thread creation.
 //!
-//! Side-effect terminals (`for_each`) schedule *adaptively*, approximating
-//! rayon's work stealing: workers claim the next pending item (or, for lazy
-//! ranges, the next block of the remaining range) from a shared atomic
-//! cursor whenever they drain their current one, so a handful of expensive
-//! items no longer serializes the whole pass behind one static chunk.
+//! Order-preserving terminals (`collect`, `sum`) write each result directly
+//! into its input slot of a pre-sized output buffer, so outputs are
+//! bit-identical to the serial order no matter how blocks interleave; on a
+//! single-thread pool (or inside an already-parallel region) everything
+//! runs serially, which matches rayon's semantics for deterministic,
+//! order-preserving pipelines. Side-effect terminals (`for_each`) schedule
+//! adaptively through the same block-claiming cursor.
 //!
 //! Integer ranges get a dedicated lazy implementation ([`RangePar`]): the
-//! range is split into per-worker subranges by arithmetic alone, so
-//! `(0..10u64.pow(8)).into_par_iter().map(f).sum()` never materializes an
-//! index vector — each worker streams its own contiguous window. Only the
-//! pipeline's *outputs* are ever collected.
+//! range is never materialized — workers claim index windows by arithmetic
+//! alone, so `(0..10u64.pow(8)).into_par_iter().map(f).sum()` only ever
+//! allocates the pipeline's *outputs*.
+//!
+//! Thread-count control (see [`current_num_threads`] for resolution order):
+//! [`set_global_threads`] (`--threads`), the `BAT_THREADS` environment
+//! variable, then `available_parallelism`. [`with_thread_limit`] overrides
+//! the count per calling thread, which lets tests sweep thread counts
+//! inside one process.
 
-use std::cell::Cell;
+use std::mem::{ManuallyDrop, MaybeUninit};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 
-thread_local! {
-    /// True while this thread is executing inside a parallel terminal;
-    /// nested parallel calls then run serially instead of over-spawning.
-    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
-}
+mod pool;
 
-/// Cached core count: `available_parallelism` is a syscall, and fine-grained
-/// callers (e.g. the evaluator's per-batch fan-out) hit `worker_count` on
-/// every parallel call.
-fn cores() -> usize {
-    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *CORES.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    })
-}
+pub use pool::{current_num_threads, set_global_threads, with_thread_limit};
+use pool::{worker_count, IN_PARALLEL};
 
-fn worker_count(items: usize) -> usize {
-    if items < 2 || IN_PARALLEL.with(Cell::get) {
-        return 1;
+/// Shared mutable output pointer for disjoint-slot writes across workers.
+/// Accessed only through [`OutPtr::write`] so closures capture the wrapper
+/// (with its `Sync` impl) rather than the raw pointer field.
+struct OutPtr<U>(*mut MaybeUninit<U>);
+// SAFETY: workers write disjoint slots (each index is claimed exactly once
+// by the block cursor), and the owning terminal joins every worker before
+// reading the buffer back.
+unsafe impl<U: Send> Send for OutPtr<U> {}
+unsafe impl<U: Send> Sync for OutPtr<U> {}
+
+impl<U> OutPtr<U> {
+    /// Write slot `i`.
+    ///
+    /// SAFETY: caller must hold the unique claim on index `i` and stay in
+    /// bounds of the buffer the pointer was taken from.
+    unsafe fn write(&self, i: usize, value: U) {
+        unsafe { self.0.add(i).write(MaybeUninit::new(value)) }
     }
-    cores().min(items)
 }
 
-/// Apply `f` to every item, in order, returning the results. Runs on
-/// multiple scoped threads when the host has more than one core.
+/// Shared input pointer for by-value reads of claimed items.
+struct InPtr<T>(*const T);
+// SAFETY: each item is `ptr::read` exactly once (disjoint block claims),
+// mirroring a by-value move into the claiming worker.
+unsafe impl<T: Send> Send for InPtr<T> {}
+unsafe impl<T: Send> Sync for InPtr<T> {}
+
+impl<T> InPtr<T> {
+    /// Move item `i` out of the buffer.
+    ///
+    /// SAFETY: caller must hold the unique claim on index `i` (each item is
+    /// read at most once) and stay in bounds.
+    unsafe fn read(&self, i: usize) -> T {
+        unsafe { std::ptr::read(self.0.add(i)) }
+    }
+}
+
+/// Convert a fully-written `Vec<MaybeUninit<U>>` into `Vec<U>`.
+///
+/// SAFETY: caller must guarantee every slot was initialized.
+unsafe fn assume_init_vec<U>(out: Vec<MaybeUninit<U>>) -> Vec<U> {
+    let mut out = ManuallyDrop::new(out);
+    let (ptr, len, cap) = (out.as_mut_ptr(), out.len(), out.capacity());
+    // SAFETY: MaybeUninit<U> and U have identical layout, and per the
+    // caller's contract every element is initialized.
+    unsafe { Vec::from_raw_parts(ptr.cast::<U>(), len, cap) }
+}
+
+/// Free a consumed input buffer without dropping its (moved-out) elements.
+fn free_consumed<T>(mut items: ManuallyDrop<Vec<T>>) {
+    // SAFETY: every element was moved out by `ptr::read`, so dropping the
+    // Vec at length 0 frees the allocation without double-dropping.
+    unsafe {
+        items.set_len(0);
+        ManuallyDrop::drop(&mut items);
+    }
+}
+
+/// Apply `f` to every item, returning the results in input order. Runs on
+/// the worker pool when more than one thread is available: workers claim
+/// blocks of indices and write each result straight into its input slot,
+/// so the output is bit-identical to the serial order.
 fn run_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
 where
     T: Send,
     U: Send,
     F: Fn(T) -> U + Sync,
 {
-    let workers = worker_count(items.len());
+    let n = items.len();
+    let workers = worker_count(n);
     if workers <= 1 {
         let was = IN_PARALLEL.with(|c| c.replace(true));
         let out = items.into_iter().map(f).collect();
         IN_PARALLEL.with(|c| c.set(was));
         return out;
     }
-    let chunk_len = items.len().div_ceil(workers);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
-    let mut items = items.into_iter();
-    loop {
-        let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
-        if chunk.is_empty() {
+    let mut out: Vec<MaybeUninit<U>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit slots need no initialization.
+    unsafe { out.set_len(n) };
+    let items = ManuallyDrop::new(items);
+    let src = InPtr(items.as_ptr());
+    let dst = OutPtr(out.as_mut_ptr());
+    // ~8 claims per worker balances skew against cursor traffic.
+    let block = (n / (workers * 8)).clamp(1, 1024);
+    let cursor = AtomicUsize::new(0);
+    let cursor = &cursor;
+    pool::run_parallel(workers, &move || loop {
+        let lo = cursor.fetch_add(block, Ordering::Relaxed);
+        if lo >= n {
             break;
         }
-        chunks.push(chunk);
-    }
-    let mut out: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    IN_PARALLEL.with(|c| c.set(true));
-                    chunk.into_iter().map(f).collect::<Vec<U>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            out.push(h.join().expect("rayon-compat worker panicked"));
+        let hi = (lo + block).min(n);
+        for i in lo..hi {
+            // SAFETY: index `i` belongs to exactly one claimed block, so
+            // the item is moved out once and the slot written once.
+            unsafe {
+                let item = src.read(i);
+                dst.write(i, f(item));
+            }
         }
     });
-    out.into_iter().flatten().collect()
+    // `run_parallel` panics on worker failure before reaching this point
+    // (the buffers then leak, which is safe); from here every item was
+    // consumed and every slot written.
+    free_consumed(items);
+    // SAFETY: all `n` slots initialized by the claim loop above.
+    unsafe { assume_init_vec(out) }
 }
 
 /// Apply `f` to every item with adaptive scheduling: each worker claims the
@@ -105,40 +156,31 @@ where
     T: Send,
     F: Fn(T) + Sync,
 {
-    let workers = worker_count(items.len());
+    let n = items.len();
+    let workers = worker_count(n);
     if workers <= 1 {
         let was = IN_PARALLEL.with(|c| c.replace(true));
         items.into_iter().for_each(f);
         IN_PARALLEL.with(|c| c.set(was));
         return;
     }
-    // ~8 claims per worker; each block is taken out of its slot exactly
-    // once, so the per-block lock is uncontended.
-    let block = (items.len() / (workers * 8)).clamp(1, 1024);
-    let mut blocks: Vec<Mutex<Vec<T>>> = Vec::with_capacity(items.len().div_ceil(block));
-    let mut items = items.into_iter();
-    loop {
-        let chunk: Vec<T> = items.by_ref().take(block).collect();
-        if chunk.is_empty() {
+    let items = ManuallyDrop::new(items);
+    let src = InPtr(items.as_ptr());
+    let block = (n / (workers * 8)).clamp(1, 1024);
+    let cursor = AtomicUsize::new(0);
+    let cursor = &cursor;
+    pool::run_parallel(workers, &move || loop {
+        let lo = cursor.fetch_add(block, Ordering::Relaxed);
+        if lo >= n {
             break;
         }
-        blocks.push(Mutex::new(chunk));
-    }
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                IN_PARALLEL.with(|c| c.set(true));
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(slot) = blocks.get(i) else { break };
-                    let chunk =
-                        std::mem::take(&mut *slot.lock().expect("rayon-compat worker panicked"));
-                    chunk.into_iter().for_each(f);
-                }
-            });
+        let hi = (lo + block).min(n);
+        for i in lo..hi {
+            // SAFETY: each index is claimed exactly once.
+            f(unsafe { src.read(i) });
         }
     });
+    free_consumed(items);
 }
 
 /// A materialized "parallel" iterator: the item list plus order-preserving
@@ -261,15 +303,17 @@ pub trait RangeIndex: Copy + Send + Sync {
 }
 
 /// A lazy parallel iterator over an integer range. Unlike [`ParIter`], the
-/// items are never materialized: each worker derives its contiguous
-/// subrange from `(start, len)` and streams it.
+/// items are never materialized: each worker derives claimed index windows
+/// from `(start, len)` and streams them.
 pub struct RangePar<T> {
     start: T,
     len: u64,
 }
 
-/// Stream `f` over `start..start+len`, split across workers, collecting the
-/// outputs in input order.
+/// Stream `f` over `start..start+len`, collecting the outputs in input
+/// order. Workers claim index windows from a shared cursor and write each
+/// output straight into its slot, so the result is bit-identical to the
+/// serial order without materializing the input range.
 fn run_range_map<T, U, F>(start: T, len: u64, f: &F) -> Vec<U>
 where
     T: RangeIndex,
@@ -287,28 +331,28 @@ where
         IN_PARALLEL.with(|c| c.set(was));
         return out;
     }
-    let chunk = len.div_ceil(workers as u64);
-    let mut parts: Vec<Vec<U>> = Vec::with_capacity(workers);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers as u64)
-            .map(|w| {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(len);
-                scope.spawn(move || {
-                    IN_PARALLEL.with(|c| c.set(true));
-                    let mut out = Vec::with_capacity((hi - lo) as usize);
-                    for k in lo..hi {
-                        out.push(f(start.offset(k)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            parts.push(h.join().expect("rayon-compat worker panicked"));
+    let mut out: Vec<MaybeUninit<U>> = Vec::with_capacity(items);
+    // SAFETY: MaybeUninit slots need no initialization.
+    unsafe { out.set_len(items) };
+    let dst = OutPtr(out.as_mut_ptr());
+    let block = (len / (workers as u64 * 8)).clamp(1, 65_536);
+    let cursor = AtomicU64::new(0);
+    let cursor = &cursor;
+    pool::run_parallel(workers, &move || loop {
+        let lo = cursor.fetch_add(block, Ordering::Relaxed);
+        if lo >= len {
+            break;
+        }
+        let hi = lo.saturating_add(block).min(len);
+        for k in lo..hi {
+            // SAFETY: window `lo..hi` is claimed exactly once, so each
+            // slot is written exactly once.
+            unsafe { dst.write(k as usize, f(start.offset(k))) };
         }
     });
-    parts.into_iter().flatten().collect()
+    // SAFETY: all slots initialized (run_parallel panics on failure first,
+    // leaking the buffer, which is safe).
+    unsafe { assume_init_vec(out) }
 }
 
 /// Stream `f` over the range for its side effects; nothing is collected, so
@@ -336,21 +380,15 @@ where
     // is capped so very long ranges still rebalance frequently.
     let block = (len / (workers as u64 * 8)).clamp(1, 65_536);
     let cursor = AtomicU64::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                IN_PARALLEL.with(|c| c.set(true));
-                loop {
-                    let lo = cursor.fetch_add(block, Ordering::Relaxed);
-                    if lo >= len {
-                        break;
-                    }
-                    let hi = lo.saturating_add(block).min(len);
-                    for k in lo..hi {
-                        f(start.offset(k));
-                    }
-                }
-            });
+    let cursor = &cursor;
+    pool::run_parallel(workers, &move || loop {
+        let lo = cursor.fetch_add(block, Ordering::Relaxed);
+        if lo >= len {
+            break;
+        }
+        let hi = lo.saturating_add(block).min(len);
+        for k in lo..hi {
+            f(start.offset(k));
         }
     });
 }
@@ -508,6 +546,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::with_thread_limit;
 
     #[test]
     fn map_sum_matches_serial() {
@@ -520,6 +559,20 @@ mod tests {
     fn collect_preserves_order() {
         let v: Vec<usize> = (0usize..1000).into_par_iter().map(|x| x + 1).collect();
         assert_eq!(v, (1usize..=1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_preserves_order_at_every_thread_count() {
+        for threads in 1..=6 {
+            let v: Vec<String> = with_thread_limit(threads, || {
+                (0usize..257)
+                    .into_par_iter()
+                    .map(|x| x.to_string())
+                    .collect()
+            });
+            let ser: Vec<String> = (0usize..257).map(|x| x.to_string()).collect();
+            assert_eq!(v, ser, "threads={threads}");
+        }
     }
 
     #[test]
@@ -607,5 +660,51 @@ mod tests {
             .collect();
         assert_eq!(out[0], 4950);
         assert_eq!(out[7], 4950 + 700);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            with_thread_limit(4, || {
+                (0u64..1000).into_par_iter().for_each(|x| {
+                    if x == 457 {
+                        panic!("boom");
+                    }
+                });
+            });
+        });
+        assert!(
+            result.is_err(),
+            "panic inside a parallel region must surface"
+        );
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_job() {
+        // A panicking job must not wedge or poison the pool for later calls.
+        let _ = std::panic::catch_unwind(|| {
+            with_thread_limit(4, || {
+                (0u64..64).into_par_iter().for_each(|_| panic!("boom"));
+            });
+        });
+        let v: Vec<u64> =
+            with_thread_limit(4, || (0u64..100).into_par_iter().map(|x| x * 3).collect());
+        assert_eq!(v, (0u64..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_types_are_freed_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted(#[allow(dead_code)] u64);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let items: Vec<Counted> = (0..501).map(Counted).collect();
+        let lens: Vec<u64> = with_thread_limit(3, || items.into_par_iter().map(|c| c.0).collect());
+        assert_eq!(lens.len(), 501);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 501);
     }
 }

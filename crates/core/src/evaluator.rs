@@ -124,7 +124,38 @@ thread_local! {
     /// Per-thread configuration decode scratch: `evaluate_index` sits in
     /// every tuner's inner loop, so the per-call `Vec<i64>` is hoisted here.
     static CONFIG_SCRATCH: RefCell<Vec<i64>> = const { RefCell::new(Vec::new()) };
+
+    /// Reusable dedup scratch for the batch paths: the ask/tell driver
+    /// calls `evaluate_batch` once per generation, so its bookkeeping
+    /// buffers are hoisted here instead of being reallocated per call.
+    static BATCH_SCRATCH: RefCell<BatchScratch> = RefCell::new(BatchScratch::default());
+
+    /// Two flat per-worker decode banks for the pipelined large-batch path
+    /// (`measure_many`): a worker decodes each claimed block into one bank
+    /// and measures from it while the *other* bank is free for the next
+    /// block's decode, so consecutive blocks never alias.
+    static DECODE_BANKS: RefCell<[Vec<i64>; 2]> = const { RefCell::new([Vec::new(), Vec::new()]) };
 }
+
+/// Scratch buffers reused across `evaluate_batch` calls on one thread.
+#[derive(Default)]
+struct BatchScratch {
+    /// Unique cache-missing indices, in first-occurrence order.
+    to_measure: Vec<u64>,
+    /// `(output position, to_measure slot)` for every cache miss.
+    occurrences: Vec<(usize, usize)>,
+    /// First-occurrence slot per output position (faulty path).
+    slots: Vec<usize>,
+    /// Index → slot map for batches too large for a linear dedup scan.
+    slot_of: HashMap<u64, usize>,
+    /// Last output position of each slot (the occurrence that receives the
+    /// measured value by move instead of by clone).
+    last: Vec<usize>,
+}
+
+/// Batches up to this size deduplicate by linear scan; larger ones switch
+/// to the hash map (cleared, not reallocated, per call).
+const DEDUP_SCAN_MAX: usize = 128;
 
 /// Salt folded into the energy noise stream so a configuration's energy
 /// samples scatter independently of its time samples (a real power meter
@@ -135,6 +166,9 @@ const ENERGY_NOISE_STREAM: u64 = 0x656e_6572_6779_u64; // "energy"
 pub struct Evaluator<'p> {
     problem: &'p dyn TuningProblem,
     protocol: Protocol,
+    /// `mix(problem.noise_salt(), protocol.seed)`, fixed at construction —
+    /// the problem name/platform hash is not worth redoing per measurement.
+    noise_salt: u64,
     measure_energy: bool,
     cache_enabled: bool,
     cache: Vec<Mutex<HashMap<u64, Result<Measurement, EvalFailure>>>>,
@@ -156,6 +190,7 @@ impl<'p> Evaluator<'p> {
     pub fn with_protocol(problem: &'p dyn TuningProblem, protocol: Protocol) -> Self {
         Evaluator {
             problem,
+            noise_salt: bat_gpusim::mix(problem.noise_salt(), protocol.seed),
             protocol,
             measure_energy: false,
             cache_enabled: true,
@@ -345,63 +380,131 @@ impl<'p> Evaluator<'p> {
 
         if !self.cache_enabled {
             // No memoization: every occurrence re-measures, as serially.
-            let out: Vec<Result<Measurement, EvalFailure>> = indices
-                .par_iter()
-                .map(|&idx| self.decode_and_measure(idx))
-                .collect();
+            let out = self.measure_many(indices);
             self.distinct.fetch_add(claimed as u64, Ordering::Relaxed);
             return out;
         }
 
-        // Partition into cache hits and a deduplicated measurement list
-        // (first-occurrence order, so `distinct` counts match serial calls).
-        // Small batches — the driver's common case — dedup by linear scan
-        // to avoid a per-call HashMap allocation.
-        let mut out: Vec<Option<Result<Measurement, EvalFailure>>> = vec![None; claimed];
-        let mut to_measure: Vec<u64> = Vec::new();
-        let mut slot_of: Option<HashMap<u64, usize>> = (claimed > 128).then(HashMap::new);
-        let mut occurrences: Vec<(usize, usize)> = Vec::new();
-        for (i, &idx) in indices.iter().enumerate() {
-            if let Some(hit) = self.shard(idx).lock().get(&idx) {
-                out[i] = Some(hit.clone());
-                continue;
+        BATCH_SCRATCH.with(|s| {
+            let scratch = &mut *s.borrow_mut();
+            scratch.to_measure.clear();
+            scratch.occurrences.clear();
+            let use_map = claimed > DEDUP_SCAN_MAX;
+            if use_map {
+                scratch.slot_of.clear();
             }
-            let slot = match &mut slot_of {
-                Some(map) => *map.entry(idx).or_insert_with(|| {
-                    to_measure.push(idx);
-                    to_measure.len() - 1
-                }),
-                None => match to_measure.iter().position(|&m| m == idx) {
-                    Some(slot) => slot,
-                    None => {
-                        to_measure.push(idx);
-                        to_measure.len() - 1
-                    }
-                },
-            };
-            occurrences.push((i, slot));
-        }
 
-        // Measure the unique misses in parallel (deterministic per index,
-        // collected in order), then publish through the entry API so
-        // `distinct` counts each configuration exactly once under races.
-        let measured: Vec<Result<Measurement, EvalFailure>> = to_measure
-            .par_iter()
-            .map(|&idx| self.decode_and_measure(idx))
-            .collect();
-        for (&idx, result) in to_measure.iter().zip(&measured) {
-            if let std::collections::hash_map::Entry::Vacant(e) = self.shard(idx).lock().entry(idx)
-            {
-                e.insert(result.clone());
-                self.distinct.fetch_add(1, Ordering::Relaxed);
+            // Partition into cache hits and a deduplicated measurement
+            // list (first-occurrence order, so `distinct` counts match
+            // serial calls). Every placeholder below is overwritten: each
+            // position is either a hit or recorded in `occurrences`.
+            let mut out: Vec<Result<Measurement, EvalFailure>> =
+                vec![Err(EvalFailure::Restricted); claimed];
+            for (i, &idx) in indices.iter().enumerate() {
+                if let Some(hit) = self.shard(idx).lock().get(&idx) {
+                    out[i] = hit.clone();
+                    continue;
+                }
+                let slot = if use_map {
+                    *scratch.slot_of.entry(idx).or_insert_with(|| {
+                        scratch.to_measure.push(idx);
+                        scratch.to_measure.len() - 1
+                    })
+                } else {
+                    match scratch.to_measure.iter().position(|&m| m == idx) {
+                        Some(slot) => slot,
+                        None => {
+                            scratch.to_measure.push(idx);
+                            scratch.to_measure.len() - 1
+                        }
+                    }
+                };
+                scratch.occurrences.push((i, slot));
             }
+
+            // Measure the unique misses in parallel (deterministic per
+            // index, collected in order), then publish through the entry
+            // API so `distinct` counts each configuration exactly once
+            // under races.
+            let mut measured = self.measure_many(&scratch.to_measure);
+            for (&idx, result) in scratch.to_measure.iter().zip(&measured) {
+                if let std::collections::hash_map::Entry::Vacant(e) =
+                    self.shard(idx).lock().entry(idx)
+                {
+                    e.insert(result.clone());
+                    self.distinct.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // Fill the outputs: each unique result *moves* into its last
+            // occurrence and only extra duplicates clone, so a dup-free
+            // batch pays one clone per configuration (the memo's), not two.
+            scratch.last.clear();
+            scratch.last.resize(measured.len(), usize::MAX);
+            for &(i, slot) in &scratch.occurrences {
+                scratch.last[slot] = i;
+            }
+            for &(i, slot) in &scratch.occurrences {
+                out[i] = if scratch.last[slot] == i {
+                    std::mem::replace(&mut measured[slot], Err(EvalFailure::Restricted))
+                } else {
+                    measured[slot].clone()
+                };
+            }
+            out
+        })
+    }
+
+    /// Measure a list of indices in parallel, returning results in input
+    /// order (deterministic per index).
+    ///
+    /// Short lists fan each index out over the worker pool directly. Large
+    /// lists take a pipelined two-phase path: workers claim fixed-size
+    /// blocks, decode the whole block into one of two per-worker scratch
+    /// banks, then measure from that bank — decode of one block overlaps
+    /// measurement of others across workers, and the banks alternate
+    /// (double-buffering) so a block's decode never aliases the bank its
+    /// worker's previous measure phase read from.
+    fn measure_many(&self, indices: &[u64]) -> Vec<Result<Measurement, EvalFailure>> {
+        /// Indices per pipelined block: big enough to amortize the bank
+        /// resize and keep the decode loop tight, small enough to stay in
+        /// cache next to the measurement state.
+        const PIPE_BLOCK: usize = 64;
+        if indices.len() < 2 * PIPE_BLOCK {
+            return (0..indices.len())
+                .into_par_iter()
+                .map(|k| self.decode_and_measure(indices[k]))
+                .collect();
         }
-        for (i, slot) in occurrences {
-            out[i] = Some(measured[slot].clone());
+        let space = self.problem.space();
+        let nparams = space.num_params();
+        let blocks = indices.len().div_ceil(PIPE_BLOCK);
+        let parts: Vec<Vec<Result<Measurement, EvalFailure>>> = (0..blocks)
+            .into_par_iter()
+            .map(|b| {
+                let lo = b * PIPE_BLOCK;
+                let hi = (lo + PIPE_BLOCK).min(indices.len());
+                DECODE_BANKS.with(|banks| {
+                    let mut banks = banks.borrow_mut();
+                    let bank = &mut banks[b & 1];
+                    bank.resize((hi - lo) * nparams, 0);
+                    // Phase 1: decode the whole block back-to-back.
+                    for (j, &idx) in indices[lo..hi].iter().enumerate() {
+                        space.decode_into(idx, &mut bank[j * nparams..(j + 1) * nparams]);
+                    }
+                    // Phase 2: measure from the decoded bank.
+                    indices[lo..hi]
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &idx)| self.measure(idx, &bank[j * nparams..(j + 1) * nparams]))
+                        .collect()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(indices.len());
+        for part in parts {
+            out.extend(part);
         }
-        out.into_iter()
-            .map(|r| r.expect("every slot filled"))
-            .collect()
+        out
     }
 
     /// Evaluate a configuration by value vector. Returns `None` when the
@@ -436,32 +539,57 @@ impl<'p> Evaluator<'p> {
                 .collect();
         }
         // Deduplicate to first-occurrence slots (linear scan for the small
-        // batches the driver emits, HashMap beyond that).
+        // batches the driver emits, HashMap beyond that), reusing the
+        // per-thread scratch buffers.
         let claimed = indices.len();
-        let mut uniq: Vec<u64> = Vec::new();
-        let mut slot_of: Option<HashMap<u64, usize>> = (claimed > 128).then(HashMap::new);
-        let mut slots: Vec<usize> = Vec::with_capacity(claimed);
-        for &idx in indices {
-            let slot = match &mut slot_of {
-                Some(map) => *map.entry(idx).or_insert_with(|| {
-                    uniq.push(idx);
-                    uniq.len() - 1
-                }),
-                None => match uniq.iter().position(|&u| u == idx) {
-                    Some(slot) => slot,
-                    None => {
-                        uniq.push(idx);
-                        uniq.len() - 1
+        BATCH_SCRATCH.with(|s| {
+            let scratch = &mut *s.borrow_mut();
+            scratch.to_measure.clear();
+            scratch.slots.clear();
+            let use_map = claimed > DEDUP_SCAN_MAX;
+            if use_map {
+                scratch.slot_of.clear();
+            }
+            for &idx in indices {
+                let slot = if use_map {
+                    *scratch.slot_of.entry(idx).or_insert_with(|| {
+                        scratch.to_measure.push(idx);
+                        scratch.to_measure.len() - 1
+                    })
+                } else {
+                    match scratch.to_measure.iter().position(|&u| u == idx) {
+                        Some(slot) => slot,
+                        None => {
+                            scratch.to_measure.push(idx);
+                            scratch.to_measure.len() - 1
+                        }
                     }
-                },
-            };
-            slots.push(slot);
-        }
-        let measured: Vec<Result<Measurement, EvalFailure>> = uniq
-            .par_iter()
-            .map(|&idx| self.evaluate_faulty(idx))
-            .collect();
-        slots.into_iter().map(|s| measured[s].clone()).collect()
+                };
+                scratch.slots.push(slot);
+            }
+            let uniq = &scratch.to_measure;
+            let mut measured: Vec<Result<Measurement, EvalFailure>> = (0..uniq.len())
+                .into_par_iter()
+                .map(|k| self.evaluate_faulty(uniq[k]))
+                .collect();
+            // Move each unique outcome into its last occurrence; only
+            // extra duplicates clone.
+            scratch.last.clear();
+            scratch.last.resize(measured.len(), usize::MAX);
+            for (i, &slot) in scratch.slots.iter().enumerate() {
+                scratch.last[slot] = i;
+            }
+            let mut out: Vec<Result<Measurement, EvalFailure>> =
+                vec![Err(EvalFailure::Restricted); claimed];
+            for (i, &slot) in scratch.slots.iter().enumerate() {
+                out[i] = if scratch.last[slot] == i {
+                    std::mem::replace(&mut measured[slot], Err(EvalFailure::Restricted))
+                } else {
+                    measured[slot].clone()
+                };
+            }
+            out
+        })
     }
 
     /// One budget-charged evaluation under the installed fault model: cache
@@ -576,7 +704,7 @@ impl<'p> Evaluator<'p> {
     ) -> Result<Measurement, EvalFailure> {
         let faults = self.faults.as_ref().expect("fault path without a model");
         let model = &faults.model;
-        let salt = bat_gpusim::mix(self.problem.noise_salt(), self.protocol.seed);
+        let salt = self.noise_salt;
         let fsalt = model.salt_for(salt);
         let (pure, pure_energy) = if self.measure_energy {
             self.problem.evaluate_pure2(config)?
@@ -623,7 +751,7 @@ impl<'p> Evaluator<'p> {
     }
 
     fn measure(&self, index: u64, config: &[i64]) -> Result<Measurement, EvalFailure> {
-        let salt = bat_gpusim::mix(self.problem.noise_salt(), self.protocol.seed);
+        let salt = self.noise_salt;
         let (pure, pure_energy) = if self.measure_energy {
             self.problem.evaluate_pure2(config)?
         } else {

@@ -68,9 +68,32 @@ pub struct Measurement {
 }
 
 /// Median of a non-empty sample vector (the suite's robust aggregate).
+///
+/// Protocol run counts are tiny (5 by default), so small inputs sort on
+/// the stack via insertion sort — same ascending order, same median, no
+/// allocation. `from_samples` sits on the evaluator's hot path.
 fn median(samples: &[f64]) -> f64 {
+    let n = samples.len();
+    if n <= 16 {
+        let mut buf = [0.0f64; 16];
+        for (i, &s) in samples.iter().enumerate() {
+            assert!(!s.is_nan(), "NaN sample");
+            let mut j = i;
+            while j > 0 && buf[j - 1] > s {
+                buf[j] = buf[j - 1];
+                j -= 1;
+            }
+            buf[j] = s;
+        }
+        return mid_of(&buf[..n]);
+    }
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    mid_of(&sorted)
+}
+
+/// Median of an already-sorted non-empty slice.
+fn mid_of(sorted: &[f64]) -> f64 {
     let mid = sorted.len() / 2;
     if sorted.len() % 2 == 1 {
         sorted[mid]

@@ -9,17 +9,18 @@
 use std::process::ExitCode;
 
 use bat_harness::{
-    load_result_file, load_spec_file, merge_files, report_run, run_spec_to_file, CampaignSummary,
-    ExperimentSpec, ShardSpec,
+    convergence_auc, load_result_file, load_spec_file, merge_files, render_table, report_run,
+    run_campaign, run_spec_to_file, CampaignSummary, ExperimentSpec, ShardSpec,
 };
 
 const HELP: &str = "\
 bat-harness — declarative experiment orchestration for BAT-rs
 
 USAGE:
-    bat-harness run --spec FILE [--out FILE] [--resume] [--serial] [--strict] [--quiet] [--shard I/N] [--batch N] [--fault-rate R]
+    bat-harness run --spec FILE [--out FILE] [--resume] [--serial] [--strict] [--quiet] [--shard I/N] [--batch N] [--fault-rate R] [--threads N]
     bat-harness merge --spec FILE --inputs A,B,... --out FILE [--quiet]
     bat-harness summary --input FILE
+    bat-harness sweep-batch --spec FILE [--batches 1,4,16,64] [--threads N]
     bat-harness trials --spec FILE
 
 COMMANDS:
@@ -29,6 +30,10 @@ COMMANDS:
     merge      merge shard artifacts into the complete campaign artifact
                (missing trials execute); byte-identical to the unsharded run
     summary    print the summary tables of an existing result artifact
+    sweep-batch
+               run the spec once per batch size and print the batch-vs-
+               quality view: throughput, mean final best and mean
+               convergence AUC per batch size (see specs/batch-sweep.json)
     trials     list the compiled trials of a spec without running them
 
 OPTIONS:
@@ -46,6 +51,10 @@ OPTIONS:
                    an otherwise-default fault block collapses to absent, so
                    `--fault-rate 0` reproduces the fault-free artifact
                    byte for byte)
+    --threads N    worker-pool size for parallel evaluation (precedence:
+                   --threads, then the BAT_THREADS environment variable,
+                   then available_parallelism; artifacts are byte-identical
+                   at every setting)
     --inputs A,B   comma-separated shard artifacts to merge
     --strict       exit non-zero if any trial found no valid configuration
     --quiet        suppress the summary tables and throughput line
@@ -81,7 +90,23 @@ fn parse_shard(s: &str) -> Result<ShardSpec, String> {
     Ok(ShardSpec { index, count })
 }
 
+/// Apply a `--threads N` option, if present, before any parallel work runs.
+fn apply_threads(args: &[String]) -> Result<(), String> {
+    if let Some(threads) = opt(args, "--threads") {
+        let n: usize = threads
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("--threads expects a positive integer, got {threads:?}"))?;
+        if !rayon::set_global_threads(n) {
+            return Err("--threads came too late: the worker pool already started".into());
+        }
+    }
+    Ok(())
+}
+
 fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    apply_threads(args)?;
     let mut spec = load_spec(args)?;
     if let Some(shard) = opt(args, "--shard") {
         spec.shard = Some(parse_shard(&shard)?);
@@ -139,6 +164,97 @@ fn cmd_merge(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `sweep-batch` — the batch-vs-quality view: run the same campaign at
+/// several `protocol.batch` values and tabulate, per batch size, the
+/// measurement throughput against the search quality it buys (mean final
+/// best and mean convergence AUC against a sweep-wide per-cell reference).
+/// Quality at `batch = 1` is the serial protocol's; larger batches trade
+/// staler search state for batched measurement, and this table is how that
+/// trade is audited.
+fn cmd_sweep_batch(args: &[String]) -> Result<ExitCode, String> {
+    apply_threads(args)?;
+    let base = load_spec(args)?;
+    let batches: Vec<u32> = opt(args, "--batches")
+        .unwrap_or_else(|| "1,4,16,64".into())
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<u32>()
+                .ok()
+                .filter(|&b| b >= 1)
+                .ok_or_else(|| format!("bad --batches entry {s:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if batches.is_empty() {
+        return Err("--batches names no sizes".into());
+    }
+
+    let mut runs = Vec::new();
+    for &batch in &batches {
+        let mut spec = base.clone();
+        spec.protocol.set_batch(batch);
+        let run = run_campaign(&spec).map_err(|e| e.to_string())?;
+        eprintln!(
+            "batch {batch:4}: {} trials in {:.2}s",
+            run.executed,
+            run.wall.as_secs_f64()
+        );
+        runs.push((batch, run));
+    }
+
+    // Sweep-wide per-cell reference: the best objective any batch size
+    // found in a benchmark × architecture cell, so AUC is comparable
+    // across batch sizes.
+    let mut cell_best: std::collections::BTreeMap<(String, String), f64> =
+        std::collections::BTreeMap::new();
+    for (_, run) in &runs {
+        for t in &run.result.trials {
+            if let Some(ms) = t.best_ms {
+                let key = (t.benchmark.clone(), t.architecture.clone());
+                let slot = cell_best.entry(key).or_insert(f64::INFINITY);
+                *slot = slot.min(ms);
+            }
+        }
+    }
+
+    let fmt_opt = |v: Option<f64>, digits: usize| match v {
+        Some(x) => format!("{x:.digits$}"),
+        None => "—".into(),
+    };
+    let mean = |xs: &[f64]| (!xs.is_empty()).then(|| xs.iter().sum::<f64>() / xs.len() as f64);
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|(batch, run)| {
+            let bests: Vec<f64> = run.result.trials.iter().filter_map(|t| t.best_ms).collect();
+            let aucs: Vec<f64> = run
+                .result
+                .trials
+                .iter()
+                .filter_map(|t| {
+                    let key = (t.benchmark.clone(), t.architecture.clone());
+                    convergence_auc(t, *cell_best.get(&key)?)
+                })
+                .collect();
+            let rate = run.executed_evals as f64 / run.wall.as_secs_f64().max(1e-9);
+            vec![
+                batch.to_string(),
+                format!("{:.1}", rate / 1e3),
+                fmt_opt(mean(&bests), 4),
+                fmt_opt(mean(&aucs), 4),
+                format!("{}/{}", bests.len(), run.result.trials.len()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["batch", "evals/s (k)", "mean best ms", "mean AUC", "solved"],
+            &rows
+        )
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_summary(args: &[String]) -> Result<ExitCode, String> {
     let path = opt(args, "--input").ok_or("--input FILE is required")?;
     let result = load_result_file(&path)?;
@@ -186,6 +302,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
         Some("summary") => cmd_summary(&args[1..]),
+        Some("sweep-batch") => cmd_sweep_batch(&args[1..]),
         Some("trials") => cmd_trials(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
             print!("{HELP}");

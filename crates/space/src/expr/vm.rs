@@ -66,6 +66,14 @@ pub enum Op {
     Min(u32),
     /// Pop `n` values, push the maximum.
     Max(u32),
+    /// Superinstruction: push `values[a] * values[b]` (peephole-fused
+    /// `Load a; Load b; Bin(Mul)` — the dominant shape in real restriction
+    /// sets, e.g. every CLBlast divisibility check).
+    MulLL(u32, u32),
+    /// Superinstruction: pop rhs then lhs, push `lhs % rhs == 0` as 0/1
+    /// (peephole-fused `Bin(Mod); PushInt(0); Cmp(Eq)`). A zero rhs pushes
+    /// 0, exactly like the unfused NaN-poisoned comparison.
+    DivisibleBy,
 }
 
 /// Constant-fold a compiled expression: every subtree without slot
@@ -184,11 +192,34 @@ pub fn fold(expr: &CompiledExpr) -> CompiledExpr {
     }
 }
 
+/// How a program may be evaluated on a raw `i64` stack (decided once at
+/// compile time). See [`Program::run_int`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum IntMode {
+    /// Contains float literals or a mix of promoting operators; always
+    /// interpret over [`Num`].
+    Num,
+    /// No instruction can produce a float: plain wrapping `i64` arithmetic
+    /// is exact [`Num`] semantics (bar zero divisors, which bail out).
+    Pure,
+    /// True division is the only float producer: run on `i64` restricted
+    /// to exactly-representable values, bailing out when a division isn't
+    /// exact.
+    ExactDiv,
+}
+
+/// Largest magnitude exactly representable in an `f64` (2⁵³). The
+/// [`IntMode::ExactDiv`] interpreter stays within this envelope so its
+/// integer results are bit-equal to the promoted-float results of the
+/// [`Num`] interpreter.
+const EXACT_F64: i64 = 1 << 53;
+
 /// A restriction compiled to flat bytecode.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     ops: Vec<Op>,
     max_stack: usize,
+    int_mode: IntMode,
 }
 
 impl Program {
@@ -204,8 +235,30 @@ impl Program {
     pub(crate) fn compile_prefolded(folded: &CompiledExpr) -> Program {
         let mut ops = Vec::new();
         emit(folded, &mut ops);
+        let ops = peephole(ops);
         let max_stack = simulate_stack(&ops);
-        Program { ops, max_stack }
+        let has_float = ops.iter().any(|op| matches!(op, Op::PushFloat(_)));
+        let has_div = ops.iter().any(|op| matches!(op, Op::Bin(BinOp::Div)));
+        let has_inexact_int = ops
+            .iter()
+            .any(|op| matches!(op, Op::Bin(BinOp::FloorDiv | BinOp::Pow)));
+        let int_mode = if has_float {
+            IntMode::Num
+        } else if !has_div {
+            IntMode::Pure
+        } else if !has_inexact_int {
+            // Floor division and `**` disagree between their int and
+            // promoted-float forms on edge inputs, so mixing them with true
+            // division keeps the full interpreter.
+            IntMode::ExactDiv
+        } else {
+            IntMode::Num
+        };
+        Program {
+            ops,
+            max_stack,
+            int_mode,
+        }
     }
 
     /// True when the program is a constant (the restriction never looks at
@@ -247,8 +300,30 @@ impl Program {
     }
 
     /// Evaluate as a boolean (Python truthiness).
+    ///
+    /// Restriction checks are the suite's hottest loop, and almost every
+    /// restriction in practice is pure integer arithmetic — those run on a
+    /// raw `i64` stack with no [`Num`] tag dispatch, falling back to the
+    /// full interpreter only when a zero divisor would promote to NaN.
     #[inline]
     pub fn eval_bool(&self, values: &[i64]) -> bool {
+        if self.max_stack <= INLINE_STACK {
+            match self.int_mode {
+                IntMode::Pure => {
+                    let mut stack = [0i64; INLINE_STACK];
+                    if let Some(v) = self.run_int::<false>(values, &mut stack) {
+                        return v != 0;
+                    }
+                }
+                IntMode::ExactDiv => {
+                    let mut stack = [0i64; INLINE_STACK];
+                    if let Some(v) = self.run_int::<true>(values, &mut stack) {
+                        return v != 0;
+                    }
+                }
+                IntMode::Num => {}
+            }
+        }
         self.eval_num(values).truthy()
     }
 
@@ -357,11 +432,229 @@ impl Program {
                     sp -= n - 1;
                     stack[sp - 1] = best;
                 }
+                Op::MulLL(a, b) => {
+                    stack[sp] = Num::Int(values[a as usize]).mul(Num::Int(values[b as usize]));
+                    sp += 1;
+                }
+                Op::DivisibleBy => {
+                    let rhs = stack[sp - 1];
+                    let lhs = stack[sp - 2];
+                    sp -= 1;
+                    stack[sp - 1] = Num::Int(i64::from(lhs.rem(rhs).eq_num(Num::Int(0))));
+                }
             }
             pc += 1;
         }
         debug_assert_eq!(sp, 1, "program must leave exactly one value");
         stack[0]
+    }
+
+    /// Evaluate on a plain `i64` stack ([`IntMode::Pure`] and
+    /// [`IntMode::ExactDiv`] programs).
+    ///
+    /// Mirrors the `Num::Int` arm of every operation in [`Program::run`]
+    /// exactly (wrapping arithmetic, Python modulo/floor-division signs,
+    /// saturating `**`). Returns `None` whenever the [`Num`] interpreter
+    /// could diverge — a zero divisor or oversized exponent (promoting to
+    /// float NaN), and in `GUARD` mode any inexact division or value
+    /// outside the [`EXACT_F64`] envelope; the caller then reruns on the
+    /// full interpreter. `GUARD` mode admits true division: inside the
+    /// envelope an exact integer quotient is bit-equal to the promoted
+    /// float one, and so is everything downstream of it.
+    fn run_int<const GUARD: bool>(&self, values: &[i64], stack: &mut [i64]) -> Option<i64> {
+        let mut sp = 0usize;
+        let mut pc = 0usize;
+        let ops = &self.ops;
+        while pc < ops.len() {
+            match ops[pc] {
+                Op::PushInt(i) => {
+                    if GUARD && i.abs() > EXACT_F64 {
+                        return None;
+                    }
+                    stack[sp] = i;
+                    sp += 1;
+                }
+                Op::PushFloat(_) => return None,
+                Op::Load(slot) => {
+                    let v = values[slot as usize];
+                    if GUARD && v.abs() > EXACT_F64 {
+                        return None;
+                    }
+                    stack[sp] = v;
+                    sp += 1;
+                }
+                Op::Neg => stack[sp - 1] = stack[sp - 1].wrapping_neg(),
+                Op::Not => stack[sp - 1] = i64::from(stack[sp - 1] == 0),
+                Op::Truthy => stack[sp - 1] = i64::from(stack[sp - 1] != 0),
+                Op::Bin(op) => {
+                    let rhs = stack[sp - 1];
+                    let lhs = stack[sp - 2];
+                    sp -= 1;
+                    stack[sp - 1] = match op {
+                        BinOp::Add => {
+                            if GUARD {
+                                let r = lhs + rhs;
+                                if r.abs() > EXACT_F64 {
+                                    return None;
+                                }
+                                r
+                            } else {
+                                lhs.wrapping_add(rhs)
+                            }
+                        }
+                        BinOp::Sub => {
+                            if GUARD {
+                                let r = lhs - rhs;
+                                if r.abs() > EXACT_F64 {
+                                    return None;
+                                }
+                                r
+                            } else {
+                                lhs.wrapping_sub(rhs)
+                            }
+                        }
+                        BinOp::Mul => {
+                            if GUARD {
+                                let r = lhs.checked_mul(rhs)?;
+                                if r.abs() > EXACT_F64 {
+                                    return None;
+                                }
+                                r
+                            } else {
+                                lhs.wrapping_mul(rhs)
+                            }
+                        }
+                        BinOp::Div => {
+                            // Reached only in GUARD mode. Exact quotients
+                            // stay integral; anything else falls back.
+                            if rhs == 0 || lhs % rhs != 0 {
+                                return None;
+                            }
+                            lhs / rhs
+                        }
+                        BinOp::FloorDiv => {
+                            if rhs == 0 {
+                                return None;
+                            }
+                            lhs.div_euclid(rhs)
+                        }
+                        BinOp::Mod => {
+                            if rhs == 0 {
+                                return None;
+                            }
+                            let r = lhs % rhs;
+                            if r != 0 && (r < 0) != (rhs < 0) {
+                                r + rhs
+                            } else {
+                                r
+                            }
+                        }
+                        BinOp::Pow => {
+                            if !(0..=62).contains(&rhs) {
+                                return None;
+                            }
+                            lhs.checked_pow(rhs as u32).unwrap_or(i64::MAX)
+                        }
+                        BinOp::And | BinOp::Or => {
+                            unreachable!("logical ops compile to jumps")
+                        }
+                    };
+                }
+                Op::Cmp(op) => {
+                    let rhs = stack[sp - 1];
+                    let lhs = stack[sp - 2];
+                    sp -= 1;
+                    stack[sp - 1] = i64::from(int_cmp_holds(op, lhs, rhs));
+                }
+                Op::ChainCmp { op, end } => {
+                    let rhs = stack[sp - 1];
+                    let lhs = stack[sp - 2];
+                    sp -= 1;
+                    if int_cmp_holds(op, lhs, rhs) {
+                        stack[sp - 1] = rhs;
+                    } else {
+                        stack[sp - 1] = 0;
+                        pc = end as usize;
+                        continue;
+                    }
+                }
+                Op::JumpIfFalse(end) => {
+                    if stack[sp - 1] != 0 {
+                        sp -= 1;
+                    } else {
+                        stack[sp - 1] = 0;
+                        pc = end as usize;
+                        continue;
+                    }
+                }
+                Op::JumpIfTrue(end) => {
+                    if stack[sp - 1] != 0 {
+                        stack[sp - 1] = 1;
+                        pc = end as usize;
+                        continue;
+                    }
+                    sp -= 1;
+                }
+                Op::Abs => stack[sp - 1] = stack[sp - 1].wrapping_abs(),
+                Op::Min(n) => {
+                    let n = n as usize;
+                    let mut best = stack[sp - n];
+                    for i in 1..n {
+                        best = best.min(stack[sp - n + i]);
+                    }
+                    sp -= n - 1;
+                    stack[sp - 1] = best;
+                }
+                Op::Max(n) => {
+                    let n = n as usize;
+                    let mut best = stack[sp - n];
+                    for i in 1..n {
+                        best = best.max(stack[sp - n + i]);
+                    }
+                    sp -= n - 1;
+                    stack[sp - 1] = best;
+                }
+                Op::MulLL(a, b) => {
+                    let (va, vb) = (values[a as usize], values[b as usize]);
+                    stack[sp] = if GUARD {
+                        if va.abs() > EXACT_F64 || vb.abs() > EXACT_F64 {
+                            return None;
+                        }
+                        let r = va.checked_mul(vb)?;
+                        if r.abs() > EXACT_F64 {
+                            return None;
+                        }
+                        r
+                    } else {
+                        va.wrapping_mul(vb)
+                    };
+                    sp += 1;
+                }
+                Op::DivisibleBy => {
+                    let rhs = stack[sp - 1];
+                    let lhs = stack[sp - 2];
+                    sp -= 1;
+                    // A zero divisor makes the unfused form compare NaN
+                    // against 0 — false either way, no fallback needed.
+                    stack[sp - 1] = i64::from(rhs != 0 && lhs % rhs == 0);
+                }
+            }
+            pc += 1;
+        }
+        debug_assert_eq!(sp, 1, "program must leave exactly one value");
+        Some(stack[0])
+    }
+}
+
+#[inline]
+fn int_cmp_holds(op: CmpOp, lhs: i64, rhs: i64) -> bool {
+    match op {
+        CmpOp::Eq => lhs == rhs,
+        CmpOp::Ne => lhs != rhs,
+        CmpOp::Lt => lhs < rhs,
+        CmpOp::Le => lhs <= rhs,
+        CmpOp::Gt => lhs > rhs,
+        CmpOp::Ge => lhs >= rhs,
     }
 }
 
@@ -444,6 +737,51 @@ fn emit(expr: &CompiledExpr, ops: &mut Vec<Op>) {
     }
 }
 
+/// Peephole-fuse hot instruction triples into superinstructions:
+/// `Load a; Load b; Bin(Mul)` becomes [`Op::MulLL`] and
+/// `Bin(Mod); PushInt(0); Cmp(Eq)` becomes [`Op::DivisibleBy`]. Together
+/// they collapse the dominant restriction shape — CLBlast-style
+/// `X % (A * B) == 0` divisibility checks — from seven dispatches to
+/// three. Fusion never spans a jump target, and surviving jump targets are
+/// remapped to the new indices.
+fn peephole(ops: Vec<Op>) -> Vec<Op> {
+    let mut is_target = vec![false; ops.len() + 1];
+    for op in &ops {
+        if let Op::JumpIfFalse(t) | Op::JumpIfTrue(t) | Op::ChainCmp { end: t, .. } = op {
+            is_target[*t as usize] = true;
+        }
+    }
+    let mut out: Vec<Op> = Vec::with_capacity(ops.len());
+    let mut map = vec![0u32; ops.len() + 1];
+    let mut i = 0usize;
+    while i < ops.len() {
+        map[i] = out.len() as u32;
+        if i + 2 < ops.len() && !is_target[i + 1] && !is_target[i + 2] {
+            let fused = match (ops[i], ops[i + 1], ops[i + 2]) {
+                (Op::Load(a), Op::Load(b), Op::Bin(BinOp::Mul)) => Some(Op::MulLL(a, b)),
+                (Op::Bin(BinOp::Mod), Op::PushInt(0), Op::Cmp(CmpOp::Eq)) => Some(Op::DivisibleBy),
+                _ => None,
+            };
+            if let Some(op) = fused {
+                map[i + 1] = out.len() as u32;
+                map[i + 2] = out.len() as u32;
+                out.push(op);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(ops[i]);
+        i += 1;
+    }
+    map[ops.len()] = out.len() as u32;
+    for op in &mut out {
+        if let Op::JumpIfFalse(t) | Op::JumpIfTrue(t) | Op::ChainCmp { end: t, .. } = op {
+            *t = map[*t as usize];
+        }
+    }
+    out
+}
+
 /// Point the placeholder jump at `at` to the *last emitted instruction's
 /// successor position minus one* — the interpreter increments `pc` after
 /// every non-jumping instruction, and jumps `continue` without increment,
@@ -472,6 +810,8 @@ fn simulate_stack(ops: &[Op]) -> usize {
             // conservatively treat as no change.
             Op::JumpIfFalse(_) | Op::JumpIfTrue(_) => 0,
             Op::Min(n) | Op::Max(n) => 1 - *n as isize,
+            Op::MulLL(_, _) => 1,
+            Op::DivisibleBy => -1,
         };
         depth = depth.saturating_add_signed(delta);
         max = max.max(depth);

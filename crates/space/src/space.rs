@@ -7,7 +7,7 @@ use std::fmt;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::expr::{parse, CompiledExpr, EvalError, ParseError, Program};
+use crate::expr::{parse, BinOp, CompiledExpr, EvalError, ParseError, Program};
 use crate::param::Param;
 
 /// A parsed restriction together with its source text.
@@ -81,8 +81,6 @@ pub(crate) struct EnumEngine {
     pub(crate) always_false: bool,
     /// Per slot: is it read by any active restriction?
     pub(crate) touched: Vec<bool>,
-    /// Touched slots, ascending.
-    pub(crate) constrained_slots: Vec<usize>,
     /// Per slot: active restrictions whose *highest* slot is this one
     /// (checkable as soon as the slot is assigned in an ascending walk).
     pub(crate) bucket_of_slot: Vec<Vec<usize>>,
@@ -92,6 +90,93 @@ pub(crate) struct EnumEngine {
     pub(crate) free_mult: u64,
     /// Highest touched slot, if any restriction is active.
     pub(crate) last_slot: Option<usize>,
+    /// All active restrictions fused into one short-circuit `and` chain in
+    /// most-selective-first order — `is_valid` enters the interpreter once
+    /// per configuration instead of once per restriction. `None` when no
+    /// restriction is active.
+    pub(crate) valid_program: Option<Program>,
+    /// Constrained slots ordered so the most selective restrictions
+    /// complete earliest in a counting walk (see `counting_order`).
+    pub(crate) count_slots: Vec<usize>,
+    /// Buckets parallel to `count_slots`: restriction `ri` sits at the
+    /// position where its last slot is placed in `count_slots`.
+    pub(crate) count_buckets: Vec<Vec<usize>>,
+}
+
+/// Exact-sweep budget for restriction selectivity estimation: when the
+/// product of a restriction's own slot radices is at most this, every
+/// assignment is evaluated; larger sub-spaces are sampled instead.
+const SELECTIVITY_EXACT_MAX: u64 = 1024;
+
+/// Deterministic sample count for large sub-spaces.
+const SELECTIVITY_SAMPLES: u64 = 256;
+
+/// SplitMix64 finalizer — the build-time sampler's only source of
+/// "randomness", so selectivity estimates are pure functions of the space.
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Estimate the fraction of assignments of `slots` that satisfy `program`
+/// (exactly for small products, over a fixed deterministic sample
+/// otherwise). `scratch` must be full-width; only `slots` are written, and
+/// the restriction reads nothing else.
+fn estimate_pass_rate(
+    params: &[Param],
+    program: &Program,
+    slots: &[usize],
+    scratch: &mut [i64],
+    ri: u64,
+) -> f64 {
+    let product = slots
+        .iter()
+        .try_fold(1u64, |acc, &s| acc.checked_mul(params[s].len() as u64))
+        .unwrap_or(u64::MAX);
+    if product <= SELECTIVITY_EXACT_MAX {
+        // Odometer over exactly this restriction's slots.
+        let mut odo = vec![0usize; slots.len()];
+        for &s in slots {
+            scratch[s] = params[s].values[0];
+        }
+        let mut passes = 0u64;
+        loop {
+            if program.eval_bool(scratch) {
+                passes += 1;
+            }
+            let mut d = slots.len();
+            loop {
+                if d == 0 {
+                    return passes as f64 / product as f64;
+                }
+                d -= 1;
+                odo[d] += 1;
+                let p = &params[slots[d]];
+                if odo[d] < p.len() {
+                    scratch[slots[d]] = p.values[odo[d]];
+                    break;
+                }
+                odo[d] = 0;
+                scratch[slots[d]] = p.values[0];
+            }
+        }
+    }
+    let seed = splitmix(ri.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut passes = 0u64;
+    for j in 0..SELECTIVITY_SAMPLES {
+        let mut h = splitmix(seed ^ j);
+        for &s in slots {
+            h = splitmix(h);
+            let p = &params[s];
+            scratch[s] = p.values[(h % p.len() as u64) as usize];
+        }
+        if program.eval_bool(scratch) {
+            passes += 1;
+        }
+    }
+    passes as f64 / SELECTIVITY_SAMPLES as f64
 }
 
 impl EnumEngine {
@@ -101,6 +186,7 @@ impl EnumEngine {
         let mut slots_of = Vec::with_capacity(restrictions.len());
         let mut active = Vec::new();
         let mut always_false = false;
+        let mut folded_of = Vec::with_capacity(restrictions.len());
         for (ri, r) in restrictions.iter().enumerate() {
             let folded = crate::expr::fold(&r.compiled);
             let program = Program::compile_prefolded(&folded);
@@ -118,6 +204,26 @@ impl EnumEngine {
                 }
             }
             programs.push(program);
+            folded_of.push(folded);
+        }
+        // Most-selective-first ordering: estimate each active restriction's
+        // pass rate deterministically, then check the least-passing ones
+        // first so `is_valid` short-circuits invalid configurations as
+        // early as possible. Pure reordering of an `all()` conjunction —
+        // the boolean result is untouched.
+        let mut pass_rate = vec![1.0f64; restrictions.len()];
+        if !active.is_empty() {
+            let mut scratch: Vec<i64> = params.iter().map(|p| p.values[0]).collect();
+            for &ri in &active {
+                pass_rate[ri] = estimate_pass_rate(
+                    params,
+                    &programs[ri],
+                    &slots_of[ri],
+                    &mut scratch,
+                    ri as u64,
+                );
+            }
+            active.sort_by(|&a, &b| pass_rate[a].total_cmp(&pass_rate[b]).then(a.cmp(&b)));
         }
         let mut touched = vec![false; n];
         let mut bucket_of_slot: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -132,24 +238,76 @@ impl EnumEngine {
                 .expect("active restriction reads a slot");
             bucket_of_slot[last].push(ri);
         }
-        let constrained_slots: Vec<usize> = (0..n).filter(|&s| touched[s]).collect();
         let free_mult = (0..n)
             .filter(|&s| !touched[s])
             .map(|s| params[s].len() as u64)
             .product();
-        let last_slot = constrained_slots.last().copied();
-        EnumEngine {
+        let last_slot = (0..n).rfind(|&s| touched[s]);
+        // Fuse the active restrictions into one right-nested `and` chain in
+        // selectivity order: identical short-circuit evaluation to the
+        // `all()` loop, but one interpreter entry per configuration.
+        let valid_program = {
+            let mut it = active.iter().rev();
+            it.next().map(|&last| {
+                let mut expr = folded_of[last].clone();
+                for &ri in it {
+                    expr = CompiledExpr::Binary(
+                        BinOp::And,
+                        Box::new(folded_of[ri].clone()),
+                        Box::new(expr),
+                    );
+                }
+                Program::compile_prefolded(&expr)
+            })
+        };
+        let mut engine = EnumEngine {
             programs,
             slots_of,
             active,
             always_false,
             touched,
-            constrained_slots,
             bucket_of_slot,
             touching,
             free_mult,
             last_slot,
+            valid_program,
+            count_slots: Vec::new(),
+            count_buckets: Vec::new(),
+        };
+        let (count_slots, count_buckets) = engine.counting_order(&engine.active);
+        engine.count_slots = count_slots;
+        engine.count_buckets = count_buckets;
+        engine
+    }
+
+    /// Order the slots read by `ris` (given most-selective-first) for a
+    /// counting walk: each restriction appends its not-yet-placed slots in
+    /// turn, so the most selective restrictions have all their slots
+    /// assigned — and prune — at the shallowest possible depth. Restriction
+    /// `ri` lands in the bucket of its last-placed slot. Any slot order
+    /// counts the same assignments; only the pruning schedule changes.
+    fn counting_order(&self, ris: &[usize]) -> (Vec<usize>, Vec<Vec<usize>>) {
+        let n = self.touched.len();
+        let mut pos: Vec<Option<usize>> = vec![None; n];
+        let mut slots: Vec<usize> = Vec::new();
+        for &ri in ris {
+            for &s in &self.slots_of[ri] {
+                if pos[s].is_none() {
+                    pos[s] = Some(slots.len());
+                    slots.push(s);
+                }
+            }
         }
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); slots.len()];
+        for &ri in ris {
+            let at = self.slots_of[ri]
+                .iter()
+                .map(|&s| pos[s].expect("restriction slot placed"))
+                .max()
+                .expect("active restriction reads a slot");
+            buckets[at].push(ri);
+        }
+        (slots, buckets)
     }
 }
 
@@ -166,6 +324,13 @@ pub struct ConfigSpace {
     restrictions: Vec<Restriction>,
     /// Mixed-radix strides: `strides[i]` = product of radices of params after i.
     strides: Vec<u64>,
+    /// `1.0 / strides[i]`, for the reciprocal-multiply decode fast path.
+    inv_strides: Vec<f64>,
+    /// `params[i].len()`, pre-widened for the decode fast path.
+    radices: Vec<u64>,
+    /// True when `cardinality` fits the exact-f64 envelope (2⁵²), making
+    /// the reciprocal decode's one-step correction sound.
+    decode_fast: bool,
     cardinality: u64,
     engine: EnumEngine,
 }
@@ -232,6 +397,31 @@ impl ConfigSpace {
     pub fn decode_into(&self, index: u64, out: &mut [i64]) {
         debug_assert!(index < self.cardinality, "index out of range");
         debug_assert_eq!(out.len(), self.params.len());
+        if self.decode_fast {
+            // Reciprocal-multiply decode. Each slot's quotient divides
+            // `index` directly rather than a running remainder, so the
+            // per-slot work is independent and pipelines instead of
+            // serializing on hardware dividers; digit `i` is then
+            // `q_i - q_{i-1} * radix_i` (strides are nested products, so
+            // `q_{i-1} = q_i / radix_i`). Inside the 2⁵² envelope the
+            // rounded quotient is off by at most one, which the
+            // correction step repairs exactly.
+            let x = index as f64;
+            let mut prev_q = 0u64;
+            for (i, slot) in out.iter_mut().enumerate().take(self.params.len()) {
+                let stride = self.strides[i];
+                let mut q = (x * self.inv_strides[i]) as u64;
+                if q * stride > index {
+                    q -= 1;
+                } else if (q + 1) * stride <= index {
+                    q += 1;
+                }
+                let pos = (q - prev_q * self.radices[i]) as usize;
+                *slot = self.params[i].values[pos];
+                prev_q = q;
+            }
+            return;
+        }
         let mut rem = index;
         for (i, p) in self.params.iter().enumerate() {
             let pos = (rem / self.strides[i]) as usize;
@@ -255,12 +445,13 @@ impl ConfigSpace {
     /// Evaluate the restriction set on a configuration.
     #[inline]
     pub fn is_valid(&self, config: &[i64]) -> bool {
-        !self.engine.always_false
-            && self
-                .engine
-                .active
-                .iter()
-                .all(|&ri| self.engine.programs[ri].eval_bool(config))
+        if self.engine.always_false {
+            return false;
+        }
+        match &self.engine.valid_program {
+            Some(p) => p.eval_bool(config),
+            None => true,
+        }
     }
 
     /// Like [`ConfigSpace::is_valid`] but for a dense index.
@@ -304,12 +495,11 @@ impl ConfigSpace {
         if self.engine.active.is_empty() {
             return self.cardinality;
         }
-        let slots = self.engine.constrained_slots.clone();
-        let buckets: Vec<Vec<usize>> = slots
-            .iter()
-            .map(|&s| self.engine.bucket_of_slot[s].clone())
-            .collect();
-        self.pruned_count_over(&slots, &buckets) * self.engine.free_mult
+        // Walk the precomputed selectivity-ordered slots: the most
+        // selective restrictions complete (and prune) at the shallowest
+        // depths. Any slot order counts the same assignment set.
+        self.pruned_count_over(&self.engine.count_slots, &self.engine.count_buckets)
+            * self.engine.free_mult
     }
 
     /// Count valid configurations by exhaustive parallel brute force over
@@ -490,18 +680,23 @@ impl ConfigSpace {
     /// restrictions, with the pruned DFS (other parameters held at their
     /// first value — they are never read by these restrictions).
     fn count_component(&self, comp: &Component) -> u64 {
-        let mut slots = comp.params.clone();
-        slots.sort_unstable();
-        let buckets: Vec<Vec<usize>> = slots
-            .iter()
-            .map(|&s| {
-                comp.restrictions
-                    .iter()
-                    .copied()
-                    .filter(|&ri| *self.engine.slots_of[ri].last().expect("active") == s)
-                    .collect()
-            })
-            .collect();
+        // `comp.restrictions` inherits the engine's most-selective-first
+        // order, so the component walk prunes on the same schedule as the
+        // whole-space counter.
+        let (slots, buckets) = self.engine.counting_order(&comp.restrictions);
+        debug_assert_eq!(
+            {
+                let mut s = slots.clone();
+                s.sort_unstable();
+                s
+            },
+            {
+                let mut p = comp.params.clone();
+                p.sort_unstable();
+                p
+            },
+            "component slots must cover exactly its parameters"
+        );
         self.pruned_count_over(&slots, &buckets)
     }
 
@@ -695,11 +890,16 @@ impl ConfigSpaceBuilder {
                 .expect("space cardinality exceeds u64");
         }
         let engine = EnumEngine::build(&self.params, &restrictions);
+        let inv_strides: Vec<f64> = strides.iter().map(|&s| 1.0 / s as f64).collect();
+        let radices: Vec<u64> = self.params.iter().map(|p| p.len() as u64).collect();
         Ok(ConfigSpace {
             params: self.params,
             names,
             restrictions,
             strides,
+            inv_strides,
+            radices,
+            decode_fast: acc <= (1 << 52),
             cardinality: acc,
             engine,
         })
@@ -813,6 +1013,44 @@ mod tests {
         assert_eq!(v.len(), 10);
         assert!(v.windows(2).all(|w| w[0] < w[1]));
         assert!(v.iter().all(|&i| s.is_valid_index(i)));
+    }
+
+    #[test]
+    fn selectivity_orders_active_most_selective_first() {
+        // "b == 0" passes 1/3 of assignments; "a <= 3" passes 3/4. The
+        // engine must schedule the rarer restriction first even though it
+        // was declared second.
+        let s = ConfigSpace::builder()
+            .param(Param::new("a", vec![1, 2, 3, 4]))
+            .param(Param::new("b", vec![0, 1, 2]))
+            .restrict("a <= 3")
+            .restrict("b == 0")
+            .build()
+            .unwrap();
+        assert_eq!(s.engine.active, vec![1, 0]);
+    }
+
+    #[test]
+    fn reordered_validity_matches_declaration_order() {
+        // The selectivity reordering must be invisible: for every index,
+        // `is_valid` equals evaluating all restrictions in declaration
+        // order (an `all()` conjunction is order-neutral).
+        let s = ConfigSpace::builder()
+            .param(Param::new("a", vec![1, 2, 3, 4]))
+            .param(Param::new("b", vec![0, 1, 2]))
+            .param(Param::new("c", vec![1, 2]))
+            .restrict("a + b <= 4")
+            .restrict("c == 1")
+            .restrict("a * c != 4")
+            .build()
+            .unwrap();
+        let mut scratch = vec![0i64; 3];
+        for idx in 0..s.cardinality() {
+            s.decode_into(idx, &mut scratch);
+            let declared =
+                (0..s.restrictions.len()).all(|ri| s.engine.programs[ri].eval_bool(&scratch));
+            assert_eq!(s.is_valid(&scratch), declared, "index {idx}");
+        }
     }
 
     #[test]

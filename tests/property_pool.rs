@@ -1,0 +1,149 @@
+//! Property tests for the persistent worker pool behind compat-rayon.
+//!
+//! The pool replaced spawn-per-call scoped threads; these tests pin the
+//! contract the evaluator depends on: order-preserving terminals are
+//! bit-identical to their serial equivalents at *any* thread count and
+//! input size, nested parallel calls serialize instead of deadlocking or
+//! over-spawning, and a panic on any participant propagates to the caller.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+use rayon::with_thread_limit;
+
+/// A non-trivial, order-sensitive map: mixes the element value with its
+/// position so any misrouted slot or reordering changes the output.
+fn scramble(i: u64, x: u64) -> u64 {
+    let mut h = x ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^ (h >> 27)
+}
+
+proptest! {
+    /// `collect` over a materialized Vec is bit-identical to the serial
+    /// map at every thread count, including counts far above the host's
+    /// core count (the pool grows parked workers on demand).
+    #[test]
+    fn vec_collect_matches_serial_at_any_thread_count(
+        items in proptest::collection::vec(0u64..u64::MAX, 0..300),
+        threads in 1usize..9,
+    ) {
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| scramble(i as u64, x))
+            .collect();
+        let parallel: Vec<u64> = with_thread_limit(threads, || {
+            items
+                .clone()
+                .into_par_iter()
+                .enumerate()
+                .map(|(i, x)| scramble(i as u64, x))
+                .collect()
+        });
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// The lazy range pipeline (`(0..n).into_par_iter()`) sums exactly the
+    /// serial total at every thread count and range length.
+    #[test]
+    fn range_sum_matches_serial_at_any_thread_count(
+        n in 0u64..50_000,
+        salt in 0u64..u64::MAX,
+        threads in 1usize..9,
+    ) {
+        let serial: u64 = (0..n).map(|i| scramble(i, salt)).fold(0, u64::wrapping_add);
+        let parallel: u64 = with_thread_limit(threads, || {
+            (0..n)
+                .into_par_iter()
+                .map(|i| scramble(i, salt))
+                .collect::<Vec<u64>>()
+                .into_iter()
+                .fold(0, u64::wrapping_add)
+        });
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// A parallel call issued from inside a parallel region runs serially
+    /// (no deadlock, no over-subscription) and still produces the serial
+    /// result — the evaluator relies on this when a tuner's batch callback
+    /// itself fans out.
+    #[test]
+    fn nested_parallel_calls_serialize(
+        outer in 1usize..40,
+        inner in 0u64..200,
+        threads in 2usize..6,
+    ) {
+        let expected: Vec<u64> = (0..outer as u64)
+            .map(|o| (0..inner).map(|i| scramble(i, o)).fold(0, u64::wrapping_add))
+            .collect();
+        let got: Vec<u64> = with_thread_limit(threads, || {
+            (0..outer as u64)
+                .into_par_iter()
+                .map(|o| {
+                    // Nested terminal: must run in place on this worker.
+                    (0..inner)
+                        .into_par_iter()
+                        .map(|i| scramble(i, o))
+                        .collect::<Vec<u64>>()
+                        .into_iter()
+                        .fold(0, u64::wrapping_add)
+                })
+                .collect()
+        });
+        prop_assert_eq!(got, expected);
+    }
+
+    /// A panic in any work item propagates to the submitting caller as a
+    /// panic (never a hang, never silent loss), at any thread count and
+    /// panic position.
+    #[test]
+    fn worker_panic_propagates(
+        n in 2usize..120,
+        at in 0usize..120,
+        threads in 1usize..6,
+    ) {
+        let at = at % n;
+        let result = std::panic::catch_unwind(|| {
+            with_thread_limit(threads, || {
+                (0..n as u64)
+                    .into_par_iter()
+                    .map(|i| {
+                        assert!(i != at as u64, "injected failure");
+                        i
+                    })
+                    .collect::<Vec<u64>>()
+            })
+        });
+        prop_assert!(result.is_err(), "panic at item {at} was swallowed");
+    }
+}
+
+/// After a panicking call, the pool stays usable: subsequent parallel
+/// calls on the same threads still complete and produce serial-identical
+/// results.
+#[test]
+fn pool_survives_worker_panics() {
+    for round in 0..3u64 {
+        let boom = std::panic::catch_unwind(|| {
+            with_thread_limit(4, || {
+                (0..64u64)
+                    .into_par_iter()
+                    .map(|i| {
+                        assert!(i != 17, "injected failure");
+                        i
+                    })
+                    .collect::<Vec<u64>>()
+            })
+        });
+        assert!(boom.is_err());
+        let ok: Vec<u64> = with_thread_limit(4, || {
+            (0..64u64)
+                .into_par_iter()
+                .map(|i| scramble(i, round))
+                .collect()
+        });
+        let expected: Vec<u64> = (0..64u64).map(|i| scramble(i, round)).collect();
+        assert_eq!(ok, expected);
+    }
+}
