@@ -7,9 +7,9 @@ use bat_analysis::{
     random_search_convergence, reduce_space, FitnessFlowGraph, Landscape, PageRankParams,
     PerformanceDistribution,
 };
-use bat_core::{Protocol, TuningProblem};
+use bat_core::{Error, Protocol, TuningProblem};
 use bat_harness::{
-    run_campaign, CampaignSummary, ExperimentSpec, RecordLevel, SeedPolicy, Selector,
+    run_campaign, CampaignSummary, Endpoint, ExperimentSpec, RecordLevel, SeedPolicy, Selector,
 };
 use bat_space::Neighborhood;
 use bat_tuners::default_tuners;
@@ -881,43 +881,59 @@ pub fn cmd_pareto(opts: &Opts) {
     }
 }
 
-/// `bat campaign` — run a declarative campaign spec through the harness
-/// (the CLI face of the `bat-harness` binary).
-pub fn cmd_campaign(opts: &Opts) {
+/// Parse `--threads N` and size the worker pool before any parallel work.
+fn apply_threads(opts: &Opts) -> Result<(), Error> {
     if let Some(threads) = opts.get("--threads") {
-        let n: usize = threads
-            .parse()
-            .ok()
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| panic!("--threads expects a positive integer, got {threads:?}"));
-        assert!(
-            rayon::set_global_threads(n),
-            "--threads came too late: the worker pool already started"
-        );
+        let n: usize = threads.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+            Error::spec(format!(
+                "--threads expects a positive integer, got {threads:?}"
+            ))
+        })?;
+        if !rayon::set_global_threads(n) {
+            return Err(Error::spec(
+                "--threads came too late: the worker pool already started",
+            ));
+        }
     }
+    Ok(())
+}
+
+/// `bat campaign` — run a declarative campaign spec through the harness
+/// (the CLI face of the `bat-harness` binary). `--connect` routes trial
+/// evaluation through a tuning daemon (loopback or TCP); the artifact is
+/// byte-identical to the in-process run.
+pub fn cmd_campaign(opts: &Opts) -> Result<(), Error> {
+    apply_threads(opts)?;
     let path = opts
         .get("--spec")
-        .expect("--spec FILE is required; see specs/ for examples");
-    let mut spec = bat_harness::load_spec_file(&path).unwrap_or_else(|e| panic!("{e}"));
+        .ok_or_else(|| Error::spec("--spec FILE is required; see specs/ for examples"))?;
+    let mut spec = bat_harness::load_spec_file(&path)?;
     if let Some(batch) = opts.get("--batch") {
         let batch: u32 = batch
             .parse()
-            .unwrap_or_else(|_| panic!("bad --batch value {batch:?}"));
+            .map_err(|_| Error::spec(format!("bad --batch value {batch:?}")))?;
         spec.protocol.set_batch(batch);
     }
     if let Some(rate) = opts.get("--fault-rate") {
         let rate: f64 = rate
             .parse()
-            .unwrap_or_else(|_| panic!("bad --fault-rate value {rate:?}"));
-        assert!(
-            (0.0..=1.0).contains(&rate),
-            "--fault-rate must be in [0, 1], got {rate}"
-        );
+            .ok()
+            .filter(|r| (0.0..=1.0).contains(r))
+            .ok_or_else(|| Error::spec(format!("--fault-rate must be in [0, 1], got {rate:?}")))?;
         spec.set_fault_rate(rate);
     }
+    let endpoint = match opts.get("--connect") {
+        Some(ep) => Endpoint::parse(&ep).map_err(Error::from)?,
+        None => Endpoint::InProcess,
+    };
     let out = opts.get("--out");
-    let run = bat_harness::run_spec_to_file(&spec, out.as_deref(), opts.has("--resume"), false)
-        .unwrap_or_else(|e| panic!("campaign failed: {e}"));
+    let run = bat_harness::run_spec_to_file(
+        &spec,
+        out.as_deref(),
+        opts.has("--resume"),
+        false,
+        &endpoint,
+    )?;
 
     match &out {
         Some(p) => println!("wrote {p}"),
@@ -926,6 +942,53 @@ pub fn cmd_campaign(opts: &Opts) {
         None => println!("{}", run.result.to_json()),
     }
     bat_harness::report_run(&run, false);
+    Ok(())
+}
+
+/// `bat serve` — host tuning sessions as a long-running daemon. Clients
+/// (`bat campaign --connect HOST:PORT`, `bat-harness run --connect ...`,
+/// or any `bat/wire/v1` speaker) open sessions, stream evaluation batches
+/// and read budget/statistics accounting; the daemon schedules batches
+/// fairly across sessions and bounds each session's in-flight work.
+/// Serves until a client sends a `shutdown` request.
+pub fn cmd_serve(opts: &Opts) -> Result<(), Error> {
+    apply_threads(opts)?;
+    let addr = opts
+        .get("--addr")
+        .unwrap_or_else(|| "127.0.0.1:4780".into());
+    let mut config = bat_server::ServerConfig::default();
+    if let Some(slots) = opts.get("--slots") {
+        config.max_concurrent_batches =
+            slots
+                .parse()
+                .ok()
+                .filter(|&n: &usize| n >= 1)
+                .ok_or_else(|| {
+                    Error::spec(format!("--slots expects a positive integer, got {slots:?}"))
+                })?;
+    }
+    if let Some(inflight) = opts.get("--inflight") {
+        config.max_inflight_per_session = inflight
+            .parse()
+            .ok()
+            .filter(|&n: &usize| n >= 1)
+            .ok_or_else(|| {
+                Error::spec(format!(
+                    "--inflight expects a positive integer, got {inflight:?}"
+                ))
+            })?;
+    }
+    let listener = std::net::TcpListener::bind(&addr)
+        .map_err(|e| Error::transport(format!("bind {addr}: {e}")))?;
+    let local = listener.local_addr().map_err(Error::io)?;
+    // Announce readiness on stdout (flushed) so scripts can wait for it.
+    println!("bat serve: listening on {local}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let daemon = bat_server::Daemon::new(config);
+    daemon.serve(listener)?;
+    eprintln!("bat serve: shutdown requested, exiting");
+    Ok(())
 }
 
 /// `bat online` — KTT-style dynamic autotuning: does tuning during the

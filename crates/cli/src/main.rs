@@ -30,8 +30,15 @@ SUITE COMMANDS:
     pareto               multi-objective tuning: time × energy Pareto fronts
                          (--bench, --arch, --budget, --seed, --tuner, --capacity, --batch)
     campaign             run a declarative campaign spec (--spec FILE, --out FILE, --resume,
-                         --batch N, --fault-rate R, --threads N; thread-count
-                         precedence: --threads > BAT_THREADS > host cores)
+                         --batch N, --fault-rate R, --threads N, --connect EP;
+                         EP = in-process | loopback | HOST:PORT of a
+                         `bat serve` daemon — artifacts are byte-identical
+                         across endpoints; thread-count precedence:
+                         --threads > BAT_THREADS > host cores)
+    serve                host tuning sessions as a daemon (--addr HOST:PORT,
+                         --slots N concurrent batches, --inflight N queued
+                         batches per session, --threads N); clients connect
+                         with `bat campaign --connect HOST:PORT`
     compare              compare all tuners at equal budget (--bench, --budget, --repeats)
     ranks                cross-benchmark tuner ranking, Friedman-style (--budget, --repeats)
     online               KTT-style dynamic autotuning time-to-solution (--bench, --invocations)
@@ -54,6 +61,16 @@ EXAMPLES:
     bat campaign --spec specs/ci-smoke.json --out smoke.json
 ";
 
+/// Print a typed [`bat_core::Error`] and exit non-zero — the service
+/// subcommands report failures through the unified error hierarchy
+/// instead of panicking.
+fn fail_on_error(outcome: Result<(), bat_core::Error>) {
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().map(String::as_str) else {
@@ -73,7 +90,8 @@ fn main() {
         "fig6" => commands::cmd_fig6(&opts),
         "tune" => commands::cmd_tune(&opts),
         "pareto" => commands::cmd_pareto(&opts),
-        "campaign" => commands::cmd_campaign(&opts),
+        "campaign" => fail_on_error(commands::cmd_campaign(&opts)),
+        "serve" => fail_on_error(commands::cmd_serve(&opts)),
         "compare" => commands::cmd_compare(&opts),
         "ranks" => commands::cmd_ranks(&opts),
         "online" => commands::cmd_online(&opts),

@@ -16,6 +16,7 @@ use std::collections::HashMap;
 
 use bat_gpusim::{noise_key, noisy_time_ms, FaultModel};
 
+use crate::error::Error;
 use crate::measurement::{EvalFailure, Measurement};
 use crate::problem::TuningProblem;
 
@@ -181,12 +182,24 @@ pub struct Evaluator<'p> {
 }
 
 impl<'p> Evaluator<'p> {
+    /// Start building an evaluator for `problem` — the one validated
+    /// construction path shared by in-process use and the tuning server.
+    pub fn builder(problem: &'p dyn TuningProblem) -> EvaluatorBuilder<'p> {
+        EvaluatorBuilder::new(problem)
+    }
+
     /// Wrap `problem` with the default protocol and no budget.
+    ///
+    /// Legacy shim: prefer [`Evaluator::builder`], which validates the
+    /// protocol up front. Kept for one release.
     pub fn new(problem: &'p dyn TuningProblem) -> Self {
         Self::with_protocol(problem, Protocol::default())
     }
 
     /// Wrap `problem` with an explicit protocol.
+    ///
+    /// Legacy shim: prefer [`Evaluator::builder`], which validates the
+    /// protocol up front. Kept for one release.
     pub fn with_protocol(problem: &'p dyn TuningProblem, protocol: Protocol) -> Self {
         Evaluator {
             problem,
@@ -217,12 +230,16 @@ impl<'p> Evaluator<'p> {
 
     /// Limit the number of `evaluate*` calls. Calls past the budget return
     /// `None`.
+    ///
+    /// Legacy shim: prefer [`Evaluator::builder`]. Kept for one release.
     pub fn with_budget(mut self, budget: u64) -> Self {
         self.budget = Some(budget);
         self
     }
 
     /// Disable memoization (ablation: every call re-measures).
+    ///
+    /// Legacy shim: prefer [`Evaluator::builder`]. Kept for one release.
     pub fn without_cache(mut self) -> Self {
         self.cache_enabled = false;
         self
@@ -477,33 +494,32 @@ impl<'p> Evaluator<'p> {
         }
         let space = self.problem.space();
         let nparams = space.num_params();
-        let blocks = indices.len().div_ceil(PIPE_BLOCK);
-        let parts: Vec<Vec<Result<Measurement, EvalFailure>>> = (0..blocks)
-            .into_par_iter()
-            .map(|b| {
+        // Workers write each block's results straight into its slot of the
+        // output vector: no per-block `Vec`, and no second pass copying
+        // block results into place (a real cost — `Measurement` is over a
+        // hundred bytes, and at batch 1024 that extra copy was ~20% of the
+        // whole evaluation).
+        let mut out: Vec<Result<Measurement, EvalFailure>> =
+            vec![Err(EvalFailure::Restricted); indices.len()];
+        out.par_chunks_mut(PIPE_BLOCK)
+            .enumerate()
+            .for_each(|(b, block)| {
                 let lo = b * PIPE_BLOCK;
-                let hi = (lo + PIPE_BLOCK).min(indices.len());
                 DECODE_BANKS.with(|banks| {
                     let mut banks = banks.borrow_mut();
                     let bank = &mut banks[b & 1];
-                    bank.resize((hi - lo) * nparams, 0);
+                    bank.resize(block.len() * nparams, 0);
                     // Phase 1: decode the whole block back-to-back.
-                    for (j, &idx) in indices[lo..hi].iter().enumerate() {
+                    for (j, &idx) in indices[lo..lo + block.len()].iter().enumerate() {
                         space.decode_into(idx, &mut bank[j * nparams..(j + 1) * nparams]);
                     }
                     // Phase 2: measure from the decoded bank.
-                    indices[lo..hi]
-                        .iter()
-                        .enumerate()
-                        .map(|(j, &idx)| self.measure(idx, &bank[j * nparams..(j + 1) * nparams]))
-                        .collect()
-                })
-            })
-            .collect();
-        let mut out = Vec::with_capacity(indices.len());
-        for part in parts {
-            out.extend(part);
-        }
+                    for (j, slot) in block.iter_mut().enumerate() {
+                        *slot =
+                            self.measure(indices[lo + j], &bank[j * nparams..(j + 1) * nparams]);
+                    }
+                });
+            });
         out
     }
 
@@ -720,20 +736,20 @@ impl<'p> Evaluator<'p> {
         if model.timeout_fires(fsalt, index, attempt) {
             return Err(EvalFailure::Timeout);
         }
-        let samples: Vec<f64> = (0..self.protocol.runs)
-            .map(|run| {
-                let s = noisy_time_ms(pure, self.protocol.sigma, noise_key(salt, index, run));
-                model.corrupt_sample(fsalt, index, run, s)
-            })
-            .collect();
-        let m = Measurement::from_samples(samples);
+        // Samples stream straight into the measurement's inline storage:
+        // no `Vec` is built for protocols that fit inline (runs ≤ 8).
+        let m = Measurement::from_samples((0..self.protocol.runs).map(|run| {
+            let s = noisy_time_ms(pure, self.protocol.sigma, noise_key(salt, index, run));
+            model.corrupt_sample(fsalt, index, run, s)
+        }));
         Ok(match pure_energy {
             Some(e) => {
                 let esalt = bat_gpusim::mix(salt, ENERGY_NOISE_STREAM);
-                let energy_samples: Vec<f64> = (0..self.protocol.runs)
-                    .map(|run| noisy_time_ms(e, self.protocol.sigma, noise_key(esalt, index, run)))
-                    .collect();
-                m.with_energy_samples(energy_samples)
+                m.with_energy_samples(
+                    (0..self.protocol.runs).map(|run| {
+                        noisy_time_ms(e, self.protocol.sigma, noise_key(esalt, index, run))
+                    }),
+                )
             }
             None => m,
         })
@@ -757,22 +773,154 @@ impl<'p> Evaluator<'p> {
         } else {
             (self.problem.evaluate_pure(config)?, None)
         };
-        let samples: Vec<f64> = (0..self.protocol.runs)
-            .map(|run| noisy_time_ms(pure, self.protocol.sigma, noise_key(salt, index, run)))
-            .collect();
-        let m = Measurement::from_samples(samples);
+        // Samples stream straight into the measurement's inline storage:
+        // no `Vec` is built for protocols that fit inline (runs ≤ 8).
+        let m = Measurement::from_samples(
+            (0..self.protocol.runs)
+                .map(|run| noisy_time_ms(pure, self.protocol.sigma, noise_key(salt, index, run))),
+        );
         Ok(match pure_energy {
             Some(e) => {
                 // Same noise discipline as the runtimes, on an independent
                 // deterministic stream.
                 let esalt = bat_gpusim::mix(salt, ENERGY_NOISE_STREAM);
-                let energy_samples: Vec<f64> = (0..self.protocol.runs)
-                    .map(|run| noisy_time_ms(e, self.protocol.sigma, noise_key(esalt, index, run)))
-                    .collect();
-                m.with_energy_samples(energy_samples)
+                m.with_energy_samples(
+                    (0..self.protocol.runs).map(|run| {
+                        noisy_time_ms(e, self.protocol.sigma, noise_key(esalt, index, run))
+                    }),
+                )
             }
             None => m,
         })
+    }
+}
+
+/// The one validated construction path for [`Evaluator`] — shared by
+/// in-process callers and the tuning server's session setup, so both reject
+/// nonsense protocols (`runs == 0`, negative or non-finite `sigma`) with a
+/// typed [`Error::Spec`] before any measurement happens.
+///
+/// The legacy constructor chain ([`Evaluator::with_protocol`] +
+/// [`Evaluator::with_budget`] + …) remains as thin unvalidated shims for
+/// one release.
+///
+/// ```
+/// use bat_core::{Evaluator, Protocol, SyntheticProblem};
+/// use bat_space::{ConfigSpace, Param};
+///
+/// let space = ConfigSpace::builder()
+///     .param(Param::int_range("x", 0, 7))
+///     .build()
+///     .unwrap();
+/// let problem = SyntheticProblem::new("p", "sim", space, |c| Ok(1.0 + c[0] as f64));
+/// let eval = Evaluator::builder(&problem)
+///     .protocol(Protocol::noiseless())
+///     .budget(10)
+///     .build()
+///     .unwrap();
+/// assert_eq!(eval.budget_left(), Some(10));
+/// ```
+pub struct EvaluatorBuilder<'p> {
+    problem: &'p dyn TuningProblem,
+    protocol: Protocol,
+    budget: Option<u64>,
+    energy: bool,
+    cache: bool,
+    faults: Option<(FaultModel, RetryPolicy)>,
+    threads: Option<usize>,
+}
+
+impl<'p> EvaluatorBuilder<'p> {
+    fn new(problem: &'p dyn TuningProblem) -> Self {
+        EvaluatorBuilder {
+            problem,
+            protocol: Protocol::default(),
+            budget: None,
+            energy: false,
+            cache: true,
+            faults: None,
+            threads: None,
+        }
+    }
+
+    /// Use this measurement protocol (default: [`Protocol::default`]).
+    pub fn protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Limit the number of `evaluate*` calls (default: unlimited).
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Limit the number of `evaluate*` calls, or not (`None` keeps the
+    /// evaluator unbudgeted) — the shape session specs carry.
+    pub fn maybe_budget(mut self, budget: Option<u64>) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Also measure the energy objective (default: off, keeping time-only
+    /// artifacts bit-identical to the pre-energy suite).
+    pub fn energy(mut self, energy: bool) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Enable or disable memoization (default: enabled; disabling is the
+    /// ablation mode where every call re-measures).
+    pub fn cache(mut self, cache: bool) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Install a fault model and retry policy (default: none — the
+    /// evaluation path is byte-for-byte the pre-fault one).
+    pub fn faults(mut self, model: FaultModel, policy: RetryPolicy) -> Self {
+        self.faults = Some((model, policy));
+        self
+    }
+
+    /// Size the measurement worker pool. **Process-global**: resolves the
+    /// shared rayon pool to `threads` workers for every evaluator in the
+    /// process, and only before the pool's first use (later calls are
+    /// ignored by the pool, exactly like the `BAT_THREADS` variable).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Validate and construct the evaluator.
+    ///
+    /// Fails with [`Error::Spec`] when the protocol cannot measure
+    /// anything: zero runs, non-finite or negative noise, or a zero-sized
+    /// worker pool.
+    pub fn build(self) -> Result<Evaluator<'p>, Error> {
+        if self.protocol.runs == 0 {
+            return Err(Error::spec("protocol runs must be >= 1"));
+        }
+        if !self.protocol.sigma.is_finite() || self.protocol.sigma < 0.0 {
+            return Err(Error::spec(format!(
+                "protocol sigma must be finite and >= 0, got {}",
+                self.protocol.sigma
+            )));
+        }
+        if self.threads == Some(0) {
+            return Err(Error::spec("thread count must be >= 1"));
+        }
+        if let Some(threads) = self.threads {
+            rayon::set_global_threads(threads);
+        }
+        let mut eval = Evaluator::with_protocol(self.problem, self.protocol);
+        eval.budget = self.budget;
+        eval.measure_energy = self.energy;
+        eval.cache_enabled = self.cache;
+        if let Some((model, policy)) = self.faults {
+            eval = eval.with_faults(model, policy);
+        }
+        Ok(eval)
     }
 }
 
@@ -1289,5 +1437,77 @@ mod tests {
             corrupted += usize::from(a.samples != c.samples);
         }
         assert!(corrupted > 0, "no outlier fired in 30 × 5 runs");
+    }
+
+    #[test]
+    fn builder_matches_legacy_constructor_chain() {
+        let p = problem();
+        let legacy = Evaluator::with_protocol(&p, Protocol::default())
+            .with_budget(7)
+            .with_energy();
+        let built = Evaluator::builder(&p)
+            .protocol(Protocol::default())
+            .budget(7)
+            .energy(true)
+            .build()
+            .unwrap();
+        for idx in [1, 2, 3, 1] {
+            assert_eq!(legacy.evaluate_index(idx), built.evaluate_index(idx));
+        }
+        assert_eq!(legacy.budget_left(), built.budget_left());
+        assert_eq!(legacy.distinct_evals(), built.distinct_evals());
+    }
+
+    #[test]
+    fn builder_matches_faulty_chain() {
+        let p = wide_problem();
+        let model = FaultModel {
+            transient_rate: 0.3,
+            crash_rate: 0.1,
+            seed: 2,
+            ..FaultModel::disabled()
+        };
+        let legacy = Evaluator::new(&p).with_faults(model, RetryPolicy::default());
+        let built = Evaluator::builder(&p)
+            .faults(model, RetryPolicy::default())
+            .build()
+            .unwrap();
+        let indices: Vec<u64> = (0..32).collect();
+        assert_eq!(
+            legacy.evaluate_batch(&indices),
+            built.evaluate_batch(&indices)
+        );
+        assert_eq!(legacy.retries_used(), built.retries_used());
+    }
+
+    #[test]
+    fn builder_rejects_bad_protocols() {
+        let p = problem();
+        let zero_runs = Protocol {
+            runs: 0,
+            ..Protocol::default()
+        };
+        assert!(Evaluator::builder(&p).protocol(zero_runs).build().is_err());
+        let bad_sigma = Protocol {
+            sigma: f64::NAN,
+            ..Protocol::default()
+        };
+        assert!(Evaluator::builder(&p).protocol(bad_sigma).build().is_err());
+        let neg_sigma = Protocol {
+            sigma: -0.5,
+            ..Protocol::default()
+        };
+        assert!(Evaluator::builder(&p).protocol(neg_sigma).build().is_err());
+        assert!(Evaluator::builder(&p).threads(0).build().is_err());
+    }
+
+    #[test]
+    fn builder_cache_toggle_is_without_cache() {
+        let p = problem();
+        let built = Evaluator::builder(&p).cache(false).build().unwrap();
+        built.evaluate_index(1);
+        built.evaluate_index(1);
+        assert_eq!(built.evals_used(), 2);
+        assert_eq!(built.distinct_evals(), 2, "cache off: every call measures");
     }
 }

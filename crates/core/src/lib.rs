@@ -21,6 +21,8 @@
 
 #![warn(missing_docs)]
 
+mod backend;
+mod error;
 mod evaluator;
 mod measurement;
 mod problem;
@@ -28,9 +30,11 @@ mod ranking;
 mod record;
 pub mod t4;
 
+pub use backend::{EvalBackend, EvalOutcome};
 pub use bat_gpusim::FaultModel;
-pub use evaluator::{Evaluator, Protocol, RetryPolicy};
-pub use measurement::{EvalFailure, Measurement};
+pub use error::Error;
+pub use evaluator::{Evaluator, EvaluatorBuilder, Protocol, RetryPolicy};
+pub use measurement::{EvalFailure, Measurement, Samples};
 pub use problem::{SyntheticProblem, TuningProblem};
 pub use ranking::friedman_mean_ranks;
 pub use record::{Trial, TuningRun};

@@ -45,6 +45,177 @@ impl std::fmt::Display for EvalFailure {
     }
 }
 
+/// How many run samples a [`Samples`] holds without touching the heap.
+/// Protocol run counts are tiny (5 by default, 16 is exotic), so the common
+/// case fits inline exactly; anything larger is rare enough to pay for a
+/// spill. Kept at the default run count deliberately: every extra inline
+/// slot grows `Measurement` (it holds two of these) and the batched
+/// evaluation path moves measurements through block buffers, where a fatter
+/// struct costs real throughput at large batch sizes.
+const INLINE_SAMPLES: usize = 5;
+
+/// An inline-first sample vector: up to [`INLINE_SAMPLES`] `f64`s live in
+/// the struct itself, longer runs spill to a heap `Vec`.
+///
+/// `Measurement` used to own its samples as a `Vec<f64>`, which put one
+/// heap allocation (plus one per clone — and the memo cache clones every
+/// published measurement) on the evaluator's per-eval hot path. With the
+/// default 5-run protocol this type never allocates: construction,
+/// cloning and memo publication are all plain copies.
+///
+/// Serializes exactly like `Vec<f64>` (a JSON array), so artifacts are
+/// byte-identical to the `Vec`-backed representation.
+#[derive(Clone)]
+pub struct Samples {
+    len: usize,
+    inline: [f64; INLINE_SAMPLES],
+    /// Holds *all* samples once `len > INLINE_SAMPLES`; empty otherwise.
+    spill: Vec<f64>,
+}
+
+impl Samples {
+    /// An empty sample vector.
+    pub const fn new() -> Samples {
+        Samples {
+            len: 0,
+            inline: [0.0; INLINE_SAMPLES],
+            spill: Vec::new(),
+        }
+    }
+
+    /// Append one sample.
+    pub fn push(&mut self, v: f64) {
+        if self.len < INLINE_SAMPLES {
+            self.inline[self.len] = v;
+        } else {
+            if self.len == INLINE_SAMPLES {
+                self.spill.reserve(self.len + 1);
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push(v);
+        }
+        self.len += 1;
+    }
+
+    /// The samples as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        if self.len <= INLINE_SAMPLES {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no samples are held (the `skip_serializing_if` predicate
+    /// of unmeasured energy).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The samples as an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Samples {
+    fn default() -> Samples {
+        Samples::new()
+    }
+}
+
+impl std::ops::Deref for Samples {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Samples {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for Samples {
+    fn eq(&self, other: &Samples) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Vec<f64>> for Samples {
+    fn eq(&self, other: &Vec<f64>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Samples> for Vec<f64> {
+    fn eq(&self, other: &Samples) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<Vec<f64>> for Samples {
+    fn from(v: Vec<f64>) -> Samples {
+        if v.len() <= INLINE_SAMPLES {
+            let mut s = Samples::new();
+            for x in v {
+                s.push(x);
+            }
+            s
+        } else {
+            Samples {
+                len: v.len(),
+                inline: [0.0; INLINE_SAMPLES],
+                spill: v,
+            }
+        }
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Samples {
+        let mut s = Samples::new();
+        for v in iter {
+            s.push(v);
+        }
+        s
+    }
+}
+
+impl<'a> IntoIterator for &'a Samples {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl Serialize for Samples {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Deserialize for Samples {
+    fn from_value(v: &serde::Value) -> Result<Samples, serde::DeError> {
+        match v {
+            serde::Value::Array(items) => items
+                .iter()
+                .map(f64::from_value)
+                .collect::<Result<Samples, _>>(),
+            _ => Err(serde::DeError::expected("array", "Samples")),
+        }
+    }
+}
+
 /// One measured configuration: repeated runs plus the aggregate objective.
 ///
 /// Energy is the suite's optional second objective: it is populated only
@@ -57,14 +228,14 @@ pub struct Measurement {
     /// default).
     pub time_ms: f64,
     /// Individual run times in milliseconds.
-    pub samples: Vec<f64>,
+    pub samples: Samples,
     /// Aggregated energy in millijoules (median of `energy_samples`), when
     /// energy was measured.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub energy_mj: Option<f64>,
     /// Individual run energies in millijoules (empty when not measured).
-    #[serde(default, skip_serializing_if = "Vec::is_empty")]
-    pub energy_samples: Vec<f64>,
+    #[serde(default, skip_serializing_if = "Samples::is_empty")]
+    pub energy_samples: Samples,
 }
 
 /// Median of a non-empty sample vector (the suite's robust aggregate).
@@ -104,27 +275,32 @@ fn mid_of(sorted: &[f64]) -> f64 {
 
 impl Measurement {
     /// Aggregate samples into a measurement using the median (robust to the
-    /// occasional slow run, as real tuners do).
-    pub fn from_samples(mut samples: Vec<f64>) -> Measurement {
+    /// occasional slow run, as real tuners do). Accepts any sample source —
+    /// the evaluator streams protocol runs straight in, so no intermediate
+    /// `Vec` ever exists for protocols that fit inline.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Measurement {
+        let samples: Samples = samples.into_iter().collect();
         assert!(!samples.is_empty(), "measurement needs at least one run");
         let time_ms = median(&samples);
-        samples.shrink_to_fit();
         Measurement {
             time_ms,
             samples,
             energy_mj: None,
-            energy_samples: Vec::new(),
+            energy_samples: Samples::new(),
         }
     }
 
     /// Attach energy samples (median-aggregated, like the time samples).
-    pub fn with_energy_samples(mut self, mut energy_samples: Vec<f64>) -> Measurement {
+    pub fn with_energy_samples(
+        mut self,
+        energy_samples: impl IntoIterator<Item = f64>,
+    ) -> Measurement {
+        let energy_samples: Samples = energy_samples.into_iter().collect();
         assert!(
             !energy_samples.is_empty(),
             "energy measurement needs at least one run"
         );
         self.energy_mj = Some(median(&energy_samples));
-        energy_samples.shrink_to_fit();
         self.energy_samples = energy_samples;
         self
     }
@@ -165,7 +341,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one run")]
     fn empty_samples_panic() {
-        let _ = Measurement::from_samples(vec![]);
+        let _ = Measurement::from_samples(Vec::<f64>::new());
     }
 
     #[test]
@@ -193,6 +369,36 @@ mod tests {
         let back: Measurement = serde_json::from_str(&json).unwrap();
         assert_eq!(back, m);
         assert_eq!(back.energy_mj, Some(4.5));
+    }
+
+    #[test]
+    fn samples_spill_past_the_inline_capacity() {
+        let long: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let s: Samples = long.iter().copied().collect();
+        assert_eq!(s.len(), 20);
+        assert_eq!(s, long);
+        assert_eq!(s.to_vec(), long);
+        let via_from = Samples::from(long.clone());
+        assert_eq!(via_from, s);
+        // Clone preserves the spilled contents.
+        assert_eq!(s.clone(), s);
+        // Spilled samples serialize like any array.
+        let m = Measurement::from_samples(long.clone());
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Measurement = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.samples, long);
+    }
+
+    #[test]
+    fn samples_serialize_exactly_like_vec() {
+        let v = vec![1.5, 2.25, 3.0];
+        let s = Samples::from(v.clone());
+        assert_eq!(
+            serde_json::to_string(&s).unwrap(),
+            serde_json::to_string(&v).unwrap()
+        );
+        let back = Samples::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
     }
 
     #[test]

@@ -67,6 +67,37 @@ pub trait TuningProblem: Send + Sync {
     }
 }
 
+/// Boxed problems are problems: the tuning server owns its benchmarks as
+/// `Box<dyn TuningProblem>` but still needs to hand them to generic
+/// wrappers (scalarization) that take any `P: TuningProblem`. Every method
+/// delegates — including `noise_salt` and `evaluate_pure2`, so a boxed
+/// problem's noise stream and energy are identical to the unboxed one's.
+impl TuningProblem for Box<dyn TuningProblem> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+
+    fn platform(&self) -> &str {
+        self.as_ref().platform()
+    }
+
+    fn space(&self) -> &ConfigSpace {
+        self.as_ref().space()
+    }
+
+    fn evaluate_pure(&self, config: &[i64]) -> Result<f64, EvalFailure> {
+        self.as_ref().evaluate_pure(config)
+    }
+
+    fn evaluate_pure2(&self, config: &[i64]) -> Result<(f64, Option<f64>), EvalFailure> {
+        self.as_ref().evaluate_pure2(config)
+    }
+
+    fn noise_salt(&self) -> u64 {
+        self.as_ref().noise_salt()
+    }
+}
+
 /// A synthetic problem over an arbitrary space, driven by a closure.
 ///
 /// Useful for testing tuners and analyses without the kernel benchmarks.

@@ -163,8 +163,8 @@ impl T4Results {
                         }
                         T4Result {
                             configuration,
-                            times: m.samples.clone(),
-                            energies: m.energy_samples.clone(),
+                            times: m.samples.to_vec(),
+                            energies: m.energy_samples.to_vec(),
                             measurements,
                             invalidity: None,
                         }

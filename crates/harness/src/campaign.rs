@@ -7,11 +7,16 @@
 //! present in a prior (possibly partial) result are reused verbatim and
 //! only the missing ones execute.
 
+use std::io::{Read, Write};
 use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 
-use bat_core::{Evaluator, FaultModel, Protocol, RetryPolicy, TuningProblem, TuningRun};
+use bat_core::{
+    Error, EvalBackend, Evaluator, FaultModel, Protocol, RetryPolicy, TuningProblem, TuningRun,
+};
+use bat_server::wire::OpenSession;
+use bat_server::{Daemon, RemoteBackend, ServerConfig};
 use bat_tuners::{default_tuners, Tuner};
 
 use crate::result::{CampaignResult, TrialRecord, RESULT_SCHEMA};
@@ -30,6 +35,10 @@ pub enum HarnessError {
     Trial(String),
     /// A checkpoint callback (artifact write) failed.
     Io(String),
+    /// The evaluation backend failed (remote endpoints only: transport,
+    /// wire or session errors from the daemon — the in-process path
+    /// cannot produce these).
+    Eval(Error),
 }
 
 impl std::fmt::Display for HarnessError {
@@ -39,6 +48,7 @@ impl std::fmt::Display for HarnessError {
             HarnessError::ResumeMismatch(m) => write!(f, "cannot resume: {m}"),
             HarnessError::Trial(m) => write!(f, "trial failed: {m}"),
             HarnessError::Io(m) => write!(f, "checkpoint failed: {m}"),
+            HarnessError::Eval(e) => e.fmt(f),
         }
     }
 }
@@ -48,6 +58,84 @@ impl std::error::Error for HarnessError {}
 impl From<SpecError> for HarnessError {
     fn from(e: SpecError) -> Self {
         HarnessError::Spec(e)
+    }
+}
+
+impl From<Error> for HarnessError {
+    fn from(e: Error) -> Self {
+        HarnessError::Eval(e)
+    }
+}
+
+/// Every harness failure folds into the unified [`bat_core::Error`]
+/// hierarchy, so front-ends (the CLI, the daemon) report one error type
+/// regardless of which layer failed.
+impl From<HarnessError> for Error {
+    fn from(e: HarnessError) -> Self {
+        match e {
+            HarnessError::Spec(s) => Error::spec(s),
+            HarnessError::ResumeMismatch(m) => Error::session(format!("cannot resume: {m}")),
+            HarnessError::Trial(m) => Error::spec(m),
+            HarnessError::Io(m) => Error::io(m),
+            HarnessError::Eval(e) => e,
+        }
+    }
+}
+
+/// Where campaign trials evaluate.
+///
+/// The historical (and default) endpoint is [`Endpoint::InProcess`]: each
+/// trial builds its own [`Evaluator`] in this process. The remote
+/// endpoints route every trial through the `bat/wire/v1` protocol
+/// instead — [`Endpoint::Loopback`] against a daemon living in this
+/// process (exercising the full codec without a socket), [`Endpoint::Tcp`]
+/// against a `bat serve` daemon elsewhere. Because all three share the
+/// evaluator semantics, the produced artifacts are byte-identical.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Endpoint {
+    /// Evaluate trials with in-process evaluators (the default).
+    #[default]
+    InProcess,
+    /// Spin up a daemon in this process and talk to it over the real
+    /// wire codec via an in-memory stream.
+    Loopback,
+    /// Connect to a `bat serve` daemon at `host:port` (one session per
+    /// trial).
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parse a `--connect` argument: `in-process`, `loopback`, or a
+    /// `host:port` address.
+    pub fn parse(s: &str) -> Result<Endpoint, HarnessError> {
+        match s {
+            "in-process" => Ok(Endpoint::InProcess),
+            "loopback" => Ok(Endpoint::Loopback),
+            addr if addr.contains(':') => Ok(Endpoint::Tcp(addr.to_string())),
+            other => Err(HarnessError::Eval(Error::spec(format!(
+                "bad endpoint {other:?}: expected in-process, loopback, or host:port"
+            )))),
+        }
+    }
+}
+
+/// An [`Endpoint`] resolved for one campaign run: the loopback daemon is
+/// created once and shared by every trial (sessions are cheap; daemons
+/// own the fair scheduler), so concurrent trials contend exactly like
+/// concurrent clients of a real server.
+enum Target {
+    InProcess,
+    Loopback(Daemon),
+    Tcp(String),
+}
+
+impl Target {
+    fn of(endpoint: &Endpoint) -> Target {
+        match endpoint {
+            Endpoint::InProcess => Target::InProcess,
+            Endpoint::Loopback => Target::Loopback(Daemon::new(ServerConfig::default())),
+            Endpoint::Tcp(addr) => Target::Tcp(addr.clone()),
+        }
     }
 }
 
@@ -128,7 +216,7 @@ pub struct EvalStats {
 }
 
 impl EvalStats {
-    fn of(eval: &Evaluator<'_>) -> EvalStats {
+    fn of(eval: &dyn EvalBackend) -> EvalStats {
         EvalStats {
             evals: eval.evals_used(),
             distinct: eval.distinct_evals(),
@@ -202,7 +290,56 @@ pub fn run_tuning_with_faults(
 }
 
 /// Execute one compiled trial under its objective.
-fn execute_trial(ct: &CompiledTrial) -> Result<TrialRecord, HarnessError> {
+/// The wire-session description of one compiled trial: same protocol,
+/// budget, energy flag, scalarization and fault block the in-process
+/// evaluator would get, so the daemon's session is semantically the
+/// trial's evaluator.
+fn open_session(ct: &CompiledTrial) -> OpenSession {
+    let mut open = OpenSession::new(&ct.key.benchmark, &ct.key.architecture, ct.protocol);
+    open.budget = Some(ct.budget);
+    open.energy = ct.objective.mode != ObjectiveMode::Time;
+    open.scalarization = ct.objective.scalarization().map(Into::into);
+    open.faults = ct.faults.map(|f| (f.model(), f.retry_policy()).into());
+    open
+}
+
+/// Execute one trial against an open remote session. The shared ask/tell
+/// driver runs against the [`RemoteBackend`] exactly as it runs against
+/// the in-process evaluator; the Pareto front (like the rest of the
+/// record) is derived client-side from the returned run.
+fn execute_trial_remote<S: Read + Write>(
+    ct: &CompiledTrial,
+    backend: RemoteBackend<S>,
+) -> Result<TrialRecord, HarnessError> {
+    let tuner = tuner_by_name(&ct.key.tuner)
+        .ok_or_else(|| HarnessError::Trial(format!("unknown tuner {:?}", ct.key.tuner)))?;
+    let keep_history = ct.record == RecordLevel::Full;
+    let names = backend.space().names().to_vec();
+    let run = tuner.try_tune(&backend, ct.seed)?;
+    let stats = EvalStats::of(&backend);
+    let mut record = TrialRecord::from_run(&ct.key, ct.seed, &run, &names, stats, keep_history);
+    if ct.objective.mode == ObjectiveMode::Pareto {
+        let front = bat_moo::front_of_run(&run, ct.objective.front_capacity());
+        record.front = Some(front.front().to_vec());
+    }
+    backend.close()?;
+    Ok(record)
+}
+
+fn execute_trial(ct: &CompiledTrial, target: &Target) -> Result<TrialRecord, HarnessError> {
+    match target {
+        Target::InProcess => execute_trial_in_process(ct),
+        Target::Loopback(daemon) => execute_trial_remote(
+            ct,
+            RemoteBackend::open(daemon.connect_loopback(), open_session(ct))?,
+        ),
+        Target::Tcp(addr) => {
+            execute_trial_remote(ct, RemoteBackend::connect(addr, open_session(ct))?)
+        }
+    }
+}
+
+fn execute_trial_in_process(ct: &CompiledTrial) -> Result<TrialRecord, HarnessError> {
     let arch = bat_gpusim::GpuArch::by_name(&ct.key.architecture)
         .ok_or_else(|| HarnessError::Trial(format!("unknown GPU {:?}", ct.key.architecture)))?;
     let problem = bat_kernels::benchmark(&ct.key.benchmark, arch)
@@ -364,7 +501,9 @@ fn run_impl(
     matching: PriorMatch,
     execution: Execution,
     limit: Option<usize>,
+    endpoint: &Endpoint,
 ) -> Result<CampaignRun, HarnessError> {
+    let target = Target::of(endpoint);
     let compiled = spec.compile()?;
     for p in priors {
         validate_prior(spec, p, matching)?;
@@ -393,11 +532,11 @@ fn run_impl(
     let outcomes: Vec<(usize, Result<TrialRecord, HarnessError>)> = match execution {
         Execution::Parallel => todo
             .into_par_iter()
-            .map(|(i, ct)| (i, execute_trial(ct)))
+            .map(|(i, ct)| (i, execute_trial(ct, &target)))
             .collect(),
         Execution::Serial => todo
             .into_iter()
-            .map(|(i, ct)| (i, execute_trial(ct)))
+            .map(|(i, ct)| (i, execute_trial(ct, &target)))
             .collect(),
     };
     let wall = start.elapsed();
@@ -427,13 +566,37 @@ fn run_impl(
 
 /// Run a campaign, fanning trials out over the compat-rayon pool.
 pub fn run_campaign(spec: &ExperimentSpec) -> Result<CampaignRun, HarnessError> {
-    run_impl(spec, &[], PriorMatch::Exact, Execution::Parallel, None)
+    run_campaign_at(spec, &Endpoint::InProcess)
+}
+
+/// [`run_campaign`] against an explicit evaluation [`Endpoint`]. The
+/// artifact is byte-identical across endpoints; only where evaluations
+/// execute changes.
+pub fn run_campaign_at(
+    spec: &ExperimentSpec,
+    endpoint: &Endpoint,
+) -> Result<CampaignRun, HarnessError> {
+    run_impl(
+        spec,
+        &[],
+        PriorMatch::Exact,
+        Execution::Parallel,
+        None,
+        endpoint,
+    )
 }
 
 /// Run a campaign strictly sequentially (the determinism oracle: its
 /// result must be byte-identical to [`run_campaign`]'s).
 pub fn run_campaign_serial(spec: &ExperimentSpec) -> Result<CampaignRun, HarnessError> {
-    run_impl(spec, &[], PriorMatch::Exact, Execution::Serial, None)
+    run_impl(
+        spec,
+        &[],
+        PriorMatch::Exact,
+        Execution::Serial,
+        None,
+        &Endpoint::InProcess,
+    )
 }
 
 /// Run a campaign, reusing every trial of `prior` that matches the spec
@@ -444,7 +607,14 @@ pub fn resume_campaign(
     spec: &ExperimentSpec,
     prior: &CampaignResult,
 ) -> Result<CampaignRun, HarnessError> {
-    run_impl(spec, &[prior], PriorMatch::Exact, Execution::Parallel, None)
+    run_impl(
+        spec,
+        &[prior],
+        PriorMatch::Exact,
+        Execution::Parallel,
+        None,
+        &Endpoint::InProcess,
+    )
 }
 
 /// Merge any number of (typically shard) artifacts into `spec`'s campaign:
@@ -463,6 +633,7 @@ pub fn merge_campaigns(
         PriorMatch::IgnoreShard,
         Execution::Parallel,
         None,
+        &Endpoint::InProcess,
     )
 }
 
@@ -482,6 +653,7 @@ pub fn advance_campaign(
         PriorMatch::Exact,
         Execution::Parallel,
         Some(limit),
+        &Endpoint::InProcess,
     )
 }
 
@@ -496,8 +668,10 @@ pub fn run_campaign_checkpointed(
     prior: Option<&CampaignResult>,
     batch: usize,
     checkpoint: &mut dyn FnMut(&CampaignResult) -> Result<(), HarnessError>,
+    endpoint: &Endpoint,
 ) -> Result<CampaignRun, HarnessError> {
     assert!(batch > 0, "checkpoint batch must be positive");
+    let target = Target::of(endpoint);
     let compiled = spec.compile()?;
     if let Some(p) = prior {
         validate_prior(spec, p, PriorMatch::Exact)?;
@@ -544,7 +718,7 @@ pub fn run_campaign_checkpointed(
         let outcomes: Vec<(usize, Result<TrialRecord, HarnessError>)> = chunk
             .to_vec()
             .into_par_iter()
-            .map(|(i, ct)| (i, execute_trial(ct)))
+            .map(|(i, ct)| (i, execute_trial(ct, &target)))
             .collect();
         for (i, outcome) in outcomes {
             let record = outcome?;
@@ -593,6 +767,75 @@ mod tests {
         assert_eq!(a.result.to_json(), b.result.to_json());
         assert_eq!(a.executed, 4);
         assert_eq!(a.reused, 0);
+    }
+
+    #[test]
+    fn loopback_campaign_is_byte_identical_to_in_process() {
+        let s = spec();
+        let local = run_campaign(&s).unwrap();
+        let loopback = run_campaign_at(&s, &Endpoint::Loopback).unwrap();
+        assert_eq!(loopback.result.to_json(), local.result.to_json());
+        assert_eq!(loopback.executed, 4);
+    }
+
+    #[test]
+    fn loopback_matches_in_process_across_objectives_and_faults() {
+        // Every objective mode routes through the daemon differently
+        // (energy flag, scalarization block, client-side fronts), and a
+        // fault block rides along on the wire — all must reproduce the
+        // in-process artifact byte for byte.
+        for mode in [
+            ObjectiveMode::Energy,
+            ObjectiveMode::Edp,
+            ObjectiveMode::Scalarized,
+            ObjectiveMode::Pareto,
+        ] {
+            let mut s = ExperimentSpec {
+                objective: ObjectiveSpec {
+                    mode,
+                    weight: (mode == ObjectiveMode::Scalarized).then_some(0.3),
+                    front_capacity: (mode == ObjectiveMode::Pareto).then_some(8),
+                    ..ObjectiveSpec::default()
+                },
+                record: crate::spec::RecordLevel::Curve,
+                budget: 15,
+                repetitions: 1,
+                ..spec()
+            };
+            s.set_fault_rate(0.05);
+            let local = run_campaign(&s).unwrap();
+            let loopback = run_campaign_at(&s, &Endpoint::Loopback).unwrap();
+            assert_eq!(
+                loopback.result.to_json(),
+                local.result.to_json(),
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn endpoint_parses_the_connect_argument() {
+        assert_eq!(Endpoint::parse("in-process").unwrap(), Endpoint::InProcess);
+        assert_eq!(Endpoint::parse("loopback").unwrap(), Endpoint::Loopback);
+        assert_eq!(
+            Endpoint::parse("10.0.0.1:4780").unwrap(),
+            Endpoint::Tcp("10.0.0.1:4780".into())
+        );
+        assert!(Endpoint::parse("carrier-pigeon").is_err());
+    }
+
+    #[test]
+    fn remote_failures_are_typed_not_stringly() {
+        // A daemonless TCP endpoint fails with a transport error wrapped
+        // in the unified hierarchy, not a panic or ad-hoc string.
+        let s = spec();
+        let err = run_campaign_at(&s, &Endpoint::Tcp("127.0.0.1:1".into())).unwrap_err();
+        match err {
+            HarnessError::Eval(e) => assert!(matches!(e, Error::Transport(_)), "{e:?}"),
+            other => panic!("expected an Eval(transport) error, got {other:?}"),
+        }
+        let core: Error = HarnessError::Trial("unknown tuner".into()).into();
+        assert!(matches!(core, Error::Spec(_)));
     }
 
     #[test]

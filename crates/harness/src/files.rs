@@ -6,10 +6,11 @@
 //! binaries.
 
 use bat_core::t4::{T4Metadata, T4_SCHEMA_VERSION};
+use bat_core::Error;
 
 use crate::campaign::{
-    merge_campaigns, run_campaign, run_campaign_checkpointed, run_campaign_serial, CampaignRun,
-    HarnessError,
+    merge_campaigns, run_campaign_at, run_campaign_checkpointed, run_campaign_serial, CampaignRun,
+    Endpoint, HarnessError,
 };
 use crate::result::{CampaignResult, RESULT_SCHEMA};
 use crate::spec::{ExperimentSpec, SPEC_SCHEMA};
@@ -22,15 +23,17 @@ use crate::summary::CampaignSummary;
 const CHECKPOINT_TRIALS: usize = 32;
 
 /// Load and parse a campaign spec file.
-pub fn load_spec_file(path: &str) -> Result<ExperimentSpec, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    ExperimentSpec::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+pub fn load_spec_file(path: &str) -> Result<ExperimentSpec, Error> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| Error::io(format!("reading {path}: {e}")))?;
+    ExperimentSpec::from_json(&text).map_err(|e| Error::spec(format!("parsing {path}: {e}")))
 }
 
 /// Load and parse a campaign result artifact.
-pub fn load_result_file(path: &str) -> Result<CampaignResult, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    CampaignResult::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+pub fn load_result_file(path: &str) -> Result<CampaignResult, Error> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| Error::io(format!("reading {path}: {e}")))?;
+    CampaignResult::from_json(&text).map_err(|e| Error::spec(format!("parsing {path}: {e}")))
 }
 
 /// Execute `spec` and, when `out` is given, write the artifact there —
@@ -41,24 +44,34 @@ pub fn load_result_file(path: &str) -> Result<CampaignResult, String> {
 /// (a missing file degenerates to a full run; any other read or parse
 /// failure is an error — silently re-running would overwrite the
 /// artifact). `serial` runs the determinism oracle and is mutually
-/// exclusive with `resume`.
+/// exclusive with `resume`. `endpoint` selects where trials evaluate
+/// (in-process, loopback, or a `bat serve` daemon); the artifact is
+/// byte-identical across endpoints.
 pub fn run_spec_to_file(
     spec: &ExperimentSpec,
     out: Option<&str>,
     resume: bool,
     serial: bool,
-) -> Result<CampaignRun, String> {
+    endpoint: &Endpoint,
+) -> Result<CampaignRun, Error> {
     if resume && serial {
-        return Err("--resume and --serial are mutually exclusive".into());
+        return Err(Error::spec("--resume and --serial are mutually exclusive"));
+    }
+    if serial && *endpoint != Endpoint::InProcess {
+        return Err(Error::spec(
+            "--serial runs the in-process determinism oracle; drop --connect",
+        ));
     }
     let prior: Option<CampaignResult> = if resume {
-        let path = out.ok_or("--resume requires --out (the file to resume from)")?;
+        let path =
+            out.ok_or_else(|| Error::spec("--resume requires --out (the file to resume from)"))?;
         match std::fs::read_to_string(path) {
-            Ok(text) => {
-                Some(CampaignResult::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))?)
-            }
+            Ok(text) => Some(
+                CampaignResult::from_json(&text)
+                    .map_err(|e| Error::spec(format!("parsing {path}: {e}")))?,
+            ),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
-            Err(e) => return Err(format!("reading {path}: {e}")),
+            Err(e) => return Err(Error::io(format!("reading {path}: {e}"))),
         }
     } else {
         None
@@ -67,7 +80,7 @@ pub fn run_spec_to_file(
     if serial {
         // The determinism oracle runs in one shot; its artifact still
         // lands on disk at the end.
-        let run = run_campaign_serial(spec).map_err(|e| e.to_string())?;
+        let run = run_campaign_serial(spec)?;
         if let Some(path) = out {
             write_artifact(path, &run.result)?;
             write_metadata(path, spec)?;
@@ -78,15 +91,17 @@ pub fn run_spec_to_file(
     match out {
         // Without an output file there is nothing to checkpoint into
         // (and resume already required one, so `prior` is None here).
-        None => run_campaign(spec).map_err(|e| e.to_string()),
+        None => Ok(run_campaign_at(spec, endpoint)?),
         Some(path) => {
             let run = run_campaign_checkpointed(
                 spec,
                 prior.as_ref(),
                 CHECKPOINT_TRIALS,
-                &mut |partial| write_artifact(path, partial).map_err(HarnessError::Io),
-            )
-            .map_err(|e| e.to_string())?;
+                &mut |partial| {
+                    write_artifact(path, partial).map_err(|e| HarnessError::Io(e.to_string()))
+                },
+                endpoint,
+            )?;
             write_metadata(path, spec)?;
             Ok(run)
         }
@@ -96,13 +111,13 @@ pub fn run_spec_to_file(
 /// Write a document atomically (temp file + rename) so a crash mid-write
 /// cannot leave a corrupt file — for the artifact that would make the
 /// next `--resume` abort, for the metadata it would break any consumer.
-fn write_atomic(path: &str, contents: &str) -> Result<(), String> {
+fn write_atomic(path: &str, contents: &str) -> Result<(), Error> {
     let tmp = format!("{path}.tmp");
-    std::fs::write(&tmp, contents).map_err(|e| format!("writing {tmp}: {e}"))?;
-    std::fs::rename(&tmp, path).map_err(|e| format!("renaming {tmp} to {path}: {e}"))
+    std::fs::write(&tmp, contents).map_err(|e| Error::io(format!("writing {tmp}: {e}")))?;
+    std::fs::rename(&tmp, path).map_err(|e| Error::io(format!("renaming {tmp} to {path}: {e}")))
 }
 
-fn write_artifact(path: &str, result: &CampaignResult) -> Result<(), String> {
+fn write_artifact(path: &str, result: &CampaignResult) -> Result<(), Error> {
     write_atomic(path, &result.to_json())
 }
 
@@ -135,7 +150,7 @@ pub fn metadata_path(out: &str) -> String {
     format!("{out}.meta.json")
 }
 
-fn write_metadata(out: &str, spec: &ExperimentSpec) -> Result<(), String> {
+fn write_metadata(out: &str, spec: &ExperimentSpec) -> Result<(), Error> {
     write_atomic(&metadata_path(out), &campaign_metadata(spec).to_json())
 }
 
@@ -146,12 +161,12 @@ pub fn merge_files(
     spec: &ExperimentSpec,
     inputs: &[String],
     out: &str,
-) -> Result<CampaignRun, String> {
+) -> Result<CampaignRun, Error> {
     let priors: Vec<CampaignResult> = inputs
         .iter()
         .map(|p| load_result_file(p))
-        .collect::<Result<_, String>>()?;
-    let run = merge_campaigns(spec, &priors).map_err(|e| e.to_string())?;
+        .collect::<Result<_, Error>>()?;
+    let run = merge_campaigns(spec, &priors)?;
     write_artifact(out, &run.result)?;
     write_metadata(out, spec)?;
     Ok(run)
@@ -210,18 +225,20 @@ mod tests {
         let out = temp_out("artifact.json");
 
         // Missing artifact + resume degenerates to a full run.
-        let first = run_spec_to_file(&spec(), Some(&out), true, false).unwrap();
+        let first =
+            run_spec_to_file(&spec(), Some(&out), true, false, &Endpoint::InProcess).unwrap();
         assert!(first.complete);
         assert_eq!(first.executed, 1);
         // Resuming from the written artifact reuses everything.
-        let second = run_spec_to_file(&spec(), Some(&out), true, false).unwrap();
+        let second =
+            run_spec_to_file(&spec(), Some(&out), true, false, &Endpoint::InProcess).unwrap();
         assert_eq!(second.reused, 1);
         assert_eq!(second.result, first.result);
         assert_eq!(load_result_file(&out).unwrap(), first.result);
 
         // A corrupt artifact is an error, not a silent re-run.
         std::fs::write(&out, "{ not json").unwrap();
-        assert!(run_spec_to_file(&spec(), Some(&out), true, false).is_err());
+        assert!(run_spec_to_file(&spec(), Some(&out), true, false, &Endpoint::InProcess).is_err());
         std::fs::remove_file(&out).unwrap();
     }
 
@@ -240,7 +257,8 @@ mod tests {
         };
         assert!(spec.compile().unwrap().len() > CHECKPOINT_TRIALS);
         let out = temp_out("checkpointed.json");
-        let batched = run_spec_to_file(&spec, Some(&out), false, false).unwrap();
+        let batched =
+            run_spec_to_file(&spec, Some(&out), false, false, &Endpoint::InProcess).unwrap();
         let single = run_campaign(&spec).unwrap();
         assert!(batched.complete);
         assert_eq!(batched.executed, single.result.trials.len());
@@ -260,7 +278,8 @@ mod tests {
         assert_eq!(partial.result.trials.len(), 2);
         let out = temp_out("partial.json");
         std::fs::write(&out, partial.result.to_json()).unwrap();
-        let resumed = run_spec_to_file(&spec, Some(&out), true, false).unwrap();
+        let resumed =
+            run_spec_to_file(&spec, Some(&out), true, false, &Endpoint::InProcess).unwrap();
         assert!(resumed.complete);
         assert_eq!(resumed.reused, 2);
         assert_eq!(resumed.executed, 4);
@@ -273,16 +292,16 @@ mod tests {
 
     #[test]
     fn flag_combinations_are_validated() {
-        assert!(run_spec_to_file(&spec(), Some("x"), true, true).is_err());
-        assert!(run_spec_to_file(&spec(), None, true, false).is_err());
+        assert!(run_spec_to_file(&spec(), Some("x"), true, true, &Endpoint::InProcess).is_err());
+        assert!(run_spec_to_file(&spec(), None, true, false, &Endpoint::InProcess).is_err());
     }
 
     #[test]
     fn metadata_document_is_emitted_and_deterministic() {
         let out = temp_out("with-meta.json");
-        run_spec_to_file(&spec(), Some(&out), false, false).unwrap();
+        run_spec_to_file(&spec(), Some(&out), false, false, &Endpoint::InProcess).unwrap();
         let meta1 = std::fs::read_to_string(metadata_path(&out)).unwrap();
-        run_spec_to_file(&spec(), Some(&out), false, false).unwrap();
+        run_spec_to_file(&spec(), Some(&out), false, false, &Endpoint::InProcess).unwrap();
         let meta2 = std::fs::read_to_string(metadata_path(&out)).unwrap();
         assert_eq!(meta1, meta2, "metadata must be byte-deterministic");
         let md = bat_core::t4::T4Metadata::from_json(&meta1).unwrap();
@@ -309,7 +328,7 @@ mod tests {
                 ..base.clone()
             };
             let out = temp_out(&format!("shard-{index}.json"));
-            run_spec_to_file(&shard_spec, Some(&out), false, false).unwrap();
+            run_spec_to_file(&shard_spec, Some(&out), false, false, &Endpoint::InProcess).unwrap();
             inputs.push(out);
         }
         let merged_out = temp_out("merged.json");

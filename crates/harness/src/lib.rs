@@ -41,9 +41,9 @@ mod spec;
 pub mod summary;
 
 pub use campaign::{
-    advance_campaign, merge_campaigns, resume_campaign, run_campaign, run_campaign_checkpointed,
-    run_campaign_serial, run_tuning, run_tuning_with_energy, run_tuning_with_faults, tuner_by_name,
-    CampaignRun, EvalStats, HarnessError,
+    advance_campaign, merge_campaigns, resume_campaign, run_campaign, run_campaign_at,
+    run_campaign_checkpointed, run_campaign_serial, run_tuning, run_tuning_with_energy,
+    run_tuning_with_faults, tuner_by_name, CampaignRun, Endpoint, EvalStats, HarnessError,
 };
 pub use files::{
     campaign_metadata, load_result_file, load_spec_file, merge_files, metadata_path, report_run,

@@ -10,14 +10,14 @@ use std::process::ExitCode;
 
 use bat_harness::{
     convergence_auc, load_result_file, load_spec_file, merge_files, render_table, report_run,
-    run_campaign, run_spec_to_file, CampaignSummary, ExperimentSpec, ShardSpec,
+    run_campaign, run_spec_to_file, CampaignSummary, Endpoint, ExperimentSpec, ShardSpec,
 };
 
 const HELP: &str = "\
 bat-harness — declarative experiment orchestration for BAT-rs
 
 USAGE:
-    bat-harness run --spec FILE [--out FILE] [--resume] [--serial] [--strict] [--quiet] [--shard I/N] [--batch N] [--fault-rate R] [--threads N]
+    bat-harness run --spec FILE [--out FILE] [--resume] [--serial] [--strict] [--quiet] [--shard I/N] [--batch N] [--fault-rate R] [--threads N] [--connect EP]
     bat-harness merge --spec FILE --inputs A,B,... --out FILE [--quiet]
     bat-harness summary --input FILE
     bat-harness sweep-batch --spec FILE [--batches 1,4,16,64] [--threads N]
@@ -55,6 +55,10 @@ OPTIONS:
                    --threads, then the BAT_THREADS environment variable,
                    then available_parallelism; artifacts are byte-identical
                    at every setting)
+    --connect EP   evaluation endpoint: in-process (default), loopback
+                   (an in-process daemon behind the real bat/wire/v1
+                   codec), or HOST:PORT of a running `bat serve` daemon;
+                   artifacts are byte-identical across endpoints
     --inputs A,B   comma-separated shard artifacts to merge
     --strict       exit non-zero if any trial found no valid configuration
     --quiet        suppress the summary tables and throughput line
@@ -73,7 +77,7 @@ fn flag(args: &[String], key: &str) -> bool {
 
 fn load_spec(args: &[String]) -> Result<ExperimentSpec, String> {
     let path = opt(args, "--spec").ok_or("--spec FILE is required")?;
-    load_spec_file(&path)
+    load_spec_file(&path).map_err(|e| e.to_string())
 }
 
 /// Parse an `I/N` shard selector.
@@ -128,13 +132,19 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     }
     let out = opt(args, "--out");
     let quiet = flag(args, "--quiet");
+    let endpoint = match opt(args, "--connect") {
+        Some(ep) => Endpoint::parse(&ep).map_err(|e| e.to_string())?,
+        None => Endpoint::InProcess,
+    };
 
     let run = run_spec_to_file(
         &spec,
         out.as_deref(),
         flag(args, "--resume"),
         flag(args, "--serial"),
-    )?;
+        &endpoint,
+    )
+    .map_err(|e| e.to_string())?;
     if out.is_none() {
         println!("{}", run.result.to_json());
     }
@@ -158,7 +168,7 @@ fn cmd_merge(args: &[String]) -> Result<ExitCode, String> {
         return Err("--inputs names no artifacts".into());
     }
     let out = opt(args, "--out").ok_or("--out FILE is required")?;
-    let run = merge_files(&spec, &inputs, &out)?;
+    let run = merge_files(&spec, &inputs, &out).map_err(|e| e.to_string())?;
     report_run(&run, flag(args, "--quiet"));
     eprintln!("merged {} artifacts into {out}", inputs.len());
     Ok(ExitCode::SUCCESS)
@@ -257,7 +267,7 @@ fn cmd_sweep_batch(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_summary(args: &[String]) -> Result<ExitCode, String> {
     let path = opt(args, "--input").ok_or("--input FILE is required")?;
-    let result = load_result_file(&path)?;
+    let result = load_result_file(&path).map_err(|e| e.to_string())?;
     print!("{}", CampaignSummary::from_result(&result).render());
     Ok(ExitCode::SUCCESS)
 }

@@ -1,0 +1,353 @@
+//! The `bat serve` daemon: many concurrent tuning sessions, one machine.
+//!
+//! ## Lifecycle
+//!
+//! A [`Daemon`] owns the process-wide evaluation resources: the fair
+//! scheduler gating the measurement worker pool, the session id source and
+//! the shutdown flag. Connections arrive either over TCP ([`Daemon::serve`])
+//! or in-process over the loopback transport ([`Daemon::connect_loopback`]);
+//! each connection gets a reader thread, and each session opened on a
+//! connection gets a dedicated worker thread that owns that session's
+//! problem and [`Evaluator`].
+//!
+//! ## Session model
+//!
+//! Sessions are connection-scoped: `open` allocates a daemon-unique id,
+//! `eval` requests are forwarded to the session's worker over a *bounded*
+//! queue, `close` returns the final statistics. When a connection drops,
+//! its sessions are torn down with it — resumability lives a layer up, in
+//! the campaign checkpoint artifacts, which a reconnecting client replays
+//! to skip already-completed trials.
+//!
+//! ## Backpressure and fairness
+//!
+//! Two mechanisms keep one client from monopolizing the daemon:
+//!
+//! * **per-session in-flight bound** — each session buffers at most
+//!   [`ServerConfig::max_inflight_per_session`] unprocessed batches;
+//!   further `eval` requests are refused with a `session` error instead of
+//!   queueing without limit.
+//! * **fair scheduling** — at most
+//!   [`ServerConfig::max_concurrent_batches`] batches evaluate at once,
+//!   granted in round-robin arrival order across sessions
+//!   (see [`FairScheduler`]).
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+
+use bat_core::{Error, Evaluator, TuningProblem};
+use bat_gpusim::GpuArch;
+
+use crate::codec;
+use crate::duplex::{duplex, DuplexStream};
+use crate::scheduler::FairScheduler;
+use crate::wire::{
+    Closed, ErrorResponse, EvalBatch, Evaluated, OpenSession, Opened, Request, Response,
+    SessionStats,
+};
+
+/// Tunable limits of one daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Batches evaluating concurrently across all sessions (fair
+    /// round-robin beyond that).
+    pub max_concurrent_batches: usize,
+    /// Unprocessed batches one session may buffer before further `eval`
+    /// requests are refused (backpressure).
+    pub max_inflight_per_session: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_concurrent_batches: 4,
+            max_inflight_per_session: 2,
+        }
+    }
+}
+
+/// Daemon-wide shared state.
+struct Shared {
+    scheduler: FairScheduler,
+    next_session: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A tuning daemon hosting concurrent evaluation sessions.
+pub struct Daemon {
+    config: ServerConfig,
+    shared: Arc<Shared>,
+}
+
+impl Daemon {
+    /// A daemon with the given limits.
+    pub fn new(config: ServerConfig) -> Daemon {
+        Daemon {
+            config,
+            shared: Arc::new(Shared {
+                scheduler: FairScheduler::new(config.max_concurrent_batches),
+                next_session: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// True once a client sent `shutdown`.
+    pub fn shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Open an in-process (loopback) connection to this daemon: the
+    /// returned stream speaks the real `bat/wire/v1` codec to a handler
+    /// thread, exercising every serialization boundary of the remote path
+    /// without a socket.
+    pub fn connect_loopback(&self) -> DuplexStream {
+        let (client, server) = duplex();
+        let shared = Arc::clone(&self.shared);
+        let config = self.config;
+        let reader = server.clone();
+        std::thread::spawn(move || {
+            handle_connection(shared, config, reader, Arc::new(Mutex::new(server)));
+        });
+        client
+    }
+
+    /// Accept TCP connections until a client sends `shutdown`.
+    pub fn serve(&self, listener: TcpListener) -> Result<(), Error> {
+        listener.set_nonblocking(true).map_err(Error::io)?;
+        loop {
+            if self.shutting_down() {
+                return Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false).map_err(Error::io)?;
+                    let reader = stream.try_clone().map_err(Error::io)?;
+                    let shared = Arc::clone(&self.shared);
+                    let config = self.config;
+                    std::thread::spawn(move || {
+                        handle_connection(shared, config, reader, Arc::new(Mutex::new(stream)));
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                Err(e) => return Err(Error::transport(e)),
+            }
+        }
+    }
+}
+
+/// Commands a connection reader forwards to a session worker.
+enum SessionCmd {
+    Eval(Vec<u64>),
+    Close,
+}
+
+/// Serialize one response onto the connection's shared writer. Write
+/// failures mean the client hung up; the reader thread will notice on its
+/// next read, so they are ignored here.
+fn respond<W: Write>(writer: &Mutex<W>, resp: Response) {
+    let mut w = writer.lock().expect("connection writer poisoned");
+    let _ = codec::write_response(&mut *w, resp);
+}
+
+fn session_error(session: Option<u64>, error: Error) -> Response {
+    Response::Error(ErrorResponse { session, error })
+}
+
+/// One connection's read-dispatch loop: decode requests, route them to
+/// session workers, answer protocol-level requests inline.
+fn handle_connection<R: Read, W: Write + Send + 'static>(
+    shared: Arc<Shared>,
+    config: ServerConfig,
+    mut reader: R,
+    writer: Arc<Mutex<W>>,
+) {
+    let mut sessions: HashMap<u64, SyncSender<SessionCmd>> = HashMap::new();
+    loop {
+        let req = match codec::read_request(&mut reader) {
+            Ok(req) => req,
+            // Disconnect or an undecodable frame: report what we can and
+            // stop; dropping the senders tears the session workers down.
+            Err(Error::Transport(_)) => break,
+            Err(e) => {
+                respond(&writer, session_error(None, e));
+                break;
+            }
+        };
+        match req {
+            Request::Ping => respond(&writer, Response::Pong),
+            Request::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                respond(&writer, Response::ShuttingDown);
+            }
+            Request::Open(open) => {
+                let id = shared.next_session.fetch_add(1, Ordering::SeqCst) + 1;
+                let (tx, rx) = std::sync::mpsc::sync_channel::<SessionCmd>(
+                    config.max_inflight_per_session.max(1),
+                );
+                let shared = Arc::clone(&shared);
+                let writer = Arc::clone(&writer);
+                std::thread::spawn(move || session_worker(shared, writer, id, open, rx));
+                sessions.insert(id, tx);
+            }
+            Request::Eval(EvalBatch { session, indices }) => match sessions.get(&session) {
+                None => respond(
+                    &writer,
+                    session_error(Some(session), Error::session("unknown session id")),
+                ),
+                Some(tx) => match tx.try_send(SessionCmd::Eval(indices)) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => respond(
+                        &writer,
+                        session_error(
+                            Some(session),
+                            Error::session(format!(
+                                "backpressure: session {session} already has {} in-flight batches",
+                                config.max_inflight_per_session.max(1)
+                            )),
+                        ),
+                    ),
+                    Err(TrySendError::Disconnected(_)) => respond(
+                        &writer,
+                        session_error(Some(session), Error::session("session terminated")),
+                    ),
+                },
+            },
+            Request::Close(close) => match sessions.remove(&close.session) {
+                None => respond(
+                    &writer,
+                    session_error(Some(close.session), Error::session("unknown session id")),
+                ),
+                // Blocking send: queued batches finish first, then the
+                // worker answers `closed` and exits. A dead worker already
+                // reported its error.
+                Some(tx) => {
+                    let _ = tx.send(SessionCmd::Close);
+                }
+            },
+        }
+    }
+}
+
+/// The statistics snapshot of one evaluator.
+fn stats_of(eval: &Evaluator<'_>) -> SessionStats {
+    SessionStats {
+        evals: eval.evals_used(),
+        distinct: eval.distinct_evals(),
+        retries: eval.retries_used(),
+        quarantined: eval.quarantined_configs(),
+    }
+}
+
+/// A session worker: owns the problem, builds the evaluator through the
+/// shared validated path, then serves eval/close commands until the
+/// connection goes away.
+fn session_worker<W: Write>(
+    shared: Arc<Shared>,
+    writer: Arc<Mutex<W>>,
+    id: u64,
+    open: OpenSession,
+    rx: Receiver<SessionCmd>,
+) {
+    let Some(arch) = GpuArch::by_name(&open.architecture) else {
+        respond(
+            &writer,
+            session_error(
+                Some(id),
+                Error::spec(format!("unknown GPU architecture {:?}", open.architecture)),
+            ),
+        );
+        return;
+    };
+    let Some(base) = bat_kernels::benchmark(&open.benchmark, arch) else {
+        respond(
+            &writer,
+            session_error(
+                Some(id),
+                Error::spec(format!("unknown benchmark {:?}", open.benchmark)),
+            ),
+        );
+        return;
+    };
+    // Blended objectives wrap the problem exactly as the in-process
+    // campaign path does, so names, noise salts and therefore artifacts
+    // agree byte for byte.
+    match open.scalarization {
+        None => run_session(&base, &shared, &writer, id, &open, rx),
+        Some(s) => {
+            let blended = bat_moo::Scalarized::new(base, s.into());
+            run_session(&blended, &shared, &writer, id, &open, rx);
+        }
+    }
+}
+
+fn run_session<W: Write>(
+    problem: &dyn TuningProblem,
+    shared: &Shared,
+    writer: &Mutex<W>,
+    id: u64,
+    open: &OpenSession,
+    rx: Receiver<SessionCmd>,
+) {
+    let mut builder = Evaluator::builder(problem)
+        .protocol(open.protocol())
+        .maybe_budget(open.budget)
+        .energy(open.energy);
+    if let Some(wf) = open.faults {
+        let (model, policy) = wf.into();
+        builder = builder.faults(model, policy);
+    }
+    let eval = match builder.build() {
+        Ok(eval) => eval,
+        Err(e) => {
+            respond(writer, session_error(Some(id), e));
+            return;
+        }
+    };
+    respond(
+        writer,
+        Response::Opened(Opened {
+            session: id,
+            problem: problem.name().to_string(),
+            platform: problem.platform().to_string(),
+            budget_left: eval.budget_left(),
+        }),
+    );
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            SessionCmd::Eval(indices) => {
+                // The fair scheduler grants this batch its turn; the
+                // budget itself is charged inside `evaluate_batch`'s
+                // single CAS claim, so per-session budgets hold exactly
+                // no matter how turns interleave.
+                let outcomes = shared.scheduler.run(|| eval.evaluate_batch(&indices));
+                respond(
+                    writer,
+                    Response::Evaluated(Evaluated {
+                        session: id,
+                        outcomes,
+                        stats: stats_of(&eval),
+                        budget_left: eval.budget_left(),
+                    }),
+                );
+            }
+            SessionCmd::Close => {
+                respond(
+                    writer,
+                    Response::Closed(Closed {
+                        session: id,
+                        stats: stats_of(&eval),
+                    }),
+                );
+                return;
+            }
+        }
+    }
+    // Connection dropped without a close: tear down silently.
+}

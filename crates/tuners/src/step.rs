@@ -18,7 +18,7 @@
 //! per-candidate feedback for measurement parallelism — a new scenario
 //! axis campaigns can sweep.
 
-use bat_core::{EvalFailure, Evaluator, Measurement, Trial, TuningRun};
+use bat_core::{Error, EvalBackend, EvalFailure, Measurement, Trial, TuningRun};
 
 /// What the evaluation side offers for the current step.
 #[derive(Debug, Clone, Copy)]
@@ -72,19 +72,25 @@ pub trait StepTuner {
 ///
 /// This is the single search loop of the suite: every [`crate::Tuner`]'s
 /// `tune` is this function applied to its [`crate::Tuner::start`] session,
-/// so no caller ever constructs an evaluation loop by hand.
-pub fn drive(
+/// so no caller ever constructs an evaluation loop by hand. It is generic
+/// over the [`EvalBackend`] — in-process, loopback and remote evaluation
+/// all run this exact loop, which is why their trial histories agree byte
+/// for byte.
+///
+/// `Err` means the *backend* failed (transport, session); per-configuration
+/// failures are ordinary [`Told`] outcomes.
+pub fn try_drive(
     name: &str,
     session: &mut dyn StepTuner,
-    eval: &Evaluator<'_>,
+    backend: &dyn EvalBackend,
     seed: u64,
-) -> TuningRun {
-    let space = eval.problem().space();
-    let mut run = crate::tuner::new_run(eval, name, seed);
+) -> Result<TuningRun, Error> {
+    let space = backend.space();
+    let mut run = crate::tuner::new_run(backend, name, seed);
     let ctx = StepCtx {
-        batch: eval.protocol().batch(),
+        batch: backend.protocol().batch(),
     };
-    while eval.has_budget() {
+    while backend.has_budget() {
         let asked = session.ask(&ctx);
         if asked.is_empty() {
             break;
@@ -95,7 +101,7 @@ pub fn drive(
             asked.len(),
             ctx.batch
         );
-        let outcomes = eval.evaluate_batch(&asked);
+        let outcomes = backend.evaluate_batch(&asked)?;
         let evaluated = outcomes.len();
         let mut told = Vec::with_capacity(evaluated);
         for (&index, outcome) in asked.iter().zip(outcomes) {
@@ -112,7 +118,24 @@ pub fn drive(
             break; // budget died mid-batch
         }
     }
-    run
+    Ok(run)
+}
+
+/// [`try_drive`] for backends that cannot fail — the in-process
+/// [`Evaluator`](bat_core::Evaluator) (which coerces straight to
+/// `&dyn EvalBackend`).
+///
+/// # Panics
+///
+/// Panics if the backend reports a transport-level error; use
+/// [`try_drive`] with fallible (loopback/remote) backends.
+pub fn drive(
+    name: &str,
+    session: &mut dyn StepTuner,
+    backend: &dyn EvalBackend,
+    seed: u64,
+) -> TuningRun {
+    try_drive(name, session, backend, seed).expect("in-process evaluation cannot fail")
 }
 
 /// Select up to `batch` distinct candidate indices from `(score, index)`
@@ -147,7 +170,7 @@ pub(crate) fn take_top_distinct(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bat_core::{Protocol, SyntheticProblem};
+    use bat_core::{Evaluator, Protocol, SyntheticProblem};
     use bat_space::{ConfigSpace, Param};
 
     #[test]

@@ -1,6 +1,6 @@
 //! The tuner-side of the shared problem interface.
 
-use bat_core::{EvalFailure, Evaluator, Measurement, Trial, TuningRun};
+use bat_core::{Error, EvalBackend, EvalFailure, Evaluator, Measurement, Trial, TuningRun};
 use bat_space::ConfigSpace;
 use rand::Rng;
 
@@ -29,15 +29,31 @@ pub trait Tuner: Send + Sync {
     /// configuration) for its lifetime.
     fn start<'a>(&'a self, space: &'a ConfigSpace, seed: u64) -> Box<dyn crate::StepTuner + 'a>;
 
-    /// Search until the evaluator's budget is exhausted (or the algorithm
-    /// is done). Returns the complete trial history.
+    /// Search until the backend's budget is exhausted (or the algorithm is
+    /// done), over *any* [`EvalBackend`] — in-process, loopback or remote.
+    /// Returns the complete trial history, or the backend's
+    /// transport/session error.
     ///
     /// The default implementation runs [`Tuner::start`]'s session through
     /// the shared deterministic driver; with `Protocol::batch == 1` it is
-    /// bit-identical to the historical per-tuner loops.
+    /// bit-identical to the historical per-tuner loops, and across backends
+    /// it produces byte-identical trial histories for the same problem and
+    /// protocol.
+    fn try_tune(&self, backend: &dyn EvalBackend, seed: u64) -> Result<TuningRun, Error> {
+        let mut session = self.start(backend.space(), seed);
+        crate::step::try_drive(self.name(), session.as_mut(), backend, seed)
+    }
+
+    /// [`Tuner::try_tune`] for the infallible in-process backend — the
+    /// familiar pull-style entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend reports a transport-level error (impossible
+    /// for [`Evaluator`]).
     fn tune(&self, eval: &Evaluator<'_>, seed: u64) -> TuningRun {
-        let mut session = self.start(eval.problem().space(), seed);
-        crate::step::drive(self.name(), session.as_mut(), eval, seed)
+        self.try_tune(eval, seed)
+            .expect("in-process evaluation cannot fail")
     }
 }
 
@@ -96,11 +112,11 @@ pub fn record_eval(eval: &Evaluator<'_>, run: &mut TuningRun, index: u64) -> Rec
     }
 }
 
-/// Start an empty [`TuningRun`] for `eval` under `tuner_name`.
-pub fn new_run(eval: &Evaluator<'_>, tuner_name: &str, seed: u64) -> TuningRun {
+/// Start an empty [`TuningRun`] for `backend` under `tuner_name`.
+pub fn new_run(backend: &dyn EvalBackend, tuner_name: &str, seed: u64) -> TuningRun {
     TuningRun::new(
-        eval.problem().name().to_string(),
-        eval.problem().platform().to_string(),
+        backend.problem_name().to_string(),
+        backend.platform().to_string(),
         tuner_name.to_string(),
         seed,
     )
