@@ -62,11 +62,13 @@ const SCALING_BATCH: usize = 256;
 const SCALING_THREADS: [usize; 3] = [1, 2, 4];
 
 /// Throughput of the scaling batch size at fixed worker-pool sizes (via
-/// the per-thread override, so one process sweeps all counts). On a
-/// single-core host the sweep documents that extra workers are
+/// the per-thread override, so one process sweeps all counts), plus the
+/// measured worker utilization from the pool's busy-time counter:
+/// busy-µs accrued across the timed passes over `threads ×` their wall
+/// time. On a single-core host the sweep documents that extra workers are
 /// quality-neutral and roughly throughput-neutral; on a multi-core host it
-/// records the actual speedup.
-fn measure_scaling() -> Vec<(usize, f64)> {
+/// records the actual speedup and how busy the workers really were.
+fn measure_scaling() -> Vec<(usize, f64, f64)> {
     let problem = bat_kernels::benchmark("gemm", GpuArch::rtx_3090()).unwrap();
     let card = problem.space().cardinality();
     let n = 1u64 << 16;
@@ -80,6 +82,8 @@ fn measure_scaling() -> Vec<(usize, f64)> {
                     std::hint::black_box(eval.evaluate_batch(chunk).len());
                 }
                 let mut best = f64::MAX;
+                let busy0 = rayon::pool_busy_us();
+                let mut timed_wall = 0.0f64;
                 for _ in 0..3 {
                     let eval =
                         Evaluator::with_protocol(&problem, Protocol::default()).without_cache();
@@ -87,9 +91,24 @@ fn measure_scaling() -> Vec<(usize, f64)> {
                     for chunk in indices.chunks(SCALING_BATCH) {
                         std::hint::black_box(eval.evaluate_batch(chunk).len());
                     }
-                    best = best.min(start.elapsed().as_secs_f64());
+                    let wall = start.elapsed().as_secs_f64();
+                    timed_wall += wall;
+                    best = best.min(wall);
                 }
-                (threads, n as f64 / best)
+                let busy_us = (rayon::pool_busy_us() - busy0) as f64;
+                let capacity_us = threads as f64 * timed_wall * 1e6;
+                // At one thread the evaluator short-circuits before the
+                // pool, so no busy time accrues there — but the lone
+                // participant is the caller, busy for the full wall by
+                // construction.
+                let utilization = if threads == 1 {
+                    1.0
+                } else if capacity_us > 0.0 {
+                    (busy_us / capacity_us).min(1.0)
+                } else {
+                    0.0
+                };
+                (threads, n as f64 / best, utilization)
             })
         })
         .collect()
@@ -131,10 +150,11 @@ fn main() -> std::process::ExitCode {
 
     if let Some(path) = opt("--write") {
         let scaling = measure_scaling();
-        for (threads, rate) in &scaling {
+        for (threads, rate, util) in &scaling {
             println!(
-                "threads {threads} @ batch {SCALING_BATCH}: {:.2} M evals/s",
-                rate / 1e6
+                "threads {threads} @ batch {SCALING_BATCH}: {:.2} M evals/s ({:.0}% utilized)",
+                rate / 1e6,
+                util * 100.0
             );
         }
         let threads = std::env::var("BAT_THREADS").unwrap_or_else(|_| "auto".into());
@@ -152,9 +172,14 @@ fn main() -> std::process::ExitCode {
         body.push_str(&format!(
             "  \"thread_scaling\": {{\n    \"batch\": {SCALING_BATCH},\n"
         ));
-        for (i, (threads, rate)) in scaling.iter().enumerate() {
+        for (threads, rate, _) in scaling.iter() {
+            body.push_str(&format!("    \"threads_{threads}\": {rate:.0},\n"));
+        }
+        for (i, (threads, _, util)) in scaling.iter().enumerate() {
             let sep = if i + 1 == scaling.len() { "" } else { "," };
-            body.push_str(&format!("    \"threads_{threads}\": {rate:.0}{sep}\n"));
+            body.push_str(&format!(
+                "    \"utilization_threads_{threads}\": {util:.3}{sep}\n"
+            ));
         }
         body.push_str("  }\n}\n");
         if let Err(e) = std::fs::write(&path, body) {

@@ -904,6 +904,10 @@ fn apply_threads(opts: &Opts) -> Result<(), Error> {
 /// byte-identical to the in-process run.
 pub fn cmd_campaign(opts: &Opts) -> Result<(), Error> {
     apply_threads(opts)?;
+    if let Some(trace) = opts.get("--trace") {
+        bat_obs::trace::install(std::path::Path::new(&trace))
+            .map_err(|e| Error::io(format!("--trace {trace}: {e}")))?;
+    }
     let path = opts
         .get("--spec")
         .ok_or_else(|| Error::spec("--spec FILE is required; see specs/ for examples"))?;
@@ -942,6 +946,7 @@ pub fn cmd_campaign(opts: &Opts) -> Result<(), Error> {
         None => println!("{}", run.result.to_json()),
     }
     bat_harness::report_run(&run, false);
+    bat_obs::trace::flush();
     Ok(())
 }
 
@@ -978,11 +983,28 @@ pub fn cmd_serve(opts: &Opts) -> Result<(), Error> {
                 ))
             })?;
     }
+    config.heartbeat_secs = match opts.get("--heartbeat") {
+        Some(secs) => secs.parse().map_err(|_| {
+            Error::spec(format!(
+                "--heartbeat expects seconds (0 disables), got {secs:?}"
+            ))
+        })?,
+        None => 10,
+    };
     let listener = std::net::TcpListener::bind(&addr)
         .map_err(|e| Error::transport(format!("bind {addr}: {e}")))?;
     let local = listener.local_addr().map_err(Error::io)?;
     // Announce readiness on stdout (flushed) so scripts can wait for it.
     println!("bat serve: listening on {local}");
+    // `--metrics ADDR` exposes the process-wide registry as Prometheus
+    // text exposition over plain HTTP, scrapeable while campaigns run.
+    if let Some(maddr) = opts.get("--metrics") {
+        let mlistener = std::net::TcpListener::bind(&maddr)
+            .map_err(|e| Error::transport(format!("bind metrics {maddr}: {e}")))?;
+        let mlocal = mlistener.local_addr().map_err(Error::io)?;
+        println!("bat serve: metrics on http://{mlocal}/metrics");
+        let _ = bat_server::spawn_metrics_endpoint(mlistener);
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     let daemon = bat_server::Daemon::new(config);

@@ -30,14 +30,18 @@ SUITE COMMANDS:
     pareto               multi-objective tuning: time × energy Pareto fronts
                          (--bench, --arch, --budget, --seed, --tuner, --capacity, --batch)
     campaign             run a declarative campaign spec (--spec FILE, --out FILE, --resume,
-                         --batch N, --fault-rate R, --threads N, --connect EP;
+                         --batch N, --fault-rate R, --threads N, --connect EP,
+                         --trace FILE writes a bat/trace/v1 JSONL span trace;
                          EP = in-process | loopback | HOST:PORT of a
                          `bat serve` daemon — artifacts are byte-identical
                          across endpoints; thread-count precedence:
                          --threads > BAT_THREADS > host cores)
     serve                host tuning sessions as a daemon (--addr HOST:PORT,
                          --slots N concurrent batches, --inflight N queued
-                         batches per session, --threads N); clients connect
+                         batches per session, --threads N, --metrics ADDR
+                         serves Prometheus text exposition over HTTP,
+                         --heartbeat N prints a status line every N seconds,
+                         0 disables, default 10); clients connect
                          with `bat campaign --connect HOST:PORT`
     compare              compare all tuners at equal budget (--bench, --budget, --repeats)
     ranks                cross-benchmark tuner ranking, Friedman-style (--budget, --repeats)

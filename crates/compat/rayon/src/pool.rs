@@ -115,6 +115,8 @@ pub(crate) fn worker_count(items: usize) -> usize {
 /// accounting below.
 struct Job {
     func: &'static (dyn Fn() + Sync),
+    /// Submission instant, for the ticket-wait histogram.
+    submitted: std::time::Instant,
     /// Unclaimed participant tickets. Mutated only under the pool queue
     /// lock, so claiming and queue removal stay consistent.
     tickets: AtomicUsize,
@@ -134,9 +136,11 @@ impl Job {
     /// Run the job closure once, recording completion and panics.
     fn participate(&self) {
         let f = self.func;
+        let t0 = std::time::Instant::now();
         if catch_unwind(AssertUnwindSafe(f)).is_err() {
             self.panicked.store(true, Ordering::Relaxed);
         }
+        obs().busy_us.add(t0.elapsed().as_micros() as u64);
         let _guard = self.done_lock.lock().unwrap_or_else(|e| e.into_inner());
         self.finished.fetch_add(1, Ordering::Release);
         self.done_cv.notify_all();
@@ -146,6 +150,43 @@ impl Job {
 /// Hard ceiling on pool workers, against runaway `with_thread_limit`
 /// values. Far above any realistic host or sweep.
 const MAX_WORKERS: usize = 256;
+
+/// Observability handles for the pool, registered once. Out-of-band
+/// telemetry only — nothing here influences scheduling.
+struct PoolMetrics {
+    jobs: &'static bat_obs::metrics::Counter,
+    busy_us: &'static bat_obs::metrics::Counter,
+    queue_depth: &'static bat_obs::metrics::Gauge,
+    workers: &'static bat_obs::metrics::Gauge,
+    ticket_wait_us: &'static bat_obs::metrics::Histogram,
+}
+
+fn obs() -> &'static PoolMetrics {
+    use bat_obs::metrics::{counter, gauge, histogram};
+    static M: OnceLock<PoolMetrics> = OnceLock::new();
+    M.get_or_init(|| PoolMetrics {
+        jobs: counter(
+            "bat_pool_jobs_total",
+            "Parallel jobs submitted to the worker pool.",
+        ),
+        busy_us: counter(
+            "bat_pool_busy_us_total",
+            "Microseconds participants (workers + callers) spent running job closures.",
+        ),
+        queue_depth: gauge("bat_pool_queue_depth", "Jobs waiting in the pool queue."),
+        workers: gauge("bat_pool_workers", "Pool worker threads spawned."),
+        ticket_wait_us: histogram(
+            "bat_pool_ticket_wait_us",
+            "Microseconds between job submission and a worker claiming a ticket.",
+        ),
+    })
+}
+
+/// Total microseconds participants spent busy inside job closures — read
+/// by the batch-eval bench to report measured worker utilization.
+pub fn pool_busy_us() -> u64 {
+    obs().busy_us.get()
+}
 
 /// The process-wide pool: a queue of pending jobs plus parked workers.
 struct Pool {
@@ -178,6 +219,7 @@ impl Pool {
                 .expect("failed to spawn pool worker");
             *spawned += 1;
         }
+        obs().workers.set(*spawned as i64);
         want
     }
 }
@@ -208,6 +250,10 @@ fn worker_loop() {
                     if job.tickets.load(Ordering::Relaxed) == 0 {
                         queue.pop_front();
                     }
+                    obs().queue_depth.set(queue.len() as i64);
+                    obs()
+                        .ticket_wait_us
+                        .observe(job.submitted.elapsed().as_micros() as u64);
                     break job;
                 }
                 queue = pool
@@ -232,10 +278,13 @@ pub(crate) fn run_parallel(participants: usize, f: &(dyn Fn() + Sync)) {
     if extra == 0 {
         // Degenerate override: run in place, still marked parallel.
         let was = IN_PARALLEL.with(|c| c.replace(true));
+        let t0 = std::time::Instant::now();
         f();
+        obs().busy_us.add(t0.elapsed().as_micros() as u64);
         IN_PARALLEL.with(|c| c.set(was));
         return;
     }
+    obs().jobs.inc();
 
     // SAFETY: lifetime erasure only. The job can outlive this frame only
     // inside worker threads that are still *running* it, and we block on
@@ -243,6 +292,7 @@ pub(crate) fn run_parallel(participants: usize, f: &(dyn Fn() + Sync)) {
     let func = unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(f) };
     let job = Arc::new(Job {
         func,
+        submitted: std::time::Instant::now(),
         tickets: AtomicUsize::new(extra),
         started: AtomicUsize::new(0),
         finished: AtomicUsize::new(0),
@@ -254,13 +304,16 @@ pub(crate) fn run_parallel(participants: usize, f: &(dyn Fn() + Sync)) {
     {
         let mut queue = pool.queue.lock().unwrap_or_else(|e| e.into_inner());
         queue.push_back(Arc::clone(&job));
+        obs().queue_depth.set(queue.len() as i64);
     }
     pool.available.notify_all();
 
     // The caller is a participant too; its share of the claim loop runs
     // inside the parallel region, so nested calls from it serialize.
     let was = IN_PARALLEL.with(|c| c.replace(true));
+    let t0 = std::time::Instant::now();
     let caller_panicked = catch_unwind(AssertUnwindSafe(f)).is_err();
+    obs().busy_us.add(t0.elapsed().as_micros() as u64);
     IN_PARALLEL.with(|c| c.set(was));
 
     // Cancel unclaimed tickets: workers that have not started by the time
@@ -272,6 +325,7 @@ pub(crate) fn run_parallel(participants: usize, f: &(dyn Fn() + Sync)) {
         if let Some(pos) = queue.iter().position(|j| Arc::ptr_eq(j, &job)) {
             queue.remove(pos);
         }
+        obs().queue_depth.set(queue.len() as i64);
         // No further claims can happen once tickets hit 0 under the lock.
         job.started.load(Ordering::Relaxed)
     };

@@ -182,6 +182,14 @@ impl Serialize for bool {
     }
 }
 
+/// A `Value` deserializes from itself — the identity — so callers can
+/// parse arbitrary JSON into the tree and inspect it structurally.
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Deserialize for bool {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {

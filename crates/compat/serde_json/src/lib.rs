@@ -4,7 +4,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize, Value};
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
 
 /// Serialization/deserialization failure.
 #[derive(Debug, Clone, PartialEq)]

@@ -22,6 +22,7 @@
 //! across deployment shapes.
 
 use bat_space::ConfigSpace;
+use serde::{Deserialize, Serialize};
 
 use crate::error::Error;
 use crate::evaluator::{Evaluator, Protocol};
@@ -29,6 +30,24 @@ use crate::measurement::{EvalFailure, Measurement};
 
 /// One evaluation outcome: a measurement, or why there is none.
 pub type EvalOutcome = Result<Measurement, EvalFailure>;
+
+/// The statistics snapshot of one backend — the *single* definition every
+/// layer shares: the evaluator's counters, the wire's per-session `stats`
+/// payload, and the harness artifact's per-trial tallies are all this
+/// struct, so the resilience numbers a summary prints cannot drift from
+/// the numbers the evaluator counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct EvalStats {
+    /// Evaluations performed (cached or not).
+    pub evals: u64,
+    /// Distinct configurations measured.
+    pub distinct: u64,
+    /// Retries spent on retryable failures.
+    pub retries: u64,
+    /// Configurations quarantined after repeated crashes.
+    pub quarantined: u64,
+}
 
 /// A source of measurements for the ask/tell driver: the [`Evaluator`]
 /// contract with every method allowed to fail at the transport layer.
@@ -90,6 +109,18 @@ pub trait EvalBackend {
 
     /// Configurations quarantined after repeated crashes.
     fn quarantined_configs(&self) -> u64;
+
+    /// All four statistics counters as one snapshot — the canonical way to
+    /// read a backend's tallies (campaign records and wire responses both
+    /// go through here).
+    fn stats(&self) -> EvalStats {
+        EvalStats {
+            evals: self.evals_used(),
+            distinct: self.distinct_evals(),
+            retries: self.retries_used(),
+            quarantined: self.quarantined_configs(),
+        }
+    }
 }
 
 /// The in-process backend: today's [`Evaluator`], verbatim. Infallible —

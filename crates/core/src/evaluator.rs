@@ -163,6 +163,78 @@ const DEDUP_SCAN_MAX: usize = 128;
 /// does not jitter in lockstep with the wall clock).
 const ENERGY_NOISE_STREAM: u64 = 0x656e_6572_6779_u64; // "energy"
 
+/// Process-global observability handles for the evaluator hot path,
+/// registered once and cached so the registry lock is off the hot path.
+/// Strictly out-of-band: these tallies aggregate over *every* evaluator in
+/// the process (the per-instance [`AtomicU64`] counters below remain the
+/// budget/artifact source of truth) and never feed back into outcomes.
+struct EvalMetrics {
+    evals: &'static bat_obs::metrics::Counter,
+    batches: &'static bat_obs::metrics::Counter,
+    memo_hits: &'static bat_obs::metrics::Counter,
+    dedup_hits: &'static bat_obs::metrics::Counter,
+    measured: &'static bat_obs::metrics::Counter,
+    retries_transient: &'static bat_obs::metrics::Counter,
+    retries_timeout: &'static bat_obs::metrics::Counter,
+    backoff_charged: &'static bat_obs::metrics::Counter,
+    crashes: &'static bat_obs::metrics::Counter,
+    quarantined: &'static bat_obs::metrics::Counter,
+    decode_us: &'static bat_obs::metrics::Histogram,
+    measure_us: &'static bat_obs::metrics::Histogram,
+}
+
+fn obs() -> &'static EvalMetrics {
+    use bat_obs::metrics::{counter, histogram};
+    static M: std::sync::OnceLock<EvalMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| EvalMetrics {
+        evals: counter(
+            "bat_eval_evals_total",
+            "Evaluations charged against budgets (incl. retry backoff), all evaluators.",
+        ),
+        batches: counter("bat_eval_batches_total", "evaluate_batch calls."),
+        memo_hits: counter(
+            "bat_eval_memo_hits_total",
+            "Evaluations served from the memo cache.",
+        ),
+        dedup_hits: counter(
+            "bat_eval_dedup_hits_total",
+            "Duplicate in-batch occurrences measured once by batch dedup.",
+        ),
+        measured: counter(
+            "bat_eval_measured_total",
+            "Configurations actually decoded and measured.",
+        ),
+        retries_transient: counter(
+            "bat_eval_retries_transient_total",
+            "Retries spent on transient measurement failures.",
+        ),
+        retries_timeout: counter(
+            "bat_eval_retries_timeout_total",
+            "Retries spent on measurement timeouts.",
+        ),
+        backoff_charged: counter(
+            "bat_eval_backoff_evals_total",
+            "Extra evaluations charged as linear retry backoff.",
+        ),
+        crashes: counter(
+            "bat_eval_crashes_total",
+            "Crash outcomes observed (quarantine strikes).",
+        ),
+        quarantined: counter(
+            "bat_eval_quarantined_total",
+            "Configurations quarantined after repeated crashes.",
+        ),
+        decode_us: histogram(
+            "bat_eval_decode_block_us",
+            "Decode-phase duration per pipelined block, microseconds.",
+        ),
+        measure_us: histogram(
+            "bat_eval_measure_block_us",
+            "Measure-phase duration per pipelined block, microseconds.",
+        ),
+    })
+}
+
 /// The evaluation harness: memoization + noise + budget accounting.
 pub struct Evaluator<'p> {
     problem: &'p dyn TuningProblem,
@@ -319,17 +391,21 @@ impl<'p> Evaluator<'p> {
             return None;
         }
         self.evals.fetch_add(1, Ordering::Relaxed);
+        obs().evals.inc();
         if self.faults.is_some() {
             return Some(self.evaluate_faulty(index));
         }
         if !self.cache_enabled {
             let result = self.decode_and_measure(index);
             self.distinct.fetch_add(1, Ordering::Relaxed);
+            obs().measured.inc();
             return Some(result);
         }
         if let Some(hit) = self.shard(index).lock().get(&index) {
+            obs().memo_hits.inc();
             return Some(hit.clone());
         }
+        obs().measured.inc();
         // Measure outside the lock (measurements are deterministic per
         // index, so a racing duplicate measurement is identical), then
         // insert through the entry API: one lock, and `distinct` counts a
@@ -390,6 +466,10 @@ impl<'p> Evaluator<'p> {
             },
         } as usize;
         let indices = &indices[..claimed];
+        obs().evals.add(claimed as u64);
+        obs().batches.inc();
+        let mut batch_span = bat_obs::trace::span("batch");
+        batch_span.record_u64("size", claimed as u64);
 
         if self.faults.is_some() {
             return self.evaluate_batch_faulty(indices);
@@ -399,6 +479,7 @@ impl<'p> Evaluator<'p> {
             // No memoization: every occurrence re-measures, as serially.
             let out = self.measure_many(indices);
             self.distinct.fetch_add(claimed as u64, Ordering::Relaxed);
+            obs().measured.add(claimed as u64);
             return out;
         }
 
@@ -438,6 +519,14 @@ impl<'p> Evaluator<'p> {
                 };
                 scratch.occurrences.push((i, slot));
             }
+            let memo_hits = claimed - scratch.occurrences.len();
+            let dedup_hits = scratch.occurrences.len() - scratch.to_measure.len();
+            obs().memo_hits.add(memo_hits as u64);
+            obs().dedup_hits.add(dedup_hits as u64);
+            obs().measured.add(scratch.to_measure.len() as u64);
+            batch_span.record_u64("memo_hits", memo_hits as u64);
+            batch_span.record_u64("dedup_hits", dedup_hits as u64);
+            batch_span.record_u64("measured", scratch.to_measure.len() as u64);
 
             // Measure the unique misses in parallel (deterministic per
             // index, collected in order), then publish through the entry
@@ -501,6 +590,12 @@ impl<'p> Evaluator<'p> {
         // whole evaluation).
         let mut out: Vec<Result<Measurement, EvalFailure>> =
             vec![Err(EvalFailure::Restricted); indices.len()];
+        // Phase timings (and spans, when tracing) are per block, not per
+        // index: two `Instant` reads per 64 evaluations, amortized to well
+        // under a nanosecond each. Spans carry the batch span as explicit
+        // parent because blocks run on pool worker threads.
+        let traced = bat_obs::trace::enabled();
+        let parent = if traced { bat_obs::trace::current() } else { 0 };
         out.par_chunks_mut(PIPE_BLOCK)
             .enumerate()
             .for_each(|(b, block)| {
@@ -510,14 +605,23 @@ impl<'p> Evaluator<'p> {
                     let bank = &mut banks[b & 1];
                     bank.resize(block.len() * nparams, 0);
                     // Phase 1: decode the whole block back-to-back.
+                    let mut phase = bat_obs::trace::span_at("decode", parent);
+                    phase.record_u64("block", b as u64);
+                    let t0 = std::time::Instant::now();
                     for (j, &idx) in indices[lo..lo + block.len()].iter().enumerate() {
                         space.decode_into(idx, &mut bank[j * nparams..(j + 1) * nparams]);
                     }
+                    obs().decode_us.observe(t0.elapsed().as_micros() as u64);
+                    drop(phase);
                     // Phase 2: measure from the decoded bank.
+                    let mut phase = bat_obs::trace::span_at("measure", parent);
+                    phase.record_u64("block", b as u64);
+                    let t1 = std::time::Instant::now();
                     for (j, slot) in block.iter_mut().enumerate() {
                         *slot =
                             self.measure(indices[lo + j], &bank[j * nparams..(j + 1) * nparams]);
                     }
+                    obs().measure_us.observe(t1.elapsed().as_micros() as u64);
                 });
             });
         out
@@ -534,6 +638,7 @@ impl<'p> Evaluator<'p> {
                     return None;
                 }
                 self.evals.fetch_add(1, Ordering::Relaxed);
+                obs().evals.inc();
                 Some(Err(EvalFailure::Restricted))
             }
         }
@@ -614,6 +719,7 @@ impl<'p> Evaluator<'p> {
         let faults = self.faults.as_ref().expect("fault path without a model");
         if self.cache_enabled {
             if let Some(hit) = self.shard(index).lock().get(&index) {
+                obs().memo_hits.inc();
                 return hit.clone();
             }
         }
@@ -637,8 +743,10 @@ impl<'p> Evaluator<'p> {
             let result = match attempt {
                 None => Err(EvalFailure::Crash("quarantined configuration".into())),
                 Some(attempt) => {
+                    obs().measured.inc();
                     let r = self.decode_and_measure_attempt(index, attempt);
                     if matches!(r, Err(EvalFailure::Crash(_))) {
+                        obs().crashes.inc();
                         let mut state = faults.state.lock();
                         let entry = state.entry(index).or_default();
                         entry.crashes += 1;
@@ -648,6 +756,7 @@ impl<'p> Evaluator<'p> {
                         {
                             entry.quarantined = true;
                             self.quarantined.fetch_add(1, Ordering::Relaxed);
+                            obs().quarantined.inc();
                         }
                     }
                     r
@@ -662,11 +771,15 @@ impl<'p> Evaluator<'p> {
                     // budget-gated — so concurrent workers cannot disagree
                     // on whether a retry happened; the budget overshoots by
                     // at most one bounded retry chain.
-                    self.evals.fetch_add(
-                        1 + u64::from(faults.policy.backoff_evals) * u64::from(retry),
-                        Ordering::Relaxed,
-                    );
+                    let backoff = u64::from(faults.policy.backoff_evals) * u64::from(retry);
+                    self.evals.fetch_add(1 + backoff, Ordering::Relaxed);
                     self.retries.fetch_add(1, Ordering::Relaxed);
+                    obs().evals.add(1 + backoff);
+                    obs().backoff_charged.add(backoff);
+                    match f {
+                        EvalFailure::Timeout => obs().retries_timeout.inc(),
+                        _ => obs().retries_transient.inc(),
+                    }
                 }
                 _ => break result,
             }

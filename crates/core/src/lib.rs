@@ -30,7 +30,7 @@ mod ranking;
 mod record;
 pub mod t4;
 
-pub use backend::{EvalBackend, EvalOutcome};
+pub use backend::{EvalBackend, EvalOutcome, EvalStats};
 pub use bat_gpusim::FaultModel;
 pub use error::Error;
 pub use evaluator::{Evaluator, EvaluatorBuilder, Protocol, RetryPolicy};

@@ -201,30 +201,11 @@ pub fn tuner_by_name(name: &str) -> Option<Box<dyn Tuner>> {
         .find(|t| t.name() == name)
 }
 
-/// Statistics of one tuning run's evaluator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct EvalStats {
-    /// Evaluations spent (budget accounting).
-    pub evals: u64,
-    /// Distinct configurations measured.
-    pub distinct: u64,
-    /// Retries spent on retryable measurement failures (0 without faults).
-    pub retries: u64,
-    /// Configurations quarantined after repeated crashes (0 without
-    /// faults).
-    pub quarantined: u64,
-}
-
-impl EvalStats {
-    fn of(eval: &dyn EvalBackend) -> EvalStats {
-        EvalStats {
-            evals: eval.evals_used(),
-            distinct: eval.distinct_evals(),
-            retries: eval.retries_used(),
-            quarantined: eval.quarantined_configs(),
-        }
-    }
-}
+/// Statistics of one tuning run's evaluator — the single source of truth
+/// shared with the wire protocol (`SessionStats`) and the summary's
+/// resilience tallies. Defined in `bat-core` next to [`EvalBackend`],
+/// whose provided `stats()` builds it from the backend's own counters.
+pub use bat_core::EvalStats;
 
 fn run_tuning_impl(
     problem: &dyn TuningProblem,
@@ -243,7 +224,7 @@ fn run_tuning_impl(
         eval = eval.with_faults(model, policy);
     }
     let run = tuner.tune(&eval, seed);
-    let stats = EvalStats::of(&eval);
+    let stats = EvalBackend::stats(&eval);
     (run, stats)
 }
 
@@ -316,7 +297,7 @@ fn execute_trial_remote<S: Read + Write>(
     let keep_history = ct.record == RecordLevel::Full;
     let names = backend.space().names().to_vec();
     let run = tuner.try_tune(&backend, ct.seed)?;
-    let stats = EvalStats::of(&backend);
+    let stats = EvalBackend::stats(&backend);
     let mut record = TrialRecord::from_run(&ct.key, ct.seed, &run, &names, stats, keep_history);
     if ct.objective.mode == ObjectiveMode::Pareto {
         let front = bat_moo::front_of_run(&run, ct.objective.front_capacity());
@@ -324,6 +305,25 @@ fn execute_trial_remote<S: Read + Write>(
     }
     backend.close()?;
     Ok(record)
+}
+
+/// [`execute_trial`] wrapped in a `trial` trace span parented (via
+/// explicit id — trials run on pool threads, not under the campaign
+/// span's thread stack) to the enclosing `campaign` span.
+fn execute_trial_traced(
+    ct: &CompiledTrial,
+    target: &Target,
+    parent: u64,
+) -> Result<TrialRecord, HarnessError> {
+    let mut sp = bat_obs::trace::span_at("trial", parent);
+    sp.record_str("tuner", &ct.key.tuner);
+    sp.record_str("benchmark", &ct.key.benchmark);
+    sp.record_u64("seed", ct.seed);
+    let out = execute_trial(ct, target);
+    if let Ok(record) = &out {
+        sp.record_u64("evals", record.evals);
+    }
+    out
 }
 
 fn execute_trial(ct: &CompiledTrial, target: &Target) -> Result<TrialRecord, HarnessError> {
@@ -528,15 +528,21 @@ fn run_impl(
     }
     let executed = todo.len();
 
+    let mut campaign_span = bat_obs::trace::span("campaign");
+    campaign_span.record_str("name", &spec.name);
+    campaign_span.record_u64("trials", compiled.len() as u64);
+    campaign_span.record_u64("reused", reused as u64);
+    let parent = campaign_span.id();
+
     let start = Instant::now();
     let outcomes: Vec<(usize, Result<TrialRecord, HarnessError>)> = match execution {
         Execution::Parallel => todo
             .into_par_iter()
-            .map(|(i, ct)| (i, execute_trial(ct, &target)))
+            .map(|(i, ct)| (i, execute_trial_traced(ct, &target, parent)))
             .collect(),
         Execution::Serial => todo
             .into_iter()
-            .map(|(i, ct)| (i, execute_trial(ct, &target)))
+            .map(|(i, ct)| (i, execute_trial_traced(ct, &target, parent)))
             .collect(),
     };
     let wall = start.elapsed();
@@ -706,6 +712,12 @@ pub fn run_campaign_checkpointed(
         checkpoint(&result)?;
     }
 
+    let mut campaign_span = bat_obs::trace::span("campaign");
+    campaign_span.record_str("name", &spec.name);
+    campaign_span.record_u64("trials", compiled.len() as u64);
+    campaign_span.record_u64("reused", reused as u64);
+    let parent = campaign_span.id();
+
     let start = Instant::now();
     let mut executed_evals = 0u64;
     // Records arrive in strictly ascending compiled index, so a running
@@ -718,7 +730,7 @@ pub fn run_campaign_checkpointed(
         let outcomes: Vec<(usize, Result<TrialRecord, HarnessError>)> = chunk
             .to_vec()
             .into_par_iter()
-            .map(|(i, ct)| (i, execute_trial(ct, &target)))
+            .map(|(i, ct)| (i, execute_trial_traced(ct, &target, parent)))
             .collect();
         for (i, outcome) in outcomes {
             let record = outcome?;

@@ -17,7 +17,7 @@ const HELP: &str = "\
 bat-harness — declarative experiment orchestration for BAT-rs
 
 USAGE:
-    bat-harness run --spec FILE [--out FILE] [--resume] [--serial] [--strict] [--quiet] [--shard I/N] [--batch N] [--fault-rate R] [--threads N] [--connect EP]
+    bat-harness run --spec FILE [--out FILE] [--resume] [--serial] [--strict] [--quiet] [--shard I/N] [--batch N] [--fault-rate R] [--threads N] [--connect EP] [--trace FILE]
     bat-harness merge --spec FILE --inputs A,B,... --out FILE [--quiet]
     bat-harness summary --input FILE
     bat-harness sweep-batch --spec FILE [--batches 1,4,16,64] [--threads N]
@@ -59,6 +59,9 @@ OPTIONS:
                    (an in-process daemon behind the real bat/wire/v1
                    codec), or HOST:PORT of a running `bat serve` daemon;
                    artifacts are byte-identical across endpoints
+    --trace FILE   write a bat/trace/v1 JSONL span trace of the run
+                   (campaign → trial → step → batch → decode/measure);
+                   telemetry only — the artifact stays byte-identical
     --inputs A,B   comma-separated shard artifacts to merge
     --strict       exit non-zero if any trial found no valid configuration
     --quiet        suppress the summary tables and throughput line
@@ -109,8 +112,19 @@ fn apply_threads(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Apply a `--trace FILE` option: install the process-wide trace sink
+/// before any spans open. Telemetry only — never touches the artifact.
+fn apply_trace(args: &[String]) -> Result<(), String> {
+    if let Some(path) = opt(args, "--trace") {
+        bat_obs::trace::install(std::path::Path::new(&path))
+            .map_err(|e| format!("--trace {path}: {e}"))?;
+    }
+    Ok(())
+}
+
 fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     apply_threads(args)?;
+    apply_trace(args)?;
     let mut spec = load_spec(args)?;
     if let Some(shard) = opt(args, "--shard") {
         spec.shard = Some(parse_shard(&shard)?);
@@ -150,6 +164,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     }
 
     let failed = report_run(&run, quiet);
+    bat_obs::trace::flush();
     if failed > 0 && flag(args, "--strict") {
         return Ok(ExitCode::FAILURE);
     }

@@ -39,7 +39,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 
-use bat_core::{Error, Evaluator, TuningProblem};
+use bat_core::{Error, EvalBackend, Evaluator, TuningProblem};
 use bat_gpusim::GpuArch;
 
 use crate::codec;
@@ -59,6 +59,10 @@ pub struct ServerConfig {
     /// Unprocessed batches one session may buffer before further `eval`
     /// requests are refused (backpressure).
     pub max_inflight_per_session: usize,
+    /// Seconds between heartbeat lines on stderr (sessions open, evals/s,
+    /// backpressure since the last beat). `0` disables the heartbeat —
+    /// the default, so embedded daemons (tests, loopback) stay silent.
+    pub heartbeat_secs: u64,
 }
 
 impl Default for ServerConfig {
@@ -66,8 +70,37 @@ impl Default for ServerConfig {
         ServerConfig {
             max_concurrent_batches: 4,
             max_inflight_per_session: 2,
+            heartbeat_secs: 0,
         }
     }
+}
+
+/// Observability handles for the daemon. Telemetry only — refusal and
+/// scheduling behaviour are driven by the config, never by these.
+struct ServeMetrics {
+    sessions_open: &'static bat_obs::metrics::Gauge,
+    sessions_total: &'static bat_obs::metrics::Counter,
+    requests: &'static bat_obs::metrics::Counter,
+    backpressure: &'static bat_obs::metrics::Counter,
+    inflight: &'static bat_obs::metrics::Gauge,
+}
+
+fn obs() -> &'static ServeMetrics {
+    use bat_obs::metrics::{counter, gauge};
+    static M: std::sync::OnceLock<ServeMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| ServeMetrics {
+        sessions_open: gauge("bat_serve_sessions_open", "Sessions currently open."),
+        sessions_total: counter("bat_serve_sessions_total", "Sessions opened since start."),
+        requests: counter("bat_serve_requests_total", "Wire requests decoded."),
+        backpressure: counter(
+            "bat_serve_backpressure_total",
+            "Eval requests refused because a session's in-flight bound was full.",
+        ),
+        inflight: gauge(
+            "bat_serve_inflight",
+            "Eval batches accepted but not yet picked up by a session worker.",
+        ),
+    })
 }
 
 /// Daemon-wide shared state.
@@ -84,16 +117,24 @@ pub struct Daemon {
 }
 
 impl Daemon {
-    /// A daemon with the given limits.
+    /// A daemon with the given limits. A nonzero
+    /// [`ServerConfig::heartbeat_secs`] starts the heartbeat thread, which
+    /// lives until the daemon is dropped or shut down.
     pub fn new(config: ServerConfig) -> Daemon {
-        Daemon {
+        let daemon = Daemon {
             config,
             shared: Arc::new(Shared {
                 scheduler: FairScheduler::new(config.max_concurrent_batches),
                 next_session: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
             }),
+        };
+        if config.heartbeat_secs > 0 {
+            let weak = Arc::downgrade(&daemon.shared);
+            let period = std::time::Duration::from_secs(config.heartbeat_secs);
+            std::thread::spawn(move || heartbeat_loop(weak, period));
         }
+        daemon
     }
 
     /// True once a client sent `shutdown`.
@@ -148,6 +189,51 @@ enum SessionCmd {
     Close,
 }
 
+/// One heartbeat line from the current registry readings and the previous
+/// beat's totals. Factored out of the thread so the format is testable.
+fn heartbeat_line(prev_evals: u64, prev_bp: u64, secs: f64) -> (String, u64, u64) {
+    let sessions = bat_obs::metrics::gauge_value("bat_serve_sessions_open").unwrap_or(0);
+    let evals = bat_obs::metrics::counter_value("bat_eval_evals_total").unwrap_or(0);
+    let bp = bat_obs::metrics::counter_value("bat_serve_backpressure_total").unwrap_or(0);
+    let rate = if secs > 0.0 {
+        (evals.saturating_sub(prev_evals)) as f64 / secs
+    } else {
+        0.0
+    };
+    let line = format!(
+        "bat serve: heartbeat sessions={} evals/s={:.1} backpressure=+{}",
+        sessions,
+        rate,
+        bp.saturating_sub(prev_bp)
+    );
+    (line, evals, bp)
+}
+
+/// Heartbeat thread body: one line per period on stderr, exiting when the
+/// daemon is dropped or shut down. Sleeps in short steps so exit latency
+/// stays bounded regardless of the period.
+fn heartbeat_loop(shared: std::sync::Weak<Shared>, period: std::time::Duration) {
+    let step = std::time::Duration::from_millis(200);
+    let mut prev_evals = bat_obs::metrics::counter_value("bat_eval_evals_total").unwrap_or(0);
+    let mut prev_bp = 0u64;
+    loop {
+        let beat_started = std::time::Instant::now();
+        while beat_started.elapsed() < period {
+            std::thread::sleep(step.min(period));
+            match shared.upgrade() {
+                None => return,
+                Some(s) if s.shutdown.load(Ordering::SeqCst) => return,
+                Some(_) => {}
+            }
+        }
+        let (line, evals, bp) =
+            heartbeat_line(prev_evals, prev_bp, beat_started.elapsed().as_secs_f64());
+        eprintln!("{line}");
+        prev_evals = evals;
+        prev_bp = bp;
+    }
+}
+
 /// Serialize one response onto the connection's shared writer. Write
 /// failures mean the client hung up; the reader thread will notice on its
 /// next read, so they are ignored here.
@@ -180,8 +266,15 @@ fn handle_connection<R: Read, W: Write + Send + 'static>(
                 break;
             }
         };
+        obs().requests.inc();
         match req {
             Request::Ping => respond(&writer, Response::Pong),
+            Request::Metrics => respond(
+                &writer,
+                Response::Metrics(crate::wire::MetricsReport {
+                    text: bat_obs::metrics::render_prometheus(),
+                }),
+            ),
             Request::Shutdown => {
                 shared.shutdown.store(true, Ordering::SeqCst);
                 respond(&writer, Response::ShuttingDown);
@@ -202,17 +295,20 @@ fn handle_connection<R: Read, W: Write + Send + 'static>(
                     session_error(Some(session), Error::session("unknown session id")),
                 ),
                 Some(tx) => match tx.try_send(SessionCmd::Eval(indices)) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(_)) => respond(
-                        &writer,
-                        session_error(
-                            Some(session),
-                            Error::session(format!(
+                    Ok(()) => obs().inflight.add(1),
+                    Err(TrySendError::Full(_)) => {
+                        obs().backpressure.inc();
+                        respond(
+                            &writer,
+                            session_error(
+                                Some(session),
+                                Error::session(format!(
                                 "backpressure: session {session} already has {} in-flight batches",
                                 config.max_inflight_per_session.max(1)
                             )),
-                        ),
-                    ),
+                            ),
+                        )
+                    }
                     Err(TrySendError::Disconnected(_)) => respond(
                         &writer,
                         session_error(Some(session), Error::session("session terminated")),
@@ -235,14 +331,11 @@ fn handle_connection<R: Read, W: Write + Send + 'static>(
     }
 }
 
-/// The statistics snapshot of one evaluator.
+/// The statistics snapshot of one evaluator — the shared
+/// [`EvalBackend::stats`] reading, so wire responses report exactly the
+/// tallies the evaluator counted.
 fn stats_of(eval: &Evaluator<'_>) -> SessionStats {
-    SessionStats {
-        evals: eval.evals_used(),
-        distinct: eval.distinct_evals(),
-        retries: eval.retries_used(),
-        quarantined: eval.quarantined_configs(),
-    }
+    EvalBackend::stats(eval)
 }
 
 /// A session worker: owns the problem, builds the evaluator through the
@@ -310,6 +403,17 @@ fn run_session<W: Write>(
             return;
         }
     };
+    // Open-session gauge, decremented however the worker exits (close,
+    // connection drop, panic unwind).
+    struct OpenGuard;
+    impl Drop for OpenGuard {
+        fn drop(&mut self) {
+            obs().sessions_open.sub(1);
+        }
+    }
+    obs().sessions_open.add(1);
+    obs().sessions_total.inc();
+    let _open = OpenGuard;
     respond(
         writer,
         Response::Opened(Opened {
@@ -322,6 +426,7 @@ fn run_session<W: Write>(
     while let Ok(cmd) = rx.recv() {
         match cmd {
             SessionCmd::Eval(indices) => {
+                obs().inflight.sub(1);
                 // The fair scheduler grants this batch its turn; the
                 // budget itself is charged inside `evaluate_batch`'s
                 // single CAS claim, so per-session budgets hold exactly

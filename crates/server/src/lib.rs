@@ -26,12 +26,14 @@ mod client;
 pub mod codec;
 mod daemon;
 mod duplex;
+mod metrics_http;
 mod scheduler;
 pub mod wire;
 
 pub use client::RemoteBackend;
 pub use daemon::{Daemon, ServerConfig};
 pub use duplex::{duplex, DuplexStream};
+pub use metrics_http::spawn_metrics_endpoint;
 pub use scheduler::FairScheduler;
 
 #[cfg(test)]
@@ -117,6 +119,7 @@ mod tests {
         let daemon = Daemon::new(ServerConfig {
             max_concurrent_batches: 2,
             max_inflight_per_session: 2,
+            heartbeat_secs: 0,
         });
         let budgets = [5u64, 9, 13, 17, 21];
         let threads: Vec<_> = budgets
@@ -146,6 +149,7 @@ mod tests {
         let daemon = Daemon::new(ServerConfig {
             max_concurrent_batches: 1,
             max_inflight_per_session: 1,
+            heartbeat_secs: 0,
         });
         let mut conn = daemon.connect_loopback();
         codec::write_request(&mut conn, Request::Open(open_spec(1_000))).unwrap();

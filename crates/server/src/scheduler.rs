@@ -9,7 +9,36 @@
 //! connected first.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Observability handles for the scheduler — the ROADMAP's named fairness
+/// counters. Telemetry only; grant order is untouched.
+struct SchedMetrics {
+    grants: &'static bat_obs::metrics::Counter,
+    active: &'static bat_obs::metrics::Gauge,
+    queued: &'static bat_obs::metrics::Gauge,
+    wait_us: &'static bat_obs::metrics::Histogram,
+}
+
+fn obs() -> &'static SchedMetrics {
+    use bat_obs::metrics::{counter, gauge, histogram};
+    static M: OnceLock<SchedMetrics> = OnceLock::new();
+    M.get_or_init(|| SchedMetrics {
+        grants: counter(
+            "bat_sched_grants_total",
+            "Round-robin evaluation slots granted by the fair scheduler.",
+        ),
+        active: gauge("bat_sched_active", "Turn-holders currently evaluating."),
+        queued: gauge(
+            "bat_sched_queued",
+            "Requests waiting for an evaluation turn.",
+        ),
+        wait_us: histogram(
+            "bat_sched_wait_us",
+            "Microseconds a ticket waited from enqueue to slot grant.",
+        ),
+    })
+}
 
 /// A round-robin turn gate over at most `max_concurrent` slots.
 pub struct FairScheduler {
@@ -46,15 +75,21 @@ impl FairScheduler {
     /// Run `work` inside one evaluation turn: blocks until a slot is free
     /// *and* every earlier-queued request has started, runs, releases.
     pub fn run<T>(&self, work: impl FnOnce() -> T) -> T {
+        let enqueued = std::time::Instant::now();
         let ticket = {
             let mut st = self.state.lock().expect("scheduler poisoned");
             let ticket = st.next_ticket;
             st.next_ticket += 1;
             st.queue.push_back(ticket);
+            obs().queued.set(st.queue.len() as i64);
             loop {
                 if st.active < st.max_concurrent && st.queue.front() == Some(&ticket) {
                     st.queue.pop_front();
                     st.active += 1;
+                    obs().grants.inc();
+                    obs().queued.set(st.queue.len() as i64);
+                    obs().active.set(st.active as i64);
+                    obs().wait_us.observe(enqueued.elapsed().as_micros() as u64);
                     break;
                 }
                 st = self.turn.wait(st).expect("scheduler poisoned");
@@ -65,6 +100,7 @@ impl FairScheduler {
         let out = work();
         let mut st = self.state.lock().expect("scheduler poisoned");
         st.active -= 1;
+        obs().active.set(st.active as i64);
         drop(st);
         self.turn.notify_all();
         out

@@ -80,6 +80,8 @@ pub enum Request {
     Close(CloseSession),
     /// Liveness probe.
     Ping,
+    /// Fetch the daemon's metrics registry as Prometheus text exposition.
+    Metrics,
     /// Ask the daemon to stop accepting new connections.
     Shutdown,
 }
@@ -96,6 +98,8 @@ pub enum Response {
     Closed(Closed),
     /// Liveness answer.
     Pong,
+    /// The metrics registry, rendered as text exposition.
+    Metrics(MetricsReport),
     /// The daemon acknowledged shutdown.
     ShuttingDown,
     /// The request failed.
@@ -238,20 +242,21 @@ pub struct ErrorResponse {
     pub error: Error,
 }
 
-/// Evaluation counters of one session — the wire shape of the in-process
-/// evaluator's statistics accessors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+/// Payload of [`Response::Metrics`]: the registry in Prometheus text
+/// exposition format — exactly what `bat serve --metrics` serves over
+/// HTTP, so wire clients and scrapers read the same counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(deny_unknown_fields)]
-pub struct SessionStats {
-    /// Evaluations performed (cached or not).
-    pub evals: u64,
-    /// Distinct configurations measured.
-    pub distinct: u64,
-    /// Retries spent on retryable failures.
-    pub retries: u64,
-    /// Configurations quarantined after repeated crashes.
-    pub quarantined: u64,
+pub struct MetricsReport {
+    /// Prometheus-style text exposition.
+    pub text: String,
 }
+
+/// Evaluation counters of one session — the wire shape *is* the core
+/// statistics snapshot ([`bat_core::EvalStats`]): one definition shared by
+/// the evaluator, the wire and the harness artifacts, so the tallies
+/// cannot drift between layers.
+pub use bat_core::EvalStats as SessionStats;
 
 /// Wire mirror of [`bat_moo::Scalarization`] (which predates the wire and
 /// carries no serde of its own).
@@ -436,6 +441,21 @@ mod tests {
     fn unit_requests_are_compact() {
         let json = serde_json::to_string(&RequestEnvelope::new(Request::Ping)).unwrap();
         assert_eq!(json, "{\"v\":\"bat/wire/v1\",\"req\":\"ping\"}");
+    }
+
+    #[test]
+    fn metrics_round_trips() {
+        let req = serde_json::to_string(&RequestEnvelope::new(Request::Metrics)).unwrap();
+        assert_eq!(req, "{\"v\":\"bat/wire/v1\",\"req\":\"metrics\"}");
+        let back: RequestEnvelope = serde_json::from_str(&req).unwrap();
+        assert_eq!(back.req, Request::Metrics);
+
+        let env = ResponseEnvelope::new(Response::Metrics(MetricsReport {
+            text: "# TYPE bat_sched_grants_total counter\nbat_sched_grants_total 3\n".into(),
+        }));
+        let json = serde_json::to_string(&env).unwrap();
+        let back: ResponseEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, env);
     }
 
     #[test]

@@ -101,8 +101,15 @@ pub fn try_drive(
             asked.len(),
             ctx.batch
         );
+        // One trace span per ask/tell round; inert (one atomic load) when
+        // tracing is off. The batch span nests under it via the thread
+        // stack.
+        let mut step_span = bat_obs::trace::span("step");
+        step_span.record_u64("asked", asked.len() as u64);
         let outcomes = backend.evaluate_batch(&asked)?;
         let evaluated = outcomes.len();
+        step_span.record_u64("evaluated", evaluated as u64);
+        drop(step_span);
         let mut told = Vec::with_capacity(evaluated);
         for (&index, outcome) in asked.iter().zip(outcomes) {
             run.push(Trial {

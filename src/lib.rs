@@ -45,6 +45,7 @@ pub use bat_harness as harness;
 pub use bat_kernels as kernels;
 pub use bat_ml as ml;
 pub use bat_moo as moo;
+pub use bat_obs as obs;
 pub use bat_space as space;
 pub use bat_tuners as tuners;
 
