@@ -1,0 +1,260 @@
+//! Compact landscape digests: the top-k configurations of a cell and a
+//! mergeable quantile sketch of every observed runtime.
+//!
+//! Both structures form commutative monoids under [`merge_top`] /
+//! [`QuantileSketch::merge`] with the empty digest as identity, which is
+//! what makes the whole cache artifact shard-recombinable: folding
+//! campaign halves into two caches and merging them yields the same bytes
+//! as folding the unsharded campaign into one.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// How many best configurations a cell keeps.
+pub const TOP_K: usize = 8;
+
+/// Number of quantile-sketch bins. Bin `i` covers runtimes in
+/// `[2^(i-20), 2^(i-19))` milliseconds, so the sketch spans about a
+/// microsecond to a quarter hour — beyond that it saturates into the end
+/// bins.
+pub const SKETCH_BINS: usize = 40;
+
+/// One remembered configuration: the parameter assignment and what it
+/// measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DigestEntry {
+    /// Parameter assignment, keyed by parameter name.
+    pub config: BTreeMap<String, i64>,
+    /// Measured runtime in milliseconds (the tuning objective's time term).
+    pub ms: f64,
+    /// Measured energy in millijoules, when the campaign recorded it.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub energy_mj: Option<f64>,
+}
+
+fn cmp_opt_f64(a: Option<f64>, b: Option<f64>) -> Ordering {
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(x), Some(y)) => x.total_cmp(&y),
+    }
+}
+
+/// Total order on digest entries: runtime first (IEEE total order, so NaN
+/// sorts deterministically too), then the configuration, then energy.
+/// Total-ness is what keeps merged artifacts byte-stable.
+pub(crate) fn entry_order(a: &DigestEntry, b: &DigestEntry) -> Ordering {
+    a.ms.total_cmp(&b.ms)
+        .then_with(|| a.config.cmp(&b.config))
+        .then_with(|| cmp_opt_f64(a.energy_mj, b.energy_mj))
+}
+
+/// Merge two top-k lists: union, deduplicate by configuration keeping the
+/// best-ordered entry, sort by [`entry_order`], keep the first [`TOP_K`].
+///
+/// Commutative and associative: an entry dropped at the cut can never
+/// re-enter a later merge, because the k entries that beat it either
+/// persist or are replaced by better entries for the same configurations.
+pub(crate) fn merge_top(a: &[DigestEntry], b: &[DigestEntry]) -> Vec<DigestEntry> {
+    let mut all: Vec<DigestEntry> = a.iter().chain(b).cloned().collect();
+    all.sort_by(entry_order);
+    let mut out: Vec<DigestEntry> = Vec::new();
+    for e in all {
+        if out.len() == TOP_K {
+            break;
+        }
+        if !out.iter().any(|kept| kept.config == e.config) {
+            out.push(e);
+        }
+    }
+    out
+}
+
+/// A fixed-width log-scale histogram of observed runtimes.
+///
+/// Binning extracts the IEEE-754 exponent directly (no floating-point
+/// `log`), so the same runtime always lands in the same bin on every
+/// platform — a requirement for byte-stable artifacts. Bin-wise addition
+/// makes merging exact: a merged sketch is identical to the sketch of the
+/// concatenated observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantileSketch {
+    /// Total observations.
+    pub count: u64,
+    /// Smallest observed runtime in milliseconds.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub min_ms: Option<f64>,
+    /// Largest observed runtime in milliseconds.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_ms: Option<f64>,
+    /// Per-bin observation counts; always [`SKETCH_BINS`] long.
+    pub bins: Vec<u64>,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new()
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch (the merge identity).
+    pub fn new() -> QuantileSketch {
+        QuantileSketch {
+            count: 0,
+            min_ms: None,
+            max_ms: None,
+            bins: vec![0; SKETCH_BINS],
+        }
+    }
+
+    /// Bin index for a runtime: biased IEEE-754 exponent, shifted so bin 20
+    /// covers `[1, 2)` ms, clamped into range. Zero, subnormals and
+    /// negatives land in bin 0; infinities and NaN in the last bin.
+    fn bin_of(ms: f64) -> usize {
+        let exponent = ((ms.to_bits() >> 52) & 0x7ff) as i64 - 1023;
+        (exponent + 20).clamp(0, SKETCH_BINS as i64 - 1) as usize
+    }
+
+    /// Record one runtime observation.
+    pub fn observe(&mut self, ms: f64) {
+        self.count += 1;
+        self.bins[Self::bin_of(ms)] += 1;
+        self.min_ms = Some(match self.min_ms {
+            Some(m) => m.min(ms),
+            None => ms,
+        });
+        self.max_ms = Some(match self.max_ms {
+            Some(m) => m.max(ms),
+            None => ms,
+        });
+    }
+
+    /// Fold another sketch into this one (bin-wise sum; exact).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        self.count += other.count;
+        for (mine, theirs) in self.bins.iter_mut().zip(&other.bins) {
+            *mine += *theirs;
+        }
+        self.min_ms = match (self.min_ms, other.min_ms) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max_ms = match (self.max_ms, other.max_ms) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`): the lower bound of the bin
+    /// holding the `ceil(q · count)`-th observation, clamped to the
+    /// recorded min/max. `None` when the sketch is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.bins.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                let lower = (2.0f64).powi(i as i32 - 20);
+                let lo = self.min_ms.unwrap_or(lower);
+                let hi = self.max_ms.unwrap_or(lower);
+                return Some(lower.clamp(lo, hi));
+            }
+        }
+        self.max_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(ms: f64, tag: i64) -> DigestEntry {
+        let mut config = BTreeMap::new();
+        config.insert("block_size_x".to_string(), tag);
+        DigestEntry {
+            config,
+            ms,
+            energy_mj: None,
+        }
+    }
+
+    #[test]
+    fn top_k_keeps_best_and_dedups_by_config() {
+        let a = vec![entry(3.0, 1), entry(1.0, 2)];
+        let b = vec![entry(2.0, 1), entry(4.0, 3)];
+        let merged = merge_top(&a, &b);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0].ms, 1.0);
+        // Config 1 appears once, at its better measurement.
+        let ones: Vec<&DigestEntry> = merged
+            .iter()
+            .filter(|e| e.config["block_size_x"] == 1)
+            .collect();
+        assert_eq!(ones.len(), 1);
+        assert_eq!(ones[0].ms, 2.0);
+    }
+
+    #[test]
+    fn top_k_truncates_and_merge_is_commutative() {
+        let a: Vec<DigestEntry> = (0..10).map(|i| entry(i as f64, i)).collect();
+        let b: Vec<DigestEntry> = (5..15).map(|i| entry(i as f64 * 0.5, 100 + i)).collect();
+        let ab = merge_top(&a, &b);
+        let ba = merge_top(&b, &a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.len(), TOP_K);
+    }
+
+    #[test]
+    fn sketch_bins_are_deterministic_and_merge_exactly() {
+        let mut s1 = QuantileSketch::new();
+        let mut s2 = QuantileSketch::new();
+        let mut whole = QuantileSketch::new();
+        for i in 0..100 {
+            let ms = 0.1 + i as f64 * 0.37;
+            whole.observe(ms);
+            if i % 2 == 0 {
+                s1.observe(ms);
+            } else {
+                s2.observe(ms);
+            }
+        }
+        s1.merge(&s2);
+        assert_eq!(s1, whole);
+        assert_eq!(whole.count, 100);
+        assert!(whole.quantile(0.5).is_some());
+        assert_eq!(whole.min_ms, Some(0.1));
+    }
+
+    #[test]
+    fn sketch_quantiles_bracket_the_data() {
+        let mut s = QuantileSketch::new();
+        for i in 1..=1000 {
+            s.observe(i as f64 * 0.01); // 0.01 .. 10.0 ms
+        }
+        let q10 = s.quantile(0.1).unwrap();
+        let q90 = s.quantile(0.9).unwrap();
+        assert!(q10 <= q90);
+        assert!(q10 >= s.min_ms.unwrap());
+        assert!(q90 <= s.max_ms.unwrap());
+        assert!(s.quantile(1.0).unwrap() <= 10.0);
+        assert!(QuantileSketch::new().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn extreme_values_clamp_into_range() {
+        let mut s = QuantileSketch::new();
+        s.observe(0.0);
+        s.observe(f64::INFINITY);
+        s.observe(1e-30);
+        s.observe(1e30);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.bins[0], 2);
+        assert_eq!(s.bins[SKETCH_BINS - 1], 2);
+    }
+}

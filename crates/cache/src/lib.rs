@@ -1,0 +1,81 @@
+//! The shippable autotune cache: a persistent `bat/cache/v1` best-config
+//! store with a lock-free read path.
+//!
+//! Kernel tuning is an expensive search that should be done once and
+//! reused. This crate is where the reuse lives:
+//!
+//! * [`CacheStore`] — the on-disk artifact. One *cell* per
+//!   (benchmark, architecture, scenario) holding the best known
+//!   configurations, their measured objective(s) and a compact landscape
+//!   digest (top-k configs + a mergeable quantile sketch); one *trial
+//!   blob* per exact tuning-trial fingerprint so a campaign re-run with
+//!   `--cache` replays finished trials instead of re-tuning. The JSON form
+//!   is byte-stable: entries are kept sorted, nothing volatile is
+//!   recorded, and [`merge`](CacheStore::merge) is commutative and
+//!   associative, so shard caches recombine into the unsharded cache
+//!   byte-for-byte.
+//! * [`CacheIndex`] — an immutable sharded hash index over the cells.
+//!   Lookups take `&self`, touch no locks and scale linearly with reader
+//!   count; writers go through [`SharedCache`], which rebuilds the index
+//!   off to the side and atomically publishes the new `Arc`.
+//! * [`transfer`] — deterministic cross-architecture warm starts: cells
+//!   recorded on *other* GPUs feed a
+//!   [`TransferDatabase`](bat_tuners::TransferDatabase), nearest
+//!   architecture first (by a fixed machine-feature distance), so an
+//!   unseen GPU starts its search from its closest cached neighbours.
+
+#![warn(missing_docs)]
+
+mod digest;
+mod index;
+mod store;
+pub mod transfer;
+
+pub use digest::{DigestEntry, QuantileSketch, SKETCH_BINS, TOP_K};
+pub use index::{CacheIndex, SharedCache, SHARDS};
+pub use store::{CacheCell, CacheError, CacheStore, CachedTrial, CACHE_SCHEMA};
+
+/// Observability handles for the cache. Telemetry only: lookup results are
+/// never affected by these, and under the `no-obs` feature every call
+/// compiles down to a no-op.
+pub(crate) struct CacheMetrics {
+    pub(crate) lookups: &'static bat_obs::metrics::Counter,
+    pub(crate) hits: &'static bat_obs::metrics::Counter,
+    pub(crate) misses: &'static bat_obs::metrics::Counter,
+    pub(crate) warm_starts: &'static bat_obs::metrics::Counter,
+}
+
+/// Record one logical cache lookup in the observability counters. The
+/// lock-free [`CacheIndex`] records its own lookups; front-ends that query
+/// a [`CacheStore`] directly (the campaign `--cache` exact-hit path) call
+/// this so hit rates stay observable regardless of the read path. Under
+/// the `no-obs` feature this is a no-op.
+pub fn record_lookup(hit: bool) {
+    let m = obs();
+    m.lookups.inc();
+    if hit {
+        m.hits.inc();
+    } else {
+        m.misses.inc();
+    }
+}
+
+pub(crate) fn obs() -> &'static CacheMetrics {
+    use bat_obs::metrics::counter;
+    static M: std::sync::OnceLock<CacheMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| CacheMetrics {
+        lookups: counter("bat_cache_lookups_total", "Cache index lookups."),
+        hits: counter(
+            "bat_cache_hits_total",
+            "Cache index lookups that found a cell.",
+        ),
+        misses: counter(
+            "bat_cache_misses_total",
+            "Cache index lookups that found nothing.",
+        ),
+        warm_starts: counter(
+            "bat_cache_warm_starts_total",
+            "Warm-start seed configurations served from the cache.",
+        ),
+    })
+}

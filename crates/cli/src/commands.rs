@@ -931,12 +931,14 @@ pub fn cmd_campaign(opts: &Opts) -> Result<(), Error> {
         None => Endpoint::InProcess,
     };
     let out = opts.get("--out");
-    let run = bat_harness::run_spec_to_file(
+    let cache = opts.get("--cache");
+    let run = bat_harness::run_spec_to_file_cached(
         &spec,
         out.as_deref(),
         opts.has("--resume"),
         false,
         &endpoint,
+        cache.as_deref(),
     )?;
 
     match &out {
@@ -1005,12 +1007,139 @@ pub fn cmd_serve(opts: &Opts) -> Result<(), Error> {
         println!("bat serve: metrics on http://{mlocal}/metrics");
         let _ = bat_server::spawn_metrics_endpoint(mlistener);
     }
+    // `--cache FILE` loads a shipped `bat/cache/v1` artifact into the
+    // lock-free index; the daemon then answers wire-level `cache_lookup`
+    // requests from it.
+    let cache = match opts.get("--cache") {
+        Some(path) => {
+            let store = bat_cache::CacheStore::load(&path).map_err(cache_error)?;
+            println!("bat serve: cache {path} loaded ({})", store.summary());
+            Some(std::sync::Arc::new(bat_cache::CacheIndex::build(&store)))
+        }
+        None => None,
+    };
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    let daemon = bat_server::Daemon::new(config);
+    let daemon = match cache {
+        Some(index) => bat_server::Daemon::with_cache(config, index),
+        None => bat_server::Daemon::new(config),
+    };
     daemon.serve(listener)?;
     eprintln!("bat serve: shutdown requested, exiting");
     Ok(())
+}
+
+/// Map a typed cache error onto the CLI's unified error hierarchy.
+fn cache_error(e: bat_cache::CacheError) -> Error {
+    match e {
+        bat_cache::CacheError::Io(m) => Error::io(m),
+        bat_cache::CacheError::Parse(m) => Error::spec(m),
+    }
+}
+
+/// `bat cache` — inspect, merge and slim `bat/cache/v1` artifacts.
+///
+/// * `inspect --input FILE [--bench B --arch A]` — summary plus one row
+///   per cell; with a benchmark and a target architecture it also ranks
+///   the cached donor architectures by machine-feature distance (the
+///   warm-start neighbour order).
+/// * `merge --inputs A,B,... --out FILE` — merge shard caches. The merge
+///   is commutative and associative, so any grouping of the same inputs
+///   produces the same bytes.
+/// * `evict --input FILE --out FILE` — drop the exact-replay trial blobs,
+///   keeping only the compact cells (the form to ship).
+pub fn cmd_cache(opts: &Opts) -> Result<(), Error> {
+    let sub = opts
+        .positional(0)
+        .ok_or_else(|| Error::spec("usage: bat cache <inspect|merge|evict> [options]"))?;
+    match sub.as_str() {
+        "inspect" => {
+            let path = opts
+                .get("--input")
+                .ok_or_else(|| Error::spec("cache inspect requires --input FILE"))?;
+            let store = bat_cache::CacheStore::load(&path).map_err(cache_error)?;
+            println!("{path}: {} ({})", store.summary(), store.schema);
+            let mut rows = Vec::new();
+            for cell in &store.cells {
+                let (ms, config) = match cell.best() {
+                    Some(best) => {
+                        let cfg: Vec<String> = best
+                            .config
+                            .iter()
+                            .map(|(k, v)| format!("{k}={v}"))
+                            .collect();
+                        (f(best.ms, 4), cfg.join(","))
+                    }
+                    None => ("-".into(), "-".into()),
+                };
+                rows.push(vec![
+                    cell.benchmark.clone(),
+                    cell.architecture.clone(),
+                    cell.scenario.clone(),
+                    cell.evals.to_string(),
+                    ms,
+                    config,
+                ]);
+            }
+            print_table(
+                &[
+                    "benchmark".into(),
+                    "architecture".into(),
+                    "scenario".into(),
+                    "evals".into(),
+                    "best ms".into(),
+                    "best config".into(),
+                ],
+                &rows,
+            );
+            if let (Some(bench), Some(arch)) = (opts.get("--bench"), opts.get("--arch")) {
+                let target = bat_gpusim::GpuArch::by_name(&arch)
+                    .ok_or_else(|| Error::spec(format!("unknown GPU architecture {arch:?}")))?;
+                let near = bat_cache::transfer::nearest_architectures(&store, &bench, &target);
+                if near.is_empty() {
+                    println!("\nno cached donor architectures for {bench} on {arch}");
+                } else {
+                    println!("\nwarm-start donors for {bench} on {arch} (nearest first):");
+                    for (name, dist) in near {
+                        println!("  {name}  distance {dist:.4}");
+                    }
+                }
+            }
+            Ok(())
+        }
+        "merge" => {
+            let inputs = opts
+                .get("--inputs")
+                .ok_or_else(|| Error::spec("cache merge requires --inputs A,B,..."))?;
+            let out = opts
+                .get("--out")
+                .ok_or_else(|| Error::spec("cache merge requires --out FILE"))?;
+            let mut merged = bat_cache::CacheStore::new();
+            for path in inputs.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                let store = bat_cache::CacheStore::load(path).map_err(cache_error)?;
+                merged.merge(&store);
+            }
+            merged.save_atomic(&out).map_err(cache_error)?;
+            println!("wrote {out} ({})", merged.summary());
+            Ok(())
+        }
+        "evict" => {
+            let input = opts
+                .get("--input")
+                .ok_or_else(|| Error::spec("cache evict requires --input FILE"))?;
+            let out = opts
+                .get("--out")
+                .ok_or_else(|| Error::spec("cache evict requires --out FILE"))?;
+            let mut store = bat_cache::CacheStore::load(&input).map_err(cache_error)?;
+            store.evict_trials();
+            store.save_atomic(&out).map_err(cache_error)?;
+            println!("wrote {out} ({})", store.summary());
+            Ok(())
+        }
+        other => Err(Error::spec(format!(
+            "unknown cache subcommand {other:?}; expected inspect, merge or evict"
+        ))),
+    }
 }
 
 /// `bat online` — KTT-style dynamic autotuning: does tuning during the

@@ -53,6 +53,16 @@ impl Opts {
     pub fn has(&self, key: &str) -> bool {
         self.args.iter().any(|a| a == key)
     }
+
+    /// Positional argument at `idx`, counted before the first `--option` —
+    /// the `inspect` in `bat cache inspect --input FILE`.
+    pub fn positional(&self, idx: usize) -> Option<String> {
+        self.args
+            .iter()
+            .take_while(|a| !a.starts_with("--"))
+            .nth(idx)
+            .cloned()
+    }
 }
 
 /// Benchmarks selected by `--bench` (comma-separated) or all seven.

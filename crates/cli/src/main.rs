@@ -31,17 +31,28 @@ SUITE COMMANDS:
                          (--bench, --arch, --budget, --seed, --tuner, --capacity, --batch)
     campaign             run a declarative campaign spec (--spec FILE, --out FILE, --resume,
                          --batch N, --fault-rate R, --threads N, --connect EP,
+                         --cache FILE reuses a bat/cache/v1 store: exact-hit
+                         trials replay verbatim (warm artifact byte-identical
+                         to cold), misses tune and fold back in atomically;
                          --trace FILE writes a bat/trace/v1 JSONL span trace;
                          EP = in-process | loopback | HOST:PORT of a
                          `bat serve` daemon — artifacts are byte-identical
                          across endpoints; thread-count precedence:
                          --threads > BAT_THREADS > host cores)
+    cache                inspect/merge/evict bat/cache/v1 stores:
+                         inspect --input FILE [--bench B --arch A ranks
+                         warm-start donor architectures], merge --inputs
+                         A,B,... --out FILE (order-independent, byte-stable),
+                         evict --input FILE --out FILE (drop replay blobs,
+                         keep the compact shippable cells)
     serve                host tuning sessions as a daemon (--addr HOST:PORT,
                          --slots N concurrent batches, --inflight N queued
                          batches per session, --threads N, --metrics ADDR
                          serves Prometheus text exposition over HTTP,
                          --heartbeat N prints a status line every N seconds,
-                         0 disables, default 10); clients connect
+                         0 disables, default 10, --cache FILE loads a
+                         bat/cache/v1 store and answers wire cache_lookup
+                         requests from a lock-free index); clients connect
                          with `bat campaign --connect HOST:PORT`
     compare              compare all tuners at equal budget (--bench, --budget, --repeats)
     ranks                cross-benchmark tuner ranking, Friedman-style (--budget, --repeats)
@@ -96,6 +107,7 @@ fn main() {
         "pareto" => commands::cmd_pareto(&opts),
         "campaign" => fail_on_error(commands::cmd_campaign(&opts)),
         "serve" => fail_on_error(commands::cmd_serve(&opts)),
+        "cache" => fail_on_error(commands::cmd_cache(&opts)),
         "compare" => commands::cmd_compare(&opts),
         "ranks" => commands::cmd_ranks(&opts),
         "online" => commands::cmd_online(&opts),

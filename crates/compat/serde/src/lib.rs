@@ -182,6 +182,14 @@ impl Serialize for bool {
     }
 }
 
+/// A `Value` serializes to itself — the identity — so documents can embed
+/// already-serialized subtrees (e.g. opaque record blobs) verbatim.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 /// A `Value` deserializes from itself — the identity — so callers can
 /// parse arbitrary JSON into the tree and inspect it structurally.
 impl Deserialize for Value {

@@ -595,9 +595,21 @@ pub fn run_campaign_at(
 /// Run a campaign strictly sequentially (the determinism oracle: its
 /// result must be byte-identical to [`run_campaign`]'s).
 pub fn run_campaign_serial(spec: &ExperimentSpec) -> Result<CampaignRun, HarnessError> {
+    run_campaign_serial_primed(spec, None)
+}
+
+/// [`run_campaign_serial`] with an optional prior (e.g. a cache-synthesized
+/// one): matching trials are reused verbatim, the rest execute one by one
+/// on the calling thread. The oracle property extends to priors — the
+/// artifact is byte-identical to the parallel primed run's.
+pub fn run_campaign_serial_primed(
+    spec: &ExperimentSpec,
+    prior: Option<&CampaignResult>,
+) -> Result<CampaignRun, HarnessError> {
+    let priors: Vec<&CampaignResult> = prior.into_iter().collect();
     run_impl(
         spec,
-        &[],
+        &priors,
         PriorMatch::Exact,
         Execution::Serial,
         None,

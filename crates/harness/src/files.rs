@@ -5,12 +5,14 @@
 //! error handling and the post-run report cannot drift between the two
 //! binaries.
 
+use bat_cache::{CacheError, CacheStore};
 use bat_core::t4::{T4Metadata, T4_SCHEMA_VERSION};
 use bat_core::Error;
 
+use crate::cache_integration::{cache_prior, fold_run_into_cache};
 use crate::campaign::{
-    merge_campaigns, run_campaign_at, run_campaign_checkpointed, run_campaign_serial, CampaignRun,
-    Endpoint, HarnessError,
+    merge_campaigns, run_campaign_at, run_campaign_checkpointed, run_campaign_serial_primed,
+    CampaignRun, Endpoint, HarnessError,
 };
 use crate::result::{CampaignResult, RESULT_SCHEMA};
 use crate::spec::{ExperimentSpec, SPEC_SCHEMA};
@@ -54,6 +56,27 @@ pub fn run_spec_to_file(
     serial: bool,
     endpoint: &Endpoint,
 ) -> Result<CampaignRun, Error> {
+    run_spec_to_file_cached(spec, out, resume, serial, endpoint, None)
+}
+
+/// [`run_spec_to_file`] with an optional persistent cache (`--cache`).
+///
+/// When `cache` names a `bat/cache/v1` file (missing is fine — it starts
+/// empty), every compiled trial whose exact fingerprint has a stored blob
+/// short-circuits: the stored record replays verbatim through the resume
+/// machinery, so a warm run's artifact is byte-identical to the cold
+/// run's while executing nothing. Misses fall through to tuning, and the
+/// finished campaign folds back into the cache atomically (idempotently:
+/// a fully-warm run leaves the file untouched, so shipped caches can live
+/// on read-only media).
+pub fn run_spec_to_file_cached(
+    spec: &ExperimentSpec,
+    out: Option<&str>,
+    resume: bool,
+    serial: bool,
+    endpoint: &Endpoint,
+    cache: Option<&str>,
+) -> Result<CampaignRun, Error> {
     if resume && serial {
         return Err(Error::spec("--resume and --serial are mutually exclusive"));
     }
@@ -62,7 +85,7 @@ pub fn run_spec_to_file(
             "--serial runs the in-process determinism oracle; drop --connect",
         ));
     }
-    let prior: Option<CampaignResult> = if resume {
+    let disk_prior: Option<CampaignResult> = if resume {
         let path =
             out.ok_or_else(|| Error::spec("--resume requires --out (the file to resume from)"))?;
         match std::fs::read_to_string(path) {
@@ -77,35 +100,104 @@ pub fn run_spec_to_file(
         None
     };
 
-    if serial {
+    let mut store: Option<CacheStore> = match cache {
+        Some(path) => Some(CacheStore::load_or_empty(path).map_err(cache_error)?),
+        None => None,
+    };
+    let prior = combined_prior(spec, disk_prior, store.as_ref())?;
+
+    let run = if serial {
         // The determinism oracle runs in one shot; its artifact still
         // lands on disk at the end.
-        let run = run_campaign_serial(spec)?;
+        let run = run_campaign_serial_primed(spec, prior.as_ref())?;
         if let Some(path) = out {
             write_artifact(path, &run.result)?;
             write_metadata(path, spec)?;
         }
-        return Ok(run);
-    }
+        run
+    } else {
+        match out {
+            // Without an output file there is nothing to checkpoint into,
+            // but a cache-synthesized prior still short-circuits its hits.
+            None => match prior.as_ref() {
+                None => run_campaign_at(spec, endpoint)?,
+                Some(p) => run_campaign_checkpointed(
+                    spec,
+                    Some(p),
+                    CHECKPOINT_TRIALS,
+                    &mut |_| Ok(()),
+                    endpoint,
+                )?,
+            },
+            Some(path) => {
+                let run = run_campaign_checkpointed(
+                    spec,
+                    prior.as_ref(),
+                    CHECKPOINT_TRIALS,
+                    &mut |partial| {
+                        write_artifact(path, partial).map_err(|e| HarnessError::Io(e.to_string()))
+                    },
+                    endpoint,
+                )?;
+                write_metadata(path, spec)?;
+                run
+            }
+        }
+    };
 
-    match out {
-        // Without an output file there is nothing to checkpoint into
-        // (and resume already required one, so `prior` is None here).
-        None => Ok(run_campaign_at(spec, endpoint)?),
-        Some(path) => {
-            let run = run_campaign_checkpointed(
-                spec,
-                prior.as_ref(),
-                CHECKPOINT_TRIALS,
-                &mut |partial| {
-                    write_artifact(path, partial).map_err(|e| HarnessError::Io(e.to_string()))
-                },
-                endpoint,
-            )?;
-            write_metadata(path, spec)?;
-            Ok(run)
+    if let (Some(path), Some(store)) = (cache, store.as_mut()) {
+        let before = store.to_json();
+        fold_run_into_cache(store, &run.result);
+        // Skip the write when nothing changed (fully-warm runs) so a
+        // shipped cache can sit on read-only media.
+        if store.to_json() != before {
+            store.save_atomic(path).map_err(cache_error)?;
         }
     }
+    Ok(run)
+}
+
+fn cache_error(e: CacheError) -> Error {
+    match e {
+        CacheError::Io(m) => Error::io(m),
+        CacheError::Parse(m) => Error::spec(m),
+    }
+}
+
+/// Combine the disk resume prior and the cache-synthesized prior into the
+/// single prior the campaign engine accepts (disk trials first — they win
+/// key collisions, matching plain resume). The disk prior is validated
+/// against the spec *here*, exactly as the engine would, because wrapping
+/// its trials in a fresh result replaces the embedded spec and would
+/// otherwise bypass the mismatch check.
+fn combined_prior(
+    spec: &ExperimentSpec,
+    disk: Option<CampaignResult>,
+    store: Option<&CacheStore>,
+) -> Result<Option<CampaignResult>, Error> {
+    if let Some(d) = &disk {
+        if d.schema != RESULT_SCHEMA {
+            return Err(Error::session(format!(
+                "cannot resume: prior result schema {:?} is not {RESULT_SCHEMA:?}",
+                d.schema
+            )));
+        }
+        if d.spec != *spec {
+            return Err(Error::session(
+                "cannot resume: prior result was produced by a different spec",
+            ));
+        }
+    }
+    let cached = store.and_then(|s| cache_prior(s, spec));
+    Ok(match (disk, cached) {
+        (None, None) => None,
+        (Some(d), None) => Some(d),
+        (None, Some(c)) => Some(c),
+        (Some(mut d), Some(c)) => {
+            d.trials.extend(c.trials);
+            Some(d)
+        }
+    })
 }
 
 /// Write a document atomically (temp file + rename) so a crash mid-write

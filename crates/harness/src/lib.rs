@@ -34,20 +34,23 @@
 
 #![warn(missing_docs)]
 
+mod cache_integration;
 mod campaign;
 mod files;
 mod result;
 mod spec;
 pub mod summary;
 
+pub use cache_integration::{cache_prior, fold_run_into_cache, scenario_of, trial_fingerprint};
 pub use campaign::{
     advance_campaign, merge_campaigns, resume_campaign, run_campaign, run_campaign_at,
-    run_campaign_checkpointed, run_campaign_serial, run_tuning, run_tuning_with_energy,
-    run_tuning_with_faults, tuner_by_name, CampaignRun, Endpoint, EvalStats, HarnessError,
+    run_campaign_checkpointed, run_campaign_serial, run_campaign_serial_primed, run_tuning,
+    run_tuning_with_energy, run_tuning_with_faults, tuner_by_name, CampaignRun, Endpoint,
+    EvalStats, HarnessError,
 };
 pub use files::{
     campaign_metadata, load_result_file, load_spec_file, merge_files, metadata_path, report_run,
-    run_spec_to_file,
+    run_spec_to_file, run_spec_to_file_cached,
 };
 pub use result::{CampaignResult, CurvePoint, TrialRecord, RESULT_SCHEMA};
 pub use spec::{

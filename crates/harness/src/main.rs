@@ -10,14 +10,14 @@ use std::process::ExitCode;
 
 use bat_harness::{
     convergence_auc, load_result_file, load_spec_file, merge_files, render_table, report_run,
-    run_campaign, run_spec_to_file, CampaignSummary, Endpoint, ExperimentSpec, ShardSpec,
+    run_campaign, run_spec_to_file_cached, CampaignSummary, Endpoint, ExperimentSpec, ShardSpec,
 };
 
 const HELP: &str = "\
 bat-harness — declarative experiment orchestration for BAT-rs
 
 USAGE:
-    bat-harness run --spec FILE [--out FILE] [--resume] [--serial] [--strict] [--quiet] [--shard I/N] [--batch N] [--fault-rate R] [--threads N] [--connect EP] [--trace FILE]
+    bat-harness run --spec FILE [--out FILE] [--resume] [--serial] [--strict] [--quiet] [--shard I/N] [--batch N] [--fault-rate R] [--threads N] [--connect EP] [--trace FILE] [--cache FILE]
     bat-harness merge --spec FILE --inputs A,B,... --out FILE [--quiet]
     bat-harness summary --input FILE
     bat-harness sweep-batch --spec FILE [--batches 1,4,16,64] [--threads N]
@@ -62,6 +62,10 @@ OPTIONS:
     --trace FILE   write a bat/trace/v1 JSONL span trace of the run
                    (campaign → trial → step → batch → decode/measure);
                    telemetry only — the artifact stays byte-identical
+    --cache FILE   persistent bat/cache/v1 best-config store: trials whose
+                   exact fingerprint is cached replay verbatim (the warm
+                   artifact is byte-identical to the cold one), misses tune
+                   and fold back into the cache atomically
     --inputs A,B   comma-separated shard artifacts to merge
     --strict       exit non-zero if any trial found no valid configuration
     --quiet        suppress the summary tables and throughput line
@@ -151,12 +155,15 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         None => Endpoint::InProcess,
     };
 
-    let run = run_spec_to_file(
+    let cache = opt(args, "--cache");
+
+    let run = run_spec_to_file_cached(
         &spec,
         out.as_deref(),
         flag(args, "--resume"),
         flag(args, "--serial"),
         &endpoint,
+        cache.as_deref(),
     )
     .map_err(|e| e.to_string())?;
     if out.is_none() {

@@ -178,6 +178,16 @@ impl TrialRecord {
     pub fn cell(&self) -> (String, String) {
         (self.benchmark.clone(), self.architecture.clone())
     }
+
+    /// Evaluations spent until the best-so-far first reached `threshold`
+    /// (best ≤ threshold), or `None` if the trial never got there — the
+    /// evals-to-target metric of the cache-transfer study.
+    pub fn evals_to_reach(&self, threshold: f64) -> Option<u64> {
+        self.curve
+            .iter()
+            .find(|p| p.best_ms <= threshold)
+            .map(|p| p.eval)
+    }
 }
 
 /// A complete campaign artifact: spec + one record per trial.

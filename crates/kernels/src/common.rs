@@ -26,6 +26,19 @@ pub trait KernelSpec: Send + Sync {
     /// [`KernelSpec::build_space`].
     fn model(&self, config: &[i64]) -> KernelModel;
 
+    /// Write the model for `config` into a caller-owned slot.
+    ///
+    /// The batch evaluation path calls this against a per-worker arena
+    /// slot (see [`GpuBenchmark::evaluate_pure`]) so the ~180-byte model
+    /// is rebuilt in place across millions of evaluations instead of
+    /// being constructed and moved through a fresh stack slot each time.
+    /// The default delegates to [`KernelSpec::model`]; kernels whose
+    /// models share most fields across configurations can override it to
+    /// update only what changes.
+    fn model_into(&self, config: &[i64], out: &mut KernelModel) {
+        *out = self.model(config);
+    }
+
     /// Number of kernel launches one application-level run performs
     /// (e.g. Hotspot runs `ceil(steps / temporal_tiling_factor)` launches).
     fn launches(&self, _config: &[i64]) -> u64 {
@@ -63,6 +76,15 @@ impl GpuBenchmark {
     }
 }
 
+thread_local! {
+    /// Per-worker model arena. One long-lived slot per thread — with the
+    /// persistent worker pool that is one slot per pool worker — that the
+    /// evaluation hot path rebuilds in place via [`KernelSpec::model_into`],
+    /// instead of constructing a fresh [`KernelModel`] per evaluation.
+    static MODEL_ARENA: std::cell::RefCell<KernelModel> =
+        std::cell::RefCell::new(KernelModel::new("", 0, 0));
+}
+
 impl TuningProblem for GpuBenchmark {
     fn name(&self) -> &str {
         self.spec.name()
@@ -80,10 +102,13 @@ impl TuningProblem for GpuBenchmark {
         if !self.space.is_valid(config) {
             return Err(EvalFailure::Restricted);
         }
-        let model = self.spec.model(config);
-        let launches = self.spec.launches(config);
-        execute_repeated(&self.arch, &model, launches)
-            .map_err(|e| EvalFailure::Launch(e.to_string()))
+        MODEL_ARENA.with(|slot| {
+            let mut model = slot.borrow_mut();
+            self.spec.model_into(config, &mut model);
+            let launches = self.spec.launches(config);
+            execute_repeated(&self.arch, &model, launches)
+                .map_err(|e| EvalFailure::Launch(e.to_string()))
+        })
     }
 
     fn evaluate_pure2(&self, config: &[i64]) -> Result<(f64, Option<f64>), EvalFailure> {
@@ -93,11 +118,14 @@ impl TuningProblem for GpuBenchmark {
         // Same kernel-specific work profile as `evaluate_pure`, priced
         // through the simulator's power model as well: the time component
         // is bit-identical to the single-objective path.
-        let model = self.spec.model(config);
-        let launches = self.spec.launches(config);
-        execute_with_energy_repeated(&self.arch, &model, launches)
-            .map(|(t, e)| (t, Some(e)))
-            .map_err(|e| EvalFailure::Launch(e.to_string()))
+        MODEL_ARENA.with(|slot| {
+            let mut model = slot.borrow_mut();
+            self.spec.model_into(config, &mut model);
+            let launches = self.spec.launches(config);
+            execute_with_energy_repeated(&self.arch, &model, launches)
+                .map(|(t, e)| (t, Some(e)))
+                .map_err(|e| EvalFailure::Launch(e.to_string()))
+        })
     }
 
     fn noise_salt(&self) -> u64 {

@@ -39,6 +39,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 
+use bat_cache::CacheIndex;
 use bat_core::{Error, EvalBackend, Evaluator, TuningProblem};
 use bat_gpusim::GpuArch;
 
@@ -46,8 +47,8 @@ use crate::codec;
 use crate::duplex::{duplex, DuplexStream};
 use crate::scheduler::FairScheduler;
 use crate::wire::{
-    Closed, ErrorResponse, EvalBatch, Evaluated, OpenSession, Opened, Request, Response,
-    SessionStats,
+    CacheResult, Closed, ErrorResponse, EvalBatch, Evaluated, OpenSession, Opened, Request,
+    Response, SessionStats,
 };
 
 /// Tunable limits of one daemon.
@@ -108,6 +109,10 @@ struct Shared {
     scheduler: FairScheduler,
     next_session: AtomicU64,
     shutdown: AtomicBool,
+    /// Loaded `bat/cache/v1` index answering `cache_lookup` requests.
+    /// Lock-free reads: every connection thread shares one immutable
+    /// snapshot, so lookups never contend with evaluation.
+    cache: Option<Arc<CacheIndex>>,
 }
 
 /// A tuning daemon hosting concurrent evaluation sessions.
@@ -121,12 +126,24 @@ impl Daemon {
     /// [`ServerConfig::heartbeat_secs`] starts the heartbeat thread, which
     /// lives until the daemon is dropped or shut down.
     pub fn new(config: ServerConfig) -> Daemon {
+        Daemon::build(config, None)
+    }
+
+    /// A daemon that additionally serves `cache_lookup` requests from the
+    /// given pre-built lock-free index (a cache loaded at startup by
+    /// `bat serve --cache`). Without one, lookups answer a miss.
+    pub fn with_cache(config: ServerConfig, cache: Arc<CacheIndex>) -> Daemon {
+        Daemon::build(config, Some(cache))
+    }
+
+    fn build(config: ServerConfig, cache: Option<Arc<CacheIndex>>) -> Daemon {
         let daemon = Daemon {
             config,
             shared: Arc::new(Shared {
                 scheduler: FairScheduler::new(config.max_concurrent_batches),
                 next_session: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
+                cache,
             }),
         };
         if config.heartbeat_secs > 0 {
@@ -275,6 +292,21 @@ fn handle_connection<R: Read, W: Write + Send + 'static>(
                     text: bat_obs::metrics::render_prometheus(),
                 }),
             ),
+            Request::CacheLookup(q) => {
+                // The index records its own lookup counters; a daemon
+                // without a cache still records the (necessarily missed)
+                // lookup so hit rates stay honest.
+                let cell = match shared.cache.as_ref() {
+                    Some(ix) => ix
+                        .lookup(&q.benchmark, &q.architecture, &q.scenario)
+                        .cloned(),
+                    None => {
+                        bat_cache::record_lookup(false);
+                        None
+                    }
+                };
+                respond(&writer, Response::CacheResult(CacheResult { cell }));
+            }
             Request::Shutdown => {
                 shared.shutdown.store(true, Ordering::SeqCst);
                 respond(&writer, Response::ShuttingDown);

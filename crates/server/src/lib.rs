@@ -218,6 +218,49 @@ mod tests {
     }
 
     #[test]
+    fn cache_lookup_serves_loaded_cells_and_misses_cleanly() {
+        let scenario = "objective=time;budget=40;runs=3;sigma=0.01;noise_seed=0;batch=1";
+        let mut store = bat_cache::CacheStore::new();
+        store.observe(
+            "gemm",
+            "RTX 3090",
+            scenario,
+            &std::collections::BTreeMap::from([("block_size_x".to_string(), 128)]),
+            0.75,
+            None,
+        );
+        let index = std::sync::Arc::new(bat_cache::CacheIndex::build(&store));
+        let daemon = Daemon::with_cache(ServerConfig::default(), index);
+        let mut conn = daemon.connect_loopback();
+
+        let lookup = |conn: &mut DuplexStream, benchmark: &str| {
+            codec::write_request(
+                conn,
+                Request::CacheLookup(wire::CacheLookup {
+                    benchmark: benchmark.into(),
+                    architecture: "RTX 3090".into(),
+                    scenario: scenario.into(),
+                }),
+            )
+            .unwrap();
+            let Response::CacheResult(res) = codec::read_response(conn).unwrap() else {
+                panic!("expected cache_result");
+            };
+            res.cell
+        };
+
+        let hit = lookup(&mut conn, "gemm").expect("loaded cell must hit");
+        assert_eq!(hit.best().unwrap().ms, 0.75);
+        assert_eq!(hit.best().unwrap().config["block_size_x"], 128);
+        assert!(lookup(&mut conn, "nbody").is_none(), "unknown key misses");
+
+        // A daemon without a cache answers every lookup with a miss.
+        let bare = Daemon::new(ServerConfig::default());
+        let mut conn = bare.connect_loopback();
+        assert!(lookup(&mut conn, "gemm").is_none());
+    }
+
+    #[test]
     fn ping_and_shutdown_round_trip() {
         let daemon = Daemon::new(ServerConfig::default());
         let mut conn = daemon.connect_loopback();

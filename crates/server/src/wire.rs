@@ -22,6 +22,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use bat_cache::CacheCell;
 use bat_core::{Error, EvalOutcome, Protocol, RetryPolicy};
 use bat_gpusim::FaultModel;
 
@@ -78,6 +79,8 @@ pub enum Request {
     Eval(EvalBatch),
     /// Close a session, collecting its final statistics.
     Close(CloseSession),
+    /// Look up the daemon's loaded `bat/cache/v1` cell for a key.
+    CacheLookup(CacheLookup),
     /// Liveness probe.
     Ping,
     /// Fetch the daemon's metrics registry as Prometheus text exposition.
@@ -96,6 +99,8 @@ pub enum Response {
     Evaluated(Evaluated),
     /// A session closed; final statistics.
     Closed(Closed),
+    /// Answer to a cache lookup (a miss carries no cell).
+    CacheResult(CacheResult),
     /// Liveness answer.
     Pong,
     /// The metrics registry, rendered as text exposition.
@@ -229,6 +234,30 @@ pub struct Closed {
     pub session: u64,
     /// Final session statistics.
     pub stats: SessionStats,
+}
+
+/// Payload of [`Request::CacheLookup`]: the exact cell key. The scenario
+/// string is the harness's canonical form (`bat_harness::scenario_of`), so
+/// clients and campaign-built caches agree on keys by construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct CacheLookup {
+    /// Benchmark name, e.g. `"gemm"`.
+    pub benchmark: String,
+    /// Architecture name, e.g. `"RTX 3090"`.
+    pub architecture: String,
+    /// Canonical measurement-scenario string.
+    pub scenario: String,
+}
+
+/// Payload of [`Response::CacheResult`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct CacheResult {
+    /// The cached cell, absent on a miss (or when the daemon loaded no
+    /// cache at all).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cell: Option<CacheCell>,
 }
 
 /// Payload of [`Response::Error`].
@@ -456,6 +485,41 @@ mod tests {
         let json = serde_json::to_string(&env).unwrap();
         let back: ResponseEnvelope = serde_json::from_str(&json).unwrap();
         assert_eq!(back, env);
+    }
+
+    #[test]
+    fn cache_lookup_round_trips() {
+        let env = RequestEnvelope::new(Request::CacheLookup(CacheLookup {
+            benchmark: "gemm".into(),
+            architecture: "RTX 3090".into(),
+            scenario: "objective=time;budget=40;runs=3;sigma=0.01;noise_seed=0;batch=1".into(),
+        }));
+        let json = serde_json::to_string(&env).unwrap();
+        assert!(json.contains("\"cache_lookup\""), "{json}");
+        let back: RequestEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, env);
+
+        let miss = ResponseEnvelope::new(Response::CacheResult(CacheResult { cell: None }));
+        let json = serde_json::to_string(&miss).unwrap();
+        assert!(!json.contains("cell"), "a miss carries no cell: {json}");
+        let back: ResponseEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, miss);
+
+        let mut store = bat_cache::CacheStore::new();
+        store.observe(
+            "gemm",
+            "RTX 3090",
+            "objective=time;budget=40;runs=3;sigma=0.01;noise_seed=0;batch=1",
+            &std::collections::BTreeMap::from([("block_size_x".to_string(), 64)]),
+            1.25,
+            None,
+        );
+        let cell = store.cells.first().cloned().unwrap();
+        let hit = ResponseEnvelope::new(Response::CacheResult(CacheResult { cell: Some(cell) }));
+        let json = serde_json::to_string(&hit).unwrap();
+        assert!(json.contains("\"cache_result\""), "{json}");
+        let back: ResponseEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, hit);
     }
 
     #[test]

@@ -261,6 +261,15 @@ impl Program {
         }
     }
 
+    /// True when no instruction can produce a float: the program runs
+    /// entirely on the wrapping-`i64` interpreter, with no 2⁵³ exactness
+    /// guards and no division-exactness bailouts. The space build uses
+    /// this to split the fused validity conjunction into a cheap pure
+    /// prefix and a guarded suffix.
+    pub(crate) fn is_pure_int(&self) -> bool {
+        self.int_mode == IntMode::Pure
+    }
+
     /// True when the program is a constant (the restriction never looks at
     /// the configuration). [`Program::const_value`] gives its value.
     pub fn is_const(&self) -> bool {

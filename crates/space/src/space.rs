@@ -90,11 +90,20 @@ pub(crate) struct EnumEngine {
     pub(crate) free_mult: u64,
     /// Highest touched slot, if any restriction is active.
     pub(crate) last_slot: Option<usize>,
-    /// All active restrictions fused into one short-circuit `and` chain in
-    /// most-selective-first order — `is_valid` enters the interpreter once
-    /// per configuration instead of once per restriction. `None` when no
-    /// restriction is active.
-    pub(crate) valid_program: Option<Program>,
+    /// The pure-integer active restrictions (no division, no floats) fused
+    /// into one short-circuit `and` chain in most-selective-first order.
+    /// `is_valid` runs this first: it executes on the wrapping-`i64`
+    /// interpreter with no exactness guards, and most restrictions in
+    /// practice (divisibility, ordering, equality) land here. `None` when
+    /// no active restriction is pure.
+    pub(crate) valid_pure: Option<Program>,
+    /// The remaining active restrictions — those whose compiled form
+    /// promotes to float or divides, and therefore needs the 2⁵³
+    /// exactness envelope — fused likewise. Only evaluated when the pure
+    /// prefix passed, so the guarded interpreter runs on exactly the
+    /// restrictions that need it. `None` when every active restriction is
+    /// pure.
+    pub(crate) valid_guarded: Option<Program>,
     /// Constrained slots ordered so the most selective restrictions
     /// complete earliest in a counting walk (see `counting_order`).
     pub(crate) count_slots: Vec<usize>,
@@ -243,11 +252,15 @@ impl EnumEngine {
             .map(|s| params[s].len() as u64)
             .product();
         let last_slot = (0..n).rfind(|&s| touched[s]);
-        // Fuse the active restrictions into one right-nested `and` chain in
+        // Fuse the active restrictions into right-nested `and` chains in
         // selectivity order: identical short-circuit evaluation to the
-        // `all()` loop, but one interpreter entry per configuration.
-        let valid_program = {
-            let mut it = active.iter().rev();
+        // `all()` loop, but one interpreter entry per chain. The chain is
+        // split by interpreter class — pure-integer restrictions first
+        // (cheap wrapping-`i64` evaluation), then the ones needing float
+        // promotion or division-exactness guards. A conjunction of total
+        // predicates is order-insensitive, so the boolean is untouched.
+        let fuse = |ris: &[usize]| {
+            let mut it = ris.iter().rev();
             it.next().map(|&last| {
                 let mut expr = folded_of[last].clone();
                 for &ri in it {
@@ -260,6 +273,18 @@ impl EnumEngine {
                 Program::compile_prefolded(&expr)
             })
         };
+        let pure: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&ri| programs[ri].is_pure_int())
+            .collect();
+        let guarded: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&ri| !programs[ri].is_pure_int())
+            .collect();
+        let valid_pure = fuse(&pure);
+        let valid_guarded = fuse(&guarded);
         let mut engine = EnumEngine {
             programs,
             slots_of,
@@ -270,7 +295,8 @@ impl EnumEngine {
             touching,
             free_mult,
             last_slot,
-            valid_program,
+            valid_pure,
+            valid_guarded,
             count_slots: Vec::new(),
             count_buckets: Vec::new(),
         };
@@ -448,7 +474,12 @@ impl ConfigSpace {
         if self.engine.always_false {
             return false;
         }
-        match &self.engine.valid_program {
+        if let Some(p) = &self.engine.valid_pure {
+            if !p.eval_bool(config) {
+                return false;
+            }
+        }
+        match &self.engine.valid_guarded {
             Some(p) => p.eval_bool(config),
             None => true,
         }
@@ -1051,6 +1082,46 @@ mod tests {
                 (0..s.restrictions.len()).all(|ri| s.engine.programs[ri].eval_bool(&scratch));
             assert_eq!(s.is_valid(&scratch), declared, "index {idx}");
         }
+    }
+
+    #[test]
+    fn validity_split_partitions_by_interpreter_class() {
+        // Divisibility via `%` is pure integer work; true division
+        // promotes. The engine must put each in the right chain, and the
+        // split evaluation must equal the declaration-order conjunction on
+        // every configuration.
+        let s = ConfigSpace::builder()
+            .param(Param::new("a", vec![1, 2, 3, 4, 6, 8]))
+            .param(Param::new("b", vec![1, 2, 3, 4]))
+            .restrict("a % b == 0")
+            .restrict("a / b <= 3")
+            .restrict("a + b <= 10")
+            .build()
+            .unwrap();
+        assert!(s.engine.valid_pure.is_some(), "modulo/sum chain exists");
+        assert!(s.engine.valid_guarded.is_some(), "division chain exists");
+        assert!(s.engine.valid_pure.as_ref().unwrap().is_pure_int());
+        assert!(!s.engine.valid_guarded.as_ref().unwrap().is_pure_int());
+        let mut scratch = vec![0i64; 2];
+        for idx in 0..s.cardinality() {
+            s.decode_into(idx, &mut scratch);
+            let declared =
+                (0..s.restrictions.len()).all(|ri| s.engine.programs[ri].eval_bool(&scratch));
+            assert_eq!(s.is_valid(&scratch), declared, "index {idx}");
+        }
+    }
+
+    #[test]
+    fn all_pure_restrictions_leave_no_guarded_chain() {
+        let s = ConfigSpace::builder()
+            .param(Param::new("a", vec![16, 32, 64]))
+            .param(Param::new("b", vec![1, 2, 4]))
+            .restrict("a % b == 0")
+            .restrict("a * b <= 128")
+            .build()
+            .unwrap();
+        assert!(s.engine.valid_pure.is_some());
+        assert!(s.engine.valid_guarded.is_none());
     }
 
     #[test]

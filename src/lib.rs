@@ -39,6 +39,7 @@
 //! ```
 
 pub use bat_analysis as analysis;
+pub use bat_cache as cache;
 pub use bat_core as core;
 pub use bat_gpusim as gpusim;
 pub use bat_harness as harness;
